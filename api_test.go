@@ -1,0 +1,172 @@
+package fpvm_test
+
+import (
+	"math"
+	"testing"
+
+	"fpvm"
+	"fpvm/internal/workloads"
+)
+
+func TestNewAltSystemAllKinds(t *testing.T) {
+	for _, kind := range []fpvm.AltKind{
+		fpvm.AltBoxed, fpvm.AltMPFR, fpvm.AltPosit, fpvm.AltPosit32,
+		fpvm.AltInterval, fpvm.AltRational, "",
+	} {
+		sys, err := fpvm.NewAltSystem(kind, 0)
+		if err != nil || sys == nil {
+			t.Errorf("NewAltSystem(%q): %v", kind, err)
+		}
+	}
+	if _, err := fpvm.NewAltSystem("bogus", 0); err == nil {
+		t.Error("bogus system accepted")
+	}
+}
+
+func TestConfigNames(t *testing.T) {
+	for _, c := range []struct {
+		cfg  fpvm.Config
+		want string
+	}{
+		{fpvm.Config{}, "NONE"},
+		{fpvm.Config{Seq: true}, "SEQ"},
+		{fpvm.Config{Short: true}, "SHORT"},
+		{fpvm.Config{Seq: true, Short: true}, "SEQ SHORT"},
+	} {
+		if got := c.cfg.ConfigName(); got != c.want {
+			t.Errorf("%+v: %q", c.cfg, got)
+		}
+	}
+}
+
+func TestResultMetrics(t *testing.T) {
+	img := buildDivLoop(t, 50)
+	native, err := fpvm.RunNative(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fpvm.Run(img, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := res.Slowdown(native.Cycles)
+	lb := res.LowerBoundSlowdown(native.Cycles)
+	ratio := res.SlowdownFromLowerBound(native.Cycles)
+	if sd <= 1 || lb <= 1 || ratio <= 1 {
+		t.Errorf("metrics: sd=%f lb=%f ratio=%f", sd, lb, ratio)
+	}
+	if math.Abs(sd-lb*ratio) > sd*1e-9 {
+		t.Errorf("slowdown (%f) != lower bound (%f) x ratio (%f)", sd, lb, ratio)
+	}
+	if res.AltmathCycles() == 0 {
+		t.Error("no altmath cycles")
+	}
+	// Degenerate denominators.
+	if res.Slowdown(0) != 0 || res.LowerBoundSlowdown(0) != 0 {
+		t.Error("zero native cycles should give 0")
+	}
+	if native.AltmathCycles() != 0 {
+		t.Error("native run has altmath cycles")
+	}
+}
+
+// TestPatchPipelinePublicAPI exercises the patch.go surface end to end.
+func TestPatchPipelinePublicAPI(t *testing.T) {
+	img, err := workloads.Build(workloads.Enzo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, stats, err := fpvm.ProfileSites(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IntLoads == 0 {
+		t.Error("profiler saw no integer loads")
+	}
+	static, sstats, err := fpvm.AnalyzeSites(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sstats.Instructions == 0 || len(static) < len(sites) {
+		t.Errorf("static analysis: %+v (%d sites vs %d profiled)", sstats, len(static), len(sites))
+	}
+	patched, err := fpvm.PatchImage(img, sites, fpvm.PatchMagic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patched.Section(".text").Data) <= len(img.Section(".text").Data) {
+		t.Error("patching did not grow text")
+	}
+	// PrepareForFPVM is the one-call version.
+	prepared, err := fpvm.PrepareForFPVM(img, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fpvm.Run(prepared, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := fpvm.RunNative(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stdout != native.Stdout {
+		t.Errorf("prepared output %q != native %q", res.Stdout, native.Stdout)
+	}
+}
+
+// TestPrepareNoSites: images without escape sites pass through unchanged.
+func TestPrepareNoSites(t *testing.T) {
+	img := buildDivLoop(t, 5)
+	prepared, err := fpvm.PrepareForFPVM(img, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prepared != img {
+		t.Error("site-free image was rewritten")
+	}
+}
+
+// TestDeterminism: the simulator must be fully deterministic.
+func TestDeterminism(t *testing.T) {
+	img, err := workloads.Build(workloads.Pendulum, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true, Profile: true}
+	a, err := fpvm.Run(img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fpvm.Run(img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Stdout != b.Stdout || a.Traps != b.Traps ||
+		a.EmulatedInsts != b.EmulatedInsts || a.GCRuns != b.GCRuns {
+		t.Errorf("nondeterministic runs: %+v vs %+v", a, b)
+	}
+}
+
+// TestAllAltSystemsRunWorkload: every arithmetic system completes a real
+// workload.
+func TestAllAltSystemsRunWorkload(t *testing.T) {
+	img, err := workloads.Build(workloads.Lorenz, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []fpvm.AltKind{
+		fpvm.AltBoxed, fpvm.AltMPFR, fpvm.AltPosit, fpvm.AltInterval, fpvm.AltRational,
+	} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			res, err := fpvm.Run(img, fpvm.Config{Alt: kind, Seq: true, Short: true})
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			if res.Traps == 0 || len(res.Stdout) == 0 {
+				t.Errorf("%s: traps=%d stdout=%q", kind, res.Traps, res.Stdout)
+			}
+		})
+	}
+}

@@ -1,0 +1,512 @@
+package fpvm_test
+
+// The benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (§6), plus ablations for the design choices DESIGN.md
+// calls out. Each benchmark executes complete virtualized runs and reports
+// the paper's metrics via b.ReportMetric:
+//
+//	slowdown-x        end-to-end slowdown vs native (Figures 4, 11)
+//	lbratio-x         slowdown from the altmath lower bound (Figures 5, 12)
+//	cyc/emul-inst     amortized per-instruction cost (Figures 1, 6, 13)
+//	insts/trap        sequence amortization factor (§4, Figure 10)
+//	cyc/trap          trap delegation cost (Figure 2)
+//	cyc/corr-event    correctness trap cost (Figure 3)
+//
+// Absolute wall-clock ns/op measures the *simulator*, not the paper's
+// system; the reported custom metrics are the reproduction targets.
+
+import (
+	"fmt"
+	"testing"
+
+	"fpvm"
+	"fpvm/internal/alt"
+	"fpvm/internal/experiments"
+	fpvmrt "fpvm/internal/fpvm"
+	"fpvm/internal/hostlib"
+	"fpvm/internal/kernel"
+	"fpvm/internal/machine"
+	"fpvm/internal/mem"
+	"fpvm/internal/obj"
+	"fpvm/internal/telemetry"
+	"fpvm/internal/workloads"
+)
+
+// prepared caches built+patched workload images and native baselines so
+// the benchmark loop measures runs, not compilation.
+type prepared struct {
+	img    *obj.Image // patched with magic traps
+	orig   *obj.Image // unpatched original
+	native *fpvm.Result
+}
+
+var prepCache = map[workloads.Name]*prepared{}
+
+func prep(b *testing.B, name workloads.Name) *prepared {
+	b.Helper()
+	if p, ok := prepCache[name]; ok {
+		return p
+	}
+	img, err := workloads.Build(name, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	patched, err := fpvm.PrepareForFPVM(img, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	native, err := fpvm.RunNative(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &prepared{img: patched, orig: img, native: native}
+	prepCache[name] = p
+	return p
+}
+
+func runCfg(b *testing.B, p *prepared, cfg fpvm.Config) *fpvm.Result {
+	b.Helper()
+	res, err := fpvm.Run(p.img, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+var benchConfigs = []fpvm.Config{
+	{Alt: fpvm.AltBoxed},
+	{Alt: fpvm.AltBoxed, Seq: true},
+	{Alt: fpvm.AltBoxed, Short: true},
+	{Alt: fpvm.AltBoxed, Seq: true, Short: true},
+}
+
+// BenchmarkFig1Baseline reproduces Figure 1: the per-emulated-instruction
+// cost breakdown of unaccelerated FPVM (NONE) under Boxed IEEE.
+func BenchmarkFig1Baseline(b *testing.B) {
+	for _, name := range workloads.All() {
+		b.Run(string(name), func(b *testing.B) {
+			p := prep(b, name)
+			var res *fpvm.Result
+			for i := 0; i < b.N; i++ {
+				res = runCfg(b, p, fpvm.Config{Alt: fpvm.AltBoxed})
+			}
+			per := res.Breakdown.PerInst()
+			total := 0.0
+			for _, v := range per {
+				total += v
+			}
+			b.ReportMetric(total, "cyc/emul-inst")
+			b.ReportMetric(per[telemetry.Kernel], "kern-cyc/inst")
+			b.ReportMetric(per[telemetry.Altmath], "altmath-cyc/inst")
+		})
+	}
+}
+
+// BenchmarkFig2TrapDelivery reproduces Figure 2: per-trap delegation cost
+// via POSIX signals vs the kernel module's short-circuit path (~8x).
+func BenchmarkFig2TrapDelivery(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		short bool
+	}{{"signal", false}, {"short-circuit", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var m *experiments.MicroDelivery
+			var err error
+			for i := 0; i < b.N; i++ {
+				m, err = experiments.RunMicroDelivery(500)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if mode.short {
+				b.ReportMetric(m.ShortPerTrap, "cyc/trap")
+			} else {
+				b.ReportMetric(m.SignalPerTrap, "cyc/trap")
+			}
+			b.ReportMetric(m.Reduction, "reduction-x")
+		})
+	}
+}
+
+// BenchmarkFig3MagicTrap reproduces Figure 3: correctness trap cost, int3
+// vs magic traps (paper: 14-120x).
+func BenchmarkFig3MagicTrap(b *testing.B) {
+	var m *experiments.MicroCorrectness
+	var err error
+	for i := 0; i < b.N; i++ {
+		m, err = experiments.RunMicroCorrectness(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(m.Int3PerEvent, "int3-cyc/event")
+	b.ReportMetric(m.MagicPerEvent, "magic-cyc/event")
+	b.ReportMetric(m.Reduction, "reduction-x")
+}
+
+// BenchmarkFig4Slowdown reproduces Figure 4 (and the Figure 5 lower-bound
+// ratios): end-to-end slowdown for every workload × configuration.
+func BenchmarkFig4Slowdown(b *testing.B) {
+	for _, name := range workloads.All() {
+		for _, cfg := range benchConfigs {
+			b.Run(fmt.Sprintf("%s/%s", name, cfg.ConfigName()), func(b *testing.B) {
+				p := prep(b, name)
+				var res *fpvm.Result
+				for i := 0; i < b.N; i++ {
+					res = runCfg(b, p, cfg)
+				}
+				b.ReportMetric(res.Slowdown(p.native.Cycles), "slowdown-x")
+				b.ReportMetric(res.SlowdownFromLowerBound(p.native.Cycles), "lbratio-x")
+			})
+		}
+	}
+}
+
+// BenchmarkFig6Breakdown reproduces Figure 6: optimized per-instruction
+// breakdowns and the per-configuration reduction factors.
+func BenchmarkFig6Breakdown(b *testing.B) {
+	for _, name := range workloads.All() {
+		b.Run(string(name), func(b *testing.B) {
+			p := prep(b, name)
+			var none, both *fpvm.Result
+			for i := 0; i < b.N; i++ {
+				none = runCfg(b, p, fpvm.Config{Alt: fpvm.AltBoxed})
+				both = runCfg(b, p, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true})
+			}
+			perNone := perInstTotal(none)
+			perBoth := perInstTotal(both)
+			b.ReportMetric(perBoth, "cyc/emul-inst")
+			b.ReportMetric(perNone/perBoth, "reduction-x")
+			b.ReportMetric(both.Breakdown.PerInst()[telemetry.Altmath]/perBoth, "altmath-frac")
+		})
+	}
+}
+
+func perInstTotal(r *fpvm.Result) float64 {
+	if r.EmulatedInsts == 0 {
+		return 0
+	}
+	return float64(r.Breakdown.Total()) / float64(r.EmulatedInsts)
+}
+
+// BenchmarkFig8to10SeqProfile reproduces the §6.3 sequence statistics:
+// distinct traces, amortization factor, and trace cache sizing (Figures
+// 8, 9, 10 and the cache-size discussion).
+func BenchmarkFig8to10SeqProfile(b *testing.B) {
+	for _, name := range workloads.All() {
+		b.Run(string(name), func(b *testing.B) {
+			p := prep(b, name)
+			var res *fpvm.Result
+			for i := 0; i < b.N; i++ {
+				res = runCfg(b, p, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true, Profile: true})
+			}
+			prof := res.SeqProfile
+			b.ReportMetric(float64(prof.NumTraces()), "traces")
+			b.ReportMetric(prof.AvgSeqLen(), "insts/trap")
+			b.ReportMetric(float64(prof.CacheSizeEstimate(90)), "cache-entries@90%")
+		})
+	}
+}
+
+// BenchmarkFig11to13MPFR reproduces Figures 11-13: the same sweep under
+// the 200-bit MPFR-like system, where altmath dominates.
+func BenchmarkFig11to13MPFR(b *testing.B) {
+	for _, name := range workloads.All() {
+		for _, base := range []fpvm.Config{
+			{Alt: fpvm.AltMPFR},
+			{Alt: fpvm.AltMPFR, Seq: true, Short: true},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", name, base.ConfigName()), func(b *testing.B) {
+				p := prep(b, name)
+				var res *fpvm.Result
+				for i := 0; i < b.N; i++ {
+					res = runCfg(b, p, base)
+				}
+				b.ReportMetric(res.Slowdown(p.native.Cycles), "slowdown-x")
+				b.ReportMetric(res.SlowdownFromLowerBound(p.native.Cycles), "lbratio-x")
+				b.ReportMetric(res.Breakdown.PerInst()[telemetry.Altmath]/perInstTotal(res), "altmath-frac")
+			})
+		}
+	}
+}
+
+// BenchmarkCorrTable reproduces the §5.1 comparison: profiled vs static
+// patch-site counts and the resulting correctness event rates.
+func BenchmarkCorrTable(b *testing.B) {
+	for _, name := range []workloads.Name{workloads.ThreeBody, workloads.Enzo} {
+		b.Run(string(name), func(b *testing.B) {
+			img, err := workloads.Build(name, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var nProf, nStatic int
+			for i := 0; i < b.N; i++ {
+				prof, _, err := fpvm.ProfileSites(img)
+				if err != nil {
+					b.Fatal(err)
+				}
+				static, _, err := fpvm.AnalyzeSites(img)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nProf, nStatic = len(prof), len(static)
+			}
+			b.ReportMetric(float64(nProf), "profiled-sites")
+			b.ReportMetric(float64(nStatic), "static-sites")
+		})
+	}
+}
+
+// ---------------------------------------------------------------- ablations
+
+// BenchmarkAblationDecodeCache: shrink the decode cache until it thrashes
+// (capacity 32 entries vs the 64K default) — decode costs replace decache
+// hits, inflating per-instruction cost.
+func BenchmarkAblationDecodeCache(b *testing.B) {
+	for _, cap := range []int{32, 0} {
+		label := "default-64k"
+		if cap != 0 {
+			label = fmt.Sprintf("cap-%d", cap)
+		}
+		b.Run(label, func(b *testing.B) {
+			p := prep(b, workloads.Enzo)
+			var res *fpvm.Result
+			for i := 0; i < b.N; i++ {
+				res = runCfg(b, p, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true, CacheCapacity: cap})
+			}
+			b.ReportMetric(perInstTotal(res), "cyc/emul-inst")
+			b.ReportMetric(res.Breakdown.PerInst()[telemetry.Decode], "decode-cyc/inst")
+		})
+	}
+}
+
+// BenchmarkAblationGCThreshold sweeps the collector trigger: low
+// thresholds collect often (high gc cost), high thresholds let boxes pile
+// up (bigger heap scans, fewer collections).
+func BenchmarkAblationGCThreshold(b *testing.B) {
+	for _, thr := range []int{256, 4096, 65536} {
+		b.Run(fmt.Sprintf("threshold-%d", thr), func(b *testing.B) {
+			p := prep(b, workloads.Enzo)
+			var res *fpvm.Result
+			for i := 0; i < b.N; i++ {
+				res = runCfg(b, p, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true, GCThreshold: thr})
+			}
+			b.ReportMetric(res.Breakdown.PerInst()[telemetry.GC], "gc-cyc/inst")
+			b.ReportMetric(float64(res.GCRuns), "gc-runs")
+		})
+	}
+}
+
+// BenchmarkAblationSeqTermination compares the §4.2 condition-(2) rule
+// (stop when no source is NaN-boxed) against emulating everything
+// emulatable — the paper's "unwarranted emulation" loss.
+func BenchmarkAblationSeqTermination(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		all  bool
+	}{{"stop-on-unboxed", false}, {"emulate-everything", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := prep(b, workloads.FFbench)
+			var res *fpvm.Result
+			for i := 0; i < b.N; i++ {
+				res = runCfg(b, p, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true, EmulateAll: mode.all})
+			}
+			b.ReportMetric(res.Slowdown(p.native.Cycles), "slowdown-x")
+			b.ReportMetric(res.Breakdown.AvgSeqLen(), "insts/trap")
+		})
+	}
+}
+
+// BenchmarkAblationPatching compares profiler-guided patching against the
+// conservative static-analysis site set (§5.1): more sites, more
+// correctness traps, more overhead.
+func BenchmarkAblationPatching(b *testing.B) {
+	img, err := workloads.Build(workloads.ThreeBody, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	profSites, _, err := fpvm.ProfileSites(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	staticSites, _, err := fpvm.AnalyzeSites(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		sites []uint64
+	}{{"profiled", profSites}, {"static", staticSites}} {
+		b.Run(mode.name, func(b *testing.B) {
+			patched, err := fpvm.PatchImage(img, mode.sites, fpvm.PatchMagic)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res *fpvm.Result
+			for i := 0; i < b.N; i++ {
+				res, err = fpvm.Run(patched, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Breakdown.CorrEvents), "corr-events")
+			b.ReportMetric(res.Breakdown.PerInst()[telemetry.Corr], "corr-cyc/inst")
+		})
+	}
+}
+
+// BenchmarkAblationWrapStyle verifies §5.3's claim that magic wrapping and
+// forward (LD_PRELOAD) wrapping have identical performance.
+func BenchmarkAblationWrapStyle(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		magic bool
+	}{{"forward", false}, {"magic", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := prep(b, workloads.ThreeBody)
+			var res *fpvm.Result
+			for i := 0; i < b.N; i++ {
+				res = runCfg(b, p, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true, MagicWraps: mode.magic})
+			}
+			b.ReportMetric(res.Breakdown.PerInst()[telemetry.FCall], "fcall-cyc/inst")
+			b.ReportMetric(float64(res.Cycles), "total-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationPrecision sweeps MPFR precision: altmath cost grows
+// with limb count (quadratically for mul/div), dragging slowdown with it.
+func BenchmarkAblationPrecision(b *testing.B) {
+	for _, prec := range []uint{64, 200, 512, 1024} {
+		b.Run(fmt.Sprintf("prec-%d", prec), func(b *testing.B) {
+			p := prep(b, workloads.Lorenz)
+			var res *fpvm.Result
+			for i := 0; i < b.N; i++ {
+				res = runCfg(b, p, fpvm.Config{Alt: fpvm.AltMPFR, Precision: prec, Seq: true, Short: true})
+			}
+			b.ReportMetric(res.Slowdown(p.native.Cycles), "slowdown-x")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the host-side simulator itself
+// (useful when hacking on the interpreter, not a paper figure).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	p := prep(b, workloads.Lorenz)
+	b.Run("native", func(b *testing.B) {
+		var insts uint64
+		for i := 0; i < b.N; i++ {
+			res, err := fpvm.RunNative(p.img)
+			if err != nil {
+				b.Fatal(err)
+			}
+			insts = res.Instructions
+		}
+		b.ReportMetric(float64(insts), "guest-insts/run")
+	})
+}
+
+// BenchmarkFutureHW evaluates the paper's §8 future-work hardware model
+// (user-level FP traps + hardware box-escape detection) against the best
+// software configuration. No kernel module, no signal path, no binary
+// patching — the remaining overhead is decode/bind/emul/altmath.
+func BenchmarkFutureHW(b *testing.B) {
+	for _, name := range workloads.All() {
+		for _, mode := range []struct {
+			label string
+			cfg   fpvm.Config
+		}{
+			{"SEQ-SHORT", fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true}},
+			{"SEQ-FUTUREHW", fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, FutureHW: true}},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", name, mode.label), func(b *testing.B) {
+				p := prep(b, name)
+				// FutureHW removes the need for patching: it runs the
+				// unpatched original; the software config needs the
+				// patched image.
+				img := p.img
+				if mode.cfg.FutureHW {
+					img = p.orig
+				}
+				var res *fpvm.Result
+				var err error
+				for i := 0; i < b.N; i++ {
+					res, err = fpvm.Run(img, mode.cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(res.Slowdown(p.native.Cycles), "slowdown-x")
+				b.ReportMetric(res.SlowdownFromLowerBound(p.native.Cycles), "lbratio-x")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationMPFRTemps models §6.4's suggested future optimization:
+// eliminating MPFR's per-operation temporary allocations, which the paper
+// observes as extra gc overhead (particularly in Enzo).
+func BenchmarkAblationMPFRTemps(b *testing.B) {
+	img, err := workloads.Build(workloads.Enzo, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	patched, err := fpvm.PrepareForFPVM(img, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		temps int
+	}{{"with-temps", 2}, {"temp-free", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys := alt.NewMPFR(200).WithTemps(mode.temps)
+			var tel *telemetry.Breakdown
+			for i := 0; i < b.N; i++ {
+				res, err := runWithSystem(patched, sys)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tel = res
+			}
+			b.ReportMetric(tel.PerInst()[telemetry.GC], "gc-cyc/inst")
+		})
+	}
+}
+
+// runWithSystem runs an image under a custom alt.System instance (the
+// public Config only names systems; ablations need instances).
+func runWithSystem(img *obj.Image, sys alt.System) (*telemetry.Breakdown, error) {
+	as := mem.NewAddressSpace()
+	m := machine.New(as)
+	k := kernel.New()
+	k.LoadModule()
+	p := kernel.NewProcess(k, m, img.Name)
+	lib := hostlib.Install(p)
+	rt, err := fpvmrt.Attach(p, fpvmrt.Config{Alt: sys, Seq: true, Short: true})
+	if err != nil {
+		return nil, err
+	}
+	rt.InstallWrappers(lib)
+	as.Map("stack", obj.StackTop-obj.StackSize, obj.StackSize, mem.PermRW)
+	if err := img.Load(as, rt.WrapResolver(func(n string) (uint64, bool) {
+		if s, ok := img.Lookup(n); ok {
+			return s.Addr, true
+		}
+		a, ok := lib.Exports[n]
+		return a, ok
+	})); err != nil {
+		return nil, err
+	}
+	m.InvalidateICache()
+	m.CPU.RIP = img.Entry
+	m.CPU.GPR[4] = obj.StackTop - 64
+	m.CPU.MXCSR = machine.MXCSRTrapAll
+	if err := p.Run(500_000_000); err != nil {
+		return nil, err
+	}
+	if err := rt.Err(); err != nil {
+		return nil, err
+	}
+	return &rt.Tel, nil
+}

@@ -1,0 +1,55 @@
+// Command fpvm-analyze runs the conservative static analysis (the
+// original FPVM's approach, §2.6) over a workload and compares its patch
+// sites against the profiler's (§5.1).
+//
+// Usage:
+//
+//	fpvm-analyze -workload three_body_simulation [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpvm"
+	"fpvm/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "three_body_simulation", "workload name")
+	scale := flag.Int("scale", 1, "workload scale multiplier")
+	flag.Parse()
+
+	img, err := workloads.Build(workloads.Name(*workload), *scale)
+	if err != nil {
+		fatal(err)
+	}
+	static, stats, err := fpvm.AnalyzeSites(img)
+	if err != nil {
+		fatal(err)
+	}
+	prof, _, err := fpvm.ProfileSites(img)
+	if err != nil {
+		fatal(err)
+	}
+	profSet := make(map[uint64]bool, len(prof))
+	for _, s := range prof {
+		profSet[s] = true
+	}
+	fmt.Printf("%s: %d instructions analyzed, %d FP stores, %d int loads\n",
+		*workload, stats.Instructions, stats.FPStores, stats.IntLoads)
+	fmt.Printf("static sites: %d; profiler sites: %d (dynamic subset)\n", len(static), len(prof))
+	for _, s := range static {
+		tag := ""
+		if profSet[s] {
+			tag = "   <- also found by profiler"
+		}
+		fmt.Printf("  %#x%s\n", s, tag)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpvm-analyze:", err)
+	os.Exit(1)
+}

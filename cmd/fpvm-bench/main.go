@@ -1,0 +1,126 @@
+// Command fpvm-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fpvm-bench [-fig all|1|2|3|4|5|6|7|8|9|10|11|12|13|corr|cache] [-scale N] [-v]
+//
+// Figures 1-10 run with Boxed IEEE (the paper's worst-case system);
+// figures 11-13 rerun the sweep with the MPFR-like 200-bit system.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fpvm"
+	"fpvm/internal/experiments"
+	"fpvm/internal/workloads"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (all, 1-13, corr, cache)")
+	scale := flag.Int("scale", 1, "workload scale multiplier")
+	rank := flag.Int("rank", 3, "trace rank for -fig 7")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	flag.Parse()
+
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+
+	out := os.Stdout
+	need := func(f string) bool { return *fig == "all" || *fig == f }
+
+	var boxed, mpfr *experiments.Suite
+	var err error
+	needBoxed := false
+	for _, f := range []string{"1", "4", "5", "6", "7", "8", "9", "10", "corr", "cache"} {
+		needBoxed = needBoxed || need(f)
+	}
+	if needBoxed {
+		if boxed, err = experiments.Run(fpvm.AltBoxed, *scale, progress); err != nil {
+			fatal(err)
+		}
+	}
+	if need("11") || need("12") || need("13") {
+		if mpfr, err = experiments.Run(fpvm.AltMPFR, *scale, progress); err != nil {
+			fatal(err)
+		}
+	}
+
+	if need("1") {
+		boxed.Fig1(out)
+		fmt.Fprintln(out)
+	}
+	if need("2") {
+		if err := experiments.Fig2(out, int64(2000**scale)); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out)
+	}
+	if need("3") {
+		if err := experiments.Fig3(out, int64(1000**scale)); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out)
+	}
+	if need("4") {
+		boxed.Fig4(out)
+		avg, best, bestName := boxed.AvgReduction()
+		fmt.Fprintf(out, "SEQ SHORT reduction vs NONE: avg %.1fx, best %.1fx (%s)\n\n", avg, best, bestName)
+	}
+	if need("5") {
+		boxed.Fig5(out)
+		fmt.Fprintln(out)
+	}
+	if need("6") {
+		boxed.Fig6(out)
+		fmt.Fprintln(out)
+	}
+	if need("7") {
+		if err := boxed.Fig7(out, workloads.Lorenz, *rank); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out)
+	}
+	if need("8") {
+		boxed.Fig8(out)
+		fmt.Fprintln(out)
+	}
+	if need("9") {
+		boxed.Fig9(out)
+		fmt.Fprintln(out)
+	}
+	if need("10") {
+		boxed.Fig10(out)
+		fmt.Fprintln(out)
+	}
+	if need("corr") {
+		boxed.CorrTable(out)
+		fmt.Fprintln(out)
+	}
+	if need("cache") {
+		boxed.CacheTable(out)
+		fmt.Fprintln(out)
+	}
+	if need("11") {
+		mpfr.Fig4(out)
+		fmt.Fprintln(out)
+	}
+	if need("12") {
+		mpfr.Fig5(out)
+		fmt.Fprintln(out)
+	}
+	if need("13") {
+		mpfr.Fig6(out)
+		fmt.Fprintln(out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpvm-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command fpvm-dis disassembles a workload image: symbols, sections, and
+// the decoded text with patch sites highlighted.
+//
+// Usage:
+//
+//	fpvm-dis -workload lorenz_attractor [-patch int3|magic] [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpvm"
+	"fpvm/internal/isa"
+	"fpvm/internal/obj"
+	"fpvm/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "lorenz_attractor", "workload name")
+	patch := flag.String("patch", "", "apply correctness patches first: int3 or magic")
+	scale := flag.Int("scale", 1, "workload scale multiplier")
+	flag.Parse()
+
+	img, err := workloads.Build(workloads.Name(*workload), *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	var sites []uint64
+	if *patch != "" {
+		sites, _, err = fpvm.ProfileSites(img)
+		if err != nil {
+			fatal(err)
+		}
+		style := fpvm.PatchInt3
+		if *patch == "magic" {
+			style = fpvm.PatchMagic
+		}
+		if img, err = fpvm.PatchImage(img, sites, style); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("%s: entry %#x\n\nsections:\n", img.Name, img.Entry)
+	for _, s := range img.Sections {
+		fmt.Printf("  %-10s %#10x  %8d bytes  %s\n", s.Name, s.Addr, len(s.Data), s.Perm)
+	}
+
+	fmt.Println("\nsymbols:")
+	for _, sym := range img.Symbols() {
+		fmt.Printf("  %#10x  %-6s %s\n", sym.Addr, sym.Kind, sym.Name)
+	}
+
+	// Function starts for interleaved labels.
+	funcAt := map[uint64]string{}
+	for _, sym := range img.Symbols() {
+		if sym.Kind == obj.SymFunc {
+			funcAt[sym.Addr] = sym.Name
+		}
+	}
+
+	text := img.Section(".text")
+	if text == nil {
+		return
+	}
+	fmt.Println("\ndisassembly:")
+	off := 0
+	for off < len(text.Data) {
+		addr := text.Addr + uint64(off)
+		if name, ok := funcAt[addr]; ok {
+			fmt.Printf("\n%s:\n", name)
+		}
+		in, err := isa.Decode(text.Data[off:], addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %#10x:  %s\n", addr, in.String())
+		off += int(in.Len)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpvm-dis:", err)
+	os.Exit(1)
+}

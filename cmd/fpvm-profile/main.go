@@ -1,0 +1,42 @@
+// Command fpvm-profile runs the PIN-like memory profiler (§5.1) over a
+// workload and prints the memory-escape patch sites it finds.
+//
+// Usage:
+//
+//	fpvm-profile -workload three_body_simulation [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpvm"
+	"fpvm/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "three_body_simulation", "workload name")
+	scale := flag.Int("scale", 1, "workload scale multiplier")
+	flag.Parse()
+
+	img, err := workloads.Build(workloads.Name(*workload), *scale)
+	if err != nil {
+		fatal(err)
+	}
+	sites, stats, err := fpvm.ProfileSites(img)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d float stores, %d int stores, %d int loads, %d blocks marked at exit\n",
+		*workload, stats.FPStores, stats.IntStores, stats.IntLoads, stats.MarkedBlocks)
+	fmt.Printf("patch sites (%d):\n", len(sites))
+	for _, s := range sites {
+		fmt.Printf("  %#x\n", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpvm-profile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command fpvm-run executes a workload under floating point
+// virtualization (or natively) and reports timing and telemetry.
+//
+// Usage:
+//
+//	fpvm-run -workload lorenz_attractor [-alt boxed|mpfr|posit|interval|rational]
+//	         [-seq] [-short] [-native] [-nopatch] [-int3] [-scale N] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fpvm"
+	"fpvm/internal/telemetry"
+	"fpvm/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "lorenz_attractor", "workload name: "+names())
+	altKind := flag.String("alt", "boxed", "alternative arithmetic system")
+	precision := flag.Uint("precision", 200, "MPFR precision in bits")
+	seq := flag.Bool("seq", false, "enable instruction sequence emulation (§4)")
+	short := flag.Bool("short", false, "enable trap short-circuiting (§3)")
+	native := flag.Bool("native", false, "run without FPVM")
+	nopatch := flag.Bool("nopatch", false, "skip correctness patching")
+	int3 := flag.Bool("int3", false, "use int3 correctness traps instead of magic traps")
+	magicWraps := flag.Bool("magicwraps", false, "use symbol-rewrite wrapping (§5.3)")
+	scale := flag.Int("scale", 1, "workload scale multiplier")
+	stats := flag.Bool("stats", false, "print the telemetry breakdown")
+	flag.Parse()
+
+	img, err := workloads.Build(workloads.Name(*workload), *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *native {
+		res, err := fpvm.RunNative(img)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Stdout)
+		fmt.Fprintf(os.Stderr, "native: %d cycles, %d instructions (%d FP)\n",
+			res.Cycles, res.Instructions, res.FPInstructions)
+		return
+	}
+
+	runImg := img
+	if !*nopatch {
+		if runImg, err = fpvm.PrepareForFPVM(img, !*int3); err != nil {
+			fatal(err)
+		}
+	}
+	nat, err := fpvm.RunNative(img)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := fpvm.Config{
+		Alt:        fpvm.AltKind(*altKind),
+		Precision:  *precision,
+		Seq:        *seq,
+		Short:      *short,
+		MagicWraps: *magicWraps,
+		Profile:    true,
+	}
+	res, err := fpvm.Run(runImg, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Stdout)
+	fmt.Fprintf(os.Stderr,
+		"fpvm[%s,%s]: %d cycles, slowdown %.1fx (lower bound %.2fx, ratio %.2fx)\n",
+		cfg.ConfigName(), *altKind, res.Cycles,
+		res.Slowdown(nat.Cycles), res.LowerBoundSlowdown(nat.Cycles),
+		res.SlowdownFromLowerBound(nat.Cycles))
+	fmt.Fprintf(os.Stderr,
+		"traps %d, emulated %d (%.1f insts/trap), gc runs %d, corr %d, fcall %d\n",
+		res.Traps, res.EmulatedInsts, res.Breakdown.AvgSeqLen(),
+		res.GCRuns, res.Breakdown.CorrEvents, res.Breakdown.FCallEvents)
+	if *stats {
+		fmt.Fprintln(os.Stderr, telemetry.Header())
+		fmt.Fprintln(os.Stderr, res.Breakdown.Row(cfg.ConfigName()))
+	}
+}
+
+func names() string {
+	var all []string
+	for _, n := range workloads.All() {
+		all = append(all, string(n))
+	}
+	return strings.Join(all, ", ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpvm-run:", err)
+	os.Exit(1)
+}

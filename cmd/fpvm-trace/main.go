@@ -1,0 +1,71 @@
+// Command fpvm-trace dumps captured instruction sequences (Figure 7) and
+// the sequence statistics of §6.3.
+//
+// Usage:
+//
+//	fpvm-trace -workload lorenz_attractor [-rank 3] [-top 10] [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpvm"
+	"fpvm/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "lorenz_attractor", "workload name")
+	rank := flag.Int("rank", 3, "dump the rank-k most popular trace")
+	top := flag.Int("top", 10, "list the top-k traces")
+	scale := flag.Int("scale", 1, "workload scale multiplier")
+	flag.Parse()
+
+	img, err := workloads.Build(workloads.Name(*workload), *scale)
+	if err != nil {
+		fatal(err)
+	}
+	patched, err := fpvm.PrepareForFPVM(img, true)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := fpvm.Run(patched, fpvm.Config{
+		Alt: fpvm.AltBoxed, Seq: true, Short: true, Profile: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	prof := res.SeqProfile
+	fmt.Printf("%s: %d traps, %d emulated instructions, %d distinct sequences, avg length %.1f\n\n",
+		*workload, prof.Traps, prof.EmulatedTotal, prof.NumTraces(), prof.AvgSeqLen())
+
+	fmt.Printf("top %d sequences by emulated-instruction contribution:\n", *top)
+	for i, tr := range prof.ByPopularity() {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  #%-3d start=%#x len=%-4d count=%-8d (%5.1f%%)  terminated by %q (%s)\n",
+			i+1, tr.StartRIP, tr.Len, tr.Count,
+			100*float64(tr.EmulatedInsts())/float64(prof.EmulatedTotal),
+			tr.Terminator, tr.Reason)
+	}
+
+	tr, err := prof.Trace(*rank)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nrank-%d trace (start %#x):\n", *rank, tr.StartRIP)
+	for i, s := range tr.Insts {
+		marker := "   "
+		if i == len(tr.Insts)-1 {
+			marker = " * " // the sequence-terminating instruction
+		}
+		fmt.Printf("%s%s\n", marker, s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpvm-trace:", err)
+	os.Exit(1)
+}

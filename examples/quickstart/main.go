@@ -1,0 +1,70 @@
+// Quickstart: compile a tiny numeric kernel for the simulated machine,
+// run it natively, then run the same unmodified binary under floating
+// point virtualization with the paper's accelerations enabled.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpvm"
+	c "fpvm/internal/compile"
+)
+
+func main() {
+	// A little program in the kernel language: iterate x = x/3 + 0.5
+	// (every division is inexact, so under FPVM every iteration traps).
+	p := c.NewProgram("quickstart")
+	p.Globals["x"] = 1.0
+	p.AddFunc(&c.Func{Name: "main", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(0), Limit: c.IConst(1000), Body: []c.Stmt{
+			c.Assign{Dst: "x", Src: c.Add2(c.Div2(c.Var("x"), c.Num(3)), c.Num(0.5))},
+		}},
+		c.PrintF64{X: c.Var("x")},
+	}})
+
+	img, err := c.Compile(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Native baseline.
+	native, err := fpvm.RunNative(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("native:       %s  (%d cycles)\n", trim(native.Stdout), native.Cycles)
+
+	// The same binary under FPVM with Boxed IEEE: bit-for-bit identical
+	// output, now with every FP operation virtualized.
+	res, err := fpvm.Run(img, fpvm.Config{
+		Alt:   fpvm.AltBoxed,
+		Seq:   true, // instruction sequence emulation (§4)
+		Short: true, // trap short-circuiting kernel module (§3)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fpvm[boxed]:  %s  (%d cycles, slowdown %.1fx)\n",
+		trim(res.Stdout), res.Cycles, res.Slowdown(native.Cycles))
+	fmt.Printf("  %d traps, %d instructions emulated (%.1f per trap)\n",
+		res.Traps, res.EmulatedInsts, res.Breakdown.AvgSeqLen())
+	if res.Stdout == native.Stdout {
+		fmt.Println("  output is bit-for-bit identical to native — virtualization is transparent")
+	}
+
+	// Reconfigure to 200-bit MPFR-style arithmetic: no recompilation, the
+	// binary is untouched.
+	hp, err := fpvm.Run(img, fpvm.Config{Alt: fpvm.AltMPFR, Seq: true, Short: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fpvm[mpfr]:   %s  (200-bit arithmetic, same binary)\n", trim(hp.Stdout))
+}
+
+func trim(s string) string {
+	if n := len(s); n > 0 && s[n-1] == '\n' {
+		return s[:n-1]
+	}
+	return s
+}

@@ -1,0 +1,333 @@
+// Package fpvm is a Go reproduction of "Virtualization So Light, it
+// Floats! Accelerating Floating Point Virtualization" (HPDC '25): a
+// floating point virtual machine that lets unmodified (simulated x64)
+// binaries run on alternative arithmetic systems via trap-and-emulate,
+// together with the paper's three accelerations — trap short-circuiting,
+// instruction sequence emulation, and kernel-bypass correctness
+// instrumentation.
+//
+// The public API orchestrates the full simulated stack: a paged address
+// space, an x64-flavoured machine with precise SSE exception semantics, a
+// kernel with POSIX signal delivery and the FPVM kernel module, the host
+// libc/libm bridge, and the FPVM runtime itself.
+//
+// Quickstart:
+//
+//	img := workloads.Build(workloads.Lorenz, workloads.SmallParams())
+//	res, err := fpvm.Run(img, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true})
+//	fmt.Println(res.Stdout, res.Slowdown(native.Cycles))
+package fpvm
+
+import (
+	"fmt"
+
+	"fpvm/internal/alt"
+	"fpvm/internal/dcache"
+	"fpvm/internal/hostlib"
+	"fpvm/internal/kernel"
+	"fpvm/internal/machine"
+	"fpvm/internal/mem"
+	"fpvm/internal/obj"
+	"fpvm/internal/telemetry"
+
+	fpvmrt "fpvm/internal/fpvm"
+)
+
+// AltKind selects the alternative arithmetic system.
+type AltKind string
+
+const (
+	// AltBoxed is the paper's "Boxed IEEE" worst-case system: hardware
+	// doubles stored in heap boxes behind NaN-boxed pointers.
+	AltBoxed AltKind = "boxed"
+	// AltMPFR is the from-scratch arbitrary-precision binary float
+	// system standing in for GNU MPFR (default 200 bits).
+	AltMPFR AltKind = "mpfr"
+	// AltPosit computes in 64-bit posit arithmetic (es=2).
+	AltPosit AltKind = "posit"
+	// AltPosit32 computes in 32-bit posits.
+	AltPosit32 AltKind = "posit32"
+	// AltInterval computes in outward-rounded interval arithmetic.
+	AltInterval AltKind = "interval"
+	// AltRational computes in exact rational arithmetic.
+	AltRational AltKind = "rational"
+)
+
+// Config configures one virtualized run.
+type Config struct {
+	// Alt selects the alternative arithmetic system (default AltBoxed).
+	Alt AltKind
+
+	// Precision is the significand precision in bits for AltMPFR
+	// (default 200, matching the paper's MPFR configuration).
+	Precision uint
+
+	// Seq enables instruction sequence emulation (§4).
+	Seq bool
+
+	// Short enables trap short-circuiting via the kernel module (§3).
+	Short bool
+
+	// MagicWraps selects Lief-style symbol rewriting for foreign function
+	// wrappers instead of LD_PRELOAD forward wrapping (§5.3). Identical
+	// cost; mechanism ablation only.
+	MagicWraps bool
+
+	// GCThreshold, CacheCapacity, SeqLimit tune the runtime (0 =
+	// defaults: 4096 boxes, 64K entries, 256 instructions).
+	GCThreshold   int
+	CacheCapacity int
+	SeqLimit      int
+
+	// Profile collects per-sequence statistics (Figures 7-10).
+	Profile bool
+
+	// EmulateAll disables the "no NaN-boxed source" sequence termination
+	// rule (ablation of the §4.1 tradeoff).
+	EmulateAll bool
+
+	// FutureHW enables the paper's §8 future-work hardware model:
+	// user-level FP traps delivered without entering the kernel, and
+	// hardware NaN-box escape detection that eliminates correctness
+	// patching entirely. Overrides Short.
+	FutureHW bool
+
+	// MaxSteps bounds execution in event boundaries (0 = 500M).
+	MaxSteps uint64
+}
+
+// ConfigName renders the paper's config label (NONE/SEQ/SHORT/SEQ SHORT).
+func (c Config) ConfigName() string {
+	switch {
+	case c.Seq && c.Short:
+		return "SEQ SHORT"
+	case c.Seq:
+		return "SEQ"
+	case c.Short:
+		return "SHORT"
+	}
+	return "NONE"
+}
+
+// NewAltSystem instantiates the configured alternative arithmetic system.
+func NewAltSystem(kind AltKind, precision uint) (alt.System, error) {
+	if precision == 0 {
+		precision = 200
+	}
+	switch kind {
+	case AltBoxed, "":
+		return alt.NewBoxedIEEE(), nil
+	case AltMPFR:
+		return alt.NewMPFR(precision), nil
+	case AltPosit:
+		return alt.NewPosit(), nil
+	case AltPosit32:
+		return alt.NewPosit32(), nil
+	case AltInterval:
+		return alt.NewInterval(), nil
+	case AltRational:
+		return alt.NewRational(), nil
+	}
+	return nil, fmt.Errorf("fpvm: unknown alternative arithmetic system %q", kind)
+}
+
+// Result reports a completed run.
+type Result struct {
+	Stdout   string
+	ExitCode int
+
+	// Cycles is the total virtual cycle count (guest + kernel + FPVM).
+	Cycles uint64
+
+	// Instructions / FPInstructions are natively retired counts.
+	Instructions   uint64
+	FPInstructions uint64
+
+	// Traps is the number of FP trap deliveries; EmulatedInsts the
+	// instructions FPVM emulated.
+	Traps         uint64
+	EmulatedInsts uint64
+
+	// Breakdown is the telemetry cost breakdown (nil for native runs).
+	Breakdown *telemetry.Breakdown
+
+	// SeqProfile holds sequence statistics when Config.Profile was set.
+	SeqProfile *dcache.SeqProfile
+
+	// ShortActive reports whether the kernel-module path engaged.
+	ShortActive bool
+
+	// GCRuns, Promotions, Demotions, DecodeCacheEntries expose runtime
+	// internals for the evaluation harness.
+	GCRuns             uint64
+	Promotions         uint64
+	Demotions          uint64
+	DecodeCacheEntries int
+
+	// KernelStats snapshots delegation counters.
+	KernelStats kernel.Stats
+}
+
+// AltmathCycles returns cycles spent in the alternative arithmetic system
+// (the paper's intrinsic lower-bound component).
+func (r *Result) AltmathCycles() uint64 {
+	if r.Breakdown == nil {
+		return 0
+	}
+	return r.Breakdown.Cycles[telemetry.Altmath]
+}
+
+// Slowdown returns this run's slowdown relative to a native cycle count.
+func (r *Result) Slowdown(nativeCycles uint64) float64 {
+	if nativeCycles == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(nativeCycles)
+}
+
+// LowerBoundSlowdown returns the intrinsic slowdown of the alternative
+// arithmetic alone: (native + altmath) / native (§6.1).
+func (r *Result) LowerBoundSlowdown(nativeCycles uint64) float64 {
+	if nativeCycles == 0 {
+		return 0
+	}
+	return float64(nativeCycles+r.AltmathCycles()) / float64(nativeCycles)
+}
+
+// SlowdownFromLowerBound returns slowdown relative to the lower bound
+// (Figure 5: 1.0 = zero virtualization overhead).
+func (r *Result) SlowdownFromLowerBound(nativeCycles uint64) float64 {
+	lb := nativeCycles + r.AltmathCycles()
+	if lb == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(lb)
+}
+
+const defaultMaxSteps = 500_000_000
+
+// RunNative executes img without FPVM (MXCSR fully masked) and returns
+// the baseline result.
+func RunNative(img *obj.Image) (*Result, error) {
+	as := mem.NewAddressSpace()
+	m := machine.New(as)
+	k := kernel.New()
+	p := kernel.NewProcess(k, m, img.Name)
+	lib := hostlib.Install(p)
+
+	if err := loadAndStart(p, img, resolverFor(img, lib)); err != nil {
+		return nil, err
+	}
+	err := p.Run(defaultMaxSteps)
+	res := &Result{
+		Stdout:         p.Stdout.String(),
+		ExitCode:       p.ExitCode,
+		Cycles:         m.Cycles,
+		Instructions:   m.Instructions,
+		FPInstructions: m.FPInstructions,
+		KernelStats:    k.Stats,
+	}
+	return res, err
+}
+
+// Run executes img under FPVM with cfg.
+func Run(img *obj.Image, cfg Config) (*Result, error) {
+	sys, err := NewAltSystem(cfg.Alt, cfg.Precision)
+	if err != nil {
+		return nil, err
+	}
+
+	as := mem.NewAddressSpace()
+	m := machine.New(as)
+	k := kernel.New()
+	if cfg.Short {
+		k.LoadModule()
+	}
+	p := kernel.NewProcess(k, m, img.Name)
+	lib := hostlib.Install(p)
+
+	rt, err := fpvmrt.Attach(p, fpvmrt.Config{
+		Alt:           sys,
+		Seq:           cfg.Seq,
+		Short:         cfg.Short,
+		MagicWraps:    cfg.MagicWraps,
+		GCThreshold:   cfg.GCThreshold,
+		CacheCapacity: cfg.CacheCapacity,
+		SeqLimit:      cfg.SeqLimit,
+		Profile:       cfg.Profile,
+		EmulateAll:    cfg.EmulateAll,
+		FutureHW:      cfg.FutureHW,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.InstallWrappers(lib)
+
+	runImg := img
+	if cfg.MagicWraps {
+		runImg = img.Clone()
+		rt.ApplyMagicWraps(runImg)
+	}
+
+	if err := loadAndStart(p, runImg, rt.WrapResolver(resolverFor(runImg, lib))); err != nil {
+		return nil, err
+	}
+	// FPVM's Attach set MXCSR before the machine was started; make sure
+	// program start didn't reset it.
+	m.CPU.MXCSR = machine.MXCSRTrapAll
+
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+	runErr := p.Run(maxSteps)
+	if runErr == nil {
+		runErr = rt.Err()
+	}
+
+	res := &Result{
+		Stdout:             p.Stdout.String(),
+		ExitCode:           p.ExitCode,
+		Cycles:             m.Cycles,
+		Instructions:       m.Instructions,
+		FPInstructions:     m.FPInstructions,
+		Traps:              rt.Tel.Traps,
+		EmulatedInsts:      rt.Tel.EmulatedInsts,
+		Breakdown:          &rt.Tel,
+		SeqProfile:         rt.Profile,
+		ShortActive:        rt.ShortActive,
+		GCRuns:             rt.GCRuns,
+		Promotions:         rt.Promotions,
+		Demotions:          rt.Demotions,
+		DecodeCacheEntries: rt.Cache().Len(),
+		KernelStats:        k.Stats,
+	}
+	return res, runErr
+}
+
+// resolverFor builds the base dynamic-link namespace: program symbols
+// first, then the host library (ld.so search order).
+func resolverFor(img *obj.Image, lib *hostlib.Library) obj.Resolver {
+	return func(name string) (uint64, bool) {
+		if sym, ok := img.Lookup(name); ok {
+			return sym.Addr, true
+		}
+		addr, ok := lib.Exports[name]
+		return addr, ok
+	}
+}
+
+// loadAndStart maps the stack and guest heap, loads the image, and points
+// the machine at the entry.
+func loadAndStart(p *kernel.Process, img *obj.Image, resolve obj.Resolver) error {
+	as := p.M.Mem
+	as.Map("stack", obj.StackTop-obj.StackSize, obj.StackSize, mem.PermRW)
+	as.Map("heap", obj.HeapBase, obj.HeapSize, mem.PermRW)
+	if err := img.Load(as, resolve); err != nil {
+		return err
+	}
+	p.M.InvalidateICache()
+	p.M.CPU.RIP = img.Entry
+	p.M.CPU.GPR[4] = obj.StackTop - 64 // rsp, leave a landing area
+	return nil
+}

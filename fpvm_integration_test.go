@@ -1,0 +1,147 @@
+package fpvm_test
+
+import (
+	"strings"
+	"testing"
+
+	"fpvm"
+	"fpvm/internal/asm"
+	"fpvm/internal/isa"
+	"fpvm/internal/obj"
+)
+
+// buildDivLoop assembles a small program: x = 1.0; repeat n times
+// { x /= 3.0; x += 0.5 }; print_f64(x); exit(0). The divisions are
+// inexact, so under FPVM every iteration traps.
+func buildDivLoop(t *testing.T, n int64) *obj.Image {
+	t.Helper()
+	b := asm.NewBuilder("divloop")
+	b.RoDouble("one", 1.0)
+	b.RoDouble("three", 3.0)
+	b.RoDouble("half", 0.5)
+
+	b.Func("main")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM1), "three")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RCX), n)
+	b.Label("loop")
+	b.RM(isa.DIVSD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM1))
+	b.RMData(isa.ADDSD, isa.XMM(isa.XMM0), "half")
+	b.MI(isa.SUB64I, isa.GPR(isa.RCX), 1)
+	b.Branch(isa.JNE, "loop")
+	b.CallImport("print_f64")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60) // exit
+	b.MI(isa.MOV64RI, isa.GPR(isa.RDI), 0)
+	b.Op0(isa.SYSCALL)
+
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return img
+}
+
+func TestNativeDivLoop(t *testing.T) {
+	img := buildDivLoop(t, 10)
+	res, err := fpvm.RunNative(img)
+	if err != nil {
+		t.Fatalf("native run: %v", err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit code = %d, stdout=%q", res.ExitCode, res.Stdout)
+	}
+	if !strings.Contains(res.Stdout, "0.7500042337") {
+		t.Fatalf("unexpected output %q", res.Stdout)
+	}
+	if res.FPInstructions == 0 {
+		t.Fatal("no FP instructions retired")
+	}
+}
+
+func TestFPVMBoxedMatchesNative(t *testing.T) {
+	img := buildDivLoop(t, 10)
+	native, err := fpvm.RunNative(img)
+	if err != nil {
+		t.Fatalf("native: %v", err)
+	}
+	for _, cfg := range []fpvm.Config{
+		{Alt: fpvm.AltBoxed},
+		{Alt: fpvm.AltBoxed, Seq: true},
+		{Alt: fpvm.AltBoxed, Short: true},
+		{Alt: fpvm.AltBoxed, Seq: true, Short: true},
+	} {
+		res, err := fpvm.Run(img, cfg)
+		if err != nil {
+			t.Fatalf("%+v: run: %v", cfg, err)
+		}
+		if res.Stdout != native.Stdout {
+			t.Errorf("%+v: stdout %q != native %q", cfg, res.Stdout, native.Stdout)
+		}
+		if res.Traps == 0 {
+			t.Errorf("%+v: expected FP traps", cfg)
+		}
+		if res.Cycles <= native.Cycles {
+			t.Errorf("%+v: FPVM (%d cycles) not slower than native (%d)", cfg, res.Cycles, native.Cycles)
+		}
+		if cfg.Short && !res.ShortActive {
+			t.Errorf("%+v: short-circuit did not engage", cfg)
+		}
+	}
+}
+
+func TestSeqEmulationAmortizes(t *testing.T) {
+	img := buildDivLoop(t, 200)
+	noSeq, err := fpvm.Run(img, fpvm.Config{Alt: fpvm.AltBoxed})
+	if err != nil {
+		t.Fatalf("noseq: %v", err)
+	}
+	seq, err := fpvm.Run(img, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true})
+	if err != nil {
+		t.Fatalf("seq: %v", err)
+	}
+	if seq.Traps >= noSeq.Traps {
+		t.Errorf("sequence emulation did not reduce traps: %d >= %d", seq.Traps, noSeq.Traps)
+	}
+	if avg := seq.Breakdown.AvgSeqLen(); avg < 1.5 {
+		t.Errorf("avg sequence length %.2f, want >= 1.5", avg)
+	}
+	if seq.Cycles >= noSeq.Cycles {
+		t.Errorf("SEQ (%d cycles) not faster than NONE (%d)", seq.Cycles, noSeq.Cycles)
+	}
+}
+
+func TestShortCircuitFasterThanSignals(t *testing.T) {
+	img := buildDivLoop(t, 200)
+	slow, err := fpvm.Run(img, fpvm.Config{Alt: fpvm.AltBoxed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := fpvm.Run(img, fpvm.Config{Alt: fpvm.AltBoxed, Short: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Cycles >= slow.Cycles {
+		t.Errorf("SHORT (%d) not faster than NONE (%d)", fast.Cycles, slow.Cycles)
+	}
+	if fast.KernelStats.ShortCircuits == 0 {
+		t.Error("no short-circuit deliveries recorded")
+	}
+	if fast.KernelStats.SignalsFPE != 0 {
+		t.Error("SIGFPE deliveries on the short-circuit path")
+	}
+}
+
+func TestMPFRRuns(t *testing.T) {
+	img := buildDivLoop(t, 20)
+	res, err := fpvm.Run(img, fpvm.Config{Alt: fpvm.AltMPFR, Seq: true, Short: true})
+	if err != nil {
+		t.Fatalf("mpfr run: %v", err)
+	}
+	// 1/3 at 200 bits then +0.5, demoted at print time: the double-
+	// rounded result matches the native double computation closely but
+	// not necessarily bitwise; the printed prefix should agree.
+	if !strings.HasPrefix(res.Stdout, "0.75") {
+		t.Errorf("mpfr output %q", res.Stdout)
+	}
+}

@@ -1,0 +1,121 @@
+package fpvm_test
+
+import (
+	"testing"
+
+	"fpvm"
+	c "fpvm/internal/compile"
+	"fpvm/internal/telemetry"
+	"fpvm/internal/workloads"
+)
+
+// TestFutureHWNoPatchingNeeded: under the §8 future-work hardware model,
+// an UNPATCHED binary with memory-escape hazards still produces
+// native-equal output — hardware box-escape detection replaces the whole
+// §5 patching apparatus ("in a fully virtualizable architecture, the corr
+// and fcall costs would not exist").
+func TestFutureHWNoPatchingNeeded(t *testing.T) {
+	// A program whose escape genuinely diverges: it prints the raw bits
+	// of a computed double through an integer load.
+	p := c.NewProgram("bits")
+	p.IntGlobals["bits"] = 0
+	p.AddFunc(&c.Func{Name: "main", Body: []c.Stmt{
+		c.Assign{Dst: "x", Src: c.Div2(c.Num(1), c.Num(3))},
+		c.IAssign{Dst: "bits", Src: c.F2Bits{X: c.Var("x")}},
+		c.Printf{Format: "%x\n", IArgs: []c.IExpr{c.ILoad{Arr: "bits"}}},
+	}})
+	img, err := c.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := fpvm.RunNative(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Control: the unpatched image WITHOUT the hardware assist diverges
+	// (the escape reads box bits).
+	plain, err := fpvm.Run(img, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stdout == native.Stdout {
+		t.Fatal("control failed: unpatched run matched native")
+	}
+	// With FutureHW: no patching, output matches.
+	res, err := fpvm.Run(img, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, FutureHW: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stdout != native.Stdout {
+		t.Errorf("FutureHW output %q != native %q", res.Stdout, native.Stdout)
+	}
+	if res.Breakdown.CorrEvents == 0 {
+		t.Error("no escape demotions recorded (sequence-emulated path)")
+	}
+	if res.KernelStats.SignalsFPE != 0 || res.KernelStats.ShortCircuits != 0 {
+		t.Error("kernel delivery used despite hardware user traps")
+	}
+
+	// Without sequence emulation the load runs natively, so the escape
+	// must surface as a machine-level hardware event.
+	res, err = fpvm.Run(img, fpvm.Config{Alt: fpvm.AltBoxed, FutureHW: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stdout != native.Stdout {
+		t.Errorf("FutureHW/NONE output %q != native %q", res.Stdout, native.Stdout)
+	}
+	if res.KernelStats.BoxEscapes == 0 {
+		t.Error("no hardware box escapes recorded on the native-load path")
+	}
+}
+
+// TestFutureHWWorkloadsBitEqual: the full workloads run unpatched under
+// FutureHW and still match native bit-for-bit.
+func TestFutureHWWorkloadsBitEqual(t *testing.T) {
+	for _, name := range []workloads.Name{workloads.ThreeBody, workloads.Enzo} {
+		name := name
+		t.Run(string(name), func(t *testing.T) {
+			img, err := workloads.Build(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			native, err := fpvm.RunNative(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := fpvm.Run(img, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, FutureHW: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stdout != native.Stdout {
+				t.Errorf("FutureHW output %q != native %q", res.Stdout, native.Stdout)
+			}
+		})
+	}
+}
+
+// TestFutureHWDeliveryCheapest: the user-level trap path must beat both
+// signals and the kernel module.
+func TestFutureHWDeliveryCheapest(t *testing.T) {
+	img := buildDivLoop(t, 300)
+	per := func(cfg fpvm.Config) float64 {
+		res, err := fpvm.Run(img, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := res.Breakdown
+		deleg := b.Cycles[telemetry.HW] + b.Cycles[telemetry.Kernel] + b.Cycles[telemetry.Ret]
+		return float64(deleg) / float64(b.Traps)
+	}
+	signal := per(fpvm.Config{Alt: fpvm.AltBoxed})
+	short := per(fpvm.Config{Alt: fpvm.AltBoxed, Short: true})
+	future := per(fpvm.Config{Alt: fpvm.AltBoxed, FutureHW: true})
+	if !(future < short && short < signal) {
+		t.Errorf("delegation costs not ordered: future %.0f, short %.0f, signal %.0f",
+			future, short, signal)
+	}
+	if future > 200 {
+		t.Errorf("future-hw delegation %.0f cycles/trap, want ~150", future)
+	}
+}

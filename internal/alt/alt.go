@@ -1,0 +1,71 @@
+// Package alt defines the alternative arithmetic system interface of FPVM
+// (§2.1: "FPVM has a well-defined interface to the alternative arithmetic
+// system, which allows different choices to be compiled in") and provides
+// the systems used in the paper's evaluation — Boxed IEEE (the worst case
+// for virtualization overhead) and an MPFR-like arbitrary precision system
+// — plus posit, interval and rational systems as extensions.
+package alt
+
+import "fpvm/internal/fpmath"
+
+// Value is an opaque alternative-arithmetic value stored in FPVM's boxes.
+// Each System documents its concrete type.
+type Value any
+
+// System is the alternative arithmetic system plugged into FPVM. All
+// operations return the virtual cycle cost of the work performed, which
+// the runtime accounts to the paper's "altmath" category.
+type System interface {
+	// Name identifies the system ("boxed", "mpfr", ...).
+	Name() string
+
+	// Promote converts an IEEE double into the system's representation
+	// (§2.2: producing a NaN-box-encoded value is a promotion).
+	Promote(f float64) (Value, uint64)
+
+	// Demote converts a value back to an IEEE double, losing whatever
+	// precision the system carries beyond binary64.
+	Demote(v Value) (float64, uint64)
+
+	// Op applies a binary arithmetic operation (b is ignored for OpSqrt).
+	Op(op fpmath.Op, a, b Value) (Value, uint64)
+
+	// Compare orders two values (ucomisd/cmpxx emulation).
+	Compare(a, b Value) (fpmath.CompareResult, uint64)
+
+	// Neg returns -v. Needed because compiled code negates doubles by
+	// flipping the IEEE sign bit (xorpd) — the sign bit lies outside the
+	// NaN-box pattern, so FPVM decodes a sign-flipped box as the negated
+	// value.
+	Neg(v Value) (Value, uint64)
+
+	// Signbit reports whether v is negative. FPVM stores magnitudes in
+	// its boxes and mirrors the sign into the NaN-box bit pattern's sign
+	// bit, so that the compiler's andpd/xorpd sign idioms (abs, negate)
+	// work on boxed values exactly as they do on plain doubles.
+	Signbit(v Value) bool
+
+	// IsNaN reports whether v represents a NaN in the system.
+	IsNaN(v Value) bool
+
+	// TempsPerOp is the number of short-lived boxes an emulated operation
+	// allocates beyond its result. MPFR allocates more temporaries than
+	// Boxed IEEE, which the paper observes as higher gc overhead (§6.4).
+	TempsPerOp() int
+}
+
+// MathSystem is an optional extension: systems that can evaluate libm
+// functions natively in their own representation. FPVM's libm forward
+// wrappers (§5.3) consult it — when present, sin/cos/pow/... are computed
+// at the system's full precision instead of demoting to hardware doubles
+// and calling the host libm.
+type MathSystem interface {
+	// LibmUnary evaluates fn(a) for one-argument libm functions
+	// ("sin", "cos", "tan", "asin", "acos", "atan", "exp", "log",
+	// "log10", "fabs", "sqrt", ...). ok is false if fn is unsupported,
+	// in which case the wrapper falls back to demote-and-call-libm.
+	LibmUnary(fn string, a Value) (Value, uint64, bool)
+
+	// LibmBinary evaluates fn(a, b) ("atan2", "pow", "hypot", ...).
+	LibmBinary(fn string, a, b Value) (Value, uint64, bool)
+}

@@ -1,0 +1,296 @@
+package alt_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpvm/internal/alt"
+	"fpvm/internal/fpmath"
+)
+
+func systems() map[string]alt.System {
+	return map[string]alt.System{
+		"boxed":    alt.NewBoxedIEEE(),
+		"mpfr":     alt.NewMPFR(200),
+		"mpfr-64":  alt.NewMPFR(64),
+		"posit":    alt.NewPosit(),
+		"posit32":  alt.NewPosit32(),
+		"interval": alt.NewInterval(),
+		"rational": alt.NewRational(),
+	}
+}
+
+// TestConformance runs the same battery against every system: promote/
+// demote near-identity, arithmetic close to float64 for moderate values,
+// Neg/Signbit coherence, NaN handling, nonzero op costs.
+func TestConformance(t *testing.T) {
+	for name, sys := range systems() {
+		name, sys := name, sys
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(3))
+
+			// Promote/demote roundtrip (boxed and mpfr are exact; posit64
+			// and rational exact for doubles; posit32/interval approximate).
+			for i := 0; i < 500; i++ {
+				f := (r.Float64() - 0.5) * 1e6
+				v, c1 := sys.Promote(f)
+				got, c2 := sys.Demote(v)
+				if c1 == 0 || c2 == 0 {
+					t.Fatal("zero promote/demote cost")
+				}
+				tol := relTol(name, f)
+				if math.Abs(got-f) > tol {
+					t.Fatalf("promote/demote(%g) = %g (tol %g)", f, got, tol)
+				}
+			}
+
+			// Arithmetic vs float64.
+			ops := []fpmath.Op{fpmath.OpAdd, fpmath.OpSub, fpmath.OpMul, fpmath.OpDiv, fpmath.OpSqrt}
+			for i := 0; i < 400; i++ {
+				fa := (r.Float64() + 0.1) * 100 // positive, away from 0
+				fb := (r.Float64() + 0.1) * 10
+				op := ops[i%len(ops)]
+				a, _ := sys.Promote(fa)
+				b, _ := sys.Promote(fb)
+				res, cost := sys.Op(op, a, b)
+				if cost == 0 {
+					t.Fatal("zero op cost")
+				}
+				got, _ := sys.Demote(res)
+				var want float64
+				switch op {
+				case fpmath.OpAdd:
+					want = fa + fb
+				case fpmath.OpSub:
+					want = fa - fb
+				case fpmath.OpMul:
+					want = fa * fb
+				case fpmath.OpDiv:
+					want = fa / fb
+				case fpmath.OpSqrt:
+					want = math.Sqrt(fa)
+				}
+				if math.Abs(got-want) > relTol(name, want) {
+					t.Fatalf("%v(%g,%g) = %g want %g", op, fa, fb, got, want)
+				}
+			}
+
+			// Compare coherence.
+			a, _ := sys.Promote(1.5)
+			b, _ := sys.Promote(2.5)
+			cr, _ := sys.Compare(a, b)
+			if !cr.Less {
+				t.Error("1.5 < 2.5 failed")
+			}
+			cr, _ = sys.Compare(b, a)
+			if !cr.Greater {
+				t.Error("2.5 > 1.5 failed")
+			}
+			cr, _ = sys.Compare(a, a)
+			if !cr.Equal {
+				t.Error("equality failed")
+			}
+
+			// Neg / Signbit.
+			v, _ := sys.Promote(3.25)
+			if sys.Signbit(v) {
+				t.Error("positive signbit")
+			}
+			nv, _ := sys.Neg(v)
+			if !sys.Signbit(nv) {
+				t.Error("negated signbit")
+			}
+			back, _ := sys.Demote(nv)
+			if math.Abs(back+3.25) > relTol(name, 3.25) {
+				t.Errorf("neg(3.25) = %g", back)
+			}
+
+			// NaN handling: 0/0.
+			z, _ := sys.Promote(0)
+			q, _ := sys.Op(fpmath.OpDiv, z, z)
+			if !sys.IsNaN(q) {
+				t.Error("0/0 not NaN")
+			}
+			if sys.TempsPerOp() < 0 {
+				t.Error("negative temps")
+			}
+			if sys.Name() == "" {
+				t.Error("empty name")
+			}
+		})
+	}
+}
+
+// relTol returns a per-system comparison tolerance.
+func relTol(name string, x float64) float64 {
+	ax := math.Abs(x)
+	switch name {
+	case "posit32":
+		return math.Max(ax*1e-6, 1e-9) // ~27 fraction bits around 1
+	case "interval":
+		return math.Max(ax*1e-12, 1e-12)
+	default:
+		return math.Max(ax*1e-13, 1e-13)
+	}
+}
+
+// TestBoxedBitExact: Boxed IEEE must be bit-for-bit hardware arithmetic.
+func TestBoxedBitExact(t *testing.T) {
+	sys := alt.NewBoxedIEEE()
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		fa := math.Float64frombits(r.Uint64())
+		fb := math.Float64frombits(r.Uint64())
+		if math.IsNaN(fa) || math.IsNaN(fb) {
+			continue
+		}
+		a, _ := sys.Promote(fa)
+		b, _ := sys.Promote(fb)
+		res, _ := sys.Op(fpmath.OpMul, a, b)
+		got, _ := sys.Demote(res)
+		if math.Float64bits(got) != math.Float64bits(fa*fb) {
+			t.Fatalf("boxed mul(%x,%x) = %x want %x",
+				math.Float64bits(fa), math.Float64bits(fb),
+				math.Float64bits(got), math.Float64bits(fa*fb))
+		}
+	}
+}
+
+// TestMPFRMorePreciseThanDouble: the 200-bit system must beat double
+// rounding error on a classic cancellation case.
+func TestMPFRMorePreciseThanDouble(t *testing.T) {
+	sys := alt.NewMPFR(200)
+	// (1 + 2^-60) - 1 in double loses the tiny term entirely when going
+	// through (1+x)-1 with x = 2^-60? Actually doubles keep 2^-60 in
+	// 1+2^-60? No: 1+2^-60 rounds to 1. MPFR-200 keeps it.
+	one, _ := sys.Promote(1)
+	tiny, _ := sys.Promote(0x1p-60)
+	sum, _ := sys.Op(fpmath.OpAdd, one, tiny)
+	diff, _ := sys.Op(fpmath.OpSub, sum, one)
+	got, _ := sys.Demote(diff)
+	if got != 0x1p-60 {
+		t.Errorf("200-bit (1+2^-60)-1 = %g, want 2^-60", got)
+	}
+	// The same computation in hardware doubles loses the term.
+	if (1.0+0x1p-60)-1.0 != 0 {
+		t.Skip("platform double kept 2^-60 (unexpected)")
+	}
+}
+
+// TestMPFRCostScalesWithPrecision: the cost model must make higher
+// precision proportionally more expensive (mul is quadratic in limbs).
+func TestMPFRCostScalesWithPrecision(t *testing.T) {
+	small := alt.NewMPFR(64)
+	big := alt.NewMPFR(512)
+	a1, _ := small.Promote(1.5)
+	b1, _ := small.Promote(2.5)
+	a2, _ := big.Promote(1.5)
+	b2, _ := big.Promote(2.5)
+	_, c1 := small.Op(fpmath.OpMul, a1, b1)
+	_, c2 := big.Op(fpmath.OpMul, a2, b2)
+	if c2 <= c1 {
+		t.Errorf("512-bit mul (%d cycles) not costlier than 64-bit (%d)", c2, c1)
+	}
+}
+
+// TestOrderingOfSystemCosts: Boxed IEEE must be the cheapest system (the
+// paper's "worst case for virtualization" because altmath is smallest).
+func TestOrderingOfSystemCosts(t *testing.T) {
+	boxed := alt.NewBoxedIEEE()
+	mpfr := alt.NewMPFR(200)
+	ab, _ := boxed.Promote(1.1)
+	bb, _ := boxed.Promote(2.2)
+	am, _ := mpfr.Promote(1.1)
+	bm, _ := mpfr.Promote(2.2)
+	for _, op := range []fpmath.Op{fpmath.OpAdd, fpmath.OpMul, fpmath.OpDiv, fpmath.OpSqrt} {
+		_, cb := boxed.Op(op, ab, bb)
+		_, cm := mpfr.Op(op, am, bm)
+		if cb >= cm {
+			t.Errorf("%v: boxed (%d) not cheaper than mpfr (%d)", op, cb, cm)
+		}
+	}
+}
+
+// TestMPFRLibm exercises the MathSystem surface against Go's libm at
+// double precision (the bigfp internals carry their own high-precision
+// tests).
+func TestMPFRLibm(t *testing.T) {
+	m := alt.NewMPFR(200)
+	var _ alt.MathSystem = m
+
+	unary := map[string]func(float64) float64{
+		"sin": math.Sin, "cos": math.Cos, "tan": math.Tan,
+		"asin": math.Asin, "acos": math.Acos, "atan": math.Atan,
+		"exp": math.Exp, "log": math.Log, "log10": math.Log10,
+		"sqrt": math.Sqrt, "fabs": math.Abs,
+	}
+	for name, ref := range unary {
+		x := 0.37
+		if name == "asin" || name == "acos" {
+			x = 0.37
+		}
+		v, _ := m.Promote(x)
+		res, cost, ok := m.LibmUnary(name, v)
+		if !ok || cost == 0 {
+			t.Fatalf("LibmUnary(%s) not handled", name)
+		}
+		got, _ := m.Demote(res)
+		if math.Abs(got-ref(x)) > 1e-14 {
+			t.Errorf("%s(%g) = %.17g want %.17g", name, x, got, ref(x))
+		}
+	}
+	binary := map[string]func(a, b float64) float64{
+		"atan2": math.Atan2, "pow": math.Pow, "hypot": math.Hypot,
+	}
+	for name, ref := range binary {
+		a, _ := m.Promote(1.3)
+		b, _ := m.Promote(2.4)
+		res, cost, ok := m.LibmBinary(name, a, b)
+		if !ok || cost == 0 {
+			t.Fatalf("LibmBinary(%s) not handled", name)
+		}
+		got, _ := m.Demote(res)
+		if math.Abs(got-ref(1.3, 2.4)) > 1e-13 {
+			t.Errorf("%s = %.17g want %.17g", name, got, ref(1.3, 2.4))
+		}
+	}
+	// Unknown functions are declined (the wrapper falls back).
+	if _, _, ok := m.LibmUnary("floor", alt.Value(nil)); ok {
+		t.Error("floor unexpectedly handled")
+	}
+	if _, _, ok := m.LibmBinary("fmod", nil, nil); ok {
+		t.Error("fmod unexpectedly handled")
+	}
+}
+
+// TestMinMaxAllSystems covers the min/max op paths.
+func TestMinMaxAllSystems(t *testing.T) {
+	for name, sys := range systems() {
+		a, _ := sys.Promote(2)
+		b, _ := sys.Promote(5)
+		lo, _ := sys.Op(fpmath.OpMin, a, b)
+		hi, _ := sys.Op(fpmath.OpMax, a, b)
+		gl, _ := sys.Demote(lo)
+		gh, _ := sys.Demote(hi)
+		if math.Abs(gl-2) > relTol(name, 2) || math.Abs(gh-5) > relTol(name, 5) {
+			t.Errorf("%s: min=%g max=%g", name, gl, gh)
+		}
+	}
+}
+
+// TestNegZeroAndSpecials covers sign handling edge cases per system.
+func TestNegZeroAndSpecials(t *testing.T) {
+	for name, sys := range systems() {
+		z, _ := sys.Promote(0)
+		if sys.Signbit(z) {
+			t.Errorf("%s: +0 signbit", name)
+		}
+		n, _ := sys.Promote(math.NaN())
+		if !sys.IsNaN(n) {
+			t.Errorf("%s: promote(NaN) lost NaN-ness", name)
+		}
+		nn, _ := sys.Neg(n)
+		_ = nn // must not panic
+	}
+}

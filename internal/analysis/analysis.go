@@ -1,0 +1,193 @@
+// Package analysis implements the conservative static analysis the
+// original FPVM used to find memory-escape correctness sites (§2.6,
+// §5.1) — the approach the paper replaced with profiling because "its
+// runtime and memory demands tend to explode" (Enzo took days and
+// terabytes of swap). This reproduction's version is a per-function
+// value-set-flavoured dataflow over the decoded text:
+//
+//   - any stack slot that ever receives a float-typed store (movsd and
+//     friends) is considered float-tainted for the whole function
+//     (flow-insensitive, like a conservative VSA join);
+//   - any global data address that ever receives a float-typed store is
+//     float-tainted program-wide;
+//   - every integer load from a tainted location — or from a location the
+//     analysis cannot bound (computed addresses: indexed or pointer-based
+//     accesses) — is a patch site.
+//
+// By construction the result is a superset of what the profiler finds on
+// any given input, reproducing the paper's comparison: profiling yields
+// strictly fewer sites and therefore far fewer correctness traps.
+package analysis
+
+import (
+	"sort"
+
+	"fpvm/internal/isa"
+	"fpvm/internal/obj"
+)
+
+// Stats summarizes an analysis run.
+type Stats struct {
+	Instructions int
+	FPStores     int
+	IntLoads     int
+	Sites        int
+}
+
+// Result is the analysis output.
+type Result struct {
+	Sites []uint64
+	Stats Stats
+}
+
+// locKey identifies an abstract memory location: rsp-relative slots per
+// function region, or absolute/rip-relative data addresses.
+type locKey struct {
+	stack bool
+	fn    int   // function region index for stack slots
+	off   int64 // rsp offset or absolute address
+}
+
+// Analyze decodes the image's text section and returns the conservative
+// patch-site set.
+func Analyze(img *obj.Image) (*Result, error) {
+	text := img.Section(".text")
+	if text == nil {
+		return &Result{}, nil
+	}
+
+	insts, err := decodeAll(text)
+	if err != nil {
+		return nil, err
+	}
+
+	// Function regions: split at symbol boundaries so stack offsets from
+	// different frames don't alias.
+	bounds := funcBounds(img, text)
+
+	var st Stats
+	st.Instructions = len(insts)
+
+	tainted := map[locKey]bool{}
+	taintAll := map[int]bool{} // function regions with unbounded FP stores
+
+	classifyLoc := func(fnIdx int, in *isa.Inst, m isa.Operand) (locKey, bool) {
+		switch {
+		case m.RIPRel:
+			return locKey{off: int64(in.Addr) + int64(in.Len) + int64(m.Disp)}, true
+		case m.Base == isa.NoReg && m.Index == isa.NoReg:
+			return locKey{off: int64(m.Disp)}, true
+		case m.Base == isa.RSP && m.Index == isa.NoReg:
+			return locKey{stack: true, fn: fnIdx, off: int64(m.Disp)}, true
+		}
+		return locKey{}, false // computed address: unbounded
+	}
+
+	// Pass 1: collect float-typed stores.
+	for i := range insts {
+		in := &insts[i]
+		if !isFPTypedStore(in.Op) {
+			continue
+		}
+		m, ok := in.MemOperand()
+		if !ok {
+			continue
+		}
+		st.FPStores++
+		fnIdx := regionOf(bounds, in.Addr)
+		if loc, bounded := classifyLoc(fnIdx, in, m); bounded {
+			tainted[loc] = true
+		} else {
+			taintAll[fnIdx] = true
+		}
+	}
+
+	// Pass 2: flag integer loads that may observe tainted locations.
+	sites := map[uint64]bool{}
+	for i := range insts {
+		in := &insts[i]
+		if !isIntLoad(in.Op) {
+			continue
+		}
+		m, ok := in.MemOperand()
+		if !ok {
+			continue
+		}
+		st.IntLoads++
+		fnIdx := regionOf(bounds, in.Addr)
+		loc, bounded := classifyLoc(fnIdx, in, m)
+		switch {
+		case !bounded:
+			// Computed address: could alias any tainted store.
+			sites[in.Addr] = true
+		case tainted[loc]:
+			sites[in.Addr] = true
+		case loc.stack && taintAll[fnIdx]:
+			sites[in.Addr] = true
+		}
+	}
+
+	out := make([]uint64, 0, len(sites))
+	for a := range sites {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	st.Sites = len(out)
+	return &Result{Sites: out, Stats: st}, nil
+}
+
+func decodeAll(text *obj.Section) ([]isa.Inst, error) {
+	var out []isa.Inst
+	off := 0
+	for off < len(text.Data) {
+		in, err := isa.Decode(text.Data[off:], text.Addr+uint64(off))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+		off += int(in.Len)
+	}
+	return out, nil
+}
+
+// funcBounds returns sorted function start addresses within the text.
+func funcBounds(img *obj.Image, text *obj.Section) []uint64 {
+	var starts []uint64
+	for _, s := range img.Symbols() {
+		if s.Kind == obj.SymFunc && s.Addr >= text.Addr && s.Addr < text.Addr+uint64(len(text.Data)) {
+			starts = append(starts, s.Addr)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	if len(starts) == 0 || starts[0] != text.Addr {
+		starts = append([]uint64{text.Addr}, starts...)
+	}
+	return starts
+}
+
+func regionOf(bounds []uint64, addr uint64) int {
+	idx := sort.Search(len(bounds), func(i int) bool { return bounds[i] > addr })
+	return idx - 1
+}
+
+// isFPTypedStore reports stores the hardware tags as scalar/packed double
+// (the taint sources).
+func isFPTypedStore(op isa.Op) bool {
+	switch op {
+	case isa.MOVSDMX, isa.MOVAPDMX, isa.MOVUPDMX, isa.MOVHPDMX, isa.MOVLPDMX:
+		return true
+	}
+	return false
+}
+
+// isIntLoad reports instructions that read memory into an integer context.
+func isIntLoad(op isa.Op) bool {
+	switch op {
+	case isa.MOV64RM, isa.MOV32RM, isa.MOV16RM, isa.MOV8RM,
+		isa.MOVZX8, isa.MOVZX16, isa.MOVSX8, isa.MOVSX16, isa.MOVSXD,
+		isa.ADD64, isa.SUB64, isa.IMUL64, isa.AND64, isa.OR64, isa.XOR64,
+		isa.CMP64, isa.TEST64, isa.PUSH, isa.XCHG64:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,331 @@
+// Package asm provides a programmatic assembler for the simulated ISA:
+// label-based control flow, data/rodata definitions, GOT-based imports,
+// and two-pass layout producing loadable obj.Images. The workload compiler
+// and the tests build all guest code through it.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fpvm/internal/isa"
+	"fpvm/internal/mem"
+	"fpvm/internal/obj"
+)
+
+type entry struct {
+	in       isa.Inst
+	labelRef string // FormRel target label (branch/call)
+	dataRef  string // RMOp is a rip-relative reference to this data symbol
+	gotRef   string // RMOp is a rip-relative reference to this import's GOT slot
+	// layout results
+	off int
+	len int
+}
+
+type dataItem struct {
+	name  string
+	bytes []byte
+	align int
+}
+
+// Builder accumulates instructions and data, then lays them out into an
+// image at the conventional bases.
+type Builder struct {
+	name    string
+	entries []entry
+	labels  map[string]int // label -> entry index it precedes
+	funcs   map[string]int // function symbol -> entry index
+
+	rodata []dataItem
+	data   []dataItem
+
+	imports  []string
+	gotIndex map[string]int
+
+	entrySym string
+}
+
+// NewBuilder returns an empty builder for an image called name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:     name,
+		labels:   make(map[string]int),
+		funcs:    make(map[string]int),
+		gotIndex: make(map[string]int),
+	}
+}
+
+// I appends a raw instruction.
+func (b *Builder) I(in isa.Inst) { b.entries = append(b.entries, entry{in: in}) }
+
+// RM appends a reg, r/m instruction.
+func (b *Builder) RM(op isa.Op, reg, rm isa.Operand) { b.I(isa.MakeRM(op, reg, rm)) }
+
+// MI appends an r/m, imm instruction.
+func (b *Builder) MI(op isa.Op, rm isa.Operand, imm int64) { b.I(isa.MakeMI(op, rm, imm)) }
+
+// M appends a single-operand instruction.
+func (b *Builder) M(op isa.Op, rm isa.Operand) { b.I(isa.MakeM(op, rm)) }
+
+// RMI appends a reg, r/m, imm instruction.
+func (b *Builder) RMI(op isa.Op, reg, rm isa.Operand, imm int64) { b.I(isa.MakeRMI(op, reg, rm, imm)) }
+
+// Op0 appends a nullary instruction.
+func (b *Builder) Op0(op isa.Op) { b.I(isa.MakeNullary(op)) }
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic("asm: duplicate label " + name)
+	}
+	b.labels[name] = len(b.entries)
+}
+
+// Func defines a function symbol at the current position (also a label).
+func (b *Builder) Func(name string) {
+	b.Label(name)
+	b.funcs[name] = len(b.entries)
+}
+
+// SetEntry selects the entry-point function.
+func (b *Builder) SetEntry(name string) { b.entrySym = name }
+
+// Branch appends a FormRel instruction targeting label.
+func (b *Builder) Branch(op isa.Op, label string) {
+	b.entries = append(b.entries, entry{in: isa.MakeRel(op, 0), labelRef: label})
+}
+
+// CallLocal appends a direct call to a local function label.
+func (b *Builder) CallLocal(fn string) { b.Branch(isa.CALL, fn) }
+
+// CallImport appends an indirect call through the GOT slot of an imported
+// symbol (libc/libm/host functions). The dynamic loader fills the slot.
+func (b *Builder) CallImport(sym string) {
+	b.addImport(sym)
+	b.entries = append(b.entries, entry{
+		in:     isa.MakeM(isa.CALLR, isa.MemRIP(0)),
+		gotRef: sym,
+	})
+}
+
+// LoadImportAddr loads the resolved address of an imported symbol into a
+// GPR (used by trampolines that need a function pointer).
+func (b *Builder) LoadImportAddr(dst isa.Reg, sym string) {
+	b.addImport(sym)
+	b.entries = append(b.entries, entry{
+		in:     isa.MakeRM(isa.MOV64RM, isa.GPR(dst), isa.MemRIP(0)),
+		gotRef: sym,
+	})
+}
+
+func (b *Builder) addImport(sym string) {
+	if _, ok := b.gotIndex[sym]; !ok {
+		b.gotIndex[sym] = len(b.imports)
+		b.imports = append(b.imports, sym)
+	}
+}
+
+// RMData appends a reg, [rip+data] instruction referring to data symbol.
+func (b *Builder) RMData(op isa.Op, reg isa.Operand, dataSym string) {
+	b.entries = append(b.entries, entry{
+		in:      isa.MakeRM(op, reg, isa.MemRIP(0)),
+		dataRef: dataSym,
+	})
+}
+
+// MRData appends a [rip+data], reg store to a data symbol.
+func (b *Builder) MRData(op isa.Op, dataSym string, reg isa.Operand) {
+	b.entries = append(b.entries, entry{
+		in:      isa.MakeRM(op, reg, isa.MemRIP(0)), // FormMR shares layout
+		dataRef: dataSym,
+	})
+}
+
+// MData appends a single-operand instruction whose r/m is a data symbol.
+func (b *Builder) MData(op isa.Op, dataSym string) {
+	b.entries = append(b.entries, entry{
+		in:      isa.MakeM(op, isa.MemRIP(0)),
+		dataRef: dataSym,
+	})
+}
+
+// LeaData loads the address of a data symbol into a GPR.
+func (b *Builder) LeaData(dst isa.Reg, dataSym string) {
+	b.RMData(isa.LEA, isa.GPR(dst), dataSym)
+}
+
+// Quad defines 8-byte little-endian values in .data.
+func (b *Builder) Quad(name string, vals ...uint64) {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
+	}
+	b.data = append(b.data, dataItem{name: name, bytes: buf, align: 8})
+}
+
+// Double defines float64 values in .data.
+func (b *Builder) Double(name string, vals ...float64) {
+	u := make([]uint64, len(vals))
+	for i, v := range vals {
+		u[i] = math.Float64bits(v)
+	}
+	b.Quad(name, u...)
+}
+
+// Space reserves zeroed bytes in .data.
+func (b *Builder) Space(name string, size int) {
+	b.data = append(b.data, dataItem{name: name, bytes: make([]byte, size), align: 16})
+}
+
+// RoDouble defines float64 constants in .rodata.
+func (b *Builder) RoDouble(name string, vals ...float64) {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	b.rodata = append(b.rodata, dataItem{name: name, bytes: buf, align: 8})
+}
+
+// RoBytes defines raw bytes (e.g. format strings) in .rodata.
+func (b *Builder) RoBytes(name string, data []byte) {
+	b.rodata = append(b.rodata, dataItem{name: name, bytes: data, align: 1})
+}
+
+func align(off, a int) int {
+	if a <= 1 {
+		return off
+	}
+	return (off + a - 1) &^ (a - 1)
+}
+
+// Build lays out text/rodata/data/got and produces a loadable image.
+func (b *Builder) Build() (*obj.Image, error) {
+	img := obj.New(b.name)
+
+	// Lay out data sections first so instruction fixups know addresses.
+	dataAddrs := make(map[string]uint64)
+	layout := func(items []dataItem, base uint64) []byte {
+		off := 0
+		for i := range items {
+			off = align(off, items[i].align)
+			if _, dup := dataAddrs[items[i].name]; dup {
+				panic("asm: duplicate data symbol " + items[i].name)
+			}
+			dataAddrs[items[i].name] = base + uint64(off)
+			off += len(items[i].bytes)
+		}
+		buf := make([]byte, off)
+		off = 0
+		for i := range items {
+			off = align(off, items[i].align)
+			copy(buf[off:], items[i].bytes)
+			off += len(items[i].bytes)
+		}
+		return buf
+	}
+	roBuf := layout(b.rodata, obj.RODataBase)
+	dataBuf := layout(b.data, obj.DataBase)
+
+	// GOT: one 8-byte slot per import, appended after .data.
+	gotBase := obj.DataBase + uint64(align(len(dataBuf), 16))
+	gotBuf := make([]byte, 8*len(b.imports))
+
+	// Pass 1: provisional encode to learn lengths/offsets.
+	off := 0
+	for i := range b.entries {
+		e := &b.entries[i]
+		e.in.Addr = obj.TextBase + uint64(off)
+		enc, err := isa.Encode(&e.in)
+		if err != nil {
+			return nil, fmt.Errorf("asm: %s entry %d: %w", b.name, i, err)
+		}
+		e.off = off
+		e.len = len(enc)
+		off += len(enc)
+	}
+	textLen := off
+
+	labelAddr := func(name string) (uint64, error) {
+		idx, ok := b.labels[name]
+		if !ok {
+			return 0, fmt.Errorf("asm: undefined label %q", name)
+		}
+		if idx == len(b.entries) {
+			return obj.TextBase + uint64(textLen), nil
+		}
+		return obj.TextBase + uint64(b.entries[idx].off), nil
+	}
+
+	// Pass 2: resolve references and emit final bytes.
+	text := make([]byte, 0, textLen)
+	for i := range b.entries {
+		e := &b.entries[i]
+		next := obj.TextBase + uint64(e.off+e.len)
+		switch {
+		case e.labelRef != "":
+			t, err := labelAddr(e.labelRef)
+			if err != nil {
+				return nil, err
+			}
+			e.in.Imm = int64(t) - int64(next)
+		case e.dataRef != "":
+			a, ok := dataAddrs[e.dataRef]
+			if !ok {
+				return nil, fmt.Errorf("asm: undefined data symbol %q", e.dataRef)
+			}
+			e.in.RMOp.Disp = int32(int64(a) - int64(next))
+		case e.gotRef != "":
+			slot := gotBase + uint64(8*b.gotIndex[e.gotRef])
+			e.in.RMOp.Disp = int32(int64(slot) - int64(next))
+		}
+		enc, err := isa.Encode(&e.in)
+		if err != nil {
+			return nil, fmt.Errorf("asm: %s entry %d reencode: %w", b.name, i, err)
+		}
+		if len(enc) != e.len {
+			return nil, fmt.Errorf("asm: %s entry %d: length changed %d -> %d", b.name, i, e.len, len(enc))
+		}
+		text = append(text, enc...)
+	}
+
+	img.AddSection(obj.Section{Name: ".text", Addr: obj.TextBase, Data: text, Perm: mem.PermRX})
+	if len(roBuf) > 0 {
+		img.AddSection(obj.Section{Name: ".rodata", Addr: obj.RODataBase, Data: roBuf, Perm: mem.PermRead})
+	}
+	dataAll := make([]byte, align(len(dataBuf), 16)+len(gotBuf))
+	copy(dataAll, dataBuf)
+	copy(dataAll[align(len(dataBuf), 16):], gotBuf)
+	if len(dataAll) > 0 {
+		img.AddSection(obj.Section{Name: ".data", Addr: obj.DataBase, Data: dataAll, Perm: mem.PermRW})
+	}
+
+	// Symbols: functions, data, imports' GOT slots.
+	for name, idx := range b.funcs {
+		a := obj.TextBase + uint64(textLen)
+		if idx < len(b.entries) {
+			a = obj.TextBase + uint64(b.entries[idx].off)
+		}
+		img.AddSymbol(obj.Symbol{Name: name, Addr: a, Kind: obj.SymFunc})
+	}
+	for name, a := range dataAddrs {
+		img.AddSymbol(obj.Symbol{Name: name, Addr: a, Kind: obj.SymData})
+	}
+	for i, sym := range b.imports {
+		slot := gotBase + uint64(8*i)
+		img.AddSymbol(obj.Symbol{Name: "got$" + sym, Addr: slot, Kind: obj.SymData})
+		img.Relocs = append(img.Relocs, obj.Reloc{SlotAddr: slot, Symbol: sym})
+	}
+
+	if b.entrySym != "" {
+		sym, ok := img.Lookup(b.entrySym)
+		if !ok {
+			return nil, fmt.Errorf("asm: entry symbol %q undefined", b.entrySym)
+		}
+		img.Entry = sym.Addr
+	} else {
+		img.Entry = obj.TextBase
+	}
+	return img, nil
+}

@@ -1,0 +1,180 @@
+package asm
+
+import (
+	"testing"
+
+	"fpvm/internal/isa"
+	"fpvm/internal/mem"
+	"fpvm/internal/obj"
+)
+
+func TestBuildAndDecode(t *testing.T) {
+	b := NewBuilder("t")
+	b.Func("main")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 5)
+	b.Label("loop")
+	b.MI(isa.SUB64I, isa.GPR(isa.RAX), 1)
+	b.Branch(isa.JNE, "loop")
+	b.Op0(isa.HLT)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := img.Section(".text")
+	if text == nil || len(text.Data) == 0 {
+		t.Fatal("no text")
+	}
+	// Decode the whole stream and check the branch targets the sub.
+	var insts []isa.Inst
+	off := 0
+	for off < len(text.Data) {
+		in, err := isa.Decode(text.Data[off:], text.Addr+uint64(off))
+		if err != nil {
+			t.Fatalf("decode at %d: %v", off, err)
+		}
+		insts = append(insts, in)
+		off += int(in.Len)
+	}
+	if len(insts) != 4 {
+		t.Fatalf("%d instructions", len(insts))
+	}
+	if insts[2].Op != isa.JNE || insts[2].BranchTarget() != insts[1].Addr {
+		t.Errorf("branch target %#x, want %#x", insts[2].BranchTarget(), insts[1].Addr)
+	}
+	if img.Entry != text.Addr {
+		t.Errorf("entry %#x", img.Entry)
+	}
+}
+
+func TestForwardBranch(t *testing.T) {
+	b := NewBuilder("t")
+	b.Func("main")
+	b.Branch(isa.JMP, "end")
+	b.Op0(isa.NOP)
+	b.Label("end")
+	b.Op0(isa.HLT)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := img.Section(".text")
+	jmp, err := isa.Decode(text.Data, text.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nop, _ := isa.Decode(text.Data[jmp.Len:], text.Addr+uint64(jmp.Len))
+	if jmp.BranchTarget() != nop.Addr+uint64(nop.Len) {
+		t.Errorf("forward target %#x", jmp.BranchTarget())
+	}
+}
+
+func TestDataReferences(t *testing.T) {
+	b := NewBuilder("t")
+	b.RoDouble("pi", 3.14159)
+	b.Double("state", 1, 2, 3)
+	b.Quad("flags", 7)
+	b.Space("buf", 64)
+	b.RoBytes("fmt", []byte("hi\x00"))
+	b.Func("main")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "pi")
+	b.MData(isa.INC64, "flags")
+	b.LeaData(isa.RDI, "fmt")
+	b.Op0(isa.HLT)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sym := range []string{"pi", "state", "flags", "buf", "fmt"} {
+		if _, ok := img.Lookup(sym); !ok {
+			t.Errorf("symbol %s missing", sym)
+		}
+	}
+	// Load and verify the rip-relative reference resolves to pi's bits.
+	as := mem.NewAddressSpace()
+	if err := img.Load(as, nil); err != nil {
+		t.Fatal(err)
+	}
+	text := img.Section(".text")
+	in, err := isa.Decode(text.Data, text.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := in.Addr + uint64(in.Len) + uint64(int64(in.RMOp.Disp))
+	sym, _ := img.Lookup("pi")
+	if target != sym.Addr {
+		t.Errorf("rip ref resolves to %#x, pi at %#x", target, sym.Addr)
+	}
+}
+
+func TestImports(t *testing.T) {
+	b := NewBuilder("t")
+	b.Func("main")
+	b.CallImport("printf")
+	b.CallImport("printf") // deduplicated slot
+	b.CallImport("sin")
+	b.LoadImportAddr(isa.RAX, "cos")
+	b.Op0(isa.HLT)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Relocs) != 3 {
+		t.Fatalf("relocs: %+v", img.Relocs)
+	}
+	as := mem.NewAddressSpace()
+	resolve := func(name string) (uint64, bool) {
+		return obj.HostBase + uint64(len(name)), true
+	}
+	if err := img.Load(as, resolve); err != nil {
+		t.Fatal(err)
+	}
+	slot, _ := img.Lookup("got$printf")
+	v, _ := as.ReadUint64(slot.Addr)
+	if v != obj.HostBase+6 {
+		t.Errorf("printf slot = %#x", v)
+	}
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate label did not panic")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestUndefinedLabelError(t *testing.T) {
+	b := NewBuilder("t")
+	b.Func("main")
+	b.Branch(isa.JMP, "nowhere")
+	b.SetEntry("main")
+	if _, err := b.Build(); err == nil {
+		t.Error("undefined label built")
+	}
+}
+
+func TestUndefinedEntryError(t *testing.T) {
+	b := NewBuilder("t")
+	b.Op0(isa.NOP)
+	b.SetEntry("ghost")
+	if _, err := b.Build(); err == nil {
+		t.Error("undefined entry built")
+	}
+}
+
+func TestUndefinedDataError(t *testing.T) {
+	b := NewBuilder("t")
+	b.Func("main")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "ghost")
+	b.SetEntry("main")
+	if _, err := b.Build(); err == nil {
+		t.Error("undefined data symbol built")
+	}
+}

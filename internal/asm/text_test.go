@@ -1,0 +1,102 @@
+package asm_test
+
+import (
+	"strings"
+	"testing"
+
+	"fpvm"
+	"fpvm/internal/asm"
+)
+
+const divProgram = `
+; quickstart in assembly text
+.rodouble one 1.0
+.rodouble three 3.0
+.string fmt "x=%g\n"
+
+.func main
+    movsd xmm0, [rip+one]     ; x = 1.0
+    mov rcx, 10
+loop:
+    divsd xmm0, [rip+three]   # x /= 3
+    addsd xmm0, [rip+one]
+    sub rcx, 1
+    jne loop
+    lea rdi, [rip+fmt]
+    call @printf
+    mov rax, 60
+    mov rdi, 0
+    syscall
+.entry main
+`
+
+func TestAssembleAndRun(t *testing.T) {
+	img, err := asm.Assemble("text", divProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fpvm.RunNative(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Stdout, "x=1.49") {
+		t.Errorf("output %q", res.Stdout)
+	}
+	// The same text program under FPVM must match bitwise.
+	vres, err := fpvm.Run(img, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vres.Stdout != res.Stdout {
+		t.Errorf("fpvm %q != native %q", vres.Stdout, res.Stdout)
+	}
+}
+
+func TestAssembleOperandShapes(t *testing.T) {
+	src := `
+.double buf 0.0 0.0
+.func main
+    mov rax, 0x800000
+    mov rbx, [rax]
+    mov [rax+8], rbx
+    mov rcx, [rax+rbx*8+16]
+    movsd xmm1, xmm2
+    movapd xmm3, xmm4
+    push rbp
+    pop rbp
+    inc rax
+    shl rax, 3
+    xorpd xmm0, xmm0
+    ucomisd xmm0, xmm1
+    hlt
+.entry main
+`
+	if _, err := asm.Assemble("shapes", src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"bogus rax, rbx",     // unknown mnemonic
+		"mov rax",            // missing operand
+		".func",              // missing name
+		".double x",          // missing values
+		"movsd xmm0, [sym]",  // symbol without rip
+		".string s noquotes", // unquoted
+		"addsd rax, rbx",     // wrong register class
+		".unknown directive", // unknown directive
+	}
+	for _, src := range bad {
+		if _, err := asm.Assemble("bad", src); err == nil {
+			t.Errorf("assembled %q without error", src)
+		}
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	src := "; full line comment\n# hash comment\n.func main\n nop ; trailing\n hlt\n.entry main\n"
+	if _, err := asm.Assemble("c", src); err != nil {
+		t.Fatal(err)
+	}
+}

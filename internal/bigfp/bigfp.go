@@ -1,0 +1,409 @@
+// Package bigfp is a from-scratch arbitrary-precision binary floating
+// point library with correct rounding — the reproduction's stand-in for
+// GNU MPFR, which the paper uses as its realistic alternative arithmetic
+// system. Values carry a fixed significand precision (in bits); add, sub,
+// mul, div and sqrt round correctly in the selected mode; NaN and
+// infinities propagate IEEE-style.
+//
+// The implementation is deliberately stdlib-free of math/big: mantissas
+// are little-endian uint64 limb vectors (see nat.go), and every operation
+// funnels through a single normalize-and-round constructor, which makes
+// the rounding logic auditable and testable against math/big as an
+// external oracle in the tests only.
+package bigfp
+
+import (
+	"fmt"
+	"math"
+)
+
+// RoundingMode selects the rounding of inexact results.
+type RoundingMode uint8
+
+const (
+	// ToNearestEven rounds to nearest, ties to even (IEEE default).
+	ToNearestEven RoundingMode = iota
+	// ToZero truncates.
+	ToZero
+	// ToNegInf rounds toward -inf.
+	ToNegInf
+	// ToPosInf rounds toward +inf.
+	ToPosInf
+)
+
+type kind uint8
+
+const (
+	kindZero kind = iota
+	kindFinite
+	kindInf
+	kindNaN
+)
+
+// Float is an arbitrary-precision binary floating point number:
+// value = (-1)^sign × mant × 2^(exp − prec), with mant normalized to
+// exactly prec significant bits (top bit set), i.e. |value| ∈
+// [2^(exp−1), 2^exp).
+type Float struct {
+	prec uint32
+	mode RoundingMode
+	kind kind
+	neg  bool
+	exp  int64
+	mant []uint64
+}
+
+// MinPrec is the smallest supported precision.
+const MinPrec = 2
+
+// New returns a zero-valued Float with the given precision (bits) and
+// round-to-nearest-even.
+func New(prec uint) *Float {
+	if prec < MinPrec {
+		prec = MinPrec
+	}
+	return &Float{prec: uint32(prec)}
+}
+
+// Prec returns the precision in bits.
+func (f *Float) Prec() uint { return uint(f.prec) }
+
+// Mode returns the rounding mode.
+func (f *Float) Mode() RoundingMode { return f.mode }
+
+// SetMode sets the rounding mode and returns f.
+func (f *Float) SetMode(m RoundingMode) *Float {
+	f.mode = m
+	return f
+}
+
+// IsNaN reports whether f is NaN.
+func (f *Float) IsNaN() bool { return f.kind == kindNaN }
+
+// IsInf reports whether f is ±inf.
+func (f *Float) IsInf() bool { return f.kind == kindInf }
+
+// IsZero reports whether f is ±0.
+func (f *Float) IsZero() bool { return f.kind == kindZero }
+
+// Sign returns -1, 0, +1 (NaN returns 0).
+func (f *Float) Sign() int {
+	switch f.kind {
+	case kindZero, kindNaN:
+		return 0
+	default:
+		if f.neg {
+			return -1
+		}
+		return 1
+	}
+}
+
+// Neg negates f in place and returns it.
+func (f *Float) Neg() *Float {
+	if f.kind != kindNaN {
+		f.neg = !f.neg
+	}
+	return f
+}
+
+// Clone returns a deep copy.
+func (f *Float) Clone() *Float {
+	g := *f
+	g.mant = append([]uint64(nil), f.mant...)
+	return &g
+}
+
+// setSpecial configures NaN/Inf/zero.
+func (f *Float) setSpecial(k kind, neg bool) *Float {
+	f.kind = k
+	f.neg = neg
+	f.mant = nil
+	f.exp = 0
+	return f
+}
+
+// SetFloat64 sets f to x (rounded to f's precision) and returns f.
+func (f *Float) SetFloat64(x float64) *Float {
+	switch {
+	case math.IsNaN(x):
+		return f.setSpecial(kindNaN, false)
+	case math.IsInf(x, 0):
+		return f.setSpecial(kindInf, math.Signbit(x))
+	case x == 0:
+		return f.setSpecial(kindZero, math.Signbit(x))
+	}
+	bits := math.Float64bits(x)
+	neg := bits>>63 != 0
+	biased := int64(bits >> 52 & 0x7FF)
+	frac := bits & (1<<52 - 1)
+	var mant uint64
+	var exp int64
+	if biased == 0 {
+		// subnormal: value = frac × 2^-1074
+		mant = frac
+		exp = -1074 + int64(natBitLen([]uint64{frac}))
+	} else {
+		mant = frac | 1<<52
+		exp = biased - 1023 + 1 // |x| ∈ [2^(exp-1), 2^exp)
+	}
+	return f.setFromParts(neg, []uint64{mant}, exp-int64(natBitLen([]uint64{mant})), false)
+}
+
+// SetInt64 sets f to v exactly (rounded if precision is tiny).
+func (f *Float) SetInt64(v int64) *Float {
+	if v == 0 {
+		return f.setSpecial(kindZero, false)
+	}
+	neg := v < 0
+	var u uint64
+	if neg {
+		u = uint64(-v) // MinInt64 wraps correctly to 2^63
+	} else {
+		u = uint64(v)
+	}
+	return f.setFromParts(neg, []uint64{u}, 0, false)
+}
+
+// setFromParts normalizes value = (-1)^neg × mant × 2^exp2 (plus a sticky
+// bit for already-discarded low bits) and rounds to f's precision. This
+// is the single rounding path for every operation.
+func (f *Float) setFromParts(neg bool, mant []uint64, exp2 int64, sticky bool) *Float {
+	mant = natTrim(mant)
+	if len(mant) == 0 {
+		if sticky {
+			// A discarded nonzero tail with a zero kept part: round as an
+			// infinitesimally small value.
+			return f.roundTiny(neg)
+		}
+		return f.setSpecial(kindZero, neg)
+	}
+	bl := natBitLen(mant)
+	prec := int(f.prec)
+
+	// The value's exponent (value ∈ [2^(e-1), 2^e)).
+	e := exp2 + int64(bl)
+
+	var kept []uint64
+	var guard uint
+	var st bool
+	switch {
+	case bl <= prec:
+		kept = natShl(mant, uint(prec-bl))
+		guard = 0
+		st = false
+	default:
+		drop := uint(bl - prec - 1)
+		shifted, s1 := natShr(mant, drop)
+		// shifted has prec+1 bits: low bit is the guard.
+		guard = uint(shifted[0] & 1)
+		kept, _ = natShr(shifted, 1)
+		st = s1
+	}
+	st = st || sticky
+
+	// Decide increment.
+	inc := false
+	switch f.mode {
+	case ToNearestEven:
+		if guard == 1 {
+			if st || natBit(kept, 0) == 1 {
+				inc = true
+			}
+		}
+	case ToZero:
+	case ToNegInf:
+		inc = neg && (guard == 1 || st)
+	case ToPosInf:
+		inc = !neg && (guard == 1 || st)
+	}
+	if inc {
+		kept = natAddSmall(kept, 1)
+		if natBitLen(kept) > prec {
+			kept, _ = natShr(kept, 1)
+			e++
+		}
+	}
+
+	f.kind = kindFinite
+	f.neg = neg
+	f.exp = e
+	f.mant = kept
+	return f
+}
+
+// roundTiny handles a value known only to be nonzero with vanishing
+// magnitude (all bits discarded): directed modes may round away from
+// zero; nearest/zero give zero.
+func (f *Float) roundTiny(neg bool) *Float {
+	switch f.mode {
+	case ToNegInf:
+		if neg {
+			return f.smallestFinite(true)
+		}
+	case ToPosInf:
+		if !neg {
+			return f.smallestFinite(false)
+		}
+	}
+	return f.setSpecial(kindZero, neg)
+}
+
+// smallestFinite is an arbitrary tiny stand-in (exponent floor); bigfp has
+// no exponent range limit in normal operation, so this is only reachable
+// through the roundTiny path.
+func (f *Float) smallestFinite(neg bool) *Float {
+	f.kind = kindFinite
+	f.neg = neg
+	f.exp = minExp
+	f.mant = natShl([]uint64{1}, uint(f.prec-1))
+	return f
+}
+
+// minExp bounds roundTiny results.
+const minExp = -1 << 40
+
+// Float64 converts f to the nearest float64 (round to nearest even),
+// with overflow to ±inf and graceful underflow through subnormals.
+func (f *Float) Float64() float64 {
+	switch f.kind {
+	case kindNaN:
+		return math.NaN()
+	case kindInf:
+		if f.neg {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	case kindZero:
+		if f.neg {
+			return math.Copysign(0, -1)
+		}
+		return 0
+	}
+	e := f.exp // |f| ∈ [2^(e-1), 2^e)
+	if e > 1024 {
+		if f.neg {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	}
+	if e <= -1074 {
+		// |f| < 2^-1074: below the smallest subnormal. Rounds to
+		// ±2^-1074 when strictly above half of it; the exact half
+		// (2^-1075) ties to even, i.e. zero.
+		if e == -1074 && !natIsPow2(f.mant) {
+			return math.Copysign(0x1p-1074, signFloat(f.neg))
+		}
+		return math.Copysign(0, signFloat(f.neg))
+	}
+
+	// Effective precision: 53 for normal range, fewer for subnormals so
+	// that the LSB granularity is 2^-1074.
+	targetPrec := 53
+	if e < -1021 {
+		targetPrec = int(e + 1074)
+	}
+
+	// Construct g directly: targetPrec can be 1 in the deep-subnormal
+	// range, below New's MinPrec clamp.
+	g := &Float{prec: uint32(targetPrec)}
+	g.setFromParts(f.neg, f.mant, f.exp-int64(f.prec), false)
+	if g.kind == kindZero {
+		return math.Copysign(0, signFloat(f.neg))
+	}
+	e = g.exp
+	if e > 1024 {
+		if f.neg {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	}
+
+	// Assemble: g's mantissa has targetPrec <= 53 bits (one limb);
+	// value = m × 2^(e − targetPrec).
+	m := g.mant[0]
+	shift := e - int64(targetPrec)
+	// Build float64 via math.Ldexp on the integer mantissa (exact:
+	// m < 2^53).
+	v := math.Ldexp(float64(m), int(shift))
+	if f.neg {
+		v = -v
+	}
+	return v
+}
+
+func signFloat(neg bool) float64 {
+	if neg {
+		return -1
+	}
+	return 1
+}
+
+// Cmp compares f and g: -1, 0, +1. NaN comparisons return 2 (unordered).
+func (f *Float) Cmp(g *Float) int {
+	if f.kind == kindNaN || g.kind == kindNaN {
+		return 2
+	}
+	fs, gs := f.Sign(), g.Sign()
+	if fs != gs {
+		if fs < gs {
+			return -1
+		}
+		return 1
+	}
+	if fs == 0 {
+		return 0
+	}
+	// Same nonzero sign.
+	flip := 1
+	if fs < 0 {
+		flip = -1
+	}
+	if f.kind == kindInf || g.kind == kindInf {
+		switch {
+		case f.kind == kindInf && g.kind == kindInf:
+			return 0
+		case f.kind == kindInf:
+			return flip
+		default:
+			return -flip
+		}
+	}
+	if f.exp != g.exp {
+		if f.exp < g.exp {
+			return -flip
+		}
+		return flip
+	}
+	// Align mantissas to a common precision before comparing.
+	fm, gm := f.mant, g.mant
+	fb, gb := natBitLen(fm), natBitLen(gm)
+	if fb < gb {
+		fm = natShl(fm, uint(gb-fb))
+	} else if gb < fb {
+		gm = natShl(gm, uint(fb-gb))
+	}
+	return flip * natCmp(fm, gm)
+}
+
+// String renders the value approximately (via float64) for diagnostics.
+func (f *Float) String() string {
+	switch f.kind {
+	case kindNaN:
+		return "NaN"
+	case kindInf:
+		if f.neg {
+			return "-Inf"
+		}
+		return "+Inf"
+	case kindZero:
+		if f.neg {
+			return "-0"
+		}
+		return "0"
+	}
+	return fmt.Sprintf("%g(prec=%d)", f.Float64(), f.prec)
+}
+
+// Signbit reports whether f is negative (including -0 and -inf).
+func (f *Float) Signbit() bool { return f.kind != kindNaN && f.neg }

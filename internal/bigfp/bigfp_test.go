@@ -1,0 +1,375 @@
+package bigfp
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// toBig converts a Float to a math/big.Float for oracle comparison.
+func toBig(f *Float, prec uint) *big.Float {
+	out := new(big.Float).SetPrec(prec)
+	switch f.kind {
+	case kindNaN:
+		panic("toBig(NaN)")
+	case kindInf:
+		out.SetInf(f.neg)
+		return out
+	case kindZero:
+		out.SetFloat64(0)
+		if f.neg {
+			out.Neg(out)
+		}
+		return out
+	}
+	// value = mant × 2^(exp - prec)
+	mi := new(big.Int)
+	for i := len(f.mant) - 1; i >= 0; i-- {
+		mi.Lsh(mi, 64)
+		mi.Or(mi, new(big.Int).SetUint64(f.mant[i]))
+	}
+	out.SetInt(mi)
+	// value = mant × 2^(exp − bitlen(mant)); SetMantExp multiplies the
+	// receiver's value by 2^k.
+	out.SetMantExp(out, int(f.exp)-natBitLen(f.mant))
+	if f.neg {
+		out.Neg(out)
+	}
+	return out
+}
+
+// oracleOp computes the op with big.Float at the same precision and RNE.
+func oracleOp(op string, a, b *big.Float, prec uint) *big.Float {
+	out := new(big.Float).SetPrec(prec)
+	switch op {
+	case "add":
+		out.Add(a, b)
+	case "sub":
+		out.Sub(a, b)
+	case "mul":
+		out.Mul(a, b)
+	case "quo":
+		out.Quo(a, b)
+	case "sqrt":
+		out.Sqrt(a)
+	}
+	return out
+}
+
+func randFloat(r *rand.Rand) float64 {
+	for {
+		f := math.Float64frombits(r.Uint64())
+		if !math.IsNaN(f) && !math.IsInf(f, 0) {
+			return f
+		}
+	}
+}
+
+// TestOpsAgainstBigFloat cross-checks add/sub/mul/div/sqrt at several
+// precisions against math/big's correctly rounded implementation.
+func TestOpsAgainstBigFloat(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	precs := []uint{24, 53, 100, 200, 331}
+	ops := []string{"add", "sub", "mul", "quo", "sqrt"}
+	for iter := 0; iter < 4000; iter++ {
+		prec := precs[iter%len(precs)]
+		op := ops[(iter/len(precs))%len(ops)]
+		af, bf := randFloat(r), randFloat(r)
+		if op == "sqrt" {
+			af = math.Abs(af)
+		}
+		a := New(prec).SetFloat64(af)
+		b := New(prec).SetFloat64(bf)
+		out := New(prec)
+		switch op {
+		case "add":
+			out.Add(a, b)
+		case "sub":
+			out.Sub(a, b)
+		case "mul":
+			out.Mul(a, b)
+		case "quo":
+			out.Div(a, b)
+		case "sqrt":
+			out.Sqrt(a)
+		}
+		if out.IsNaN() {
+			t.Fatalf("%s(%g, %g) @%d = NaN", op, af, bf, prec)
+		}
+		want := oracleOp(op, toBig(a, prec), toBig(b, prec), prec)
+		if out.IsInf() || out.IsZero() {
+			// big.Float has its own exponent limits; only compare sign
+			// and kind loosely here.
+			continue
+		}
+		got := toBig(out, prec+8)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("%s(%x, %x) @prec %d:\n got  %s\n want %s",
+				op, math.Float64bits(af), math.Float64bits(bf), prec,
+				got.Text('p', 0), want.Text('p', 0))
+		}
+	}
+}
+
+// TestFloat64Roundtrip checks SetFloat64 -> Float64 is the identity for
+// any precision >= 53.
+func TestFloat64Roundtrip(t *testing.T) {
+	f := func(bits uint64) bool {
+		x := math.Float64frombits(bits)
+		if math.IsNaN(x) {
+			return math.IsNaN(New(53).SetFloat64(x).Float64())
+		}
+		got := New(64).SetFloat64(x).Float64()
+		return math.Float64bits(got) == bits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFloat64RoundingAtLowPrec checks SetFloat64 rounding to tiny
+// precision matches big.Float.
+func TestFloat64RoundingAtLowPrec(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		x := randFloat(r)
+		for _, prec := range []uint{2, 5, 11, 24} {
+			got := New(prec).SetFloat64(x)
+			want := new(big.Float).SetPrec(prec).SetFloat64(x)
+			if got.IsZero() || got.IsInf() {
+				continue
+			}
+			if toBig(got, prec+4).Cmp(want) != 0 {
+				t.Fatalf("SetFloat64(%x) @%d: got %s want %s",
+					math.Float64bits(x), prec, got, want.Text('p', 0))
+			}
+		}
+	}
+}
+
+// TestFloat64Conversion checks Float64() against big.Float's Float64.
+func TestFloat64Conversion(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 4000; i++ {
+		// Build a random 200-bit value from two float64 factors so it is
+		// not representable in 53 bits.
+		a := New(200).SetFloat64(randFloat(r))
+		b := New(200).SetFloat64(randFloat(r))
+		v := New(200).Mul(a, b)
+		v = New(200).Add(v, New(200).SetFloat64(randFloat(r)))
+		if v.IsNaN() || v.IsInf() || v.IsZero() {
+			continue
+		}
+		want, _ := toBig(v, 300).Float64()
+		got := v.Float64()
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Float64(%s): got %x want %x", v, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+// TestSubnormalConversion exercises the graceful-underflow path.
+func TestSubnormalConversion(t *testing.T) {
+	cases := []float64{
+		0x1p-1074, 0x1p-1073, 3 * 0x1p-1074, 0x1p-1022, 0x1.8p-1023,
+		-0x1p-1074, -0x1.5p-1050, 0x1.fffffffffffffp-1023,
+	}
+	for _, x := range cases {
+		got := New(200).SetFloat64(x).Float64()
+		if math.Float64bits(got) != math.Float64bits(x) {
+			t.Errorf("subnormal roundtrip %x -> %x", math.Float64bits(x), math.Float64bits(got))
+		}
+	}
+	// A 200-bit value strictly between 0 and 2^-1074 rounds to 0 or the
+	// smallest subnormal depending on magnitude.
+	tiny := New(200).SetFloat64(0x1p-1000)
+	tiny.Mul(tiny, New(200).SetFloat64(0x1p-80)) // 2^-1080
+	if got := tiny.Float64(); got != 0 {
+		t.Errorf("2^-1080 -> %g, want 0", got)
+	}
+	justOver := New(200).SetFloat64(0x1p-1000)
+	justOver.Mul(justOver, New(200).SetFloat64(0x1.8p-75)) // 1.5×2^-1075 > half of 2^-1074
+	if got := justOver.Float64(); got != 0x1p-1074 {
+		t.Errorf("1.5*2^-1075 -> %g, want 2^-1074", got)
+	}
+}
+
+// TestDirectedRounding checks ToZero/ToNegInf/ToPosInf against big.Float.
+func TestDirectedRounding(t *testing.T) {
+	modes := []struct {
+		ours   RoundingMode
+		theirs big.RoundingMode
+	}{
+		{ToZero, big.ToZero},
+		{ToNegInf, big.ToNegativeInf},
+		{ToPosInf, big.ToPositiveInf},
+		{ToNearestEven, big.ToNearestEven},
+	}
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		af, bf := randFloat(r), randFloat(r)
+		for _, m := range modes {
+			const prec = 40
+			a := New(prec).SetMode(m.ours).SetFloat64(af)
+			b := New(prec).SetMode(m.ours).SetFloat64(bf)
+			got := New(prec).SetMode(m.ours).Mul(a, b)
+			if got.IsZero() || got.IsInf() || got.IsNaN() {
+				continue
+			}
+			wa := new(big.Float).SetPrec(prec).SetMode(m.theirs).SetFloat64(af)
+			wb := new(big.Float).SetPrec(prec).SetMode(m.theirs).SetFloat64(bf)
+			want := new(big.Float).SetPrec(prec).SetMode(m.theirs).Mul(wa, wb)
+			if toBig(got, prec+4).Cmp(want) != 0 {
+				t.Fatalf("mode %v: mul(%g,%g) got %s want %s", m.ours, af, bf, got, want.Text('p', 0))
+			}
+		}
+	}
+}
+
+func TestSpecials(t *testing.T) {
+	inf := New(53).SetFloat64(math.Inf(1))
+	ninf := New(53).SetFloat64(math.Inf(-1))
+	nan := New(53).SetFloat64(math.NaN())
+	zero := New(53).SetFloat64(0)
+	one := New(53).SetFloat64(1)
+
+	if !New(53).Add(inf, ninf).IsNaN() {
+		t.Error("inf + -inf != NaN")
+	}
+	if !New(53).Mul(zero, inf).IsNaN() {
+		t.Error("0 * inf != NaN")
+	}
+	if !New(53).Div(zero, zero).IsNaN() {
+		t.Error("0/0 != NaN")
+	}
+	if v := New(53).Div(one, zero); !v.IsInf() || v.Sign() != 1 {
+		t.Error("1/0 != +inf")
+	}
+	if !New(53).Sqrt(New(53).SetFloat64(-4)).IsNaN() {
+		t.Error("sqrt(-4) != NaN")
+	}
+	if !New(53).Add(nan, one).IsNaN() {
+		t.Error("NaN + 1 != NaN")
+	}
+	if v := New(53).Sub(one, one); !v.IsZero() {
+		t.Error("1-1 != 0")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	mk := func(x float64) *Float { return New(64).SetFloat64(x) }
+	cases := []struct {
+		a, b float64
+		want int
+	}{
+		{1, 2, -1}, {2, 1, 1}, {1, 1, 0}, {-1, 1, -1}, {-2, -1, -1},
+		{0, 0, 0}, {0, 1e-300, -1}, {math.Inf(1), 1e308, 1},
+		{math.Inf(-1), -1e308, -1}, {math.Inf(1), math.Inf(1), 0},
+	}
+	for _, tc := range cases {
+		if got := mk(tc.a).Cmp(mk(tc.b)); got != tc.want {
+			t.Errorf("Cmp(%g,%g) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if mk(1).Cmp(New(64).SetFloat64(math.NaN())) != 2 {
+		t.Error("Cmp with NaN should be unordered (2)")
+	}
+	// Cross-precision comparison.
+	a := New(24).SetFloat64(1.0000001)
+	b := New(200).SetFloat64(1.0000001)
+	if a.Cmp(b) == 0 {
+		// a was rounded at 24 bits, so they may differ; either way Cmp
+		// must be antisymmetric.
+		if b.Cmp(a) != 0 {
+			t.Error("Cmp not antisymmetric")
+		}
+	} else if a.Cmp(b) != -b.Cmp(a) {
+		t.Error("Cmp not antisymmetric")
+	}
+}
+
+func TestSetInt64(t *testing.T) {
+	f := func(v int64) bool {
+		x := New(64).SetInt64(v)
+		return x.Float64() == float64(v) || v != int64(float64(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if got := New(64).SetInt64(math.MinInt64).Float64(); got != -0x1p63 {
+		t.Errorf("MinInt64 -> %g", got)
+	}
+	if !New(64).SetInt64(0).IsZero() {
+		t.Error("SetInt64(0) not zero")
+	}
+}
+
+// TestAddCancellation exercises catastrophic cancellation exactness.
+func TestAddCancellation(t *testing.T) {
+	a := New(200).SetFloat64(1.0)
+	eps := New(200).SetFloat64(0x1p-120)
+	sum := New(200).Add(a, eps)  // exact at 200 bits
+	diff := New(200).Sub(sum, a) // must recover eps exactly
+	if diff.Cmp(eps) != 0 {
+		t.Errorf("(1 + 2^-120) - 1 = %s, want 2^-120", diff)
+	}
+}
+
+// TestFarApartAddSub exercises the sticky-only fast path.
+func TestFarApartAddSub(t *testing.T) {
+	big1 := New(53).SetFloat64(1.0)
+	tiny := New(53).SetFloat64(0x1p-200)
+	if got := New(53).Add(big1, tiny).Float64(); got != 1.0 {
+		t.Errorf("1 + 2^-200 = %g (RNE), want 1", got)
+	}
+	if got := New(53).Sub(big1, tiny).Float64(); got != 1.0 {
+		t.Errorf("1 - 2^-200 = %g (RNE), want 1", got)
+	}
+	// Directed rounding must honor the sticky direction.
+	down := New(53).SetMode(ToNegInf)
+	if got := down.Sub(big1, tiny).Float64(); got >= 1.0 {
+		t.Errorf("RD(1 - 2^-200) = %g, want < 1", got)
+	}
+	up := New(53).SetMode(ToPosInf)
+	if got := up.Add(big1, tiny).Float64(); got <= 1.0 {
+		t.Errorf("RU(1 + 2^-200) = %g, want > 1", got)
+	}
+}
+
+func TestNegAbsSignbit(t *testing.T) {
+	x := New(53).SetFloat64(-3.5)
+	if !x.Signbit() {
+		t.Error("-3.5 signbit false")
+	}
+	y := x.Clone().Neg()
+	if y.Signbit() || y.Float64() != 3.5 {
+		t.Errorf("neg(-3.5) = %g", y.Float64())
+	}
+	z := New(53)
+	z.Abs(x)
+	if z.Float64() != 3.5 {
+		t.Errorf("abs(-3.5) = %g", z.Float64())
+	}
+	if x.Float64() != -3.5 {
+		t.Error("Neg/Abs mutated the source")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a := New(53).SetFloat64(2)
+	b := New(53).SetFloat64(3)
+	if New(53).Min(a, b).Float64() != 2 {
+		t.Error("min(2,3)")
+	}
+	if New(53).Max(a, b).Float64() != 3 {
+		t.Error("max(2,3)")
+	}
+}
+
+func TestLimbCount(t *testing.T) {
+	if New(53).LimbCount() != 1 || New(200).LimbCount() != 4 || New(64).LimbCount() != 1 || New(65).LimbCount() != 2 {
+		t.Error("limb counts wrong")
+	}
+}

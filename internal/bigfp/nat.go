@@ -1,0 +1,297 @@
+package bigfp
+
+import "math/bits"
+
+// nat is an unsigned multi-precision integer stored as little-endian
+// uint64 limbs. Functions keep results trimmed (no leading zero limbs) so
+// natBitLen is meaningful. These are the only primitives the float layer
+// needs; everything is written against them, stdlib-only.
+
+func natTrim(x []uint64) []uint64 {
+	for len(x) > 0 && x[len(x)-1] == 0 {
+		x = x[:len(x)-1]
+	}
+	return x
+}
+
+func natIsZero(x []uint64) bool { return len(natTrim(x)) == 0 }
+
+// natBitLen returns the position of the highest set bit + 1 (0 for zero).
+func natBitLen(x []uint64) int {
+	x = natTrim(x)
+	if len(x) == 0 {
+		return 0
+	}
+	return (len(x)-1)*64 + bits.Len64(x[len(x)-1])
+}
+
+// natCmp returns -1, 0, +1.
+func natCmp(a, b []uint64) int {
+	a, b = natTrim(a), natTrim(b)
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return -1
+		}
+		return 1
+	}
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// natAdd returns a + b.
+func natAdd(a, b []uint64) []uint64 {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	out := make([]uint64, len(a)+1)
+	var carry uint64
+	for i := range a {
+		bv := uint64(0)
+		if i < len(b) {
+			bv = b[i]
+		}
+		s, c1 := bits.Add64(a[i], bv, carry)
+		out[i] = s
+		carry = c1
+	}
+	out[len(a)] = carry
+	return natTrim(out)
+}
+
+// natSub returns a - b; a must be >= b.
+func natSub(a, b []uint64) []uint64 {
+	out := make([]uint64, len(a))
+	var borrow uint64
+	for i := range a {
+		bv := uint64(0)
+		if i < len(b) {
+			bv = b[i]
+		}
+		d, br := bits.Sub64(a[i], bv, borrow)
+		out[i] = d
+		borrow = br
+	}
+	if borrow != 0 {
+		panic("bigfp: natSub underflow")
+	}
+	return natTrim(out)
+}
+
+// natAddSmall returns x + v.
+func natAddSmall(x []uint64, v uint64) []uint64 {
+	out := make([]uint64, len(x)+1)
+	copy(out, x)
+	var carry uint64 = v
+	for i := 0; i < len(out) && carry != 0; i++ {
+		s, c := bits.Add64(out[i], carry, 0)
+		out[i] = s
+		carry = c
+	}
+	return natTrim(out)
+}
+
+// natShl returns x << k.
+func natShl(x []uint64, k uint) []uint64 {
+	x = natTrim(x)
+	if len(x) == 0 || k == 0 {
+		out := make([]uint64, len(x))
+		copy(out, x)
+		return out
+	}
+	limbShift := int(k / 64)
+	bitShift := k % 64
+	out := make([]uint64, len(x)+limbShift+1)
+	if bitShift == 0 {
+		copy(out[limbShift:], x)
+	} else {
+		for i := len(x) - 1; i >= 0; i-- {
+			out[i+limbShift+1] |= x[i] >> (64 - bitShift)
+			out[i+limbShift] |= x[i] << bitShift
+		}
+	}
+	return natTrim(out)
+}
+
+// natShr returns x >> k and whether any dropped bit was nonzero (sticky).
+func natShr(x []uint64, k uint) ([]uint64, bool) {
+	x = natTrim(x)
+	if len(x) == 0 {
+		return nil, false
+	}
+	if k == 0 {
+		out := make([]uint64, len(x))
+		copy(out, x)
+		return out, false
+	}
+	limbShift := int(k / 64)
+	bitShift := k % 64
+	if limbShift >= len(x) {
+		return nil, true // everything dropped (x nonzero)
+	}
+	sticky := false
+	for i := 0; i < limbShift; i++ {
+		if x[i] != 0 {
+			sticky = true
+		}
+	}
+	out := make([]uint64, len(x)-limbShift)
+	if bitShift == 0 {
+		copy(out, x[limbShift:])
+	} else {
+		if x[limbShift]&(1<<bitShift-1) != 0 {
+			sticky = true
+		}
+		for i := range out {
+			out[i] = x[limbShift+i] >> bitShift
+			if limbShift+i+1 < len(x) {
+				out[i] |= x[limbShift+i+1] << (64 - bitShift)
+			}
+		}
+	}
+	return natTrim(out), sticky
+}
+
+// natIsPow2 reports whether x is an exact power of two (single set bit).
+func natIsPow2(x []uint64) bool {
+	x = natTrim(x)
+	if len(x) == 0 {
+		return false
+	}
+	top := x[len(x)-1]
+	if top&(top-1) != 0 {
+		return false
+	}
+	for _, l := range x[:len(x)-1] {
+		if l != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// natBit returns bit i of x.
+func natBit(x []uint64, i int) uint {
+	limb := i / 64
+	if limb >= len(x) || i < 0 {
+		return 0
+	}
+	return uint(x[limb] >> (i % 64) & 1)
+}
+
+// natMul returns a * b (schoolbook).
+func natMul(a, b []uint64) []uint64 {
+	a, b = natTrim(a), natTrim(b)
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]uint64, len(a)+len(b))
+	for i, av := range a {
+		var carry uint64
+		for j, bv := range b {
+			hi, lo := bits.Mul64(av, bv)
+			s, c1 := bits.Add64(out[i+j], lo, 0)
+			s, c2 := bits.Add64(s, carry, 0)
+			out[i+j] = s
+			carry = hi + c1 + c2 // cannot overflow: hi <= 2^64-2
+		}
+		k := i + len(b)
+		for carry != 0 {
+			s, c := bits.Add64(out[k], carry, 0)
+			out[k] = s
+			carry = c
+			k++
+		}
+	}
+	return natTrim(out)
+}
+
+// natDivBits computes the top `qbits` quotient bits of a/b along with a
+// sticky flag for the remainder. a and b must be nonzero. The quotient is
+// returned together with e, the exponent adjustment such that
+// a/b = q * 2^(e-qbits+ ...): specifically, q has exactly qbits bits and
+// a/b = q * 2^(natBitLen(a)-natBitLen(b)-qbits+adj) where adj ∈ {0,1} is
+// folded into the returned exponent offset.
+//
+// Returned: q (qbits bits), expAdj (0 or 1 meaning a/b >= 2^(la-lb)), and
+// sticky (remainder nonzero).
+func natDivBits(a, b []uint64, qbits int) (q []uint64, expAdj int, sticky bool) {
+	la, lb := natBitLen(a), natBitLen(b)
+	// Scale a so that floor division yields at least qbits+1 bits of
+	// headroom: A = a << s with bitlen(A) = lb + qbits.
+	s := lb + qbits - la
+	var A []uint64
+	if s >= 0 {
+		A = natShl(a, uint(s))
+	} else {
+		var st bool
+		A, st = natShr(a, uint(-s))
+		sticky = sticky || st
+	}
+	// Binary long division producing qbits (or qbits+1) bits.
+	q = nil
+	rem := A
+	// Quotient magnitude: A/b in [2^(qbits-1), 2^(qbits+1)).
+	for i := qbits; i >= 0; i-- {
+		t := natShl(b, uint(i))
+		q = natShl(q, 1)
+		if natCmp(rem, t) >= 0 {
+			rem = natSub(rem, t)
+			q = natAddSmall(q, 1)
+		}
+	}
+	if !natIsZero(rem) {
+		sticky = true
+	}
+	// q now has qbits or qbits+1 bits.
+	if natBitLen(q) > qbits {
+		var st bool
+		q, st = natShr(q, 1)
+		sticky = sticky || st
+		expAdj = 1
+	}
+	return q, expAdj, sticky
+}
+
+// natSqrtBits computes the top `qbits` bits of sqrt(a * 2^scale) where
+// scale is chosen by the caller (must make the operand's bit length ~
+// 2*qbits). Returns the root with exactly qbits bits and sticky for a
+// nonzero remainder. a must be nonzero and bitlen(a) in
+// [2*qbits-1, 2*qbits].
+func natSqrtBits(a []uint64, qbits int) (root []uint64, sticky bool) {
+	// Digit-by-digit (restoring) square root on the integer a.
+	var x []uint64 // current root
+	var r []uint64 // current remainder
+	n := natBitLen(a)
+	// Process bit pairs from the top; total qbits iterations.
+	start := n
+	if start%2 == 1 {
+		start++
+	}
+	for i := 0; i < qbits; i++ {
+		// Bring down two bits of a (zero once exhausted).
+		hi := start - 2*i - 1
+		lo := start - 2*i - 2
+		var pair uint64
+		if hi >= 0 {
+			pair = uint64(natBit(a, hi))<<1 | uint64(natBit(a, lo))
+		}
+		r = natShl(r, 2)
+		r = natAddSmall(r, pair)
+		// Candidate: t = (x << 2) + 1 ; if r >= t: r -= t, x = (x<<1)+1
+		t := natAddSmall(natShl(x, 2), 1)
+		if natCmp(r, t) >= 0 {
+			r = natSub(r, t)
+			x = natAddSmall(natShl(x, 1), 1)
+		} else {
+			x = natShl(x, 1)
+		}
+	}
+	return x, !natIsZero(r)
+}

@@ -1,0 +1,270 @@
+package bigfp
+
+// Arithmetic. Every operation computes an exact (or exact-plus-sticky)
+// intermediate and rounds once through setFromParts, giving correct
+// rounding in the destination's mode and precision. Special values follow
+// IEEE 754 semantics.
+
+// Add sets f = a + b and returns f.
+func (f *Float) Add(a, b *Float) *Float {
+	switch {
+	case a.kind == kindNaN || b.kind == kindNaN:
+		return f.setSpecial(kindNaN, false)
+	case a.kind == kindInf && b.kind == kindInf:
+		if a.neg != b.neg {
+			return f.setSpecial(kindNaN, false)
+		}
+		return f.setSpecial(kindInf, a.neg)
+	case a.kind == kindInf:
+		return f.setSpecial(kindInf, a.neg)
+	case b.kind == kindInf:
+		return f.setSpecial(kindInf, b.neg)
+	case a.kind == kindZero && b.kind == kindZero:
+		// (+0) + (-0) = +0 except in ToNegInf where it is -0.
+		neg := a.neg && b.neg
+		if f.mode == ToNegInf {
+			neg = a.neg || b.neg
+		}
+		return f.setSpecial(kindZero, neg)
+	case a.kind == kindZero:
+		return f.setFromParts(b.neg, b.mant, b.exp-int64(b.prec), false)
+	case b.kind == kindZero:
+		return f.setFromParts(a.neg, a.mant, a.exp-int64(a.prec), false)
+	}
+
+	if a.neg == b.neg {
+		neg, mant, exp2, sticky := addMag(a, b, int(f.prec))
+		_ = neg
+		return f.setFromParts(a.neg, mant, exp2, sticky)
+	}
+	// Opposite signs: subtract magnitudes.
+	return f.subMag(a, b)
+}
+
+// Sub sets f = a - b and returns f.
+func (f *Float) Sub(a, b *Float) *Float {
+	nb := b.Clone().Neg()
+	return f.Add(a, nb)
+}
+
+// addMag computes |a| + |b| exactly up to a sticky tail, aligned so the
+// caller can round. Returns (unused, mantissa, exp2, sticky) with
+// value = mantissa × 2^exp2 (+ tiny sticky remainder).
+func addMag(a, b *Float, prec int) (bool, []uint64, int64, bool) {
+	// Order by value exponent: A is the larger-magnitude exponent.
+	A, B := a, b
+	if B.exp > A.exp {
+		A, B = B, A
+	}
+	// LSB exponents.
+	alsb := A.exp - int64(A.prec)
+	blsb := B.exp - int64(B.prec)
+	d := A.exp - B.exp
+
+	// If B is far below A's rounding horizon it only contributes sticky.
+	horizon := int64(prec) + 6
+	if d > horizon+int64(B.prec) {
+		return false, A.mant, alsb, true
+	}
+
+	// Align exactly on a common LSB (cap B's contribution via shift-out
+	// into sticky; the cap keeps buffers bounded).
+	var am, bm []uint64
+	var lsb int64
+	sticky := false
+	if alsb <= blsb {
+		lsb = alsb
+		am = a2mant(A)
+		bm = natShl(B.mant, uint(blsb-lsb))
+	} else {
+		// B extends below A: bring A down to B's LSB (exact).
+		lsb = blsb
+		am = natShl(A.mant, uint(alsb-lsb))
+		bm = a2mant(B)
+	}
+	sum := natAdd(am, bm)
+	return false, sum, lsb, sticky
+}
+
+func a2mant(x *Float) []uint64 {
+	out := make([]uint64, len(x.mant))
+	copy(out, x.mant)
+	return out
+}
+
+// subMag computes a + b where the signs differ, exactly, and rounds.
+func (f *Float) subMag(a, b *Float) *Float {
+	// Work with magnitudes: result = sign(a)·(|a| − |b|) when |a| >= |b|.
+	cmp := cmpMag(a, b)
+	if cmp == 0 {
+		neg := f.mode == ToNegInf
+		return f.setSpecial(kindZero, neg)
+	}
+	L, S := a, b
+	if cmp < 0 {
+		L, S = b, a
+	}
+	neg := L.neg
+
+	llsb := L.exp - int64(L.prec)
+	slsb := S.exp - int64(S.prec)
+
+	// If S is far below L's rounding horizon, use the
+	// "subtract one extended unit + sticky" trick (see the paper's
+	// concern for exactness; this keeps buffers bounded while preserving
+	// correct rounding).
+	horizon := int64(f.prec) + 6
+	if L.exp-S.exp > horizon+int64(S.prec) {
+		ext := natShl(L.mant, 8)
+		ext = natSub(ext, []uint64{1})
+		return f.setFromParts(neg, ext, llsb-8, true)
+	}
+
+	var lm, sm []uint64
+	var lsb int64
+	if llsb <= slsb {
+		lsb = llsb
+		lm = a2mant(L)
+		sm = natShl(S.mant, uint(slsb-lsb))
+	} else {
+		lsb = slsb
+		lm = natShl(L.mant, uint(llsb-lsb))
+		sm = a2mant(S)
+	}
+	diff := natSub(lm, sm)
+	return f.setFromParts(neg, diff, lsb, false)
+}
+
+// cmpMag compares |a| and |b| for finite nonzero values.
+func cmpMag(a, b *Float) int {
+	if a.exp != b.exp {
+		if a.exp < b.exp {
+			return -1
+		}
+		return 1
+	}
+	am, bm := a.mant, b.mant
+	ab, bb := natBitLen(am), natBitLen(bm)
+	if ab < bb {
+		am = natShl(am, uint(bb-ab))
+	} else if bb < ab {
+		bm = natShl(bm, uint(ab-bb))
+	}
+	return natCmp(am, bm)
+}
+
+// Mul sets f = a × b and returns f.
+func (f *Float) Mul(a, b *Float) *Float {
+	switch {
+	case a.kind == kindNaN || b.kind == kindNaN:
+		return f.setSpecial(kindNaN, false)
+	case a.kind == kindInf || b.kind == kindInf:
+		if a.kind == kindZero || b.kind == kindZero {
+			return f.setSpecial(kindNaN, false)
+		}
+		return f.setSpecial(kindInf, a.neg != b.neg)
+	case a.kind == kindZero || b.kind == kindZero:
+		return f.setSpecial(kindZero, a.neg != b.neg)
+	}
+	prod := natMul(a.mant, b.mant)
+	exp2 := (a.exp - int64(a.prec)) + (b.exp - int64(b.prec))
+	return f.setFromParts(a.neg != b.neg, prod, exp2, false)
+}
+
+// Div sets f = a / b and returns f.
+func (f *Float) Div(a, b *Float) *Float {
+	switch {
+	case a.kind == kindNaN || b.kind == kindNaN:
+		return f.setSpecial(kindNaN, false)
+	case a.kind == kindInf && b.kind == kindInf:
+		return f.setSpecial(kindNaN, false)
+	case a.kind == kindZero && b.kind == kindZero:
+		return f.setSpecial(kindNaN, false)
+	case a.kind == kindInf:
+		return f.setSpecial(kindInf, a.neg != b.neg)
+	case b.kind == kindInf:
+		return f.setSpecial(kindZero, a.neg != b.neg)
+	case b.kind == kindZero:
+		return f.setSpecial(kindInf, a.neg != b.neg)
+	case a.kind == kindZero:
+		return f.setSpecial(kindZero, a.neg != b.neg)
+	}
+	qbits := int(f.prec) + 2
+	q, expAdj, sticky := natDivBits(a.mant, b.mant, qbits)
+	// a/b = q × 2^(la − lb − qbits + expAdj) × 2^(ea' − eb') where
+	// ea' = a.exp − a.prec etc. With mantissas normalized,
+	// la = a.prec, lb = b.prec.
+	exp2 := (a.exp - int64(a.prec)) - (b.exp - int64(b.prec)) +
+		int64(int(a.prec)-int(b.prec)-qbits+expAdj)
+	return f.setFromParts(a.neg != b.neg, q, exp2, sticky)
+}
+
+// Sqrt sets f = sqrt(a) and returns f. Negative inputs yield NaN.
+func (f *Float) Sqrt(a *Float) *Float {
+	switch {
+	case a.kind == kindNaN:
+		return f.setSpecial(kindNaN, false)
+	case a.kind == kindZero:
+		return f.setSpecial(kindZero, a.neg)
+	case a.neg:
+		return f.setSpecial(kindNaN, false)
+	case a.kind == kindInf:
+		return f.setSpecial(kindInf, false)
+	}
+	qbits := int(f.prec) + 2
+	// Scale mantissa so its bit length is 2*qbits or 2*qbits−1 with an
+	// even total exponent: value = M × 2^E, sqrt = sqrt(M) × 2^(E/2).
+	M := a.mant
+	E := a.exp - int64(a.prec)
+	bl := natBitLen(M)
+	shift := 2*qbits - bl
+	// Keep E − shift even.
+	if (E-int64(shift))%2 != 0 {
+		shift++
+	}
+	if shift < 0 {
+		panic("bigfp: sqrt scaling underflow (precision too small)")
+	}
+	M = natShl(M, uint(shift))
+	E -= int64(shift)
+	root, sticky := natSqrtBits(M, natBitLen(M)/2+natBitLen(M)%2)
+	return f.setFromParts(false, root, E/2, sticky)
+}
+
+// Abs sets f = |a| and returns f.
+func (f *Float) Abs(a *Float) *Float {
+	g := a.Clone()
+	g.neg = false
+	*f = *g
+	return f
+}
+
+// Min sets f to the smaller of a, b (x64 minsd semantics: returns b when
+// equal or unordered handled by the caller).
+func (f *Float) Min(a, b *Float) *Float {
+	if a.Cmp(b) == -1 {
+		*f = *a.Clone()
+	} else {
+		*f = *b.Clone()
+	}
+	return f
+}
+
+// Max sets f to the larger of a, b (x64 maxsd semantics).
+func (f *Float) Max(a, b *Float) *Float {
+	if a.Cmp(b) == 1 {
+		*f = *a.Clone()
+	} else {
+		*f = *b.Clone()
+	}
+	return f
+}
+
+// LimbCount returns the number of mantissa limbs (cost model input).
+func (f *Float) LimbCount() int {
+	n := (int(f.prec) + 63) / 64
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,453 @@
+package bigfp
+
+// Arbitrary-precision transcendental functions — the part of the MPFR
+// stand-in that backs FPVM's libm forward wrappers (§5.3: "the libm
+// functions are always configured with special hand-written forward
+// wrappers that interface with the alternative arithmetic system").
+// Everything is computed from scratch: π by Machin's formula, ln 2 by an
+// atanh series, exp/log/sin/cos/atan by argument reduction + Taylor or
+// atanh series, all at a working precision with guard bits and rounded
+// once into the destination.
+
+import "math"
+
+// guardBits is the extra working precision used inside the series.
+const guardBits = 32
+
+// constCache memoizes π and ln2 per working precision.
+type constEntry struct {
+	prec uint
+	val  *Float
+}
+
+var piCache, ln2Cache constEntry
+
+// MulPow2 multiplies f by 2^k exactly (adjusts the exponent).
+func (f *Float) MulPow2(k int64) *Float {
+	if f.kind == kindFinite {
+		f.exp += k
+	}
+	return f
+}
+
+// atanRecip computes atan(1/n) at precision prec via the alternating
+// series sum_k (-1)^k / ((2k+1) n^(2k+1)), for integer n >= 2.
+func atanRecip(n int64, prec uint) *Float {
+	wp := prec + guardBits
+	inv := New(wp).Div(New(wp).SetInt64(1), New(wp).SetInt64(n))
+	inv2 := New(wp).Mul(inv, inv)
+
+	sum := inv.Clone()
+	term := inv.Clone() // 1/n^(2k+1)
+	for k := int64(1); ; k++ {
+		term = New(wp).Mul(term, inv2)
+		contrib := New(wp).Div(term, New(wp).SetInt64(2*k+1))
+		if contrib.IsZero() || contrib.exp < sum.exp-int64(wp) {
+			break
+		}
+		if k%2 == 1 {
+			sum = New(wp).Sub(sum, contrib)
+		} else {
+			sum = New(wp).Add(sum, contrib)
+		}
+	}
+	return sum
+}
+
+// Pi returns π at the given precision (Machin: π = 16·atan(1/5) − 4·atan(1/239)).
+func Pi(prec uint) *Float {
+	if piCache.val != nil && piCache.prec >= prec {
+		out := New(prec)
+		out.setFromParts(piCache.val.neg, piCache.val.mant, piCache.val.exp-int64(piCache.val.prec), false)
+		return out
+	}
+	wp := prec + guardBits
+	a := atanRecip(5, wp).MulPow2(4)   // 16 atan(1/5)
+	b := atanRecip(239, wp).MulPow2(2) // 4 atan(1/239)
+	pi := New(wp).Sub(a, b)
+	piCache = constEntry{prec: prec, val: pi}
+	out := New(prec)
+	out.setFromParts(pi.neg, pi.mant, pi.exp-int64(pi.prec), false)
+	return out
+}
+
+// Ln2 returns ln 2 at the given precision (2·atanh(1/3) = 2·Σ 1/((2k+1)·3^(2k+1))).
+func Ln2(prec uint) *Float {
+	if ln2Cache.val != nil && ln2Cache.prec >= prec {
+		out := New(prec)
+		out.setFromParts(ln2Cache.val.neg, ln2Cache.val.mant, ln2Cache.val.exp-int64(ln2Cache.val.prec), false)
+		return out
+	}
+	wp := prec + guardBits
+	third := New(wp).Div(New(wp).SetInt64(1), New(wp).SetInt64(3))
+	ninth := New(wp).Mul(third, third)
+	sum := third.Clone()
+	term := third.Clone()
+	for k := int64(1); ; k++ {
+		term = New(wp).Mul(term, ninth)
+		contrib := New(wp).Div(term, New(wp).SetInt64(2*k+1))
+		if contrib.IsZero() || contrib.exp < sum.exp-int64(wp) {
+			break
+		}
+		sum = New(wp).Add(sum, contrib)
+	}
+	ln2 := sum.MulPow2(1)
+	ln2Cache = constEntry{prec: prec, val: ln2}
+	out := New(prec)
+	out.setFromParts(ln2.neg, ln2.mant, ln2.exp-int64(ln2.prec), false)
+	return out
+}
+
+// round rounds src into f at f's precision.
+func (f *Float) round(src *Float) *Float {
+	switch src.kind {
+	case kindNaN:
+		return f.setSpecial(kindNaN, false)
+	case kindInf:
+		return f.setSpecial(kindInf, src.neg)
+	case kindZero:
+		return f.setSpecial(kindZero, src.neg)
+	}
+	return f.setFromParts(src.neg, src.mant, src.exp-int64(src.prec), false)
+}
+
+// maxArgExp bounds transcendental argument magnitudes (|x| < 2^maxArgExp);
+// beyond it trig reduction would need absurd precision and exp/log results
+// are ±inf/NaN territory anyway.
+const maxArgExp = 1 << 20
+
+// Exp sets f = e^a.
+func (f *Float) Exp(a *Float) *Float {
+	switch {
+	case a.IsNaN():
+		return f.setSpecial(kindNaN, false)
+	case a.IsInf():
+		if a.neg {
+			return f.setSpecial(kindZero, false)
+		}
+		return f.setSpecial(kindInf, false)
+	case a.IsZero():
+		return f.SetInt64(1)
+	case a.exp > maxArgExp:
+		if a.neg {
+			return f.setSpecial(kindZero, false)
+		}
+		return f.setSpecial(kindInf, false)
+	}
+
+	wp := f.Prec() + guardBits
+	ln2 := Ln2(wp)
+	// k = round(a / ln2); r = a - k·ln2, |r| <= ln2/2.
+	q := New(wp).Div(a, ln2)
+	k := int64(math.RoundToEven(q.Float64()))
+	r := New(wp).Sub(a, New(wp).Mul(New(wp).SetInt64(k), ln2))
+
+	// Taylor: e^r = Σ r^n / n!.
+	sum := New(wp).SetInt64(1)
+	term := New(wp).SetInt64(1)
+	for n := int64(1); ; n++ {
+		term = New(wp).Div(New(wp).Mul(term, r), New(wp).SetInt64(n))
+		if term.IsZero() || term.exp < sum.exp-int64(wp) {
+			break
+		}
+		sum = New(wp).Add(sum, term)
+	}
+	sum.MulPow2(k)
+	return f.round(sum)
+}
+
+// Log sets f = ln(a). Negative input yields NaN, zero yields -inf.
+func (f *Float) Log(a *Float) *Float {
+	switch {
+	case a.IsNaN(), a.Sign() < 0:
+		return f.setSpecial(kindNaN, false)
+	case a.IsZero():
+		return f.setSpecial(kindInf, true)
+	case a.IsInf():
+		return f.setSpecial(kindInf, false)
+	}
+	wp := f.Prec() + guardBits
+
+	// Normalize a = m · 2^e with m ∈ [1, 2).
+	e := a.exp - 1
+	m := a.Clone()
+	m.exp = 1 // m ∈ [1, 2)
+
+	// ln m = 2 atanh(z), z = (m-1)/(m+1) ∈ [0, 1/3).
+	mw := New(wp).round(m)
+	one := New(wp).SetInt64(1)
+	z := New(wp).Div(New(wp).Sub(mw, one), New(wp).Add(mw, one))
+	z2 := New(wp).Mul(z, z)
+	sum := z.Clone()
+	term := z.Clone()
+	for k := int64(1); ; k++ {
+		term = New(wp).Mul(term, z2)
+		contrib := New(wp).Div(term, New(wp).SetInt64(2*k+1))
+		if contrib.IsZero() || (!sum.IsZero() && contrib.exp < sum.exp-int64(wp)) {
+			break
+		}
+		sum = New(wp).Add(sum, contrib)
+	}
+	lnm := sum.MulPow2(1)
+
+	out := New(wp).Add(lnm, New(wp).Mul(New(wp).SetInt64(e), Ln2(wp)))
+	return f.round(out)
+}
+
+// sinCosReduced computes sin(r) and cos(r) by Taylor for |r| <= π/4 + ε.
+func sinCosReduced(r *Float, wp uint) (sin, cos *Float) {
+	r2 := New(wp).Mul(r, r)
+	// sin: Σ (-1)^k r^(2k+1)/(2k+1)!
+	sin = r.Clone()
+	term := r.Clone()
+	for k := int64(1); ; k++ {
+		term = New(wp).Div(New(wp).Mul(term, r2), New(wp).SetInt64(2*k*(2*k+1)))
+		if term.IsZero() || (!sin.IsZero() && term.exp < sin.exp-int64(wp)) {
+			break
+		}
+		if k%2 == 1 {
+			sin = New(wp).Sub(sin, term)
+		} else {
+			sin = New(wp).Add(sin, term)
+		}
+	}
+	// cos: Σ (-1)^k r^(2k)/(2k)!
+	cos = New(wp).SetInt64(1)
+	term = New(wp).SetInt64(1)
+	for k := int64(1); ; k++ {
+		term = New(wp).Div(New(wp).Mul(term, r2), New(wp).SetInt64(2*k*(2*k-1)))
+		if term.IsZero() || term.exp < cos.exp-int64(wp) {
+			break
+		}
+		if k%2 == 1 {
+			cos = New(wp).Sub(cos, term)
+		} else {
+			cos = New(wp).Add(cos, term)
+		}
+	}
+	return sin, cos
+}
+
+// sinCos computes both sin(a) and cos(a) with argument reduction mod π/2.
+func sinCos(a *Float, prec uint) (sin, cos *Float, ok bool) {
+	if a.IsNaN() || a.IsInf() || (a.kind == kindFinite && a.exp > maxArgExp) {
+		return nil, nil, false
+	}
+	// Working precision must absorb cancellation in the reduction:
+	// subtracting q·π/2 from a loses ~exp(a) bits.
+	extra := uint(0)
+	if a.kind == kindFinite && a.exp > 0 {
+		extra = uint(a.exp)
+	}
+	wp := prec + guardBits + extra
+
+	halfPi := Pi(wp).MulPow2(-1)
+	q := New(wp).Div(a, halfPi)
+	k := int64(math.RoundToEven(q.Float64()))
+	r := New(wp).Sub(a, New(wp).Mul(New(wp).SetInt64(k), halfPi))
+
+	s, c := sinCosReduced(r, wp)
+	switch ((k % 4) + 4) % 4 {
+	case 0:
+		return s, c, true
+	case 1:
+		return c, New(wp).Sub(New(wp), s), true // sin=cos(r), cos=-sin(r)
+	case 2:
+		return New(wp).Sub(New(wp), s), New(wp).Sub(New(wp), c), true
+	default:
+		return New(wp).Sub(New(wp), c), s, true
+	}
+}
+
+// Sin sets f = sin(a).
+func (f *Float) Sin(a *Float) *Float {
+	if a.IsZero() {
+		return f.setSpecial(kindZero, a.neg)
+	}
+	s, _, ok := sinCos(a, f.Prec())
+	if !ok {
+		return f.setSpecial(kindNaN, false)
+	}
+	return f.round(s)
+}
+
+// Cos sets f = cos(a).
+func (f *Float) Cos(a *Float) *Float {
+	if a.IsZero() {
+		return f.SetInt64(1)
+	}
+	_, c, ok := sinCos(a, f.Prec())
+	if !ok {
+		return f.setSpecial(kindNaN, false)
+	}
+	return f.round(c)
+}
+
+// Tan sets f = tan(a) = sin(a)/cos(a).
+func (f *Float) Tan(a *Float) *Float {
+	s, c, ok := sinCos(a, f.Prec()+guardBits)
+	if !ok {
+		return f.setSpecial(kindNaN, false)
+	}
+	return f.round(New(f.Prec()+guardBits).Div(s, c))
+}
+
+// Atan sets f = atan(a).
+func (f *Float) Atan(a *Float) *Float {
+	switch {
+	case a.IsNaN():
+		return f.setSpecial(kindNaN, false)
+	case a.IsZero():
+		return f.setSpecial(kindZero, a.neg)
+	case a.IsInf():
+		out := Pi(f.Prec() + guardBits).MulPow2(-1)
+		out.neg = a.neg
+		return f.round(out)
+	}
+	wp := f.Prec() + guardBits
+	x := New(wp).round(a)
+	neg := x.Signbit()
+	if neg {
+		x.Neg()
+	}
+
+	// |x| > 1: atan(x) = π/2 − atan(1/x).
+	invert := x.Cmp(New(wp).SetInt64(1)) > 0
+	if invert {
+		x = New(wp).Div(New(wp).SetInt64(1), x)
+	}
+
+	// Halve until small: atan(x) = 2 atan(x / (1 + sqrt(1+x²))).
+	doublings := 0
+	eighth := New(wp).SetFloat64(0.125)
+	one := New(wp).SetInt64(1)
+	for x.Cmp(eighth) > 0 {
+		den := New(wp).Add(one, New(wp).Sqrt(New(wp).Add(one, New(wp).Mul(x, x))))
+		x = New(wp).Div(x, den)
+		doublings++
+		if doublings > 64 {
+			break
+		}
+	}
+
+	// Series: atan(x) = Σ (-1)^k x^(2k+1)/(2k+1).
+	x2 := New(wp).Mul(x, x)
+	sum := x.Clone()
+	term := x.Clone()
+	for k := int64(1); ; k++ {
+		term = New(wp).Mul(term, x2)
+		contrib := New(wp).Div(term, New(wp).SetInt64(2*k+1))
+		if contrib.IsZero() || (!sum.IsZero() && contrib.exp < sum.exp-int64(wp)) {
+			break
+		}
+		if k%2 == 1 {
+			sum = New(wp).Sub(sum, contrib)
+		} else {
+			sum = New(wp).Add(sum, contrib)
+		}
+	}
+	sum.MulPow2(int64(doublings))
+
+	if invert {
+		sum = New(wp).Sub(Pi(wp).MulPow2(-1), sum)
+	}
+	if neg {
+		sum.Neg()
+	}
+	return f.round(sum)
+}
+
+// Asin sets f = asin(a) = atan(a / sqrt(1 − a²)), |a| <= 1.
+func (f *Float) Asin(a *Float) *Float {
+	if a.IsNaN() || a.IsInf() {
+		return f.setSpecial(kindNaN, false)
+	}
+	wp := f.Prec() + guardBits
+	one := New(wp).SetInt64(1)
+	x := New(wp).round(a)
+	absx := New(wp).Abs(x)
+	switch absx.Cmp(one) {
+	case 1:
+		return f.setSpecial(kindNaN, false)
+	case 0:
+		out := Pi(wp).MulPow2(-1)
+		out.neg = a.Signbit()
+		return f.round(out)
+	}
+	den := New(wp).Sqrt(New(wp).Sub(one, New(wp).Mul(x, x)))
+	return f.Atan(New(wp).Div(x, den))
+}
+
+// Acos sets f = acos(a) = π/2 − asin(a).
+func (f *Float) Acos(a *Float) *Float {
+	wp := f.Prec() + guardBits
+	asin := New(wp).Asin(a)
+	if asin.IsNaN() {
+		return f.setSpecial(kindNaN, false)
+	}
+	return f.round(New(wp).Sub(Pi(wp).MulPow2(-1), asin))
+}
+
+// Atan2 sets f = atan2(y, x) with the usual quadrant conventions.
+func (f *Float) Atan2(y, x *Float) *Float {
+	if y.IsNaN() || x.IsNaN() {
+		return f.setSpecial(kindNaN, false)
+	}
+	wp := f.Prec() + guardBits
+	switch {
+	case x.IsZero() && y.IsZero():
+		return f.setSpecial(kindZero, false)
+	case x.IsZero():
+		out := Pi(wp).MulPow2(-1)
+		out.neg = y.Signbit()
+		return f.round(out)
+	case y.IsZero():
+		if x.Sign() > 0 {
+			return f.setSpecial(kindZero, y.neg)
+		}
+		return f.round(Pi(wp))
+	}
+	base := New(wp).Atan(New(wp).Div(y, x))
+	if x.Sign() > 0 {
+		return f.round(base)
+	}
+	pi := Pi(wp)
+	if y.Sign() >= 0 {
+		return f.round(New(wp).Add(base, pi))
+	}
+	return f.round(New(wp).Sub(base, pi))
+}
+
+// PowFloat sets f = a^b via exp(b·ln a) for a > 0; a == 0 and negative
+// bases follow libm conventions for the cases FPVM's wrappers need
+// (negative base with integral exponent).
+func (f *Float) PowFloat(a, b *Float) *Float {
+	switch {
+	case a.IsNaN() || b.IsNaN():
+		return f.setSpecial(kindNaN, false)
+	case b.IsZero():
+		return f.SetInt64(1)
+	case a.IsZero():
+		if b.Sign() > 0 {
+			return f.setSpecial(kindZero, false)
+		}
+		return f.setSpecial(kindInf, false)
+	}
+	wp := f.Prec() + guardBits
+	neg := false
+	base := New(wp).round(a)
+	if base.Signbit() {
+		// Only integral exponents keep a real result.
+		bf := b.Float64()
+		if bf != math.Trunc(bf) || math.IsInf(bf, 0) {
+			return f.setSpecial(kindNaN, false)
+		}
+		neg = math.Mod(math.Abs(bf), 2) == 1
+		base.Neg()
+	}
+	out := New(wp).Exp(New(wp).Mul(b, New(wp).Log(base)))
+	if neg {
+		out.Neg()
+	}
+	return f.round(out)
+}

@@ -1,0 +1,181 @@
+package bigfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// agree53 checks |got - want| within a few ulps of want at double
+// precision (the bigfp result, demoted, against Go's libm).
+func agree53(t *testing.T, name string, got *Float, want float64, arg float64) {
+	t.Helper()
+	g := got.Float64()
+	if math.IsNaN(want) {
+		if !math.IsNaN(g) {
+			t.Fatalf("%s(%g) = %g, want NaN", name, arg, g)
+		}
+		return
+	}
+	tol := math.Abs(want) * 1e-14
+	if tol < 1e-300 {
+		tol = 1e-300
+	}
+	if math.Abs(g-want) > tol {
+		t.Fatalf("%s(%g) = %.17g, want %.17g", name, arg, g, want)
+	}
+}
+
+func TestPiLn2(t *testing.T) {
+	if got := Pi(64).Float64(); got != math.Pi {
+		t.Errorf("Pi = %.17g", got)
+	}
+	if got := Ln2(64).Float64(); got != math.Ln2 {
+		t.Errorf("Ln2 = %.17g", got)
+	}
+	// Consistency at high precision: exp(ln2) == 2 to ~200 bits.
+	two := New(200).Exp(Ln2(200))
+	diff := New(200).Sub(two, New(200).SetInt64(2))
+	if !diff.IsZero() && diff.exp > -190 {
+		t.Errorf("exp(ln2) off by 2^%d", diff.exp)
+	}
+}
+
+func TestExpLogAgainstLibm(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 300; i++ {
+		x := (r.Float64() - 0.5) * 40
+		a := New(64).SetFloat64(x)
+		agree53(t, "exp", New(64).Exp(a), math.Exp(x), x)
+		if x > 0 {
+			agree53(t, "log", New(64).Log(a), math.Log(x), x)
+		}
+	}
+	// Wide dynamic range for log.
+	for _, x := range []float64{1e-300, 1e-10, 1, 1.0000001, 2, 1e10, 1e300} {
+		agree53(t, "log", New(64).Log(New(64).SetFloat64(x)), math.Log(x), x)
+	}
+}
+
+func TestTrigAgainstLibm(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for i := 0; i < 300; i++ {
+		x := (r.Float64() - 0.5) * 20
+		a := New(64).SetFloat64(x)
+		agree53(t, "sin", New(64).Sin(a), math.Sin(x), x)
+		agree53(t, "cos", New(64).Cos(a), math.Cos(x), x)
+		agree53(t, "tan", New(64).Tan(a), math.Tan(x), x)
+		agree53(t, "atan", New(64).Atan(a), math.Atan(x), x)
+	}
+	// Large-argument reduction.
+	for _, x := range []float64{1e3, 12345.678, 1e8, -99999.5} {
+		a := New(64).SetFloat64(x)
+		agree53(t, "sin", New(64).Sin(a), math.Sin(x), x)
+		agree53(t, "cos", New(64).Cos(a), math.Cos(x), x)
+	}
+}
+
+func TestInverseTrig(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 200; i++ {
+		x := r.Float64()*2 - 1
+		a := New(64).SetFloat64(x)
+		agree53(t, "asin", New(64).Asin(a), math.Asin(x), x)
+		agree53(t, "acos", New(64).Acos(a), math.Acos(x), x)
+	}
+	for i := 0; i < 200; i++ {
+		y := (r.Float64() - 0.5) * 100
+		x := (r.Float64() - 0.5) * 100
+		got := New(64).Atan2(New(64).SetFloat64(y), New(64).SetFloat64(x))
+		agree53(t, "atan2", got, math.Atan2(y, x), y)
+	}
+	// Quadrant edges.
+	for _, c := range [][2]float64{{0, 1}, {0, -1}, {1, 0}, {-1, 0}, {1, 1}, {-1, -1}} {
+		got := New(64).Atan2(New(64).SetFloat64(c[0]), New(64).SetFloat64(c[1]))
+		agree53(t, "atan2", got, math.Atan2(c[0], c[1]), c[0])
+	}
+	if !New(64).Asin(New(64).SetFloat64(1.5)).IsNaN() {
+		t.Error("asin(1.5) not NaN")
+	}
+}
+
+func TestPow(t *testing.T) {
+	cases := [][2]float64{
+		{2, 10}, {2, -3}, {10, 0.5}, {0.5, 100}, {3, 0}, {0, 3},
+		{-2, 3}, {-2, 4}, {1.5, 2.5}, {math.E, 1},
+	}
+	for _, c := range cases {
+		got := New(64).PowFloat(New(64).SetFloat64(c[0]), New(64).SetFloat64(c[1]))
+		agree53(t, "pow", got, math.Pow(c[0], c[1]), c[0])
+	}
+	if !New(64).PowFloat(New(64).SetFloat64(-2), New(64).SetFloat64(0.5)).IsNaN() {
+		t.Error("(-2)^0.5 not NaN")
+	}
+}
+
+// TestHighPrecisionIdentities checks the series at 200 bits via
+// self-consistency (no double-precision oracle exists up there).
+func TestHighPrecisionIdentities(t *testing.T) {
+	const p = 200
+	r := rand.New(rand.NewSource(24))
+	closeAt := func(name string, a, b *Float, bits int64) {
+		t.Helper()
+		d := New(p).Sub(a, b)
+		if d.IsZero() {
+			return
+		}
+		ref := a.exp
+		if d.exp > ref-bits {
+			t.Fatalf("%s: differs at 2^%d (ref exp %d)", name, d.exp, ref)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		x := New(p).SetFloat64(r.Float64()*4 + 0.1)
+		// exp(log x) == x
+		closeAt("exp(log x)", x, New(p).Exp(New(p).Log(x)), 180)
+		// sin² + cos² == 1
+		s := New(p).Sin(x)
+		c := New(p).Cos(x)
+		sum := New(p).Add(New(p).Mul(s, s), New(p).Mul(c, c))
+		closeAt("sin²+cos²", New(p).SetInt64(1), sum, 190)
+		// tan(atan x) == x
+		closeAt("tan(atan x)", x, New(p).Tan(New(p).Atan(x)), 180)
+	}
+}
+
+func TestSpecialTranscendentals(t *testing.T) {
+	nan := New(64).SetFloat64(math.NaN())
+	inf := New(64).SetFloat64(math.Inf(1))
+	zero := New(64).SetFloat64(0)
+
+	if !New(64).Exp(nan).IsNaN() || !New(64).Sin(nan).IsNaN() || !New(64).Log(nan).IsNaN() {
+		t.Error("NaN propagation")
+	}
+	if v := New(64).Exp(inf); !v.IsInf() {
+		t.Error("exp(inf)")
+	}
+	if v := New(64).Exp(inf.Clone().Neg()); !v.IsZero() {
+		t.Error("exp(-inf)")
+	}
+	if v := New(64).Log(zero); !v.IsInf() || v.Sign() != -1 {
+		t.Error("log(0)")
+	}
+	if !New(64).Log(New(64).SetFloat64(-1)).IsNaN() {
+		t.Error("log(-1)")
+	}
+	if !New(64).Sin(inf).IsNaN() {
+		t.Error("sin(inf)")
+	}
+	if v := New(64).Atan(inf); math.Abs(v.Float64()-math.Pi/2) > 1e-15 {
+		t.Error("atan(inf)")
+	}
+	if v := New(64).Exp(zero); v.Float64() != 1 {
+		t.Error("exp(0)")
+	}
+	if v := New(64).Cos(zero); v.Float64() != 1 {
+		t.Error("cos(0)")
+	}
+	if v := New(64).Sin(zero); !v.IsZero() {
+		t.Error("sin(0)")
+	}
+}

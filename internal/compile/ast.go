@@ -1,0 +1,350 @@
+// Package compile implements a small ahead-of-time compiler from a
+// numeric kernel language to the simulated ISA. The paper's workloads
+// (fbench, ffbench, Lorenz, three-body, double pendulum, the Enzo-like
+// hydro stepper) are written in this language and compiled to guest
+// images, the way the original benchmarks are C compiled by gcc.
+//
+// The code generator mimics a -O1-ish C compiler: expression temporaries
+// live in XMM registers, named variables live in memory (stack locals or
+// globals), negation/abs compile to xorpd/andpd sign games, loops to
+// cmp+jcc, and calls follow the System V-flavoured ABI of the simulated
+// machine. This matters for fidelity: sequence emulation's trace shapes
+// (Figures 7-10) come from exactly these instruction patterns.
+package compile
+
+import "fmt"
+
+// ---------------------------------------------------------------- types
+
+// Expr is a float64-valued expression.
+type Expr interface{ isExpr() }
+
+// IExpr is an int64-valued expression.
+type IExpr interface{ isIExpr() }
+
+// Stmt is a statement.
+type Stmt interface{ isStmt() }
+
+// ------------------------------------------------------------ FP exprs
+
+// Num is a floating point literal.
+type Num float64
+
+// Var references a float64 variable (local if declared in the function,
+// else global).
+type Var string
+
+// Bin is a binary FP operation.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// BinOp enumerates FP binary operators.
+type BinOp uint8
+
+const (
+	Add BinOp = iota
+	SubOp
+	MulOp
+	DivOp
+	MinOp
+	MaxOp
+)
+
+// Unary is an FP unary operation.
+type Unary struct {
+	Op UnOp
+	X  Expr
+}
+
+// UnOp enumerates FP unary operators.
+type UnOp uint8
+
+const (
+	NegOp  UnOp = iota // xorpd sign flip
+	AbsOp              // andpd sign clear
+	SqrtOp             // sqrtsd
+)
+
+// Call invokes a libm host function (sin, cos, atan2, pow, ...).
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+// CallFn invokes a user-defined function returning a double.
+type CallFn struct {
+	Fn   string
+	Args []Expr
+}
+
+// Index loads arr[i] where arr is a global float64 array.
+type Index struct {
+	Arr string
+	I   IExpr
+}
+
+// I2F converts an integer expression to double (cvtsi2sd).
+type I2F struct{ X IExpr }
+
+// Param references the i-th double parameter of the enclosing function.
+// (Parameters are spilled to locals in the prologue; Param resolves to
+// that local.)
+type Param struct{ I int }
+
+func (Num) isExpr()    {}
+func (Var) isExpr()    {}
+func (Bin) isExpr()    {}
+func (Unary) isExpr()  {}
+func (Call) isExpr()   {}
+func (CallFn) isExpr() {}
+func (Index) isExpr()  {}
+func (I2F) isExpr()    {}
+func (Param) isExpr()  {}
+
+// Convenience constructors.
+func Add2(a, b Expr) Expr         { return Bin{Add, a, b} }
+func Sub2(a, b Expr) Expr         { return Bin{SubOp, a, b} }
+func Mul2(a, b Expr) Expr         { return Bin{MulOp, a, b} }
+func Div2(a, b Expr) Expr         { return Bin{DivOp, a, b} }
+func Neg(x Expr) Expr             { return Unary{NegOp, x} }
+func Abs(x Expr) Expr             { return Unary{AbsOp, x} }
+func Sqrt(x Expr) Expr            { return Unary{SqrtOp, x} }
+func Sin(x Expr) Expr             { return Call{"sin", []Expr{x}} }
+func Cos(x Expr) Expr             { return Call{"cos", []Expr{x}} }
+func Tan(x Expr) Expr             { return Call{"tan", []Expr{x}} }
+func Asin(x Expr) Expr            { return Call{"asin", []Expr{x}} }
+func Atan(x Expr) Expr            { return Call{"atan", []Expr{x}} }
+func Atan2(y, x Expr) Expr        { return Call{"atan2", []Expr{y, x}} }
+func Log(x Expr) Expr             { return Call{"log", []Expr{x}} }
+func Exp(x Expr) Expr             { return Call{"exp", []Expr{x}} }
+func Pow(x, y Expr) Expr          { return Call{"pow", []Expr{x, y}} }
+func Fmod(x, y Expr) Expr         { return Call{"fmod", []Expr{x, y}} }
+func Min2(a, b Expr) Expr         { return Bin{MinOp, a, b} }
+func Max2(a, b Expr) Expr         { return Bin{MaxOp, a, b} }
+func At(arr string, i IExpr) Expr { return Index{arr, i} }
+
+// ----------------------------------------------------------- int exprs
+
+// IConst is an integer literal.
+type IConst int64
+
+// IVar references an int64 variable.
+type IVar string
+
+// IBin is an integer binary operation.
+type IBin struct {
+	Op   IBinOp
+	L, R IExpr
+}
+
+// IBinOp enumerates integer operators.
+type IBinOp uint8
+
+const (
+	IAdd IBinOp = iota
+	ISub
+	IMul
+	IAnd
+	IShl // shift left by constant R
+	IShr
+)
+
+// ILoad loads a global int64 scalar or array element.
+type ILoad struct {
+	Arr string
+	I   IExpr // nil for scalars
+}
+
+// F2Bits reinterprets a float64 variable's bit pattern as an int64
+// through memory — the paper's memory-escape correctness hazard (§2.6,
+// §5.2): the compiler stores the double and reloads the same bytes with
+// an integer load.
+type F2Bits struct{ X Expr }
+
+func (IConst) isIExpr() {}
+func (IVar) isIExpr()   {}
+func (IBin) isIExpr()   {}
+func (ILoad) isIExpr()  {}
+func (F2Bits) isIExpr() {}
+
+func IAdd2(a, b IExpr) IExpr { return IBin{IAdd, a, b} }
+func ISub2(a, b IExpr) IExpr { return IBin{ISub, a, b} }
+func IMul2(a, b IExpr) IExpr { return IBin{IMul, a, b} }
+
+// ----------------------------------------------------------- conditions
+
+// CmpOp enumerates comparison predicates.
+type CmpOp uint8
+
+const (
+	LT CmpOp = iota
+	LE
+	GT
+	GE
+	EQ
+	NE
+)
+
+// Cond is a branch condition: either an FP comparison (ucomisd + jcc
+// using unsigned predicates) or an integer comparison.
+type Cond struct {
+	Op     CmpOp
+	FL, FR Expr  // FP comparison when FL != nil
+	IL, IR IExpr // integer comparison otherwise
+}
+
+// FCmp builds a floating point condition.
+func FCmp(op CmpOp, l, r Expr) Cond { return Cond{Op: op, FL: l, FR: r} }
+
+// ICmp builds an integer condition.
+func ICmp(op CmpOp, l, r IExpr) Cond { return Cond{Op: op, IL: l, IR: r} }
+
+// ----------------------------------------------------------- statements
+
+// Assign stores an FP expression into a variable.
+type Assign struct {
+	Dst string
+	Src Expr
+}
+
+// AssignIdx stores into a global float64 array element.
+type AssignIdx struct {
+	Arr string
+	I   IExpr
+	Src Expr
+}
+
+// IAssign stores an integer expression into an int variable.
+type IAssign struct {
+	Dst string
+	Src IExpr
+}
+
+// IAssignIdx stores into a global int64 array element.
+type IAssignIdx struct {
+	Arr string
+	I   IExpr
+	Src IExpr
+}
+
+// If branches.
+type If struct {
+	Cond Cond
+	Then []Stmt
+	Else []Stmt
+}
+
+// While loops while Cond holds.
+type While struct {
+	Cond Cond
+	Body []Stmt
+}
+
+// For is sugar: for Var = Start; Var < Limit; Var += 1 { Body }.
+type For struct {
+	Var   string
+	Start IExpr
+	Limit IExpr
+	Body  []Stmt
+}
+
+// PrintF64 calls print_f64(x).
+type PrintF64 struct{ X Expr }
+
+// Printf calls printf(Format, args...): FArgs go in xmm0.., IArgs in
+// rsi, rdx, ... (interleaving follows the format string's conversion
+// order only for same-class args; keep formats simple).
+type Printf struct {
+	Format string
+	FArgs  []Expr
+	IArgs  []IExpr
+}
+
+// CallStmt invokes a user function for effect, discarding the result.
+type CallStmt struct {
+	Fn   string
+	Args []Expr
+}
+
+// Return exits the function with an optional FP result (in xmm0).
+type Return struct{ X Expr }
+
+// Block groups statements (convenience).
+type Block struct{ Body []Stmt }
+
+func (Assign) isStmt()     {}
+func (AssignIdx) isStmt()  {}
+func (IAssign) isStmt()    {}
+func (IAssignIdx) isStmt() {}
+func (If) isStmt()         {}
+func (While) isStmt()      {}
+func (For) isStmt()        {}
+func (PrintF64) isStmt()   {}
+func (Printf) isStmt()     {}
+func (CallStmt) isStmt()   {}
+func (Return) isStmt()     {}
+func (Block) isStmt()      {}
+
+// ------------------------------------------------------------- program
+
+// Func is a user function: double parameters (accessed via Param or the
+// names in Params), one optional double result.
+type Func struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// Program is a compilation unit.
+type Program struct {
+	Name string
+
+	// Globals: float64 scalars with initial values.
+	Globals map[string]float64
+
+	// Arrays: global float64 arrays (zero initialized, length in
+	// elements).
+	Arrays map[string]int
+
+	// IntGlobals: int64 scalars.
+	IntGlobals map[string]int64
+
+	// IntArrays: global int64 arrays.
+	IntArrays map[string]int
+
+	// Funcs: user functions (main must exist).
+	Funcs []*Func
+}
+
+// NewProgram returns an empty program.
+func NewProgram(name string) *Program {
+	return &Program{
+		Name:       name,
+		Globals:    map[string]float64{},
+		Arrays:     map[string]int{},
+		IntGlobals: map[string]int64{},
+		IntArrays:  map[string]int{},
+	}
+}
+
+// AddFunc appends a function.
+func (p *Program) AddFunc(f *Func) { p.Funcs = append(p.Funcs, f) }
+
+// Main locates the entry function.
+func (p *Program) Main() (*Func, error) {
+	for _, f := range p.Funcs {
+		if f.Name == "main" {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("compile: program %s has no main", p.Name)
+}
+
+// V and IV are constructor helpers so workload code can write v("x")
+// instead of converting to the Var/IVar named types.
+func V(name string) Expr { return Var(name) }
+
+// IV builds an integer variable reference.
+func IV(name string) IExpr { return IVar(name) }

@@ -1,0 +1,831 @@
+package compile
+
+import (
+	"fmt"
+	"math"
+
+	"fpvm/internal/asm"
+	"fpvm/internal/isa"
+	"fpvm/internal/obj"
+)
+
+// frameSize is the fixed stack frame per function: locals and expression
+// temporaries share it; the compiler panics if a function outgrows it.
+const frameSize = 1024
+
+// tempRef is an internal Expr naming a stack temp produced by call
+// hoisting.
+type tempRef struct{ off int32 }
+
+func (tempRef) isExpr() {}
+
+// Compile translates a program into a loadable image.
+func Compile(p *Program) (*obj.Image, error) {
+	if _, err := p.Main(); err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		prog: p,
+		b:    asm.NewBuilder(p.Name),
+	}
+	return c.run()
+}
+
+type compiler struct {
+	prog *Program
+	b    *asm.Builder
+
+	// per-function state
+	fn        *Func
+	locals    map[string]int32 // name -> rsp offset
+	localTop  int32            // next local slot
+	tempTop   int32            // high-water temp allocator (grows down from frameSize)
+	xmmInUse  [16]bool
+	gprInUse  [16]bool
+	labelSeq  int
+	constSeq  int
+	constPool map[float64]string
+	fmtPool   map[string]string
+}
+
+// pool registers for expression temporaries.
+var xmmPool = []isa.Reg{isa.XMM2, isa.XMM3, isa.XMM4, isa.XMM5, isa.XMM6, isa.XMM7,
+	isa.XMM8, isa.XMM9, isa.XMM10, isa.XMM11, isa.XMM12, isa.XMM13}
+var gprPool = []isa.Reg{isa.RAX, isa.RCX, isa.RDX, isa.R8, isa.R9, isa.R10, isa.R11}
+
+func (c *compiler) run() (*obj.Image, error) {
+	c.constPool = map[float64]string{}
+	c.fmtPool = map[string]string{}
+
+	// Sign-mask constants for neg/abs.
+	c.b.RoDouble("c$negmask", math.Float64frombits(1<<63))
+	c.b.RoDouble("c$absmask", math.Float64frombits(1<<63-1))
+
+	// Globals.
+	for name, v := range sortedF(c.prog.Globals) {
+		_ = name
+		_ = v
+	}
+	for _, name := range sortedKeysF(c.prog.Globals) {
+		c.b.Double("g$"+name, c.prog.Globals[name])
+	}
+	for _, name := range sortedKeysI(c.prog.Arrays) {
+		c.b.Space("a$"+name, 8*c.prog.Arrays[name])
+	}
+	for _, name := range sortedKeysInt(c.prog.IntGlobals) {
+		c.b.Quad("i$"+name, uint64(c.prog.IntGlobals[name]))
+	}
+	for _, name := range sortedKeysI(c.prog.IntArrays) {
+		c.b.Space("ia$"+name, 8*c.prog.IntArrays[name])
+	}
+
+	for _, f := range c.prog.Funcs {
+		if err := c.compileFunc(f); err != nil {
+			return nil, fmt.Errorf("compile: %s.%s: %w", c.prog.Name, f.Name, err)
+		}
+	}
+	c.b.SetEntry("main")
+	return c.b.Build()
+}
+
+// sortedF exists to keep go vet quiet about deterministic iteration; the
+// real ordering helpers are below.
+func sortedF(m map[string]float64) map[string]float64 { return m }
+
+func sortedKeysF(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortedKeysI(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortedKeysInt(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ----------------------------------------------------------- functions
+
+func (c *compiler) compileFunc(f *Func) error {
+	c.fn = f
+	c.locals = map[string]int32{}
+	c.localTop = 0
+	c.tempTop = frameSize
+	c.xmmInUse = [16]bool{}
+	c.gprInUse = [16]bool{}
+
+	c.b.Func(f.Name)
+	c.b.MI(isa.SUB64I, isa.GPR(isa.RSP), frameSize)
+
+	// Spill double params (xmm0..) into named locals.
+	for i, name := range f.Params {
+		if i >= 8 {
+			return fmt.Errorf("more than 8 double parameters")
+		}
+		off := c.localSlot(name)
+		c.b.RM(isa.MOVSDMX, isa.XMM(isa.Reg(i)), isa.Mem(isa.RSP, off))
+	}
+
+	for _, s := range f.Body {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+
+	// Implicit epilogue.
+	if f.Name == "main" {
+		c.b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+		c.b.MI(isa.MOV64RI, isa.GPR(isa.RDI), 0)
+		c.b.Op0(isa.SYSCALL)
+	} else {
+		c.b.MI(isa.ADD64I, isa.GPR(isa.RSP), frameSize)
+		c.b.Op0(isa.RET)
+	}
+	return nil
+}
+
+func (c *compiler) localSlot(name string) int32 {
+	if off, ok := c.locals[name]; ok {
+		return off
+	}
+	off := c.localTop
+	c.localTop += 8
+	if c.localTop >= c.tempTop {
+		panic("compile: frame overflow (locals)")
+	}
+	c.locals[name] = off
+	return off
+}
+
+func (c *compiler) newLabel(prefix string) string {
+	c.labelSeq++
+	return fmt.Sprintf("%s$%s%d", c.fn.Name, prefix, c.labelSeq)
+}
+
+func (c *compiler) floatConst(v float64) string {
+	if name, ok := c.constPool[v]; ok {
+		return name
+	}
+	c.constSeq++
+	name := fmt.Sprintf("c$f%d", c.constSeq)
+	c.constPool[v] = name
+	c.b.RoDouble(name, v)
+	return name
+}
+
+func (c *compiler) fmtConst(s string) string {
+	if name, ok := c.fmtPool[s]; ok {
+		return name
+	}
+	c.constSeq++
+	name := fmt.Sprintf("c$s%d", c.constSeq)
+	c.fmtPool[s] = name
+	c.b.RoBytes(name, append([]byte(s), 0))
+	return name
+}
+
+// ------------------------------------------------------ register pools
+
+func (c *compiler) allocXMM() isa.Reg {
+	for _, r := range xmmPool {
+		if !c.xmmInUse[r] {
+			c.xmmInUse[r] = true
+			return r
+		}
+	}
+	panic("compile: xmm pool exhausted (expression too deep)")
+}
+
+func (c *compiler) freeXMM(r isa.Reg) { c.xmmInUse[r] = false }
+
+func (c *compiler) allocGPR() isa.Reg {
+	for _, r := range gprPool {
+		if !c.gprInUse[r] {
+			c.gprInUse[r] = true
+			return r
+		}
+	}
+	panic("compile: gpr pool exhausted (int expression too deep)")
+}
+
+func (c *compiler) freeGPR(r isa.Reg) { c.gprInUse[r] = false }
+
+// allocTemp reserves an 8-byte stack temp; release with freeTemp in LIFO
+// order.
+func (c *compiler) allocTemp() int32 {
+	c.tempTop -= 8
+	if c.tempTop <= c.localTop {
+		panic("compile: frame overflow (temps)")
+	}
+	return c.tempTop
+}
+
+func (c *compiler) freeTemp() { c.tempTop += 8 }
+
+// ---------------------------------------------------------- call hoist
+
+// hoistCalls rewrites e so it contains no Call/CallFn nodes: each call is
+// compiled immediately (innermost first) into a stack temp, and the node
+// is replaced by a tempRef. The returned count is the number of live
+// call-result temps the caller frees (LIFO) once the expression has been
+// evaluated into a register.
+func (c *compiler) hoistCalls(e Expr) (Expr, int, error) {
+	switch v := e.(type) {
+	case Call:
+		off, err := c.compileCallToTemp(v.Fn, v.Args, false)
+		return tempRef{off}, 1, err
+	case CallFn:
+		off, err := c.compileCallToTemp(v.Fn, v.Args, true)
+		return tempRef{off}, 1, err
+	case Bin:
+		l, nl, err := c.hoistCalls(v.L)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, nr, err := c.hoistCalls(v.R)
+		if err != nil {
+			return nil, 0, err
+		}
+		return Bin{v.Op, l, r}, nl + nr, nil
+	case Unary:
+		x, n, err := c.hoistCalls(v.X)
+		if err != nil {
+			return nil, 0, err
+		}
+		return Unary{v.Op, x}, n, nil
+	default:
+		return e, 0, nil
+	}
+}
+
+// compileCallToTemp evaluates a call and stores its double result in a
+// fresh temp slot, leaving exactly one extra live temp (the result) for
+// the caller to free. User-function calls clobber the caller-save pools,
+// so live pool registers are spilled around them — the same caller-save
+// spills a C compiler would emit.
+func (c *compiler) compileCallToTemp(fn string, args []Expr, user bool) (int32, error) {
+	if len(args) > 8 {
+		return 0, fmt.Errorf("call %s: too many args", fn)
+	}
+
+	// Spill live caller-save registers around user calls. (Host library
+	// functions only write xmm0/xmm1 and preserve GPRs.)
+	type spill struct {
+		xmm bool
+		reg isa.Reg
+		off int32
+	}
+	var spills []spill
+	if user {
+		for _, r := range xmmPool {
+			if c.xmmInUse[r] {
+				off := c.allocTemp()
+				c.b.RM(isa.MOVSDMX, isa.XMM(r), isa.Mem(isa.RSP, off))
+				spills = append(spills, spill{true, r, off})
+			}
+		}
+		for _, r := range gprPool {
+			if c.gprInUse[r] {
+				off := c.allocTemp()
+				c.b.RM(isa.MOV64MR, isa.GPR(r), isa.Mem(isa.RSP, off))
+				spills = append(spills, spill{false, r, off})
+			}
+		}
+	}
+
+	// Evaluate each argument into its own temp (hoisting nested calls).
+	argOffs := make([]int32, len(args))
+	for i, a := range args {
+		ha, n, err := c.hoistCalls(a)
+		if err != nil {
+			return 0, err
+		}
+		reg, err := c.expr(ha)
+		if err != nil {
+			return 0, err
+		}
+		c.freeTemps(n) // nested results already consumed into reg
+		off := c.allocTemp()
+		c.b.RM(isa.MOVSDMX, isa.XMM(reg), isa.Mem(isa.RSP, off))
+		c.freeXMM(reg)
+		argOffs[i] = off
+	}
+
+	// Load args into xmm0..k and call.
+	for i, off := range argOffs {
+		c.b.RM(isa.MOVSDXM, isa.XMM(isa.Reg(i)), isa.Mem(isa.RSP, off))
+	}
+	if user {
+		c.b.CallLocal(fn)
+	} else {
+		c.b.CallImport(fn)
+	}
+	c.freeTemps(len(argOffs))
+
+	// Restore spills (LIFO) — the result still sits safely in xmm0.
+	for i := len(spills) - 1; i >= 0; i-- {
+		s := spills[i]
+		if s.xmm {
+			c.b.RM(isa.MOVSDXM, isa.XMM(s.reg), isa.Mem(isa.RSP, s.off))
+		} else {
+			c.b.RM(isa.MOV64RM, isa.GPR(s.reg), isa.Mem(isa.RSP, s.off))
+		}
+		c.freeTemp()
+	}
+
+	res := c.allocTemp()
+	c.b.RM(isa.MOVSDMX, isa.XMM(isa.XMM0), isa.Mem(isa.RSP, res))
+	return res, nil
+}
+
+// ------------------------------------------------------ FP expression
+
+// exprTop evaluates a full expression (hoisting calls) into an XMM reg.
+// All hoist temps are released before returning; callers only freeXMM the
+// result.
+func (c *compiler) exprTop(e Expr) (isa.Reg, error) {
+	he, n, err := c.hoistCalls(e)
+	if err != nil {
+		return 0, err
+	}
+	r, err := c.expr(he)
+	if err != nil {
+		return 0, err
+	}
+	c.freeTemps(n)
+	return r, nil
+}
+
+func (c *compiler) freeTemps(n int) {
+	for i := 0; i < n; i++ {
+		c.freeTemp()
+	}
+}
+
+// expr evaluates a call-free expression into a fresh XMM register.
+func (c *compiler) expr(e Expr) (isa.Reg, error) {
+	switch v := e.(type) {
+	case Num:
+		r := c.allocXMM()
+		c.b.RMData(isa.MOVSDXM, isa.XMM(r), c.floatConst(float64(v)))
+		return r, nil
+
+	case Var:
+		r := c.allocXMM()
+		if _, ok := c.prog.Globals[string(v)]; ok {
+			c.b.RMData(isa.MOVSDXM, isa.XMM(r), "g$"+string(v))
+		} else {
+			off := c.localSlot(string(v))
+			c.b.RM(isa.MOVSDXM, isa.XMM(r), isa.Mem(isa.RSP, off))
+		}
+		return r, nil
+
+	case Param:
+		if v.I >= len(c.fn.Params) {
+			return 0, fmt.Errorf("param %d out of range", v.I)
+		}
+		return c.expr(Var(c.fn.Params[v.I]))
+
+	case tempRef:
+		r := c.allocXMM()
+		c.b.RM(isa.MOVSDXM, isa.XMM(r), isa.Mem(isa.RSP, v.off))
+		return r, nil
+
+	case Bin:
+		l, err := c.expr(v.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := c.expr(v.R)
+		if err != nil {
+			return 0, err
+		}
+		var op isa.Op
+		switch v.Op {
+		case Add:
+			op = isa.ADDSD
+		case SubOp:
+			op = isa.SUBSD
+		case MulOp:
+			op = isa.MULSD
+		case DivOp:
+			op = isa.DIVSD
+		case MinOp:
+			op = isa.MINSD
+		case MaxOp:
+			op = isa.MAXSD
+		}
+		c.b.RM(op, isa.XMM(l), isa.XMM(r))
+		c.freeXMM(r)
+		return l, nil
+
+	case Unary:
+		x, err := c.expr(v.X)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case SqrtOp:
+			c.b.RM(isa.SQRTSD, isa.XMM(x), isa.XMM(x))
+		case NegOp:
+			// xorpd with the sign mask, like gcc: load mask into xmm15.
+			c.b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM15), "c$negmask")
+			c.b.RM(isa.XORPD, isa.XMM(x), isa.XMM(isa.XMM15))
+		case AbsOp:
+			c.b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM15), "c$absmask")
+			c.b.RM(isa.ANDPD, isa.XMM(x), isa.XMM(isa.XMM15))
+		}
+		return x, nil
+
+	case Index:
+		idx, err := c.iexpr(v.I)
+		if err != nil {
+			return 0, err
+		}
+		base := c.allocGPR()
+		c.b.LeaData(base, "a$"+v.Arr)
+		r := c.allocXMM()
+		c.b.RM(isa.MOVSDXM, isa.XMM(r), isa.MemIdx(base, idx, 8, 0))
+		c.freeGPR(base)
+		c.freeGPR(idx)
+		return r, nil
+
+	case I2F:
+		g, err := c.iexpr(v.X)
+		if err != nil {
+			return 0, err
+		}
+		r := c.allocXMM()
+		c.b.RM(isa.CVTSI2SD, isa.XMM(r), isa.GPR(g))
+		c.freeGPR(g)
+		return r, nil
+	}
+	return 0, fmt.Errorf("unhandled expression %T", e)
+}
+
+// --------------------------------------------------------- int exprs
+
+func (c *compiler) iexpr(e IExpr) (isa.Reg, error) {
+	switch v := e.(type) {
+	case IConst:
+		r := c.allocGPR()
+		c.b.MI(isa.MOV64RI, isa.GPR(r), int64(v))
+		return r, nil
+
+	case IVar:
+		r := c.allocGPR()
+		if _, ok := c.prog.IntGlobals[string(v)]; ok {
+			c.b.RMData(isa.MOV64RM, isa.GPR(r), "i$"+string(v))
+		} else {
+			off := c.localSlot("int$" + string(v))
+			c.b.RM(isa.MOV64RM, isa.GPR(r), isa.Mem(isa.RSP, off))
+		}
+		return r, nil
+
+	case IBin:
+		l, err := c.iexpr(v.L)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case IShl, IShr:
+			k, ok := v.R.(IConst)
+			if !ok {
+				return 0, fmt.Errorf("shift amount must be constant")
+			}
+			op := isa.SHL64I
+			if v.Op == IShr {
+				op = isa.SHR64I
+			}
+			c.b.MI(op, isa.GPR(l), int64(k))
+			return l, nil
+		}
+		r, err := c.iexpr(v.R)
+		if err != nil {
+			return 0, err
+		}
+		var op isa.Op
+		switch v.Op {
+		case IAdd:
+			op = isa.ADD64
+		case ISub:
+			op = isa.SUB64
+		case IMul:
+			op = isa.IMUL64
+		case IAnd:
+			op = isa.AND64
+		}
+		c.b.RM(op, isa.GPR(l), isa.GPR(r))
+		c.freeGPR(r)
+		return l, nil
+
+	case ILoad:
+		r := c.allocGPR()
+		if v.I == nil {
+			c.b.RMData(isa.MOV64RM, isa.GPR(r), "i$"+v.Arr)
+			return r, nil
+		}
+		idx, err := c.iexpr(v.I)
+		if err != nil {
+			return 0, err
+		}
+		base := c.allocGPR()
+		c.b.LeaData(base, "ia$"+v.Arr)
+		c.b.RM(isa.MOV64RM, isa.GPR(r), isa.MemIdx(base, idx, 8, 0))
+		c.freeGPR(base)
+		c.freeGPR(idx)
+		return r, nil
+
+	case F2Bits:
+		// Store the double, reload the same bytes as an integer: the
+		// memory-escape correctness hazard of §2.6.
+		x, err := c.exprTop(v.X)
+		if err != nil {
+			return 0, err
+		}
+		off := c.allocTemp()
+		c.b.RM(isa.MOVSDMX, isa.XMM(x), isa.Mem(isa.RSP, off))
+		c.freeXMM(x)
+		r := c.allocGPR()
+		c.b.RM(isa.MOV64RM, isa.GPR(r), isa.Mem(isa.RSP, off))
+		c.freeTemp()
+		return r, nil
+	}
+	return 0, fmt.Errorf("unhandled int expression %T", e)
+}
+
+// --------------------------------------------------------- conditions
+
+var fpJcc = map[CmpOp]isa.Op{LT: isa.JB, LE: isa.JBE, GT: isa.JA, GE: isa.JAE, EQ: isa.JE, NE: isa.JNE}
+var fpJccInv = map[CmpOp]isa.Op{LT: isa.JAE, LE: isa.JA, GT: isa.JBE, GE: isa.JB, EQ: isa.JNE, NE: isa.JE}
+var intJcc = map[CmpOp]isa.Op{LT: isa.JL, LE: isa.JLE, GT: isa.JG, GE: isa.JGE, EQ: isa.JE, NE: isa.JNE}
+var intJccInv = map[CmpOp]isa.Op{LT: isa.JGE, LE: isa.JG, GT: isa.JLE, GE: isa.JL, EQ: isa.JNE, NE: isa.JE}
+
+// condBranch evaluates cond and branches to label when it holds (or when
+// it does not, with invert=true).
+func (c *compiler) condBranch(cond Cond, label string, invert bool) error {
+	if cond.FL != nil {
+		l, err := c.exprTop(cond.FL)
+		if err != nil {
+			return err
+		}
+		r, err := c.exprTop(cond.FR)
+		if err != nil {
+			return err
+		}
+		c.b.RM(isa.UCOMISD, isa.XMM(l), isa.XMM(r))
+		c.freeXMM(l)
+		c.freeXMM(r)
+		tab := fpJcc
+		if invert {
+			tab = fpJccInv
+		}
+		c.b.Branch(tab[cond.Op], label)
+		return nil
+	}
+	l, err := c.iexpr(cond.IL)
+	if err != nil {
+		return err
+	}
+	r, err := c.iexpr(cond.IR)
+	if err != nil {
+		return err
+	}
+	c.b.RM(isa.CMP64, isa.GPR(l), isa.GPR(r))
+	c.freeGPR(l)
+	c.freeGPR(r)
+	tab := intJcc
+	if invert {
+		tab = intJccInv
+	}
+	c.b.Branch(tab[cond.Op], label)
+	return nil
+}
+
+// --------------------------------------------------------- statements
+
+func (c *compiler) stmt(s Stmt) error {
+	switch v := s.(type) {
+	case Assign:
+		r, err := c.exprTop(v.Src)
+		if err != nil {
+			return err
+		}
+		if _, ok := c.prog.Globals[v.Dst]; ok {
+			c.b.MRData(isa.MOVSDMX, "g$"+v.Dst, isa.XMM(r))
+		} else {
+			off := c.localSlot(v.Dst)
+			c.b.RM(isa.MOVSDMX, isa.XMM(r), isa.Mem(isa.RSP, off))
+		}
+		c.freeXMM(r)
+		return nil
+
+	case AssignIdx:
+		r, err := c.exprTop(v.Src)
+		if err != nil {
+			return err
+		}
+		idx, err := c.iexpr(v.I)
+		if err != nil {
+			return err
+		}
+		base := c.allocGPR()
+		c.b.LeaData(base, "a$"+v.Arr)
+		c.b.RM(isa.MOVSDMX, isa.XMM(r), isa.MemIdx(base, idx, 8, 0))
+		c.freeGPR(base)
+		c.freeGPR(idx)
+		c.freeXMM(r)
+		return nil
+
+	case IAssign:
+		r, err := c.iexpr(v.Src)
+		if err != nil {
+			return err
+		}
+		if _, ok := c.prog.IntGlobals[v.Dst]; ok {
+			c.b.MRData(isa.MOV64MR, "i$"+v.Dst, isa.GPR(r))
+		} else {
+			off := c.localSlot("int$" + v.Dst)
+			// mov [rsp+off], r
+			c.b.RM(isa.MOV64MR, isa.GPR(r), isa.Mem(isa.RSP, off))
+		}
+		c.freeGPR(r)
+		return nil
+
+	case IAssignIdx:
+		r, err := c.iexpr(v.Src)
+		if err != nil {
+			return err
+		}
+		idx, err := c.iexpr(v.I)
+		if err != nil {
+			return err
+		}
+		base := c.allocGPR()
+		c.b.LeaData(base, "ia$"+v.Arr)
+		c.b.RM(isa.MOV64MR, isa.GPR(r), isa.MemIdx(base, idx, 8, 0))
+		c.freeGPR(base)
+		c.freeGPR(idx)
+		c.freeGPR(r)
+		return nil
+
+	case If:
+		elseL := c.newLabel("else")
+		endL := c.newLabel("endif")
+		target := elseL
+		if len(v.Else) == 0 {
+			target = endL
+		}
+		if err := c.condBranch(v.Cond, target, true); err != nil {
+			return err
+		}
+		for _, st := range v.Then {
+			if err := c.stmt(st); err != nil {
+				return err
+			}
+		}
+		if len(v.Else) > 0 {
+			c.b.Branch(isa.JMP, endL)
+			c.b.Label(elseL)
+			for _, st := range v.Else {
+				if err := c.stmt(st); err != nil {
+					return err
+				}
+			}
+		}
+		c.b.Label(endL)
+		return nil
+
+	case While:
+		checkL := c.newLabel("check")
+		bodyL := c.newLabel("body")
+		c.b.Branch(isa.JMP, checkL)
+		c.b.Label(bodyL)
+		for _, st := range v.Body {
+			if err := c.stmt(st); err != nil {
+				return err
+			}
+		}
+		c.b.Label(checkL)
+		return c.condBranch(v.Cond, bodyL, false)
+
+	case For:
+		if err := c.stmt(IAssign{v.Var, v.Start}); err != nil {
+			return err
+		}
+		body := append([]Stmt{}, v.Body...)
+		body = append(body, IAssign{v.Var, IBin{IAdd, IVar(v.Var), IConst(1)}})
+		return c.stmt(While{
+			Cond: ICmp(LT, IVar(v.Var), v.Limit),
+			Body: body,
+		})
+
+	case PrintF64:
+		r, err := c.exprTop(v.X)
+		if err != nil {
+			return err
+		}
+		if r != isa.XMM0 {
+			c.b.RM(isa.MOVSDXX, isa.XMM(isa.XMM0), isa.XMM(r))
+		}
+		c.freeXMM(r)
+		c.b.CallImport("print_f64")
+		return nil
+
+	case Printf:
+		// Evaluate FP args into temps, then int args, then load registers.
+		fpOffs := make([]int32, len(v.FArgs))
+		for i, a := range v.FArgs {
+			r, err := c.exprTop(a)
+			if err != nil {
+				return err
+			}
+			off := c.allocTemp()
+			c.b.RM(isa.MOVSDMX, isa.XMM(r), isa.Mem(isa.RSP, off))
+			c.freeXMM(r)
+			fpOffs[i] = off
+		}
+		intOffs := make([]int32, len(v.IArgs))
+		for i, a := range v.IArgs {
+			g, err := c.iexpr(a)
+			if err != nil {
+				return err
+			}
+			off := c.allocTemp()
+			c.b.RM(isa.MOV64MR, isa.GPR(g), isa.Mem(isa.RSP, off))
+			c.freeGPR(g)
+			intOffs[i] = off
+		}
+		for i, off := range fpOffs {
+			if i >= 8 {
+				return fmt.Errorf("printf: too many float args")
+			}
+			c.b.RM(isa.MOVSDXM, isa.XMM(isa.Reg(i)), isa.Mem(isa.RSP, off))
+		}
+		intRegs := []isa.Reg{isa.RSI, isa.RDX, isa.RCX, isa.R8, isa.R9}
+		for i, off := range intOffs {
+			if i >= len(intRegs) {
+				return fmt.Errorf("printf: too many int args")
+			}
+			c.b.RM(isa.MOV64RM, isa.GPR(intRegs[i]), isa.Mem(isa.RSP, off))
+		}
+		c.b.LeaData(isa.RDI, c.fmtConst(v.Format))
+		c.b.CallImport("printf")
+		c.freeTemps(len(fpOffs) + len(intOffs))
+		return nil
+
+	case CallStmt:
+		if _, err := c.compileCallToTemp(v.Fn, v.Args, true); err != nil {
+			return err
+		}
+		c.freeTemps(1)
+		return nil
+
+	case Return:
+		if v.X != nil {
+			r, err := c.exprTop(v.X)
+			if err != nil {
+				return err
+			}
+			if r != isa.XMM0 {
+				c.b.RM(isa.MOVSDXX, isa.XMM(isa.XMM0), isa.XMM(r))
+			}
+			c.freeXMM(r)
+		}
+		c.b.MI(isa.ADD64I, isa.GPR(isa.RSP), frameSize)
+		c.b.Op0(isa.RET)
+		return nil
+
+	case Block:
+		for _, st := range v.Body {
+			if err := c.stmt(st); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unhandled statement %T", s)
+}

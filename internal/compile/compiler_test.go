@@ -1,0 +1,271 @@
+package compile_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"fpvm"
+	c "fpvm/internal/compile"
+)
+
+// runProgram compiles and executes p natively, returning stdout.
+func runProgram(t *testing.T, p *c.Program) string {
+	t.Helper()
+	img, err := c.Compile(p)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := fpvm.RunNative(img)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit %d", res.ExitCode)
+	}
+	return res.Stdout
+}
+
+// expectF runs a main that prints one float and compares.
+func expectF(t *testing.T, p *c.Program, want float64) {
+	t.Helper()
+	out := runProgram(t, p)
+	wantStr := fmt.Sprintf("%.17g\n", want)
+	if out != wantStr {
+		t.Errorf("output %q, want %q", out, wantStr)
+	}
+}
+
+func mainWith(stmts ...c.Stmt) *c.Program {
+	p := c.NewProgram("t")
+	p.AddFunc(&c.Func{Name: "main", Body: stmts})
+	return p
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr c.Expr
+		want float64
+	}{
+		{c.Add2(c.Num(2), c.Num(3)), 5},
+		{c.Sub2(c.Num(2), c.Num(3)), -1},
+		{c.Mul2(c.Num(2.5), c.Num(4)), 10},
+		{c.Div2(c.Num(1), c.Num(8)), 0.125},
+		{c.Sqrt(c.Num(2)), math.Sqrt2},
+		{c.Neg(c.Num(3.5)), -3.5},
+		{c.Abs(c.Num(-7.25)), 7.25},
+		{c.Min2(c.Num(2), c.Num(3)), 2},
+		{c.Max2(c.Num(2), c.Num(3)), 3},
+		{c.Add2(c.Mul2(c.Num(2), c.Num(3)), c.Div2(c.Num(1), c.Num(4))), 6.25},
+		{c.I2F{X: c.IConst(42)}, 42},
+	}
+	for i, tc := range cases {
+		t.Run(fmt.Sprint(i), func(t *testing.T) {
+			expectF(t, mainWith(c.PrintF64{X: tc.expr}), tc.want)
+		})
+	}
+}
+
+func TestLibmCalls(t *testing.T) {
+	cases := []struct {
+		expr c.Expr
+		want float64
+	}{
+		{c.Sin(c.Num(1)), math.Sin(1)},
+		{c.Cos(c.Num(1)), math.Cos(1)},
+		{c.Atan2(c.Num(1), c.Num(2)), math.Atan2(1, 2)},
+		{c.Pow(c.Num(2), c.Num(10)), 1024},
+		{c.Log(c.Exp(c.Num(2))), math.Log(math.Exp(2))},
+		// nested calls inside expressions
+		{c.Add2(c.Sin(c.Cos(c.Num(0.5))), c.Num(1)), math.Sin(math.Cos(0.5)) + 1},
+	}
+	for i, tc := range cases {
+		t.Run(fmt.Sprint(i), func(t *testing.T) {
+			expectF(t, mainWith(c.PrintF64{X: tc.expr}), tc.want)
+		})
+	}
+}
+
+func TestVariablesAndGlobals(t *testing.T) {
+	p := c.NewProgram("t")
+	p.Globals["g"] = 10
+	p.AddFunc(&c.Func{Name: "main", Body: []c.Stmt{
+		c.Assign{Dst: "x", Src: c.Num(2)},                       // local
+		c.Assign{Dst: "g", Src: c.Add2(c.Var("g"), c.Var("x"))}, // global += local
+		c.PrintF64{X: c.Var("g")},
+	}})
+	expectF(t, p, 12)
+}
+
+func TestLoopsAndConditions(t *testing.T) {
+	// sum of 1..10 via For, plus FP condition check.
+	p := c.NewProgram("t")
+	p.AddFunc(&c.Func{Name: "main", Body: []c.Stmt{
+		c.Assign{Dst: "sum", Src: c.Num(0)},
+		c.For{Var: "i", Start: c.IConst(1), Limit: c.IConst(11), Body: []c.Stmt{
+			c.Assign{Dst: "sum", Src: c.Add2(c.Var("sum"), c.I2F{X: c.IVar("i")})},
+		}},
+		c.If{Cond: c.FCmp(c.GT, c.Var("sum"), c.Num(54)),
+			Then: []c.Stmt{c.PrintF64{X: c.Var("sum")}},
+			Else: []c.Stmt{c.PrintF64{X: c.Num(-1)}}},
+	}})
+	expectF(t, p, 55)
+}
+
+func TestWhileLoop(t *testing.T) {
+	// x = 1; while x < 100: x *= 2  -> 128
+	p := mainWith(
+		c.Assign{Dst: "x", Src: c.Num(1)},
+		c.While{Cond: c.FCmp(c.LT, c.Var("x"), c.Num(100)), Body: []c.Stmt{
+			c.Assign{Dst: "x", Src: c.Mul2(c.Var("x"), c.Num(2))},
+		}},
+		c.PrintF64{X: c.Var("x")},
+	)
+	expectF(t, p, 128)
+}
+
+func TestArrays(t *testing.T) {
+	p := c.NewProgram("t")
+	p.Arrays["a"] = 8
+	p.AddFunc(&c.Func{Name: "main", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(0), Limit: c.IConst(8), Body: []c.Stmt{
+			c.AssignIdx{Arr: "a", I: c.IVar("i"), Src: c.Mul2(c.I2F{X: c.IVar("i")}, c.Num(1.5))},
+		}},
+		c.Assign{Dst: "sum", Src: c.Num(0)},
+		c.For{Var: "i", Start: c.IConst(0), Limit: c.IConst(8), Body: []c.Stmt{
+			c.Assign{Dst: "sum", Src: c.Add2(c.Var("sum"), c.At("a", c.IVar("i")))},
+		}},
+		c.PrintF64{X: c.Var("sum")},
+	}})
+	expectF(t, p, 1.5*(0+1+2+3+4+5+6+7))
+}
+
+func TestUserFunctions(t *testing.T) {
+	p := c.NewProgram("t")
+	p.AddFunc(&c.Func{
+		Name:   "hyp",
+		Params: []string{"a", "b"},
+		Body: []c.Stmt{
+			c.Return{X: c.Sqrt(c.Add2(
+				c.Mul2(c.Var("a"), c.Var("a")),
+				c.Mul2(c.Var("b"), c.Var("b"))))},
+		},
+	})
+	p.AddFunc(&c.Func{Name: "main", Body: []c.Stmt{
+		c.PrintF64{X: c.CallFn{Fn: "hyp", Args: []c.Expr{c.Num(3), c.Num(4)}}},
+	}})
+	expectF(t, p, 5)
+}
+
+func TestNestedUserCallsWithLiveRegisters(t *testing.T) {
+	// f(x) = x+1; result = f(1)*10 + f(2)*100 exercises caller-save spills.
+	p := c.NewProgram("t")
+	p.AddFunc(&c.Func{Name: "inc", Params: []string{"x"},
+		Body: []c.Stmt{c.Return{X: c.Add2(c.Var("x"), c.Num(1))}}})
+	p.AddFunc(&c.Func{Name: "main", Body: []c.Stmt{
+		c.PrintF64{X: c.Add2(
+			c.Mul2(c.CallFn{Fn: "inc", Args: []c.Expr{c.Num(1)}}, c.Num(10)),
+			c.Mul2(c.CallFn{Fn: "inc", Args: []c.Expr{c.Num(2)}}, c.Num(100)))},
+	}})
+	expectF(t, p, 2*10+3*100)
+}
+
+func TestIntOps(t *testing.T) {
+	p := c.NewProgram("t")
+	p.IntGlobals["out"] = 0
+	p.AddFunc(&c.Func{Name: "main", Body: []c.Stmt{
+		c.IAssign{Dst: "a", Src: c.IConst(12)},
+		c.IAssign{Dst: "b", Src: c.IConst(5)},
+		// out = (a-b)*3 + (a<<2) + (a>>1) + (a&b)
+		c.IAssign{Dst: "out", Src: c.IAdd2(
+			c.IAdd2(
+				c.IMul2(c.ISub2(c.IVar("a"), c.IVar("b")), c.IConst(3)),
+				c.IBin{Op: c.IShl, L: c.IVar("a"), R: c.IConst(2)}),
+			c.IAdd2(
+				c.IBin{Op: c.IShr, L: c.IVar("a"), R: c.IConst(1)},
+				c.IBin{Op: c.IAnd, L: c.IVar("a"), R: c.IVar("b")}))},
+		c.Printf{Format: "%d\n", IArgs: []c.IExpr{c.ILoad{Arr: "out"}}},
+	}})
+	want := (12-5)*3 + 12<<2 + 12>>1 + (12 & 5)
+	out := runProgram(t, p)
+	if out != fmt.Sprintf("%d\n", want) {
+		t.Errorf("got %q want %d", out, want)
+	}
+}
+
+func TestIntArrays(t *testing.T) {
+	p := c.NewProgram("t")
+	p.IntArrays["v"] = 4
+	p.AddFunc(&c.Func{Name: "main", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(0), Limit: c.IConst(4), Body: []c.Stmt{
+			c.IAssignIdx{Arr: "v", I: c.IVar("i"), Src: c.IMul2(c.IVar("i"), c.IVar("i"))},
+		}},
+		c.Printf{Format: "%d %d %d %d\n", IArgs: []c.IExpr{
+			c.ILoad{Arr: "v", I: c.IConst(0)}, c.ILoad{Arr: "v", I: c.IConst(1)},
+			c.ILoad{Arr: "v", I: c.IConst(2)}, c.ILoad{Arr: "v", I: c.IConst(3)}}},
+	}})
+	if out := runProgram(t, p); out != "0 1 4 9\n" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestF2Bits(t *testing.T) {
+	// Extract the sign bit of -2.0 through memory: classic escape.
+	p := c.NewProgram("t")
+	p.IntGlobals["sign"] = 0
+	p.AddFunc(&c.Func{Name: "main", Body: []c.Stmt{
+		c.IAssign{Dst: "sign", Src: c.IBin{Op: c.IShr, L: c.F2Bits{X: c.Num(-2)}, R: c.IConst(63)}},
+		c.Printf{Format: "%d\n", IArgs: []c.IExpr{c.ILoad{Arr: "sign"}}},
+	}})
+	if out := runProgram(t, p); out != "1\n" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestPrintfFormats(t *testing.T) {
+	p := mainWith(
+		c.Printf{Format: "i=%d f=%g pct=%% s=done\n",
+			FArgs: []c.Expr{c.Num(2.5)},
+			IArgs: []c.IExpr{c.IConst(-7)}},
+	)
+	out := runProgram(t, p)
+	if !strings.Contains(out, "i=-7") || !strings.Contains(out, "f=2.5") || !strings.Contains(out, "pct=%") {
+		t.Errorf("printf output %q", out)
+	}
+}
+
+func TestNoMainError(t *testing.T) {
+	p := c.NewProgram("t")
+	p.AddFunc(&c.Func{Name: "helper"})
+	if _, err := c.Compile(p); err == nil {
+		t.Error("compiled without main")
+	}
+}
+
+func TestDeterministicCompile(t *testing.T) {
+	p1 := c.NewProgram("t")
+	p2 := c.NewProgram("t")
+	for _, p := range []*c.Program{p1, p2} {
+		p.Globals["a"] = 1
+		p.Globals["b"] = 2
+		p.Globals["z"] = 3
+		p.Arrays["arr"] = 4
+		p.AddFunc(&c.Func{Name: "main", Body: []c.Stmt{
+			c.PrintF64{X: c.Add2(c.Var("a"), c.Add2(c.Var("b"), c.Var("z")))},
+		}})
+	}
+	i1, err := c.Compile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := c.Compile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := i1.Section(".text").Data
+	d2 := i2.Section(".text").Data
+	if string(d1) != string(d2) {
+		t.Error("compilation not deterministic")
+	}
+}

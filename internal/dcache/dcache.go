@@ -1,0 +1,279 @@
+// Package dcache implements FPVM's decode cache, which sequence emulation
+// turns into a software trace cache (§4.2), plus the sequence statistics
+// instrumentation behind the paper's workload characterization (§6.3,
+// Figures 7-10).
+package dcache
+
+import (
+	"fmt"
+	"sort"
+
+	"fpvm/internal/isa"
+)
+
+// Entry is a cached decode result. Supported records whether FPVM can
+// decode, bind and emulate the instruction — the sequence terminator is
+// cached too, "even if case (1) holds" (§4.2).
+type Entry struct {
+	Inst      isa.Inst
+	Supported bool
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Cache is a capacity-bounded decode cache keyed by instruction address.
+type Cache struct {
+	entries map[uint64]*Entry
+	order   []uint64 // FIFO eviction order
+	cap     int
+	Stats   Stats
+}
+
+// DefaultCapacity matches the paper's default of 64K instruction entries.
+const DefaultCapacity = 65536
+
+// NewCache returns a cache bounded to capacity entries (0 = default).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{entries: make(map[uint64]*Entry), cap: capacity}
+}
+
+// Lookup returns the cached entry for rip, if present.
+func (c *Cache) Lookup(rip uint64) (*Entry, bool) {
+	e, ok := c.entries[rip]
+	if ok {
+		c.Stats.Hits++
+	} else {
+		c.Stats.Misses++
+	}
+	return e, ok
+}
+
+// Insert caches an entry for rip, evicting FIFO-oldest entries over
+// capacity.
+func (c *Cache) Insert(rip uint64, e *Entry) {
+	if _, exists := c.entries[rip]; !exists {
+		for len(c.entries) >= c.cap && len(c.order) > 0 {
+			victim := c.order[0]
+			c.order = c.order[1:]
+			if _, ok := c.entries[victim]; ok {
+				delete(c.entries, victim)
+				c.Stats.Evictions++
+			}
+		}
+		c.order = append(c.order, rip)
+	}
+	c.entries[rip] = e
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Clone duplicates the cache (fork(): the decode cache is FPVM state in
+// process memory, so the child gets a copy).
+func (c *Cache) Clone() *Cache {
+	out := &Cache{
+		entries: make(map[uint64]*Entry, len(c.entries)),
+		order:   append([]uint64(nil), c.order...),
+		cap:     c.cap,
+		Stats:   c.Stats,
+	}
+	for k, v := range c.entries {
+		out.entries[k] = v // entries are immutable decodes
+	}
+	return out
+}
+
+// TermReason explains why a sequence ended.
+type TermReason uint8
+
+const (
+	// TermUnsupported: hit an instruction FPVM cannot decode/bind/emulate
+	// (condition (1) of §4.2; includes all control flow).
+	TermUnsupported TermReason = iota
+	// TermNoBoxedSource: the instruction is emulatable but no source
+	// operand is NaN-boxed (condition (2)).
+	TermNoBoxedSource
+	// TermLimit: hit the per-trap emulation limit (safety valve).
+	TermLimit
+)
+
+func (t TermReason) String() string {
+	switch t {
+	case TermUnsupported:
+		return "unsupported-instruction"
+	case TermNoBoxedSource:
+		return "no-nan-boxed-source"
+	case TermLimit:
+		return "sequence-limit"
+	}
+	return "term?"
+}
+
+// TraceStat aggregates executions of the sequence starting at StartRIP.
+type TraceStat struct {
+	StartRIP   uint64
+	Len        int      // instructions emulated per execution (last observed)
+	Count      uint64   // times the sequence was executed
+	TotalInsts uint64   // emulated instructions summed over executions
+	Insts      []string // disassembly including the terminator
+	Terminator string   // disassembly of the terminating instruction
+	Reason     TermReason
+}
+
+// EmulatedInsts returns the total emulated instructions attributed to this
+// trace. (Summed per execution: a trace's length can vary between runs,
+// e.g. when a mid-sequence instruction's operands stop being boxed.)
+func (t *TraceStat) EmulatedInsts() uint64 { return t.TotalInsts }
+
+// SeqProfile collects per-sequence statistics when profiling is enabled.
+type SeqProfile struct {
+	traces map[uint64]*TraceStat
+
+	// Totals across all traps, maintained even for unprofiled runs.
+	Traps         uint64
+	EmulatedTotal uint64
+}
+
+// NewSeqProfile returns an empty profile.
+func NewSeqProfile() *SeqProfile {
+	return &SeqProfile{traces: make(map[uint64]*TraceStat)}
+}
+
+// Known reports whether a sequence starting at start has been observed
+// (used to capture disassembly only once).
+func (p *SeqProfile) Known(start uint64) bool {
+	_, ok := p.traces[start]
+	return ok
+}
+
+// Record logs one executed sequence. insts/terminator are captured only on
+// first observation (they are stable for a given start address).
+func (p *SeqProfile) Record(start uint64, length int, reason TermReason, insts []string, term string) {
+	p.Traps++
+	p.EmulatedTotal += uint64(length)
+	t, ok := p.traces[start]
+	if !ok {
+		t = &TraceStat{StartRIP: start, Insts: insts, Terminator: term}
+		p.traces[start] = t
+	}
+	t.Count++
+	t.TotalInsts += uint64(length)
+	t.Len = length
+	t.Reason = reason
+}
+
+// AvgSeqLen is the average number of instructions emulated per trap — the
+// amortization factor of §4 (≈32 for Lorenz, ≈3 for Enzo).
+func (p *SeqProfile) AvgSeqLen() float64 {
+	if p.Traps == 0 {
+		return 0
+	}
+	return float64(p.EmulatedTotal) / float64(p.Traps)
+}
+
+// NumTraces returns the number of distinct sequences observed.
+func (p *SeqProfile) NumTraces() int { return len(p.traces) }
+
+// ByPopularity returns traces sorted by emulated-instruction contribution
+// (descending), the ordering behind Figures 7, 8 and 10.
+func (p *SeqProfile) ByPopularity() []*TraceStat {
+	out := make([]*TraceStat, 0, len(p.traces))
+	for _, t := range p.traces {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ei, ej := out[i].EmulatedInsts(), out[j].EmulatedInsts()
+		if ei != ej {
+			return ei > ej
+		}
+		return out[i].StartRIP < out[j].StartRIP
+	})
+	return out
+}
+
+// RankPopularityCDF returns, for each rank k (1-based), the cumulative
+// percentage of emulated instructions covered by the top-k sequences
+// (Figure 8).
+func (p *SeqProfile) RankPopularityCDF() []float64 {
+	traces := p.ByPopularity()
+	out := make([]float64, len(traces))
+	var cum uint64
+	for i, t := range traces {
+		cum += t.EmulatedInsts()
+		if p.EmulatedTotal > 0 {
+			out[i] = 100 * float64(cum) / float64(p.EmulatedTotal)
+		}
+	}
+	return out
+}
+
+// LengthCDF returns (lengths, percentages): the percentage of distinct
+// sequences with length <= L (Figure 9).
+func (p *SeqProfile) LengthCDF() (lengths []int, pct []float64) {
+	var ls []int
+	for _, t := range p.traces {
+		ls = append(ls, t.Len)
+	}
+	sort.Ints(ls)
+	n := len(ls)
+	for i, l := range ls {
+		if i+1 < n && ls[i+1] == l {
+			continue
+		}
+		lengths = append(lengths, l)
+		pct = append(pct, 100*float64(i+1)/float64(n))
+	}
+	return lengths, pct
+}
+
+// WeightedRank returns, for each rank k, the average sequence length if
+// only the top-k most popular sequences were cached (Figure 10). The curve
+// converges to AvgSeqLen.
+func (p *SeqProfile) WeightedRank() []float64 {
+	traces := p.ByPopularity()
+	out := make([]float64, len(traces))
+	var insts, traps uint64
+	for i, t := range traces {
+		insts += t.EmulatedInsts()
+		traps += t.Count
+		if traps > 0 {
+			out[i] = float64(insts) / float64(traps)
+		}
+	}
+	return out
+}
+
+// Trace returns the rank-k (1-based) most popular trace, for Figure 7
+// style dumps.
+func (p *SeqProfile) Trace(rank int) (*TraceStat, error) {
+	traces := p.ByPopularity()
+	if rank < 1 || rank > len(traces) {
+		return nil, fmt.Errorf("dcache: rank %d out of range (have %d traces)", rank, len(traces))
+	}
+	return traces[rank-1], nil
+}
+
+// CacheSizeEstimate returns the §6.3 estimate: convergence rank times
+// average length at that rank, in entries. Convergence is taken at the
+// rank covering pctCover percent of emulated instructions.
+func (p *SeqProfile) CacheSizeEstimate(pctCover float64) int {
+	cdf := p.RankPopularityCDF()
+	w := p.WeightedRank()
+	for i, c := range cdf {
+		if c >= pctCover {
+			return int(float64(i+1) * w[i])
+		}
+	}
+	if n := len(cdf); n > 0 {
+		return int(float64(n) * w[n-1])
+	}
+	return 0
+}

@@ -1,0 +1,201 @@
+package dcache
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpvm/internal/isa"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(0)
+	if _, ok := c.Lookup(0x100); ok {
+		t.Error("hit on empty cache")
+	}
+	e := &Entry{Inst: isa.MakeNullary(isa.NOP), Supported: true}
+	c.Insert(0x100, e)
+	got, ok := c.Lookup(0x100)
+	if !ok || got != e {
+		t.Error("miss after insert")
+	}
+	if c.Stats.Misses != 1 || c.Stats.Hits != 1 {
+		t.Errorf("stats: %+v", c.Stats)
+	}
+	if c.Len() != 1 {
+		t.Error("len")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(4)
+	for i := uint64(0); i < 8; i++ {
+		c.Insert(i, &Entry{})
+	}
+	if c.Len() > 4 {
+		t.Errorf("len %d over capacity", c.Len())
+	}
+	if c.Stats.Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+	// FIFO: the newest entries survive.
+	if _, ok := c.Lookup(7); !ok {
+		t.Error("newest entry evicted")
+	}
+}
+
+func TestCacheReinsert(t *testing.T) {
+	c := NewCache(4)
+	c.Insert(1, &Entry{Supported: false})
+	c.Insert(1, &Entry{Supported: true})
+	e, ok := c.Lookup(1)
+	if !ok || !e.Supported {
+		t.Error("reinsert did not replace")
+	}
+	if c.Len() != 1 {
+		t.Error("duplicate entries")
+	}
+}
+
+// buildProfile records synthetic sequences: three traces with distinct
+// popularity and length.
+func buildProfile() *SeqProfile {
+	p := NewSeqProfile()
+	// trace A: len 32, executed 100 times (dominant)
+	for i := 0; i < 100; i++ {
+		p.Record(0x100, 32, TermUnsupported, []string{"addsd ...", "mulsd ..."}, "add rcx, 1")
+	}
+	// trace B: len 4, executed 50 times
+	for i := 0; i < 50; i++ {
+		p.Record(0x200, 4, TermNoBoxedSource, nil, "")
+	}
+	// trace C: len 200, executed once (long but unpopular)
+	p.Record(0x300, 200, TermLimit, nil, "")
+	return p
+}
+
+func TestProfileTotals(t *testing.T) {
+	p := buildProfile()
+	if p.Traps != 151 {
+		t.Errorf("traps %d", p.Traps)
+	}
+	wantEmul := uint64(100*32 + 50*4 + 200)
+	if p.EmulatedTotal != wantEmul {
+		t.Errorf("emulated %d want %d", p.EmulatedTotal, wantEmul)
+	}
+	if got := p.AvgSeqLen(); math.Abs(got-float64(wantEmul)/151) > 1e-9 {
+		t.Errorf("avg %f", got)
+	}
+	if p.NumTraces() != 3 {
+		t.Error("traces")
+	}
+	if !p.Known(0x100) || p.Known(0x999) {
+		t.Error("Known")
+	}
+}
+
+func TestByPopularityOrder(t *testing.T) {
+	p := buildProfile()
+	traces := p.ByPopularity()
+	// A contributes 3200, B 200, C 200 -> A first; B vs C tie broken by RIP.
+	if traces[0].StartRIP != 0x100 {
+		t.Errorf("rank 1 = %#x", traces[0].StartRIP)
+	}
+	if traces[1].StartRIP != 0x200 || traces[2].StartRIP != 0x300 {
+		t.Errorf("tie break: %#x %#x", traces[1].StartRIP, traces[2].StartRIP)
+	}
+}
+
+func TestRankPopularityCDFMonotone(t *testing.T) {
+	p := buildProfile()
+	cdf := p.RankPopularityCDF()
+	last := 0.0
+	for i, v := range cdf {
+		if v < last {
+			t.Fatalf("CDF not monotone at %d: %f < %f", i, v, last)
+		}
+		last = v
+	}
+	if math.Abs(last-100) > 1e-9 {
+		t.Errorf("CDF ends at %f", last)
+	}
+}
+
+func TestLengthCDF(t *testing.T) {
+	p := buildProfile()
+	lengths, pct := p.LengthCDF()
+	if len(lengths) != 3 {
+		t.Fatalf("lengths: %v", lengths)
+	}
+	if lengths[0] != 4 || lengths[2] != 200 {
+		t.Errorf("lengths: %v", lengths)
+	}
+	if pct[len(pct)-1] != 100 {
+		t.Errorf("pct: %v", pct)
+	}
+}
+
+// TestWeightedRankConverges checks the Figure 10 property: the weighted
+// rank series converges to the overall average sequence length.
+func TestWeightedRankConverges(t *testing.T) {
+	p := buildProfile()
+	w := p.WeightedRank()
+	if math.Abs(w[len(w)-1]-p.AvgSeqLen()) > 1e-9 {
+		t.Errorf("weighted rank tail %f != avg %f", w[len(w)-1], p.AvgSeqLen())
+	}
+}
+
+// TestWeightedRankRandom fuzzes the convergence property.
+func TestWeightedRankRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		p := NewSeqProfile()
+		n := 1 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			count := 1 + r.Intn(100)
+			length := 1 + r.Intn(64)
+			for j := 0; j < count; j++ {
+				p.Record(uint64(0x1000+i*16), length, TermUnsupported, nil, "")
+			}
+		}
+		w := p.WeightedRank()
+		if math.Abs(w[len(w)-1]-p.AvgSeqLen()) > 1e-9 {
+			t.Fatalf("trial %d: tail %f != avg %f", trial, w[len(w)-1], p.AvgSeqLen())
+		}
+		cdf := p.RankPopularityCDF()
+		if math.Abs(cdf[len(cdf)-1]-100) > 1e-9 {
+			t.Fatalf("trial %d: cdf tail %f", trial, cdf[len(cdf)-1])
+		}
+	}
+}
+
+func TestTraceByRank(t *testing.T) {
+	p := buildProfile()
+	tr, err := p.Trace(1)
+	if err != nil || tr.StartRIP != 0x100 {
+		t.Errorf("rank1: %v %v", tr, err)
+	}
+	if len(tr.Insts) != 2 || tr.Terminator != "add rcx, 1" {
+		t.Errorf("capture: %+v", tr)
+	}
+	if _, err := p.Trace(0); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, err := p.Trace(4); err == nil {
+		t.Error("rank beyond range accepted")
+	}
+}
+
+func TestCacheSizeEstimate(t *testing.T) {
+	p := buildProfile()
+	entries := p.CacheSizeEstimate(90)
+	if entries <= 0 {
+		t.Errorf("estimate %d", entries)
+	}
+}
+
+func TestTermReasonString(t *testing.T) {
+	if TermUnsupported.String() == "" || TermNoBoxedSource.String() == "" || TermLimit.String() == "" {
+		t.Error("empty reason strings")
+	}
+}

@@ -1,0 +1,378 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§6). Each Fig* method prints the rows/series the paper
+// plots; absolute cycle counts come from the simulated cost model, so the
+// *shapes* — who wins, by what factor, where the crossovers are — are the
+// reproduction targets (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"fpvm"
+	"fpvm/internal/telemetry"
+	"fpvm/internal/workloads"
+)
+
+// ConfigLabels in the paper's legend order.
+var ConfigLabels = []string{"NONE", "SEQ", "SHORT", "SEQ SHORT"}
+
+// configFor maps a label to a Config.
+func configFor(label string, alt fpvm.AltKind, profile bool) fpvm.Config {
+	cfg := fpvm.Config{Alt: alt, Profile: profile}
+	switch label {
+	case "SEQ":
+		cfg.Seq = true
+	case "SHORT":
+		cfg.Short = true
+	case "SEQ SHORT":
+		cfg.Seq = true
+		cfg.Short = true
+	}
+	return cfg
+}
+
+// WorkloadRun bundles one workload's native baseline and its four FPVM
+// configurations.
+type WorkloadRun struct {
+	Name   workloads.Name
+	Native *fpvm.Result
+	Runs   map[string]*fpvm.Result // keyed by ConfigLabels
+
+	ProfilerSites int
+	StaticSites   int
+}
+
+// Suite is a full evaluation sweep for one alternative arithmetic system.
+type Suite struct {
+	Alt   fpvm.AltKind
+	Scale int
+	Runs  []*WorkloadRun
+}
+
+// Run executes the sweep: for each workload, build, find correctness
+// sites with the profiler, patch (int3 for the NONE baseline — the
+// original FPVM mechanism — and magic traps for the accelerated
+// configurations, as in §6.2), and measure native + all four configs.
+func Run(alt fpvm.AltKind, scale int, progress io.Writer) (*Suite, error) {
+	s := &Suite{Alt: alt, Scale: scale}
+	for _, name := range workloads.All() {
+		wr, err := runWorkload(name, alt, scale, progress)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		s.Runs = append(s.Runs, wr)
+	}
+	return s, nil
+}
+
+func runWorkload(name workloads.Name, alt fpvm.AltKind, scale int, progress io.Writer) (*WorkloadRun, error) {
+	logf := func(format string, args ...any) {
+		if progress != nil {
+			fmt.Fprintf(progress, format, args...)
+		}
+	}
+	logf("== %s (alt=%s, scale=%d)\n", name, alt, scale)
+
+	img, err := workloads.Build(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	native, err := fpvm.RunNative(img)
+	if err != nil {
+		return nil, err
+	}
+	logf("   native: %d cycles, %d FP insts\n", native.Cycles, native.FPInstructions)
+
+	profSites, _, err := fpvm.ProfileSites(img)
+	if err != nil {
+		return nil, err
+	}
+	staticSites, _, err := fpvm.AnalyzeSites(img)
+	if err != nil {
+		return nil, err
+	}
+
+	int3Img := img
+	magicImg := img
+	if len(profSites) > 0 {
+		if int3Img, err = fpvm.PatchImage(img, profSites, fpvm.PatchInt3); err != nil {
+			return nil, err
+		}
+		if magicImg, err = fpvm.PatchImage(img, profSites, fpvm.PatchMagic); err != nil {
+			return nil, err
+		}
+	}
+
+	wr := &WorkloadRun{
+		Name:          name,
+		Native:        native,
+		Runs:          make(map[string]*fpvm.Result, 4),
+		ProfilerSites: len(profSites),
+		StaticSites:   len(staticSites),
+	}
+	for _, label := range ConfigLabels {
+		runImg := magicImg
+		if label == "NONE" {
+			runImg = int3Img
+		}
+		cfg := configFor(label, alt, true)
+		res, err := fpvm.Run(runImg, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", label, err)
+		}
+		logf("   %-9s: %12d cycles (%.1fx), %d traps, %.1f insts/trap\n",
+			label, res.Cycles, res.Slowdown(native.Cycles), res.Traps,
+			res.Breakdown.AvgSeqLen())
+		wr.Runs[label] = res
+	}
+	return wr, nil
+}
+
+// --------------------------------------------------------------- figures
+
+// Fig1 prints the baseline per-emulated-instruction cost breakdown
+// (Figure 1: NONE configuration, all cost categories, amortized cycles).
+func (s *Suite) Fig1(w io.Writer) {
+	fmt.Fprintf(w, "Figure 1: baseline cost breakdown per emulated instruction (alt=%s, NONE)\n", s.Alt)
+	fmt.Fprintln(w, telemetry.Header())
+	for _, wr := range s.Runs {
+		fmt.Fprintln(w, wr.Runs["NONE"].Breakdown.Row(string(wr.Name)))
+	}
+}
+
+// Fig4 prints end-to-end slowdowns for all four configurations
+// (Figure 4 for Boxed IEEE; Figure 11 when the suite ran with MPFR).
+func (s *Suite) Fig4(w io.Writer) {
+	fmt.Fprintf(w, "Figure 4/11: application slowdown vs native (alt=%s)\n", s.Alt)
+	fmt.Fprintf(w, "%-24s", "workload")
+	for _, l := range ConfigLabels {
+		fmt.Fprintf(w, " %11s", l)
+	}
+	fmt.Fprintln(w)
+	for _, wr := range s.Runs {
+		fmt.Fprintf(w, "%-24s", wr.Name)
+		for _, l := range ConfigLabels {
+			fmt.Fprintf(w, " %10.1fx", wr.Runs[l].Slowdown(wr.Native.Cycles))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig5 prints slowdown relative to the alternative-arithmetic lower bound
+// (Figure 5 / Figure 12: 1.0x = zero virtualization overhead).
+func (s *Suite) Fig5(w io.Writer) {
+	fmt.Fprintf(w, "Figure 5/12: slowdown from the altmath lower bound (alt=%s)\n", s.Alt)
+	fmt.Fprintf(w, "%-24s", "workload")
+	for _, l := range ConfigLabels {
+		fmt.Fprintf(w, " %11s", l)
+	}
+	fmt.Fprintln(w)
+	for _, wr := range s.Runs {
+		fmt.Fprintf(w, "%-24s", wr.Name)
+		for _, l := range ConfigLabels {
+			fmt.Fprintf(w, " %10.2fx", wr.Runs[l].SlowdownFromLowerBound(wr.Native.Cycles))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig6 prints the optimized breakdowns with per-config reduction factors
+// (Figure 6 for Boxed IEEE, Figure 13 for MPFR).
+func (s *Suite) Fig6(w io.Writer) {
+	fmt.Fprintf(w, "Figure 6/13: cost breakdown per emulated instruction, all configs (alt=%s)\n", s.Alt)
+	fmt.Fprintln(w, telemetry.Header())
+	for _, wr := range s.Runs {
+		nonePer := perInstTotal(wr.Runs["NONE"].Breakdown)
+		for _, l := range ConfigLabels {
+			b := wr.Runs[l].Breakdown
+			label := fmt.Sprintf("%s/%s", wr.Name, l)
+			row := b.Row(label)
+			if l != "NONE" && perInstTotal(b) > 0 {
+				row += fmt.Sprintf("  (%.1fx)", nonePer/perInstTotal(b))
+			}
+			fmt.Fprintln(w, row)
+		}
+	}
+}
+
+func perInstTotal(b *telemetry.Breakdown) float64 {
+	if b.EmulatedInsts == 0 {
+		return 0
+	}
+	return float64(b.Total()) / float64(b.EmulatedInsts)
+}
+
+// Fig7 prints an example captured instruction trace (Figure 7): the
+// rank-k most popular sequence of a workload, with the terminator marked.
+func (s *Suite) Fig7(w io.Writer, name workloads.Name, rank int) error {
+	wr := s.find(name)
+	if wr == nil {
+		return fmt.Errorf("experiments: no run for %s", name)
+	}
+	prof := wr.Runs["SEQ SHORT"].SeqProfile
+	if prof == nil {
+		return fmt.Errorf("experiments: no sequence profile collected")
+	}
+	tr, err := prof.Trace(rank)
+	if err != nil {
+		return err
+	}
+	pct := 100 * float64(tr.EmulatedInsts()) / float64(prof.EmulatedTotal)
+	fmt.Fprintf(w, "Figure 7: rank-%d trace of %s (start %#x, len %d, executed %d times, %.1f%% of emulated insts)\n",
+		rank, name, tr.StartRIP, tr.Len, tr.Count, pct)
+	for i, s := range tr.Insts {
+		marker := "  "
+		if i == len(tr.Insts)-1 && s == tr.Terminator {
+			marker = "* " // sequence-terminating instruction
+		}
+		fmt.Fprintf(w, "  %s%s\n", marker, s)
+	}
+	fmt.Fprintf(w, "  terminated: %s\n", tr.Reason)
+	return nil
+}
+
+// Fig8 prints the sequence rank popularity CDF (Figure 8).
+func (s *Suite) Fig8(w io.Writer) {
+	fmt.Fprintln(w, "Figure 8: instruction sequence rank popularity (CDF of emulated instructions)")
+	for _, wr := range s.Runs {
+		prof := wr.Runs["SEQ SHORT"].SeqProfile
+		if prof == nil {
+			continue
+		}
+		cdf := prof.RankPopularityCDF()
+		fmt.Fprintf(w, "%-24s traces=%d:", wr.Name, len(cdf))
+		for _, rank := range cdfSampleRanks(len(cdf)) {
+			fmt.Fprintf(w, " r%d=%.0f%%", rank+1, cdf[rank])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig9 prints the sequence length distribution (Figure 9).
+func (s *Suite) Fig9(w io.Writer) {
+	fmt.Fprintln(w, "Figure 9: instruction sequence length CDF (distinct sequences)")
+	for _, wr := range s.Runs {
+		prof := wr.Runs["SEQ SHORT"].SeqProfile
+		if prof == nil {
+			continue
+		}
+		lengths, pct := prof.LengthCDF()
+		fmt.Fprintf(w, "%-24s", wr.Name)
+		for i := range lengths {
+			if i > 8 && i != len(lengths)-1 {
+				continue
+			}
+			fmt.Fprintf(w, " len<=%d:%.0f%%", lengths[i], pct[i])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig10 prints the length-weighted rank popularity (Figure 10): the
+// average sequence length achievable caching only the top-k sequences;
+// each series converges to the workload's overall amortization factor.
+func (s *Suite) Fig10(w io.Writer) {
+	fmt.Fprintln(w, "Figure 10: sequence length weighted rank popularity")
+	for _, wr := range s.Runs {
+		prof := wr.Runs["SEQ SHORT"].SeqProfile
+		if prof == nil {
+			continue
+		}
+		series := prof.WeightedRank()
+		fmt.Fprintf(w, "%-24s avg=%.1f:", wr.Name, prof.AvgSeqLen())
+		for _, rank := range cdfSampleRanks(len(series)) {
+			fmt.Fprintf(w, " top%d=%.1f", rank+1, series[rank])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// cdfSampleRanks picks representative ranks for text output.
+func cdfSampleRanks(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	cands := []int{0, 2, 4, 9, 19, 49, 99, 199, 349, 599}
+	var out []int
+	for _, c := range cands {
+		if c < n-1 {
+			out = append(out, c)
+		}
+	}
+	return append(out, n-1)
+}
+
+// CacheTable prints the §6.3 trace cache sizing estimates.
+func (s *Suite) CacheTable(w io.Writer) {
+	fmt.Fprintln(w, "Trace cache sizing (§6.3): rank@90% coverage × avg length ≈ entries needed")
+	fmt.Fprintf(w, "%-24s %8s %8s %10s %12s\n", "workload", "traces", "avg len", "entries", "decode-cache")
+	for _, wr := range s.Runs {
+		res := wr.Runs["SEQ SHORT"]
+		prof := res.SeqProfile
+		if prof == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%-24s %8d %8.1f %10d %12d\n",
+			wr.Name, prof.NumTraces(), prof.AvgSeqLen(),
+			prof.CacheSizeEstimate(90), res.DecodeCacheEntries)
+	}
+}
+
+// CorrTable prints the §5.1 comparison: profiler vs static analysis patch
+// sites and the resulting correctness event counts.
+func (s *Suite) CorrTable(w io.Writer) {
+	fmt.Fprintln(w, "Correctness instrumentation (§5.1): profiled vs static patch sites")
+	fmt.Fprintf(w, "%-24s %10s %10s %12s %12s\n", "workload", "profiled", "static", "corr events", "fcall events")
+	for _, wr := range s.Runs {
+		b := wr.Runs["SEQ SHORT"].Breakdown
+		fmt.Fprintf(w, "%-24s %10d %10d %12d %12d\n",
+			wr.Name, wr.ProfilerSites, wr.StaticSites, b.CorrEvents, b.FCallEvents)
+	}
+}
+
+func (s *Suite) find(name workloads.Name) *WorkloadRun {
+	for _, wr := range s.Runs {
+		if wr.Name == name {
+			return wr
+		}
+	}
+	return nil
+}
+
+// AvgReduction returns the mean slowdown reduction of SEQ SHORT vs NONE
+// across workloads (the paper's headline "average of 7.2x, 11.5x for
+// Lorenz").
+func (s *Suite) AvgReduction() (avg float64, best float64, bestName workloads.Name) {
+	var sum float64
+	for _, wr := range s.Runs {
+		r := float64(wr.Runs["NONE"].Cycles) / float64(wr.Runs["SEQ SHORT"].Cycles)
+		sum += r
+		if r > best {
+			best, bestName = r, wr.Name
+		}
+	}
+	if len(s.Runs) > 0 {
+		avg = sum / float64(len(s.Runs))
+	}
+	return avg, best, bestName
+}
+
+// SortedSlowdowns returns workloads ordered by NONE slowdown (diagnostic).
+func (s *Suite) SortedSlowdowns() []string {
+	type row struct {
+		name string
+		sd   float64
+	}
+	rows := make([]row, 0, len(s.Runs))
+	for _, wr := range s.Runs {
+		rows = append(rows, row{string(wr.Name), wr.Runs["NONE"].Slowdown(wr.Native.Cycles)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].sd > rows[j].sd })
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprintf("%s=%.0fx", r.name, r.sd)
+	}
+	return out
+}

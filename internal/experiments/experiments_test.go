@@ -1,0 +1,149 @@
+package experiments_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"fpvm"
+	"fpvm/internal/experiments"
+	"fpvm/internal/workloads"
+)
+
+// TestMicroDelivery checks the §3 headline: short-circuiting cuts trap
+// delegation by roughly 8x.
+func TestMicroDelivery(t *testing.T) {
+	m, err := experiments.RunMicroDelivery(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reduction < 5 || m.Reduction > 12 {
+		t.Errorf("delegation reduction %.1fx outside the paper's ~8x ballpark", m.Reduction)
+	}
+	if m.SignalPerTrap < 5000 || m.SignalPerTrap > 7000 {
+		t.Errorf("signal path %f cycles/trap, want ~5980", m.SignalPerTrap)
+	}
+}
+
+// TestMicroCorrectness checks the §5.2 headline: magic traps cut
+// correctness costs by 14-120x.
+func TestMicroCorrectness(t *testing.T) {
+	m, err := experiments.RunMicroCorrectness(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reduction < 10 || m.Reduction > 150 {
+		t.Errorf("correctness reduction %.0fx outside the paper's 14-120x range", m.Reduction)
+	}
+}
+
+// TestSuiteShapes runs the Boxed IEEE sweep at small scale and asserts
+// the paper's qualitative results hold:
+//   - every acceleration configuration beats NONE,
+//   - SEQ SHORT is the best configuration,
+//   - the average SEQ SHORT reduction is substantial,
+//   - Lorenz has the longest sequences, Enzo/fbench the shortest,
+//   - SEQ SHORT approaches the lower bound far closer than NONE.
+func TestSuiteShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	s, err := experiments.Run(fpvm.AltBoxed, 1, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seqLen := map[workloads.Name]float64{}
+	for _, wr := range s.Runs {
+		none := wr.Runs["NONE"].Cycles
+		seq := wr.Runs["SEQ"].Cycles
+		short := wr.Runs["SHORT"].Cycles
+		both := wr.Runs["SEQ SHORT"].Cycles
+		if seq >= none {
+			t.Errorf("%s: SEQ (%d) not faster than NONE (%d)", wr.Name, seq, none)
+		}
+		if short >= none {
+			t.Errorf("%s: SHORT (%d) not faster than NONE (%d)", wr.Name, short, none)
+		}
+		if both >= seq || both >= short {
+			t.Errorf("%s: SEQ SHORT (%d) not the best (SEQ %d, SHORT %d)",
+				wr.Name, both, seq, short)
+		}
+		lbNone := wr.Runs["NONE"].SlowdownFromLowerBound(wr.Native.Cycles)
+		lbBoth := wr.Runs["SEQ SHORT"].SlowdownFromLowerBound(wr.Native.Cycles)
+		if lbBoth >= lbNone/2 {
+			t.Errorf("%s: SEQ SHORT lower-bound ratio %.2f not ≪ NONE's %.2f",
+				wr.Name, lbBoth, lbNone)
+		}
+		seqLen[wr.Name] = wr.Runs["SEQ SHORT"].Breakdown.AvgSeqLen()
+	}
+
+	if seqLen[workloads.Lorenz] < seqLen[workloads.Enzo]*3 {
+		t.Errorf("lorenz sequences (%.1f) should dwarf enzo's (%.1f)",
+			seqLen[workloads.Lorenz], seqLen[workloads.Enzo])
+	}
+	if seqLen[workloads.Enzo] > 8 || seqLen[workloads.Fbench] > 10 {
+		t.Errorf("enzo (%.1f) and fbench (%.1f) should have short sequences",
+			seqLen[workloads.Enzo], seqLen[workloads.Fbench])
+	}
+
+	avg, best, bestName := s.AvgReduction()
+	if avg < 3 {
+		t.Errorf("average SEQ SHORT reduction %.1fx too small (paper: 7.2x)", avg)
+	}
+	if best < avg {
+		t.Errorf("best reduction %.1fx (%s) below average %.1fx", best, bestName, avg)
+	}
+	t.Logf("avg reduction %.1fx; best %.1fx (%s); NONE slowdowns: %v",
+		avg, best, bestName, s.SortedSlowdowns())
+}
+
+// TestFigureRenderers smoke-tests every text renderer against a tiny
+// sweep: output must be non-empty and mention the right figure.
+func TestFigureRenderers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	s, err := experiments.Run(fpvm.AltBoxed, 1, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name   string
+		render func(w io.Writer)
+		want   string
+	}{
+		{"fig1", s.Fig1, "Figure 1"},
+		{"fig4", s.Fig4, "Figure 4"},
+		{"fig5", s.Fig5, "Figure 5"},
+		{"fig6", s.Fig6, "Figure 6"},
+		{"fig8", s.Fig8, "Figure 8"},
+		{"fig9", s.Fig9, "Figure 9"},
+		{"fig10", s.Fig10, "Figure 10"},
+		{"corr", s.CorrTable, "Correctness"},
+		{"cache", s.CacheTable, "Trace cache"},
+	}
+	for _, c := range checks {
+		var buf strings.Builder
+		c.render(&buf)
+		out := buf.String()
+		if !strings.Contains(out, c.want) || len(out) < 100 {
+			t.Errorf("%s output suspicious:\n%s", c.name, out)
+		}
+		// Every workload appears in each table-style figure.
+		if c.name == "fig4" || c.name == "fig5" {
+			for _, w := range workloads.All() {
+				if !strings.Contains(out, string(w)) {
+					t.Errorf("%s missing workload %s", c.name, w)
+				}
+			}
+		}
+	}
+	var buf strings.Builder
+	if err := s.Fig7(&buf, workloads.Lorenz, 1); err != nil {
+		t.Fatalf("fig7: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Figure 7") {
+		t.Error("fig7 output")
+	}
+}

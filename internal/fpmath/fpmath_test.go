@@ -1,0 +1,271 @@
+package fpmath
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// oracleEval computes op(a,b) and the Precision flag using math/big as an
+// external oracle (big.Float arithmetic at high precision, compared with
+// the rounded float64 result).
+func oracleInexact(op Op, a, b, got float64) bool {
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		return false // oracle only used for finite results
+	}
+	const prec = 2400 // spans the full binary64 exponent + mantissa range
+	ba := new(big.Float).SetPrec(prec).SetFloat64(a)
+	bb := new(big.Float).SetPrec(prec).SetFloat64(b)
+	exact := new(big.Float).SetPrec(prec)
+	switch op {
+	case OpAdd:
+		exact.Add(ba, bb)
+	case OpSub:
+		exact.Sub(ba, bb)
+	case OpMul:
+		exact.Mul(ba, bb)
+	case OpDiv:
+		exact.Quo(ba, bb)
+	case OpSqrt:
+		exact.Sqrt(ba)
+	default:
+		return false
+	}
+	bg := new(big.Float).SetPrec(prec).SetFloat64(got)
+	return exact.Cmp(bg) != 0
+}
+
+func finiteRand(u uint64) float64 {
+	f := math.Float64frombits(u)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 1.5
+	}
+	return f
+}
+
+// TestEvalMatchesHardware checks the computed value equals Go's own IEEE
+// arithmetic and the Precision flag matches the big.Float oracle, for all
+// binary ops over random operands.
+func TestEvalMatchesHardware(t *testing.T) {
+	ops := []Op{OpAdd, OpSub, OpMul, OpDiv}
+	f := func(ua, ub uint64, opSel uint8) bool {
+		a, b := finiteRand(ua), finiteRand(ub)
+		op := ops[int(opSel)%len(ops)]
+		r := Eval(op, a, b)
+		var want float64
+		switch op {
+		case OpAdd:
+			want = a + b
+		case OpSub:
+			want = a - b
+		case OpMul:
+			want = a * b
+		case OpDiv:
+			want = a / b
+		}
+		if Bits(r.Value) != Bits(want) {
+			t.Logf("op=%v a=%x b=%x got=%x want=%x", op, Bits(a), Bits(b), Bits(r.Value), Bits(want))
+			return false
+		}
+		if math.IsInf(want, 0) || math.IsNaN(want) || IsDenormal(want) ||
+			(want == 0 && !(a == 0 || b == 0)) || IsDenormal(a) || IsDenormal(b) {
+			return true // flag oracle below only covers the normal range
+		}
+		gotInexact := r.Flags&ExPrecision != 0
+		wantInexact := oracleInexact(op, a, b, want)
+		if gotInexact != wantInexact {
+			t.Logf("op=%v a=%x b=%x inexact=%v want=%v", op, Bits(a), Bits(b), gotInexact, wantInexact)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSqrtFlags checks sqrt results and inexactness.
+func TestSqrtFlags(t *testing.T) {
+	f := func(ua uint64) bool {
+		a := math.Abs(finiteRand(ua))
+		r := Eval(OpSqrt, a, 0)
+		want := math.Sqrt(a)
+		if Bits(r.Value) != Bits(want) {
+			return false
+		}
+		if math.IsInf(want, 0) || IsDenormal(want) || IsDenormal(a) || a == 0 {
+			return true
+		}
+		return (r.Flags&ExPrecision != 0) == oracleInexact(OpSqrt, a, 0, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalSpecialCases(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name      string
+		op        Op
+		a, b      float64
+		wantNaN   bool
+		wantFlags uint32
+	}{
+		{"inf-inf", OpSub, inf, inf, true, ExInvalid},
+		{"inf+(-inf)", OpAdd, inf, -inf, true, ExInvalid},
+		{"0*inf", OpMul, 0, inf, true, ExInvalid},
+		{"inf*0", OpMul, inf, 0, true, ExInvalid},
+		{"0/0", OpDiv, 0, 0, true, ExInvalid},
+		{"inf/inf", OpDiv, inf, inf, true, ExInvalid},
+		{"1/0", OpDiv, 1, 0, false, ExDivZero},
+		{"-1/0", OpDiv, -1, 0, false, ExDivZero},
+		{"sqrt(-1)", OpSqrt, -1, 0, true, ExInvalid},
+		{"exact add", OpAdd, 1, 2, false, 0},
+		{"exact mul", OpMul, 3, 4, false, 0},
+		{"exact div", OpDiv, 8, 2, false, 0},
+		{"exact sqrt", OpSqrt, 9, 0, false, 0},
+		{"inexact div", OpDiv, 1, 3, false, ExPrecision},
+		{"overflow", OpMul, 1e308, 1e308, false, ExOverflow | ExPrecision},
+		{"underflow", OpMul, 1e-308, 1e-308, false, ExUnderflow | ExPrecision | ExDenormal},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := Eval(tc.op, tc.a, tc.b)
+			if math.IsNaN(r.Value) != tc.wantNaN {
+				t.Errorf("NaN=%v want %v (val=%v)", math.IsNaN(r.Value), tc.wantNaN, r.Value)
+			}
+			if r.Flags != tc.wantFlags {
+				t.Errorf("flags=%v want %v", ExceptionNames(r.Flags), ExceptionNames(tc.wantFlags))
+			}
+		})
+	}
+}
+
+func TestDenormalOperandFlag(t *testing.T) {
+	d := math.Float64frombits(1) // smallest subnormal
+	r := Eval(OpAdd, d, 1.0)
+	if r.Flags&ExDenormal == 0 {
+		t.Error("denormal operand did not raise DE")
+	}
+	r = Eval(OpMul, 1.5, 2.0)
+	if r.Flags&ExDenormal != 0 {
+		t.Error("normal operands raised DE")
+	}
+}
+
+func TestSNaNHandling(t *testing.T) {
+	snan := FromBits(ExpMask | 1) // signaling NaN
+	qnan := math.NaN()
+	r := Eval(OpAdd, snan, 1)
+	if r.Flags&ExInvalid == 0 {
+		t.Error("SNaN input did not raise Invalid")
+	}
+	if !IsQuietNaNBits(Bits(r.Value)) {
+		t.Error("SNaN result not quieted")
+	}
+	r = Eval(OpAdd, qnan, 1)
+	if r.Flags&ExInvalid != 0 {
+		t.Error("QNaN input raised Invalid on add")
+	}
+	if !math.IsNaN(r.Value) {
+		t.Error("QNaN did not propagate")
+	}
+}
+
+func TestMinMaxSemantics(t *testing.T) {
+	// x64 minsd/maxsd return src2 when either operand is NaN or equal.
+	nan := math.NaN()
+	if r := Eval(OpMin, nan, 5); r.Value != 5 {
+		t.Errorf("min(NaN,5) = %v, want 5", r.Value)
+	}
+	if r := Eval(OpMax, 5, nan); !math.IsNaN(r.Value) {
+		t.Errorf("max(5,NaN) = %v, want NaN", r.Value)
+	}
+	if r := Eval(OpMin, 2, 3); r.Value != 2 {
+		t.Errorf("min(2,3) = %v", r.Value)
+	}
+	if r := Eval(OpMax, 2, 3); r.Value != 3 {
+		t.Errorf("max(2,3) = %v", r.Value)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		bits uint64
+		want Class
+	}{
+		{0, ClassZero},
+		{SignMask, ClassZero},
+		{Bits(1.5), ClassNormal},
+		{1, ClassDenormal},
+		{ExpMask, ClassInf},
+		{ExpMask | SignMask, ClassInf},
+		{ExpMask | QuietBit, ClassQuietNaN},
+		{ExpMask | 1, ClassSignalingNaN},
+		{CanonicalNaN, ClassQuietNaN},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.bits); got != tc.want {
+			t.Errorf("Classify(%#x) = %v, want %v", tc.bits, got, tc.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	c := Compare(1, 2, false)
+	if !c.Less || c.Equal || c.Greater || c.Unordered {
+		t.Errorf("1 vs 2: %+v", c)
+	}
+	c = Compare(2, 2, false)
+	if !c.Equal {
+		t.Errorf("2 vs 2: %+v", c)
+	}
+	c = Compare(math.NaN(), 2, false)
+	if !c.Unordered || c.Flags&ExInvalid != 0 {
+		t.Errorf("qnan ucomisd: %+v", c)
+	}
+	c = Compare(math.NaN(), 2, true)
+	if c.Flags&ExInvalid == 0 {
+		t.Error("qnan comisd should raise Invalid")
+	}
+	snan := FromBits(ExpMask | 7)
+	c = Compare(snan, 2, false)
+	if c.Flags&ExInvalid == 0 {
+		t.Error("snan ucomisd should raise Invalid")
+	}
+}
+
+func TestTinyMulDivFlags(t *testing.T) {
+	// Exact tiny product: 2^-537 * 2^-537 = 2^-1074 (smallest subnormal,
+	// exact): Precision must NOT be raised.
+	a := math.Ldexp(1, -537)
+	r := Eval(OpMul, a, a)
+	if r.Value != math.Ldexp(1, -1074) {
+		t.Fatalf("2^-537^2 = %g", r.Value)
+	}
+	if r.Flags&ExPrecision != 0 {
+		t.Errorf("exact subnormal product flagged inexact: %v", ExceptionNames(r.Flags))
+	}
+	// Inexact tiny product.
+	r = Eval(OpMul, math.Ldexp(1.5, -537), math.Ldexp(1.000000001, -537))
+	if r.Flags&(ExPrecision|ExUnderflow) != ExPrecision|ExUnderflow {
+		t.Errorf("inexact tiny product flags: %v", ExceptionNames(r.Flags))
+	}
+	// Exact tiny quotient: 2^-1074 = 2^-1000 / 2^74.
+	r = Eval(OpDiv, math.Ldexp(1, -1000), math.Ldexp(1, 74))
+	if r.Flags&ExPrecision != 0 {
+		t.Errorf("exact tiny quotient flagged inexact: %v", ExceptionNames(r.Flags))
+	}
+}
+
+func TestExceptionNames(t *testing.T) {
+	names := ExceptionNames(ExInvalid | ExPrecision)
+	if len(names) != 2 || names[0] != "Invalid" || names[1] != "Precision" {
+		t.Errorf("names = %v", names)
+	}
+	if ExceptionNames(0) != nil {
+		t.Error("no flags should give no names")
+	}
+}

@@ -1,0 +1,169 @@
+// Package fpvm implements the floating point virtual machine runtime: the
+// trap handlers that decode, bind and emulate instructions against an
+// alternative arithmetic system (§2), NaN-box promotion/demotion (§2.2),
+// garbage collection of boxes (§2.5), instruction sequence emulation (§4),
+// trap short-circuiting via the kernel module (§3), and kernel-bypass
+// correctness instrumentation (§5).
+package fpvm
+
+import (
+	"fpvm/internal/alt"
+	"fpvm/internal/isa"
+)
+
+// Config selects the acceleration techniques, mirroring the paper's
+// evaluation axes (NONE / SEQ / SHORT / SEQ SHORT, plus magic traps and
+// wraps).
+type Config struct {
+	// Alt is the alternative arithmetic system (required).
+	Alt alt.System
+
+	// Seq enables instruction sequence emulation (§4): emulate multiple
+	// instructions per trap, amortizing delivery costs.
+	Seq bool
+
+	// Short enables trap short-circuiting (§3): register with the kernel
+	// module's /dev/fpvm instead of receiving SIGFPE. If the module is
+	// not loaded, FPVM falls back to signals (and reports it).
+	Short bool
+
+	// MagicTraps uses call-based kernel-bypass correctness traps (§5.2)
+	// instead of int3+SIGTRAP. This takes effect in the binary patcher;
+	// the runtime serves whichever mechanism the binary carries.
+	MagicTraps bool
+
+	// MagicWraps uses symbol-table rewriting for foreign function
+	// wrappers (§5.3) instead of LD_PRELOAD-order forward wrapping. The
+	// two have identical runtime cost; the knob exists for the ablation.
+	MagicWraps bool
+
+	// GCThreshold is the live-box count that triggers collection
+	// (0 = default 4096).
+	GCThreshold int
+
+	// CacheCapacity bounds the decode/trace cache (0 = 64K entries).
+	CacheCapacity int
+
+	// SeqLimit caps instructions emulated per trap (0 = 256).
+	SeqLimit int
+
+	// Profile enables sequence statistics collection (§6.3).
+	Profile bool
+
+	// FutureHW enables the paper's §8 future-work hardware model:
+	// user-level FP trap delivery that bypasses the kernel entirely
+	// (~150 cycles round trip instead of signals or even the kernel
+	// module) and hardware NaN-box escape detection that makes binary
+	// patching for memory-escape correctness unnecessary. "In a fully
+	// virtualizable architecture, the corr and fcall costs would not
+	// exist" (§2.6).
+	FutureHW bool
+
+	// EmulateAll disables the §4.2 condition-(2) termination rule:
+	// emulatable instructions are emulated even when no source operand is
+	// NaN-boxed. This is the "unwarranted emulation" ablation of the
+	// §4.1 tradeoff discussion — longer sequences, but software-emulating
+	// work the hardware would have done faster.
+	EmulateAll bool
+}
+
+// ConfigName renders the paper's config label (NONE/SEQ/SHORT/SEQ SHORT).
+func (c Config) ConfigName() string {
+	switch {
+	case c.Seq && c.Short:
+		return "SEQ SHORT"
+	case c.Seq:
+		return "SEQ"
+	case c.Short:
+		return "SHORT"
+	}
+	return "NONE"
+}
+
+// CostParams prices the runtime's own work in virtual cycles. Defaults
+// approximate the paper's Figure 1 components on its testbed.
+type CostParams struct {
+	DecacheHit  uint64 // decode cache hit lookup
+	Decode      uint64 // full decode on a cache miss (Capstone-equivalent)
+	BindArith   uint64 // operand binding for arithmetic
+	BindMove    uint64 // operand binding for moves
+	EmulArith   uint64 // emulator dispatch for arithmetic (excl. altmath)
+	EmulMove    uint64 // emulator dispatch for moves
+	CorrHandler uint64 // demotion handler body for correctness events
+	WrapCall    uint64 // wrapper stub overhead per foreign call
+	MagicCall   uint64 // double-indirect call+return of a magic trap
+}
+
+// DefaultCosts returns the testbed-calibrated runtime costs.
+func DefaultCosts() CostParams {
+	return CostParams{
+		DecacheHit:  25,
+		Decode:      950,
+		BindArith:   70,
+		BindMove:    25,
+		EmulArith:   90,
+		EmulMove:    35,
+		CorrHandler: 120,
+		WrapCall:    90,
+		MagicCall:   50,
+	}
+}
+
+// emulClass classifies how the runtime treats an opcode during (sequence)
+// emulation.
+type emulClass uint8
+
+const (
+	classUnsupported emulClass = iota // condition (1) terminator
+	classMove                         // supported data movement
+	classScalarArith                  // addsd .. maxsd, sqrtsd
+	classPackedArith
+	classScalarCmp // cmpxxsd
+	classPackedCmp
+	classCompare // ucomisd/comisd (flags)
+	classCvtToInt
+	classCvtFromInt
+	classRound
+)
+
+// classify maps an opcode to its emulation class. The supported move set
+// mirrors §4.2: scalar and full-vector moves, GPR moves, and GPR<->XMM
+// transfers are supported (~40 opcodes); partial-vector moves (movhpd,
+// movlpd), shuffles/unpacks, push/pop, lea, all integer ALU and all
+// control flow are not, and terminate sequences.
+func classify(op isa.Op) emulClass {
+	switch op {
+	case isa.ADDSD, isa.SUBSD, isa.MULSD, isa.DIVSD, isa.SQRTSD, isa.MINSD, isa.MAXSD:
+		return classScalarArith
+	case isa.ADDPD, isa.SUBPD, isa.MULPD, isa.DIVPD, isa.SQRTPD, isa.MINPD, isa.MAXPD:
+		return classPackedArith
+	case isa.CMPEQSD, isa.CMPLTSD, isa.CMPLESD, isa.CMPUNORDSD,
+		isa.CMPNEQSD, isa.CMPNLTSD, isa.CMPNLESD, isa.CMPORDSD:
+		return classScalarCmp
+	case isa.CMPEQPD, isa.CMPLTPD, isa.CMPLEPD, isa.CMPNEQPD:
+		return classPackedCmp
+	case isa.UCOMISD, isa.COMISD:
+		return classCompare
+	case isa.CVTSD2SI, isa.CVTTSD2SI:
+		return classCvtToInt
+	case isa.CVTSI2SD:
+		return classCvtFromInt
+	case isa.ROUNDSD:
+		return classRound
+
+	case isa.MOV64RR, isa.MOV64RM, isa.MOV64MR, isa.MOV64RI,
+		isa.MOV32RR, isa.MOV32RM, isa.MOV32MR, isa.MOV32RI,
+		isa.MOV16RM, isa.MOV16MR, isa.MOV8RM, isa.MOV8MR,
+		isa.MOVZX8, isa.MOVZX16, isa.MOVSX8, isa.MOVSX16, isa.MOVSXD,
+		isa.MOVSDXX, isa.MOVSDXM, isa.MOVSDMX,
+		isa.MOVAPDXX, isa.MOVAPDXM, isa.MOVAPDMX,
+		isa.MOVUPDXM, isa.MOVUPDMX,
+		isa.MOVQXG, isa.MOVQGX, isa.MOVQXM, isa.MOVQMX,
+		isa.MOVDXG, isa.MOVDGX,
+		isa.MOVDQAXX, isa.MOVDQAXM, isa.MOVDQAMX,
+		isa.MOVDQUXM, isa.MOVDQUMX,
+		isa.MOVDDUP:
+		return classMove
+	}
+	return classUnsupported
+}

@@ -1,0 +1,331 @@
+package fpvm_test
+
+import (
+	"testing"
+
+	"fpvm/internal/alt"
+	"fpvm/internal/asm"
+	fpvmrt "fpvm/internal/fpvm"
+	"fpvm/internal/hostlib"
+	"fpvm/internal/isa"
+	"fpvm/internal/kernel"
+	"fpvm/internal/machine"
+	"fpvm/internal/mem"
+	"fpvm/internal/obj"
+)
+
+// runNativeRig executes img without FPVM for differential comparison.
+func runNativeRig(t *testing.T, img *obj.Image) string {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	m := machine.New(as)
+	p := kernel.NewProcess(kernel.New(), m, img.Name)
+	lib := hostlib.Install(p)
+	as.Map("stack", obj.StackTop-obj.StackSize, obj.StackSize, mem.PermRW)
+	if err := img.Load(as, func(n string) (uint64, bool) {
+		if s, ok := img.Lookup(n); ok {
+			return s.Addr, true
+		}
+		a, ok := lib.Exports[n]
+		return a, ok
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.InvalidateICache()
+	m.CPU.RIP = img.Entry
+	m.CPU.GPR[isa.RSP] = obj.StackTop - 64
+	if err := p.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return p.Stdout.String()
+}
+
+// differential builds the program, runs native and FPVM(boxed, SEQ), and
+// requires identical output.
+func differential(t *testing.T, name string, body func(b *asm.Builder)) {
+	t.Helper()
+	b := asm.NewBuilder(name)
+	b.RoDouble("one", 1)
+	b.RoDouble("three", 3)
+	b.RoDouble("pair", 1, 3) // for packed ops (16-byte aligned)
+	b.Space("buf", 64)
+	b.Func("main")
+	body(b)
+	b.CallImport("print_f64")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := runNativeRig(t, img)
+	got := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true}, true).run(t)
+	if got != native {
+		t.Errorf("%s: fpvm %q != native %q", name, got, native)
+	}
+}
+
+// boxIt emits instructions leaving a boxed 1/3 in xmm0 (under FPVM; a
+// plain double natively).
+func boxIt(b *asm.Builder) {
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three")
+}
+
+// TestEmulatedMoveSemantics pushes a boxed value through every supported
+// move form and compares against native execution bit-for-bit.
+func TestEmulatedMoveSemantics(t *testing.T) {
+	x := isa.XMM
+	g := isa.GPR
+
+	// All integer/LEA setup happens BEFORE the boxing trap so the move
+	// chains execute inside emulated sequences (LEA terminates them).
+	t.Run("gpr-roundtrip", func(t *testing.T) {
+		differential(t, "gpr", func(b *asm.Builder) {
+			b.LeaData(isa.RDI, "buf")
+			boxIt(b)
+			b.RM(isa.MOVQGX, g(isa.RBX), x(isa.XMM0))
+			b.RM(isa.MOV64MR, g(isa.RBX), isa.Mem(isa.RDI, 0))
+			b.RM(isa.MOV64RM, g(isa.RCX), isa.Mem(isa.RDI, 0))
+			b.RM(isa.MOV64RR, g(isa.RDX), g(isa.RCX))
+			b.RM(isa.MOVQXG, x(isa.XMM0), g(isa.RDX))
+			b.RMData(isa.ADDSD, isa.XMM(isa.XMM0), "one")
+		})
+	})
+
+	t.Run("gpr-narrow", func(t *testing.T) {
+		differential(t, "narrow", func(b *asm.Builder) {
+			b.LeaData(isa.RDI, "buf")
+			boxIt(b)
+			// Store boxed bits, reload through narrow emulated moves.
+			b.RM(isa.MOVSDMX, x(isa.XMM0), isa.Mem(isa.RDI, 0))
+			b.RM(isa.MOV32RM, g(isa.RBX), isa.Mem(isa.RDI, 4))
+			b.RM(isa.MOV32MR, g(isa.RBX), isa.Mem(isa.RDI, 12))
+			b.RM(isa.MOV16RM, g(isa.RCX), isa.Mem(isa.RDI, 6))
+			b.RM(isa.MOV16MR, g(isa.RCX), isa.Mem(isa.RDI, 14))
+			b.RM(isa.MOV8RM, g(isa.RDX), isa.Mem(isa.RDI, 7))
+			b.RM(isa.MOV8MR, g(isa.RDX), isa.Mem(isa.RDI, 15))
+			b.RM(isa.MOVZX8, g(isa.RSI), isa.Mem(isa.RDI, 7))
+			b.RM(isa.MOVSX8, g(isa.R8), isa.Mem(isa.RDI, 7))
+			b.RM(isa.MOVZX16, g(isa.R9), isa.Mem(isa.RDI, 6))
+			b.RM(isa.MOVSX16, g(isa.R10), isa.Mem(isa.RDI, 6))
+			b.RM(isa.MOVSXD, g(isa.R11), isa.Mem(isa.RDI, 4))
+			// Rebuild the double from the copied halves at +8.
+			b.RM(isa.MOVSDXM, x(isa.XMM1), isa.Mem(isa.RDI, 8))
+			b.RMData(isa.MULSD, isa.XMM(isa.XMM0), "three")
+			b.RM(isa.MOVSDXX, x(isa.XMM0), x(isa.XMM0))
+		})
+	})
+
+	t.Run("movsd-chain", func(t *testing.T) {
+		differential(t, "movsd", func(b *asm.Builder) {
+			b.LeaData(isa.RDI, "buf")
+			boxIt(b)
+			b.RM(isa.MOVSDXX, x(isa.XMM1), x(isa.XMM0))
+			b.RM(isa.MOVSDMX, x(isa.XMM1), isa.Mem(isa.RDI, 8))
+			b.RM(isa.MOVSDXM, x(isa.XMM2), isa.Mem(isa.RDI, 8))
+			b.RM(isa.ADDSD, x(isa.XMM2), x(isa.XMM2))
+			b.RM(isa.MOVSDXX, x(isa.XMM0), x(isa.XMM2))
+		})
+	})
+
+	t.Run("packed-moves", func(t *testing.T) {
+		differential(t, "packed", func(b *asm.Builder) {
+			b.LeaData(isa.RDI, "buf")
+			boxIt(b)
+			b.RM(isa.MOVAPDXX, x(isa.XMM1), x(isa.XMM0))
+			b.RM(isa.MOVAPDMX, x(isa.XMM1), isa.Mem(isa.RDI, 0))
+			b.RM(isa.MOVUPDXM, x(isa.XMM2), isa.Mem(isa.RDI, 0))
+			b.RM(isa.MOVDQAMX, x(isa.XMM2), isa.Mem(isa.RDI, 16))
+			b.RM(isa.MOVDQUXM, x(isa.XMM3), isa.Mem(isa.RDI, 16))
+			b.RM(isa.MOVUPDMX, x(isa.XMM3), isa.Mem(isa.RDI, 32))
+			b.RM(isa.MOVDQUMX, x(isa.XMM3), isa.Mem(isa.RDI, 48))
+			b.RM(isa.MOVDQAXX, x(isa.XMM4), x(isa.XMM3))
+			b.RM(isa.MOVDDUP, x(isa.XMM5), x(isa.XMM4))
+			b.RM(isa.ADDSD, x(isa.XMM5), x(isa.XMM5))
+			b.RM(isa.MOVSDXX, x(isa.XMM0), x(isa.XMM5))
+		})
+	})
+
+	t.Run("movq-mem", func(t *testing.T) {
+		differential(t, "movqmem", func(b *asm.Builder) {
+			b.LeaData(isa.RDI, "buf")
+			boxIt(b)
+			b.RM(isa.MOVQMX, x(isa.XMM0), isa.Mem(isa.RDI, 24))
+			b.RM(isa.MOVQXM, x(isa.XMM1), isa.Mem(isa.RDI, 24))
+			b.RM(isa.MOVDXG, x(isa.XMM2), g(isa.RAX))
+			b.RM(isa.MOVDGX, g(isa.RBX), x(isa.XMM2))
+			b.RM(isa.MULSD, x(isa.XMM1), x(isa.XMM1))
+			b.RM(isa.MOVSDXX, x(isa.XMM0), x(isa.XMM1))
+		})
+	})
+
+	t.Run("mov-imm", func(t *testing.T) {
+		differential(t, "movimm", func(b *asm.Builder) {
+			b.LeaData(isa.RDI, "buf")
+			boxIt(b)
+			b.MI(isa.MOV64RI, g(isa.RBX), 0x3FF0000000000000) // 1.0 bits
+			b.RM(isa.MOV64MR, g(isa.RBX), isa.Mem(isa.RDI, 40))
+			b.MI(isa.MOV32RI, g(isa.RCX), 42)
+			b.RM(isa.MOVSDXM, x(isa.XMM1), isa.Mem(isa.RDI, 40))
+			b.RM(isa.ADDSD, x(isa.XMM0), x(isa.XMM1))
+		})
+	})
+}
+
+// TestEmulatedComparePredicates exercises cmpxx and ucomisd on boxed
+// operands inside sequences.
+func TestEmulatedComparePredicates(t *testing.T) {
+	x := isa.XMM
+	for _, op := range []isa.Op{isa.CMPEQSD, isa.CMPLTSD, isa.CMPLESD,
+		isa.CMPUNORDSD, isa.CMPNEQSD, isa.CMPNLTSD, isa.CMPNLESD, isa.CMPORDSD} {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			differential(t, "cmp", func(b *asm.Builder) {
+				boxIt(b)
+				b.RMData(isa.MOVSDXM, x(isa.XMM1), "one")
+				b.RM(op, x(isa.XMM0), x(isa.XMM1))
+				// Use the mask to select a printable value: mask & 1.0.
+				b.RMData(isa.MOVSDXM, x(isa.XMM2), "one")
+				b.RM(isa.ANDPD, x(isa.XMM0), x(isa.XMM2))
+			})
+		})
+	}
+}
+
+func TestEmulatedPackedCmp(t *testing.T) {
+	differential(t, "packedcmp", func(b *asm.Builder) {
+		b.RMData(isa.MOVAPDXM, isa.XMM(isa.XMM0), "pair")
+		b.RMData(isa.DIVPD, isa.XMM(isa.XMM0), "pair") // {1,1} boxed
+		b.RMData(isa.CMPLTPD, isa.XMM(isa.XMM0), "pair")
+		b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM1), "one")
+		b.RM(isa.ANDPD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM1))
+	})
+}
+
+func TestEmulatedUcomisdBranch(t *testing.T) {
+	differential(t, "branch", func(b *asm.Builder) {
+		boxIt(b)
+		b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM1), "one")
+		b.RM(isa.UCOMISD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM1))
+		b.Branch(isa.JB, "below")
+		b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "three")
+		b.Branch(isa.JMP, "done")
+		b.Label("below")
+		b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+		b.Label("done")
+	})
+}
+
+func TestEmulatedCvtAndRound(t *testing.T) {
+	differential(t, "cvt", func(b *asm.Builder) {
+		boxIt(b)
+		// boxed 1/3 -> cvtsd2si (rounds to 0) -> back via cvtsi2sd.
+		b.RM(isa.CVTSD2SI, isa.GPR(isa.RBX), isa.XMM(isa.XMM0))
+		b.MI(isa.ADD64I, isa.GPR(isa.RBX), 41)
+		b.RM(isa.CVTSI2SD, isa.XMM(isa.XMM0), isa.GPR(isa.RBX))
+	})
+	differential(t, "roundsd", func(b *asm.Builder) {
+		boxIt(b)
+		b.RMData(isa.ADDSD, isa.XMM(isa.XMM0), "three") // 3.333..., boxed
+		b.RMI(isa.ROUNDSD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM0), 1|8)
+	})
+}
+
+// TestInt3CorrectnessPath drives handleCorrectnessTrap directly (an image
+// patched with int3 rather than magic calls).
+func TestInt3CorrectnessPath(t *testing.T) {
+	b := asm.NewBuilder("int3path")
+	b.RoDouble("one", 1)
+	b.RoDouble("three", 3)
+	b.Space("buf", 16)
+	b.RoBytes("fmt", []byte("%x\x00"))
+	b.Func("main")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three")
+	b.LeaData(isa.RDI, "buf")
+	b.RM(isa.MOVSDMX, isa.XMM(isa.XMM0), isa.Mem(isa.RDI, 0))
+	// int3 goes right before this integer read of float bytes.
+	b.Op0(isa.INT3)
+	b.RM(isa.MOV64RM, isa.GPR(isa.RSI), isa.Mem(isa.RDI, 0))
+	b.LeaData(isa.RDI, "fmt")
+	b.CallImport("printf")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE()}, true)
+	out := r.run(t)
+	// 1/3 bits: 0x3fd5555555555555 — demotion must have run.
+	if out != "3fd5555555555555" {
+		t.Errorf("int3 correctness output %q", out)
+	}
+	if r.rt.Tel.CorrEvents == 0 {
+		t.Error("no corr events recorded")
+	}
+}
+
+// TestMagicWrapsResolver: an image whose relocs were rewritten to
+// name$fpvm must still resolve through WrapResolver.
+func TestMagicWrapsResolver(t *testing.T) {
+	img := buildPrintBoxed(t)
+	as := mem.NewAddressSpace()
+	m := machine.New(as)
+	k := kernel.New()
+	p := kernel.NewProcess(k, m, "mw")
+	lib := hostlib.Install(p)
+	rt, err := fpvmrt.Attach(p, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), MagicWraps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.InstallWrappers(lib)
+	clone := img.Clone()
+	if n := rt.ApplyMagicWraps(clone); n == 0 {
+		t.Fatal("no relocs rewritten")
+	}
+	as.Map("stack", obj.StackTop-obj.StackSize, obj.StackSize, mem.PermRW)
+	if err := clone.Load(as, rt.WrapResolver(func(n string) (uint64, bool) {
+		a, ok := lib.Exports[n]
+		return a, ok
+	})); err != nil {
+		t.Fatal(err)
+	}
+	m.InvalidateICache()
+	m.CPU.RIP = clone.Entry
+	m.CPU.GPR[isa.RSP] = obj.StackTop - 64
+	m.CPU.MXCSR = machine.MXCSRTrapAll
+	if err := p.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stdout.String(); got[:6] != "0.3333" {
+		t.Errorf("magic-wrapped output %q", got)
+	}
+}
+
+func TestConfigName(t *testing.T) {
+	for _, c := range []struct {
+		cfg  fpvmrt.Config
+		want string
+	}{
+		{fpvmrt.Config{}, "NONE"},
+		{fpvmrt.Config{Seq: true}, "SEQ"},
+		{fpvmrt.Config{Short: true}, "SHORT"},
+		{fpvmrt.Config{Seq: true, Short: true}, "SEQ SHORT"},
+	} {
+		if got := c.cfg.ConfigName(); got != c.want {
+			t.Errorf("%+v -> %q", c.cfg, got)
+		}
+	}
+}
+
+func TestAttachRequiresAlt(t *testing.T) {
+	as := mem.NewAddressSpace()
+	p := kernel.NewProcess(kernel.New(), machine.New(as), "x")
+	if _, err := fpvmrt.Attach(p, fpvmrt.Config{}); err == nil {
+		t.Error("Attach without Alt succeeded")
+	}
+}

@@ -1,0 +1,127 @@
+package fpvm_test
+
+import (
+	"strings"
+	"testing"
+
+	"fpvm/internal/alt"
+	"fpvm/internal/asm"
+	fpvmrt "fpvm/internal/fpvm"
+	"fpvm/internal/isa"
+	"fpvm/internal/kernel"
+	"fpvm/internal/machine"
+)
+
+// TestForkVirtualizedProcess reproduces §2.1's fork story: a virtualized
+// process with live boxed state forks; both parent and child continue
+// under FPVM independently, each printing the correct (diverging) values.
+func TestForkVirtualizedProcess(t *testing.T) {
+	// Program: x = 1/3 (boxed); MARKER; x += step; print_f64(x); exit.
+	// The parent forks at MARKER (an int3 we intercept) and sets a
+	// different step for the child by patching its data.
+	b := asm.NewBuilder("forked")
+	b.RoDouble("one", 1)
+	b.RoDouble("three", 3)
+	b.Double("step", 1) // parent adds 1; we flip the child's copy to 2
+	b.Func("main")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three")
+	b.Op0(isa.INT3) // fork marker
+	b.RMData(isa.ADDSD, isa.XMM(isa.XMM0), "step")
+	b.CallImport("print_f64")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepSym, ok := img.Lookup("step")
+	if !ok {
+		t.Fatal("no step symbol")
+	}
+
+	parent := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true, Short: true}, true)
+
+	var child *kernel.Process
+	var childRT *fpvmrt.Runtime
+	parent.p.BreakpointHook = func(uc *kernel.Ucontext) bool {
+		if child != nil {
+			return true // child inherits the hook; ignore its marker
+		}
+		// Fork at the marker: the boxed x lives in the (about to be
+		// restored) ucontext — park it in the machine before cloning.
+		parent.p.M.CPU = uc.CPU
+		child = parent.p.Fork("child")
+		childRT = parent.rt.ForkChild(child)
+		// Diverge the child: step = 2.
+		if err := child.M.Mem.WriteUint64(stepSym.Addr, 0x4000000000000000); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	}
+
+	if err := parent.p.Run(0); err != nil {
+		t.Fatalf("parent: %v", err)
+	}
+	if err := parent.rt.Err(); err != nil {
+		t.Fatalf("parent fpvm: %v", err)
+	}
+	if child == nil {
+		t.Fatal("fork marker never hit")
+	}
+	if err := child.Run(0); err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	if err := childRT.Err(); err != nil {
+		t.Fatalf("child fpvm: %v", err)
+	}
+
+	pOut := parent.p.Stdout.String()
+	cOut := child.Stdout.String()
+	if !strings.HasPrefix(pOut, "1.3333333333333333") {
+		t.Errorf("parent printed %q, want 1/3+1", pOut)
+	}
+	if !strings.HasPrefix(cOut, "2.3333333333333335") {
+		t.Errorf("child printed %q, want 1/3+2", cOut)
+	}
+	// The child must have re-registered with /dev/fpvm on its own.
+	if !child.FPVMRegistered() {
+		t.Error("child not registered for short-circuit delivery")
+	}
+	if childRT.Tel.Traps == 0 {
+		t.Error("child took no FP traps")
+	}
+	// Independence: the child's allocator divergence must not affect the
+	// parent's (clone, not share).
+	if parent.rt.Allocator() == childRT.Allocator() {
+		t.Error("allocator shared across fork")
+	}
+}
+
+// TestForkMemoryIsolation: writes in the child are invisible to the
+// parent.
+func TestForkMemoryIsolation(t *testing.T) {
+	img := buildGCLoop(t, 5)
+	parent := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE()}, true)
+	child := parent.p.Fork("child")
+	_ = parent.rt.ForkChild(child)
+	sp := child.M.CPU.GPR[isa.RSP]
+	if err := child.M.Mem.WriteUint64(sp-128, 0xDEAD); err != nil {
+		t.Fatal(err)
+	}
+	v, err := parent.p.M.Mem.ReadUint64(sp - 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == 0xDEAD {
+		t.Error("child write leaked into the parent address space")
+	}
+	// Both machines remain runnable.
+	if child.M.CPU.RIP != parent.p.M.CPU.RIP {
+		t.Error("child did not inherit RIP")
+	}
+	if child.M.CPU.MXCSR != machine.MXCSRTrapAll {
+		t.Error("child did not inherit FPVM's trap-all MXCSR")
+	}
+}

@@ -1,0 +1,407 @@
+package fpvm
+
+import (
+	"fmt"
+
+	"fpvm/internal/alt"
+	"fpvm/internal/dcache"
+	"fpvm/internal/heap"
+	"fpvm/internal/hostlib"
+	"fpvm/internal/kernel"
+	"fpvm/internal/machine"
+	"fpvm/internal/mem"
+	"fpvm/internal/obj"
+	"fpvm/internal/telemetry"
+)
+
+// Runtime is the FPVM instance attached to one process, mirroring the
+// paper's LD_PRELOAD library: per-process trap registration, per-thread
+// execution contexts (clone() is intercepted via OnThreadStart and each
+// thread's MXCSR traps independently), and constructors that re-run on
+// fork (ForkChild).
+type Runtime struct {
+	Cfg   Config
+	Costs CostParams
+
+	p *kernel.Process
+	m *machine.Machine
+
+	alloc   *heap.Allocator
+	cache   *dcache.Cache
+	Profile *dcache.SeqProfile
+	Tel     telemetry.Breakdown
+
+	// ShortActive reports whether short-circuit delivery actually engaged
+	// (Config.Short requested and the module was present).
+	ShortActive bool
+
+	// Stats beyond telemetry.
+	Promotions     uint64
+	Demotions      uint64
+	Boxes          uint64
+	GCRuns         uint64
+	SeqLimitHit    uint64
+	ThreadContexts uint64 // per-thread FPVM contexts created (§2.1)
+
+	wrapped      map[string]bool   // foreign symbols wrapped (fcall accounting)
+	wrapperAddrs map[string]uint64 // wrapper host addresses by symbol
+	lib          *hostlib.Library  // the wrapped library
+	magicAddr    uint64            // host address of the magic trap handler
+
+	err error // first fatal emulation error
+}
+
+// Attach installs FPVM onto a process: it configures MXCSR to trap on
+// every FP exception, registers trap delivery (short-circuit or SIGFPE),
+// installs the SIGTRAP correctness handler, and maps the magic page.
+// Attach must be called before the program image is loaded so that
+// wrapper symbol resolution (LD_PRELOAD order) can take effect.
+func Attach(p *kernel.Process, cfg Config) (*Runtime, error) {
+	if cfg.Alt == nil {
+		return nil, fmt.Errorf("fpvm: Config.Alt is required")
+	}
+	if cfg.SeqLimit == 0 {
+		cfg.SeqLimit = 256
+	}
+	r := &Runtime{
+		Cfg:     cfg,
+		Costs:   DefaultCosts(),
+		p:       p,
+		m:       p.M,
+		alloc:   heap.New(cfg.GCThreshold),
+		cache:   dcache.NewCache(cfg.CacheCapacity),
+		wrapped: make(map[string]bool),
+	}
+	if cfg.Profile {
+		r.Profile = dcache.NewSeqProfile()
+	}
+
+	// FPVM manages mxcsr so every FP exception traps (§2.3).
+	r.m.CPU.MXCSR = machine.MXCSRTrapAll
+
+	r.attachDelivery()
+
+	// Map the magic page (§5.2): cookie + demotion handler pointer.
+	r.installMagicPage()
+	return r, nil
+}
+
+// attachDelivery registers the trap delivery paths and interceptions on
+// r's process — the constructor work the paper's LD_PRELOAD library does
+// at startup and again after every fork (§2.1).
+func (r *Runtime) attachDelivery() {
+	p := r.p
+	cfg := r.Cfg
+	if cfg.FutureHW {
+		// Future-work hardware: user-level trap vector + box-escape
+		// detection; no kernel module, no signals, no patching.
+		p.EnableHWUserTraps(r.handleTrap)
+		p.SetBoxEscapeHook(r.handleBoxEscape)
+		r.m.BoxEscapeCheck = true
+	} else if cfg.Short {
+		if err := p.RegisterFPVM(r.handleTrap); err == nil {
+			r.ShortActive = true
+		}
+	}
+	if !r.ShortActive && !cfg.FutureHW {
+		p.Sigaction(kernel.SIGFPE, func(uc *kernel.Ucontext) { r.handleTrap(uc) })
+	}
+	p.Sigaction(kernel.SIGTRAP, r.handleCorrectnessTrap)
+
+	// Intercept thread startup (§2.1): each new thread gets an FPVM
+	// execution context; MXCSR trap-all propagates via clone's register
+	// inheritance, so here we only account the context.
+	p.OnThreadStart = func(tid int) { r.ThreadContexts++ }
+}
+
+// ForkChild builds the child's FPVM runtime after child := parent.Fork():
+// the paper's constructors run "on every fork()", re-registering trap
+// delivery (the /dev/fpvm registration is per-process) and taking
+// ownership of the copied FPVM state. The allocator and decode cache are
+// cloned (they live in the forked process image; boxes are immutable so
+// values are shared), and every inherited host binding that pointed at
+// the parent runtime — wrappers and the magic-page handler — is rebound
+// at the same addresses to the child runtime, since those addresses are
+// baked into the child's GOT slots and magic page.
+func (r *Runtime) ForkChild(child *kernel.Process) *Runtime {
+	c := &Runtime{
+		Cfg:          r.Cfg,
+		Costs:        r.Costs,
+		p:            child,
+		m:            child.M,
+		alloc:        r.alloc.Clone(),
+		cache:        r.cache.Clone(),
+		wrapped:      r.wrapped,
+		wrapperAddrs: r.wrapperAddrs,
+		lib:          r.lib,
+		magicAddr:    r.magicAddr,
+	}
+	if r.Cfg.Profile {
+		c.Profile = dcache.NewSeqProfile()
+	}
+	c.attachDelivery()
+	// Rebind inherited host functions to the child's runtime.
+	if c.lib != nil {
+		for name, addr := range c.wrapperAddrs {
+			child.BindHost(addr, c.makeWrapper(name, c.lib.Funcs[name]))
+		}
+	}
+	if c.magicAddr != 0 {
+		child.BindHost(c.magicAddr, c.magicTrapHandler)
+	}
+	return c
+}
+
+// magicCookie marks a valid magic page.
+const magicCookie = 0xF9B0_A11C_0FF1_0AD5
+
+func (r *Runtime) installMagicPage() {
+	as := r.m.Mem
+	as.Map("fpvm:magic", obj.MagicPageAddr, mem.PageSize, mem.PermRead)
+	// The page is mapped read-only for the guest; FPVM (the host side)
+	// writes through a temporary RW window.
+	as.Map("fpvm:magic", obj.MagicPageAddr, mem.PageSize, mem.PermRW)
+	r.magicAddr = r.p.BindHostAuto(r.magicTrapHandler)
+	_ = as.WriteUint64(obj.MagicPageAddr, magicCookie)
+	_ = as.WriteUint64(obj.MagicPageAddr+8, r.magicAddr)
+	as.Map("fpvm:magic", obj.MagicPageAddr, mem.PageSize, mem.PermRead)
+}
+
+// Err returns the first fatal error the runtime hit while emulating.
+func (r *Runtime) Err() error { return r.err }
+
+// Allocator exposes the box allocator (tests and telemetry).
+func (r *Runtime) Allocator() *heap.Allocator { return r.alloc }
+
+// Cache exposes the decode/trace cache.
+func (r *Runtime) Cache() *dcache.Cache { return r.cache }
+
+// charge accounts cycles both to the telemetry category and the machine
+// clock (the runtime runs on the virtualized CPU).
+func (r *Runtime) charge(cat telemetry.Category, n uint64) {
+	r.Tel.Add(cat, n)
+	r.m.Charge(n)
+}
+
+// chargeDelivery records the delegation costs the kernel already charged
+// to the machine clock, attributing them to hw/kernel/ret telemetry.
+func (r *Runtime) chargeDelivery() {
+	c := r.p.K.Costs
+	if r.Cfg.FutureHW {
+		// Direct hardware vector: no kernel involvement at all.
+		r.Tel.Add(telemetry.HW, c.HWUserDeliver)
+		r.Tel.Add(telemetry.Ret, c.HWUserReturn)
+		return
+	}
+	r.Tel.Add(telemetry.HW, c.HWDispatch)
+	if r.ShortActive {
+		r.Tel.Add(telemetry.Kernel, c.ShortDeliver+c.LandingPad)
+		r.Tel.Add(telemetry.Ret, c.ShortReturn+c.LandingPad)
+	} else {
+		r.Tel.Add(telemetry.Kernel, c.SignalDeliver)
+		r.Tel.Add(telemetry.Ret, c.Sigreturn)
+	}
+}
+
+// handleTrap is the FP trap entry point (both delivery paths).
+func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
+	r.Tel.Traps++
+	r.chargeDelivery()
+
+	start := uc.CPU.RIP
+	rip := start
+	count := 0
+	reason := dcache.TermLimit
+
+	profiling := r.Profile != nil
+	var captureInsts []string
+	var captureTerm string
+	capture := profiling && !r.Profile.Known(start)
+
+	for {
+		entry, err := r.decodeAt(rip)
+		if err != nil {
+			r.fail(fmt.Errorf("fpvm: decode at %#x: %w", rip, err))
+			return
+		}
+		if !entry.Supported {
+			reason = dcache.TermUnsupported
+			if capture {
+				captureTerm = entry.Inst.String()
+				captureInsts = append(captureInsts, captureTerm)
+			}
+			break
+		}
+		status, err := r.emulateInst(uc, entry, count == 0)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		if status == emNotWarranted {
+			reason = dcache.TermNoBoxedSource
+			if capture {
+				captureTerm = entry.Inst.String()
+				captureInsts = append(captureInsts, captureTerm)
+			}
+			break
+		}
+		if capture {
+			captureInsts = append(captureInsts, entry.Inst.String())
+		}
+		count++
+		rip = entry.Inst.Addr + uint64(entry.Inst.Len)
+		r.Tel.EmulatedInsts++
+
+		if !r.Cfg.Seq {
+			// Single-instruction trap-and-emulate: stop after the
+			// faulting instruction.
+			reason = dcache.TermLimit
+			break
+		}
+		if count >= r.Cfg.SeqLimit {
+			r.SeqLimitHit++
+			reason = dcache.TermLimit
+			break
+		}
+	}
+
+	if count == 0 {
+		// The faulting instruction itself is unsupported: FPVM cannot
+		// make progress. This is fatal for the virtualized program.
+		in, _ := r.m.FetchDecode(rip)
+		r.fail(fmt.Errorf("fpvm: cannot emulate faulting instruction %q at %#x", in.String(), rip))
+		return
+	}
+
+	uc.CPU.RIP = rip
+
+	if r.Profile != nil {
+		r.Profile.Record(start, count, reason, captureInsts, captureTerm)
+	}
+
+	r.maybeGC(uc)
+}
+
+func (r *Runtime) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	// Halt the process: jam RIP at an unmapped address so the next step
+	// faults and the kernel kills the process.
+	r.p.Exited = true
+	r.p.Err = err
+}
+
+// decodeAt consults the decode cache, decoding and inserting on miss
+// (the decode-cache/trace-cache behaviour of §2.4 and §4.2).
+func (r *Runtime) decodeAt(rip uint64) (*dcache.Entry, error) {
+	if e, ok := r.cache.Lookup(rip); ok {
+		r.charge(telemetry.Decache, r.Costs.DecacheHit)
+		return e, nil
+	}
+	r.charge(telemetry.Decache, r.Costs.DecacheHit)
+	r.charge(telemetry.Decode, r.Costs.Decode)
+	in, err := r.m.FetchDecode(rip)
+	if err != nil {
+		return nil, err
+	}
+	e := &dcache.Entry{Inst: in, Supported: classify(in.Op) != classUnsupported}
+	r.cache.Insert(rip, e)
+	return e, nil
+}
+
+// maybeGC runs a collection if the allocator crossed its threshold. The
+// root set is every writable page plus every thread's register file: the
+// trapping thread's registers come from the (possibly already mutated)
+// ucontext, the others from their parked contexts.
+func (r *Runtime) maybeGC(uc *kernel.Ucontext) {
+	if !r.alloc.NeedsGC() {
+		return
+	}
+	roots := []*heap.Roots{{GPR: uc.CPU.GPR, XMM: uc.CPU.XMM}}
+	for _, cpu := range r.p.AllCPUs() {
+		if cpu == &r.m.CPU {
+			continue // the trapping thread: uc is authoritative
+		}
+		roots = append(roots, &heap.Roots{GPR: cpu.GPR, XMM: cpu.XMM})
+	}
+	_, cycles := r.alloc.Collect(r.m.Mem, roots...)
+	r.GCRuns++
+	r.charge(telemetry.GC, cycles)
+}
+
+// resolve turns raw lane bits into an alt value: a confirmed NaN-box
+// yields its heap value; anything else (including application NaNs) is
+// promoted.
+// The IEEE sign bit lies outside the box pattern, so compiled
+// sign-flips (xorpd with the sign mask) leave the handle intact: a box
+// with the sign bit set decodes as the negated value.
+func (r *Runtime) resolve(bits uint64) (alt.Value, bool) {
+	if h, ok := isBox(bits); ok {
+		if v, live := r.alloc.Get(h); live {
+			if bits>>63 != 0 {
+				nv, cost := r.Cfg.Alt.Neg(v)
+				r.charge(telemetry.Altmath, cost)
+				return nv, true
+			}
+			return v, true
+		}
+	}
+	v, cost := r.Cfg.Alt.Promote(f64(bits))
+	r.Promotions++
+	r.charge(telemetry.Altmath, cost)
+	return v, false
+}
+
+// box allocates a heap box for v and returns its NaN-boxed bit pattern,
+// also allocating the alt system's per-op temporaries (which become
+// garbage immediately — the gc pressure difference between Boxed IEEE and
+// MPFR, §6.4).
+//
+// Invariant: boxes store magnitudes; the value's sign lives in the bit
+// pattern's sign bit. This makes the compiler's xorpd/andpd sign idioms
+// (negate, fabs) work natively on boxed values — flipping or clearing
+// bit 63 of the pattern is exactly flipping or clearing the sign.
+func (r *Runtime) box(v alt.Value) uint64 {
+	for i := 0; i < r.Cfg.Alt.TempsPerOp(); i++ {
+		r.alloc.Alloc(nil)
+	}
+	var sign uint64
+	if r.Cfg.Alt.Signbit(v) {
+		nv, cost := r.Cfg.Alt.Neg(v)
+		r.charge(telemetry.Altmath, cost)
+		v = nv
+		sign = 1 << 63
+	}
+	h := r.alloc.Alloc(v)
+	r.Boxes++
+	return boxBits(h) | sign
+}
+
+// demote converts lane bits that may be boxed back to a plain IEEE
+// double's bits, charging altmath for the conversion.
+func (r *Runtime) demote(bits uint64) uint64 {
+	h, ok := isBox(bits)
+	if !ok {
+		return bits
+	}
+	v, live := r.alloc.Get(h)
+	if !live {
+		return bits
+	}
+	f, cost := r.Cfg.Alt.Demote(v)
+	if bits>>63 != 0 {
+		f = -f // sign-flipped box: decode as the negated value
+	}
+	r.Demotions++
+	r.charge(telemetry.Altmath, cost)
+	return bits64(f)
+}
+
+// isBox confirms a bit pattern is one of OUR boxes (pattern match plus
+// allocator membership — the ours-vs-theirs check of §2.2). The allocator
+// check happens at the call sites that need liveness; here we only match
+// the pattern and return the handle.
+func isBox(bits uint64) (uint64, bool) {
+	return nanboxHandle(bits)
+}

@@ -1,0 +1,436 @@
+package fpvm_test
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fpvm/internal/alt"
+	"fpvm/internal/asm"
+	fpvmrt "fpvm/internal/fpvm"
+	"fpvm/internal/hostlib"
+	"fpvm/internal/isa"
+	"fpvm/internal/kernel"
+	"fpvm/internal/machine"
+	"fpvm/internal/mem"
+	"fpvm/internal/obj"
+)
+
+// rig wires a full stack with explicit control over wrapper installation.
+type rig struct {
+	p   *kernel.Process
+	rt  *fpvmrt.Runtime
+	lib *hostlib.Library
+}
+
+func newRig(t *testing.T, img *obj.Image, cfg fpvmrt.Config, wrap bool) *rig {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	m := machine.New(as)
+	k := kernel.New()
+	if cfg.Short {
+		k.LoadModule()
+	}
+	p := kernel.NewProcess(k, m, img.Name)
+	lib := hostlib.Install(p)
+	rt, err := fpvmrt.Attach(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrap {
+		rt.InstallWrappers(lib)
+	}
+	as.Map("stack", obj.StackTop-obj.StackSize, obj.StackSize, mem.PermRW)
+	base := func(name string) (uint64, bool) {
+		if sym, ok := img.Lookup(name); ok {
+			return sym.Addr, true
+		}
+		a, ok := lib.Exports[name]
+		return a, ok
+	}
+	resolve := base
+	if wrap {
+		resolve = rt.WrapResolver(base)
+	}
+	if err := img.Load(as, resolve); err != nil {
+		t.Fatal(err)
+	}
+	m.InvalidateICache()
+	m.CPU.RIP = img.Entry
+	m.CPU.GPR[isa.RSP] = obj.StackTop - 64
+	m.CPU.MXCSR = machine.MXCSRTrapAll
+	return &rig{p: p, rt: rt, lib: lib}
+}
+
+func (r *rig) run(t *testing.T) string {
+	t.Helper()
+	if err := r.p.Run(10_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := r.rt.Err(); err != nil {
+		t.Fatalf("fpvm: %v", err)
+	}
+	return r.p.Stdout.String()
+}
+
+// buildPrintBoxed assembles: x = 1/3 (boxed); print_f64(x); exit.
+func buildPrintBoxed(t *testing.T) *obj.Image {
+	t.Helper()
+	b := asm.NewBuilder("pb")
+	b.RoDouble("one", 1)
+	b.RoDouble("three", 3)
+	b.Func("main")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three")
+	b.CallImport("print_f64")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.MI(isa.MOV64RI, isa.GPR(isa.RDI), 0)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// TestUnwrappedForeignCallPrintsNaN demonstrates the §2.6/§5.3 hazard:
+// without FPVM's wrappers, a foreign function bit-interprets a NaN-boxed
+// value and prints "nan" — exactly the incorrect behaviour the paper
+// describes ("Often, this results in the program printing nan").
+func TestUnwrappedForeignCallPrintsNaN(t *testing.T) {
+	img := buildPrintBoxed(t)
+	cfg := fpvmrt.Config{Alt: alt.NewBoxedIEEE()}
+
+	out := newRig(t, img, cfg, false).run(t)
+	if !strings.Contains(strings.ToLower(out), "nan") {
+		t.Errorf("unwrapped printf printed %q, expected nan corruption", out)
+	}
+
+	out = newRig(t, img, cfg, true).run(t)
+	if !strings.HasPrefix(out, "0.3333333333333333") {
+		t.Errorf("wrapped printf printed %q", out)
+	}
+}
+
+// TestFCallAccounting: wrapped calls charge the fcall category.
+func TestFCallAccounting(t *testing.T) {
+	img := buildPrintBoxed(t)
+	r := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE()}, true)
+	r.run(t)
+	if r.rt.Tel.FCallEvents == 0 {
+		t.Error("no fcall events")
+	}
+	if r.rt.Demotions == 0 {
+		t.Error("no demotions at the wrapper")
+	}
+}
+
+// TestCanonicalNaNRule: 0/0 with ordinary operands must store a canonical
+// (application-visible) NaN, not a box (§2.3).
+func TestCanonicalNaNRule(t *testing.T) {
+	b := asm.NewBuilder("nan")
+	b.RoDouble("zero", 0)
+	b.Func("main")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "zero")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "zero")
+	b.CallImport("print_f64")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE()}, true).run(t)
+	if !strings.Contains(strings.ToLower(out), "nan") {
+		t.Errorf("0/0 printed %q, want nan", out)
+	}
+}
+
+// TestGCCollectsLoopGarbage: a loop overwriting one register generates
+// one orphaned box per iteration (the paper's §2.5 example); the GC must
+// keep the live population bounded.
+func TestGCCollectsLoopGarbage(t *testing.T) {
+	b := asm.NewBuilder("gc")
+	b.RoDouble("one", 1)
+	b.RoDouble("three", 3)
+	b.Func("main")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RCX), 2000)
+	b.Label("loop")
+	// x0 = 1/3 fresh each iteration: the old box becomes garbage.
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three")
+	b.MI(isa.SUB64I, isa.GPR(isa.RCX), 1)
+	b.Branch(isa.JNE, "loop")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), GCThreshold: 256}, true)
+	r.run(t)
+	if r.rt.GCRuns == 0 {
+		t.Fatal("GC never ran")
+	}
+	if live := r.rt.Allocator().Live(); live > 300 {
+		t.Errorf("live boxes %d not bounded by threshold", live)
+	}
+	if r.rt.Allocator().Stats.Frees == 0 {
+		t.Error("nothing collected")
+	}
+}
+
+// TestSeqTerminationReasons: the profile must show both termination
+// conditions of §4.2.
+func TestSeqTerminationReasons(t *testing.T) {
+	b := asm.NewBuilder("seq")
+	b.RoDouble("one", 1)
+	b.RoDouble("three", 3)
+	b.RoDouble("two", 2)
+	b.Func("main")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RCX), 50)
+	b.Label("loop")
+	// boxed chain then an exact FP op on fresh (unboxed) values, then int.
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three") // faults; boxed
+	b.RM(isa.ADDSD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM0))
+	// xmm2/xmm3 hold plain values: addsd with no boxed source terminates
+	// the sequence (condition 2).
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM2), "two")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM3), "two")
+	b.RM(isa.ADDSD, isa.XMM(isa.XMM2), isa.XMM(isa.XMM3))
+	// A boxed arith right before the integer op: its (second) trap's
+	// sequence runs straight into sub -> condition 1.
+	b.RM(isa.ADDSD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM0))
+	b.MI(isa.SUB64I, isa.GPR(isa.RCX), 1) // condition 1 terminator
+	b.Branch(isa.JNE, "loop")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true, Profile: true}, true)
+	r.run(t)
+	prof := r.rt.Profile
+	if prof == nil || prof.NumTraces() == 0 {
+		t.Fatal("no profile")
+	}
+	reasons := map[string]bool{}
+	for _, tr := range prof.ByPopularity() {
+		reasons[tr.Reason.String()] = true
+	}
+	if !reasons["no-nan-boxed-source"] {
+		t.Errorf("condition-(2) termination never observed: %v", reasons)
+	}
+	if !reasons["unsupported-instruction"] {
+		t.Errorf("condition-(1) termination never observed: %v", reasons)
+	}
+}
+
+// TestDecodeCacheReuse: repeated traps through the same loop must hit the
+// decode cache (almost always, per §2.4).
+func TestDecodeCacheReuse(t *testing.T) {
+	img := buildGCLoop(t, 500)
+	r := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true}, true)
+	r.run(t)
+	c := r.rt.Cache()
+	if c.Stats.Hits < c.Stats.Misses*10 {
+		t.Errorf("decode cache ineffective: %d hits, %d misses", c.Stats.Hits, c.Stats.Misses)
+	}
+}
+
+func buildGCLoop(t *testing.T, n int64) *obj.Image {
+	t.Helper()
+	b := asm.NewBuilder("loop")
+	b.RoDouble("one", 1)
+	b.RoDouble("three", 3)
+	b.Func("main")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RCX), n)
+	b.Label("loop")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three")
+	b.MI(isa.SUB64I, isa.GPR(isa.RCX), 1)
+	b.Branch(isa.JNE, "loop")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// TestPackedEmulation: addpd over boxed lanes must match native packed
+// arithmetic.
+func TestPackedEmulation(t *testing.T) {
+	b := asm.NewBuilder("packed")
+	b.RoDouble("pair", 1, 3) // 16-byte aligned pair {1.0, 3.0}
+	b.RoDouble("div", 3, 7)
+	b.Func("main")
+	b.RMData(isa.MOVAPDXM, isa.XMM(isa.XMM0), "pair")
+	b.RMData(isa.DIVPD, isa.XMM(isa.XMM0), "div") // both lanes inexact -> boxed
+	b.RMData(isa.ADDPD, isa.XMM(isa.XMM0), "pair")
+	// print lane0 then lane1
+	b.CallImport("print_f64")
+	b.RM(isa.UNPCKHPD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM0)) // lane1 -> lane0
+	b.CallImport("print_f64")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true}, true).run(t)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("output %q", out)
+	}
+	if !strings.HasPrefix(lines[0], "1.3333333333333") {
+		t.Errorf("lane0 = %q, want 1/3+1", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "3.4285714285714") {
+		t.Errorf("lane1 = %q, want 3/7+3", lines[1])
+	}
+}
+
+// TestCvtOnBoxed: cvttsd2si of a boxed value must demote and truncate.
+func TestCvtOnBoxed(t *testing.T) {
+	b := asm.NewBuilder("cvt")
+	b.RoDouble("ten", 10)
+	b.RoDouble("three", 3)
+	b.RoBytes("fmt", []byte("%d\x00"))
+	b.Func("main")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "ten")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three") // 3.333.. boxed
+	b.RM(isa.CVTTSD2SI, isa.GPR(isa.RSI), isa.XMM(isa.XMM0))
+	b.LeaData(isa.RDI, "fmt")
+	b.CallImport("printf")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE()}, true).run(t)
+	if out != "3" {
+		t.Errorf("cvttsd2si(10/3) printed %q", out)
+	}
+}
+
+// TestSeqLimit: the per-trap emulation cap must engage on an extremely
+// long straight-line FP run.
+func TestSeqLimit(t *testing.T) {
+	b := asm.NewBuilder("long")
+	b.RoDouble("one", 1)
+	b.RoDouble("three", 3)
+	b.Func("main")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three")
+	for i := 0; i < 40; i++ {
+		b.RM(isa.ADDSD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM0))
+	}
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true, SeqLimit: 8}, true)
+	r.run(t)
+	if r.rt.SeqLimitHit == 0 {
+		t.Error("sequence limit never hit")
+	}
+}
+
+// TestShortFallback: requesting Short without the kernel module must fall
+// back to signals and still work.
+func TestShortFallback(t *testing.T) {
+	img := buildGCLoop(t, 10)
+	as := mem.NewAddressSpace()
+	m := machine.New(as)
+	k := kernel.New() // module NOT loaded
+	p := kernel.NewProcess(k, m, "fb")
+	lib := hostlib.Install(p)
+	rt, err := fpvmrt.Attach(p, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Short: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.InstallWrappers(lib)
+	as.Map("stack", obj.StackTop-obj.StackSize, obj.StackSize, mem.PermRW)
+	if err := img.Load(as, rt.WrapResolver(func(n string) (uint64, bool) {
+		a, ok := lib.Exports[n]
+		return a, ok
+	})); err != nil {
+		t.Fatal(err)
+	}
+	m.InvalidateICache()
+	m.CPU.RIP = img.Entry
+	m.CPU.GPR[isa.RSP] = obj.StackTop - 64
+	m.CPU.MXCSR = machine.MXCSRTrapAll
+	if err := p.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if rt.ShortActive {
+		t.Error("short path active without module")
+	}
+	if k.Stats.SignalsFPE == 0 {
+		t.Error("no signal fallback deliveries")
+	}
+}
+
+// TestMPFRLibmPrecision: with the MPFR system, libm wrappers compute in
+// the alternative arithmetic at 200 bits (§5.3's "interface with the
+// alternative arithmetic system"), observable as exp(1)·exp(−1) − 1
+// shrinking from double rounding error (~1e-16) to ~2^-199.
+func TestMPFRLibmPrecision(t *testing.T) {
+	b := asm.NewBuilder("prec")
+	b.RoDouble("one", 1)
+	b.RoDouble("negone", -1)
+	b.Func("main")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.CallImport("exp")
+	b.RM(isa.MOVSDXX, isa.XMM(isa.XMM8), isa.XMM(isa.XMM0)) // save e
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "negone")
+	b.CallImport("exp")
+	b.RM(isa.MULSD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM8)) // e * 1/e
+	b.RMData(isa.SUBSD, isa.XMM(isa.XMM0), "one")         // - 1
+	b.CallImport("print_f64")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mp := alt.NewMPFR(200)
+	out := newRig(t, img, fpvmrt.Config{Alt: mp, Seq: true}, true).run(t)
+	v, err := strconv.ParseFloat(strings.TrimSpace(out), 64)
+	if err != nil {
+		t.Fatalf("output %q: %v", out, err)
+	}
+	if math.Abs(v) > 1e-40 {
+		t.Errorf("200-bit exp(1)*exp(-1)-1 = %g, want < 1e-40 (libm not routed through MPFR?)", v)
+	}
+
+	// Under Boxed IEEE the same program shows double-sized rounding error
+	// (or exactly zero), never the 1e-60 signature.
+	outBoxed := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true}, true).run(t)
+	vb, err := strconv.ParseFloat(strings.TrimSpace(outBoxed), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vb != 0 && math.Abs(vb) < 1e-20 {
+		t.Errorf("boxed result %g suspiciously precise", vb)
+	}
+}

@@ -1,0 +1,87 @@
+package fpvm_test
+
+import (
+	"strings"
+	"testing"
+
+	"fpvm/internal/alt"
+	"fpvm/internal/asm"
+	fpvmrt "fpvm/internal/fpvm"
+	"fpvm/internal/isa"
+	"fpvm/internal/kernel"
+	"fpvm/internal/mem"
+)
+
+// buildThreadedBoxed: main creates a boxed value and parks it in xmm6,
+// clones a worker that churns out enough boxed garbage to force
+// collections, then prints the parked value. If the collector failed to
+// treat the descheduled main thread's registers as roots while the worker
+// was running, the box would be swept and the final print would produce
+// garbage.
+func buildThreadedBoxed(t *testing.T) *asm.Builder {
+	t.Helper()
+	b := asm.NewBuilder("threads")
+	b.RoDouble("one", 1)
+	b.RoDouble("three", 3)
+	b.Quad("flag", 0)
+	b.Func("main")
+	// Parked boxed value: 1/3 + 1 in xmm6.
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM6), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM6), "three")
+	b.RMData(isa.ADDSD, isa.XMM(isa.XMM6), "one")
+	// clone(worker, stack): the "import" resolves to the local worker
+	// function through the image-first resolver, like a PLT self-call.
+	b.LoadImportAddr(isa.RDI, "worker")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RSI), 0x7FF6_0000)
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), kernel.SysClone)
+	b.Op0(isa.SYSCALL)
+	// Spin on the flag.
+	b.Label("spin")
+	b.RMData(isa.MOV64RM, isa.GPR(isa.RBX), "flag")
+	b.MI(isa.CMP64I, isa.GPR(isa.RBX), 0)
+	b.Branch(isa.JE, "spin")
+	// Print the parked box: it must still be live and decode to 4/3.
+	b.RM(isa.MOVSDXX, isa.XMM(isa.XMM0), isa.XMM(isa.XMM6))
+	b.CallImport("print_f64")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+
+	b.Func("worker")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RCX), 1500)
+	b.Label("churn")
+	// Fresh garbage box each iteration.
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three")
+	b.MI(isa.SUB64I, isa.GPR(isa.RCX), 1)
+	b.Branch(isa.JNE, "churn")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RDX), 1)
+	b.MRData(isa.MOV64MR, "flag", isa.GPR(isa.RDX))
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	return b
+}
+
+func TestMultithreadedGCRoots(t *testing.T) {
+	b := buildThreadedBoxed(t)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true, GCThreshold: 128}, true)
+	// Map the worker's stack.
+	r.p.M.Mem.Map("tstack", 0x7FF5_0000, 0x10000, mem.PermRW)
+	out := r.run(t)
+	if !strings.HasPrefix(out, "1.3333333333333333") {
+		t.Errorf("parked boxed value corrupted: %q", out)
+	}
+	if r.rt.GCRuns == 0 {
+		t.Error("GC never ran (test not exercising the property)")
+	}
+	if r.rt.ThreadContexts != 1 {
+		t.Errorf("thread contexts: %d", r.rt.ThreadContexts)
+	}
+	if r.p.K.Stats.ContextSwitches == 0 {
+		t.Error("no context switches")
+	}
+}

@@ -1,0 +1,156 @@
+package heap
+
+import (
+	"testing"
+
+	"fpvm/internal/mem"
+	"fpvm/internal/nanbox"
+)
+
+func TestAllocGet(t *testing.T) {
+	a := New(0)
+	h1 := a.Alloc(1.5)
+	h2 := a.Alloc(2.5)
+	if h1 == h2 {
+		t.Error("duplicate handles")
+	}
+	if v, ok := a.Get(h1); !ok || v.(float64) != 1.5 {
+		t.Error("Get h1")
+	}
+	if v, ok := a.Get(h2); !ok || v.(float64) != 2.5 {
+		t.Error("Get h2")
+	}
+	if _, ok := a.Get(999); ok {
+		t.Error("Get of unallocated handle")
+	}
+	if a.Live() != 2 {
+		t.Errorf("live = %d", a.Live())
+	}
+}
+
+func newSpace() *mem.AddressSpace {
+	as := mem.NewAddressSpace()
+	as.Map("rw", 0x1000, mem.PageSize, mem.PermRW)
+	as.Map("ro", 0x3000, mem.PageSize, mem.PermRead)
+	return as
+}
+
+func TestCollectFreesGarbage(t *testing.T) {
+	a := New(0)
+	as := newSpace()
+	hLive := a.Alloc("live")
+	hDead := a.Alloc("dead")
+	hReg := a.Alloc("reg")
+
+	// hLive referenced from writable memory; hReg from a register; hDead
+	// from nowhere.
+	_ = as.WriteUint64(0x1008, nanbox.Box(hLive))
+	roots := &Roots{}
+	roots.XMM[3][0] = nanbox.Box(hReg)
+
+	freed, cycles := a.Collect(as, roots)
+	if freed != 1 {
+		t.Errorf("freed %d, want 1", freed)
+	}
+	if cycles == 0 {
+		t.Error("no cycles charged")
+	}
+	if _, ok := a.Get(hLive); !ok {
+		t.Error("live box collected")
+	}
+	if _, ok := a.Get(hReg); !ok {
+		t.Error("register-rooted box collected")
+	}
+	if _, ok := a.Get(hDead); ok {
+		t.Error("dead box survived")
+	}
+}
+
+func TestReadOnlyPagesNotScanned(t *testing.T) {
+	a := New(0)
+	as := newSpace()
+	h := a.Alloc("x")
+	// Reference only from the read-only page: the conservative collector
+	// scans writable pages only, so this box is garbage.
+	as.Map("ro", 0x3000, mem.PageSize, mem.PermRW)
+	_ = as.WriteUint64(0x3000, nanbox.Box(h))
+	as.Map("ro", 0x3000, mem.PageSize, mem.PermRead)
+	freed, _ := a.Collect(as, &Roots{})
+	if freed != 1 {
+		t.Errorf("read-only reference kept the box alive (freed=%d)", freed)
+	}
+}
+
+func TestSignFlippedReferenceKeepsAlive(t *testing.T) {
+	a := New(0)
+	as := newSpace()
+	h := a.Alloc("neg")
+	_ = as.WriteUint64(0x1000, nanbox.Box(h)|1<<63) // negated box
+	freed, _ := a.Collect(as, &Roots{})
+	if freed != 0 {
+		t.Error("sign-flipped box reference was collected")
+	}
+}
+
+func TestHandleReuse(t *testing.T) {
+	a := New(0)
+	as := newSpace()
+	h := a.Alloc("garbage")
+	a.Collect(as, &Roots{})
+	h2 := a.Alloc("new")
+	if h2 != h {
+		t.Errorf("freed handle not reused: %d then %d", h, h2)
+	}
+	if v, _ := a.Get(h2); v.(string) != "new" {
+		t.Error("stale value after reuse")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	a := New(4)
+	for i := 0; i < 3; i++ {
+		a.Alloc(i)
+	}
+	if a.NeedsGC() {
+		t.Error("NeedsGC below threshold")
+	}
+	a.Alloc(3)
+	if !a.NeedsGC() {
+		t.Error("NeedsGC at threshold")
+	}
+}
+
+func TestStats(t *testing.T) {
+	a := New(0)
+	as := newSpace()
+	a.Alloc(1)
+	a.Alloc(2)
+	a.Collect(as, &Roots{})
+	if a.Stats.Allocs != 2 || a.Stats.Frees != 2 || a.Stats.Collections != 1 {
+		t.Errorf("stats: %+v", a.Stats)
+	}
+	if a.Stats.MaxLive != 2 {
+		t.Errorf("maxlive: %d", a.Stats.MaxLive)
+	}
+}
+
+func TestCollectIdempotent(t *testing.T) {
+	a := New(0)
+	as := newSpace()
+	h := a.Alloc("live")
+	_ = as.WriteUint64(0x1000, nanbox.Box(h))
+	for i := 0; i < 3; i++ {
+		if freed, _ := a.Collect(as, &Roots{}); freed != 0 {
+			t.Fatalf("pass %d freed %d", i, freed)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	a := New(0)
+	a.Alloc(1)
+	a.Reset()
+	if a.Live() != 0 {
+		t.Error("live after reset")
+	}
+}

@@ -1,0 +1,204 @@
+// Package hostlib provides the simulated shared libraries (libc/libm) the
+// guest programs link against. These functions live in the host bridge
+// address range — the analog of binary-only library code that FPVM's
+// analysis cannot see (§2.6). Crucially, they interpret their float
+// arguments as raw IEEE bits: handed a NaN-boxed value, printf prints
+// "nan" and sin returns NaN, exactly the incorrect behaviour the paper's
+// foreign function correctness machinery (wrappers) exists to prevent.
+package hostlib
+
+import (
+	"fmt"
+	"math"
+
+	"fpvm/internal/isa"
+	"fpvm/internal/kernel"
+)
+
+// Library is the set of installed host functions.
+type Library struct {
+	// Exports maps symbol names to host bridge addresses (used by the
+	// dynamic loader to fill GOT slots).
+	Exports map[string]uint64
+
+	// Funcs maps names to implementations (used by FPVM wrappers to
+	// invoke the real function after demoting arguments).
+	Funcs map[string]kernel.HostFunc
+}
+
+// mathCost approximates libm call costs in cycles.
+const mathCost = 90
+
+// unary registers a one-argument math function (xmm0 -> xmm0).
+func unary(f func(float64) float64) kernel.HostFunc {
+	return func(p *kernel.Process) error {
+		x := math.Float64frombits(p.M.CPU.XMM[0][0])
+		p.M.CPU.XMM[0] = [2]uint64{math.Float64bits(f(x)), 0}
+		p.M.Charge(mathCost)
+		return nil
+	}
+}
+
+// binary registers a two-argument math function ((xmm0, xmm1) -> xmm0).
+func binary(f func(a, b float64) float64) kernel.HostFunc {
+	return func(p *kernel.Process) error {
+		x := math.Float64frombits(p.M.CPU.XMM[0][0])
+		y := math.Float64frombits(p.M.CPU.XMM[1][0])
+		p.M.CPU.XMM[0] = [2]uint64{math.Float64bits(f(x, y)), 0}
+		p.M.Charge(mathCost + 20)
+		return nil
+	}
+}
+
+// Install binds the library's functions into p and returns the library.
+func Install(p *kernel.Process) *Library {
+	lib := &Library{
+		Exports: make(map[string]uint64),
+		Funcs:   make(map[string]kernel.HostFunc),
+	}
+	add := func(name string, fn kernel.HostFunc) {
+		lib.Funcs[name] = fn
+		lib.Exports[name] = p.BindHostAuto(fn)
+	}
+
+	// libm.
+	add("sin", unary(math.Sin))
+	add("cos", unary(math.Cos))
+	add("tan", unary(math.Tan))
+	add("asin", unary(math.Asin))
+	add("acos", unary(math.Acos))
+	add("atan", unary(math.Atan))
+	add("exp", unary(math.Exp))
+	add("log", unary(math.Log))
+	add("log10", unary(math.Log10))
+	add("fabs", unary(math.Abs))
+	add("floor", unary(math.Floor))
+	add("ceil", unary(math.Ceil))
+	add("sqrt", unary(math.Sqrt))
+	add("cbrt", unary(math.Cbrt))
+	add("atan2", binary(math.Atan2))
+	add("pow", binary(math.Pow))
+	add("fmod", binary(math.Mod))
+	add("hypot", binary(math.Hypot))
+
+	// libc.
+	add("printf", printfImpl)
+	add("puts", putsImpl)
+	add("print_f64", printF64Impl)
+
+	return lib
+}
+
+// readCString reads a NUL-terminated string from guest memory.
+func readCString(p *kernel.Process, addr uint64) (string, error) {
+	var out []byte
+	for i := 0; i < 4096; i++ {
+		b, err := p.M.Mem.ReadUint8(addr + uint64(i))
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			break
+		}
+		out = append(out, b)
+	}
+	return string(out), nil
+}
+
+// printfImpl implements a restricted printf: %d %u %x %s %c %% consume
+// integer argument registers (rsi, rdx, rcx, r8, r9 in order); %f %g %e
+// consume xmm0..xmm7 in order, bit-interpreting the lane — this is the
+// paper's motivating example of a foreign function performing bit-wise
+// interpretation of floating point values.
+func printfImpl(p *kernel.Process) error {
+	cpu := &p.M.CPU
+	format, err := readCString(p, cpu.GPR[isa.RDI])
+	if err != nil {
+		return err
+	}
+	intArgs := []uint64{cpu.GPR[isa.RSI], cpu.GPR[isa.RDX], cpu.GPR[isa.RCX], cpu.GPR[isa.R8], cpu.GPR[isa.R9]}
+	intIdx, fpIdx := 0, 0
+	nextInt := func() uint64 {
+		if intIdx < len(intArgs) {
+			v := intArgs[intIdx]
+			intIdx++
+			return v
+		}
+		return 0
+	}
+	nextFP := func() float64 {
+		if fpIdx < 8 {
+			v := math.Float64frombits(cpu.XMM[fpIdx][0])
+			fpIdx++
+			return v
+		}
+		return 0
+	}
+
+	for i := 0; i < len(format); i++ {
+		ch := format[i]
+		if ch != '%' || i+1 >= len(format) {
+			p.Stdout.WriteByte(ch)
+			continue
+		}
+		i++
+		// Skip width/precision modifiers (e.g. %.17g, %8.3f).
+		for i < len(format) && (format[i] == '.' || format[i] == '-' || format[i] == '+' ||
+			(format[i] >= '0' && format[i] <= '9')) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case 'd':
+			fmt.Fprintf(&p.Stdout, "%d", int64(nextInt()))
+		case 'u':
+			fmt.Fprintf(&p.Stdout, "%d", nextInt())
+		case 'x':
+			fmt.Fprintf(&p.Stdout, "%x", nextInt())
+		case 'c':
+			p.Stdout.WriteByte(byte(nextInt()))
+		case 's':
+			s, err := readCString(p, nextInt())
+			if err != nil {
+				return err
+			}
+			p.Stdout.WriteString(s)
+		case 'f':
+			fmt.Fprintf(&p.Stdout, "%f", nextFP())
+		case 'e':
+			fmt.Fprintf(&p.Stdout, "%e", nextFP())
+		case 'g':
+			fmt.Fprintf(&p.Stdout, "%.17g", nextFP())
+		case '%':
+			p.Stdout.WriteByte('%')
+		default:
+			p.Stdout.WriteByte('%')
+			p.Stdout.WriteByte(format[i])
+		}
+	}
+	p.M.Charge(250 + 40*uint64(intIdx+fpIdx))
+	return nil
+}
+
+// putsImpl prints a C string plus newline.
+func putsImpl(p *kernel.Process) error {
+	s, err := readCString(p, p.M.CPU.GPR[isa.RDI])
+	if err != nil {
+		return err
+	}
+	p.Stdout.WriteString(s)
+	p.Stdout.WriteByte('\n')
+	p.M.Charge(180)
+	return nil
+}
+
+// printF64Impl prints xmm0 as "%.17g\n" — the minimal float-printing
+// foreign function most workloads use.
+func printF64Impl(p *kernel.Process) error {
+	v := math.Float64frombits(p.M.CPU.XMM[0][0])
+	fmt.Fprintf(&p.Stdout, "%.17g\n", v)
+	p.M.Charge(220)
+	return nil
+}

@@ -1,0 +1,149 @@
+package hostlib_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fpvm/internal/hostlib"
+	"fpvm/internal/isa"
+	"fpvm/internal/kernel"
+	"fpvm/internal/machine"
+	"fpvm/internal/mem"
+)
+
+func newProc(t *testing.T) (*kernel.Process, *hostlib.Library) {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	as.Map("data", 0x1000, mem.PageSize, mem.PermRW)
+	as.Map("stack", 0x8000, mem.PageSize, mem.PermRW)
+	m := machine.New(as)
+	m.CPU.GPR[isa.RSP] = 0x8800
+	p := kernel.NewProcess(kernel.New(), m, "t")
+	lib := hostlib.Install(p)
+	return p, lib
+}
+
+// call invokes a host function by name directly (as the FPVM wrappers do).
+func call(t *testing.T, p *kernel.Process, lib *hostlib.Library, name string) {
+	t.Helper()
+	fn, ok := lib.Funcs[name]
+	if !ok {
+		t.Fatalf("no function %s", name)
+	}
+	if err := fn(p); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+}
+
+func TestMathFunctions(t *testing.T) {
+	p, lib := newProc(t)
+	cases := []struct {
+		name string
+		args []float64
+		want float64
+	}{
+		{"sin", []float64{1}, math.Sin(1)},
+		{"cos", []float64{0.5}, math.Cos(0.5)},
+		{"atan", []float64{2}, math.Atan(2)},
+		{"exp", []float64{1}, math.E},
+		{"log", []float64{math.E}, 1},
+		{"fabs", []float64{-3}, 3},
+		{"sqrt", []float64{16}, 4},
+		{"atan2", []float64{1, 2}, math.Atan2(1, 2)},
+		{"pow", []float64{2, 8}, 256},
+		{"fmod", []float64{7, 3}, 1},
+		{"hypot", []float64{3, 4}, 5},
+	}
+	for _, tc := range cases {
+		for i, a := range tc.args {
+			p.M.CPU.XMM[i][0] = math.Float64bits(a)
+		}
+		call(t, p, lib, tc.name)
+		got := math.Float64frombits(p.M.CPU.XMM[0][0])
+		if math.Abs(got-tc.want) > 1e-15*math.Max(1, math.Abs(tc.want)) {
+			t.Errorf("%s(%v) = %v want %v", tc.name, tc.args, got, tc.want)
+		}
+	}
+}
+
+// TestMathBitInterpretsNaN: host libm reads raw bits — a NaN-box shaped
+// SNaN input yields NaN output (the §2.6 hazard).
+func TestMathBitInterpretsNaN(t *testing.T) {
+	p, lib := newProc(t)
+	p.M.CPU.XMM[0][0] = 0x7FF4_0000_0000_0001 // NaN-box-shaped SNaN
+	call(t, p, lib, "sin")
+	if !math.IsNaN(math.Float64frombits(p.M.CPU.XMM[0][0])) {
+		t.Error("sin(box) did not produce NaN")
+	}
+}
+
+func writeCString(t *testing.T, p *kernel.Process, addr uint64, s string) {
+	t.Helper()
+	if err := p.M.Mem.Write(addr, append([]byte(s), 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintf(t *testing.T) {
+	p, lib := newProc(t)
+	writeCString(t, p, 0x1000, "i=%d u=%u x=%x c=%c s=%s f=%f g=%g pct=%%")
+	writeCString(t, p, 0x1100, "str")
+	cpu := &p.M.CPU
+	cpu.GPR[isa.RDI] = 0x1000
+	cpu.GPR[isa.RSI] = ^uint64(6) // -7
+	cpu.GPR[isa.RDX] = 7
+	cpu.GPR[isa.RCX] = 255
+	cpu.GPR[isa.R8] = 'Z'
+	cpu.GPR[isa.R9] = 0x1100
+	cpu.XMM[0][0] = math.Float64bits(1.5)
+	cpu.XMM[1][0] = math.Float64bits(0.25)
+	call(t, p, lib, "printf")
+	out := p.Stdout.String()
+	for _, want := range []string{"i=-7", "u=7", "x=ff", "c=Z", "s=str", "f=1.5", "g=0.25", "pct=%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printf output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestPuts(t *testing.T) {
+	p, lib := newProc(t)
+	writeCString(t, p, 0x1000, "hello")
+	p.M.CPU.GPR[isa.RDI] = 0x1000
+	call(t, p, lib, "puts")
+	if p.Stdout.String() != "hello\n" {
+		t.Errorf("puts: %q", p.Stdout.String())
+	}
+}
+
+func TestPrintF64(t *testing.T) {
+	p, lib := newProc(t)
+	p.M.CPU.XMM[0][0] = math.Float64bits(0.1)
+	call(t, p, lib, "print_f64")
+	if !strings.HasPrefix(p.Stdout.String(), "0.1000000000000000") {
+		t.Errorf("print_f64: %q", p.Stdout.String())
+	}
+}
+
+func TestChargesCycles(t *testing.T) {
+	p, lib := newProc(t)
+	before := p.M.Cycles
+	p.M.CPU.XMM[0][0] = math.Float64bits(1)
+	call(t, p, lib, "sin")
+	if p.M.Cycles <= before {
+		t.Error("host call charged no cycles")
+	}
+}
+
+func TestExportsComplete(t *testing.T) {
+	_, lib := newProc(t)
+	for name := range lib.Funcs {
+		if _, ok := lib.Exports[name]; !ok {
+			t.Errorf("%s has no export address", name)
+		}
+	}
+	if len(lib.Exports) < 20 {
+		t.Errorf("only %d exports", len(lib.Exports))
+	}
+}

@@ -1,0 +1,167 @@
+// Package interval implements outward-rounded interval arithmetic over
+// float64 endpoints — one of the alternative arithmetic systems the
+// paper's introduction motivates (error-bound tracking for unmodified
+// binaries). Every operation widens its result by one ulp on each side
+// when the underlying float64 operation may have rounded, so the true
+// real result is always contained.
+package interval
+
+import "math"
+
+// Interval is a closed interval [Lo, Hi]. An empty/invalid state is
+// represented with NaN endpoints.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// FromFloat64 returns the degenerate interval [x, x].
+func FromFloat64(x float64) Interval { return Interval{x, x} }
+
+// NaN returns the invalid interval.
+func NaN() Interval { return Interval{math.NaN(), math.NaN()} }
+
+// IsNaN reports whether the interval is invalid.
+func (iv Interval) IsNaN() bool { return math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) }
+
+// Mid returns the midpoint (used for demotion back to a single double).
+func (iv Interval) Mid() float64 {
+	if iv.IsNaN() {
+		return math.NaN()
+	}
+	if iv.Lo == iv.Hi {
+		return iv.Lo
+	}
+	m := iv.Lo/2 + iv.Hi/2
+	if math.IsInf(m, 0) && !math.IsInf(iv.Lo, 0) && !math.IsInf(iv.Hi, 0) {
+		m = iv.Lo + (iv.Hi-iv.Lo)/2
+	}
+	return m
+}
+
+// Width returns hi - lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// down rounds x one ulp toward -inf (outward lower bound).
+func down(x float64) float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return x
+	}
+	return math.Nextafter(x, math.Inf(-1))
+}
+
+// up rounds x one ulp toward +inf (outward upper bound).
+func up(x float64) float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return x
+	}
+	return math.Nextafter(x, math.Inf(1))
+}
+
+func ordered(lo, hi float64) Interval {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return Interval{lo, hi}
+}
+
+// Add returns a + b, outward rounded.
+func Add(a, b Interval) Interval {
+	if a.IsNaN() || b.IsNaN() {
+		return NaN()
+	}
+	return Interval{down(a.Lo + b.Lo), up(a.Hi + b.Hi)}
+}
+
+// Sub returns a - b, outward rounded.
+func Sub(a, b Interval) Interval {
+	if a.IsNaN() || b.IsNaN() {
+		return NaN()
+	}
+	return Interval{down(a.Lo - b.Hi), up(a.Hi - b.Lo)}
+}
+
+// Mul returns a × b, outward rounded (all four endpoint products).
+func Mul(a, b Interval) Interval {
+	if a.IsNaN() || b.IsNaN() {
+		return NaN()
+	}
+	p1, p2 := a.Lo*b.Lo, a.Lo*b.Hi
+	p3, p4 := a.Hi*b.Lo, a.Hi*b.Hi
+	lo := math.Min(math.Min(p1, p2), math.Min(p3, p4))
+	hi := math.Max(math.Max(p1, p2), math.Max(p3, p4))
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return NaN()
+	}
+	return Interval{down(lo), up(hi)}
+}
+
+// Div returns a / b, outward rounded. A divisor interval containing zero
+// yields the invalid interval (a full-line result is not representable as
+// a single interval here).
+func Div(a, b Interval) Interval {
+	if a.IsNaN() || b.IsNaN() {
+		return NaN()
+	}
+	if b.Lo <= 0 && b.Hi >= 0 {
+		return NaN()
+	}
+	q1, q2 := a.Lo/b.Lo, a.Lo/b.Hi
+	q3, q4 := a.Hi/b.Lo, a.Hi/b.Hi
+	lo := math.Min(math.Min(q1, q2), math.Min(q3, q4))
+	hi := math.Max(math.Max(q1, q2), math.Max(q3, q4))
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return NaN()
+	}
+	return Interval{down(lo), up(hi)}
+}
+
+// Sqrt returns sqrt(a), outward rounded; intervals extending below zero
+// are invalid.
+func Sqrt(a Interval) Interval {
+	if a.IsNaN() || a.Lo < 0 {
+		return NaN()
+	}
+	return Interval{down(math.Sqrt(a.Lo)), up(math.Sqrt(a.Hi))}
+}
+
+// Min returns the pointwise minimum interval.
+func Min(a, b Interval) Interval {
+	if a.IsNaN() || b.IsNaN() {
+		return NaN()
+	}
+	return Interval{math.Min(a.Lo, b.Lo), math.Min(a.Hi, b.Hi)}
+}
+
+// Max returns the pointwise maximum interval.
+func Max(a, b Interval) Interval {
+	if a.IsNaN() || b.IsNaN() {
+		return NaN()
+	}
+	return Interval{math.Max(a.Lo, b.Lo), math.Max(a.Hi, b.Hi)}
+}
+
+// Cmp orders intervals: definite orderings compare disjoint intervals;
+// overlapping intervals compare by midpoint (a pragmatic choice so
+// branch-heavy numeric codes still make progress — documented behaviour,
+// not an interval-arithmetic truth). Returns -1, 0, 1, or 2 for invalid.
+func Cmp(a, b Interval) int {
+	if a.IsNaN() || b.IsNaN() {
+		return 2
+	}
+	switch {
+	case a.Hi < b.Lo:
+		return -1
+	case b.Hi < a.Lo:
+		return 1
+	case a.Lo == b.Lo && a.Hi == b.Hi:
+		return 0
+	}
+	am, bm := a.Mid(), b.Mid()
+	switch {
+	case am < bm:
+		return -1
+	case am > bm:
+		return 1
+	}
+	return 0
+}

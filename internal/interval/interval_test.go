@@ -1,0 +1,153 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestContainmentProperty: the defining invariant of interval arithmetic —
+// the true real result is contained in the output interval. Checked by
+// computing with float64 (whose rounding error is within one ulp, hence
+// inside the outward-rounded interval).
+func TestContainmentProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		fa := (r.Float64() - 0.5) * 1e6
+		fb := (r.Float64() - 0.5) * 1e6
+		a, b := FromFloat64(fa), FromFloat64(fb)
+		check := func(name string, iv Interval, want float64) {
+			if iv.IsNaN() {
+				return
+			}
+			if want < iv.Lo || want > iv.Hi {
+				t.Fatalf("%s(%g,%g): %g outside [%g, %g]", name, fa, fb, want, iv.Lo, iv.Hi)
+			}
+		}
+		check("add", Add(a, b), fa+fb)
+		check("sub", Sub(a, b), fa-fb)
+		check("mul", Mul(a, b), fa*fb)
+		if fb != 0 {
+			check("div", Div(a, b), fa/fb)
+		}
+		if fa >= 0 {
+			check("sqrt", Sqrt(a), math.Sqrt(fa))
+		}
+	}
+}
+
+// TestWidening: chained operations accumulate width but remain correct.
+func TestWidening(t *testing.T) {
+	x := FromFloat64(1)
+	three := FromFloat64(3)
+	for i := 0; i < 100; i++ {
+		x = Div(x, three)
+		x = Mul(x, three)
+	}
+	if x.IsNaN() {
+		t.Fatal("NaN after chain")
+	}
+	if x.Lo > 1 || x.Hi < 1 {
+		t.Fatalf("1 escaped interval [%g, %g]", x.Lo, x.Hi)
+	}
+	if x.Width() == 0 {
+		t.Error("no widening after inexact chain")
+	}
+	if x.Width() > 1e-10 {
+		t.Errorf("width exploded: %g", x.Width())
+	}
+}
+
+func TestDivByZeroInterval(t *testing.T) {
+	if !Div(FromFloat64(1), Interval{-1, 1}).IsNaN() {
+		t.Error("division by zero-straddling interval not invalid")
+	}
+	if Div(FromFloat64(1), FromFloat64(2)).IsNaN() {
+		t.Error("ordinary division invalid")
+	}
+}
+
+func TestSqrtNegative(t *testing.T) {
+	if !Sqrt(FromFloat64(-1)).IsNaN() {
+		t.Error("sqrt(-1) not invalid")
+	}
+	if Sqrt(Interval{-1, 4}).IsNaN() == false {
+		t.Error("sqrt of partially negative interval should be invalid")
+	}
+}
+
+func TestMid(t *testing.T) {
+	iv := Interval{2, 4}
+	if iv.Mid() != 3 {
+		t.Errorf("mid = %g", iv.Mid())
+	}
+	if d := FromFloat64(7.5); d.Mid() != 7.5 || d.Width() != 0 {
+		t.Error("degenerate interval")
+	}
+	if !math.IsNaN(NaN().Mid()) {
+		t.Error("NaN mid")
+	}
+	// Huge endpoints must not overflow the midpoint.
+	h := Interval{math.MaxFloat64 / 2, math.MaxFloat64}
+	if math.IsInf(h.Mid(), 0) {
+		t.Error("mid overflow")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	if Cmp(Interval{1, 2}, Interval{3, 4}) != -1 {
+		t.Error("disjoint less")
+	}
+	if Cmp(Interval{3, 4}, Interval{1, 2}) != 1 {
+		t.Error("disjoint greater")
+	}
+	if Cmp(Interval{1, 2}, Interval{1, 2}) != 0 {
+		t.Error("equal")
+	}
+	if Cmp(NaN(), Interval{0, 0}) != 2 {
+		t.Error("invalid unordered")
+	}
+	// Overlapping intervals fall back to midpoint order.
+	if Cmp(Interval{0, 10}, Interval{4, 5}) != 1 {
+		t.Error("midpoint fallback")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := Interval{1, 3}, Interval{2, 4}
+	mn := Min(a, b)
+	if mn.Lo != 1 || mn.Hi != 3 {
+		t.Errorf("min: %+v", mn)
+	}
+	mx := Max(a, b)
+	if mx.Lo != 2 || mx.Hi != 4 {
+		t.Errorf("max: %+v", mx)
+	}
+}
+
+func TestNaNPropagation(t *testing.T) {
+	n := NaN()
+	x := FromFloat64(1)
+	for _, iv := range []Interval{Add(n, x), Sub(x, n), Mul(n, x), Div(x, n), Sqrt(n)} {
+		if !iv.IsNaN() {
+			t.Error("NaN did not propagate")
+		}
+	}
+}
+
+func TestMulSignCases(t *testing.T) {
+	cases := []struct{ a, b Interval }{
+		{Interval{-2, -1}, Interval{-4, -3}},
+		{Interval{-2, 1}, Interval{3, 4}},
+		{Interval{-2, 3}, Interval{-5, 7}},
+	}
+	for _, tc := range cases {
+		got := Mul(tc.a, tc.b)
+		// Check all four endpoint products are inside.
+		for _, p := range []float64{tc.a.Lo * tc.b.Lo, tc.a.Lo * tc.b.Hi, tc.a.Hi * tc.b.Lo, tc.a.Hi * tc.b.Hi} {
+			if p < got.Lo || p > got.Hi {
+				t.Errorf("mul(%+v,%+v): endpoint %g outside %+v", tc.a, tc.b, p, got)
+			}
+		}
+	}
+}

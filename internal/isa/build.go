@@ -1,0 +1,34 @@
+package isa
+
+// Instruction construction helpers used by the assembler, compiler and
+// binary rewriter. They fill only the fields the encoder consults.
+
+// MakeRM builds a FormRM/FormMR instruction (reg-field operand, r/m
+// operand).
+func MakeRM(op Op, reg, rm Operand) Inst {
+	return Inst{Op: op, RegOp: reg, RMOp: rm}
+}
+
+// MakeMI builds a FormMI instruction (r/m operand, immediate).
+func MakeMI(op Op, rm Operand, imm int64) Inst {
+	return Inst{Op: op, RMOp: rm, Imm: imm}
+}
+
+// MakeM builds a FormM instruction (single r/m operand).
+func MakeM(op Op, rm Operand) Inst {
+	return Inst{Op: op, RMOp: rm}
+}
+
+// MakeRMI builds a FormRMI instruction.
+func MakeRMI(op Op, reg, rm Operand, imm int64) Inst {
+	return Inst{Op: op, RegOp: reg, RMOp: rm, Imm: imm}
+}
+
+// MakeRel builds a FormRel instruction with a raw displacement (the
+// assembler patches label targets later).
+func MakeRel(op Op, disp int64) Inst {
+	return Inst{Op: op, Imm: disp}
+}
+
+// MakeNullary builds a FormNone instruction.
+func MakeNullary(op Op) Inst { return Inst{Op: op} }

@@ -1,0 +1,203 @@
+package isa
+
+import "fmt"
+
+// OperandKind discriminates Operand.
+type OperandKind uint8
+
+const (
+	KindNone OperandKind = iota
+	KindGPR              // 64-bit general purpose register
+	KindXMM              // 128-bit XMM register
+	KindMem              // memory reference
+	KindImm              // immediate
+)
+
+// Operand is a decoded instruction operand. Memory operands follow the x64
+// addressing model: [base + index*scale + disp] or RIP-relative
+// [rip + disp].
+type Operand struct {
+	Kind   OperandKind
+	Reg    Reg   // KindGPR / KindXMM
+	Base   Reg   // KindMem; NoReg if absent
+	Index  Reg   // KindMem; NoReg if absent
+	Scale  uint8 // KindMem; 1, 2, 4 or 8
+	Disp   int32 // KindMem displacement
+	RIPRel bool  // KindMem; [rip + Disp]
+	Imm    int64 // KindImm
+}
+
+// GPR constructs a general purpose register operand.
+func GPR(r Reg) Operand { return Operand{Kind: KindGPR, Reg: r} }
+
+// XMM constructs an XMM register operand.
+func XMM(r Reg) Operand { return Operand{Kind: KindXMM, Reg: r} }
+
+// Imm constructs an immediate operand.
+func Imm(v int64) Operand { return Operand{Kind: KindImm, Imm: v} }
+
+// Mem constructs a [base + disp] memory operand.
+func Mem(base Reg, disp int32) Operand {
+	return Operand{Kind: KindMem, Base: base, Index: NoReg, Scale: 1, Disp: disp}
+}
+
+// MemIdx constructs a [base + index*scale + disp] memory operand.
+func MemIdx(base, index Reg, scale uint8, disp int32) Operand {
+	return Operand{Kind: KindMem, Base: base, Index: index, Scale: scale, Disp: disp}
+}
+
+// MemAbs constructs an absolute [disp32] memory operand.
+func MemAbs(disp int32) Operand {
+	return Operand{Kind: KindMem, Base: NoReg, Index: NoReg, Scale: 1, Disp: disp}
+}
+
+// MemRIP constructs a RIP-relative memory operand.
+func MemRIP(disp int32) Operand {
+	return Operand{Kind: KindMem, Base: NoReg, Index: NoReg, Scale: 1, Disp: disp, RIPRel: true}
+}
+
+// IsMem reports whether the operand is a memory reference.
+func (o Operand) IsMem() bool { return o.Kind == KindMem }
+
+// IsReg reports whether the operand is a (GPR or XMM) register.
+func (o Operand) IsReg() bool { return o.Kind == KindGPR || o.Kind == KindXMM }
+
+// String renders the operand in Intel-ish syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case KindNone:
+		return "(none)"
+	case KindGPR:
+		return GPRName(o.Reg)
+	case KindXMM:
+		return XMMName(o.Reg)
+	case KindImm:
+		return fmt.Sprintf("%#x", o.Imm)
+	case KindMem:
+		s := "["
+		if o.RIPRel {
+			s += "rip"
+		} else if o.Base != NoReg {
+			s += GPRName(o.Base)
+		}
+		if o.Index != NoReg {
+			if len(s) > 1 {
+				s += " + "
+			}
+			s += fmt.Sprintf("%s*%d", GPRName(o.Index), o.Scale)
+		}
+		if o.Disp != 0 || len(s) == 1 {
+			if o.Disp >= 0 && len(s) > 1 {
+				s += fmt.Sprintf(" + %#x", o.Disp)
+			} else if o.Disp < 0 && len(s) > 1 {
+				s += fmt.Sprintf(" - %#x", -int64(o.Disp))
+			} else {
+				s += fmt.Sprintf("%#x", uint32(o.Disp))
+			}
+		}
+		return s + "]"
+	}
+	return "(bad operand)"
+}
+
+// Inst is a decoded instruction. RegOp is the modrm reg-field operand and
+// RMOp the r/m-field operand; their dst/src roles depend on the form (see
+// Dst, Src, Src2).
+type Inst struct {
+	Op    Op
+	RegOp Operand
+	RMOp  Operand
+	Imm   int64  // immediate or rel32 displacement
+	Addr  uint64 // address the instruction was decoded from
+	Len   uint8  // encoded length in bytes
+}
+
+// Dst returns the destination operand (KindNone for branches and
+// compare-only instructions such as cmp/test/ucomisd... which still update
+// flags).
+func (in *Inst) Dst() Operand {
+	switch in.Op.Form() {
+	case FormRM, FormRMI:
+		return in.RegOp
+	case FormMR, FormMI, FormM:
+		return in.RMOp
+	}
+	return Operand{}
+}
+
+// Src returns the primary source operand.
+func (in *Inst) Src() Operand {
+	switch in.Op.Form() {
+	case FormRM, FormRMI:
+		return in.RMOp
+	case FormMR:
+		return in.RegOp
+	case FormMI, FormRel:
+		return Imm(in.Imm)
+	case FormM:
+		return in.RMOp
+	}
+	return Operand{}
+}
+
+// BranchTarget returns the target address of a FormRel control transfer.
+func (in *Inst) BranchTarget() uint64 {
+	return in.Addr + uint64(in.Len) + uint64(in.Imm)
+}
+
+// MemOperand returns the memory operand of the instruction, if any.
+func (in *Inst) MemOperand() (Operand, bool) {
+	if in.RMOp.Kind == KindMem {
+		return in.RMOp, true
+	}
+	return Operand{}, false
+}
+
+// widthKeyword returns the Intel-syntax pointer-size keyword for a memory
+// access width in bytes.
+func widthKeyword(n int) string {
+	switch n {
+	case 1:
+		return "byte ptr "
+	case 2:
+		return "word ptr "
+	case 4:
+		return "dword ptr "
+	case 8:
+		return "qword ptr "
+	case 16:
+		return "xmmword ptr "
+	}
+	return ""
+}
+
+// operandStr renders o, annotating memory operands with the instruction's
+// access width (as the paper's Figure 7 traces do: "qword ptr [rip+...]").
+func (in *Inst) operandStr(o Operand) string {
+	if o.Kind == KindMem {
+		return widthKeyword(in.Op.MemBytes()) + o.String()
+	}
+	return o.String()
+}
+
+// String disassembles the instruction.
+func (in *Inst) String() string {
+	info := &opTab[in.Op]
+	switch info.form {
+	case FormNone:
+		return info.name
+	case FormRel:
+		return fmt.Sprintf("%s %#x", info.name, in.BranchTarget())
+	case FormM:
+		return fmt.Sprintf("%s %s", info.name, in.operandStr(in.RMOp))
+	case FormRM:
+		return fmt.Sprintf("%s %s, %s", info.name, in.operandStr(in.RegOp), in.operandStr(in.RMOp))
+	case FormMR:
+		return fmt.Sprintf("%s %s, %s", info.name, in.operandStr(in.RMOp), in.operandStr(in.RegOp))
+	case FormMI:
+		return fmt.Sprintf("%s %s, %#x", info.name, in.operandStr(in.RMOp), in.Imm)
+	case FormRMI:
+		return fmt.Sprintf("%s %s, %s, %#x", info.name, in.operandStr(in.RegOp), in.operandStr(in.RMOp), in.Imm)
+	}
+	return "(bad inst)"
+}

@@ -1,0 +1,100 @@
+// Package isa defines the simulated x64-flavoured instruction set used by
+// the FPVM reproduction: sixteen 64-bit general purpose registers, sixteen
+// 128-bit XMM registers, a variable-length binary encoding with
+// modrm/sib/displacement/immediate fields (so that instruction decode has
+// realistic cost and a decode cache is worthwhile), and an instruction
+// inventory covering the scalar/packed double arithmetic, the ~40 move
+// forms, the cmpxx family, integer ALU, and control flow that the paper's
+// workloads exercise.
+package isa
+
+import "fmt"
+
+// Reg names a register. General purpose registers and XMM registers live
+// in distinct numbering spaces selected by the operand kind.
+type Reg uint8
+
+// General purpose registers (64-bit, x64 order).
+const (
+	RAX Reg = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	NumGPR = 16
+)
+
+// XMM registers (128-bit, two float64 lanes).
+const (
+	XMM0 Reg = iota
+	XMM1
+	XMM2
+	XMM3
+	XMM4
+	XMM5
+	XMM6
+	XMM7
+	XMM8
+	XMM9
+	XMM10
+	XMM11
+	XMM12
+	XMM13
+	XMM14
+	XMM15
+	NumXMM = 16
+)
+
+// NoReg marks an absent base/index register in a memory operand.
+const NoReg Reg = 0xFF
+
+var gprNames = [NumGPR]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+// GPRName returns the conventional name of a general purpose register.
+func GPRName(r Reg) string {
+	if int(r) < len(gprNames) {
+		return gprNames[r]
+	}
+	return fmt.Sprintf("gpr?%d", r)
+}
+
+// XMMName returns the conventional name of an XMM register.
+func XMMName(r Reg) string {
+	if r < NumXMM {
+		return fmt.Sprintf("xmm%d", r)
+	}
+	return fmt.Sprintf("xmm?%d", r)
+}
+
+// GPRByName resolves a GPR name ("rax"..."r15"); ok is false if unknown.
+func GPRByName(name string) (Reg, bool) {
+	for i, n := range gprNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	return NoReg, false
+}
+
+// XMMByName resolves an XMM register name ("xmm0"..."xmm15").
+func XMMByName(name string) (Reg, bool) {
+	var n int
+	if _, err := fmt.Sscanf(name, "xmm%d", &n); err != nil || n < 0 || n >= NumXMM {
+		return NoReg, false
+	}
+	return Reg(n), true
+}

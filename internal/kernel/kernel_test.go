@@ -1,0 +1,252 @@
+package kernel_test
+
+import (
+	"strings"
+	"testing"
+
+	"fpvm/internal/fpmath"
+	"fpvm/internal/isa"
+	"fpvm/internal/kernel"
+	"fpvm/internal/machine"
+	"fpvm/internal/mem"
+	"fpvm/internal/obj"
+)
+
+const codeBase = 0x400000
+
+// buildProcess assembles insts (plus trailing hlt) into a fresh process.
+func buildProcess(t *testing.T, k *kernel.Kernel, insts ...isa.Inst) *kernel.Process {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	var code []byte
+	addr := uint64(codeBase)
+	for i := range insts {
+		insts[i].Addr = addr
+		enc, err := isa.Encode(&insts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		code = append(code, enc...)
+		addr += uint64(len(enc))
+	}
+	hlt := isa.MakeNullary(isa.HLT)
+	enc, _ := isa.Encode(&hlt)
+	code = append(code, enc...)
+	as.Map("code", codeBase, uint64(len(code)), mem.PermRX)
+	as.Map("code-init", codeBase, uint64(len(code)), mem.PermRWX)
+	if err := as.Write(codeBase, code); err != nil {
+		t.Fatal(err)
+	}
+	as.Map("code", codeBase, uint64(len(code)), mem.PermRX)
+	as.Map("stack", 0x600000, 0x10000, mem.PermRW)
+	as.Map("data", 0x800000, 4096, mem.PermRW)
+
+	m := machine.New(as)
+	m.CPU.RIP = codeBase
+	m.CPU.GPR[isa.RSP] = 0x60F000
+	return kernel.NewProcess(k, m, "test")
+}
+
+func divsdTrap() isa.Inst {
+	return isa.MakeRM(isa.DIVSD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM1))
+}
+
+func TestSignalDelivery(t *testing.T) {
+	k := kernel.New()
+	p := buildProcess(t, k, divsdTrap())
+	p.M.CPU.MXCSR = machine.MXCSRTrapAll
+	p.M.CPU.XMM[0][0] = fpmath.Bits(1)
+	p.M.CPU.XMM[1][0] = fpmath.Bits(3)
+
+	handled := 0
+	p.Sigaction(kernel.SIGFPE, func(uc *kernel.Ucontext) {
+		handled++
+		if uc.Sig != kernel.SIGFPE || uc.FPFlags&fpmath.ExPrecision == 0 {
+			t.Errorf("uc: sig=%d flags=%#x", uc.Sig, uc.FPFlags)
+		}
+		// Emulate: write the quotient, skip the instruction.
+		uc.CPU.XMM[0][0] = fpmath.Bits(1.0 / 3.0)
+		in, err := p.M.FetchDecode(uc.CPU.RIP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uc.CPU.RIP += uint64(in.Len)
+	})
+	if err := p.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if handled != 1 {
+		t.Fatalf("handler ran %d times", handled)
+	}
+	if got := fpmath.FromBits(p.M.CPU.XMM[0][0]); got != 1.0/3.0 {
+		t.Errorf("result %v", got)
+	}
+	if k.Stats.SignalsFPE != 1 || k.Stats.FPTraps != 1 {
+		t.Errorf("stats: %+v", k.Stats)
+	}
+	wantCycles := k.Costs.SignalDeliver + k.Costs.Sigreturn
+	if k.Stats.SignalCycles != wantCycles {
+		t.Errorf("signal cycles %d want %d", k.Stats.SignalCycles, wantCycles)
+	}
+}
+
+func TestShortCircuitDelivery(t *testing.T) {
+	k := kernel.New()
+	k.LoadModule()
+	p := buildProcess(t, k, divsdTrap())
+	p.M.CPU.MXCSR = machine.MXCSRTrapAll
+	p.M.CPU.XMM[0][0] = fpmath.Bits(1)
+	p.M.CPU.XMM[1][0] = fpmath.Bits(3)
+
+	if err := p.RegisterFPVM(func(uc *kernel.Ucontext) {
+		uc.CPU.XMM[0][0] = fpmath.Bits(1.0 / 3.0)
+		in, _ := p.M.FetchDecode(uc.CPU.RIP)
+		uc.CPU.RIP += uint64(in.Len)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !p.FPVMRegistered() {
+		t.Fatal("not registered")
+	}
+	if err := p.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if k.Stats.ShortCircuits != 1 || k.Stats.SignalsFPE != 0 {
+		t.Errorf("stats: %+v", k.Stats)
+	}
+	if k.Stats.ShortCycles >= k.Costs.SignalDeliver {
+		t.Errorf("short path cost %d not below signal delivery %d",
+			k.Stats.ShortCycles, k.Costs.SignalDeliver)
+	}
+}
+
+func TestRegisterWithoutModuleFails(t *testing.T) {
+	k := kernel.New()
+	p := buildProcess(t, k)
+	if err := p.RegisterFPVM(func(*kernel.Ucontext) {}); err == nil {
+		t.Error("registration without module succeeded")
+	}
+	p.UnregisterFPVM()
+	if p.FPVMRegistered() {
+		t.Error("still registered")
+	}
+}
+
+func TestUnhandledSignalKillsProcess(t *testing.T) {
+	k := kernel.New()
+	p := buildProcess(t, k, divsdTrap())
+	p.M.CPU.MXCSR = machine.MXCSRTrapAll
+	p.M.CPU.XMM[0][0] = fpmath.Bits(1)
+	p.M.CPU.XMM[1][0] = fpmath.Bits(3)
+	err := p.Run(0)
+	if err == nil || !strings.Contains(err.Error(), "SIGFPE") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSyscallWriteExit(t *testing.T) {
+	k := kernel.New()
+	// write(1, buf, 5); exit(3)
+	p := buildProcess(t, k,
+		isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RAX), kernel.SysWrite),
+		isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RDI), 1),
+		isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RSI), 0x800000),
+		isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RDX), 5),
+		isa.MakeNullary(isa.SYSCALL),
+		isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RAX), kernel.SysExit),
+		isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RDI), 3),
+		isa.MakeNullary(isa.SYSCALL),
+	)
+	if err := p.M.Mem.Write(0x800000, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stdout.String() != "hello" {
+		t.Errorf("stdout %q", p.Stdout.String())
+	}
+	if p.ExitCode != 3 {
+		t.Errorf("exit %d", p.ExitCode)
+	}
+	if k.Stats.Syscalls != 2 {
+		t.Errorf("syscalls %d", k.Stats.Syscalls)
+	}
+}
+
+func TestBreakpointHook(t *testing.T) {
+	k := kernel.New()
+	p := buildProcess(t, k, isa.MakeNullary(isa.INT3))
+	hooked := false
+	p.BreakpointHook = func(uc *kernel.Ucontext) bool {
+		hooked = true
+		return true
+	}
+	if err := p.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !hooked {
+		t.Error("hook not invoked")
+	}
+	if k.Stats.Breakpoints != 1 {
+		t.Errorf("breakpoints %d", k.Stats.Breakpoints)
+	}
+}
+
+func TestSIGTRAPDelivery(t *testing.T) {
+	k := kernel.New()
+	p := buildProcess(t, k, isa.MakeNullary(isa.INT3))
+	got := 0
+	p.Sigaction(kernel.SIGTRAP, func(uc *kernel.Ucontext) { got++ })
+	if err := p.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 || k.Stats.SignalsTRAP != 1 {
+		t.Errorf("trap deliveries %d / %d", got, k.Stats.SignalsTRAP)
+	}
+}
+
+func TestHostCall(t *testing.T) {
+	k := kernel.New()
+	p := buildProcess(t, k, isa.MakeM(isa.CALLR, isa.GPR(isa.RAX)))
+	called := false
+	addr := p.BindHostAuto(func(pp *kernel.Process) error {
+		called = true
+		pp.M.CPU.GPR[isa.RBX] = 42
+		return nil
+	})
+	if addr < obj.HostBase {
+		t.Fatalf("host addr %#x below host base", addr)
+	}
+	p.M.CPU.GPR[isa.RAX] = addr
+	if err := p.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !called || p.M.CPU.GPR[isa.RBX] != 42 {
+		t.Error("host function did not run")
+	}
+	if k.Stats.HostCalls != 1 {
+		t.Errorf("host calls %d", k.Stats.HostCalls)
+	}
+}
+
+func TestUnboundHostCallDies(t *testing.T) {
+	k := kernel.New()
+	p := buildProcess(t, k, isa.MakeM(isa.CALLR, isa.GPR(isa.RAX)))
+	p.M.CPU.GPR[isa.RAX] = obj.HostBase + 0x1234
+	if err := p.Run(0); err == nil {
+		t.Error("call to unbound host address succeeded")
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	k := kernel.New()
+	// Infinite loop: jmp self (-jmpLen displacement).
+	jmp := isa.MakeRel(isa.JMP, 0)
+	l, _ := isa.EncodedLen(&jmp)
+	jmp.Imm = -int64(l)
+	p := buildProcess(t, k, jmp)
+	if err := p.Run(1000); err == nil {
+		t.Error("runaway loop not bounded")
+	}
+}

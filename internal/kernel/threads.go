@@ -1,0 +1,193 @@
+package kernel
+
+// Thread support (paper §2.1: "The startup of new threads using pthread
+// or clone() is also intercepted so that FPVM can create an execution
+// context for each thread. Virtualization operates on a per-thread
+// basis.") Threads share the address space, host bindings and signal
+// dispositions; each has its own register file (including MXCSR, so a
+// child inherits FPVM's trap-all configuration from its parent, and every
+// thread traps independently).
+//
+// Scheduling is cooperative round-robin with a fixed quantum of event
+// boundaries — deterministic, like everything else in the simulator.
+
+import (
+	"fmt"
+
+	"fpvm/internal/isa"
+	"fpvm/internal/machine"
+)
+
+// SysClone spawns a thread: rdi = entry address, rsi = stack top.
+// Returns the new tid in rax (parent); the child starts at entry with
+// rax = 0 and rsp = stack top.
+const SysClone = 56
+
+// SysExitGroup terminates the whole process regardless of live threads.
+const SysExitGroup = 231
+
+// threadQuantum is the number of event boundaries a thread runs before
+// the scheduler rotates.
+const threadQuantum = 64
+
+// Thread is one execution context.
+type Thread struct {
+	ID     int
+	CPU    machine.CPU
+	Exited bool
+}
+
+// initThreading lazily sets up the thread table with the bootstrap thread
+// (tid 1) holding the machine's current CPU state.
+func (p *Process) initThreading() {
+	if p.threads != nil {
+		return
+	}
+	p.threads = []*Thread{{ID: 1}}
+	p.current = 0
+}
+
+// Threads returns all threads (including exited ones). The current
+// thread's register state lives in p.M.CPU, not its Thread entry.
+func (p *Process) Threads() []*Thread { return p.threads }
+
+// CurrentThread returns the running thread's ID (1 if threading was never
+// engaged).
+func (p *Process) CurrentThread() int {
+	if p.threads == nil {
+		return 1
+	}
+	return p.threads[p.current].ID
+}
+
+// AllCPUs snapshots every live thread's register state, with the current
+// thread's taken from the machine. FPVM's conservative collector uses
+// this as its register root set — boxed values parked in a descheduled
+// thread's registers must stay alive.
+func (p *Process) AllCPUs() []*machine.CPU {
+	if p.threads == nil {
+		return []*machine.CPU{&p.M.CPU}
+	}
+	out := make([]*machine.CPU, 0, len(p.threads))
+	for i, t := range p.threads {
+		if t.Exited {
+			continue
+		}
+		if i == p.current {
+			out = append(out, &p.M.CPU)
+		} else {
+			out = append(out, &t.CPU)
+		}
+	}
+	return out
+}
+
+// clone implements SysClone.
+func (p *Process) clone() error {
+	p.initThreading()
+	entry := p.M.CPU.GPR[isa.RDI]
+	stack := p.M.CPU.GPR[isa.RSI]
+	if stack == 0 || !p.M.Mem.Mapped(stack-8) {
+		return fmt.Errorf("kernel: clone with bad stack %#x", stack)
+	}
+
+	tid := 1 + len(p.threads)
+	child := &Thread{ID: tid}
+	// The child inherits the parent's full register state (including
+	// MXCSR — this is how FPVM's trap-all configuration propagates), with
+	// its own entry point, stack, and rax=0.
+	child.CPU = p.M.CPU
+	child.CPU.RIP = entry
+	child.CPU.GPR[isa.RSP] = stack
+	child.CPU.GPR[isa.RAX] = 0
+	p.threads = append(p.threads, child)
+
+	p.M.CPU.GPR[isa.RAX] = uint64(tid)
+	p.K.Stats.ThreadsCreated++
+	if p.OnThreadStart != nil {
+		p.OnThreadStart(tid)
+	}
+	return nil
+}
+
+// exitThread marks the current thread done; the process exits when the
+// last thread does. Returns true if the whole process exited.
+func (p *Process) exitThread(code int) bool {
+	if p.threads == nil {
+		p.Exited = true
+		p.ExitCode = code
+		return true
+	}
+	p.threads[p.current].Exited = true
+	for _, t := range p.threads {
+		if !t.Exited {
+			p.scheduleNext(true)
+			return false
+		}
+	}
+	p.Exited = true
+	p.ExitCode = code
+	return true
+}
+
+// scheduleNext rotates to the next runnable thread (round-robin). When
+// force is true the current thread is not runnable anymore.
+func (p *Process) scheduleNext(force bool) {
+	if p.threads == nil || len(p.threads) == 1 {
+		return
+	}
+	// Park the current thread's registers.
+	if !p.threads[p.current].Exited {
+		p.threads[p.current].CPU = p.M.CPU
+	}
+	n := len(p.threads)
+	for off := 1; off <= n; off++ {
+		cand := (p.current + off) % n
+		if !p.threads[cand].Exited {
+			p.current = cand
+			p.M.CPU = p.threads[cand].CPU
+			p.K.Stats.ContextSwitches++
+			return
+		}
+	}
+	// No runnable thread (caller handles process exit).
+	_ = force
+}
+
+// Fork clones the process (paper §2.1: "FPVM's constructors are
+// subsequently invoked on every fork(), allowing the virtualized program
+// to spawn further virtualized subprocesses"): copied address space and
+// register state, inherited signal dispositions and host bindings, shared
+// kernel. The /dev/fpvm registration is per-process and deliberately NOT
+// inherited — FPVM's constructor re-registers in the child (see the FPVM
+// runtime's ForkChild). The caller adjusts the two processes' fork()
+// return values.
+func (p *Process) Fork(name string) *Process {
+	cm := machine.New(p.M.Mem.Clone())
+	cm.CPU = p.M.CPU
+	cm.BoxEscapeCheck = p.M.BoxEscapeCheck
+	child := NewProcess(p.K, cm, name)
+	for sig, h := range p.handlers {
+		child.handlers[sig] = h
+	}
+	for a, f := range p.hostFuncs {
+		child.hostFuncs[a] = f
+	}
+	child.BreakpointHook = p.BreakpointHook
+	child.OnThreadStart = p.OnThreadStart
+	child.hwUserEntry = p.hwUserEntry
+	child.boxEscapeHook = p.boxEscapeHook
+	return child
+}
+
+// maybeReschedule is called once per event boundary.
+func (p *Process) maybeReschedule() {
+	if p.threads == nil || len(p.threads) == 1 {
+		return
+	}
+	p.quantum++
+	if p.quantum >= threadQuantum {
+		p.quantum = 0
+		p.scheduleNext(false)
+	}
+}

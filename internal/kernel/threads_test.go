@@ -1,0 +1,169 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"fpvm/internal/isa"
+	"fpvm/internal/kernel"
+)
+
+// buildThreadProgram: main spawns a worker that adds its tid-scaled value
+// into a shared cell, then both threads exit. Layout:
+//
+//	main:   mov rdi, worker; mov rsi, childStack; mov rax, 56; syscall
+//	        (rax = tid) ; spin until [cell] != 0 ; exit(0)
+//	worker: mov [cell], 7 ; exit(0)
+func buildThreadProgram(t *testing.T, k *kernel.Kernel) *kernel.Process {
+	t.Helper()
+	const cell = 0x800000
+	const childStack = 0x60A000
+
+	// Assemble with explicit layout: compute worker address after main.
+	mk := func(workerAddr uint64) []isa.Inst {
+		return []isa.Inst{
+			isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RDI), int64(workerAddr)),
+			isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RSI), childStack),
+			isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RAX), kernel.SysClone),
+			isa.MakeNullary(isa.SYSCALL),
+			// spin: mov rbx, [cell]; cmp rbx, 0; je spin
+			isa.MakeRM(isa.MOV64RM, isa.GPR(isa.RBX), isa.MemAbs(cell)),
+			isa.MakeMI(isa.CMP64I, isa.GPR(isa.RBX), 0),
+			isa.MakeRel(isa.JE, 0), // patched to jump back to the spin load
+			isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RAX), kernel.SysExit),
+			isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RDI), 0),
+			isa.MakeNullary(isa.SYSCALL),
+			// worker:
+			isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RCX), 7),
+			isa.MakeRM(isa.MOV64MR, isa.GPR(isa.RCX), isa.MemAbs(cell)),
+			isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RAX), kernel.SysExit),
+			isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RDI), 0),
+			isa.MakeNullary(isa.SYSCALL),
+		}
+	}
+
+	// Two-pass: lengths are stable, compute offsets with a dummy address.
+	insts := mk(0)
+	offs := make([]int, len(insts)+1)
+	for i := range insts {
+		l, err := isa.EncodedLen(&insts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs[i+1] = offs[i] + l
+	}
+	workerAddr := uint64(codeBase + offs[10])
+	insts = mk(workerAddr)
+	// Patch the spin branch: JE at index 6 targets the load at index 4.
+	insts[6].Imm = int64(offs[4]) - int64(offs[7])
+
+	p := buildProcess(t, k, insts...)
+	return p
+}
+
+func TestCloneAndJoin(t *testing.T) {
+	k := kernel.New()
+	p := buildThreadProgram(t, k)
+	if err := p.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitCode != 0 {
+		t.Errorf("exit %d", p.ExitCode)
+	}
+	v, err := p.M.Mem.ReadUint64(0x800000)
+	if err != nil || v != 7 {
+		t.Errorf("cell = %d, %v", v, err)
+	}
+	if k.Stats.ThreadsCreated != 1 {
+		t.Errorf("threads created: %d", k.Stats.ThreadsCreated)
+	}
+	if k.Stats.ContextSwitches == 0 {
+		t.Error("no context switches")
+	}
+}
+
+func TestOnThreadStartHook(t *testing.T) {
+	k := kernel.New()
+	p := buildThreadProgram(t, k)
+	var tids []int
+	p.OnThreadStart = func(tid int) { tids = append(tids, tid) }
+	if err := p.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(tids) != 1 || tids[0] != 2 {
+		t.Errorf("thread start hooks: %v", tids)
+	}
+}
+
+func TestCloneBadStack(t *testing.T) {
+	k := kernel.New()
+	p := buildProcess(t, k,
+		isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RDI), codeBase),
+		isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RSI), 0), // bad stack
+		isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RAX), kernel.SysClone),
+		isa.MakeNullary(isa.SYSCALL),
+	)
+	if err := p.Run(0); err == nil {
+		t.Error("clone with null stack succeeded")
+	}
+}
+
+func TestExitGroupTerminatesAllThreads(t *testing.T) {
+	k := kernel.New()
+	// main clones a spinning worker, then exit_group(5)s: the process
+	// must end even though the worker never exits.
+	const childStack = 0x60A000
+	spin := isa.MakeRel(isa.JMP, 0)
+	spinLen, _ := isa.EncodedLen(&spin)
+	spin.Imm = -int64(spinLen)
+
+	mk := func(workerAddr uint64) []isa.Inst {
+		return []isa.Inst{
+			isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RDI), int64(workerAddr)),
+			isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RSI), childStack),
+			isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RAX), kernel.SysClone),
+			isa.MakeNullary(isa.SYSCALL),
+			isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RAX), kernel.SysExitGroup),
+			isa.MakeMI(isa.MOV64RI, isa.GPR(isa.RDI), 5),
+			isa.MakeNullary(isa.SYSCALL),
+			spin, // worker: jmp self
+		}
+	}
+	insts := mk(0)
+	off := 0
+	for i := 0; i < 7; i++ {
+		l, _ := isa.EncodedLen(&insts[i])
+		off += l
+	}
+	insts = mk(uint64(codeBase + off))
+	p := buildProcess(t, k, insts...)
+	if err := p.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitCode != 5 {
+		t.Errorf("exit_group code %d", p.ExitCode)
+	}
+}
+
+func TestAllCPUs(t *testing.T) {
+	k := kernel.New()
+	p := buildThreadProgram(t, k)
+	// Before any clone: one CPU (the machine's).
+	if got := p.AllCPUs(); len(got) != 1 || got[0] != &p.M.CPU {
+		t.Errorf("single-thread AllCPUs: %d", len(got))
+	}
+	if p.CurrentThread() != 1 {
+		t.Error("current thread before clone")
+	}
+	// Step until the clone happens, then expect two register sets.
+	for i := 0; i < 10_000 && k.Stats.ThreadsCreated == 0; i++ {
+		if !p.Step() {
+			t.Fatal("process exited before clone")
+		}
+	}
+	if got := p.AllCPUs(); len(got) != 2 {
+		t.Errorf("post-clone AllCPUs: %d", len(got))
+	}
+	if len(p.Threads()) != 2 {
+		t.Error("thread table")
+	}
+}

@@ -1,0 +1,480 @@
+// Package machine implements the simulated CPU: a fetch/decode/execute
+// interpreter over the isa package with x64-faithful RFLAGS, MXCSR
+// (exception status + mask bits), precise SSE floating point exception
+// semantics (#XF raised before the destination is written), int3
+// breakpoints (#BP), syscalls, and virtual cycle accounting.
+//
+// The machine itself is kernel-agnostic: Step returns an Event and the
+// simulated kernel (internal/kernel) decides how to dispatch it, exactly
+// as hardware raises exceptions for the OS to route.
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"fpvm/internal/fpmath"
+	"fpvm/internal/isa"
+	"fpvm/internal/mem"
+	"fpvm/internal/nanbox"
+	"fpvm/internal/obj"
+)
+
+// RFLAGS bits (x64 layout).
+const (
+	FlagCF uint64 = 1 << 0
+	FlagPF uint64 = 1 << 2
+	FlagZF uint64 = 1 << 6
+	FlagSF uint64 = 1 << 7
+	FlagOF uint64 = 1 << 11
+)
+
+// MXCSR layout (x64): status bits 0-5 (IE DE ZE OE UE PE), DAZ bit 6,
+// mask bits 7-12 (IM DM ZM OM UM PM), rounding control 13-14, FTZ 15.
+const (
+	MXCSRStatusMask uint32 = 0x3F
+	MXCSRMaskShift         = 7
+
+	// MXCSRDefault masks all exceptions (hardware reset value 0x1F80).
+	MXCSRDefault uint32 = 0x1F80
+
+	// MXCSRTrapAll unmasks every exception, the configuration FPVM
+	// installs so that Invalid/Denorm/DivZero/Overflow/Underflow/Precision
+	// all trap (§2.3).
+	MXCSRTrapAll uint32 = 0x0000
+)
+
+// CPU is the architectural register state. XMM registers hold two 64-bit
+// lanes; lane 0 is the scalar double lane.
+type CPU struct {
+	GPR    [isa.NumGPR]uint64
+	XMM    [isa.NumXMM][2]uint64
+	RIP    uint64
+	RFLAGS uint64
+	MXCSR  uint32
+}
+
+// XMMLo returns the low lane of xmm register r as a float64 bit pattern.
+func (c *CPU) XMMLo(r isa.Reg) uint64 { return c.XMM[r][0] }
+
+// SetXMMLo sets the low lane of xmm register r.
+func (c *CPU) SetXMMLo(r isa.Reg, v uint64) { c.XMM[r][0] = v }
+
+// EventKind discriminates what stopped sequential execution.
+type EventKind uint8
+
+const (
+	EvNone       EventKind = iota
+	EvFPTrap               // #XF: unmasked SSE FP exception
+	EvBreakpoint           // #BP: int3
+	EvSyscall              // syscall instruction
+	EvHalt                 // hlt
+	EvHostCall             // control transferred into the host bridge range
+	EvFault                // memory/decode fault (process dies)
+	EvBoxEscape            // hardware NaN-box escape detection (future-work ISA)
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvNone:
+		return "none"
+	case EvFPTrap:
+		return "#XF"
+	case EvBreakpoint:
+		return "#BP"
+	case EvSyscall:
+		return "syscall"
+	case EvHalt:
+		return "hlt"
+	case EvHostCall:
+		return "hostcall"
+	case EvFault:
+		return "fault"
+	case EvBoxEscape:
+		return "box-escape"
+	}
+	return "event?"
+}
+
+// Event reports why Step stopped.
+type Event struct {
+	Kind EventKind
+
+	// EvFPTrap: the raised (unmasked) exception flags and the faulting
+	// instruction (RIP still points at it, per x64 fault semantics).
+	FPFlags uint32
+	Inst    isa.Inst
+
+	// EvHostCall: the target host address (RIP already at the callee; the
+	// return address is on the stack).
+	HostAddr uint64
+
+	// EvFault: underlying error.
+	Err error
+
+	// EvBoxEscape: the 8-byte-aligned address holding the NaN-boxed word
+	// an integer load was about to observe.
+	EscapeAddr uint64
+}
+
+// Tracer observes memory traffic; the PIN-like profiler (§5.1) installs
+// one. XMMClass reports whether the access moved XMM (floating point)
+// data; FPTyped reports a "scalar double"-typed store (movsd and friends),
+// which is what the profiler uses to mark blocks as containing floats.
+type Tracer interface {
+	OnStore(rip, addr uint64, size int, xmm, fpTyped bool)
+	OnLoad(rip, addr uint64, size int, xmm bool)
+}
+
+// Machine couples a CPU with an address space.
+type Machine struct {
+	CPU    CPU
+	Mem    *mem.AddressSpace
+	Cycles uint64 // virtual cycle counter
+
+	// Instructions counts retired instructions (including those that
+	// raised events after side effects, e.g. syscall).
+	Instructions uint64
+
+	// FPInstructions counts retired FP-arithmetic instructions (the
+	// denominators for the paper's per-instruction amortizations).
+	FPInstructions uint64
+
+	Tracer Tracer
+
+	// BoxEscapeCheck models the future-work hardware extension the paper
+	// proposes for RISC-V ("hardware support to replace correctness
+	// traps"): every integer load checks whether the 8-byte-aligned word
+	// it reads matches the NaN-box pattern and faults precisely (before
+	// the destination is written) when it does, so no binary patching is
+	// needed for memory-escape correctness.
+	BoxEscapeCheck bool
+
+	// escWaiveAddr/escWaiveValid implement the hardware's one-shot resume:
+	// after the escape handler runs, the faulting load must complete even
+	// if the word still matches the pattern (an application NaN that
+	// collided with it). WaiveNextEscape arms it.
+	escWaiveAddr  uint64
+	escWaiveValid bool
+
+	// icache caches decoded instructions by address. This is a host-side
+	// optimization only (real hardware decodes in the pipeline); it
+	// carries no virtual-cycle cost and must be invalidated when code
+	// changes (InvalidateICache) — the binary rewriter always produces
+	// fresh images, so self-modifying code is not supported.
+	icache map[uint64]isa.Inst
+
+	// scratch decode buffer
+	fetchBuf [isa.MaxInstLen]byte
+}
+
+// New returns a machine over as with default (all-masked) MXCSR.
+func New(as *mem.AddressSpace) *Machine {
+	m := &Machine{Mem: as}
+	m.CPU.MXCSR = MXCSRDefault
+	return m
+}
+
+// Reset clears register state (keeping memory) and re-masks MXCSR.
+func (m *Machine) Reset() {
+	m.CPU = CPU{MXCSR: MXCSRDefault}
+	m.Cycles = 0
+	m.Instructions = 0
+	m.FPInstructions = 0
+}
+
+// Charge adds n virtual cycles (used by the kernel and FPVM runtime to
+// account for their own work on this CPU's clock).
+func (m *Machine) Charge(n uint64) { m.Cycles += n }
+
+// FetchDecode decodes the instruction at addr without executing it.
+func (m *Machine) FetchDecode(addr uint64) (isa.Inst, error) {
+	n, err := m.Mem.Fetch(addr, m.fetchBuf[:])
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	return isa.Decode(m.fetchBuf[:n], addr)
+}
+
+// InvalidateICache drops all host-side cached decodes (call after
+// loading or patching code).
+func (m *Machine) InvalidateICache() { m.icache = nil }
+
+// WaiveNextEscape lets the next integer load of the 8-byte block at addr
+// proceed without the box-escape check (the hardware resume-after-handler
+// semantics; needed when the pattern was an application NaN collision).
+func (m *Machine) WaiveNextEscape(addr uint64) {
+	m.escWaiveAddr = addr &^ 7
+	m.escWaiveValid = true
+}
+
+// Step executes one instruction. On EvNone the instruction retired; any
+// other kind describes the trap/exit. Faulting FP instructions do not
+// retire (RIP unchanged, destination unwritten), matching x64.
+func (m *Machine) Step() Event {
+	if in, ok := m.icache[m.CPU.RIP]; ok {
+		return m.execute(&in)
+	}
+	in, err := m.FetchDecode(m.CPU.RIP)
+	if err != nil {
+		return Event{Kind: EvFault, Err: err}
+	}
+	if m.icache == nil {
+		m.icache = make(map[uint64]isa.Inst)
+	}
+	m.icache[m.CPU.RIP] = in
+	return m.execute(&in)
+}
+
+// Run steps until an event other than EvNone occurs or the cycle budget
+// maxInstr (0 = unlimited) instructions retire.
+func (m *Machine) Run(maxInstr uint64) Event {
+	n := uint64(0)
+	for {
+		ev := m.Step()
+		if ev.Kind != EvNone {
+			return ev
+		}
+		n++
+		if maxInstr != 0 && n >= maxInstr {
+			return Event{Kind: EvNone}
+		}
+	}
+}
+
+// effectiveAddr computes the address of a memory operand for instruction
+// in (RIP-relative references resolve against the next instruction).
+func (m *Machine) effectiveAddr(in *isa.Inst, o isa.Operand) uint64 {
+	if o.RIPRel {
+		return in.Addr + uint64(in.Len) + uint64(int64(o.Disp))
+	}
+	var a uint64
+	if o.Base != isa.NoReg {
+		a = m.CPU.GPR[o.Base]
+	}
+	if o.Index != isa.NoReg {
+		a += m.CPU.GPR[o.Index] * uint64(o.Scale)
+	}
+	return a + uint64(int64(o.Disp))
+}
+
+// EffectiveAddr exposes effective address computation for the FPVM
+// runtime's operand binding step.
+func (m *Machine) EffectiveAddr(in *isa.Inst, o isa.Operand) uint64 {
+	return m.effectiveAddr(in, o)
+}
+
+// escapeFault is the internal error carrying a hardware box-escape hit;
+// the fault dispatcher turns it into EvBoxEscape.
+type escapeFault struct{ addr uint64 }
+
+func (e *escapeFault) Error() string {
+	return fmt.Sprintf("nan-box escape at %#x", e.addr)
+}
+
+// readRM reads the r/m operand with the instruction's memory width,
+// zero-extended to 64 bits, reporting loads to the tracer.
+func (m *Machine) readRM(in *isa.Inst, o isa.Operand, xmm bool) (uint64, error) {
+	if o.Kind == isa.KindMem {
+		addr := m.effectiveAddr(in, o)
+		size := in.Op.MemBytes()
+		if m.BoxEscapeCheck && !xmm {
+			block := addr &^ 7
+			if m.escWaiveValid && m.escWaiveAddr == block {
+				m.escWaiveValid = false
+			} else if w, err := m.Mem.ReadUint64(block); err == nil && nanbox.IsBoxPattern(w) {
+				return 0, &escapeFault{addr: block}
+			}
+		}
+		v, err := m.readMem(addr, size)
+		if err != nil {
+			return 0, err
+		}
+		if m.Tracer != nil {
+			m.Tracer.OnLoad(in.Addr, addr, size, xmm)
+		}
+		return v, nil
+	}
+	if o.Kind == isa.KindXMM {
+		return m.CPU.XMM[o.Reg][0], nil
+	}
+	return m.CPU.GPR[o.Reg], nil
+}
+
+func (m *Machine) readMem(addr uint64, size int) (uint64, error) {
+	switch size {
+	case 1:
+		v, err := m.Mem.ReadUint8(addr)
+		return uint64(v), err
+	case 2:
+		v, err := m.Mem.ReadUint16(addr)
+		return uint64(v), err
+	case 4:
+		v, err := m.Mem.ReadUint32(addr)
+		return uint64(v), err
+	default:
+		return m.Mem.ReadUint64(addr)
+	}
+}
+
+func (m *Machine) writeMem(addr uint64, size int, v uint64) error {
+	switch size {
+	case 1:
+		return m.Mem.WriteUint8(addr, uint8(v))
+	case 2:
+		return m.Mem.WriteUint16(addr, uint16(v))
+	case 4:
+		return m.Mem.WriteUint32(addr, uint32(v))
+	default:
+		return m.Mem.WriteUint64(addr, v)
+	}
+}
+
+// push pushes a 64-bit value on the stack.
+func (m *Machine) push(v uint64) error {
+	m.CPU.GPR[isa.RSP] -= 8
+	return m.Mem.WriteUint64(m.CPU.GPR[isa.RSP], v)
+}
+
+// pop pops a 64-bit value from the stack.
+func (m *Machine) pop() (uint64, error) {
+	v, err := m.Mem.ReadUint64(m.CPU.GPR[isa.RSP])
+	if err != nil {
+		return 0, err
+	}
+	m.CPU.GPR[isa.RSP] += 8
+	return v, nil
+}
+
+// setIntFlags updates ZF/SF/PF from a 64-bit result.
+func (m *Machine) setIntFlags(res uint64) {
+	f := m.CPU.RFLAGS &^ (FlagZF | FlagSF | FlagPF)
+	if res == 0 {
+		f |= FlagZF
+	}
+	if res>>63 != 0 {
+		f |= FlagSF
+	}
+	if parityEven(uint8(res)) {
+		f |= FlagPF
+	}
+	m.CPU.RFLAGS = f
+}
+
+func parityEven(b uint8) bool {
+	b ^= b >> 4
+	b ^= b >> 2
+	b ^= b >> 1
+	return b&1 == 0
+}
+
+// setAddFlags sets CF/OF for a+b=res.
+func (m *Machine) setAddFlags(a, b, res uint64) {
+	m.setIntFlags(res)
+	f := m.CPU.RFLAGS &^ (FlagCF | FlagOF)
+	if res < a {
+		f |= FlagCF
+	}
+	if (a^res)&(b^res)>>63 != 0 {
+		f |= FlagOF
+	}
+	m.CPU.RFLAGS = f
+}
+
+// setSubFlags sets CF/OF for a-b=res.
+func (m *Machine) setSubFlags(a, b, res uint64) {
+	m.setIntFlags(res)
+	f := m.CPU.RFLAGS &^ (FlagCF | FlagOF)
+	if a < b {
+		f |= FlagCF
+	}
+	if (a^b)&(a^res)>>63 != 0 {
+		f |= FlagOF
+	}
+	m.CPU.RFLAGS = f
+}
+
+// setLogicFlags sets flags after and/or/xor/test (CF=OF=0).
+func (m *Machine) setLogicFlags(res uint64) {
+	m.setIntFlags(res)
+	m.CPU.RFLAGS &^= FlagCF | FlagOF
+}
+
+// condition evaluates a Jcc predicate against RFLAGS.
+func (m *Machine) condition(op isa.Op) bool {
+	f := m.CPU.RFLAGS
+	zf := f&FlagZF != 0
+	sf := f&FlagSF != 0
+	of := f&FlagOF != 0
+	cf := f&FlagCF != 0
+	pf := f&FlagPF != 0
+	switch op {
+	case isa.JE:
+		return zf
+	case isa.JNE:
+		return !zf
+	case isa.JL:
+		return sf != of
+	case isa.JLE:
+		return zf || sf != of
+	case isa.JG:
+		return !zf && sf == of
+	case isa.JGE:
+		return sf == of
+	case isa.JB:
+		return cf
+	case isa.JBE:
+		return cf || zf
+	case isa.JA:
+		return !cf && !zf
+	case isa.JAE:
+		return !cf
+	case isa.JS:
+		return sf
+	case isa.JNS:
+		return !sf
+	case isa.JP:
+		return pf
+	case isa.JNP:
+		return !pf
+	}
+	return false
+}
+
+// unmasked returns the exception bits of flags that are unmasked in MXCSR.
+func (m *Machine) unmasked(flags uint32) uint32 {
+	masks := m.CPU.MXCSR >> MXCSRMaskShift & MXCSRStatusMask
+	return flags &^ masks & fpmath.ExAll
+}
+
+// IsHostAddr reports whether addr falls in the host bridge range.
+func IsHostAddr(addr uint64) bool { return addr >= obj.HostBase }
+
+func (m *Machine) fault(err error) Event {
+	var ef *escapeFault
+	if errors.As(err, &ef) {
+		// Precise, like #XF: RIP unchanged, destination unwritten; the
+		// handler demotes the word and the load re-executes.
+		return Event{Kind: EvBoxEscape, EscapeAddr: ef.addr}
+	}
+	return Event{Kind: EvFault, Err: err}
+}
+
+// DumpState renders a compact register dump for diagnostics.
+func (m *Machine) DumpState() string {
+	s := fmt.Sprintf("rip=%#x cycles=%d\n", m.CPU.RIP, m.Cycles)
+	for r := isa.Reg(0); r < isa.NumGPR; r++ {
+		s += fmt.Sprintf("%-4s=%#016x ", isa.GPRName(r), m.CPU.GPR[r])
+		if r%4 == 3 {
+			s += "\n"
+		}
+	}
+	for r := isa.Reg(0); r < isa.NumXMM; r++ {
+		s += fmt.Sprintf("%-6s=%#016x:%#016x ", isa.XMMName(r), m.CPU.XMM[r][1], m.CPU.XMM[r][0])
+		if r%2 == 1 {
+			s += "\n"
+		}
+	}
+	s += fmt.Sprintf("rflags=%#x mxcsr=%#x\n", m.CPU.RFLAGS, m.CPU.MXCSR)
+	return s
+}

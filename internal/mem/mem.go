@@ -1,0 +1,305 @@
+// Package mem implements the simulated paged virtual memory used by the
+// machine, the kernel, and FPVM's conservative garbage collector (which
+// scans all writable pages for NaN-boxed references, as in §2.5 of the
+// paper).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PageSize is the size of a virtual page in bytes.
+const PageSize = 4096
+
+// PageMask extracts the offset within a page.
+const PageMask = PageSize - 1
+
+// Perm is a page permission bitmask.
+type Perm uint8
+
+const (
+	PermRead  Perm = 1 << 0
+	PermWrite Perm = 1 << 1
+	PermExec  Perm = 1 << 2
+
+	PermRW  = PermRead | PermWrite
+	PermRX  = PermRead | PermExec
+	PermRWX = PermRead | PermWrite | PermExec
+)
+
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// FaultKind classifies a memory fault.
+type FaultKind uint8
+
+const (
+	FaultUnmapped FaultKind = iota
+	FaultProtection
+)
+
+// Fault is returned for invalid accesses; the kernel turns it into the
+// simulated process dying (there is no demand paging in this model).
+type Fault struct {
+	Addr uint64
+	Kind FaultKind
+	Want Perm
+}
+
+func (f *Fault) Error() string {
+	k := "unmapped"
+	if f.Kind == FaultProtection {
+		k = "protection"
+	}
+	return fmt.Sprintf("mem: %s fault at %#x (want %s)", k, f.Addr, f.Want)
+}
+
+type page struct {
+	data [PageSize]byte
+	perm Perm
+}
+
+// AddressSpace is a sparse paged address space. The zero value is an empty
+// address space ready to use. It is not safe for concurrent mutation.
+type AddressSpace struct {
+	pages map[uint64]*page // keyed by addr >> 12
+
+	// regions records Map calls for introspection ([name, start, size]).
+	regions []Region
+}
+
+// Region describes a mapped region (for debugging and /proc-like listings).
+type Region struct {
+	Name  string
+	Start uint64
+	Size  uint64
+	Perm  Perm
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{pages: make(map[uint64]*page)}
+}
+
+// Map creates pages covering [addr, addr+size) with the given permissions.
+// addr and size are rounded out to page boundaries. Mapping over an
+// existing page replaces its permissions but preserves its contents.
+func (as *AddressSpace) Map(name string, addr, size uint64, perm Perm) {
+	if as.pages == nil {
+		as.pages = make(map[uint64]*page)
+	}
+	first := addr / PageSize
+	last := (addr + size + PageSize - 1) / PageSize
+	for pn := first; pn < last; pn++ {
+		if p, ok := as.pages[pn]; ok {
+			p.perm = perm
+		} else {
+			as.pages[pn] = &page{perm: perm}
+		}
+	}
+	as.regions = append(as.regions, Region{Name: name, Start: addr, Size: size, Perm: perm})
+}
+
+// Unmap removes pages covering [addr, addr+size).
+func (as *AddressSpace) Unmap(addr, size uint64) {
+	first := addr / PageSize
+	last := (addr + size + PageSize - 1) / PageSize
+	for pn := first; pn < last; pn++ {
+		delete(as.pages, pn)
+	}
+}
+
+// Protect changes permissions on pages covering [addr, addr+size).
+func (as *AddressSpace) Protect(addr, size uint64, perm Perm) error {
+	first := addr / PageSize
+	last := (addr + size + PageSize - 1) / PageSize
+	for pn := first; pn < last; pn++ {
+		p, ok := as.pages[pn]
+		if !ok {
+			return &Fault{Addr: pn * PageSize, Kind: FaultUnmapped, Want: perm}
+		}
+		p.perm = perm
+	}
+	return nil
+}
+
+// Regions returns the recorded mapping history.
+func (as *AddressSpace) Regions() []Region { return as.regions }
+
+// Mapped reports whether addr is backed by a page.
+func (as *AddressSpace) Mapped(addr uint64) bool {
+	_, ok := as.pages[addr/PageSize]
+	return ok
+}
+
+func (as *AddressSpace) lookup(addr uint64, want Perm) (*page, error) {
+	p, ok := as.pages[addr/PageSize]
+	if !ok {
+		return nil, &Fault{Addr: addr, Kind: FaultUnmapped, Want: want}
+	}
+	if p.perm&want != want {
+		return nil, &Fault{Addr: addr, Kind: FaultProtection, Want: want}
+	}
+	return p, nil
+}
+
+// Read copies len(buf) bytes from addr into buf, honoring PermRead.
+func (as *AddressSpace) Read(addr uint64, buf []byte) error {
+	return as.access(addr, buf, PermRead, false)
+}
+
+// Write copies buf to addr, honoring PermWrite.
+func (as *AddressSpace) Write(addr uint64, buf []byte) error {
+	return as.access(addr, buf, PermWrite, true)
+}
+
+// Fetch copies len(buf) bytes from addr honoring PermExec (instruction
+// fetch). Short fetches at the end of a mapped region succeed and report
+// the number of valid bytes.
+func (as *AddressSpace) Fetch(addr uint64, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		p, err := as.lookup(addr+uint64(n), PermExec)
+		if err != nil {
+			if n > 0 {
+				return n, nil
+			}
+			return 0, err
+		}
+		off := (addr + uint64(n)) & PageMask
+		c := copy(buf[n:], p.data[off:])
+		n += c
+	}
+	return n, nil
+}
+
+func (as *AddressSpace) access(addr uint64, buf []byte, want Perm, write bool) error {
+	n := 0
+	for n < len(buf) {
+		p, err := as.lookup(addr+uint64(n), want)
+		if err != nil {
+			return err
+		}
+		off := (addr + uint64(n)) & PageMask
+		if write {
+			n += copy(p.data[off:], buf[n:])
+		} else {
+			n += copy(buf[n:], p.data[off:])
+		}
+	}
+	return nil
+}
+
+// ReadUint64 reads a little-endian uint64 at addr.
+func (as *AddressSpace) ReadUint64(addr uint64) (uint64, error) {
+	var b [8]byte
+	if err := as.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteUint64 writes a little-endian uint64 at addr.
+func (as *AddressSpace) WriteUint64(addr uint64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return as.Write(addr, b[:])
+}
+
+// ReadUint32 reads a little-endian uint32 at addr.
+func (as *AddressSpace) ReadUint32(addr uint64) (uint32, error) {
+	var b [4]byte
+	if err := as.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// WriteUint32 writes a little-endian uint32 at addr.
+func (as *AddressSpace) WriteUint32(addr uint64, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return as.Write(addr, b[:])
+}
+
+// ReadUint16 reads a little-endian uint16 at addr.
+func (as *AddressSpace) ReadUint16(addr uint64) (uint16, error) {
+	var b [2]byte
+	if err := as.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+// WriteUint16 writes a little-endian uint16 at addr.
+func (as *AddressSpace) WriteUint16(addr uint64, v uint16) error {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	return as.Write(addr, b[:])
+}
+
+// ReadUint8 reads a byte at addr.
+func (as *AddressSpace) ReadUint8(addr uint64) (uint8, error) {
+	var b [1]byte
+	if err := as.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// WriteUint8 writes a byte at addr.
+func (as *AddressSpace) WriteUint8(addr uint64, v uint8) error {
+	return as.Write(addr, []byte{v})
+}
+
+// WritablePages returns the sorted start addresses of all writable pages.
+// FPVM's conservative mark phase scans exactly these.
+func (as *AddressSpace) WritablePages() []uint64 {
+	var out []uint64
+	for pn, p := range as.pages {
+		if p.perm&PermWrite != 0 {
+			out = append(out, pn*PageSize)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PageData returns the raw backing bytes of the page containing addr
+// (read-only use by the GC scanner and the profiler). ok is false if the
+// page is unmapped.
+func (as *AddressSpace) PageData(addr uint64) ([]byte, bool) {
+	p, ok := as.pages[addr/PageSize]
+	if !ok {
+		return nil, false
+	}
+	return p.data[:], true
+}
+
+// PageCount returns the number of mapped pages.
+func (as *AddressSpace) PageCount() int { return len(as.pages) }
+
+// Clone returns a deep copy of the address space (fork()).
+func (as *AddressSpace) Clone() *AddressSpace {
+	out := NewAddressSpace()
+	for pn, p := range as.pages {
+		cp := &page{perm: p.perm}
+		cp.data = p.data
+		out.pages[pn] = cp
+	}
+	out.regions = append(out.regions, as.regions...)
+	return out
+}

@@ -1,0 +1,61 @@
+// Package nanbox implements FPVM's NaN-boxing scheme (§2.2 of the paper):
+// values produced by the alternative arithmetic system live on FPVM's heap
+// and are referenced from guest registers and memory by encoding a handle
+// into the mantissa of a signaling NaN.
+//
+// Bit layout (binary64):
+//
+//	sign(1) | exp=0x7FF(11) | quiet=0(1) | tag=1(1) | handle(50)
+//
+// The quiet bit must be 0 so the value is a signaling NaN (consuming it in
+// arithmetic raises Invalid and traps to FPVM); the tag bit keeps the
+// mantissa nonzero (an all-zero mantissa would encode infinity) and
+// distinguishes "could be ours" from most application NaNs. A candidate is
+// only treated as a box if the allocator also remembers the handle, giving
+// the 1-in-2^50-per-allocation collision bound discussed in the paper.
+package nanbox
+
+import "fpvm/internal/fpmath"
+
+const (
+	tagBit = uint64(1) << 50
+	// HandleBits is the width of the encoded handle.
+	HandleBits = 50
+	// MaxHandle is the largest encodable handle.
+	MaxHandle = uint64(1)<<HandleBits - 1
+
+	handleMask = MaxHandle
+
+	patternMask = fpmath.ExpMask | fpmath.QuietBit | tagBit
+	patternWant = fpmath.ExpMask | tagBit
+)
+
+// Box encodes handle as a signaling-NaN bit pattern. It panics if handle
+// exceeds MaxHandle (the allocator never hands such handles out).
+func Box(handle uint64) uint64 {
+	if handle > MaxHandle {
+		panic("nanbox: handle out of range")
+	}
+	return patternWant | handle
+}
+
+// IsBoxPattern reports whether bits *could* be an FPVM box: a signaling
+// NaN carrying the tag bit. Callers must still confirm the handle with the
+// allocator before trusting it (application NaNs can collide).
+func IsBoxPattern(bits uint64) bool {
+	return bits&patternMask == patternWant
+}
+
+// Handle extracts the encoded handle; ok is false if bits is not a box
+// pattern.
+func Handle(bits uint64) (uint64, bool) {
+	if !IsBoxPattern(bits) {
+		return 0, false
+	}
+	return bits & handleMask, true
+}
+
+// Canonical returns the canonical quiet NaN FPVM writes when an emulated
+// operation produces a "real" NaN from ordinary operands (§2.3: the result
+// is an application NaN, not one of FPVM's boxes).
+func Canonical() uint64 { return fpmath.CanonicalNaN }

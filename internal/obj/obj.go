@@ -1,0 +1,227 @@
+// Package obj defines the executable image format for the simulated
+// machine: sections, a symbol table, and a loader. It plays the role ELF
+// plays for the real FPVM — in particular the symbol table is mutable so
+// that "magic wrapping" (§5.3) can re-point symbols like printf at
+// generated wrapper functions, the way the paper uses Lief.
+package obj
+
+import (
+	"fmt"
+	"sort"
+
+	"fpvm/internal/mem"
+)
+
+// Conventional layout addresses for images produced by the assembler and
+// compiler.
+const (
+	TextBase   = 0x0040_0000
+	RODataBase = 0x0060_0000
+	DataBase   = 0x0080_0000
+	HeapBase   = 0x0100_0000 // guest malloc arena
+	HeapSize   = 0x0004_0000 // 256 KiB resident
+	StackTop   = 0x7FFF_F000
+	StackSize  = 0x0002_0000 // 128 KiB resident
+
+	// MagicPageAddr is the well-known address where FPVM maps its "magic
+	// page" (§5.2): a cookie plus the address of the demotion handler.
+	MagicPageAddr = 0x7FF0_0000
+
+	// HostBase is the start of the reserved address range backing host
+	// bridge functions (the simulation's analog of shared library code
+	// that is not part of the analyzed image: libc, libm, FPVM runtime
+	// entry points). Calls into this range are executed by Go callbacks.
+	HostBase = 0x7000_0000_0000
+)
+
+// SymKind classifies symbols.
+type SymKind uint8
+
+const (
+	SymFunc SymKind = iota
+	SymData
+	SymHost // host bridge function (libc/libm/FPVM runtime)
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymFunc:
+		return "func"
+	case SymData:
+		return "data"
+	case SymHost:
+		return "host"
+	}
+	return "sym?"
+}
+
+// Symbol is a named address.
+type Symbol struct {
+	Name string
+	Addr uint64
+	Size uint64
+	Kind SymKind
+}
+
+// Section is a contiguous mapped byte range.
+type Section struct {
+	Name string
+	Addr uint64
+	Data []byte
+	Perm mem.Perm
+}
+
+// Reloc is a GOT-style relocation: at load time the 8-byte slot at
+// SlotAddr receives the resolved address of Symbol. Calls to imported
+// functions (libc, libm, FPVM entry points) go through these slots, which
+// is what makes LD_PRELOAD-style interposition and magic wrapping (§5.3)
+// possible: whoever resolves the symbol first wins, and rewriting the
+// symbol name re-points every call site at once.
+type Reloc struct {
+	SlotAddr uint64
+	Symbol   string
+}
+
+// Image is a loadable program.
+type Image struct {
+	Name     string
+	Entry    uint64
+	Sections []Section
+	Relocs   []Reloc
+	syms     []Symbol
+	byName   map[string]int
+}
+
+// New returns an empty image.
+func New(name string) *Image {
+	return &Image{Name: name, byName: make(map[string]int)}
+}
+
+// AddSection appends a section.
+func (img *Image) AddSection(s Section) { img.Sections = append(img.Sections, s) }
+
+// Section returns the named section, or nil.
+func (img *Image) Section(name string) *Section {
+	for i := range img.Sections {
+		if img.Sections[i].Name == name {
+			return &img.Sections[i]
+		}
+	}
+	return nil
+}
+
+// AddSymbol installs sym, replacing any prior symbol of the same name.
+func (img *Image) AddSymbol(sym Symbol) {
+	if img.byName == nil {
+		img.byName = make(map[string]int)
+	}
+	if i, ok := img.byName[sym.Name]; ok {
+		img.syms[i] = sym
+		return
+	}
+	img.byName[sym.Name] = len(img.syms)
+	img.syms = append(img.syms, sym)
+}
+
+// Lookup finds a symbol by name.
+func (img *Image) Lookup(name string) (Symbol, bool) {
+	if i, ok := img.byName[name]; ok {
+		return img.syms[i], true
+	}
+	return Symbol{}, false
+}
+
+// Rebind points the symbol name at a new address, preserving kind/size.
+// This is the primitive magic wrapping uses: after
+// Rebind("printf", wrapperAddr), every call through the symbol table
+// reaches the wrapper. It returns false if name is unknown.
+func (img *Image) Rebind(name string, addr uint64) bool {
+	i, ok := img.byName[name]
+	if !ok {
+		return false
+	}
+	img.syms[i].Addr = addr
+	return true
+}
+
+// Symbols returns a copy of the symbol table sorted by address.
+func (img *Image) Symbols() []Symbol {
+	out := make([]Symbol, len(img.syms))
+	copy(out, img.syms)
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// SymbolFor returns the symbol containing addr, if any (nearest preceding
+// symbol whose extent covers addr, or whose size is unknown/0).
+func (img *Image) SymbolFor(addr uint64) (Symbol, bool) {
+	var best Symbol
+	found := false
+	for _, s := range img.syms {
+		if s.Addr <= addr && (!found || s.Addr > best.Addr) {
+			if s.Size == 0 || addr < s.Addr+s.Size {
+				best, found = s, true
+			}
+		}
+	}
+	return best, found
+}
+
+// Resolver maps an imported symbol name to an address. The process's
+// dynamic-link namespace (image symbols, preloaded wrappers, host exports)
+// implements this.
+type Resolver func(name string) (uint64, bool)
+
+// Load maps all sections of the image into as and applies GOT relocations
+// using resolve (which may be nil if the image has no imports; local
+// symbols resolve against the image itself first).
+func (img *Image) Load(as *mem.AddressSpace, resolve Resolver) error {
+	for _, s := range img.Sections {
+		if len(s.Data) == 0 {
+			continue
+		}
+		as.Map(img.Name+":"+s.Name, s.Addr, uint64(len(s.Data)), mem.PermRW)
+		if err := as.Write(s.Addr, s.Data); err != nil {
+			return fmt.Errorf("obj: loading %s %s: %w", img.Name, s.Name, err)
+		}
+		// Apply the real permissions after initialization.
+		as.Map(img.Name+":"+s.Name, s.Addr, uint64(len(s.Data)), s.Perm)
+	}
+	for _, r := range img.Relocs {
+		addr, ok := uint64(0), false
+		if resolve != nil {
+			addr, ok = resolve(r.Symbol)
+		}
+		if !ok {
+			if sym, found := img.Lookup(r.Symbol); found {
+				addr, ok = sym.Addr, true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("obj: %s: unresolved symbol %q", img.Name, r.Symbol)
+		}
+		// GOT slots live in writable data pages; the earlier Map calls
+		// covered them.
+		if err := as.WriteUint64(r.SlotAddr, addr); err != nil {
+			return fmt.Errorf("obj: %s: relocating %q: %w", img.Name, r.Symbol, err)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the image (the rewriter patches a copy so
+// the original stays pristine, like e9patch producing a new binary).
+func (img *Image) Clone() *Image {
+	out := New(img.Name)
+	out.Entry = img.Entry
+	for _, s := range img.Sections {
+		d := make([]byte, len(s.Data))
+		copy(d, s.Data)
+		out.AddSection(Section{Name: s.Name, Addr: s.Addr, Data: d, Perm: s.Perm})
+	}
+	for _, sym := range img.syms {
+		out.AddSymbol(sym)
+	}
+	out.Relocs = append(out.Relocs, img.Relocs...)
+	return out
+}

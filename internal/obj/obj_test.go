@@ -1,0 +1,136 @@
+package obj
+
+import (
+	"testing"
+
+	"fpvm/internal/mem"
+)
+
+func sampleImage() *Image {
+	img := New("sample")
+	img.AddSection(Section{Name: ".text", Addr: TextBase, Data: []byte{1, 2, 3, 4}, Perm: mem.PermRX})
+	img.AddSection(Section{Name: ".data", Addr: DataBase, Data: make([]byte, 32), Perm: mem.PermRW})
+	img.AddSymbol(Symbol{Name: "main", Addr: TextBase, Size: 4, Kind: SymFunc})
+	img.AddSymbol(Symbol{Name: "counter", Addr: DataBase, Size: 8, Kind: SymData})
+	img.Entry = TextBase
+	return img
+}
+
+func TestSymbolLookup(t *testing.T) {
+	img := sampleImage()
+	s, ok := img.Lookup("main")
+	if !ok || s.Addr != TextBase || s.Kind != SymFunc {
+		t.Errorf("lookup main: %+v %v", s, ok)
+	}
+	if _, ok := img.Lookup("nope"); ok {
+		t.Error("bogus symbol resolved")
+	}
+}
+
+func TestSymbolFor(t *testing.T) {
+	img := sampleImage()
+	s, ok := img.SymbolFor(TextBase + 2)
+	if !ok || s.Name != "main" {
+		t.Errorf("SymbolFor mid-function: %+v %v", s, ok)
+	}
+	if _, ok := img.SymbolFor(TextBase + 100); ok {
+		t.Error("SymbolFor out of extent resolved")
+	}
+}
+
+func TestRebind(t *testing.T) {
+	img := sampleImage()
+	if !img.Rebind("main", 0x999) {
+		t.Fatal("rebind failed")
+	}
+	s, _ := img.Lookup("main")
+	if s.Addr != 0x999 {
+		t.Error("rebind did not move symbol")
+	}
+	if img.Rebind("ghost", 1) {
+		t.Error("rebind of unknown symbol succeeded")
+	}
+}
+
+func TestLoadAndRelocs(t *testing.T) {
+	img := sampleImage()
+	img.Relocs = append(img.Relocs, Reloc{SlotAddr: DataBase + 8, Symbol: "printf"})
+	as := mem.NewAddressSpace()
+	err := img.Load(as, func(name string) (uint64, bool) {
+		if name == "printf" {
+			return 0x7000_0000_0040, true
+		}
+		return 0, false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := as.ReadUint8(TextBase + 1)
+	if err != nil || b != 2 {
+		t.Errorf("text byte: %d %v", b, err)
+	}
+	slot, err := as.ReadUint64(DataBase + 8)
+	if err != nil || slot != 0x7000_0000_0040 {
+		t.Errorf("GOT slot: %#x %v", slot, err)
+	}
+	// Text pages end up non-writable.
+	if err := as.WriteUint8(TextBase, 0xFF); err == nil {
+		t.Error("text writable after load")
+	}
+}
+
+func TestLoadLocalSymbolFallback(t *testing.T) {
+	img := sampleImage()
+	img.Relocs = append(img.Relocs, Reloc{SlotAddr: DataBase + 16, Symbol: "main"})
+	as := mem.NewAddressSpace()
+	if err := img.Load(as, nil); err != nil {
+		t.Fatal(err)
+	}
+	slot, _ := as.ReadUint64(DataBase + 16)
+	if slot != TextBase {
+		t.Errorf("local reloc: %#x", slot)
+	}
+}
+
+func TestLoadUnresolved(t *testing.T) {
+	img := sampleImage()
+	img.Relocs = append(img.Relocs, Reloc{SlotAddr: DataBase, Symbol: "missing"})
+	as := mem.NewAddressSpace()
+	if err := img.Load(as, nil); err == nil {
+		t.Error("unresolved symbol loaded")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	img := sampleImage()
+	img.Relocs = append(img.Relocs, Reloc{SlotAddr: DataBase, Symbol: "x"})
+	c := img.Clone()
+	c.Section(".text").Data[0] = 0xAA
+	c.Rebind("main", 0x1)
+	c.Relocs[0].Symbol = "y"
+	if img.Section(".text").Data[0] == 0xAA {
+		t.Error("clone shares section data")
+	}
+	if s, _ := img.Lookup("main"); s.Addr == 0x1 {
+		t.Error("clone shares symbols")
+	}
+	if img.Relocs[0].Symbol == "y" {
+		t.Error("clone shares relocs")
+	}
+}
+
+func TestSymbolsSorted(t *testing.T) {
+	img := sampleImage()
+	syms := img.Symbols()
+	for i := 1; i < len(syms); i++ {
+		if syms[i-1].Addr > syms[i].Addr {
+			t.Error("symbols not sorted")
+		}
+	}
+}
+
+func TestSymKindString(t *testing.T) {
+	if SymFunc.String() != "func" || SymData.String() != "data" || SymHost.String() != "host" {
+		t.Error("kind strings")
+	}
+}

@@ -1,0 +1,103 @@
+package posit
+
+// Arithmetic. Operations decode exactly, compute in 160-bit bigfp
+// intermediates, and re-encode. Note a documented approximation: the
+// re-encode path goes through float64 (FromBig), so results are faithful
+// within double rounding of the float64 granularity — exact for posit
+// widths ≤ 32 fraction bits in the float64 range, and within 0.5 ulp + ε
+// for posit64. NaR propagates; x/0 and sqrt(-x) produce NaR, and finite
+// results saturate instead of overflowing (posit semantics).
+
+import "fpvm/internal/bigfp"
+
+const workPrec = 160
+
+func binop(a, b Posit, f func(out, x, y *bigfp.Float)) Posit {
+	if a.IsNaR() || b.IsNaR() {
+		return NaR(a.N)
+	}
+	x := a.ToBig(workPrec)
+	y := b.ToBig(workPrec)
+	out := bigfp.New(workPrec)
+	f(out, x, y)
+	return FromBig(a.N, out)
+}
+
+// Add returns a + b.
+func Add(a, b Posit) Posit {
+	return binop(a, b, func(out, x, y *bigfp.Float) { out.Add(x, y) })
+}
+
+// Sub returns a - b.
+func Sub(a, b Posit) Posit {
+	return binop(a, b, func(out, x, y *bigfp.Float) { out.Sub(x, y) })
+}
+
+// Mul returns a × b.
+func Mul(a, b Posit) Posit {
+	return binop(a, b, func(out, x, y *bigfp.Float) { out.Mul(x, y) })
+}
+
+// Div returns a / b (NaR when b is zero, per the posit standard).
+func Div(a, b Posit) Posit {
+	if b.IsZero() {
+		return NaR(a.N)
+	}
+	return binop(a, b, func(out, x, y *bigfp.Float) { out.Div(x, y) })
+}
+
+// Sqrt returns sqrt(a) (NaR for negative inputs).
+func Sqrt(a Posit) Posit {
+	if a.IsNaR() {
+		return a
+	}
+	if a.IsZero() {
+		return a
+	}
+	x := a.ToBig(workPrec)
+	if x.Sign() < 0 {
+		return NaR(a.N)
+	}
+	out := bigfp.New(workPrec)
+	out.Sqrt(x)
+	return FromBig(a.N, out)
+}
+
+// Cmp compares posits: -1, 0, +1, or 2 if either is NaR. Non-NaR posits
+// order exactly like their two's-complement bit patterns — one of the
+// format's design perks.
+func Cmp(a, b Posit) int {
+	if a.IsNaR() || b.IsNaR() {
+		return 2
+	}
+	av := signExtend(a.Bits, a.N)
+	bv := signExtend(b.Bits, b.N)
+	switch {
+	case av < bv:
+		return -1
+	case av > bv:
+		return 1
+	}
+	return 0
+}
+
+func signExtend(bits uint64, n uint8) int64 {
+	shift := 64 - uint(n)
+	return int64(bits<<shift) >> shift
+}
+
+// Min returns the smaller of a, b (b on ties/NaR, mirroring minsd).
+func Min(a, b Posit) Posit {
+	if Cmp(a, b) == -1 {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a, b (b on ties/NaR, mirroring maxsd).
+func Max(a, b Posit) Posit {
+	if Cmp(a, b) == 1 {
+		return a
+	}
+	return b
+}

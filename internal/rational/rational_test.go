@@ -1,0 +1,115 @@
+package rational
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExactRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		f := math.Float64frombits(r.Uint64())
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		q := FromFloat64(f)
+		if got := q.Float64(); got != f {
+			t.Fatalf("roundtrip %g -> %g", f, got)
+		}
+	}
+}
+
+// TestExactness: (a+b)-b == a and (a*b)/b == a hold exactly in rational
+// arithmetic (when no clamping occurs).
+func TestExactness(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a := FromFloat64((r.Float64() - 0.5) * 1e8)
+		b := FromFloat64((r.Float64() - 0.5) * 1e8)
+		if b.Sign() == 0 {
+			continue
+		}
+		if got := Sub(Add(a, b), b); Cmp(got, a) != 0 {
+			t.Fatalf("(a+b)-b != a")
+		}
+		if got := Div(Mul(a, b), b); Cmp(got, a) != 0 {
+			t.Fatalf("(a*b)/b != a")
+		}
+	}
+}
+
+func TestThirdIsExact(t *testing.T) {
+	third := Div(FromFloat64(1), FromFloat64(3))
+	sum := Add(Add(third, third), third)
+	if Cmp(sum, FromFloat64(1)) != 0 {
+		t.Error("1/3 + 1/3 + 1/3 != 1 (should be exact in rationals)")
+	}
+}
+
+func TestSpecials(t *testing.T) {
+	one := FromFloat64(1)
+	zero := FromFloat64(0)
+	if !Div(zero, zero).IsNaN() {
+		t.Error("0/0 not NaN")
+	}
+	if Div(one, zero).Sign() != 1 {
+		t.Error("1/0 not +inf")
+	}
+	if Div(FromFloat64(-1), zero).Sign() != -1 {
+		t.Error("-1/0 not -inf")
+	}
+	if !Sqrt(FromFloat64(-4)).IsNaN() {
+		t.Error("sqrt(-4) not NaN")
+	}
+	inf := FromFloat64(math.Inf(1))
+	if !Sub(inf, inf).IsNaN() {
+		t.Error("inf - inf not NaN")
+	}
+	if !Mul(inf, zero).IsNaN() {
+		t.Error("inf*0 not NaN")
+	}
+	if v := Add(inf, one); !math.IsInf(v.Float64(), 1) {
+		t.Error("inf + 1")
+	}
+	nan := FromFloat64(math.NaN())
+	if !Add(nan, one).IsNaN() || Cmp(nan, one) != 2 {
+		t.Error("NaN propagation")
+	}
+}
+
+func TestSqrtApproximation(t *testing.T) {
+	got := Sqrt(FromFloat64(2)).Float64()
+	if math.Abs(got-math.Sqrt2) > 1e-15 {
+		t.Errorf("sqrt(2) = %g", got)
+	}
+}
+
+func TestCmpOrdering(t *testing.T) {
+	a, b := FromFloat64(1.5), FromFloat64(2.5)
+	if Cmp(a, b) != -1 || Cmp(b, a) != 1 || Cmp(a, a) != 0 {
+		t.Error("ordering")
+	}
+	inf := FromFloat64(math.Inf(1))
+	if Cmp(a, inf) != -1 || Cmp(inf, a) != 1 {
+		t.Error("inf ordering")
+	}
+}
+
+func TestDenomClamping(t *testing.T) {
+	// Repeated incommensurate additions grow the denominator; the clamp
+	// must keep it bounded.
+	x := FromFloat64(0)
+	inc := Div(FromFloat64(1), FromFloat64(3))
+	step := Div(FromFloat64(1), FromFloat64(7))
+	for i := 0; i < 2000; i++ {
+		x = Add(x, inc)
+		x = Mul(x, step)
+	}
+	if x.IsNaN() {
+		t.Fatal("NaN from clamping")
+	}
+	if x.DenomBits() > MaxDenomBits+64 {
+		t.Errorf("denominator grew to %d bits", x.DenomBits())
+	}
+}

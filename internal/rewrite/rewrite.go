@@ -1,0 +1,203 @@
+// Package rewrite is the binary patcher (the reproduction's e9patch): it
+// produces a new image in which every correctness patch site is preceded
+// by either an int3 breakpoint (traditional traps, §2.6) or a call to the
+// magic trampoline (kernel-bypass magic traps, §5.2). Unlike e9patch —
+// which must patch without moving code — this rewriter re-lays-out the
+// whole text section and fixes every rel32 branch and rip-relative
+// reference, which our obj format makes safe; the *runtime mechanics* of
+// both trap styles match the paper exactly.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"fpvm/internal/isa"
+	"fpvm/internal/obj"
+)
+
+// Style selects the patch mechanism.
+type Style uint8
+
+const (
+	// Int3 inserts a breakpoint before each site: hardware #BP ->
+	// kernel -> SIGTRAP -> FPVM (§2.6).
+	Int3 Style = iota
+	// Magic inserts `call fpvm$magic_tramp`; the trampoline calls
+	// through the magic page, bypassing the kernel entirely (§5.2).
+	Magic
+)
+
+func (s Style) String() string {
+	if s == Magic {
+		return "magic"
+	}
+	return "int3"
+}
+
+// TrampSymbol names the injected trampoline.
+const TrampSymbol = "fpvm$magic_tramp"
+
+// Patch returns a new image with the given sites instrumented. Sites are
+// instruction addresses in img's coordinate space; unknown addresses are
+// reported as errors (they would indicate a stale profile).
+func Patch(img *obj.Image, sites []uint64, style Style) (*obj.Image, error) {
+	text := img.Section(".text")
+	if text == nil {
+		return nil, fmt.Errorf("rewrite: image %s has no text section", img.Name)
+	}
+
+	siteSet := make(map[uint64]bool, len(sites))
+	for _, s := range sites {
+		siteSet[s] = true
+	}
+
+	// Decode the original text.
+	var insts []isa.Inst
+	off := 0
+	for off < len(text.Data) {
+		in, err := isa.Decode(text.Data[off:], text.Addr+uint64(off))
+		if err != nil {
+			return nil, fmt.Errorf("rewrite: %w", err)
+		}
+		insts = append(insts, in)
+		off += int(in.Len)
+	}
+	for _, s := range sites {
+		if !containsAddr(insts, s) {
+			return nil, fmt.Errorf("rewrite: patch site %#x is not an instruction boundary", s)
+		}
+	}
+
+	// Layout pass: compute new addresses. Patched instructions get a
+	// 1-byte int3 or 5-byte call prepended; everything else keeps its
+	// length (rel32 and disp32 widths are value-independent).
+	patchLen := 1
+	if style == Magic {
+		patchLen = 5 // call rel32
+	}
+	newAddr := make(map[uint64]uint64, len(insts))
+	cur := text.Addr
+	for i := range insts {
+		if siteSet[insts[i].Addr] {
+			cur += uint64(patchLen)
+		}
+		newAddr[insts[i].Addr] = cur
+		cur += uint64(insts[i].Len)
+	}
+	trampAddr := cur // trampoline appended after the last instruction
+
+	// Emission pass.
+	out := make([]byte, 0, int(cur-text.Addr)+32)
+	emit := func(in *isa.Inst, at uint64) error {
+		enc, err := isa.Encode(in)
+		if err != nil {
+			return err
+		}
+		if uint64(len(enc)) != uint64(in.Len) && in.Len != 0 {
+			return fmt.Errorf("rewrite: instruction at %#x changed length", at)
+		}
+		out = append(out, enc...)
+		return nil
+	}
+
+	for i := range insts {
+		in := insts[i] // copy; we mutate displacement fields
+		na := newAddr[in.Addr]
+
+		if siteSet[in.Addr] {
+			switch style {
+			case Int3:
+				out = append(out, encodeInt3()...)
+			case Magic:
+				call := isa.MakeRel(isa.CALL, 0)
+				call.Imm = int64(trampAddr) - (int64(na-uint64(patchLen)) + int64(patchLen))
+				call.Len = uint8(patchLen)
+				if err := emit(&call, na-uint64(patchLen)); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Fix rel32 control flow.
+		if in.Op.Form() == isa.FormRel {
+			oldTarget := in.BranchTarget()
+			nt, ok := newAddr[oldTarget]
+			if !ok {
+				// Target outside the decoded text (shouldn't happen).
+				nt = oldTarget
+			}
+			in.Imm = int64(nt) - (int64(na) + int64(in.Len))
+		}
+		// Fix rip-relative data references (data sections don't move, but
+		// the instruction did).
+		if in.RMOp.Kind == isa.KindMem && in.RMOp.RIPRel {
+			oldRef := in.Addr + uint64(in.Len) + uint64(int64(in.RMOp.Disp))
+			in.RMOp.Disp = int32(int64(oldRef) - (int64(na) + int64(in.Len)))
+		}
+		in.Addr = na
+		if err := emit(&in, na); err != nil {
+			return nil, err
+		}
+	}
+
+	// Append the magic trampoline: call qword ptr [MagicPageAddr+8]; ret.
+	// The call reads the demotion-handler pointer FPVM published on the
+	// magic page; no registers are clobbered.
+	if style == Magic {
+		tramp := isa.MakeM(isa.CALLR, isa.MemAbs(int32(obj.MagicPageAddr+8)))
+		enc, err := isa.Encode(&tramp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, enc...)
+		ret := isa.MakeNullary(isa.RET)
+		renc, err := isa.Encode(&ret)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, renc...)
+	}
+
+	// Assemble the patched image.
+	patched := obj.New(img.Name)
+	patched.AddSection(obj.Section{Name: ".text", Addr: text.Addr, Data: out, Perm: text.Perm})
+	for _, s := range img.Sections {
+		if s.Name == ".text" {
+			continue
+		}
+		d := make([]byte, len(s.Data))
+		copy(d, s.Data)
+		patched.AddSection(obj.Section{Name: s.Name, Addr: s.Addr, Data: d, Perm: s.Perm})
+	}
+	for _, sym := range img.Symbols() {
+		if na, ok := newAddr[sym.Addr]; ok && sym.Kind == obj.SymFunc {
+			sym.Addr = na
+		}
+		patched.AddSymbol(sym)
+	}
+	if style == Magic {
+		patched.AddSymbol(obj.Symbol{Name: TrampSymbol, Addr: trampAddr, Kind: obj.SymFunc})
+	}
+	patched.Relocs = append(patched.Relocs, img.Relocs...)
+	if na, ok := newAddr[img.Entry]; ok {
+		patched.Entry = na
+	} else {
+		patched.Entry = img.Entry
+	}
+	return patched, nil
+}
+
+func containsAddr(insts []isa.Inst, addr uint64) bool {
+	i := sort.Search(len(insts), func(i int) bool { return insts[i].Addr >= addr })
+	return i < len(insts) && insts[i].Addr == addr
+}
+
+func encodeInt3() []byte {
+	in := isa.MakeNullary(isa.INT3)
+	enc, err := isa.Encode(&in)
+	if err != nil {
+		panic(err)
+	}
+	return enc
+}

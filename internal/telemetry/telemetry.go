@@ -1,0 +1,133 @@
+// Package telemetry accumulates FPVM's virtual-cycle cost breakdown using
+// the categories of the paper's Figures 1, 6 and 13: hw, kernel, decache,
+// decode, bind, emul, altmath, gc, fcall, corr and ret, amortized per
+// emulated instruction.
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Category is a cost bucket.
+type Category int
+
+const (
+	HW      Category = iota // hardware -> kernel exception dispatch
+	Kernel                  // kernel -> user delivery (signal or short-circuit)
+	Decache                 // decode cache lookups
+	Decode                  // full decodes (cache misses)
+	Bind                    // operand binding
+	Emul                    // emulation dispatch outside the alt system
+	Altmath                 // alternative arithmetic (incl. promote/demote)
+	GC                      // garbage collection
+	FCall                   // foreign function correctness (wrappers)
+	Corr                    // memory-escape correctness traps
+	Ret                     // return to the faulting context (sigreturn/unwind)
+
+	NumCategories
+)
+
+var names = [NumCategories]string{
+	"hw", "kernel", "decache", "decode", "bind", "emul", "altmath", "gc", "fcall", "corr", "ret",
+}
+
+// Name returns the category's short name as used in the paper's legends.
+func (c Category) String() string {
+	if c >= 0 && c < NumCategories {
+		return names[c]
+	}
+	return "cat?"
+}
+
+// Categories lists all categories in legend order.
+func Categories() []Category {
+	out := make([]Category, NumCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// Breakdown is a per-run cost accumulation.
+type Breakdown struct {
+	Cycles [NumCategories]uint64
+
+	// EmulatedInsts counts instructions emulated by FPVM (the
+	// amortization denominator).
+	EmulatedInsts uint64
+
+	// Traps counts FP trap deliveries.
+	Traps uint64
+
+	// CorrEvents / FCallEvents count correctness invocations.
+	CorrEvents  uint64
+	FCallEvents uint64
+}
+
+// Add charges n cycles to category c.
+func (b *Breakdown) Add(c Category, n uint64) { b.Cycles[c] += n }
+
+// Total returns the summed FPVM overhead cycles.
+func (b *Breakdown) Total() uint64 {
+	var t uint64
+	for _, c := range b.Cycles {
+		t += c
+	}
+	return t
+}
+
+// OverheadTotal returns total cycles excluding altmath — the virtualization
+// overhead the paper's techniques attack.
+func (b *Breakdown) OverheadTotal() uint64 { return b.Total() - b.Cycles[Altmath] }
+
+// PerInst returns each category amortized per emulated instruction
+// (Figure 1/6/13 bars).
+func (b *Breakdown) PerInst() [NumCategories]float64 {
+	var out [NumCategories]float64
+	if b.EmulatedInsts == 0 {
+		return out
+	}
+	for i, c := range b.Cycles {
+		out[i] = float64(c) / float64(b.EmulatedInsts)
+	}
+	return out
+}
+
+// AvgSeqLen returns emulated instructions per trap.
+func (b *Breakdown) AvgSeqLen() float64 {
+	if b.Traps == 0 {
+		return 0
+	}
+	return float64(b.EmulatedInsts) / float64(b.Traps)
+}
+
+// Row renders the amortized breakdown as a fixed-width table row.
+func (b *Breakdown) Row(label string) string {
+	per := b.PerInst()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s", label)
+	for i := Category(0); i < NumCategories; i++ {
+		fmt.Fprintf(&sb, " %9.1f", per[i])
+	}
+	fmt.Fprintf(&sb, " %10.1f", b.perInstTotal())
+	return sb.String()
+}
+
+func (b *Breakdown) perInstTotal() float64 {
+	if b.EmulatedInsts == 0 {
+		return 0
+	}
+	return float64(b.Total()) / float64(b.EmulatedInsts)
+}
+
+// Header renders the table header matching Row.
+func Header() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s", "config")
+	for i := Category(0); i < NumCategories; i++ {
+		fmt.Fprintf(&sb, " %9s", Category(i))
+	}
+	fmt.Fprintf(&sb, " %10s", "total")
+	return sb.String()
+}

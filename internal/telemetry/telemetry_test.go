@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddTotalPerInst(t *testing.T) {
+	var b Breakdown
+	b.Add(HW, 380)
+	b.Add(Kernel, 3800)
+	b.Add(Altmath, 820)
+	b.EmulatedInsts = 10
+	if b.Total() != 5000 {
+		t.Errorf("total %d", b.Total())
+	}
+	if b.OverheadTotal() != 4180 {
+		t.Errorf("overhead %d", b.OverheadTotal())
+	}
+	per := b.PerInst()
+	if per[HW] != 38 || per[Altmath] != 82 {
+		t.Errorf("per-inst %v", per)
+	}
+}
+
+func TestPerInstZeroDenominator(t *testing.T) {
+	var b Breakdown
+	b.Add(HW, 100)
+	per := b.PerInst()
+	if per[HW] != 0 {
+		t.Error("per-inst with zero denominator")
+	}
+	if b.AvgSeqLen() != 0 {
+		t.Error("avg with zero traps")
+	}
+}
+
+func TestAvgSeqLen(t *testing.T) {
+	var b Breakdown
+	b.Traps = 4
+	b.EmulatedInsts = 128
+	if b.AvgSeqLen() != 32 {
+		t.Errorf("avg %f", b.AvgSeqLen())
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	want := []string{"hw", "kernel", "decache", "decode", "bind", "emul",
+		"altmath", "gc", "fcall", "corr", "ret"}
+	for i, w := range want {
+		if Category(i).String() != w {
+			t.Errorf("category %d = %q want %q", i, Category(i), w)
+		}
+	}
+	if len(Categories()) != int(NumCategories) {
+		t.Error("Categories length")
+	}
+}
+
+func TestRowHeaderAlignment(t *testing.T) {
+	var b Breakdown
+	b.EmulatedInsts = 1
+	b.Add(GC, 7)
+	header := Header()
+	row := b.Row("lorenz")
+	if len(header) != len(row) {
+		t.Errorf("header %d chars, row %d", len(header), len(row))
+	}
+	if !strings.HasPrefix(row, "lorenz") || !strings.Contains(header, "altmath") {
+		t.Errorf("formatting:\n%s\n%s", header, row)
+	}
+}

@@ -1,0 +1,234 @@
+package workloads
+
+import c "fpvm/internal/compile"
+
+// enzoProgram is the synthetic stand-in for the Enzo astrophysics code
+// (307k lines of C/Fortran — see DESIGN.md substitutions). What matters
+// for the paper's experiments is Enzo's *profile shape*: many distinct
+// floating point kernels, each contributing short emulatable sequences
+// (~3 instructions per trap), lots of intermediate values (the most GC
+// pressure of any workload), and a large writable footprint for the
+// conservative collector to scan.
+//
+// The program is a 1-D compressible hydro stepper (Sod shock tube) with
+// separate kernels for equation of state, characteristic speeds, upwind
+// fluxes, conserved-variable update, artificial viscosity, smoothing,
+// gradient estimation and a refinement-criterion scan — eight-plus
+// distinct hot loops touching five state arrays.
+func enzoProgram(scale int) *c.Program {
+	p := c.NewProgram("enzo")
+
+	const n = 96
+	const gamma = 1.4
+	p.Arrays["rho"] = n  // density
+	p.Arrays["mom"] = n  // momentum
+	p.Arrays["ene"] = n  // total energy
+	p.Arrays["prs"] = n  // pressure
+	p.Arrays["vel"] = n  // velocity
+	p.Arrays["cs"] = n   // sound speed
+	p.Arrays["frho"] = n // fluxes
+	p.Arrays["fmom"] = n
+	p.Arrays["fene"] = n
+	p.Arrays["grad"] = n
+	p.IntGlobals["refine"] = 0
+
+	steps := int64(12 * scale)
+	const dtdx = 0.1
+
+	v := c.V
+	iv := c.IV
+	at := c.At
+	idx := func(arr string, i c.IExpr, e c.Expr) c.Stmt { return c.AssignIdx{Arr: arr, I: i, Src: e} }
+
+	// init: Sod shock tube.
+	initF := &c.Func{Name: "init_grid", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(0), Limit: c.IConst(n), Body: []c.Stmt{
+			c.If{Cond: c.ICmp(c.LT, iv("i"), c.IConst(n/2)),
+				Then: []c.Stmt{
+					idx("rho", iv("i"), c.Num(1.0)),
+					idx("ene", iv("i"), c.Num(2.5)),
+				},
+				Else: []c.Stmt{
+					idx("rho", iv("i"), c.Num(0.125)),
+					idx("ene", iv("i"), c.Num(0.25)),
+				}},
+			idx("mom", iv("i"), c.Num(0)),
+		}},
+	}}
+
+	// eos: vel = mom/rho; prs = (γ-1)(ene - mom²/(2 rho)).
+	eos := &c.Func{Name: "eos", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(0), Limit: c.IConst(n), Body: []c.Stmt{
+			idx("vel", iv("i"), c.Div2(at("mom", iv("i")), at("rho", iv("i")))),
+			idx("prs", iv("i"), c.Mul2(c.Num(gamma-1),
+				c.Sub2(at("ene", iv("i")),
+					c.Div2(c.Mul2(at("mom", iv("i")), at("mom", iv("i"))),
+						c.Mul2(c.Num(2), at("rho", iv("i"))))))),
+		}},
+	}}
+
+	// sound: cs = sqrt(γ p / ρ), clamped positive.
+	sound := &c.Func{Name: "sound_speed", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(0), Limit: c.IConst(n), Body: []c.Stmt{
+			idx("cs", iv("i"), c.Sqrt(c.Div2(
+				c.Mul2(c.Num(gamma), c.Max2(at("prs", iv("i")), c.Num(1e-10))),
+				at("rho", iv("i"))))),
+		}},
+	}}
+
+	// flux: Rusanov flux at interface i (between i and i+1).
+	flux := &c.Func{Name: "compute_flux", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(0), Limit: c.IConst(n - 1), Body: []c.Stmt{
+			c.IAssign{Dst: "j", Src: c.IAdd2(iv("i"), c.IConst(1))},
+			// a = max(|v_i|+cs_i, |v_j|+cs_j)
+			c.Assign{Dst: "a", Src: c.Max2(
+				c.Add2(c.Abs(at("vel", iv("i"))), at("cs", iv("i"))),
+				c.Add2(c.Abs(at("vel", iv("j"))), at("cs", iv("j"))))},
+			// physical fluxes left/right
+			c.Assign{Dst: "frl", Src: at("mom", iv("i"))},
+			c.Assign{Dst: "frr", Src: at("mom", iv("j"))},
+			c.Assign{Dst: "fml", Src: c.Add2(
+				c.Mul2(at("mom", iv("i")), at("vel", iv("i"))), at("prs", iv("i")))},
+			c.Assign{Dst: "fmr", Src: c.Add2(
+				c.Mul2(at("mom", iv("j")), at("vel", iv("j"))), at("prs", iv("j")))},
+			c.Assign{Dst: "fel", Src: c.Mul2(at("vel", iv("i")),
+				c.Add2(at("ene", iv("i")), at("prs", iv("i"))))},
+			c.Assign{Dst: "fer", Src: c.Mul2(at("vel", iv("j")),
+				c.Add2(at("ene", iv("j")), at("prs", iv("j"))))},
+			// Rusanov: 0.5(fl+fr) - 0.5 a (uR - uL)
+			idx("frho", iv("i"), c.Sub2(
+				c.Mul2(c.Num(0.5), c.Add2(v("frl"), v("frr"))),
+				c.Mul2(c.Mul2(c.Num(0.5), v("a")),
+					c.Sub2(at("rho", iv("j")), at("rho", iv("i")))))),
+			idx("fmom", iv("i"), c.Sub2(
+				c.Mul2(c.Num(0.5), c.Add2(v("fml"), v("fmr"))),
+				c.Mul2(c.Mul2(c.Num(0.5), v("a")),
+					c.Sub2(at("mom", iv("j")), at("mom", iv("i")))))),
+			idx("fene", iv("i"), c.Sub2(
+				c.Mul2(c.Num(0.5), c.Add2(v("fel"), v("fer"))),
+				c.Mul2(c.Mul2(c.Num(0.5), v("a")),
+					c.Sub2(at("ene", iv("j")), at("ene", iv("i")))))),
+		}},
+	}}
+
+	// update: u_i -= dt/dx (F_i - F_{i-1}) for interior cells.
+	update := &c.Func{Name: "advance", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(1), Limit: c.IConst(n - 1), Body: []c.Stmt{
+			c.IAssign{Dst: "k", Src: c.ISub2(iv("i"), c.IConst(1))},
+			idx("rho", iv("i"), c.Sub2(at("rho", iv("i")), c.Mul2(c.Num(dtdx),
+				c.Sub2(at("frho", iv("i")), at("frho", iv("k")))))),
+			idx("mom", iv("i"), c.Sub2(at("mom", iv("i")), c.Mul2(c.Num(dtdx),
+				c.Sub2(at("fmom", iv("i")), at("fmom", iv("k")))))),
+			idx("ene", iv("i"), c.Sub2(at("ene", iv("i")), c.Mul2(c.Num(dtdx),
+				c.Sub2(at("fene", iv("i")), at("fene", iv("k")))))),
+		}},
+	}}
+
+	// viscosity: mom smoothing where velocity gradients steepen.
+	visc := &c.Func{Name: "viscosity", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(1), Limit: c.IConst(n - 1), Body: []c.Stmt{
+			c.Assign{Dst: "dv", Src: c.Sub2(at("vel", c.IAdd2(iv("i"), c.IConst(1))),
+				at("vel", c.ISub2(iv("i"), c.IConst(1))))},
+			c.If{Cond: c.FCmp(c.LT, v("dv"), c.Num(0)), Then: []c.Stmt{
+				idx("mom", iv("i"), c.Add2(at("mom", iv("i")),
+					c.Mul2(c.Num(0.01), c.Mul2(v("dv"), at("rho", iv("i")))))),
+			}},
+		}},
+	}}
+
+	// gradient: grad_i = |rho_{i+1} - rho_{i-1}| / 2.
+	grad := &c.Func{Name: "gradient", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(1), Limit: c.IConst(n - 1), Body: []c.Stmt{
+			idx("grad", iv("i"), c.Mul2(c.Num(0.5), c.Abs(c.Sub2(
+				at("rho", c.IAdd2(iv("i"), c.IConst(1))),
+				at("rho", c.ISub2(iv("i"), c.IConst(1))))))),
+		}},
+	}}
+
+	// refine_scan: count cells exceeding the refinement criterion — the
+	// comparison result feeds an integer counter, and the sign-bit test
+	// reinterprets the gradient's bits (memory-escape correctness site).
+	refine := &c.Func{Name: "refine_scan", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(1), Limit: c.IConst(n - 1), Body: []c.Stmt{
+			c.If{Cond: c.FCmp(c.GT, at("grad", iv("i")), c.Num(0.02)), Then: []c.Stmt{
+				c.IAssign{Dst: "refine", Src: c.IAdd2(c.ILoad{Arr: "refine"}, c.IConst(1))},
+			}},
+		}},
+		// Bit-level probe of a float through memory.
+		c.IAssign{Dst: "refine", Src: c.IAdd2(
+			c.ILoad{Arr: "refine"},
+			c.IBin{Op: c.IShr, L: c.F2Bits{X: at("grad", c.IConst(n/2))}, R: c.IConst(63)})},
+	}}
+
+	// energy_floor: clamp internal energy (max against a floor computed
+	// from density) — a distinct min/max-flavoured loop.
+	efloor := &c.Func{Name: "energy_floor", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(0), Limit: c.IConst(n), Body: []c.Stmt{
+			idx("ene", iv("i"), c.Max2(at("ene", iv("i")),
+				c.Mul2(c.Num(1e-6), at("rho", iv("i"))))),
+		}},
+	}}
+
+	// smooth: three-point density smoothing into grad (reusing it as
+	// scratch), then copy back — two more hot loops.
+	smooth := &c.Func{Name: "smooth", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(1), Limit: c.IConst(n - 1), Body: []c.Stmt{
+			idx("grad", iv("i"), c.Add2(
+				c.Mul2(c.Num(0.5), at("rho", iv("i"))),
+				c.Mul2(c.Num(0.25), c.Add2(
+					at("rho", c.IAdd2(iv("i"), c.IConst(1))),
+					at("rho", c.ISub2(iv("i"), c.IConst(1))))))),
+		}},
+		c.For{Var: "i", Start: c.IConst(1), Limit: c.IConst(n - 1), Body: []c.Stmt{
+			idx("rho", iv("i"), at("grad", iv("i"))),
+		}},
+	}}
+
+	// cfl_scan: running max of |v|+cs (the timestep criterion) — a
+	// reduction loop with compares.
+	cfl := &c.Func{Name: "cfl_scan", Body: []c.Stmt{
+		c.Assign{Dst: "amax", Src: c.Num(0)},
+		c.For{Var: "i", Start: c.IConst(0), Limit: c.IConst(n), Body: []c.Stmt{
+			c.Assign{Dst: "amax", Src: c.Max2(v("amax"),
+				c.Add2(c.Abs(at("vel", iv("i"))), at("cs", iv("i"))))},
+		}},
+		c.Assign{Dst: "dtg", Src: c.Div2(c.Num(0.4), c.Max2(v("amax"), c.Num(1e-10)))},
+	}}
+
+	// boundary: copy edge cells (moves only).
+	boundary := &c.Func{Name: "boundary", Body: []c.Stmt{
+		idx("rho", c.IConst(0), at("rho", c.IConst(1))),
+		idx("mom", c.IConst(0), c.Neg(at("mom", c.IConst(1)))),
+		idx("ene", c.IConst(0), at("ene", c.IConst(1))),
+		idx("rho", c.IConst(n-1), at("rho", c.IConst(n-2))),
+		idx("mom", c.IConst(n-1), c.Neg(at("mom", c.IConst(n-2)))),
+		idx("ene", c.IConst(n-1), at("ene", c.IConst(n-2))),
+	}}
+
+	for _, f := range []*c.Func{initF, eos, sound, flux, update, visc, grad, refine, boundary, efloor, smooth, cfl} {
+		p.AddFunc(f)
+	}
+
+	main := &c.Func{Name: "main", Body: []c.Stmt{
+		c.CallStmt{Fn: "init_grid"},
+		c.For{Var: "step", Start: c.IConst(0), Limit: c.IConst(steps), Body: []c.Stmt{
+			c.CallStmt{Fn: "eos"},
+			c.CallStmt{Fn: "sound_speed"},
+			c.CallStmt{Fn: "compute_flux"},
+			c.CallStmt{Fn: "advance"},
+			c.CallStmt{Fn: "viscosity"},
+			c.CallStmt{Fn: "boundary"},
+			c.CallStmt{Fn: "energy_floor"},
+			c.CallStmt{Fn: "gradient"},
+			c.CallStmt{Fn: "refine_scan"},
+			c.CallStmt{Fn: "cfl_scan"},
+			c.If{Cond: c.ICmp(c.EQ, c.IBin{Op: c.IAnd, L: iv("step"), R: c.IConst(3)}, c.IConst(3)),
+				Then: []c.Stmt{c.CallStmt{Fn: "smooth"}}},
+		}},
+		c.Printf{Format: "enzo: rho_mid=%g prs_mid=%g refine=%d\n",
+			FArgs: []c.Expr{at("rho", c.IConst(n/2)), at("prs", c.IConst(n/2))},
+			IArgs: []c.IExpr{c.ILoad{Arr: "refine"}}},
+	}}
+	p.AddFunc(main)
+	return p
+}

@@ -1,0 +1,96 @@
+package workloads
+
+import c "fpvm/internal/compile"
+
+// fbenchProgram is an adaptation of John Walker's FBench: it traces
+// marginal and paraxial rays through a four-surface telescope objective
+// using Snell's law at spherical surfaces and accumulates aberration
+// figures. The trigonometric library calls (sin/asin/atan) interleave
+// with short arithmetic bursts, which is why fbench has the paper's
+// shortest sequences (~4 instructions per trap).
+func fbenchProgram(scale int) *c.Program {
+	p := c.NewProgram("fbench")
+
+	// The classic fbench design: 4 surfaces (radius, index, dispersion,
+	// edge thickness).
+	p.Arrays["radius"] = 4
+	p.Arrays["index"] = 4
+	p.Arrays["dist"] = 4
+	p.Globals["aberr_lspher"] = 0
+	p.Globals["aberr_osc"] = 0
+
+	iters := int64(60 * scale)
+
+	v := c.V
+	iv := c.IV
+	at := c.At
+
+	// setup fills the design tables.
+	setupVals := []struct {
+		arr  string
+		vals [4]float64
+	}{
+		{"radius", [4]float64{27.05, -16.68, -16.68, -78.1}},
+		{"index", [4]float64{1.5137, 1.0, 1.6164, 1.0}},
+		{"dist", [4]float64{0.52, 0.138, 0.38, 0.0}},
+	}
+	var setup []c.Stmt
+	for _, s := range setupVals {
+		for i, val := range s.vals {
+			setup = append(setup, c.AssignIdx{Arr: s.arr, I: c.IConst(int64(i)), Src: c.Num(val)})
+		}
+	}
+
+	// traceLine(height) -> axis crossing distance: refract through the 4
+	// surfaces. Follows the transit_surface structure of fbench: compute
+	// the incidence angle from the slope and surface curvature, apply
+	// Snell's law via asin(sin(i)·n1/n2), update height and slope.
+	trace := &c.Func{
+		Name:   "trace_line",
+		Params: []string{"height"},
+		Body: []c.Stmt{
+			c.Assign{Dst: "y", Src: v("height")},
+			c.Assign{Dst: "slope", Src: c.Num(0)},
+			c.Assign{Dst: "nin", Src: c.Num(1.0)},
+			c.For{Var: "s", Start: c.IConst(0), Limit: c.IConst(4), Body: []c.Stmt{
+				// iang = slope_angle + y/radius (paraxial-ish geometry)
+				c.Assign{Dst: "iang", Src: c.Add2(c.Atan(v("slope")),
+					c.Div2(v("y"), at("radius", iv("s"))))},
+				// Snell: sin(r) = sin(i) * n_in / n_out
+				c.Assign{Dst: "nout", Src: at("index", iv("s"))},
+				c.Assign{Dst: "rang", Src: c.Asin(c.Div2(
+					c.Mul2(c.Sin(v("iang")), v("nin")), v("nout")))},
+				// new slope angle = iang - rang + old slope angle
+				c.Assign{Dst: "slope", Src: c.Tan(c.Sub2(
+					c.Add2(c.Atan(v("slope")), c.Sub2(v("rang"), v("iang"))),
+					c.Div2(v("y"), c.Mul2(at("radius", iv("s")), c.Num(4)))))},
+				// advance to the next surface
+				c.Assign{Dst: "y", Src: c.Add2(v("y"),
+					c.Mul2(at("dist", iv("s")), v("slope")))},
+				c.Assign{Dst: "nin", Src: v("nout")},
+			}},
+			// axis crossing: y / -slope
+			c.Return{X: c.Div2(v("y"), c.Neg(v("slope")))},
+		},
+	}
+	p.AddFunc(trace)
+
+	main := &c.Func{Name: "main", Body: []c.Stmt{
+		c.Block{Body: setup},
+		c.For{Var: "it", Start: c.IConst(0), Limit: c.IConst(iters), Body: []c.Stmt{
+			// Marginal ray at full aperture, paraxial ray near axis.
+			c.Assign{Dst: "marg", Src: c.CallFn{Fn: "trace_line", Args: []c.Expr{c.Num(2.0)}}},
+			c.Assign{Dst: "parax", Src: c.CallFn{Fn: "trace_line", Args: []c.Expr{c.Num(0.1)}}},
+			// Longitudinal spherical aberration and offense against the
+			// sine condition.
+			c.Assign{Dst: "aberr_lspher", Src: c.Sub2(v("parax"), v("marg"))},
+			c.Assign{Dst: "aberr_osc", Src: c.Sub2(c.Num(1), c.Div2(
+				c.Mul2(v("parax"), c.Num(0.05)),
+				c.Mul2(c.Sin(c.Num(0.05)), v("marg"))))},
+		}},
+		c.Printf{Format: "fbench: lspher=%g osc=%g\n",
+			FArgs: []c.Expr{v("aberr_lspher"), v("aberr_osc")}},
+	}}
+	p.AddFunc(main)
+	return p
+}

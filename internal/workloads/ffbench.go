@@ -1,0 +1,129 @@
+package workloads
+
+import c "fpvm/internal/compile"
+
+// ffbenchProgram is an adaptation of John Walker's FFBench: repeated
+// in-place complex FFT / inverse-FFT passes over a synthetic signal,
+// checked against the original data. The butterfly inner loops mix array
+// index arithmetic (integer, sequence-terminating) with medium runs of
+// FP multiplies/adds, and the twiddle factors update through a pure-FP
+// rotation recurrence, giving ffbench its mid-length sequences.
+func ffbenchProgram(scale int) *c.Program {
+	p := c.NewProgram("ffbench")
+
+	const n = 256 // FFT size (power of two)
+	p.Arrays["re"] = n
+	p.Arrays["im"] = n
+	p.Arrays["orig"] = n
+	p.IntGlobals["n"] = n
+
+	passes := int64(2 * scale)
+
+	v := c.V
+	iv := c.IV
+	at := c.At
+
+	// fill: synthetic signal re[i] = sin(0.7*i)+0.3*cos(2.1*i), im = 0.
+	fill := &c.Func{Name: "fill", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(0), Limit: c.IConst(n), Body: []c.Stmt{
+			c.Assign{Dst: "t", Src: c.I2F{X: iv("i")}},
+			c.AssignIdx{Arr: "re", I: iv("i"), Src: c.Add2(
+				c.Sin(c.Mul2(c.Num(0.7), v("t"))),
+				c.Mul2(c.Num(0.3), c.Cos(c.Mul2(c.Num(2.1), v("t")))))},
+			c.AssignIdx{Arr: "im", I: iv("i"), Src: c.Num(0)},
+			c.AssignIdx{Arr: "orig", I: iv("i"), Src: at("re", iv("i"))},
+		}},
+	}}
+	p.AddFunc(fill)
+
+	// fft(dir): iterative radix-2 Cooley-Tukey with bit-reversal
+	// permutation. dir = +1 forward, -1 inverse (scaling applied by the
+	// caller).
+	fft := &c.Func{
+		Name:   "fft",
+		Params: []string{"dir"},
+		Body: []c.Stmt{
+			// Bit-reversal permutation (j tracks the reversed index).
+			c.IAssign{Dst: "j", Src: c.IConst(0)},
+			c.For{Var: "i", Start: c.IConst(0), Limit: c.IConst(n - 1), Body: []c.Stmt{
+				c.If{Cond: c.ICmp(c.LT, iv("i"), iv("j")), Then: []c.Stmt{
+					c.Assign{Dst: "tr", Src: at("re", iv("i"))},
+					c.AssignIdx{Arr: "re", I: iv("i"), Src: at("re", iv("j"))},
+					c.AssignIdx{Arr: "re", I: iv("j"), Src: v("tr")},
+					c.Assign{Dst: "ti", Src: at("im", iv("i"))},
+					c.AssignIdx{Arr: "im", I: iv("i"), Src: at("im", iv("j"))},
+					c.AssignIdx{Arr: "im", I: iv("j"), Src: v("ti")},
+				}},
+				// k = n/2; while 1 <= k <= j { j -= k; k >>= 1 }; j += k
+				c.IAssign{Dst: "k", Src: c.IConst(n / 2)},
+				c.While{Cond: c.Cond{Op: c.LE, IL: iv("k"), IR: iv("j")}, Body: []c.Stmt{
+					c.IAssign{Dst: "j", Src: c.ISub2(iv("j"), iv("k"))},
+					c.IAssign{Dst: "k", Src: c.IBin{Op: c.IShr, L: iv("k"), R: c.IConst(1)}},
+				}},
+				c.IAssign{Dst: "j", Src: c.IAdd2(iv("j"), iv("k"))},
+			}},
+
+			// Danielson-Lanczos stages.
+			c.IAssign{Dst: "len", Src: c.IConst(2)},
+			c.While{Cond: c.Cond{Op: c.LE, IL: iv("len"), IR: c.ILoad{Arr: "n"}}, Body: []c.Stmt{
+				// ang = dir * -2π/len ; (cr, ci) = (cos ang, sin ang)
+				c.Assign{Dst: "ang", Src: c.Div2(
+					c.Mul2(v("dir"), c.Num(-6.283185307179586)),
+					c.I2F{X: iv("len")})},
+				c.Assign{Dst: "cr", Src: c.Cos(v("ang"))},
+				c.Assign{Dst: "ci", Src: c.Sin(v("ang"))},
+				c.For{Var: "i0", Start: c.IConst(0), Limit: c.ILoad{Arr: "n"}, Body: []c.Stmt{
+					// Only process block starts: i0 % len == 0, via mask
+					// (len is a power of two).
+					c.If{Cond: c.ICmp(c.EQ,
+						c.IBin{Op: c.IAnd, L: iv("i0"), R: c.ISub2(iv("len"), c.IConst(1))},
+						c.IConst(0)), Then: []c.Stmt{
+						// (wr, wi) = (1, 0)
+						c.Assign{Dst: "wr", Src: c.Num(1)},
+						c.Assign{Dst: "wi", Src: c.Num(0)},
+						c.IAssign{Dst: "half", Src: c.IBin{Op: c.IShr, L: iv("len"), R: c.IConst(1)}},
+						c.For{Var: "q", Start: c.IConst(0), Limit: iv("half"), Body: []c.Stmt{
+							c.IAssign{Dst: "a", Src: c.IAdd2(iv("i0"), iv("q"))},
+							c.IAssign{Dst: "b", Src: c.IAdd2(iv("a"), iv("half"))},
+							// butterfly: t = w * x[b]; x[b] = x[a] - t; x[a] += t
+							c.Assign{Dst: "xr", Src: at("re", iv("b"))},
+							c.Assign{Dst: "xi", Src: at("im", iv("b"))},
+							c.Assign{Dst: "txr", Src: c.Sub2(c.Mul2(v("wr"), v("xr")), c.Mul2(v("wi"), v("xi")))},
+							c.Assign{Dst: "txi", Src: c.Add2(c.Mul2(v("wr"), v("xi")), c.Mul2(v("wi"), v("xr")))},
+							c.AssignIdx{Arr: "re", I: iv("b"), Src: c.Sub2(at("re", iv("a")), v("txr"))},
+							c.AssignIdx{Arr: "im", I: iv("b"), Src: c.Sub2(at("im", iv("a")), v("txi"))},
+							c.AssignIdx{Arr: "re", I: iv("a"), Src: c.Add2(at("re", iv("a")), v("txr"))},
+							c.AssignIdx{Arr: "im", I: iv("a"), Src: c.Add2(at("im", iv("a")), v("txi"))},
+							// w *= (cr, ci): pure FP rotation update
+							c.Assign{Dst: "twr", Src: c.Sub2(c.Mul2(v("wr"), v("cr")), c.Mul2(v("wi"), v("ci")))},
+							c.Assign{Dst: "wi", Src: c.Add2(c.Mul2(v("wr"), v("ci")), c.Mul2(v("wi"), v("cr")))},
+							c.Assign{Dst: "wr", Src: v("twr")},
+						}},
+					}},
+				}},
+				c.IAssign{Dst: "len", Src: c.IBin{Op: c.IShl, L: iv("len"), R: c.IConst(1)}},
+			}},
+		},
+	}
+	p.AddFunc(fft)
+
+	// main: fill, then passes × (fft, inverse fft, rescale, residual).
+	main := &c.Func{Name: "main", Body: []c.Stmt{
+		c.CallStmt{Fn: "fill"},
+		c.Assign{Dst: "maxerr", Src: c.Num(0)},
+		c.For{Var: "pass", Start: c.IConst(0), Limit: c.IConst(passes), Body: []c.Stmt{
+			c.CallStmt{Fn: "fft", Args: []c.Expr{c.Num(1)}},
+			c.CallStmt{Fn: "fft", Args: []c.Expr{c.Num(-1)}},
+			// rescale by 1/n and accumulate the max abs error vs orig.
+			c.For{Var: "i", Start: c.IConst(0), Limit: c.IConst(n), Body: []c.Stmt{
+				c.AssignIdx{Arr: "re", I: iv("i"), Src: c.Div2(at("re", iv("i")), c.Num(n))},
+				c.AssignIdx{Arr: "im", I: iv("i"), Src: c.Div2(at("im", iv("i")), c.Num(n))},
+				c.Assign{Dst: "maxerr", Src: c.Max2(v("maxerr"),
+					c.Abs(c.Sub2(at("re", iv("i")), at("orig", iv("i")))))},
+			}},
+		}},
+		c.Printf{Format: "ffbench: maxerr=%g\n", FArgs: []c.Expr{v("maxerr")}},
+	}}
+	p.AddFunc(main)
+	return p
+}

@@ -1,0 +1,41 @@
+package workloads
+
+import c "fpvm/internal/compile"
+
+// lorenzProgram integrates the Lorenz system (σ=10, ρ=28, β=8/3) with
+// forward Euler. The loop body is straight-line floating point — loads,
+// multiplies, adds, stores, no calls — which is what gives Lorenz its
+// long emulatable sequences (the paper reports ~32 instructions per trap
+// and notes its small state generates little garbage).
+func lorenzProgram(scale int) *c.Program {
+	p := c.NewProgram("lorenz_attractor")
+	p.Globals["x"] = 1.0
+	p.Globals["y"] = 1.0
+	p.Globals["z"] = 20.0
+
+	steps := int64(4000 * scale)
+
+	const (
+		sigma = 10.0
+		rho   = 28.0
+		beta  = 8.0 / 3.0
+		dt    = 0.005
+	)
+
+	body := []c.Stmt{
+		// dx = sigma*(y-x); dy = x*(rho-z)-y; dz = x*y - beta*z
+		c.Assign{Dst: "dx", Src: c.Mul2(c.Num(sigma), c.Sub2(c.Var("y"), c.Var("x")))},
+		c.Assign{Dst: "dy", Src: c.Sub2(c.Mul2(c.Var("x"), c.Sub2(c.Num(rho), c.Var("z"))), c.Var("y"))},
+		c.Assign{Dst: "dz", Src: c.Sub2(c.Mul2(c.Var("x"), c.Var("y")), c.Mul2(c.Num(beta), c.Var("z")))},
+		c.Assign{Dst: "x", Src: c.Add2(c.Var("x"), c.Mul2(c.Num(dt), c.Var("dx")))},
+		c.Assign{Dst: "y", Src: c.Add2(c.Var("y"), c.Mul2(c.Num(dt), c.Var("dy")))},
+		c.Assign{Dst: "z", Src: c.Add2(c.Var("z"), c.Mul2(c.Num(dt), c.Var("dz")))},
+	}
+
+	main := &c.Func{Name: "main", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(0), Limit: c.IConst(steps), Body: body},
+		c.Printf{Format: "lorenz: %g %g %g\n", FArgs: []c.Expr{c.Var("x"), c.Var("y"), c.Var("z")}},
+	}}
+	p.AddFunc(main)
+	return p
+}

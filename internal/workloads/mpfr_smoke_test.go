@@ -1,0 +1,26 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"fpvm"
+	"fpvm/internal/workloads"
+)
+
+func TestMPFRAllWorkloads(t *testing.T) {
+	for _, name := range workloads.All() {
+		img, err := workloads.Build(name, 1)
+		if err != nil {
+			t.Fatalf("%s build: %v", name, err)
+		}
+		patched, err := fpvm.PrepareForFPVM(img, true)
+		if err != nil {
+			t.Fatalf("%s prepare: %v", name, err)
+		}
+		res, err := fpvm.Run(patched, fpvm.Config{Alt: fpvm.AltMPFR, Seq: true, Short: true})
+		if err != nil {
+			t.Fatalf("%s mpfr: %v", name, err)
+		}
+		t.Logf("%s: %q traps=%d emul=%d", name, res.Stdout, res.Traps, res.EmulatedInsts)
+	}
+}

@@ -1,0 +1,70 @@
+package workloads
+
+import c "fpvm/internal/compile"
+
+// pendulumProgram integrates a double pendulum (unit masses and lengths,
+// g = 9.81) with the standard equations of motion and forward Euler. The
+// sin/cos library calls punctuate the otherwise-straight-line FP code, so
+// its sequences are shorter than Lorenz's but longer than fbench's —
+// matching the paper's middle-of-the-pack "Double Pend." bar.
+func pendulumProgram(scale int) *c.Program {
+	p := c.NewProgram("double_pendulum")
+	p.Globals["th1"] = 2.0
+	p.Globals["th2"] = 1.5
+	p.Globals["w1"] = 0.0
+	p.Globals["w2"] = 0.0
+
+	steps := int64(1500 * scale)
+	const (
+		g  = 9.81
+		dt = 0.001
+	)
+
+	th1 := c.Var("th1")
+	th2 := c.Var("th2")
+	w1 := c.Var("w1")
+	w2 := c.Var("w2")
+
+	// delta = th1 - th2, evaluated once per step.
+	delta := c.Var("delta")
+	sdel := c.Var("sdel")
+	cdel := c.Var("cdel")
+	den := c.Var("den")
+
+	body := []c.Stmt{
+		c.Assign{Dst: "delta", Src: c.Sub2(th1, th2)},
+		c.Assign{Dst: "sdel", Src: c.Sin(delta)},
+		c.Assign{Dst: "cdel", Src: c.Cos(delta)},
+		// den = 2 - cdel*cdel
+		c.Assign{Dst: "den", Src: c.Sub2(c.Num(2), c.Mul2(cdel, cdel))},
+		// a1 = (-g*(2*sin th1) - g*sin(th1-2*th2)
+		//       - 2*sdel*(w2^2 + w1^2*cdel)) / (2*den)  [unit m, l]
+		c.Assign{Dst: "a1", Src: c.Div2(
+			c.Sub2(
+				c.Sub2(
+					c.Mul2(c.Num(-g), c.Mul2(c.Num(2), c.Sin(th1))),
+					c.Mul2(c.Num(g), c.Sin(c.Sub2(th1, c.Mul2(c.Num(2), th2))))),
+				c.Mul2(c.Mul2(c.Num(2), sdel),
+					c.Add2(c.Mul2(w2, w2), c.Mul2(c.Mul2(w1, w1), cdel)))),
+			c.Mul2(c.Num(2), den))},
+		// a2 = (2*sdel*(w1^2 + g*cos th1 + w2^2*cdel)) / (2*den)
+		c.Assign{Dst: "a2", Src: c.Div2(
+			c.Mul2(c.Mul2(c.Num(2), sdel),
+				c.Add2(
+					c.Add2(c.Mul2(w1, w1), c.Mul2(c.Num(g), c.Cos(th1))),
+					c.Mul2(c.Mul2(w2, w2), cdel))),
+			c.Mul2(c.Num(2), den))},
+		c.Assign{Dst: "w1", Src: c.Add2(w1, c.Mul2(c.Num(dt), c.Var("a1")))},
+		c.Assign{Dst: "w2", Src: c.Add2(w2, c.Mul2(c.Num(dt), c.Var("a2")))},
+		c.Assign{Dst: "th1", Src: c.Add2(th1, c.Mul2(c.Num(dt), w1))},
+		c.Assign{Dst: "th2", Src: c.Add2(th2, c.Mul2(c.Num(dt), w2))},
+	}
+
+	main := &c.Func{Name: "main", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(0), Limit: c.IConst(steps), Body: body},
+		c.Printf{Format: "pendulum: %g %g %g %g\n",
+			FArgs: []c.Expr{th1, th2, w1, w2}},
+	}}
+	p.AddFunc(main)
+	return p
+}

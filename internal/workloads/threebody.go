@@ -1,0 +1,98 @@
+package workloads
+
+import c "fpvm/internal/compile"
+
+// threeBodyProgram simulates a planar three-body gravity problem
+// (figure-eight-ish initial conditions) with leapfrog-flavoured Euler
+// steps. Matching the paper's observation that 3-body "writes more
+// floating point data to the filesystem using fprintf", it prints all
+// positions every few steps (foreign-function correctness traffic) and
+// tallies sign bits by reinterpreting coordinates as integers through
+// memory (memory-escape correctness traffic).
+func threeBodyProgram(scale int) *c.Program {
+	p := c.NewProgram("three_body_simulation")
+	// Positions / velocities / masses for bodies 0..2.
+	init := map[string]float64{
+		"x0": 0.97000436, "y0": -0.24308753, "vx0": 0.466203685, "vy0": 0.43236573,
+		"x1": -0.97000436, "y1": 0.24308753, "vx1": 0.466203685, "vy1": 0.43236573,
+		"x2": 0, "y2": 0, "vx2": -0.93240737, "vy2": -0.86473146,
+	}
+	for k, v := range init {
+		p.Globals[k] = v
+	}
+	p.IntGlobals["negcount"] = 0
+
+	steps := int64(400 * scale)
+	const dt = 0.002
+
+	v := c.V
+	pairAccel := func(i, j string) []c.Stmt {
+		// dx = xj - xi ; r2 = dx^2 + dy^2 ; inv = 1/(r2*sqrt(r2))
+		dx := "dx" + i + j
+		dy := "dy" + i + j
+		inv := "inv" + i + j
+		return []c.Stmt{
+			c.Assign{Dst: dx, Src: c.Sub2(v("x"+j), v("x"+i))},
+			c.Assign{Dst: dy, Src: c.Sub2(v("y"+j), v("y"+i))},
+			// inv_r3 is a helper function, as in the original C — the
+			// call breaks the basic block, keeping sequences moderate.
+			c.Assign{Dst: inv, Src: c.CallFn{Fn: "inv_r3", Args: []c.Expr{v(dx), v(dy)}}},
+			// Equal unit masses: a_i += d*inv ; a_j -= d*inv.
+			c.Assign{Dst: "ax" + i, Src: c.Add2(v("ax"+i), c.Mul2(v(dx), v(inv)))},
+			c.Assign{Dst: "ay" + i, Src: c.Add2(v("ay"+i), c.Mul2(v(dy), v(inv)))},
+			c.Assign{Dst: "ax" + j, Src: c.Sub2(v("ax"+j), c.Mul2(v(dx), v(inv)))},
+			c.Assign{Dst: "ay" + j, Src: c.Sub2(v("ay"+j), c.Mul2(v(dy), v(inv)))},
+		}
+	}
+
+	// inv_r3(dx, dy) = 1 / (r² · √r²).
+	p.AddFunc(&c.Func{
+		Name:   "inv_r3",
+		Params: []string{"pdx", "pdy"},
+		Body: []c.Stmt{
+			c.Assign{Dst: "r2", Src: c.Add2(
+				c.Mul2(v("pdx"), v("pdx")), c.Mul2(v("pdy"), v("pdy")))},
+			c.Return{X: c.Div2(c.Num(1), c.Mul2(v("r2"), c.Sqrt(v("r2"))))},
+		},
+	})
+
+	var body []c.Stmt
+	for _, b := range []string{"0", "1", "2"} {
+		body = append(body,
+			c.Assign{Dst: "ax" + b, Src: c.Num(0)},
+			c.Assign{Dst: "ay" + b, Src: c.Num(0)})
+	}
+	body = append(body, pairAccel("0", "1")...)
+	body = append(body, pairAccel("0", "2")...)
+	body = append(body, pairAccel("1", "2")...)
+	for _, b := range []string{"0", "1", "2"} {
+		body = append(body,
+			c.Assign{Dst: "vx" + b, Src: c.Add2(v("vx"+b), c.Mul2(c.Num(dt), v("ax"+b)))},
+			c.Assign{Dst: "vy" + b, Src: c.Add2(v("vy"+b), c.Mul2(c.Num(dt), v("ay"+b)))},
+			c.Assign{Dst: "x" + b, Src: c.Add2(v("x"+b), c.Mul2(c.Num(dt), v("vx"+b)))},
+			c.Assign{Dst: "y" + b, Src: c.Add2(v("y"+b), c.Mul2(c.Num(dt), v("vy"+b)))})
+	}
+
+	// Every 8th step: fprintf-style output of all positions, plus a
+	// sign-bit tally through an integer reinterpretation.
+	body = append(body,
+		c.If{
+			Cond: c.ICmp(c.EQ, c.IBin{Op: c.IAnd, L: c.IVar("i"), R: c.IConst(7)}, c.IConst(7)),
+			Then: []c.Stmt{
+				c.Printf{Format: "%g %g %g %g %g %g\n",
+					FArgs: []c.Expr{v("x0"), v("y0"), v("x1"), v("y1"), v("x2"), v("y2")}},
+				c.IAssign{Dst: "negcount", Src: c.IAdd2(
+					c.ILoad{Arr: "negcount"},
+					c.IBin{Op: c.IShr, L: c.F2Bits{X: v("x0")}, R: c.IConst(63)})},
+			},
+		})
+
+	main := &c.Func{Name: "main", Body: []c.Stmt{
+		c.For{Var: "i", Start: c.IConst(0), Limit: c.IConst(steps), Body: body},
+		c.Printf{Format: "threebody: %g %g negs=%d\n",
+			FArgs: []c.Expr{v("x0"), v("y0")},
+			IArgs: []c.IExpr{c.ILoad{Arr: "negcount"}}},
+	}}
+	p.AddFunc(main)
+	return p
+}

@@ -1,0 +1,75 @@
+// Package workloads provides the paper's evaluation programs, written in
+// the internal/compile kernel language and compiled to guest images:
+//
+//	fbench     — John Walker's optical ray-tracing benchmark (trig-heavy,
+//	             short sequences: the paper measures ~4 insts/trap)
+//	ffbench    — Walker's FFT benchmark (butterfly loops, medium runs)
+//	lorenz     — a Lorenz-system simulator (long straight-line FP runs,
+//	             ~32 insts/trap in the paper; little garbage)
+//	threebody  — a three-body gravity simulation (heavy fprintf output →
+//	             foreign-function + memory-escape correctness traffic)
+//	pendulum   — a double pendulum integrator (sin/cos host calls)
+//	enzo       — a synthetic stand-in for the Enzo astrophysics code: a
+//	             1-D hydro stepper with many distinct kernels, producing
+//	             Enzo's profile shape (hundreds of short sequences, the
+//	             most garbage); the real 307k-line Enzo is out of scope,
+//	             see DESIGN.md substitutions
+package workloads
+
+import (
+	"fmt"
+
+	"fpvm/internal/compile"
+	"fpvm/internal/obj"
+)
+
+// Name identifies a workload.
+type Name string
+
+// The six evaluation workloads.
+const (
+	Fbench    Name = "fbench"
+	FFbench   Name = "ffbench"
+	Lorenz    Name = "lorenz_attractor"
+	ThreeBody Name = "three_body_simulation"
+	Pendulum  Name = "double_pendulum"
+	Enzo      Name = "enzo"
+)
+
+// All lists the workloads in the paper's figure order.
+func All() []Name {
+	return []Name{Pendulum, Enzo, Fbench, FFbench, Lorenz, ThreeBody}
+}
+
+// Program builds the kernel-language program for a workload. scale
+// multiplies iteration counts: 1 is the benchmark default; tests use
+// smaller fractions via BuildScaled.
+func Program(name Name, scale int) (*compile.Program, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	switch name {
+	case Lorenz:
+		return lorenzProgram(scale), nil
+	case Pendulum:
+		return pendulumProgram(scale), nil
+	case ThreeBody:
+		return threeBodyProgram(scale), nil
+	case Fbench:
+		return fbenchProgram(scale), nil
+	case FFbench:
+		return ffbenchProgram(scale), nil
+	case Enzo:
+		return enzoProgram(scale), nil
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Build compiles a workload at the given scale.
+func Build(name Name, scale int) (*obj.Image, error) {
+	p, err := Program(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	return compile.Compile(p)
+}

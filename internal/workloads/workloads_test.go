@@ -1,0 +1,160 @@
+package workloads_test
+
+import (
+	"strings"
+	"testing"
+
+	"fpvm"
+	"fpvm/internal/telemetry"
+	"fpvm/internal/workloads"
+)
+
+// TestNativeRuns builds every workload at small scale and checks it runs
+// to completion natively with plausible output.
+func TestNativeRuns(t *testing.T) {
+	for _, name := range workloads.All() {
+		name := name
+		t.Run(string(name), func(t *testing.T) {
+			img, err := workloads.Build(name, 1)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			res, err := fpvm.RunNative(img)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.ExitCode != 0 {
+				t.Fatalf("exit %d, stdout %q", res.ExitCode, res.Stdout)
+			}
+			if res.FPInstructions == 0 {
+				t.Fatal("no FP instructions retired")
+			}
+			if strings.Contains(res.Stdout, "nan") || strings.Contains(res.Stdout, "NaN") {
+				t.Fatalf("NaN leaked into native output: %q", res.Stdout)
+			}
+		})
+	}
+}
+
+// TestFPVMBitEqual verifies the paper's validation claim: with the Boxed
+// IEEE system, FPVM produces bit-for-bit identical output to native
+// execution, across all four acceleration configs, once the image carries
+// correctness instrumentation.
+func TestFPVMBitEqual(t *testing.T) {
+	for _, name := range workloads.All() {
+		name := name
+		t.Run(string(name), func(t *testing.T) {
+			img, err := workloads.Build(name, 1)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			native, err := fpvm.RunNative(img)
+			if err != nil {
+				t.Fatalf("native: %v", err)
+			}
+			patched, err := fpvm.PrepareForFPVM(img, true)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			for _, cfg := range []fpvm.Config{
+				{Alt: fpvm.AltBoxed},
+				{Alt: fpvm.AltBoxed, Seq: true},
+				{Alt: fpvm.AltBoxed, Short: true},
+				{Alt: fpvm.AltBoxed, Seq: true, Short: true},
+			} {
+				res, err := fpvm.Run(patched, cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", cfg.ConfigName(), err)
+				}
+				if res.Stdout != native.Stdout {
+					t.Errorf("%s: output mismatch\n fpvm:   %q\n native: %q",
+						cfg.ConfigName(), res.Stdout, native.Stdout)
+				}
+				if res.Traps == 0 {
+					t.Errorf("%s: no FP traps", cfg.ConfigName())
+				}
+			}
+		})
+	}
+}
+
+// TestProfilerSubsetOfAnalysis reproduces the §5.1 relationship: the
+// profiler's dynamic site set is contained in the static analysis's
+// conservative set.
+func TestProfilerSubsetOfAnalysis(t *testing.T) {
+	for _, name := range workloads.All() {
+		name := name
+		t.Run(string(name), func(t *testing.T) {
+			img, err := workloads.Build(name, 1)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			prof, _, err := fpvm.ProfileSites(img)
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			static, _, err := fpvm.AnalyzeSites(img)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			staticSet := map[uint64]bool{}
+			for _, s := range static {
+				staticSet[s] = true
+			}
+			for _, s := range prof {
+				if !staticSet[s] {
+					t.Errorf("profiler site %#x not found by static analysis", s)
+				}
+			}
+			if len(static) < len(prof) {
+				t.Errorf("static (%d) found fewer sites than profiler (%d)", len(static), len(prof))
+			}
+		})
+	}
+}
+
+// TestMagicEqualsInt3 verifies both correctness-trap mechanisms yield the
+// same program output, with the magic path dramatically cheaper per event.
+func TestMagicEqualsInt3(t *testing.T) {
+	img, err := workloads.Build(workloads.ThreeBody, 1)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sites, _, err := fpvm.ProfileSites(img)
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	if len(sites) == 0 {
+		t.Fatal("three-body should have memory-escape sites (F2Bits)")
+	}
+	int3Img, err := fpvm.PatchImage(img, sites, fpvm.PatchInt3)
+	if err != nil {
+		t.Fatalf("patch int3: %v", err)
+	}
+	magicImg, err := fpvm.PatchImage(img, sites, fpvm.PatchMagic)
+	if err != nil {
+		t.Fatalf("patch magic: %v", err)
+	}
+	cfg := fpvm.Config{Alt: fpvm.AltBoxed, Seq: true}
+	a, err := fpvm.Run(int3Img, cfg)
+	if err != nil {
+		t.Fatalf("int3 run: %v", err)
+	}
+	b, err := fpvm.Run(magicImg, cfg)
+	if err != nil {
+		t.Fatalf("magic run: %v", err)
+	}
+	if a.Stdout != b.Stdout {
+		t.Errorf("outputs differ:\n int3:  %q\n magic: %q", a.Stdout, b.Stdout)
+	}
+	if a.Breakdown.CorrEvents == 0 || b.Breakdown.CorrEvents == 0 {
+		t.Errorf("expected correctness events (int3 %d, magic %d)",
+			a.Breakdown.CorrEvents, b.Breakdown.CorrEvents)
+	}
+	int3PerEvent := float64(a.Breakdown.Cycles[telemetry.Corr]) / float64(a.Breakdown.CorrEvents)
+	magicPerEvent := float64(b.Breakdown.Cycles[telemetry.Corr]) / float64(b.Breakdown.CorrEvents)
+	if magicPerEvent*5 > int3PerEvent {
+		t.Errorf("magic traps not much cheaper: %.0f vs %.0f cycles/event",
+			magicPerEvent, int3PerEvent)
+	}
+}

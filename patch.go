@@ -1,0 +1,66 @@
+package fpvm
+
+import (
+	"fpvm/internal/analysis"
+	"fpvm/internal/obj"
+	"fpvm/internal/profiler"
+	"fpvm/internal/rewrite"
+)
+
+// PatchStyle selects the correctness-trap mechanism inserted at patch
+// sites (§2.6 vs §5.2).
+type PatchStyle = rewrite.Style
+
+// Patch mechanisms.
+const (
+	// PatchInt3 inserts int3 breakpoints: each correctness event costs a
+	// hardware trap plus SIGTRAP delivery and sigreturn.
+	PatchInt3 = rewrite.Int3
+	// PatchMagic inserts calls through the magic-page trampoline,
+	// bypassing the kernel entirely (§5.2's 14-120x improvement).
+	PatchMagic = rewrite.Magic
+)
+
+// ProfileSites runs img natively under the PIN-like memory profiler
+// (§5.1) and returns the instructions needing correctness patches.
+func ProfileSites(img *obj.Image) ([]uint64, profiler.Stats, error) {
+	res, err := profiler.Profile(img, 0)
+	if err != nil {
+		return nil, profiler.Stats{}, err
+	}
+	return res.Sites, res.Stats, nil
+}
+
+// AnalyzeSites runs the conservative static analysis (the original
+// FPVM's approach) and returns its — strictly larger — patch-site set.
+func AnalyzeSites(img *obj.Image) ([]uint64, analysis.Stats, error) {
+	res, err := analysis.Analyze(img)
+	if err != nil {
+		return nil, analysis.Stats{}, err
+	}
+	return res.Sites, res.Stats, nil
+}
+
+// PatchImage rewrites img with correctness instrumentation at the given
+// sites. The original image is left untouched.
+func PatchImage(img *obj.Image, sites []uint64, style PatchStyle) (*obj.Image, error) {
+	return rewrite.Patch(img, sites, style)
+}
+
+// PrepareForFPVM is the full §5 pipeline most callers want: profile the
+// image to find memory-escape sites, then patch them with the selected
+// trap style. Pass magic=false to reproduce the traditional int3 flow.
+func PrepareForFPVM(img *obj.Image, magic bool) (*obj.Image, error) {
+	sites, _, err := ProfileSites(img)
+	if err != nil {
+		return nil, err
+	}
+	if len(sites) == 0 {
+		return img, nil
+	}
+	style := PatchInt3
+	if magic {
+		style = PatchMagic
+	}
+	return PatchImage(img, sites, style)
+}
