@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	fpvm-bench [-fig all|1|2|3|4|5|6|7|8|9|10|11|12|13|corr|cache] [-scale N] [-v]
+//	fpvm-bench [-fig all|1|2|3|4|5|6|7|8|9|10|11|12|13|corr|cache|resil] [-scale N] [-v]
 //
 // Figures 1-10 run with Boxed IEEE (the paper's worst-case system);
 // figures 11-13 rerun the sweep with the MPFR-like 200-bit system.
@@ -116,6 +116,12 @@ func main() {
 	}
 	if need("13") {
 		mpfr.Fig6(out)
+		fmt.Fprintln(out)
+	}
+	if need("resil") {
+		if err := experiments.ResilienceTable(out, fpvm.AltBoxed, *scale, progress); err != nil {
+			fatal(err)
+		}
 		fmt.Fprintln(out)
 	}
 }

@@ -5,6 +5,14 @@
 //
 //	fpvm-run -workload lorenz_attractor [-alt boxed|mpfr|posit|interval|rational]
 //	         [-seq] [-short] [-native] [-nopatch] [-int3] [-scale N] [-stats]
+//	         [-inject SPEC] [-inject-seed N] [-max-boxes N]
+//
+// Fault injection (-inject) arms the runtime's recovery ladder at named
+// pipeline sites. SPEC grammar: "site:key=value[,key=value];site:..."
+// with sites alt.op, heap.alloc, decode, kernel.deliver, corr.trap,
+// gc.scan (or "all") and keys prob, every, rip, limit. Example:
+//
+//	fpvm-run -workload lorenz_attractor -seq -inject 'alt.op:every=1000;decode:prob=0.001'
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"strings"
 
 	"fpvm"
+	"fpvm/internal/faultinject"
 	"fpvm/internal/telemetry"
 	"fpvm/internal/workloads"
 )
@@ -30,6 +39,9 @@ func main() {
 	magicWraps := flag.Bool("magicwraps", false, "use symbol-rewrite wrapping (§5.3)")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	stats := flag.Bool("stats", false, "print the telemetry breakdown")
+	injectSpec := flag.String("inject", "", "fault injection spec, e.g. 'alt.op:every=1000;decode:prob=0.001' or 'all:prob=0.0001'")
+	injectSeed := flag.Uint64("inject-seed", 1, "fault injector PRNG seed (deterministic)")
+	maxBoxes := flag.Int("max-boxes", 0, "hard cap on live NaN boxes (0 = unbounded)")
 	flag.Parse()
 
 	img, err := workloads.Build(workloads.Name(*workload), *scale)
@@ -59,16 +71,29 @@ func main() {
 		fatal(err)
 	}
 	cfg := fpvm.Config{
-		Alt:        fpvm.AltKind(*altKind),
-		Precision:  *precision,
-		Seq:        *seq,
-		Short:      *short,
-		MagicWraps: *magicWraps,
-		Profile:    true,
+		Alt:          fpvm.AltKind(*altKind),
+		Precision:    *precision,
+		Seq:          *seq,
+		Short:        *short,
+		MagicWraps:   *magicWraps,
+		Profile:      true,
+		MaxLiveBoxes: *maxBoxes,
+	}
+	if *injectSpec != "" {
+		inj, perr := faultinject.ParseSpec(*injectSpec, *injectSeed)
+		if perr != nil {
+			fatal(perr)
+		}
+		cfg.Inject = inj
 	}
 	res, err := fpvm.Run(runImg, cfg)
 	if err != nil {
-		fatal(err)
+		if res == nil || !res.Detached {
+			fatal(err)
+		}
+		// Fatal rung: FPVM detached but the guest finished natively —
+		// report the failure, keep the output.
+		fmt.Fprintln(os.Stderr, "fpvm-run: detached (guest completed natively):", err)
 	}
 	fmt.Print(res.Stdout)
 	fmt.Fprintf(os.Stderr,
@@ -80,6 +105,15 @@ func main() {
 		"traps %d, emulated %d (%.1f insts/trap), gc runs %d, corr %d, fcall %d\n",
 		res.Traps, res.EmulatedInsts, res.Breakdown.AvgSeqLen(),
 		res.GCRuns, res.Breakdown.CorrEvents, res.Breakdown.FCallEvents)
+	if line := res.Breakdown.FaultLine(); line != "" {
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if res.FaultReport != "" {
+		fmt.Fprint(os.Stderr, res.FaultReport)
+		if !res.Breakdown.FaultsReconciled() {
+			fmt.Fprintln(os.Stderr, "warning: fault ledger does not reconcile (injected != retried+degraded+fatal)")
+		}
+	}
 	if *stats {
 		fmt.Fprintln(os.Stderr, telemetry.Header())
 		fmt.Fprintln(os.Stderr, res.Breakdown.Row(cfg.ConfigName()))

@@ -1,0 +1,158 @@
+package fpvm_test
+
+import (
+	"sync"
+	"testing"
+
+	"fpvm"
+	"fpvm/internal/faultinject"
+	"fpvm/internal/workloads"
+)
+
+// TestFaultSoak is the acceptance soak for the recovery ladder: inject
+// faults at every pipeline site (individually and all at once) while real
+// workloads run under SEQ SHORT, and require that
+//
+//   - nothing panics (a panic fails the test on its own),
+//   - the guest always produces output (even after a fatal detach the
+//     program finishes natively),
+//   - the ladder ledger reconciles everywhere
+//     (injected == retried + degraded + fatal), and
+//   - at least 95% of injected faults resolve by retry or degradation —
+//     fatal detach is the last rung, not the common case.
+func TestFaultSoak(t *testing.T) {
+	sites := faultinject.Sites()
+	var agg faultinject.SiteStats
+
+	for _, wl := range []workloads.Name{workloads.Lorenz, workloads.ThreeBody} {
+		img, err := workloads.Build(wl, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fpvm.RunNative(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runImg, err := fpvm.PrepareForFPVM(img, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		run := func(label string, arm func(*faultinject.Injector)) {
+			inj := faultinject.New(0x50AC)
+			arm(inj)
+			res, err := fpvm.Run(runImg, fpvm.Config{
+				Alt:    fpvm.AltBoxed,
+				Seq:    true,
+				Short:  true,
+				Inject: inj,
+			})
+			if err != nil && (res == nil || !res.Detached) {
+				t.Errorf("%s/%s: run failed outside the ladder: %v", wl, label, err)
+				return
+			}
+			if res.Stdout == "" {
+				t.Errorf("%s/%s: guest produced no output", wl, label)
+			}
+			if !res.Detached && res.Stdout != want.Stdout {
+				t.Errorf("%s/%s: attached run diverged from native output", wl, label)
+			}
+			if !inj.Reconciled() {
+				t.Errorf("%s/%s: ledger does not reconcile:\n%s", wl, label, inj.Report())
+			}
+			if !res.Breakdown.FaultsReconciled() {
+				t.Errorf("%s/%s: telemetry ledger broken: %s", wl, label, res.Breakdown.FaultLine())
+			}
+			tot := inj.Totals()
+			agg.Fired += tot.Fired
+			agg.Retried += tot.Retried
+			agg.Degraded += tot.Degraded
+			agg.Fatal += tot.Fatal
+		}
+
+		for _, site := range sites {
+			site := site
+			run(string(site), func(in *faultinject.Injector) {
+				in.Arm(site, faultinject.Rule{Prob: 0.01})
+			})
+		}
+		run("all-sites", func(in *faultinject.Injector) {
+			in.ArmAll(faultinject.Rule{Prob: 0.002})
+		})
+	}
+
+	if agg.Fired == 0 {
+		t.Fatal("soak injected no faults at all")
+	}
+	if agg.Fired != agg.Resolved() {
+		t.Errorf("aggregate ledger broken: fired %d, resolved %d", agg.Fired, agg.Resolved())
+	}
+	nonFatal := agg.Retried + agg.Degraded
+	if 100*nonFatal < 95*agg.Fired {
+		t.Errorf("only %d/%d faults resolved without detach (<95%%): retried %d, degraded %d, fatal %d",
+			nonFatal, agg.Fired, agg.Retried, agg.Degraded, agg.Fatal)
+	}
+	t.Logf("soak: fired %d, retried %d, degraded %d, fatal %d",
+		agg.Fired, agg.Retried, agg.Degraded, agg.Fatal)
+}
+
+// TestFaultSoakConcurrent shares one injector between concurrently
+// running virtualized guests (as `go test -race` fodder): the injector's
+// ledger must stay consistent, and every guest must still print the
+// native answer.
+func TestFaultSoakConcurrent(t *testing.T) {
+	img, err := workloads.Build(workloads.Lorenz, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fpvm.RunNative(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runImg, err := fpvm.PrepareForFPVM(img, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := faultinject.New(0xACE)
+	inj.ArmAll(faultinject.Rule{Every: 500})
+
+	const guests = 4
+	var wg sync.WaitGroup
+	outs := make([]string, guests)
+	errs := make([]error, guests)
+	for i := 0; i < guests; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := fpvm.Run(runImg, fpvm.Config{
+				Alt:    fpvm.AltBoxed,
+				Seq:    true,
+				Inject: inj,
+			})
+			if err != nil && (res == nil || !res.Detached) {
+				errs[i] = err
+				return
+			}
+			outs[i] = res.Stdout
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < guests; i++ {
+		if errs[i] != nil {
+			t.Errorf("guest %d: %v", i, errs[i])
+			continue
+		}
+		if outs[i] != want.Stdout {
+			t.Errorf("guest %d diverged from native output under shared injection", i)
+		}
+	}
+	if !inj.Reconciled() {
+		t.Errorf("shared ledger does not reconcile:\n%s", inj.Report())
+	}
+	if tot := inj.Totals(); tot.Fired == 0 {
+		t.Error("shared injector never fired")
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"fpvm/internal/alt"
 	"fpvm/internal/dcache"
+	"fpvm/internal/faultinject"
 	"fpvm/internal/hostlib"
 	"fpvm/internal/kernel"
 	"fpvm/internal/machine"
@@ -94,6 +95,25 @@ type Config struct {
 
 	// MaxSteps bounds execution in event boundaries (0 = 500M).
 	MaxSteps uint64
+
+	// Inject, when set, arms deterministic fault injection at the trap
+	// pipeline's named sites (see internal/faultinject.Sites). Injected
+	// faults exercise the recovery ladder: bounded retry, degradation to
+	// native IEEE, or clean detach.
+	Inject *faultinject.Injector
+
+	// MaxLiveBoxes caps the live NaN-box population (0 = unbounded). At
+	// the cap FPVM forces a collection; if the heap is still full the
+	// result degrades to a plain IEEE double instead of growing the heap.
+	MaxLiveBoxes int
+
+	// RetryBudget is the per-site, per-trap transient retry budget
+	// (0 = default 3).
+	RetryBudget int
+
+	// TrapCycleBudget is the per-trap virtual-cycle watchdog limit
+	// (0 = default 10M cycles).
+	TrapCycleBudget uint64
 }
 
 // ConfigName renders the paper's config label (NONE/SEQ/SHORT/SEQ SHORT).
@@ -166,6 +186,20 @@ type Result struct {
 
 	// KernelStats snapshots delegation counters.
 	KernelStats kernel.Stats
+
+	// Recovery ladder outcomes. Detached means the fatal rung fired:
+	// FPVM restored native FP semantics mid-run and the guest finished
+	// un-virtualized (results past that point are native IEEE only).
+	Detached        bool
+	Retries         uint64
+	Degradations    uint64
+	WatchdogAborts  uint64
+	PanicRecoveries uint64
+	AbortedTraps    uint64
+
+	// FaultReport is the injector's per-site ledger ("" when no injector
+	// was armed).
+	FaultReport string
 }
 
 // AltmathCycles returns cycles spent in the alternative arithmetic system
@@ -247,16 +281,20 @@ func Run(img *obj.Image, cfg Config) (*Result, error) {
 	lib := hostlib.Install(p)
 
 	rt, err := fpvmrt.Attach(p, fpvmrt.Config{
-		Alt:           sys,
-		Seq:           cfg.Seq,
-		Short:         cfg.Short,
-		MagicWraps:    cfg.MagicWraps,
-		GCThreshold:   cfg.GCThreshold,
-		CacheCapacity: cfg.CacheCapacity,
-		SeqLimit:      cfg.SeqLimit,
-		Profile:       cfg.Profile,
-		EmulateAll:    cfg.EmulateAll,
-		FutureHW:      cfg.FutureHW,
+		Alt:             sys,
+		Seq:             cfg.Seq,
+		Short:           cfg.Short,
+		MagicWraps:      cfg.MagicWraps,
+		GCThreshold:     cfg.GCThreshold,
+		CacheCapacity:   cfg.CacheCapacity,
+		SeqLimit:        cfg.SeqLimit,
+		Profile:         cfg.Profile,
+		EmulateAll:      cfg.EmulateAll,
+		FutureHW:        cfg.FutureHW,
+		Inject:          cfg.Inject,
+		MaxLiveBoxes:    cfg.MaxLiveBoxes,
+		RetryBudget:     cfg.RetryBudget,
+		TrapCycleBudget: cfg.TrapCycleBudget,
 	})
 	if err != nil {
 		return nil, err
@@ -301,6 +339,15 @@ func Run(img *obj.Image, cfg Config) (*Result, error) {
 		Demotions:          rt.Demotions,
 		DecodeCacheEntries: rt.Cache().Len(),
 		KernelStats:        k.Stats,
+		Detached:           rt.Detached(),
+		Retries:            rt.Retries,
+		Degradations:       rt.Degradations,
+		WatchdogAborts:     rt.WatchdogAborts,
+		PanicRecoveries:    rt.PanicRecoveries,
+		AbortedTraps:       rt.Aborted,
+	}
+	if cfg.Inject != nil {
+		res.FaultReport = cfg.Inject.Report()
 	}
 	return res, runErr
 }

@@ -73,6 +73,17 @@ func (c *Cache) Insert(rip uint64, e *Entry) {
 	c.entries[rip] = e
 }
 
+// Invalidate drops the entry for rip, if present, counting an eviction.
+// The FPVM runtime uses it when the recovery ladder suspects a corrupted
+// decode (e.g. an injected decode fault): the next lookup misses and the
+// instruction is re-decoded from guest memory.
+func (c *Cache) Invalidate(rip uint64) {
+	if _, ok := c.entries[rip]; ok {
+		delete(c.entries, rip)
+		c.Stats.Evictions++
+	}
+}
+
 // Len returns the number of cached entries.
 func (c *Cache) Len() int { return len(c.entries) }
 

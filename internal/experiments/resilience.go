@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fpvm"
+	"fpvm/internal/faultinject"
+	"fpvm/internal/workloads"
+)
+
+// ResilienceTable exercises the recovery ladder: each workload runs under
+// SEQ SHORT with the fault injector armed at every pipeline site, and the
+// table reports how injected faults were resolved (retried / degraded /
+// fatal), whether the ladder's ledger reconciles, and whether the guest
+// still produced output. The robustness target is that faults resolve by
+// retry or degradation — a fatal detach is the ladder's last resort.
+func ResilienceTable(w io.Writer, alt fpvm.AltKind, scale int, progress io.Writer) error {
+	fmt.Fprintf(w, "Resilience: fault injection at every pipeline site (alt=%s, SEQ SHORT)\n", alt)
+	fmt.Fprintf(w, "%-24s %9s %9s %9s %9s %6s %9s %9s %6s\n",
+		"workload", "injected", "retried", "degraded", "fatal", "recon", "panics", "watchdog", "output")
+
+	for _, name := range []workloads.Name{workloads.Lorenz, workloads.ThreeBody} {
+		img, err := workloads.Build(name, scale)
+		if err != nil {
+			return err
+		}
+		runImg, err := fpvm.PrepareForFPVM(img, true)
+		if err != nil {
+			return err
+		}
+		inj := faultinject.New(0xF417)
+		inj.ArmAll(faultinject.Rule{Every: 997})
+		cfg := fpvm.Config{
+			Alt:    alt,
+			Seq:    true,
+			Short:  true,
+			Inject: inj,
+		}
+		res, err := fpvm.Run(runImg, cfg)
+		if err != nil && (res == nil || !res.Detached) {
+			return fmt.Errorf("experiments: %s under injection: %w", name, err)
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "== %s: %s\n", name, res.Breakdown.FaultLine())
+		}
+		b := res.Breakdown
+		recon := "yes"
+		if !b.FaultsReconciled() {
+			recon = "NO"
+		}
+		output := "yes"
+		if res.Stdout == "" {
+			output = "NO"
+		}
+		fmt.Fprintf(w, "%-24s %9d %9d %9d %9d %6s %9d %9d %6s\n",
+			name, b.FaultsInjected, b.FaultsRetried, b.FaultsDegraded, b.FaultsFatal,
+			recon, b.PanicRecoveries, b.WatchdogAborts, output)
+	}
+	return nil
+}

@@ -1,0 +1,403 @@
+// Package faultinject provides FPVM's deterministic fault injector: a
+// seedable source of synthetic failures at named sites throughout the
+// trap pipeline (decode, alternative arithmetic, box allocation, kernel
+// delivery, correctness traps, GC scans). The runtime's recovery ladder
+// consumes the injected faults and resolves each one by exactly one of
+// retry, degradation to native IEEE, or fatal detach; the injector keeps
+// the per-site ledger so tests can assert the books balance
+// (Fired == Retried + Degraded + Fatal).
+//
+// Determinism matters: soak tests and differential runs must replay the
+// same fault schedule from the same seed, so the injector uses its own
+// splitmix64 stream and never consults wall-clock state. A nil *Injector
+// is valid everywhere and injects nothing — production paths pay one nil
+// check per site.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Site names a fault injection point in the trap pipeline.
+type Site string
+
+// The named sites wired into the runtime. Each corresponds to one hook
+// point: a fault fired there is observed by the surrounding layer and fed
+// to the recovery ladder.
+const (
+	// SiteAltOp fires inside alternative-arithmetic operations
+	// (internal/fpvm emulation of arith/compare instructions).
+	SiteAltOp Site = "alt.op"
+	// SiteHeapAlloc fires when the runtime boxes a result (box
+	// allocation on the FPVM heap).
+	SiteHeapAlloc Site = "heap.alloc"
+	// SiteDecode fires in the decode path (decode cache + full decode).
+	SiteDecode Site = "decode"
+	// SiteKernelDeliver fires in the kernel's trap delivery, before the
+	// FPVM entry point runs (internal/kernel).
+	SiteKernelDeliver Site = "kernel.deliver"
+	// SiteCorrTrap fires in the correctness trap handlers (int3 and
+	// magic-call demotion paths).
+	SiteCorrTrap Site = "corr.trap"
+	// SiteGCScan fires during garbage collection scans.
+	SiteGCScan Site = "gc.scan"
+)
+
+// Sites lists every named site in stable order.
+func Sites() []Site {
+	return []Site{SiteAltOp, SiteHeapAlloc, SiteDecode, SiteKernelDeliver, SiteCorrTrap, SiteGCScan}
+}
+
+// Fault is the error value returned when a site check fires.
+type Fault struct {
+	Site Site
+	RIP  uint64 // guest RIP at the check (0 when not applicable)
+	Seq  uint64 // global injection sequence number (1-based)
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faultinject: injected fault #%d at site %s (rip %#x)", f.Seq, f.Site, f.RIP)
+}
+
+// Rule arms one trigger at a site. Zero-valued fields are inactive; a
+// rule fires when every active condition holds.
+type Rule struct {
+	// Prob fires with this probability per check (0 < Prob <= 1).
+	Prob float64
+	// Every fires on every Nth check of the site (count-triggered).
+	Every uint64
+	// RIP restricts firing to checks at this guest RIP (0 = any RIP).
+	RIP uint64
+	// Limit caps total fires of this rule (0 = unlimited).
+	Limit uint64
+}
+
+func (r Rule) String() string {
+	var parts []string
+	if r.Prob > 0 {
+		parts = append(parts, fmt.Sprintf("prob=%g", r.Prob))
+	}
+	if r.Every > 0 {
+		parts = append(parts, fmt.Sprintf("every=%d", r.Every))
+	}
+	if r.RIP != 0 {
+		parts = append(parts, fmt.Sprintf("rip=%#x", r.RIP))
+	}
+	if r.Limit != 0 {
+		parts = append(parts, fmt.Sprintf("limit=%d", r.Limit))
+	}
+	if len(parts) == 0 {
+		return "off"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Resolution records how the recovery ladder disposed of a fired fault.
+type Resolution int
+
+const (
+	// Retried: the operation was retried and succeeded.
+	Retried Resolution = iota
+	// Degraded: the operation was demoted to native IEEE (or safely
+	// skipped) and the program continued.
+	Degraded
+	// Fatal: the runtime detached; the guest continues un-virtualized.
+	Fatal
+)
+
+func (r Resolution) String() string {
+	switch r {
+	case Retried:
+		return "retried"
+	case Degraded:
+		return "degraded"
+	case Fatal:
+		return "fatal"
+	}
+	return "resolution?"
+}
+
+// SiteStats is the per-site ledger.
+type SiteStats struct {
+	Checks   uint64 // times the site was consulted
+	Fired    uint64 // faults injected
+	Retried  uint64 // resolved by retry
+	Degraded uint64 // resolved by degradation
+	Fatal    uint64 // resolved by fatal detach
+}
+
+// Resolved sums the resolutions recorded for the site.
+func (s SiteStats) Resolved() uint64 { return s.Retried + s.Degraded + s.Fatal }
+
+type armedRule struct {
+	Rule
+	fired uint64
+}
+
+// Injector is a deterministic, seedable fault source. All methods are
+// safe for concurrent use and safe on a nil receiver (no-ops).
+type Injector struct {
+	mu    sync.Mutex
+	rng   uint64
+	seq   uint64
+	rules map[Site][]*armedRule
+	stats map[Site]*SiteStats
+}
+
+// New returns an injector seeded with seed (the same seed replays the
+// same fault schedule given the same check sequence).
+func New(seed uint64) *Injector {
+	return &Injector{
+		rng:   seed ^ 0x9E3779B97F4A7C15, // avoid the all-zero state
+		rules: make(map[Site][]*armedRule),
+		stats: make(map[Site]*SiteStats),
+	}
+}
+
+// Arm adds a rule at site. Multiple rules may be armed per site; a check
+// fires if any rule fires.
+func (in *Injector) Arm(site Site, r Rule) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[site] = append(in.rules[site], &armedRule{Rule: r})
+	in.siteStats(site)
+}
+
+// ArmAll arms the same rule at every named site.
+func (in *Injector) ArmAll(r Rule) {
+	if in == nil {
+		return
+	}
+	for _, s := range Sites() {
+		in.Arm(s, r)
+	}
+}
+
+func (in *Injector) siteStats(site Site) *SiteStats {
+	st := in.stats[site]
+	if st == nil {
+		st = &SiteStats{}
+		in.stats[site] = st
+	}
+	return st
+}
+
+// splitmix64 advances the deterministic stream.
+func (in *Injector) next() uint64 {
+	in.rng += 0x9E3779B97F4A7C15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Check consults the site's rules and returns a *Fault if one fires, nil
+// otherwise. Nil-safe: a nil injector never fires.
+func (in *Injector) Check(site Site, rip uint64) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.siteStats(site)
+	st.Checks++
+	for _, r := range in.rules[site] {
+		if r.Limit != 0 && r.fired >= r.Limit {
+			continue
+		}
+		if r.RIP != 0 && r.RIP != rip {
+			continue
+		}
+		fire := false
+		if r.Every > 0 && st.Checks%r.Every == 0 {
+			fire = true
+		}
+		if !fire && r.Prob > 0 {
+			// 53-bit uniform in [0,1).
+			u := float64(in.next()>>11) / (1 << 53)
+			fire = u < r.Prob
+		}
+		if !fire {
+			continue
+		}
+		r.fired++
+		st.Fired++
+		in.seq++
+		return &Fault{Site: site, RIP: rip, Seq: in.seq}
+	}
+	return nil
+}
+
+// Resolve records how the ladder disposed of a fired fault at site.
+// Callers must call it exactly once per fault returned by Check.
+func (in *Injector) Resolve(site Site, how Resolution) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.siteStats(site)
+	switch how {
+	case Retried:
+		st.Retried++
+	case Degraded:
+		st.Degraded++
+	case Fatal:
+		st.Fatal++
+	}
+}
+
+// Stats returns a copy of the site's ledger.
+func (in *Injector) Stats(site Site) SiteStats {
+	if in == nil {
+		return SiteStats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st := in.stats[site]; st != nil {
+		return *st
+	}
+	return SiteStats{}
+}
+
+// Totals sums the ledger across all sites.
+func (in *Injector) Totals() SiteStats {
+	var t SiteStats
+	if in == nil {
+		return t
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, st := range in.stats {
+		t.Checks += st.Checks
+		t.Fired += st.Fired
+		t.Retried += st.Retried
+		t.Degraded += st.Degraded
+		t.Fatal += st.Fatal
+	}
+	return t
+}
+
+// Reconciled reports whether every fired fault has exactly one recorded
+// resolution at every site (the soak-test bookkeeping invariant).
+func (in *Injector) Reconciled() bool {
+	if in == nil {
+		return true
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, st := range in.stats {
+		if st.Fired != st.Retried+st.Degraded+st.Fatal {
+			return false
+		}
+	}
+	return true
+}
+
+// Report renders the per-site ledger as one line per active site, in
+// stable site order.
+func (in *Injector) Report() string {
+	if in == nil {
+		return ""
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var sites []string
+	for s := range in.stats {
+		sites = append(sites, string(s))
+	}
+	sort.Strings(sites)
+	var sb strings.Builder
+	for _, s := range sites {
+		st := in.stats[Site(s)]
+		fmt.Fprintf(&sb, "%-15s checks=%-8d fired=%-6d retried=%-6d degraded=%-6d fatal=%d\n",
+			s, st.Checks, st.Fired, st.Retried, st.Degraded, st.Fatal)
+	}
+	return sb.String()
+}
+
+// ParseSpec parses a command-line injection spec into rules on a fresh
+// injector. The grammar is semicolon-separated site clauses:
+//
+//	site:key=value[,key=value...][;site:...]
+//
+// e.g. "alt.op:every=100;heap.alloc:prob=0.001,limit=5". Keys are prob,
+// every, rip, limit. "all" as the site arms every named site.
+func ParseSpec(spec string, seed uint64) (*Injector, error) {
+	in := New(seed)
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		site, args, ok := strings.Cut(clause, ":")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: clause %q missing ':'", clause)
+		}
+		site = strings.TrimSpace(site)
+		if site != "all" && !knownSite(Site(site)) {
+			return nil, fmt.Errorf("faultinject: unknown site %q (known: %v)", site, Sites())
+		}
+		var rule Rule
+		for _, kv := range strings.Split(args, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: bad key=value %q in %q", kv, clause)
+			}
+			switch k {
+			case "prob":
+				p, err := strconv.ParseFloat(v, 64)
+				if err != nil || p <= 0 || p > 1 {
+					return nil, fmt.Errorf("faultinject: bad prob %q", v)
+				}
+				rule.Prob = p
+			case "every":
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil || n == 0 {
+					return nil, fmt.Errorf("faultinject: bad every %q", v)
+				}
+				rule.Every = n
+			case "rip":
+				n, err := strconv.ParseUint(v, 0, 64)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: bad rip %q", v)
+				}
+				rule.RIP = n
+			case "limit":
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: bad limit %q", v)
+				}
+				rule.Limit = n
+			default:
+				return nil, fmt.Errorf("faultinject: unknown key %q in %q", k, clause)
+			}
+		}
+		if rule.Prob == 0 && rule.Every == 0 {
+			return nil, fmt.Errorf("faultinject: clause %q has no trigger (need prob= or every=)", clause)
+		}
+		if site == "all" {
+			in.ArmAll(rule)
+		} else {
+			in.Arm(Site(site), rule)
+		}
+	}
+	return in, nil
+}
+
+func knownSite(s Site) bool {
+	for _, k := range Sites() {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}

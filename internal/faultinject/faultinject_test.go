@@ -1,0 +1,204 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Check(SiteAltOp, 0x100); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	in.Arm(SiteAltOp, Rule{Every: 1})
+	in.Resolve(SiteAltOp, Retried)
+	if !in.Reconciled() {
+		t.Error("nil injector not reconciled")
+	}
+	if got := in.Stats(SiteAltOp); got != (SiteStats{}) {
+		t.Errorf("nil stats = %+v", got)
+	}
+}
+
+func TestCountTrigger(t *testing.T) {
+	in := New(1)
+	in.Arm(SiteDecode, Rule{Every: 3})
+	fired := 0
+	for i := 0; i < 12; i++ {
+		if err := in.Check(SiteDecode, 0); err != nil {
+			fired++
+			var f *Fault
+			if !errors.As(err, &f) {
+				t.Fatalf("not a *Fault: %v", err)
+			}
+			if f.Site != SiteDecode {
+				t.Errorf("site %q", f.Site)
+			}
+			in.Resolve(SiteDecode, Retried)
+		}
+	}
+	if fired != 4 {
+		t.Errorf("every=3 over 12 checks fired %d times, want 4", fired)
+	}
+	if !in.Reconciled() {
+		t.Error("not reconciled")
+	}
+}
+
+func TestProbDeterminism(t *testing.T) {
+	run := func(seed uint64) []int {
+		in := New(seed)
+		in.Arm(SiteAltOp, Rule{Prob: 0.25})
+		var hits []int
+		for i := 0; i < 400; i++ {
+			if in.Check(SiteAltOp, 0) != nil {
+				in.Resolve(SiteAltOp, Degraded)
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("prob=0.25 never fired in 400 checks")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %d vs %d fires", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at fire %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+	// ~0.25 of 400 = 100; allow a wide deterministic band.
+	if len(a) < 60 || len(a) > 140 {
+		t.Errorf("prob=0.25 fired %d/400 times", len(a))
+	}
+}
+
+func TestRIPAndLimitTriggers(t *testing.T) {
+	in := New(7)
+	in.Arm(SiteCorrTrap, Rule{Every: 1, RIP: 0x4000, Limit: 2})
+	fires := 0
+	for i := 0; i < 10; i++ {
+		rip := uint64(0x4000)
+		if i%2 == 1 {
+			rip = 0x5000
+		}
+		if in.Check(SiteCorrTrap, rip) != nil {
+			fires++
+			in.Resolve(SiteCorrTrap, Degraded)
+		}
+	}
+	if fires != 2 {
+		t.Errorf("rip+limit rule fired %d times, want 2", fires)
+	}
+}
+
+func TestReconciledDetectsMissingResolution(t *testing.T) {
+	in := New(3)
+	in.Arm(SiteGCScan, Rule{Every: 1})
+	if in.Check(SiteGCScan, 0) == nil {
+		t.Fatal("every=1 did not fire")
+	}
+	if in.Reconciled() {
+		t.Error("reconciled with an unresolved fault")
+	}
+	in.Resolve(SiteGCScan, Fatal)
+	if !in.Reconciled() {
+		t.Error("not reconciled after resolution")
+	}
+	st := in.Stats(SiteGCScan)
+	if st.Fired != 1 || st.Fatal != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	in, err := ParseSpec("alt.op:every=2;heap.alloc:prob=0.5,limit=3", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Check(SiteAltOp, 0) != nil {
+		t.Error("alt.op fired on first check with every=2")
+	}
+	if in.Check(SiteAltOp, 0) == nil {
+		t.Error("alt.op did not fire on second check")
+	} else {
+		in.Resolve(SiteAltOp, Retried)
+	}
+
+	for _, bad := range []string{
+		"nope:every=1",   // unknown site
+		"alt.op",         // missing colon
+		"alt.op:every=0", // bad every
+		"alt.op:prob=2",  // bad prob
+		"alt.op:rip=zz",  // bad rip
+		"alt.op:limit=1", // no trigger
+		"alt.op:frob=1",  // unknown key
+		"alt.op:every",   // bad kv
+	} {
+		if _, err := ParseSpec(bad, 0); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+
+	all, err := ParseSpec("all:every=10", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Sites() {
+		for i := 0; i < 10; i++ {
+			if e := all.Check(s, 0); e != nil {
+				all.Resolve(s, Retried)
+			}
+		}
+		if all.Stats(s).Fired != 1 {
+			t.Errorf("site %s fired %d in 10 checks with every=10", s, all.Stats(s).Fired)
+		}
+	}
+}
+
+func TestConcurrentChecks(t *testing.T) {
+	in := New(11)
+	in.ArmAll(Rule{Every: 5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				for _, s := range Sites() {
+					if in.Check(s, uint64(i)) != nil {
+						in.Resolve(s, Retried)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !in.Reconciled() {
+		t.Error("concurrent ledger not reconciled")
+	}
+	tot := in.Totals()
+	if tot.Checks != 8*500*uint64(len(Sites())) {
+		t.Errorf("checks = %d", tot.Checks)
+	}
+	if tot.Fired == 0 || tot.Fired != tot.Retried {
+		t.Errorf("totals %+v", tot)
+	}
+}

@@ -8,6 +8,7 @@ package fpvm
 
 import (
 	"fpvm/internal/alt"
+	"fpvm/internal/faultinject"
 	"fpvm/internal/isa"
 )
 
@@ -65,7 +66,39 @@ type Config struct {
 	// §4.1 tradeoff discussion — longer sequences, but software-emulating
 	// work the hardware would have done faster.
 	EmulateAll bool
+
+	// Inject, when set, arms fault injection at the pipeline's named
+	// sites (alt.op, heap.alloc, decode, kernel.deliver, corr.trap,
+	// gc.scan). Injected faults are fed to the recovery ladder: bounded
+	// retry, degradation to native IEEE, or clean detach.
+	Inject *faultinject.Injector
+
+	// MaxLiveBoxes is a hard cap on the live box population (0 =
+	// unbounded). At the cap the runtime forces a collection; if the heap
+	// is still full, the result is stored as a plain IEEE double (a
+	// degradation) instead of growing without bound.
+	MaxLiveBoxes int
+
+	// RetryBudget is the per-site, per-trap transient retry budget of the
+	// recovery ladder (0 = default 3). When a site's budget is exhausted
+	// within one trap, further faults there degrade instead of retrying.
+	RetryBudget int
+
+	// TrapCycleBudget is the per-trap virtual-cycle watchdog: sequence
+	// emulation that charges more than this many cycles within a single
+	// trap is aborted (the sequence ends early; the guest simply traps
+	// again). 0 = default 10M cycles.
+	TrapCycleBudget uint64
 }
+
+// DefaultRetryBudget is the per-site per-trap retry budget when
+// Config.RetryBudget is 0.
+const DefaultRetryBudget = 3
+
+// DefaultTrapCycleBudget is the watchdog budget when Config.TrapCycleBudget
+// is 0 — far above any legitimate trap (a full 256-instruction MPFR
+// sequence stays under ~3M cycles).
+const DefaultTrapCycleBudget = 10_000_000
 
 // ConfigName renders the paper's config label (NONE/SEQ/SHORT/SEQ SHORT).
 func (c Config) ConfigName() string {

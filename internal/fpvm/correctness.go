@@ -1,6 +1,7 @@
 package fpvm
 
 import (
+	"fpvm/internal/faultinject"
 	"fpvm/internal/isa"
 	"fpvm/internal/kernel"
 	"fpvm/internal/machine"
@@ -16,15 +17,44 @@ import (
 // handleCorrectnessTrap is the SIGTRAP handler: RIP points just past the
 // int3, i.e. at the patched instruction.
 func (r *Runtime) handleCorrectnessTrap(uc *kernel.Ucontext) {
+	if r.detached {
+		// After detach every box has been demoted in place, so the
+		// patched instruction observes plain IEEE bits; nothing to do.
+		r.Aborted++
+		r.Tel.AbortedTraps++
+		return
+	}
 	c := r.p.K.Costs
 	// The whole delegation round-trip is correctness overhead (hw +
 	// signal delivery + sigreturn), per the paper's corr accounting.
 	r.Tel.Add(telemetry.Corr, c.HWDispatch+c.SignalDeliver+c.Sigreturn)
 	r.Tel.CorrEvents++
 	r.charge(telemetry.Corr, r.Costs.CorrHandler)
-	if err := r.demoteForInstruction(&uc.CPU, uc.CPU.RIP); err != nil {
-		r.fail(err)
+	if r.corrFaulted(uc.CPU.RIP, &uc.CPU) {
+		return
 	}
+	if err := r.demoteForInstruction(&uc.CPU, uc.CPU.RIP); err != nil {
+		r.fatal(uc, uc.CPU.RIP, err)
+	}
+}
+
+// corrFaulted runs the corr.trap fault site for a correctness event at
+// site. When the retry budget runs out the handler degrades to the
+// conservative full sweep: every boxed word the patched instruction could
+// possibly observe — all registers and all writable memory — is demoted
+// in place. Always safe (boxes decode to their IEEE value), just slow;
+// the runtime stays attached. Returns true when the sweep replaced the
+// targeted demotion.
+func (r *Runtime) corrFaulted(site uint64, cpu *machine.CPU) bool {
+	for r.checkFault(faultinject.SiteCorrTrap, site) {
+		if !r.retryFault(faultinject.SiteCorrTrap) {
+			r.degradeFault(faultinject.SiteCorrTrap)
+			r.demoteRoots(cpu)
+			r.demoteMemory()
+			return true
+		}
+	}
+	return false
 }
 
 // magicTrapHandler is the host bridge target reached through the magic
@@ -35,12 +65,20 @@ func (r *Runtime) handleCorrectnessTrap(uc *kernel.Ucontext) {
 //	[rsp+8] = return address to the patch site = address of the patched
 //	          instruction
 func (r *Runtime) magicTrapHandler(p *kernel.Process) error {
+	if r.detached {
+		r.Aborted++
+		r.Tel.AbortedTraps++
+		return nil
+	}
 	r.Tel.CorrEvents++
 	r.charge(telemetry.Corr, r.Costs.MagicCall+r.Costs.CorrHandler)
 	sp := p.M.CPU.GPR[isa.RSP]
 	site, err := p.M.Mem.ReadUint64(sp + 8)
 	if err != nil {
 		return err
+	}
+	if r.corrFaulted(site, &p.M.CPU) {
+		return nil
 	}
 	// The patched instruction will execute after both returns pop their
 	// frames, i.e. with rsp 16 bytes higher than it is here. Stack-relative

@@ -8,8 +8,10 @@ import (
 
 	"fpvm/internal/alt"
 	"fpvm/internal/asm"
+	"fpvm/internal/fpmath"
 	fpvmrt "fpvm/internal/fpvm"
 	"fpvm/internal/isa"
+	"fpvm/internal/nanbox"
 	"fpvm/internal/obj"
 )
 
@@ -43,6 +45,78 @@ func TestDifferentialFuzz(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestCorruptedBoxCorpus feeds the trap pipeline 64-bit words that *look*
+// like FPVM NaN boxes but are not live allocations: high handles near the
+// encoding limit (small handles would risk colliding with genuinely live
+// boxes), sign-flipped boxes, a quiet NaN carrying the tag bit, a tagless
+// signaling NaN, and the canonical NaN. The runtime must fall back on the
+// allocator's liveness check, treat each as an application NaN, and stay
+// bit-for-bit with native — never crash or dereference a stale handle.
+func TestCorruptedBoxCorpus(t *testing.T) {
+	corpus := []struct {
+		name string
+		bits uint64
+	}{
+		{"box-max-handle", nanbox.Box(nanbox.MaxHandle)},
+		{"box-max-handle-1", nanbox.Box(nanbox.MaxHandle - 1)},
+		{"box-high-bit-handle", nanbox.Box(1 << 49)},
+		{"box-sign-flipped", 1<<63 | nanbox.Box(nanbox.MaxHandle)},
+		{"quiet-nan-with-tag", fpmath.ExpMask | fpmath.QuietBit | 1<<50 | 42},
+		{"tagless-snan", fpmath.ExpMask | 7},
+		{"canonical-nan", nanbox.Canonical()},
+	}
+	for _, c := range corpus {
+		if got := nanbox.Classify(c.bits); c.name[:3] == "box" != (got == nanbox.KindBoxPattern) {
+			t.Fatalf("%s: Classify = %v (corpus word mislabeled)", c.name, got)
+		}
+		img := genPoisonProgram(t, c.name, c.bits)
+		native := runNativeRig(t, img)
+		for _, cfg := range []fpvmrt.Config{
+			{Alt: alt.NewBoxedIEEE()},
+			{Alt: alt.NewBoxedIEEE(), Seq: true},
+			{Alt: alt.NewBoxedIEEE(), Seq: true, Short: true},
+		} {
+			got := newRig(t, img, cfg, true).run(t)
+			if got != native {
+				t.Errorf("%s under %s diverged:\n fpvm:   %q\n native: %q",
+					c.name, cfgLabel(cfg), got, native)
+			}
+		}
+	}
+}
+
+// genPoisonProgram loads the poison word, consumes it in arithmetic (the
+// signaling variants trap), round-trips it through a GPR, compares it,
+// and prints both the arithmetic result and the round-tripped value.
+func genPoisonProgram(t *testing.T, name string, bits uint64) *obj.Image {
+	t.Helper()
+	b := asm.NewBuilder("poison-" + name)
+	b.Quad("poison", bits)
+	b.RoDouble("one", 1)
+	b.Func("main")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "poison")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM1), "one")
+	b.RM(isa.ADDSD, isa.XMM(isa.XMM1), isa.XMM(isa.XMM0)) // consume poison
+	b.RM(isa.MOVQGX, isa.GPR(isa.RBX), isa.XMM(isa.XMM0)) // raw pattern to GPR
+	b.RM(isa.MOVQXG, isa.XMM(isa.XMM2), isa.GPR(isa.RBX)) // and back
+	b.RM(isa.UCOMISD, isa.XMM(isa.XMM2), isa.XMM(isa.XMM1))
+	b.Branch(isa.JNE, "skip")
+	b.RM(isa.ADDSD, isa.XMM(isa.XMM1), isa.XMM(isa.XMM1))
+	b.Label("skip")
+	b.RM(isa.MOVSDXX, isa.XMM(isa.XMM0), isa.XMM(isa.XMM1))
+	b.CallImport("print_f64")
+	b.RM(isa.MOVSDXX, isa.XMM(isa.XMM0), isa.XMM(isa.XMM2))
+	b.CallImport("print_f64")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return img
 }
 
 func cfgLabel(cfg fpvmrt.Config) string {

@@ -6,6 +6,7 @@ import (
 
 	"fpvm/internal/alt"
 	"fpvm/internal/dcache"
+	"fpvm/internal/faultinject"
 	"fpvm/internal/fpmath"
 	"fpvm/internal/isa"
 	"fpvm/internal/kernel"
@@ -321,6 +322,14 @@ const (
 // returns the bits to store (boxed, or an application-visible NaN for
 // real NaNs from ordinary operands, §2.3).
 func (r *Runtime) altScalar(op isa.Op, dstBits, srcBits uint64) uint64 {
+	for r.checkFault(faultinject.SiteAltOp, r.curRIP) {
+		if !r.retryFault(faultinject.SiteAltOp) {
+			// Alt-system failure: demote the operands and re-run the
+			// operation as native IEEE — the ladder's degradable rung.
+			r.degradeFault(faultinject.SiteAltOp)
+			return r.nativeScalar(op, dstBits, srcBits)
+		}
+	}
 	fop := scalarToFPOp(op)
 	var a, b alt.Value
 	var aBoxed, bBoxed bool
@@ -346,8 +355,26 @@ func (r *Runtime) altScalar(op isa.Op, dstBits, srcBits uint64) uint64 {
 	return r.box(res)
 }
 
+// nativeScalar is the degraded arithmetic path: demote the operands and
+// compute with exact native IEEE semantics; the result is plain bits,
+// never boxed.
+func (r *Runtime) nativeScalar(op isa.Op, dstBits, srcBits uint64) uint64 {
+	fop := scalarToFPOp(op)
+	if fop == fpmath.OpSqrt {
+		return fpmath.Bits(fpmath.Eval(fop, f64(r.demote(srcBits)), 0).Value)
+	}
+	return fpmath.Bits(fpmath.Eval(fop, f64(r.demote(dstBits)), f64(r.demote(srcBits))).Value)
+}
+
 // altCompare compares two lanes through the alternative system.
 func (r *Runtime) altCompare(aBits, bBits uint64) fpmath.CompareResult {
+	for r.checkFault(faultinject.SiteAltOp, r.curRIP) {
+		if !r.retryFault(faultinject.SiteAltOp) {
+			// Degrade: compare the demoted operands natively.
+			r.degradeFault(faultinject.SiteAltOp)
+			return fpmath.Compare(f64(r.demote(aBits)), f64(r.demote(bBits)), false)
+		}
+	}
 	a, _ := r.resolve(aBits)
 	b, _ := r.resolve(bBits)
 	cr, cost := r.Cfg.Alt.Compare(a, b)

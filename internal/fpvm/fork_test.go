@@ -6,6 +6,7 @@ import (
 
 	"fpvm/internal/alt"
 	"fpvm/internal/asm"
+	"fpvm/internal/faultinject"
 	fpvmrt "fpvm/internal/fpvm"
 	"fpvm/internal/isa"
 	"fpvm/internal/kernel"
@@ -96,6 +97,102 @@ func TestForkVirtualizedProcess(t *testing.T) {
 	// parent's (clone, not share).
 	if parent.rt.Allocator() == childRT.Allocator() {
 		t.Error("allocator shared across fork")
+	}
+}
+
+// TestForkInheritsRecoveryState: fault semantics across fork (§2.1's
+// fork story extended to the recovery ladder). The parent accumulates
+// degradations before the fork; the child must start from a deep copy of
+// that ladder state (same counters at the fork point, independent
+// accumulation afterwards), share the deterministic injector, and still
+// produce the right answer.
+func TestForkInheritsRecoveryState(t *testing.T) {
+	b := asm.NewBuilder("forked-faults")
+	b.RoDouble("one", 1)
+	b.RoDouble("three", 3)
+	b.Double("step", 1)
+	b.Func("main")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three")
+	b.Op0(isa.INT3) // fork marker
+	b.RMData(isa.ADDSD, isa.XMM(isa.XMM0), "step")
+	b.CallImport("print_f64")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepSym, ok := img.Lookup("step")
+	if !ok {
+		t.Fatal("no step symbol")
+	}
+
+	// every=1 at the alt.op site: every emulated operation degrades after
+	// its retry budget drains, so the parent carries ladder state into the
+	// fork.
+	inj := faultinject.New(7)
+	inj.Arm(faultinject.SiteAltOp, faultinject.Rule{Every: 1})
+	parent := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true, Inject: inj}, true)
+
+	var child *kernel.Process
+	var childRT *fpvmrt.Runtime
+	var snapDegr, snapRetr uint64
+	parent.p.BreakpointHook = func(uc *kernel.Ucontext) bool {
+		if child != nil {
+			return true
+		}
+		parent.p.M.CPU = uc.CPU
+		snapDegr, snapRetr = parent.rt.Degradations, parent.rt.Retries
+		child = parent.p.Fork("child")
+		childRT = parent.rt.ForkChild(child)
+		if err := child.M.Mem.WriteUint64(stepSym.Addr, 0x4000000000000000); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	}
+
+	if err := parent.p.Run(0); err != nil {
+		t.Fatalf("parent: %v", err)
+	}
+	if child == nil {
+		t.Fatal("fork marker never hit")
+	}
+	if snapDegr == 0 {
+		t.Fatal("parent accumulated no degradations before fork (injection not exercised)")
+	}
+	if childRT.Degradations != snapDegr || childRT.Retries != snapRetr {
+		t.Errorf("child ladder counters not a snapshot of the fork point: child %d/%d, fork %d/%d",
+			childRT.Degradations, childRT.Retries, snapDegr, snapRetr)
+	}
+	if err := child.Run(0); err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	if err := parent.rt.Err(); err != nil {
+		t.Fatalf("parent fpvm: %v", err)
+	}
+	if err := childRT.Err(); err != nil {
+		t.Fatalf("child fpvm: %v", err)
+	}
+
+	// Both sides degrade independently after the fork...
+	if parent.rt.Degradations <= snapDegr {
+		t.Error("parent stopped degrading after fork")
+	}
+	if childRT.Degradations <= snapDegr {
+		t.Error("child did not continue degrading from its snapshot")
+	}
+	// ...and both still print exact results (degradation is native IEEE).
+	if out := parent.p.Stdout.String(); !strings.HasPrefix(out, "1.3333333333333333") {
+		t.Errorf("parent printed %q, want 1/3+1", out)
+	}
+	if out := child.Stdout.String(); !strings.HasPrefix(out, "2.3333333333333335") {
+		t.Errorf("child printed %q, want 1/3+2", out)
+	}
+	// The shared injector's ledger covers both processes and reconciles.
+	if !inj.Reconciled() {
+		t.Errorf("shared injector ledger broken across fork:\n%s", inj.Report())
 	}
 }
 

@@ -1,0 +1,425 @@
+package fpvm
+
+import (
+	"fmt"
+	"math"
+
+	"fpvm/internal/alt"
+	"fpvm/internal/dcache"
+	"fpvm/internal/faultinject"
+	"fpvm/internal/fpmath"
+	"fpvm/internal/heap"
+	"fpvm/internal/isa"
+	"fpvm/internal/kernel"
+	"fpvm/internal/machine"
+	"fpvm/internal/telemetry"
+)
+
+// The recovery ladder (this file) replaces the old sticky-error behaviour
+// of Runtime.fail(): every failure in the trap pipeline is classified and
+// resolved by exactly one rung —
+//
+//	transient  → bounded retry (per-site, per-trap budget)
+//	degradable → demote the NaN-boxed operands and re-run the work as
+//	             native IEEE; the program continues at reduced precision
+//	fatal      → detach cleanly: restore MXCSR to non-trapping, demote
+//	             every live box in registers and memory, and leave the
+//	             guest running un-virtualized (the paper's "do no harm"
+//	             contract)
+//
+// Panics inside the emulator become degradation events (recoverTrapPanic),
+// and a per-trap virtual-cycle watchdog cuts off runaway sequence
+// emulation.
+
+// trapPhase tracks what the runtime was doing when a panic is recovered:
+// instruction-phase panics degrade to a native re-run of the instruction;
+// anything else (GC, bookkeeping) detaches, since shared state may be
+// mid-mutation.
+type trapPhase uint8
+
+const (
+	phaseNone trapPhase = iota
+	phaseInst
+	phaseGC
+)
+
+// recoveryState is the ladder's mutable bookkeeping. It is per-runtime
+// and deep-copied on fork so a child's faults never mutate the parent.
+type recoveryState struct {
+	// budget maps each site to its remaining retries for the trap being
+	// handled; entries are cleared at every trap entry.
+	budget map[faultinject.Site]int
+}
+
+func (s *recoveryState) clone() recoveryState {
+	out := recoveryState{}
+	if s.budget != nil {
+		out.budget = make(map[faultinject.Site]int, len(s.budget))
+		for k, v := range s.budget {
+			out.budget[k] = v
+		}
+	}
+	return out
+}
+
+// resetTrap starts a fresh per-trap retry budget.
+func (s *recoveryState) resetTrap() {
+	for k := range s.budget {
+		delete(s.budget, k)
+	}
+}
+
+// checkFault consults the injector at site and reports whether a fault
+// fired, counting it in telemetry.
+func (r *Runtime) checkFault(site faultinject.Site, rip uint64) bool {
+	if r.inject.Check(site, rip) == nil {
+		return false
+	}
+	r.Tel.FaultsInjected++
+	return true
+}
+
+// retryFault consumes one unit of site's per-trap retry budget. It
+// returns true if the caller should retry the operation (the fault is
+// resolved as Retried); false when the budget is exhausted — the caller
+// must then degrade (or escalate) and record that resolution itself.
+func (r *Runtime) retryFault(site faultinject.Site) bool {
+	if r.rec.budget == nil {
+		r.rec.budget = make(map[faultinject.Site]int)
+	}
+	b, ok := r.rec.budget[site]
+	if !ok {
+		b = r.retryBudget()
+	}
+	if b <= 0 {
+		return false
+	}
+	r.rec.budget[site] = b - 1
+	r.Retries++
+	r.Tel.FaultsRetried++
+	r.inject.Resolve(site, faultinject.Retried)
+	return true
+}
+
+// degradeFault records an injected fault at site as resolved by
+// degradation. The caller performs the actual degradation.
+func (r *Runtime) degradeFault(site faultinject.Site) {
+	r.Degradations++
+	r.Tel.FaultsDegraded++
+	r.inject.Resolve(site, faultinject.Degraded)
+}
+
+// fatalFault records an injected fault at site as resolved by detach.
+func (r *Runtime) fatalFault(site faultinject.Site) {
+	r.Tel.FaultsFatal++
+	r.inject.Resolve(site, faultinject.Fatal)
+}
+
+func (r *Runtime) retryBudget() int {
+	if r.Cfg.RetryBudget > 0 {
+		return r.Cfg.RetryBudget
+	}
+	return DefaultRetryBudget
+}
+
+func (r *Runtime) trapCycleBudget() uint64 {
+	if r.Cfg.TrapCycleBudget > 0 {
+		return r.Cfg.TrapCycleBudget
+	}
+	return DefaultTrapCycleBudget
+}
+
+// fatal is the bottom rung: record a diagnosable error (trap RIP plus the
+// faulting instruction's mnemonic) and detach, leaving the guest running
+// un-virtualized. Unlike the old fail(), it does not kill the process.
+func (r *Runtime) fatal(uc *kernel.Ucontext, rip uint64, err error) {
+	if r.detached {
+		return
+	}
+	mnem := "?"
+	if in, ferr := r.m.FetchDecode(rip); ferr == nil {
+		mnem = in.String()
+	}
+	r.err = fmt.Errorf("fpvm: detached at %#x (%s): %w", rip, mnem, err)
+	r.FatalDetaches++
+	r.detach(uc)
+}
+
+// detach implements the "do no harm" contract: MXCSR stops trapping on
+// every thread, every live box reachable from registers or writable
+// memory is demoted in place to a plain IEEE double, and the short-circuit
+// registration is dropped. The guest continues executing natively; FPVM
+// only observes (and counts) any traps still wired to it.
+func (r *Runtime) detach(uc *kernel.Ucontext) {
+	r.detached = true
+	if uc != nil {
+		uc.CPU.MXCSR = machine.MXCSRDefault
+		r.demoteRoots(&uc.CPU)
+	}
+	for _, cpu := range r.p.AllCPUs() {
+		cpu.MXCSR = machine.MXCSRDefault
+		r.demoteRoots(cpu)
+	}
+	r.m.CPU.MXCSR = machine.MXCSRDefault
+	r.demoteMemory()
+	r.p.UnregisterFPVM()
+}
+
+// demoteRoots rewrites every NaN-boxed word in a register file to its
+// IEEE value.
+func (r *Runtime) demoteRoots(cpu *machine.CPU) {
+	for i, w := range cpu.GPR {
+		if r.boxedLive(w) {
+			cpu.GPR[i] = r.demoteTo(w, telemetry.Corr)
+		}
+	}
+	for i := range cpu.XMM {
+		for lane := 0; lane < 2; lane++ {
+			if r.boxedLive(cpu.XMM[i][lane]) {
+				cpu.XMM[i][lane] = r.demoteTo(cpu.XMM[i][lane], telemetry.Corr)
+			}
+		}
+	}
+}
+
+// demoteMemory sweeps every writable page, demoting boxed words in place
+// — the detach-time (and deep-degradation) analogue of the GC scan.
+func (r *Runtime) demoteMemory() {
+	as := r.m.Mem
+	for _, pa := range as.WritablePages() {
+		data, ok := as.PageData(pa)
+		if !ok {
+			continue
+		}
+		for off := 0; off+8 <= len(data); off += 8 {
+			bits := leUint64(data[off:])
+			if r.boxedLive(bits) {
+				_ = as.WriteUint64(pa+uint64(off), r.demoteTo(bits, telemetry.Corr))
+			}
+		}
+	}
+}
+
+func leUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// recoverTrapPanic converts a panic inside handleTrap — an emulator or
+// alt-system bug — into a degradation event: the instruction being
+// emulated is re-run as native IEEE on demoted operands and the guest
+// continues. A panic outside instruction context (e.g. mid-GC, where
+// allocator state may be inconsistent) detaches instead.
+func (r *Runtime) recoverTrapPanic(uc *kernel.Ucontext, pv any) {
+	r.PanicRecoveries++
+	r.Tel.PanicRecoveries++
+	entry := r.curEntry
+	if r.phase != phaseInst || entry == nil {
+		r.fatal(uc, r.curRIP, fmt.Errorf("panic outside instruction emulation: %v", pv))
+		return
+	}
+	if err := r.nativeInst(uc, entry); err != nil {
+		r.fatal(uc, entry.Inst.Addr, fmt.Errorf("native degradation after panic %v: %w", pv, err))
+		return
+	}
+	r.Degradations++
+	uc.CPU.RIP = entry.Inst.Addr + uint64(entry.Inst.Len)
+}
+
+// plainBits demotes an alt value straight to IEEE bits, bypassing the box
+// heap — the degraded storage path.
+func (r *Runtime) plainBits(v alt.Value) uint64 {
+	f, cost := r.Cfg.Alt.Demote(v)
+	r.charge(telemetry.Altmath, cost)
+	return bits64(f)
+}
+
+// nativeInst emulates one supported instruction with pure native IEEE
+// semantics: operands are demoted, the result is computed with fpmath and
+// stored as plain bits (never boxed). This is the ladder's degraded
+// re-run path, used after an alt-system fault or panic.
+func (r *Runtime) nativeInst(uc *kernel.Ucontext, e *dcache.Entry) error {
+	in := &e.Inst
+	switch classify(in.Op) {
+	case classMove:
+		return r.emulateMove(uc, in)
+
+	case classScalarArith:
+		srcBits, err := r.readOperand(uc, in, in.RMOp, 8)
+		if err != nil {
+			return err
+		}
+		dstBits := uc.CPU.XMM[in.RegOp.Reg][0]
+		fop := scalarToFPOp(in.Op)
+		var res fpmath.Result
+		if fop == fpmath.OpSqrt {
+			res = fpmath.Eval(fop, f64(r.demote(srcBits)), 0)
+		} else {
+			res = fpmath.Eval(fop, f64(r.demote(dstBits)), f64(r.demote(srcBits)))
+		}
+		uc.CPU.XMM[in.RegOp.Reg][0] = fpmath.Bits(res.Value)
+		return nil
+
+	case classPackedArith:
+		src, err := r.read128(uc, in, in.RMOp)
+		if err != nil {
+			return err
+		}
+		dst := uc.CPU.XMM[in.RegOp.Reg]
+		fop := scalarToFPOp(packedToScalar(in.Op))
+		for lane := 0; lane < 2; lane++ {
+			var res fpmath.Result
+			if fop == fpmath.OpSqrt {
+				res = fpmath.Eval(fop, f64(r.demote(src[lane])), 0)
+			} else {
+				res = fpmath.Eval(fop, f64(r.demote(dst[lane])), f64(r.demote(src[lane])))
+			}
+			dst[lane] = fpmath.Bits(res.Value)
+		}
+		uc.CPU.XMM[in.RegOp.Reg] = dst
+		return nil
+
+	case classScalarCmp, classCompare:
+		srcBits, err := r.readOperand(uc, in, in.RMOp, 8)
+		if err != nil {
+			return err
+		}
+		dstBits := uc.CPU.XMM[in.RegOp.Reg][0]
+		cr := fpmath.Compare(f64(r.demote(dstBits)), f64(r.demote(srcBits)), false)
+		if classify(in.Op) == classCompare {
+			f := uc.CPU.RFLAGS &^ machine64Flags
+			switch {
+			case cr.Unordered:
+				f |= flagZF | flagPF | flagCF
+			case cr.Less:
+				f |= flagCF
+			case cr.Equal:
+				f |= flagZF
+			}
+			uc.CPU.RFLAGS = f
+		} else if predicateHolds(in.Op, cr) {
+			uc.CPU.XMM[in.RegOp.Reg][0] = ^uint64(0)
+		} else {
+			uc.CPU.XMM[in.RegOp.Reg][0] = 0
+		}
+		return nil
+
+	case classPackedCmp:
+		src, err := r.read128(uc, in, in.RMOp)
+		if err != nil {
+			return err
+		}
+		dst := uc.CPU.XMM[in.RegOp.Reg]
+		sop := packedToScalar(in.Op)
+		var out [2]uint64
+		for lane := 0; lane < 2; lane++ {
+			cr := fpmath.Compare(f64(r.demote(dst[lane])), f64(r.demote(src[lane])), false)
+			if predicateHolds(sop, cr) {
+				out[lane] = ^uint64(0)
+			}
+		}
+		uc.CPU.XMM[in.RegOp.Reg] = out
+		return nil
+
+	case classCvtToInt:
+		srcBits, err := r.readOperand(uc, in, in.RMOp, 8)
+		if err != nil {
+			return err
+		}
+		f := f64(r.demote(srcBits))
+		var res int64
+		switch {
+		case math.IsNaN(f) || f >= 0x1p63 || f < -0x1p63:
+			res = math.MinInt64
+		case in.Op == isa.CVTTSD2SI:
+			res = int64(math.Trunc(f))
+		default:
+			res = int64(math.RoundToEven(f))
+		}
+		uc.CPU.GPR[in.RegOp.Reg] = uint64(res)
+		return nil
+
+	case classCvtFromInt:
+		v, err := r.readOperand(uc, in, in.RMOp, 8)
+		if err != nil {
+			return err
+		}
+		uc.CPU.XMM[in.RegOp.Reg][0] = bits64(float64(int64(v)))
+		return nil
+
+	case classRound:
+		srcBits, err := r.readOperand(uc, in, in.RMOp, 8)
+		if err != nil {
+			return err
+		}
+		f := f64(r.demote(srcBits))
+		var rv float64
+		switch in.Imm & 3 {
+		case 0:
+			rv = math.RoundToEven(f)
+		case 1:
+			rv = math.Floor(f)
+		case 2:
+			rv = math.Ceil(f)
+		default:
+			rv = math.Trunc(f)
+		}
+		uc.CPU.XMM[in.RegOp.Reg][0] = bits64(rv)
+		return nil
+	}
+	return fmt.Errorf("fpvm: nativeInst on unsupported op %s", in.Op)
+}
+
+// boxOrDegrade allocates a heap box for v (after temps), enforcing the
+// MaxLiveBoxes hard cap: at the cap it forces a collection and, if the
+// heap is still full, stores the value as plain IEEE bits instead — the
+// heap.ErrHeapFull degradation of the ladder.
+func (r *Runtime) boxOrDegrade(v alt.Value, sign uint64) uint64 {
+	if r.alloc.AtCap() {
+		r.forceGC()
+	}
+	h, err := r.alloc.TryAlloc(v)
+	if err != nil { // heap.ErrHeapFull even after collecting
+		r.HeapFullDegrades++
+		r.Degradations++
+		return r.plainBits(v) ^ sign
+	}
+	r.Boxes++
+	return boxBits(h) | sign
+}
+
+// forceGC runs an immediate collection (cap pressure), using the current
+// trap's ucontext as the authoritative root set for the trapping thread
+// when available.
+func (r *Runtime) forceGC() {
+	var roots []*heap.Roots
+	if r.curUC != nil {
+		roots = append(roots, &heap.Roots{GPR: r.curUC.CPU.GPR, XMM: r.curUC.CPU.XMM})
+	}
+	for _, cpu := range r.p.AllCPUs() {
+		if r.curUC != nil && cpu == &r.m.CPU {
+			continue // the trapping thread: curUC is authoritative
+		}
+		roots = append(roots, &heap.Roots{GPR: cpu.GPR, XMM: cpu.XMM})
+	}
+	r.collect(roots)
+}
+
+// collect wraps Allocator.Collect with the gc.scan fault site: transient
+// scan faults retry; once the budget is exhausted the collection is
+// skipped (reclamation is deferred — safe, only memory pressure suffers).
+func (r *Runtime) collect(roots []*heap.Roots) {
+	prevPhase := r.phase
+	r.phase = phaseGC
+	defer func() { r.phase = prevPhase }()
+	for r.checkFault(faultinject.SiteGCScan, r.curRIP) {
+		if !r.retryFault(faultinject.SiteGCScan) {
+			r.degradeFault(faultinject.SiteGCScan)
+			r.GCSkips++
+			return
+		}
+	}
+	_, cycles := r.alloc.Collect(r.m.Mem, roots...)
+	r.GCRuns++
+	r.charge(telemetry.GC, cycles)
+}

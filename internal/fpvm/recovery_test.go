@@ -1,0 +1,225 @@
+package fpvm_test
+
+import (
+	"strings"
+	"testing"
+
+	"fpvm/internal/alt"
+	"fpvm/internal/asm"
+	"fpvm/internal/faultinject"
+	fpvmrt "fpvm/internal/fpvm"
+	"fpvm/internal/isa"
+)
+
+// buildChain assembles a straight-line chain of boxed arithmetic:
+// x = 1/3; repeat n times { x = x + 1/3 }; print_f64(x); exit. Every addsd
+// consumes a boxed operand, so each one either traps (NONE) or extends a
+// sequence (SEQ).
+func buildChain(t *testing.T, n int) *asm.Builder {
+	t.Helper()
+	b := asm.NewBuilder("chain")
+	b.RoDouble("one", 1)
+	b.RoDouble("three", 3)
+	b.Func("main")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM1), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM1), "three")
+	for i := 0; i < n; i++ {
+		b.RM(isa.ADDSD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM1))
+	}
+	b.CallImport("print_f64")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	return b
+}
+
+// TestLadderRetryResolvesTransients: an every-N rule fires, the retry
+// re-consults the injector, and the operation goes through on the second
+// attempt. The run completes with the exact result and every fault
+// resolves as a retry.
+func TestLadderRetryResolvesTransients(t *testing.T) {
+	img, err := buildChain(t, 8).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(1)
+	inj.ArmAll(faultinject.Rule{Every: 5})
+	r := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true, Inject: inj}, true)
+	out := r.run(t)
+	if !strings.HasPrefix(out, "3") {
+		t.Errorf("chain printed %q, want 3.0", out)
+	}
+	if r.rt.Retries == 0 {
+		t.Fatal("no transient retries recorded (injection not exercised)")
+	}
+	if r.rt.Tel.FaultsInjected == 0 || !r.rt.Tel.FaultsReconciled() {
+		t.Errorf("fault ledger broken: %s", r.rt.Tel.FaultLine())
+	}
+	if !inj.Reconciled() {
+		t.Errorf("injector ledger broken:\n%s", inj.Report())
+	}
+}
+
+// TestLadderDegradesWhenBudgetExhausted: an every=1 rule fires on every
+// check, so each site's per-trap retry budget drains and the ladder's
+// degradable rung takes over: operations re-run as native IEEE. Under
+// Boxed IEEE the degraded result is bit-exact, so the program still
+// prints the right answer — with zero fatal resolutions.
+func TestLadderDegradesWhenBudgetExhausted(t *testing.T) {
+	img, err := buildChain(t, 8).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(1)
+	inj.Arm(faultinject.SiteAltOp, faultinject.Rule{Every: 1})
+	inj.Arm(faultinject.SiteHeapAlloc, faultinject.Rule{Every: 1})
+	r := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true, Inject: inj}, true)
+	out := r.run(t)
+	if !strings.HasPrefix(out, "3") {
+		t.Errorf("degraded chain printed %q, want 3.0", out)
+	}
+	if r.rt.Degradations == 0 {
+		t.Fatal("budget exhaustion produced no degradations")
+	}
+	if r.rt.Detached() {
+		t.Error("degradable faults escalated to detach")
+	}
+	tot := inj.Totals()
+	if tot.Fatal != 0 {
+		t.Errorf("degradable faults resolved as fatal: retried=%d degraded=%d fatal=%d",
+			tot.Retried, tot.Degraded, tot.Fatal)
+	}
+	if !r.rt.Tel.FaultsReconciled() {
+		t.Errorf("ledger: %s", r.rt.Tel.FaultLine())
+	}
+}
+
+// TestPanicRecoveryDegrades: a buggy alternative system panics
+// mid-emulation; the runtime converts each panic into a degradation (the
+// instruction re-runs as native IEEE) instead of crashing, and under
+// Boxed IEEE the output stays bit-exact.
+func TestPanicRecoveryDegrades(t *testing.T) {
+	img, err := buildChain(t, 12).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := alt.NewFlaky(alt.NewBoxedIEEE(), 5)
+	r := newRig(t, img, fpvmrt.Config{Alt: flaky, Seq: true}, true)
+	out := r.run(t)
+	if !strings.HasPrefix(out, "4.333333333333333") {
+		t.Errorf("flaky run printed %q, want 4.333...", out)
+	}
+	if flaky.Panics == 0 {
+		t.Fatal("flaky system never panicked (test not exercising recovery)")
+	}
+	if r.rt.PanicRecoveries != flaky.Panics {
+		t.Errorf("panics %d but recoveries %d", flaky.Panics, r.rt.PanicRecoveries)
+	}
+	if r.rt.Detached() {
+		t.Error("panic recovery escalated to detach")
+	}
+}
+
+// TestWatchdogCutsSequences: with a one-cycle trap budget, sequence
+// emulation is cut after the first instruction of every trap. Execution
+// still completes correctly — the guest simply traps more often.
+func TestWatchdogCutsSequences(t *testing.T) {
+	img, err := buildChain(t, 16).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true, TrapCycleBudget: 1}, true)
+	out := r.run(t)
+	if !strings.HasPrefix(out, "5.666666666666665") {
+		t.Errorf("watchdog run printed %q", out)
+	}
+	if r.rt.WatchdogAborts == 0 {
+		t.Fatal("watchdog never fired despite 1-cycle budget")
+	}
+	if r.rt.Tel.WatchdogAborts != r.rt.WatchdogAborts {
+		t.Error("watchdog counters disagree between runtime and telemetry")
+	}
+}
+
+// TestFatalDetachDoesNoHarm: a decode fault on the faulting instruction
+// itself leaves the ladder nothing to degrade to, so FPVM detaches. The
+// contract is "do no harm": MXCSR stops trapping, live boxes demote in
+// place, and the guest finishes natively with the correct output.
+func TestFatalDetachDoesNoHarm(t *testing.T) {
+	img, err := buildChain(t, 8).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(1)
+	inj.Arm(faultinject.SiteDecode, faultinject.Rule{Prob: 1})
+	r := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true, Inject: inj}, true)
+	if err := r.p.Run(10_000_000); err != nil {
+		t.Fatalf("guest did not survive detach: %v", err)
+	}
+	if !r.rt.Detached() {
+		t.Fatal("runtime did not detach")
+	}
+	rerr := r.rt.Err()
+	if rerr == nil {
+		t.Fatal("detach left no diagnosable error")
+	}
+	if !strings.Contains(rerr.Error(), "detached at") {
+		t.Errorf("error lacks trap RIP context: %v", rerr)
+	}
+	out := r.p.Stdout.String()
+	if !strings.HasPrefix(out, "3") {
+		t.Errorf("detached guest printed %q, want native 3.0", out)
+	}
+	if r.p.Exited != true {
+		t.Error("guest did not run to completion after detach")
+	}
+}
+
+// TestMaxLiveBoxesDegrades: with a hard cap smaller than the program's
+// live boxed working set, allocation at the cap forces a collection and,
+// when the heap is still full, degrades the result to plain IEEE bits.
+// The answer stays bit-exact under Boxed IEEE.
+func TestMaxLiveBoxesDegrades(t *testing.T) {
+	img, err := buildChain(t, 8).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true, MaxLiveBoxes: 1}, true)
+	out := r.run(t)
+	if !strings.HasPrefix(out, "3") {
+		t.Errorf("capped run printed %q, want 3.0", out)
+	}
+	if r.rt.HeapFullDegrades == 0 {
+		t.Fatal("MaxLiveBoxes cap never degraded an allocation")
+	}
+	if got := r.rt.Allocator().Stats.MaxLive; got > 1 {
+		t.Errorf("live box population peaked at %d, cap was 1", got)
+	}
+}
+
+// TestErrWrapsRIPAndMnemonic: the detach error names the faulting
+// instruction, satisfying the diagnosability requirement that replaced
+// the old silent fail().
+func TestErrWrapsRIPAndMnemonic(t *testing.T) {
+	// An FP trap whose faulting instruction FPVM cannot emulate: force it
+	// by making the decode site fatal at the first trap (as above) and
+	// checking the mnemonic of the trapping divsd appears.
+	img, err := buildChain(t, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(3)
+	inj.Arm(faultinject.SiteDecode, faultinject.Rule{Prob: 1})
+	r := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Inject: inj}, true)
+	_ = r.p.Run(10_000_000)
+	rerr := r.rt.Err()
+	if rerr == nil {
+		t.Fatal("no error after forced fatal decode fault")
+	}
+	msg := rerr.Error()
+	if !strings.Contains(msg, "0x") || !strings.Contains(msg, "divsd") {
+		t.Errorf("error %q lacks RIP or mnemonic", msg)
+	}
+}

@@ -1,10 +1,12 @@
 package fpvm
 
 import (
+	"errors"
 	"fmt"
 
 	"fpvm/internal/alt"
 	"fpvm/internal/dcache"
+	"fpvm/internal/faultinject"
 	"fpvm/internal/heap"
 	"fpvm/internal/hostlib"
 	"fpvm/internal/kernel"
@@ -43,12 +45,31 @@ type Runtime struct {
 	SeqLimitHit    uint64
 	ThreadContexts uint64 // per-thread FPVM contexts created (§2.1)
 
+	// Recovery ladder stats (see recovery.go).
+	Retries          uint64 // transient faults resolved by retry
+	Degradations     uint64 // operations degraded to native IEEE (or safely skipped)
+	HeapFullDegrades uint64 // boxes degraded to plain bits at the MaxLiveBoxes cap
+	GCSkips          uint64 // collections skipped after gc.scan fault budgets ran out
+	PanicRecoveries  uint64 // emulator panics converted to degradations
+	WatchdogAborts   uint64 // sequences cut short by the per-trap cycle watchdog
+	FatalDetaches    uint64 // fatal errors resolved by clean detach
+	Aborted          uint64 // traps observed after detach (not emulated)
+
 	wrapped      map[string]bool   // foreign symbols wrapped (fcall accounting)
 	wrapperAddrs map[string]uint64 // wrapper host addresses by symbol
 	lib          *hostlib.Library  // the wrapped library
 	magicAddr    uint64            // host address of the magic trap handler
 
-	err error // first fatal emulation error
+	// Recovery ladder state.
+	inject   *faultinject.Injector
+	rec      recoveryState
+	detached bool
+	curUC    *kernel.Ucontext // ucontext of the trap being handled
+	curRIP   uint64           // instruction the pipeline is working on
+	curEntry *dcache.Entry    // decode of that instruction, once known
+	phase    trapPhase
+
+	err error // first fatal (detaching) emulation error
 }
 
 // Attach installs FPVM onto a process: it configures MXCSR to trap on
@@ -75,6 +96,9 @@ func Attach(p *kernel.Process, cfg Config) (*Runtime, error) {
 	if cfg.Profile {
 		r.Profile = dcache.NewSeqProfile()
 	}
+	r.inject = cfg.Inject
+	r.alloc.MaxLive = cfg.MaxLiveBoxes
+	p.Inject = cfg.Inject
 
 	// FPVM manages mxcsr so every FP exception traps (§2.3).
 	r.m.CPU.MXCSR = machine.MXCSRTrapAll
@@ -139,6 +163,22 @@ func (r *Runtime) ForkChild(child *kernel.Process) *Runtime {
 	if r.Cfg.Profile {
 		c.Profile = dcache.NewSeqProfile()
 	}
+	// The recovery ladder's state is inherited but independent: the child
+	// starts from the parent's counters and budgets (it is a copy of the
+	// parent's process image) and diverges from there; faults in one never
+	// mutate the other.
+	c.inject = r.inject
+	c.rec = r.rec.clone()
+	c.detached = r.detached
+	c.err = r.err
+	c.Retries = r.Retries
+	c.Degradations = r.Degradations
+	c.HeapFullDegrades = r.HeapFullDegrades
+	c.GCSkips = r.GCSkips
+	c.PanicRecoveries = r.PanicRecoveries
+	c.WatchdogAborts = r.WatchdogAborts
+	c.FatalDetaches = r.FatalDetaches
+	c.Aborted = r.Aborted
 	c.attachDelivery()
 	// Rebind inherited host functions to the child's runtime.
 	if c.lib != nil {
@@ -167,8 +207,19 @@ func (r *Runtime) installMagicPage() {
 	as.Map("fpvm:magic", obj.MagicPageAddr, mem.PageSize, mem.PermRead)
 }
 
-// Err returns the first fatal error the runtime hit while emulating.
+// Err returns the first fatal error the runtime hit while emulating. A
+// non-nil error means the runtime detached (see recovery.go): the guest
+// kept running un-virtualized, but results past the detach point carry
+// only native IEEE precision. The error records the trap RIP and the
+// mnemonic of the instruction being handled.
 func (r *Runtime) Err() error { return r.err }
+
+// Detached reports whether the ladder's bottom rung fired: FPVM restored
+// native FP semantics and stopped virtualizing this process.
+func (r *Runtime) Detached() bool { return r.detached }
+
+// Injector exposes the armed fault injector (nil when none).
+func (r *Runtime) Injector() *faultinject.Injector { return r.inject }
 
 // Allocator exposes the box allocator (tests and telemetry).
 func (r *Runtime) Allocator() *heap.Allocator { return r.alloc }
@@ -205,13 +256,31 @@ func (r *Runtime) chargeDelivery() {
 
 // handleTrap is the FP trap entry point (both delivery paths).
 func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
+	if r.detached {
+		// A stale trap arriving after detach (e.g. a thread whose parked
+		// MXCSR still had trap-all set): observe it, mask this context
+		// too, and let the guest run natively.
+		r.Aborted++
+		r.Tel.AbortedTraps++
+		uc.CPU.MXCSR = machine.MXCSRDefault
+		return
+	}
 	r.Tel.Traps++
 	r.chargeDelivery()
+	r.rec.resetTrap()
+	r.curUC = uc
+	defer func() {
+		if pv := recover(); pv != nil {
+			r.recoverTrapPanic(uc, pv)
+		}
+		r.curUC, r.curEntry, r.phase = nil, nil, phaseNone
+	}()
 
 	start := uc.CPU.RIP
 	rip := start
 	count := 0
 	reason := dcache.TermLimit
+	trapStart := r.m.Cycles
 
 	profiling := r.Profile != nil
 	var captureInsts []string
@@ -219,9 +288,22 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 	capture := profiling && !r.Profile.Known(start)
 
 	for {
+		r.curRIP = rip
 		entry, err := r.decodeAt(rip)
 		if err != nil {
-			r.fail(fmt.Errorf("fpvm: decode at %#x: %w", rip, err))
+			if errors.Is(err, errDecodeFault) {
+				// Decode retry budget exhausted. Mid-sequence the fault
+				// degrades to a sequence terminator — the hardware runs
+				// the instruction instead. On the faulting instruction
+				// itself there is nothing to fall back to: detach.
+				if count > 0 {
+					r.degradeFault(faultinject.SiteDecode)
+					reason = dcache.TermUnsupported
+					break
+				}
+				r.fatalFault(faultinject.SiteDecode)
+			}
+			r.fatal(uc, rip, fmt.Errorf("decode: %w", err))
 			return
 		}
 		if !entry.Supported {
@@ -232,9 +314,20 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 			}
 			break
 		}
+		r.curEntry, r.phase = entry, phaseInst
 		status, err := r.emulateInst(uc, entry, count == 0)
+		r.curEntry, r.phase = nil, phaseNone
 		if err != nil {
-			r.fail(err)
+			// Bind/memory errors: mid-sequence the ladder degrades by
+			// ending the sequence (the hardware re-runs the instruction
+			// and raises its own fault if one is due); on the faulting
+			// instruction FPVM cannot make progress.
+			if count > 0 {
+				r.Degradations++
+				reason = dcache.TermUnsupported
+				break
+			}
+			r.fatal(uc, rip, err)
 			return
 		}
 		if status == emNotWarranted {
@@ -252,6 +345,15 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 		rip = entry.Inst.Addr + uint64(entry.Inst.Len)
 		r.Tel.EmulatedInsts++
 
+		if r.m.Cycles-trapStart > r.trapCycleBudget() {
+			// Watchdog: this trap has burned more virtual cycles than any
+			// legitimate sequence should. Cut the sequence; the guest
+			// resumes (and may trap again, starting a fresh budget).
+			r.WatchdogAborts++
+			r.Tel.WatchdogAborts++
+			reason = dcache.TermLimit
+			break
+		}
 		if !r.Cfg.Seq {
 			// Single-instruction trap-and-emulate: stop after the
 			// faulting instruction.
@@ -267,9 +369,10 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 
 	if count == 0 {
 		// The faulting instruction itself is unsupported: FPVM cannot
-		// make progress. This is fatal for the virtualized program.
+		// make progress virtualized. Detach (do no harm): the hardware
+		// re-executes it natively with exceptions masked.
 		in, _ := r.m.FetchDecode(rip)
-		r.fail(fmt.Errorf("fpvm: cannot emulate faulting instruction %q at %#x", in.String(), rip))
+		r.fatal(uc, rip, fmt.Errorf("cannot emulate faulting instruction %q", in.String()))
 		return
 	}
 
@@ -282,19 +385,22 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 	r.maybeGC(uc)
 }
 
-func (r *Runtime) fail(err error) {
-	if r.err == nil {
-		r.err = err
-	}
-	// Halt the process: jam RIP at an unmapped address so the next step
-	// faults and the kernel kills the process.
-	r.p.Exited = true
-	r.p.Err = err
-}
+// errDecodeFault marks a decode whose injected-fault retry budget ran
+// out; handleTrap picks the rung (degrade mid-sequence, detach at the
+// faulting instruction).
+var errDecodeFault = errors.New("fpvm: injected decode fault (retry budget exhausted)")
 
 // decodeAt consults the decode cache, decoding and inserting on miss
-// (the decode-cache/trace-cache behaviour of §2.4 and §4.2).
+// (the decode-cache/trace-cache behaviour of §2.4 and §4.2). A decode
+// fault models a corrupted cache entry or fetch: the entry is distrusted
+// (invalidated) and the decode retried.
 func (r *Runtime) decodeAt(rip uint64) (*dcache.Entry, error) {
+	for r.checkFault(faultinject.SiteDecode, rip) {
+		r.cache.Invalidate(rip)
+		if !r.retryFault(faultinject.SiteDecode) {
+			return nil, errDecodeFault
+		}
+	}
 	if e, ok := r.cache.Lookup(rip); ok {
 		r.charge(telemetry.Decache, r.Costs.DecacheHit)
 		return e, nil
@@ -325,9 +431,7 @@ func (r *Runtime) maybeGC(uc *kernel.Ucontext) {
 		}
 		roots = append(roots, &heap.Roots{GPR: cpu.GPR, XMM: cpu.XMM})
 	}
-	_, cycles := r.alloc.Collect(r.m.Mem, roots...)
-	r.GCRuns++
-	r.charge(telemetry.GC, cycles)
+	r.collect(roots)
 }
 
 // resolve turns raw lane bits into an alt value: a confirmed NaN-box
@@ -363,6 +467,14 @@ func (r *Runtime) resolve(bits uint64) (alt.Value, bool) {
 // (negate, fabs) work natively on boxed values — flipping or clearing
 // bit 63 of the pattern is exactly flipping or clearing the sign.
 func (r *Runtime) box(v alt.Value) uint64 {
+	for r.checkFault(faultinject.SiteHeapAlloc, r.curRIP) {
+		if !r.retryFault(faultinject.SiteHeapAlloc) {
+			// Allocation keeps failing: degrade this one result to a
+			// plain IEEE double (precision loss, never corruption).
+			r.degradeFault(faultinject.SiteHeapAlloc)
+			return r.plainBits(v)
+		}
+	}
 	for i := 0; i < r.Cfg.Alt.TempsPerOp(); i++ {
 		r.alloc.Alloc(nil)
 	}
@@ -373,9 +485,7 @@ func (r *Runtime) box(v alt.Value) uint64 {
 		v = nv
 		sign = 1 << 63
 	}
-	h := r.alloc.Alloc(v)
-	r.Boxes++
-	return boxBits(h) | sign
+	return r.boxOrDegrade(v, sign)
 }
 
 // demote converts lane bits that may be boxed back to a plain IEEE

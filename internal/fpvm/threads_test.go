@@ -6,6 +6,7 @@ import (
 
 	"fpvm/internal/alt"
 	"fpvm/internal/asm"
+	"fpvm/internal/faultinject"
 	fpvmrt "fpvm/internal/fpvm"
 	"fpvm/internal/isa"
 	"fpvm/internal/kernel"
@@ -60,6 +61,40 @@ func buildThreadedBoxed(t *testing.T) *asm.Builder {
 	b.Op0(isa.SYSCALL)
 	b.SetEntry("main")
 	return b
+}
+
+// TestMultithreadedInjection arms the injector while two guest threads
+// (main + cloned worker) share one runtime: faults land on whichever
+// thread traps, each resolves on that thread's own ladder without
+// disturbing the other thread's boxed state, and the shared ledger still
+// reconciles. The parked box in xmm6 doubles as the canary — a
+// degradation on the worker must not demote or sweep main's live box.
+func TestMultithreadedInjection(t *testing.T) {
+	b := buildThreadedBoxed(t)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(11)
+	inj.ArmAll(faultinject.Rule{Every: 40})
+	r := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true, GCThreshold: 128, Inject: inj}, true)
+	r.p.M.Mem.Map("tstack", 0x7FF5_0000, 0x10000, mem.PermRW)
+	out := r.run(t)
+	if !strings.HasPrefix(out, "1.3333333333333333") {
+		t.Errorf("parked boxed value corrupted under injection: %q", out)
+	}
+	if r.rt.ThreadContexts != 1 {
+		t.Errorf("thread contexts: %d", r.rt.ThreadContexts)
+	}
+	if r.rt.Tel.FaultsInjected == 0 {
+		t.Fatal("injector never fired (test not exercising the ladder)")
+	}
+	if r.rt.Detached() {
+		t.Error("transient faults escalated to detach")
+	}
+	if !inj.Reconciled() {
+		t.Errorf("ledger broken across threads:\n%s", inj.Report())
+	}
 }
 
 func TestMultithreadedGCRoots(t *testing.T) {

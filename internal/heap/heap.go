@@ -8,10 +8,17 @@ package heap
 
 import (
 	"encoding/binary"
+	"errors"
 
 	"fpvm/internal/mem"
 	"fpvm/internal/nanbox"
 )
+
+// ErrHeapFull is returned by TryAlloc when the allocator is at its hard
+// MaxLive cap even after the caller has had a chance to collect. The
+// runtime's recovery ladder degrades on it (the result is stored as a
+// plain IEEE double instead of a box) rather than growing without bound.
+var ErrHeapFull = errors.New("heap: live box population at MaxLive cap")
 
 // Stats tracks allocator and collector activity.
 type Stats struct {
@@ -53,6 +60,12 @@ type Allocator struct {
 	// runtime checks it on every trap (§2.5: each SIGFPE may invoke GC).
 	Threshold int
 
+	// MaxLive is a hard cap on the live box population (0 = unbounded).
+	// Between GC runs the allocator otherwise grows without bound; at the
+	// cap, TryAlloc returns ErrHeapFull so the caller can force a
+	// collection and, failing that, degrade instead of OOMing.
+	MaxLive int
+
 	Costs CostModel
 	Stats Stats
 }
@@ -86,6 +99,20 @@ func (a *Allocator) Alloc(v any) uint64 {
 		a.Stats.MaxLive = a.live
 	}
 	return h
+}
+
+// AtCap reports whether the live population has reached the MaxLive hard
+// cap (never true when MaxLive is 0).
+func (a *Allocator) AtCap() bool { return a.MaxLive > 0 && a.live >= a.MaxLive }
+
+// TryAlloc stores v and returns its handle, or ErrHeapFull if the
+// allocator is at its MaxLive cap. Callers should collect and retry once
+// before treating the failure as a degradation.
+func (a *Allocator) TryAlloc(v any) (uint64, error) {
+	if a.AtCap() {
+		return 0, ErrHeapFull
+	}
+	return a.Alloc(v), nil
 }
 
 // Get returns the value for handle h. ok is false if h was never
@@ -183,6 +210,7 @@ func (a *Allocator) Clone() *Allocator {
 		free:      append([]uint64(nil), a.free...),
 		live:      a.live,
 		Threshold: a.Threshold,
+		MaxLive:   a.MaxLive,
 		Costs:     a.Costs,
 		Stats:     a.Stats,
 	}

@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"fpvm/internal/faultinject"
 	"fpvm/internal/isa"
 	"fpvm/internal/machine"
 	"fpvm/internal/obj"
@@ -95,6 +96,11 @@ type Stats struct {
 
 	HWUserDeliveries uint64 // future-work user-level FP trap deliveries
 	BoxEscapes       uint64 // future-work hardware box-escape events
+
+	// DeliveryRetries counts trap deliveries re-driven after an injected
+	// kernel.deliver fault (a lost or corrupted delivery re-dispatched by
+	// the hardware/kernel retry path).
+	DeliveryRetries uint64
 }
 
 // Kernel is the per-boot kernel state.
@@ -157,6 +163,12 @@ type Process struct {
 	// interception point FPVM uses to account per-thread contexts
 	// (paper §2.1).
 	OnThreadStart func(tid int)
+
+	// Inject, when set, is consulted at the kernel.deliver fault site on
+	// every FP trap delivery. An injected fault models a lost delivery:
+	// the kernel re-drives the dispatch (bounded), charging the dispatch
+	// cost again and counting Stats.DeliveryRetries.
+	Inject *faultinject.Injector
 
 	// thread table (nil until the first clone; single-threaded processes
 	// never pay for it).
@@ -240,10 +252,29 @@ func (p *Process) snapshot(sig int, flags uint32) *Ucontext {
 // restore applies a (possibly mutated) Ucontext back to the CPU.
 func (p *Process) restore(uc *Ucontext) { p.M.CPU = uc.CPU }
 
+// maxRedeliveries bounds re-driven deliveries per trap so an injector
+// armed with every=1 cannot livelock the kernel.
+const maxRedeliveries = 16
+
+// injectDeliveryFaults models lost trap deliveries: each injected
+// kernel.deliver fault costs one extra hardware dispatch and is resolved
+// by the retry. Delivery always eventually proceeds.
+func (p *Process) injectDeliveryFaults() {
+	for i := 0; i < maxRedeliveries; i++ {
+		if p.Inject.Check(faultinject.SiteKernelDeliver, p.M.CPU.RIP) == nil {
+			return
+		}
+		p.K.Stats.DeliveryRetries++
+		p.M.Charge(p.K.Costs.HWDispatch)
+		p.Inject.Resolve(faultinject.SiteKernelDeliver, faultinject.Retried)
+	}
+}
+
 // deliverFPTrap routes a #XF event to user space.
 func (p *Process) deliverFPTrap(ev machine.Event) error {
 	k := p.K
 	k.Stats.FPTraps++
+	p.injectDeliveryFaults()
 
 	if p.hwUserEntry != nil {
 		// Future-work hardware: the CPU vectors directly to user space;

@@ -177,6 +177,7 @@ func (p *Process) Fork(name string) *Process {
 	child.OnThreadStart = p.OnThreadStart
 	child.hwUserEntry = p.hwUserEntry
 	child.boxEscapeHook = p.boxEscapeHook
+	child.Inject = p.Inject
 	return child
 }
 

@@ -59,3 +59,51 @@ func Handle(bits uint64) (uint64, bool) {
 // operation produces a "real" NaN from ordinary operands (§2.3: the result
 // is an application NaN, not one of FPVM's boxes).
 func Canonical() uint64 { return fpmath.CanonicalNaN }
+
+// Kind classifies a 64-bit pattern for fault diagnostics: when a trap
+// delivers an unexpected operand, the recovery ladder wants to say *what*
+// it was looking at (a live box, a stray box-shaped NaN, an application
+// NaN, or an ordinary number) without guessing.
+type Kind int
+
+const (
+	// KindNumber: not a NaN at all (finite or infinite).
+	KindNumber Kind = iota
+	// KindBoxPattern: matches FPVM's box encoding. Only the allocator
+	// can say whether the handle is actually live.
+	KindBoxPattern
+	// KindQuietNaN: an application quiet NaN (never a box — boxes are
+	// signaling).
+	KindQuietNaN
+	// KindSignalingNaN: a signaling NaN without the tag bit; consuming
+	// it traps, but it is not ours.
+	KindSignalingNaN
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNumber:
+		return "number"
+	case KindBoxPattern:
+		return "box-pattern"
+	case KindQuietNaN:
+		return "quiet-nan"
+	case KindSignalingNaN:
+		return "signaling-nan"
+	}
+	return "kind?"
+}
+
+// Classify reports which Kind bits falls into.
+func Classify(bits uint64) Kind {
+	switch {
+	case !fpmath.IsNaNBits(bits):
+		return KindNumber
+	case IsBoxPattern(bits):
+		return KindBoxPattern
+	case bits&fpmath.QuietBit != 0:
+		return KindQuietNaN
+	default:
+		return KindSignalingNaN
+	}
+}

@@ -100,3 +100,26 @@ func TestRandomNaNCollisionRate(t *testing.T) {
 		t.Errorf("pattern match rate implausible: %d/%d", match, trials)
 	}
 }
+
+// TestClassify pins the diagnostic taxonomy used by fault reporting.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		bits uint64
+		want Kind
+	}{
+		{fpmath.Bits(1.5), KindNumber},
+		{fpmath.Bits(0), KindNumber},
+		{fpmath.ExpMask, KindNumber}, // +inf
+		{Box(0), KindBoxPattern},
+		{Box(MaxHandle), KindBoxPattern},
+		{1<<63 | Box(42), KindBoxPattern}, // sign bit carries the value's sign
+		{Canonical(), KindQuietNaN},
+		{fpmath.ExpMask | fpmath.QuietBit | tagBit | 42, KindQuietNaN}, // quiet NaN with tag set is NOT a box
+		{fpmath.ExpMask | 7, KindSignalingNaN},                         // tagless sNaN
+	}
+	for _, c := range cases {
+		if got := Classify(c.bits); got != c.want {
+			t.Errorf("Classify(%#x) = %v, want %v", c.bits, got, c.want)
+		}
+	}
+}

@@ -63,6 +63,43 @@ type Breakdown struct {
 	// CorrEvents / FCallEvents count correctness invocations.
 	CorrEvents  uint64
 	FCallEvents uint64
+
+	// Fault-tolerance counters (the recovery ladder). Every injected
+	// fault observed by the runtime is resolved by exactly one rung, so
+	// FaultsInjected == FaultsRetried + FaultsDegraded + FaultsFatal.
+	FaultsInjected uint64 // injected faults observed by the runtime
+	FaultsRetried  uint64 // resolved by a bounded retry
+	FaultsDegraded uint64 // resolved by demotion to native IEEE (or safe skip)
+	FaultsFatal    uint64 // resolved by clean detach (guest continues native)
+
+	// WatchdogAborts counts sequence emulations cut short by the
+	// per-trap virtual-cycle watchdog.
+	WatchdogAborts uint64
+
+	// PanicRecoveries counts emulator panics converted to degradations.
+	PanicRecoveries uint64
+
+	// AbortedTraps counts traps delivered after the runtime detached;
+	// they are observed (not silently swallowed) but no longer emulated.
+	AbortedTraps uint64
+}
+
+// FaultsReconciled reports whether every injected fault the runtime
+// observed was resolved by exactly one ladder rung.
+func (b *Breakdown) FaultsReconciled() bool {
+	return b.FaultsInjected == b.FaultsRetried+b.FaultsDegraded+b.FaultsFatal
+}
+
+// FaultLine renders the fault-tolerance counters as a one-line summary,
+// or "" when the trap pipeline saw no faults at all.
+func (b *Breakdown) FaultLine() string {
+	if b.FaultsInjected == 0 && b.WatchdogAborts == 0 && b.PanicRecoveries == 0 && b.AbortedTraps == 0 {
+		return ""
+	}
+	return fmt.Sprintf(
+		"faults: injected %d, retried %d, degraded %d, fatal %d; watchdog aborts %d, panic recoveries %d, aborted traps %d",
+		b.FaultsInjected, b.FaultsRetried, b.FaultsDegraded, b.FaultsFatal,
+		b.WatchdogAborts, b.PanicRecoveries, b.AbortedTraps)
 }
 
 // Add charges n cycles to category c.
