@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench bench-check
 
-check: vet build race
+check: vet build race bench-check
 
 build:
 	$(GO) build ./...
@@ -16,5 +16,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Full benchmark pass: Go benchmarks plus the trace-cache on/off
+# regression artifact (BENCH_2.json).
 bench:
-	$(GO) test -bench . -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+	$(GO) run ./cmd/fpvm-bench -fig trace -json BENCH_2.json
+
+# Fast smoke of the benchmark code paths: every benchmark compiles and
+# survives one iteration. Wired into `make check`.
+bench-check:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -280,6 +280,38 @@ func BenchmarkAblationDecodeCache(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationTraceCache: the §4.2 software trace cache on vs off.
+// With traces on, repeated traps replay pre-bound sequences (ns/op and
+// allocs/op drop, decache cycles shrink); off, every trap re-walks the
+// sequence through the per-instruction decode cache. Reported metrics:
+// sequence amortization (insts/trap), trace hit rate, and divergence-exit
+// rate per workload.
+func BenchmarkAblationTraceCache(b *testing.B) {
+	for _, w := range []workloads.Name{workloads.Lorenz, workloads.Enzo} {
+		for _, mode := range []struct {
+			name string
+			off  bool
+		}{{"trace-on", false}, {"trace-off", true}} {
+			b.Run(fmt.Sprintf("%s/%s", w, mode.name), func(b *testing.B) {
+				p := prep(b, w)
+				b.ReportAllocs()
+				var res *fpvm.Result
+				for i := 0; i < b.N; i++ {
+					res = runCfg(b, p, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true, NoTraceCache: mode.off})
+				}
+				b.ReportMetric(res.Breakdown.AvgSeqLen(), "insts/trap")
+				b.ReportMetric(res.TraceHitRate(), "trace-hit-rate")
+				if res.TraceHits > 0 {
+					b.ReportMetric(float64(res.TraceDivergences)/float64(res.TraceHits), "divergence-exit-rate")
+				} else {
+					b.ReportMetric(0, "divergence-exit-rate")
+				}
+				b.ReportMetric(perInstTotal(res), "cyc/emul-inst")
+			})
+		}
+	}
+}
+
 // BenchmarkAblationGCThreshold sweeps the collector trigger: low
 // thresholds collect often (high gc cost), high thresholds let boxes pile
 // up (bigger heap scans, fewer collections).

@@ -2,10 +2,13 @@
 //
 // Usage:
 //
-//	fpvm-bench [-fig all|1|2|3|4|5|6|7|8|9|10|11|12|13|corr|cache|resil] [-scale N] [-v]
+//	fpvm-bench [-fig all|1|2|3|4|5|6|7|8|9|10|11|12|13|corr|cache|resil|trace]
+//	           [-scale N] [-json FILE] [-cpuprofile FILE] [-memprofile FILE] [-v]
 //
 // Figures 1-10 run with Boxed IEEE (the paper's worst-case system);
-// figures 11-13 rerun the sweep with the MPFR-like 200-bit system.
+// figures 11-13 rerun the sweep with the MPFR-like 200-bit system. The
+// trace figure benchmarks the software trace cache on vs off and, with
+// -json, writes the BENCH_*.json regression artifact.
 package main
 
 import (
@@ -13,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"fpvm"
 	"fpvm/internal/experiments"
@@ -20,12 +25,50 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (all, 1-13, corr, cache)")
+	fig := flag.String("fig", "all", "figure to regenerate (all, 1-13, corr, cache, resil, trace)")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	rank := flag.Int("rank", 3, "trace rank for -fig 7")
+	jsonPath := flag.String("json", "", "write -fig trace results to this JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
+	if err := run(fig, scale, rank, jsonPath, verbose); err != nil {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		fatal(err)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // settle live objects before snapshotting the heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func run(fig *string, scale, rank *int, jsonPath *string, verbose *bool) error {
 	var progress io.Writer
 	if *verbose {
 		progress = os.Stderr
@@ -42,12 +85,12 @@ func main() {
 	}
 	if needBoxed {
 		if boxed, err = experiments.Run(fpvm.AltBoxed, *scale, progress); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if need("11") || need("12") || need("13") {
 		if mpfr, err = experiments.Run(fpvm.AltMPFR, *scale, progress); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
@@ -57,13 +100,13 @@ func main() {
 	}
 	if need("2") {
 		if err := experiments.Fig2(out, int64(2000**scale)); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintln(out)
 	}
 	if need("3") {
 		if err := experiments.Fig3(out, int64(1000**scale)); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintln(out)
 	}
@@ -82,7 +125,7 @@ func main() {
 	}
 	if need("7") {
 		if err := boxed.Fig7(out, workloads.Lorenz, *rank); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintln(out)
 	}
@@ -120,10 +163,25 @@ func main() {
 	}
 	if need("resil") {
 		if err := experiments.ResilienceTable(out, fpvm.AltBoxed, *scale, progress); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintln(out)
 	}
+	if need("trace") {
+		rows, err := experiments.TraceBench(*scale, progress)
+		if err != nil {
+			return err
+		}
+		experiments.TraceTable(out, rows)
+		fmt.Fprintln(out)
+		if *jsonPath != "" {
+			if err := experiments.WriteTraceJSON(*jsonPath, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *jsonPath)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

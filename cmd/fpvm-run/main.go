@@ -33,6 +33,7 @@ func main() {
 	precision := flag.Uint("precision", 200, "MPFR precision in bits")
 	seq := flag.Bool("seq", false, "enable instruction sequence emulation (§4)")
 	short := flag.Bool("short", false, "enable trap short-circuiting (§3)")
+	noTrace := flag.Bool("no-trace", false, "disable the software trace cache (sequence replay)")
 	native := flag.Bool("native", false, "run without FPVM")
 	nopatch := flag.Bool("nopatch", false, "skip correctness patching")
 	int3 := flag.Bool("int3", false, "use int3 correctness traps instead of magic traps")
@@ -76,6 +77,7 @@ func main() {
 		Seq:          *seq,
 		Short:        *short,
 		MagicWraps:   *magicWraps,
+		NoTraceCache: *noTrace,
 		Profile:      true,
 		MaxLiveBoxes: *maxBoxes,
 	}
@@ -105,6 +107,11 @@ func main() {
 		"traps %d, emulated %d (%.1f insts/trap), gc runs %d, corr %d, fcall %d\n",
 		res.Traps, res.EmulatedInsts, res.Breakdown.AvgSeqLen(),
 		res.GCRuns, res.Breakdown.CorrEvents, res.Breakdown.FCallEvents)
+	if res.TraceHits+res.TraceMisses > 0 {
+		fmt.Fprintf(os.Stderr,
+			"trace cache: %d traces, hit rate %.3f, %d replayed insts, %d divergence exits\n",
+			res.TraceCacheEntries, res.TraceHitRate(), res.ReplayedInsts, res.TraceDivergences)
+	}
 	if line := res.Breakdown.FaultLine(); line != "" {
 		fmt.Fprintln(os.Stderr, line)
 	}

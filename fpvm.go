@@ -114,6 +114,11 @@ type Config struct {
 	// TrapCycleBudget is the per-trap virtual-cycle watchdog limit
 	// (0 = default 10M cycles).
 	TrapCycleBudget uint64
+
+	// NoTraceCache disables the L2 software trace cache (ablation): every
+	// trap re-walks its sequence through the per-instruction decode cache
+	// instead of replaying the cached pre-bound sequence.
+	NoTraceCache bool
 }
 
 // ConfigName renders the paper's config label (NONE/SEQ/SHORT/SEQ SHORT).
@@ -184,6 +189,17 @@ type Result struct {
 	Demotions          uint64
 	DecodeCacheEntries int
 
+	// Trace cache outcomes (§4.2 L2 trace table). TraceHits/TraceMisses
+	// count sequence traps served by replay vs walked; TraceDivergences
+	// replays that exited early on a boxedness divergence; ReplayedInsts
+	// instructions emulated via replay; TraceCacheEntries the cached
+	// sequence count at exit.
+	TraceHits         uint64
+	TraceMisses       uint64
+	TraceDivergences  uint64
+	ReplayedInsts     uint64
+	TraceCacheEntries int
+
 	// KernelStats snapshots delegation counters.
 	KernelStats kernel.Stats
 
@@ -200,6 +216,16 @@ type Result struct {
 	// FaultReport is the injector's per-site ledger ("" when no injector
 	// was armed).
 	FaultReport string
+}
+
+// TraceHitRate returns the fraction of sequence traps served by trace
+// replay (0 when the trace cache never engaged).
+func (r *Result) TraceHitRate() float64 {
+	t := r.TraceHits + r.TraceMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(r.TraceHits) / float64(t)
 }
 
 // AltmathCycles returns cycles spent in the alternative arithmetic system
@@ -295,6 +321,7 @@ func Run(img *obj.Image, cfg Config) (*Result, error) {
 		MaxLiveBoxes:    cfg.MaxLiveBoxes,
 		RetryBudget:     cfg.RetryBudget,
 		TrapCycleBudget: cfg.TrapCycleBudget,
+		NoTraceCache:    cfg.NoTraceCache,
 	})
 	if err != nil {
 		return nil, err
@@ -338,6 +365,11 @@ func Run(img *obj.Image, cfg Config) (*Result, error) {
 		Promotions:         rt.Promotions,
 		Demotions:          rt.Demotions,
 		DecodeCacheEntries: rt.Cache().Len(),
+		TraceHits:          rt.Tel.TraceHits,
+		TraceMisses:        rt.Tel.TraceMisses,
+		TraceDivergences:   rt.Tel.TraceDivergences,
+		ReplayedInsts:      rt.Tel.ReplayedInsts,
+		TraceCacheEntries:  rt.Cache().TraceLen(),
 		KernelStats:        k.Stats,
 		Detached:           rt.Detached(),
 		Retries:            rt.Retries,

@@ -54,6 +54,33 @@ type System interface {
 	TempsPerOp() int
 }
 
+// FloatSystem is an optional extension: systems whose Value representation
+// is (or round-trips losslessly through) a hardware float64 can expose
+// allocation-free variants of the core operations. The runtime's trace
+// replay path uses them to emulate whole pre-bound sequences without
+// boxing a single interface value — the generic System methods convert
+// float64 results to Value (an `any`), which heap-allocates on every call
+// and dominates the trap path's allocation profile. Costs returned must be
+// identical to the corresponding System methods so virtual-cycle accounting
+// (and therefore determinism) is unchanged between the walk and replay
+// paths.
+type FloatSystem interface {
+	// PromoteFloat is Promote for a system whose representation is float64.
+	PromoteFloat(f float64) (float64, uint64)
+
+	// DemoteFloat is Demote without the interface unbox.
+	DemoteFloat(f float64) (float64, uint64)
+
+	// OpFloat is Op on unboxed operands (b ignored for OpSqrt).
+	OpFloat(op fpmath.Op, a, b float64) (float64, uint64)
+
+	// CompareFloat is Compare on unboxed operands.
+	CompareFloat(a, b float64) (fpmath.CompareResult, uint64)
+
+	// NegFloat is Neg on an unboxed operand.
+	NegFloat(f float64) (float64, uint64)
+}
+
 // MathSystem is an optional extension: systems that can evaluate libm
 // functions natively in their own representation. FPVM's libm forward
 // wrappers (§5.3) consult it — when present, sin/cos/pow/... are computed

@@ -65,3 +65,29 @@ func (*BoxedIEEE) TempsPerOp() int { return 0 }
 func (*BoxedIEEE) Neg(v Value) (Value, uint64) { return -v.(float64), 4 }
 
 func (*BoxedIEEE) Signbit(v Value) bool { return math.Signbit(v.(float64)) }
+
+// FloatSystem implementation: Boxed IEEE's representation is a float64, so
+// the allocation-free variants are the generic methods minus the interface
+// conversions. Costs match the generic methods exactly.
+
+func (*BoxedIEEE) PromoteFloat(f float64) (float64, uint64) { return f, boxedPromoteCost }
+
+func (*BoxedIEEE) DemoteFloat(f float64) (float64, uint64) { return f, boxedDemoteCost }
+
+func (*BoxedIEEE) OpFloat(op fpmath.Op, a, b float64) (float64, uint64) {
+	r := fpmath.Eval(op, a, b)
+	cost := uint64(boxedOpCost)
+	if op == fpmath.OpDiv {
+		cost += 8
+	}
+	if op == fpmath.OpSqrt {
+		cost += 12
+	}
+	return r.Value, cost
+}
+
+func (*BoxedIEEE) CompareFloat(a, b float64) (fpmath.CompareResult, uint64) {
+	return fpmath.Compare(a, b, false), boxedCmpCost
+}
+
+func (*BoxedIEEE) NegFloat(f float64) (float64, uint64) { return -f, 4 }

@@ -13,10 +13,13 @@ import (
 
 // Entry is a cached decode result. Supported records whether FPVM can
 // decode, bind and emulate the instruction — the sequence terminator is
-// cached too, "even if case (1) holds" (§4.2).
+// cached too, "even if case (1) holds" (§4.2). Class is an opaque tag the
+// runtime stores alongside the decode (its emulation class), so neither
+// the per-instruction walk nor trace replay re-classifies the opcode.
 type Entry struct {
 	Inst      isa.Inst
 	Supported bool
+	Class     uint8
 }
 
 // Stats counts cache activity.
@@ -24,25 +27,99 @@ type Stats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+
+	// L2 trace table activity.
+	TraceHits          uint64
+	TraceMisses        uint64
+	TraceEvictions     uint64
+	TraceInvalidations uint64
 }
 
-// Cache is a capacity-bounded decode cache keyed by instruction address.
+// fifo is a FIFO queue over a ring-style slice: Pop advances a head index
+// instead of reslicing (order = order[1:] would pin the backing array for
+// the life of the cache), and Push compacts the dead prefix once it
+// dominates, so the backing array stays bounded by the live population.
+type fifo struct {
+	buf  []uint64
+	head int
+}
+
+func (f *fifo) Len() int { return len(f.buf) - f.head }
+
+func (f *fifo) Push(v uint64) {
+	if f.head > 32 && f.head > len(f.buf)/2 {
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	f.buf = append(f.buf, v)
+}
+
+func (f *fifo) Pop() (uint64, bool) {
+	if f.head >= len(f.buf) {
+		return 0, false
+	}
+	v := f.buf[f.head]
+	f.head++
+	return v, true
+}
+
+func (f *fifo) Clone() fifo {
+	return fifo{buf: append([]uint64(nil), f.buf[f.head:]...)}
+}
+
+// Cap exposes the backing array capacity (tests assert boundedness).
+func (f *fifo) Cap() int { return cap(f.buf) }
+
+// Cache is FPVM's two-level software trace cache (§4.2): an L1 decode
+// cache keyed by instruction address, plus an L2 trace table keyed by
+// sequence start address whose entries hold entire pre-decoded, pre-bound
+// instruction sequences for straight-through replay. Both levels are
+// capacity-bounded with FIFO eviction.
 type Cache struct {
 	entries map[uint64]*Entry
-	order   []uint64 // FIFO eviction order
+	order   fifo
 	cap     int
-	Stats   Stats
+
+	traces     map[uint64]*Trace
+	traceOrder fifo
+	traceCap   int
+	// ripIndex maps every instruction address covered by a cached trace to
+	// the start addresses of the traces containing it, so Invalidate(rip)
+	// can kill all traces through a corrupted or degraded instruction.
+	ripIndex map[uint64][]uint64
+
+	Stats Stats
 }
 
 // DefaultCapacity matches the paper's default of 64K instruction entries.
 const DefaultCapacity = 65536
 
+// DefaultTraceCapacity bounds the L2 trace table. The §6.3 sizing data
+// shows a few hundred traces cover >90% of emulated instructions on every
+// paper workload; 4K start addresses is an order of magnitude of headroom.
+const DefaultTraceCapacity = 4096
+
 // NewCache returns a cache bounded to capacity entries (0 = default).
+// The trace table capacity scales with the decode capacity, floored at 16.
 func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Cache{entries: make(map[uint64]*Entry), cap: capacity}
+	tcap := DefaultTraceCapacity
+	if capacity < DefaultCapacity {
+		tcap = capacity / 4
+		if tcap < 16 {
+			tcap = 16
+		}
+	}
+	return &Cache{
+		entries:  make(map[uint64]*Entry),
+		cap:      capacity,
+		traces:   make(map[uint64]*Trace),
+		traceCap: tcap,
+		ripIndex: make(map[uint64][]uint64),
+	}
 }
 
 // Lookup returns the cached entry for rip, if present.
@@ -60,44 +137,187 @@ func (c *Cache) Lookup(rip uint64) (*Entry, bool) {
 // capacity.
 func (c *Cache) Insert(rip uint64, e *Entry) {
 	if _, exists := c.entries[rip]; !exists {
-		for len(c.entries) >= c.cap && len(c.order) > 0 {
-			victim := c.order[0]
-			c.order = c.order[1:]
+		for len(c.entries) >= c.cap && c.order.Len() > 0 {
+			victim, _ := c.order.Pop()
 			if _, ok := c.entries[victim]; ok {
 				delete(c.entries, victim)
 				c.Stats.Evictions++
 			}
 		}
-		c.order = append(c.order, rip)
+		c.order.Push(rip)
 	}
 	c.entries[rip] = e
 }
 
-// Invalidate drops the entry for rip, if present, counting an eviction.
-// The FPVM runtime uses it when the recovery ladder suspects a corrupted
-// decode (e.g. an injected decode fault): the next lookup misses and the
-// instruction is re-decoded from guest memory.
+// Invalidate drops the entry for rip, if present, counting an eviction,
+// and kills every trace containing rip. The FPVM runtime uses it when the
+// recovery ladder distrusts a decode (e.g. an injected decode fault): the
+// next lookup misses, the instruction is re-decoded from guest memory,
+// and no stale pre-bound sequence can replay through the suspect address.
 func (c *Cache) Invalidate(rip uint64) {
 	if _, ok := c.entries[rip]; ok {
 		delete(c.entries, rip)
 		c.Stats.Evictions++
 	}
+	c.InvalidateTraces(rip)
 }
 
 // Len returns the number of cached entries.
 func (c *Cache) Len() int { return len(c.entries) }
 
+// OrderCap exposes the FIFO backing capacity (boundedness tests).
+func (c *Cache) OrderCap() int { return c.order.Cap() }
+
 // Clone duplicates the cache (fork(): the decode cache is FPVM state in
-// process memory, so the child gets a copy).
+// process memory, so the child gets a copy). Traces are duplicated too —
+// their hit/divergence counters diverge between parent and child — but
+// the immutable entry decodes and disassembly strings are shared.
 func (c *Cache) Clone() *Cache {
 	out := &Cache{
-		entries: make(map[uint64]*Entry, len(c.entries)),
-		order:   append([]uint64(nil), c.order...),
-		cap:     c.cap,
-		Stats:   c.Stats,
+		entries:    make(map[uint64]*Entry, len(c.entries)),
+		order:      c.order.Clone(),
+		cap:        c.cap,
+		traces:     make(map[uint64]*Trace, len(c.traces)),
+		traceOrder: c.traceOrder.Clone(),
+		traceCap:   c.traceCap,
+		ripIndex:   make(map[uint64][]uint64, len(c.ripIndex)),
+		Stats:      c.Stats,
 	}
 	for k, v := range c.entries {
 		out.entries[k] = v // entries are immutable decodes
+	}
+	for k, v := range c.traces {
+		t := *v
+		out.traces[k] = &t
+	}
+	for k, v := range c.ripIndex {
+		out.ripIndex[k] = append([]uint64(nil), v...)
+	}
+	return out
+}
+
+// --------------------------------------------------------------- L2 traces
+
+// Trace is an L2 trace-cache entry: the complete pre-decoded instruction
+// sequence starting at Start, with its recorded terminator. On a trap at
+// Start the runtime replays the entries straight through — no per-
+// instruction cache lookups, no re-decode, no re-disassembly — falling
+// back to the per-instruction walk only when execution diverges from the
+// recorded shape (a mid-trace instruction's operands stop being boxed,
+// §4.2 condition (2)).
+type Trace struct {
+	Start   uint64
+	Entries []*Entry
+	// EndRIP is where the guest resumes after a full replay (the address
+	// of the recorded terminator, or past the last instruction for
+	// length-limited sequences).
+	EndRIP uint64
+	Reason TermReason
+
+	// Insts/Term hold the disassembly including the terminator, captured
+	// once at trace build so profiling never re-disassembles (nil when the
+	// run is not profiling).
+	Insts []string
+	Term  string
+
+	// Hits counts full or partial replays; Divergences counts replays that
+	// exited early because an instruction's boxedness diverged from the
+	// recorded shape.
+	Hits        uint64
+	Divergences uint64
+}
+
+// Len returns the number of emulated instructions in the trace (the
+// terminator is not an entry).
+func (t *Trace) Len() int { return len(t.Entries) }
+
+// LookupTrace returns the cached trace starting at start, if present.
+func (c *Cache) LookupTrace(start uint64) (*Trace, bool) {
+	t, ok := c.traces[start]
+	if ok {
+		c.Stats.TraceHits++
+	} else {
+		c.Stats.TraceMisses++
+	}
+	return t, ok
+}
+
+// InsertTrace caches t, evicting FIFO-oldest traces over capacity. An
+// existing trace at the same start address is replaced (the sequence was
+// re-walked, e.g. after an invalidation).
+func (c *Cache) InsertTrace(t *Trace) {
+	if len(t.Entries) == 0 {
+		return
+	}
+	if old, exists := c.traces[t.Start]; exists {
+		c.unindexTrace(old)
+	} else {
+		for len(c.traces) >= c.traceCap && c.traceOrder.Len() > 0 {
+			victim, _ := c.traceOrder.Pop()
+			if old, ok := c.traces[victim]; ok {
+				c.unindexTrace(old)
+				delete(c.traces, victim)
+				c.Stats.TraceEvictions++
+			}
+		}
+		c.traceOrder.Push(t.Start)
+	}
+	c.traces[t.Start] = t
+	for _, e := range t.Entries {
+		c.ripIndex[e.Inst.Addr] = append(c.ripIndex[e.Inst.Addr], t.Start)
+	}
+}
+
+// InvalidateTraces kills every trace containing rip (not only traces
+// starting there) and returns how many were dropped. The recovery ladder
+// calls it whenever an instruction decodes faultily or degrades: a
+// pre-bound sequence must never replay through a distrusted instruction.
+func (c *Cache) InvalidateTraces(rip uint64) int {
+	starts, ok := c.ripIndex[rip]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, start := range starts {
+		if t, live := c.traces[start]; live {
+			c.unindexTrace(t)
+			delete(c.traces, start)
+			c.Stats.TraceInvalidations++
+			n++
+		}
+	}
+	return n
+}
+
+// unindexTrace removes t's entries from the reverse index.
+func (c *Cache) unindexTrace(t *Trace) {
+	for _, e := range t.Entries {
+		addr := e.Inst.Addr
+		list := c.ripIndex[addr]
+		kept := list[:0]
+		for _, s := range list {
+			if s != t.Start {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			delete(c.ripIndex, addr)
+		} else {
+			c.ripIndex[addr] = kept
+		}
+	}
+}
+
+// TraceLen returns the number of cached traces.
+func (c *Cache) TraceLen() int { return len(c.traces) }
+
+// Traces returns a snapshot of the cached traces (iteration order is
+// unspecified). Diagnostics and tests only — the trace table itself is
+// reached through LookupTrace on the trap path.
+func (c *Cache) Traces() []*Trace {
+	out := make([]*Trace, 0, len(c.traces))
+	for _, t := range c.traces {
+		out = append(out, t)
 	}
 	return out
 }

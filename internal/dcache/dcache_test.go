@@ -199,3 +199,168 @@ func TestTermReasonString(t *testing.T) {
 		t.Error("empty reason strings")
 	}
 }
+
+// TestOrderCapBounded asserts the FIFO backing array does not grow without
+// bound under sustained churn (the old order = order[1:] reslice pinned the
+// array and appended forever).
+func TestOrderCapBounded(t *testing.T) {
+	const capacity = 64
+	c := NewCache(capacity)
+	for i := uint64(0); i < 10*capacity; i++ {
+		c.Insert(i, &Entry{})
+	}
+	if c.Len() > capacity {
+		t.Fatalf("len %d over capacity", c.Len())
+	}
+	// Compaction keeps the backing array proportional to the live
+	// population, not the total insert count.
+	if got := c.OrderCap(); got > 4*capacity {
+		t.Errorf("order backing cap %d grew unbounded (capacity %d)", got, capacity)
+	}
+}
+
+// mkTrace builds a synthetic trace of n entries at consecutive addresses.
+func mkTrace(start uint64, n int) *Trace {
+	t := &Trace{Start: start, Reason: TermUnsupported}
+	for i := 0; i < n; i++ {
+		in := isa.MakeNullary(isa.NOP)
+		in.Addr = start + uint64(i)*4
+		t.Entries = append(t.Entries, &Entry{Inst: in, Supported: true})
+	}
+	t.EndRIP = start + uint64(n)*4
+	return t
+}
+
+func TestTraceInsertLookup(t *testing.T) {
+	c := NewCache(0)
+	if _, ok := c.LookupTrace(0x100); ok {
+		t.Error("hit on empty trace table")
+	}
+	tr := mkTrace(0x100, 4)
+	c.InsertTrace(tr)
+	got, ok := c.LookupTrace(0x100)
+	if !ok || got != tr {
+		t.Error("miss after InsertTrace")
+	}
+	if c.TraceLen() != 1 {
+		t.Error("TraceLen")
+	}
+	if c.Stats.TraceMisses != 1 || c.Stats.TraceHits != 1 {
+		t.Errorf("stats: %+v", c.Stats)
+	}
+	if got.Len() != 4 {
+		t.Errorf("trace len %d", got.Len())
+	}
+	// Empty traces are not cacheable.
+	c.InsertTrace(&Trace{Start: 0x500})
+	if c.TraceLen() != 1 {
+		t.Error("empty trace cached")
+	}
+}
+
+func TestTraceInvalidateByContainedRIP(t *testing.T) {
+	c := NewCache(0)
+	// Two traces overlapping at 0x108; one disjoint.
+	a := mkTrace(0x100, 4) // 0x100..0x10c
+	b := mkTrace(0x108, 4) // 0x108..0x114
+	d := mkTrace(0x900, 2)
+	c.InsertTrace(a)
+	c.InsertTrace(b)
+	c.InsertTrace(d)
+	// 0x108 is inside a (entry 2) and is b's start.
+	if n := c.InvalidateTraces(0x108); n != 2 {
+		t.Fatalf("invalidated %d traces, want 2", n)
+	}
+	if _, ok := c.LookupTrace(0x100); ok {
+		t.Error("trace a survived invalidation of contained RIP")
+	}
+	if _, ok := c.LookupTrace(0x108); ok {
+		t.Error("trace b survived")
+	}
+	if _, ok := c.LookupTrace(0x900); !ok {
+		t.Error("disjoint trace dropped")
+	}
+	if c.Stats.TraceInvalidations != 2 {
+		t.Errorf("stats: %+v", c.Stats)
+	}
+	// Idempotent: nothing left containing 0x108.
+	if n := c.InvalidateTraces(0x108); n != 0 {
+		t.Errorf("second invalidation dropped %d", n)
+	}
+}
+
+func TestInvalidateKillsDecodeAndTraces(t *testing.T) {
+	c := NewCache(0)
+	tr := mkTrace(0x100, 4)
+	c.Insert(0x104, &Entry{})
+	c.InsertTrace(tr)
+	c.Invalidate(0x104) // mid-trace address
+	if _, ok := c.Lookup(0x104); ok {
+		t.Error("decode entry survived Invalidate")
+	}
+	if _, ok := c.LookupTrace(0x100); ok {
+		t.Error("containing trace survived Invalidate")
+	}
+}
+
+func TestTraceReplaceReindexes(t *testing.T) {
+	c := NewCache(0)
+	c.InsertTrace(mkTrace(0x100, 8)) // covers 0x100..0x11c
+	c.InsertTrace(mkTrace(0x100, 2)) // re-walked shorter: covers 0x100..0x104
+	if c.TraceLen() != 1 {
+		t.Fatalf("TraceLen %d", c.TraceLen())
+	}
+	// 0x110 was only in the old, replaced trace.
+	if n := c.InvalidateTraces(0x110); n != 0 {
+		t.Errorf("stale index entry survived replace: dropped %d", n)
+	}
+	if n := c.InvalidateTraces(0x104); n != 1 {
+		t.Errorf("new trace not indexed: dropped %d", n)
+	}
+}
+
+func TestTraceEviction(t *testing.T) {
+	c := NewCache(64) // traceCap = 16
+	for i := 0; i < 40; i++ {
+		c.InsertTrace(mkTrace(uint64(0x1000+i*0x100), 2))
+	}
+	if c.TraceLen() > 16 {
+		t.Errorf("trace table size %d over capacity", c.TraceLen())
+	}
+	if c.Stats.TraceEvictions == 0 {
+		t.Error("no trace evictions recorded")
+	}
+	// Newest survives; evicted traces left no index residue.
+	if _, ok := c.LookupTrace(uint64(0x1000 + 39*0x100)); !ok {
+		t.Error("newest trace evicted")
+	}
+	if n := c.InvalidateTraces(0x1000); n != 0 {
+		t.Errorf("evicted trace still indexed: dropped %d", n)
+	}
+}
+
+func TestCloneCopiesTraces(t *testing.T) {
+	c := NewCache(0)
+	tr := mkTrace(0x100, 4)
+	tr.Hits = 7
+	c.InsertTrace(tr)
+	c.Insert(0x100, tr.Entries[0])
+	child := c.Clone()
+	if child.TraceLen() != 1 || child.Len() != 1 {
+		t.Fatalf("clone sizes: traces=%d entries=%d", child.TraceLen(), child.Len())
+	}
+	// Counters are independent copies.
+	ct, _ := child.LookupTrace(0x100)
+	ct.Hits++
+	if tr.Hits != 7 {
+		t.Error("child hit count aliased into parent trace")
+	}
+	// Index is deep-copied: invalidating in the child leaves the parent.
+	child.InvalidateTraces(0x104)
+	if _, ok := c.LookupTrace(0x100); !ok {
+		t.Error("child invalidation leaked into parent")
+	}
+	if child.TraceLen() != 0 {
+		t.Error("child invalidation ineffective")
+	}
+}

@@ -89,6 +89,12 @@ type Config struct {
 	// trap is aborted (the sequence ends early; the guest simply traps
 	// again). 0 = default 10M cycles.
 	TrapCycleBudget uint64
+
+	// NoTraceCache disables the L2 trace table (ablation): every trap
+	// re-walks the sequence through the per-instruction decode cache. With
+	// Seq off the trace cache is inert regardless (single-instruction traps
+	// have no sequence to cache).
+	NoTraceCache bool
 }
 
 // DefaultRetryBudget is the per-site per-trap retry budget when
@@ -125,6 +131,8 @@ type CostParams struct {
 	CorrHandler uint64 // demotion handler body for correctness events
 	WrapCall    uint64 // wrapper stub overhead per foreign call
 	MagicCall   uint64 // double-indirect call+return of a magic trap
+	TraceHit    uint64 // L2 trace-table lookup on trap entry (once per replay)
+	TraceInst   uint64 // per-instruction replay step (vs DecacheHit per walked inst)
 }
 
 // DefaultCosts returns the testbed-calibrated runtime costs.
@@ -139,6 +147,8 @@ func DefaultCosts() CostParams {
 		CorrHandler: 120,
 		WrapCall:    90,
 		MagicCall:   50,
+		TraceHit:    30,
+		TraceInst:   6,
 	}
 }
 

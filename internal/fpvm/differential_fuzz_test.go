@@ -34,6 +34,7 @@ func TestDifferentialFuzz(t *testing.T) {
 		for _, cfg := range []fpvmrt.Config{
 			{Alt: alt.NewBoxedIEEE()},
 			{Alt: alt.NewBoxedIEEE(), Seq: true},
+			{Alt: alt.NewBoxedIEEE(), Seq: true, NoTraceCache: true},
 			{Alt: alt.NewBoxedIEEE(), Seq: true, Short: true},
 			{Alt: alt.NewBoxedIEEE(), Seq: true, FutureHW: true},
 			{Alt: alt.NewBoxedIEEE(), Seq: true, EmulateAll: true},
@@ -76,6 +77,7 @@ func TestCorruptedBoxCorpus(t *testing.T) {
 		for _, cfg := range []fpvmrt.Config{
 			{Alt: alt.NewBoxedIEEE()},
 			{Alt: alt.NewBoxedIEEE(), Seq: true},
+			{Alt: alt.NewBoxedIEEE(), Seq: true, NoTraceCache: true},
 			{Alt: alt.NewBoxedIEEE(), Seq: true, Short: true},
 		} {
 			got := newRig(t, img, cfg, true).run(t)
@@ -126,6 +128,9 @@ func cfgLabel(cfg fpvmrt.Config) string {
 	}
 	if cfg.EmulateAll {
 		l += "+EMULATEALL"
+	}
+	if cfg.NoTraceCache {
+		l += "+NOTRACE"
 	}
 	return l
 }

@@ -134,7 +134,7 @@ func (r *Runtime) boxedLive(bits uint64) bool {
 // ucontext. first marks the faulting instruction (always emulated).
 func (r *Runtime) emulateInst(uc *kernel.Ucontext, e *dcache.Entry, first bool) (emStatus, error) {
 	in := &e.Inst
-	cls := classify(in.Op)
+	cls := emulClass(e.Class) // classified once at decode, cached in the entry
 
 	switch cls {
 	case classMove:

@@ -103,10 +103,21 @@ func (r *Runtime) retryFault(site faultinject.Site) bool {
 
 // degradeFault records an injected fault at site as resolved by
 // degradation. The caller performs the actual degradation.
+//
+// Invalidation contract with the trace cache: degrading a decode, alt-op
+// or heap-alloc fault means the instruction at curRIP was handled outside
+// its recorded shape — any pre-bound sequence through that address must
+// not replay, so every containing trace is killed. (gc.scan degradations
+// only defer reclamation and leave traces alone; kernel.deliver is
+// resolved inside the kernel before any instruction context exists.)
 func (r *Runtime) degradeFault(site faultinject.Site) {
 	r.Degradations++
 	r.Tel.FaultsDegraded++
 	r.inject.Resolve(site, faultinject.Degraded)
+	switch site {
+	case faultinject.SiteDecode, faultinject.SiteAltOp, faultinject.SiteHeapAlloc:
+		r.cache.InvalidateTraces(r.curRIP)
+	}
 }
 
 // fatalFault records an injected fault at site as resolved by detach.
@@ -223,6 +234,9 @@ func (r *Runtime) recoverTrapPanic(uc *kernel.Ucontext, pv any) {
 		return
 	}
 	r.Degradations++
+	// The panicking instruction was re-run natively: its recorded shape is
+	// distrusted, so no cached sequence may replay through it.
+	r.cache.InvalidateTraces(entry.Inst.Addr)
 	uc.CPU.RIP = entry.Inst.Addr + uint64(entry.Inst.Len)
 }
 
@@ -240,7 +254,7 @@ func (r *Runtime) plainBits(v alt.Value) uint64 {
 // re-run path, used after an alt-system fault or panic.
 func (r *Runtime) nativeInst(uc *kernel.Ucontext, e *dcache.Entry) error {
 	in := &e.Inst
-	switch classify(in.Op) {
+	switch emulClass(e.Class) {
 	case classMove:
 		return r.emulateMove(uc, in)
 
@@ -286,7 +300,7 @@ func (r *Runtime) nativeInst(uc *kernel.Ucontext, e *dcache.Entry) error {
 		}
 		dstBits := uc.CPU.XMM[in.RegOp.Reg][0]
 		cr := fpmath.Compare(f64(r.demote(dstBits)), f64(r.demote(srcBits)), false)
-		if classify(in.Op) == classCompare {
+		if emulClass(e.Class) == classCompare {
 			f := uc.CPU.RFLAGS &^ machine64Flags
 			switch {
 			case cr.Unordered:
@@ -392,17 +406,7 @@ func (r *Runtime) boxOrDegrade(v alt.Value, sign uint64) uint64 {
 // trap's ucontext as the authoritative root set for the trapping thread
 // when available.
 func (r *Runtime) forceGC() {
-	var roots []*heap.Roots
-	if r.curUC != nil {
-		roots = append(roots, &heap.Roots{GPR: r.curUC.CPU.GPR, XMM: r.curUC.CPU.XMM})
-	}
-	for _, cpu := range r.p.AllCPUs() {
-		if r.curUC != nil && cpu == &r.m.CPU {
-			continue // the trapping thread: curUC is authoritative
-		}
-		roots = append(roots, &heap.Roots{GPR: cpu.GPR, XMM: cpu.XMM})
-	}
-	r.collect(roots)
+	r.collect(r.gcRoots(r.curUC))
 }
 
 // collect wraps Allocator.Collect with the gc.scan fault site: transient

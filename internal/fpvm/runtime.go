@@ -55,6 +55,20 @@ type Runtime struct {
 	FatalDetaches    uint64 // fatal errors resolved by clean detach
 	Aborted          uint64 // traps observed after detach (not emulated)
 
+	// Trace cache state: flt is the alt system's allocation-free float
+	// interface when it implements one (cached type assertion), traceOn
+	// gates the L2 replay path, traceEnts is the reusable trace-builder
+	// buffer for the walk path.
+	flt       alt.FloatSystem
+	traceOn   bool
+	traceEnts []*dcache.Entry
+
+	// Reusable GC root buffers: root sets are rebuilt on every collection
+	// (registers change between traps) but the backing arrays are hot-path
+	// state worth keeping.
+	rootsBuf  []heap.Roots
+	rootsPtrs []*heap.Roots
+
 	wrapped      map[string]bool   // foreign symbols wrapped (fcall accounting)
 	wrapperAddrs map[string]uint64 // wrapper host addresses by symbol
 	lib          *hostlib.Library  // the wrapped library
@@ -96,6 +110,8 @@ func Attach(p *kernel.Process, cfg Config) (*Runtime, error) {
 	if cfg.Profile {
 		r.Profile = dcache.NewSeqProfile()
 	}
+	r.flt, _ = cfg.Alt.(alt.FloatSystem)
+	r.traceOn = cfg.Seq && !cfg.NoTraceCache
 	r.inject = cfg.Inject
 	r.alloc.MaxLive = cfg.MaxLiveBoxes
 	p.Inject = cfg.Inject
@@ -163,6 +179,8 @@ func (r *Runtime) ForkChild(child *kernel.Process) *Runtime {
 	if r.Cfg.Profile {
 		c.Profile = dcache.NewSeqProfile()
 	}
+	c.flt = r.flt
+	c.traceOn = r.traceOn
 	// The recovery ladder's state is inherited but independent: the child
 	// starts from the parent's counters and budgets (it is a copy of the
 	// parent's process image) and diverges from there; faults in one never
@@ -282,10 +300,36 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 	reason := dcache.TermLimit
 	trapStart := r.m.Cycles
 
+	// L2 trace cache (§4.2): a trap at a known sequence start replays the
+	// whole pre-decoded, pre-bound sequence straight through — no
+	// per-instruction cache lookups, no re-decode, no re-disassembly. The
+	// replay declines (returns done=false) only before emulating anything,
+	// so falling through to the walk below is always safe.
+	if r.traceOn {
+		if tr, ok := r.cache.LookupTrace(start); ok {
+			r.Tel.TraceHits++
+			if r.replayTrace(uc, tr, trapStart) {
+				return
+			}
+		} else {
+			r.Tel.TraceMisses++
+		}
+	}
+
 	profiling := r.Profile != nil
 	var captureInsts []string
 	var captureTerm string
 	capture := profiling && !r.Profile.Known(start)
+
+	// The walk doubles as the trace builder: entries emulated below are
+	// collected and, if the sequence ends at a clean terminator, cached as
+	// a trace for future replay. Aborted sequences (watchdog, mid-sequence
+	// faults) are not representative shapes and are not cached.
+	building := r.traceOn
+	cacheable := true
+	if building {
+		r.traceEnts = r.traceEnts[:0]
+	}
 
 	for {
 		r.curRIP = rip
@@ -299,6 +343,7 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 				if count > 0 {
 					r.degradeFault(faultinject.SiteDecode)
 					reason = dcache.TermUnsupported
+					cacheable = false
 					break
 				}
 				r.fatalFault(faultinject.SiteDecode)
@@ -324,7 +369,9 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 			// instruction FPVM cannot make progress.
 			if count > 0 {
 				r.Degradations++
+				r.cache.InvalidateTraces(rip)
 				reason = dcache.TermUnsupported
+				cacheable = false
 				break
 			}
 			r.fatal(uc, rip, err)
@@ -341,6 +388,9 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 		if capture {
 			captureInsts = append(captureInsts, entry.Inst.String())
 		}
+		if building {
+			r.traceEnts = append(r.traceEnts, entry)
+		}
 		count++
 		rip = entry.Inst.Addr + uint64(entry.Inst.Len)
 		r.Tel.EmulatedInsts++
@@ -352,6 +402,7 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 			r.WatchdogAborts++
 			r.Tel.WatchdogAborts++
 			reason = dcache.TermLimit
+			cacheable = false
 			break
 		}
 		if !r.Cfg.Seq {
@@ -377,6 +428,17 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 	}
 
 	uc.CPU.RIP = rip
+
+	if building && cacheable && count > 0 {
+		r.cache.InsertTrace(&dcache.Trace{
+			Start:   start,
+			Entries: append([]*dcache.Entry(nil), r.traceEnts...),
+			EndRIP:  rip,
+			Reason:  reason,
+			Insts:   captureInsts,
+			Term:    captureTerm,
+		})
+	}
 
 	if r.Profile != nil {
 		r.Profile.Record(start, count, reason, captureInsts, captureTerm)
@@ -411,7 +473,8 @@ func (r *Runtime) decodeAt(rip uint64) (*dcache.Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &dcache.Entry{Inst: in, Supported: classify(in.Op) != classUnsupported}
+	cls := classify(in.Op)
+	e := &dcache.Entry{Inst: in, Supported: cls != classUnsupported, Class: uint8(cls)}
 	r.cache.Insert(rip, e)
 	return e, nil
 }
@@ -424,14 +487,32 @@ func (r *Runtime) maybeGC(uc *kernel.Ucontext) {
 	if !r.alloc.NeedsGC() {
 		return
 	}
-	roots := []*heap.Roots{{GPR: uc.CPU.GPR, XMM: uc.CPU.XMM}}
+	r.collect(r.gcRoots(uc))
+}
+
+// gcRoots assembles the collection root set into the runtime's reusable
+// buffers (root sets are rebuilt per collection, but the backing arrays
+// persist — collections are frequent enough under GC pressure that the
+// slices showed up in the trap path's allocation profile). When uc is nil
+// every parked CPU context is a root; otherwise uc stands in for the
+// trapping thread.
+func (r *Runtime) gcRoots(uc *kernel.Ucontext) []*heap.Roots {
+	r.rootsBuf = r.rootsBuf[:0]
+	if uc != nil {
+		r.rootsBuf = append(r.rootsBuf, heap.Roots{GPR: uc.CPU.GPR, XMM: uc.CPU.XMM})
+	}
 	for _, cpu := range r.p.AllCPUs() {
-		if cpu == &r.m.CPU {
+		if uc != nil && cpu == &r.m.CPU {
 			continue // the trapping thread: uc is authoritative
 		}
-		roots = append(roots, &heap.Roots{GPR: cpu.GPR, XMM: cpu.XMM})
+		r.rootsBuf = append(r.rootsBuf, heap.Roots{GPR: cpu.GPR, XMM: cpu.XMM})
 	}
-	r.collect(roots)
+	// Pointers are taken only after the buffer stops growing.
+	r.rootsPtrs = r.rootsPtrs[:0]
+	for i := range r.rootsBuf {
+		r.rootsPtrs = append(r.rootsPtrs, &r.rootsBuf[i])
+	}
+	return r.rootsPtrs
 }
 
 // resolve turns raw lane bits into an alt value: a confirmed NaN-box

@@ -234,14 +234,28 @@ func TestSeqTerminationReasons(t *testing.T) {
 }
 
 // TestDecodeCacheReuse: repeated traps through the same loop must hit the
-// decode cache (almost always, per §2.4).
+// decode cache (almost always, per §2.4). With the L2 trace table on
+// (default), repeated traps replay whole sequences instead, so the L1
+// assertion runs with the trace cache ablated and the default path must
+// show L2 trace hits dominating.
 func TestDecodeCacheReuse(t *testing.T) {
 	img := buildGCLoop(t, 500)
-	r := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true}, true)
+	r := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true, NoTraceCache: true}, true)
 	r.run(t)
 	c := r.rt.Cache()
 	if c.Stats.Hits < c.Stats.Misses*10 {
 		t.Errorf("decode cache ineffective: %d hits, %d misses", c.Stats.Hits, c.Stats.Misses)
+	}
+	if c.Stats.TraceHits != 0 || c.Stats.TraceMisses != 0 {
+		t.Errorf("trace table engaged despite NoTraceCache: %+v", c.Stats)
+	}
+
+	img2 := buildGCLoop(t, 500)
+	r2 := newRig(t, img2, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true}, true)
+	r2.run(t)
+	c2 := r2.rt.Cache()
+	if c2.Stats.TraceHits < c2.Stats.TraceMisses*10 {
+		t.Errorf("trace cache ineffective: %d hits, %d misses", c2.Stats.TraceHits, c2.Stats.TraceMisses)
 	}
 }
 

@@ -1,0 +1,297 @@
+package fpvm
+
+// Trace replay (§4.2 software trace cache, L2). A trap at a known
+// sequence start replays the cached pre-decoded sequence straight
+// through: no per-instruction decode-cache lookups, no re-decode, no
+// re-disassembly for profiling. Scalar arithmetic additionally takes an
+// allocation-free fast path when the alt system implements
+// alt.FloatSystem — operands resolve, compute and box as raw float64s,
+// skipping every float64→interface conversion of the generic walk (the
+// dominant allocation source on the trap path).
+//
+// Replay re-evaluates each instruction's boxedness against live state, so
+// results are identical to the walk; it only *ends* where the recorded
+// trace ends. When a mid-trace instruction's operands stop being boxed
+// (the §4.2 divergence case), replay exits to the slow path at that
+// instruction and counts a divergence. Faults injected during replay ride
+// the same recovery ladder as the walk, and any fault that distrusts an
+// instruction kills the traces containing it (see degradeFault).
+
+import (
+	"fmt"
+	"math"
+
+	"fpvm/internal/dcache"
+	"fpvm/internal/faultinject"
+	"fpvm/internal/fpmath"
+	"fpvm/internal/isa"
+	"fpvm/internal/kernel"
+	"fpvm/internal/telemetry"
+)
+
+// replayTrace replays tr against uc. It returns true when the trap was
+// fully handled (including fatal detach); false when replay declined
+// before emulating anything — the caller then falls through to the
+// per-instruction walk for this trap.
+func (r *Runtime) replayTrace(uc *kernel.Ucontext, tr *dcache.Trace, trapStart uint64) bool {
+	r.charge(telemetry.Decache, r.Costs.TraceHit)
+
+	count := 0
+	reason := tr.Reason
+	rip := tr.Start
+
+	for i, e := range tr.Entries {
+		rip = e.Inst.Addr
+		r.curRIP = rip
+
+		// The walk checks the decode fault site once per instruction
+		// (decodeAt); replay mirrors that with a trust check on the cached
+		// entry. A fault here models a corrupted trace/decode entry: the
+		// address is invalidated (killing this trace), and the sequence
+		// ends so the next trap re-decodes through the walk.
+		if r.checkFault(faultinject.SiteDecode, rip) {
+			r.cache.Invalidate(rip)
+			if !r.retryFault(faultinject.SiteDecode) {
+				if i == 0 {
+					r.fatalFault(faultinject.SiteDecode)
+					r.fatal(uc, rip, fmt.Errorf("decode: %w", errDecodeFault))
+					return true
+				}
+				r.degradeFault(faultinject.SiteDecode)
+			}
+			if i == 0 {
+				return false // nothing emulated yet: re-walk this trap
+			}
+			reason = dcache.TermUnsupported
+			break
+		}
+
+		r.charge(telemetry.Decache, r.Costs.TraceInst)
+		r.curEntry, r.phase = e, phaseInst
+		status, err := r.replayInst(uc, e, count == 0)
+		r.curEntry, r.phase = nil, phaseNone
+		if err != nil {
+			if count > 0 {
+				// Mid-sequence bind/memory error: degrade by ending the
+				// sequence (the hardware re-runs the instruction) and drop
+				// the traces through it — its recorded shape is distrusted.
+				r.Degradations++
+				r.cache.InvalidateTraces(rip)
+				reason = dcache.TermUnsupported
+				break
+			}
+			r.fatal(uc, rip, err)
+			return true
+		}
+		if status == emNotWarranted {
+			// Boxedness diverged from the recorded shape: exit to the slow
+			// path at this instruction. The trace stays cached — operands
+			// oscillating between boxed and unboxed is normal (§4.2), and
+			// the prefix replay was still profitable.
+			tr.Divergences++
+			r.Tel.TraceDivergences++
+			reason = dcache.TermNoBoxedSource
+			break
+		}
+		count++
+		r.Tel.EmulatedInsts++
+		r.Tel.ReplayedInsts++
+		rip = e.Inst.Addr + uint64(e.Inst.Len)
+
+		if r.m.Cycles-trapStart > r.trapCycleBudget() {
+			r.WatchdogAborts++
+			r.Tel.WatchdogAborts++
+			reason = dcache.TermLimit
+			break
+		}
+	}
+
+	if count == 0 {
+		// Defensive: cannot happen (the first entry is always warranted and
+		// its errors detach above), but never claim an empty trap handled.
+		return false
+	}
+
+	tr.Hits++
+	uc.CPU.RIP = rip
+
+	if r.Profile != nil {
+		// Disassembly was captured once at trace build; Record ignores it
+		// for already-known starts, so no re-disassembly ever happens here.
+		r.Profile.Record(tr.Start, count, reason, tr.Insts, tr.Term)
+	}
+
+	r.maybeGC(uc)
+	return true
+}
+
+// replayInst emulates one pre-decoded instruction on the replay path,
+// dispatching on the class cached at decode time. Scalar arithmetic gets
+// the allocation-free float fast path; every other class shares the
+// generic emulator (which itself reuses the cached class).
+func (r *Runtime) replayInst(uc *kernel.Ucontext, e *dcache.Entry, first bool) (emStatus, error) {
+	if emulClass(e.Class) == classScalarArith && r.flt != nil {
+		return r.replayScalarArith(uc, e, first)
+	}
+	return r.emulateInst(uc, e, first)
+}
+
+// replayScalarArith is the pre-bound scalar arithmetic step: operands were
+// bound at trace build (register numbers and EA shape live in the cached
+// Inst), so binding reduces to register-file reads — with a direct
+// register-register path that skips the operand switch entirely — and the
+// arithmetic runs through the float fast path when every operand resolves
+// as a float64. Semantics, virtual-cycle charges and fault handling are
+// identical to the walk's classScalarArith case.
+func (r *Runtime) replayScalarArith(uc *kernel.Ucontext, e *dcache.Entry, first bool) (emStatus, error) {
+	in := &e.Inst
+	r.charge(telemetry.Bind, r.Costs.BindArith)
+	var srcBits uint64
+	if in.RMOp.Kind == isa.KindXMM {
+		srcBits = uc.CPU.XMM[in.RMOp.Reg][0] // reg-reg: no operand dispatch
+	} else {
+		var err error
+		srcBits, err = r.readOperand(uc, in, in.RMOp, 8)
+		if err != nil {
+			return emOK, err
+		}
+	}
+	dstBits := uc.CPU.XMM[in.RegOp.Reg][0]
+	srcBoxed := r.boxedLive(srcBits)
+	dstBoxed := in.Op != isa.SQRTSD && r.boxedLive(dstBits)
+	if !first && !r.Cfg.EmulateAll && !srcBoxed && !dstBoxed {
+		return emNotWarranted, nil
+	}
+	r.charge(telemetry.Emul, r.Costs.EmulArith)
+	if !r.floatResolvable(srcBits) || (in.Op != isa.SQRTSD && !r.floatResolvable(dstBits)) {
+		// A live box holds a non-float alt value: generic path.
+		uc.CPU.XMM[in.RegOp.Reg][0] = r.altScalar(in.Op, dstBits, srcBits)
+		return emOK, nil
+	}
+	uc.CPU.XMM[in.RegOp.Reg][0] = r.altScalarFloat(in.Op, dstBits, srcBits)
+	return emOK, nil
+}
+
+// floatResolvable reports whether resolveFloat can handle bits without
+// falling back: true unless bits names a live box holding a non-float alt
+// value. (For BoxedIEEE every live box is a float64; other FloatSystem
+// implementations could mix representations.)
+func (r *Runtime) floatResolvable(bits uint64) bool {
+	h, ok := isBox(bits)
+	if !ok {
+		return true // promotes
+	}
+	_, isF, live := r.alloc.GetFloat(h)
+	if !live || isF {
+		return true
+	}
+	v, _ := r.alloc.Get(h)
+	_, isFloat := v.(float64)
+	return isFloat
+}
+
+// resolveFloat is resolve without interface boxing: a live box yields its
+// float64 (negated when the pattern's sign bit is flipped), anything else
+// promotes. Counters and cycle charges mirror resolve exactly.
+func (r *Runtime) resolveFloat(bits uint64) (float64, bool) {
+	if h, ok := isBox(bits); ok {
+		f, isF, live := r.alloc.GetFloat(h)
+		if live {
+			if !isF {
+				// Pre-checked by floatResolvable: a non-float slot here can
+				// only hold a float64-typed Value. Reading through Get
+				// returns the existing interface — no allocation.
+				v, _ := r.alloc.Get(h)
+				f = v.(float64)
+			}
+			if bits>>63 != 0 {
+				nf, cost := r.flt.NegFloat(f)
+				r.charge(telemetry.Altmath, cost)
+				return nf, true
+			}
+			return f, true
+		}
+	}
+	f, cost := r.flt.PromoteFloat(f64(bits))
+	r.Promotions++
+	r.charge(telemetry.Altmath, cost)
+	return f, false
+}
+
+// altScalarFloat is altScalar on the float fast path: same fault ladder,
+// same NaN-with-unboxed-operands raw-bits rule, same costs — but no
+// alt.Value ever exists, so the operation allocates nothing.
+func (r *Runtime) altScalarFloat(op isa.Op, dstBits, srcBits uint64) uint64 {
+	for r.checkFault(faultinject.SiteAltOp, r.curRIP) {
+		if !r.retryFault(faultinject.SiteAltOp) {
+			r.degradeFault(faultinject.SiteAltOp)
+			return r.nativeScalar(op, dstBits, srcBits)
+		}
+	}
+	fop := scalarToFPOp(op)
+	var a, b float64
+	var aBoxed, bBoxed bool
+	if fop == fpmath.OpSqrt {
+		a, aBoxed = r.resolveFloat(srcBits)
+	} else {
+		a, aBoxed = r.resolveFloat(dstBits)
+		b, bBoxed = r.resolveFloat(srcBits)
+	}
+	res, cost := r.flt.OpFloat(fop, a, b)
+	r.charge(telemetry.Altmath, cost)
+	if math.IsNaN(res) && !aBoxed && !bBoxed {
+		// Ordinary operands produced a real NaN: application-visible NaN
+		// bits, never one of our boxes (§2.3) — same rule as altScalar.
+		if fop == fpmath.OpSqrt {
+			return fpmath.Bits(fpmath.Eval(fop, f64(srcBits), 0).Value)
+		}
+		return fpmath.Bits(fpmath.Eval(fop, f64(dstBits), f64(srcBits)).Value)
+	}
+	return r.boxFloat(res)
+}
+
+// boxFloat is box for a float64 result: the value lands in a
+// float-specialized heap slot with no interface conversion. The sign
+// invariant (boxes store magnitudes, the sign lives in bit 63 of the
+// pattern) and the fault/degradation ladder match box exactly.
+func (r *Runtime) boxFloat(f float64) uint64 {
+	for r.checkFault(faultinject.SiteHeapAlloc, r.curRIP) {
+		if !r.retryFault(faultinject.SiteHeapAlloc) {
+			r.degradeFault(faultinject.SiteHeapAlloc)
+			return r.plainBitsFloat(f)
+		}
+	}
+	for i := 0; i < r.Cfg.Alt.TempsPerOp(); i++ {
+		r.alloc.Alloc(nil)
+	}
+	var sign uint64
+	if math.Signbit(f) {
+		nf, cost := r.flt.NegFloat(f)
+		r.charge(telemetry.Altmath, cost)
+		f = nf
+		sign = 1 << 63
+	}
+	return r.boxOrDegradeFloat(f, sign)
+}
+
+// plainBitsFloat is plainBits on the float path (degraded storage).
+func (r *Runtime) plainBitsFloat(f float64) uint64 {
+	df, cost := r.flt.DemoteFloat(f)
+	r.charge(telemetry.Altmath, cost)
+	return bits64(df)
+}
+
+// boxOrDegradeFloat is boxOrDegrade for a float-specialized slot.
+func (r *Runtime) boxOrDegradeFloat(f float64, sign uint64) uint64 {
+	if r.alloc.AtCap() {
+		r.forceGC()
+	}
+	h, err := r.alloc.TryAllocFloat(f)
+	if err != nil { // heap.ErrHeapFull even after collecting
+		r.HeapFullDegrades++
+		r.Degradations++
+		return r.plainBitsFloat(f) ^ sign
+	}
+	r.Boxes++
+	return boxBits(h) | sign
+}

@@ -1,0 +1,217 @@
+package fpvm_test
+
+import (
+	"strings"
+	"testing"
+
+	"fpvm/internal/alt"
+	"fpvm/internal/asm"
+	"fpvm/internal/faultinject"
+	fpvmrt "fpvm/internal/fpvm"
+	"fpvm/internal/isa"
+	"fpvm/internal/kernel"
+	"fpvm/internal/obj"
+)
+
+// buildTraceLoop assembles a loop whose body is a four-deep boxed addsd
+// chain: every iteration traps at the same RIP and replays the same
+// four-instruction trace (terminated by the integer sub). The sum prints
+// at the end, so any replay divergence from the walk shows up in stdout.
+func buildTraceLoop(t *testing.T, n int64) *obj.Image {
+	t.Helper()
+	b := asm.NewBuilder("traceloop")
+	b.RoDouble("one", 1)
+	b.RoDouble("three", 3)
+	b.Func("main")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RCX), n)
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three") // x = 1/3, boxed
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM1), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM1), "three") // step = 1/3, boxed
+	b.Label("loop")
+	b.RM(isa.ADDSD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM1))
+	b.RM(isa.ADDSD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM1))
+	b.RM(isa.ADDSD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM1))
+	b.RM(isa.ADDSD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM1))
+	b.MI(isa.SUB64I, isa.GPR(isa.RCX), 1)
+	b.Branch(isa.JNE, "loop")
+	b.CallImport("print_f64")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func traceLoopCfg(noTrace bool) fpvmrt.Config {
+	return fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true, NoTraceCache: noTrace}
+}
+
+// TestTraceReplayStdoutParity: the trace cache is a pure accelerator —
+// replay must print bit-for-bit what the per-instruction walk prints, and
+// the ablation flag must actually keep the trace table cold.
+func TestTraceReplayStdoutParity(t *testing.T) {
+	on := newRig(t, buildTraceLoop(t, 400), traceLoopCfg(false), true)
+	outOn := on.run(t)
+	off := newRig(t, buildTraceLoop(t, 400), traceLoopCfg(true), true)
+	outOff := off.run(t)
+	if outOn != outOff {
+		t.Fatalf("trace replay changed output:\n on:  %q\n off: %q", outOn, outOff)
+	}
+	if on.rt.Cache().Stats.TraceHits == 0 {
+		t.Error("trace-on run never replayed a trace")
+	}
+	if on.rt.Tel.ReplayedInsts == 0 {
+		t.Error("trace-on run reports zero replayed instructions")
+	}
+	if c := off.rt.Cache(); c.Stats.TraceHits != 0 || c.Stats.TraceMisses != 0 || c.TraceLen() != 0 {
+		t.Errorf("NoTraceCache run touched the trace table: %+v len=%d", c.Stats, c.TraceLen())
+	}
+}
+
+// TestTraceDecodeFaultMidReplay: transient decode faults land mid-replay
+// (the per-entry trust check). Each fault must invalidate the traces
+// through the faulted RIP, the fault ledger must reconcile, replay must
+// resume on later traps (traces rebuild after the drop), and the output
+// must stay bit-exact with an uninjected ablated run.
+func TestTraceDecodeFaultMidReplay(t *testing.T) {
+	want := newRig(t, buildTraceLoop(t, 400), traceLoopCfg(true), true).run(t)
+
+	inj := faultinject.New(7)
+	inj.Arm(faultinject.SiteDecode, faultinject.Rule{Every: 23})
+	cfg := traceLoopCfg(false)
+	cfg.Inject = inj
+	r := newRig(t, buildTraceLoop(t, 400), cfg, true)
+	if got := r.run(t); got != want {
+		t.Fatalf("decode faults changed output:\n got:  %q\n want: %q", got, want)
+	}
+	c := r.rt.Cache()
+	if c.Stats.TraceInvalidations == 0 {
+		t.Error("decode faults never invalidated a trace")
+	}
+	if c.Stats.TraceHits == 0 {
+		t.Error("replay never resumed after invalidations")
+	}
+	if !r.rt.Tel.FaultsReconciled() {
+		t.Errorf("fault ledger broken: %s", r.rt.Tel.FaultLine())
+	}
+	if !inj.Reconciled() {
+		t.Errorf("injector ledger broken:\n%s", inj.Report())
+	}
+}
+
+// TestTraceAltOpFaultDegrades: an every-check alt.op fault drains each
+// trap's retry budget, so the ladder degrades every operation to native
+// IEEE — from the replay fast path too. Each degradation distrusts the
+// instruction and must drop the traces through it; with Boxed IEEE the
+// degraded result is bit-exact, so stdout is unchanged.
+func TestTraceAltOpFaultDegrades(t *testing.T) {
+	want := newRig(t, buildTraceLoop(t, 200), traceLoopCfg(true), true).run(t)
+
+	inj := faultinject.New(3)
+	inj.Arm(faultinject.SiteAltOp, faultinject.Rule{Every: 1})
+	cfg := traceLoopCfg(false)
+	cfg.Inject = inj
+	r := newRig(t, buildTraceLoop(t, 200), cfg, true)
+	if got := r.run(t); got != want {
+		t.Fatalf("alt.op degradation changed output:\n got:  %q\n want: %q", got, want)
+	}
+	if r.rt.Degradations == 0 {
+		t.Fatal("every-check alt.op faults produced no degradations")
+	}
+	c := r.rt.Cache()
+	if c.Stats.TraceInvalidations == 0 {
+		t.Error("alt.op degradations never invalidated a trace")
+	}
+	if c.Stats.TraceHits == 0 {
+		t.Error("trace table never engaged under alt.op faults")
+	}
+	if r.rt.Detached() {
+		t.Error("degradable alt.op faults escalated to detach")
+	}
+	if !r.rt.Tel.FaultsReconciled() {
+		t.Errorf("fault ledger broken: %s", r.rt.Tel.FaultLine())
+	}
+	if tot := inj.Totals(); tot.Fatal != 0 {
+		t.Errorf("degradable faults resolved as fatal: retried=%d degraded=%d fatal=%d",
+			tot.Retried, tot.Degraded, tot.Fatal)
+	}
+}
+
+// TestForkClonesTraces: the child's trace table is a snapshot of the
+// parent's at fork time — same contents, independent afterwards.
+func TestForkClonesTraces(t *testing.T) {
+	b := asm.NewBuilder("forktrace")
+	b.RoDouble("one", 1)
+	b.RoDouble("three", 3)
+	b.Func("main")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RCX), 50)
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM1), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM1), "three")
+	b.Label("loop")
+	b.RM(isa.ADDSD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM1))
+	b.MI(isa.SUB64I, isa.GPR(isa.RCX), 1)
+	b.Branch(isa.JNE, "loop")
+	b.Op0(isa.INT3) // fork marker, after the trace table is warm
+	b.CallImport("print_f64")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parent := newRig(t, img, fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true, Short: true}, true)
+	var child *kernel.Process
+	var childRT *fpvmrt.Runtime
+	parent.p.BreakpointHook = func(uc *kernel.Ucontext) bool {
+		if child != nil {
+			return true
+		}
+		parent.p.M.CPU = uc.CPU
+		child = parent.p.Fork("child")
+		childRT = parent.rt.ForkChild(child)
+		return true
+	}
+	if err := parent.p.Run(0); err != nil {
+		t.Fatalf("parent: %v", err)
+	}
+	if child == nil {
+		t.Fatal("fork marker never hit")
+	}
+	if err := child.Run(0); err != nil {
+		t.Fatalf("child: %v", err)
+	}
+
+	pLen := parent.rt.Cache().TraceLen()
+	cLen := childRT.Cache().TraceLen()
+	if pLen == 0 {
+		t.Fatal("parent built no traces before fork")
+	}
+	if cLen != pLen {
+		t.Errorf("child trace table has %d traces, parent had %d at fork", cLen, pLen)
+	}
+	if parent.rt.Cache() == childRT.Cache() {
+		t.Error("trace cache shared across fork")
+	}
+	// Independence: invalidating everything in the child must not disturb
+	// the parent's table.
+	for childRT.Cache().TraceLen() > 0 {
+		for _, tr := range childRT.Cache().Traces() {
+			childRT.Cache().InvalidateTraces(tr.Start)
+			break
+		}
+	}
+	if parent.rt.Cache().TraceLen() != pLen {
+		t.Error("invalidating the child's traces drained the parent's")
+	}
+	if !strings.HasPrefix(parent.p.Stdout.String(), "17") {
+		t.Errorf("parent printed %q, want 17.0 (51/3)", parent.p.Stdout.String())
+	}
+}

@@ -46,6 +46,12 @@ func DefaultCostModel() CostModel {
 
 type slot struct {
 	val  any
+	// Float-specialized storage: the trace-replay fast path stores float64
+	// box values inline instead of through val (a float64→any conversion
+	// heap-allocates on every box). isF marks which representation a live
+	// slot uses; Get bridges float slots back to any for the generic path.
+	fval float64
+	isF  bool
 	live bool
 	mark bool
 }
@@ -81,18 +87,29 @@ func New(threshold int) *Allocator {
 
 // Alloc stores v and returns its handle.
 func (a *Allocator) Alloc(v any) uint64 {
+	return a.alloc(slot{val: v, live: true})
+}
+
+// AllocFloat stores f in a float-specialized slot and returns its handle.
+// No interface value is created, so the call itself does not allocate
+// (beyond amortized slot-array growth).
+func (a *Allocator) AllocFloat(f float64) uint64 {
+	return a.alloc(slot{fval: f, isF: true, live: true})
+}
+
+func (a *Allocator) alloc(s slot) uint64 {
 	a.Stats.Allocs++
 	var h uint64
 	if n := len(a.free); n > 0 {
 		h = a.free[n-1]
 		a.free = a.free[:n-1]
-		a.slots[h] = slot{val: v, live: true}
+		a.slots[h] = s
 	} else {
 		h = uint64(len(a.slots))
 		if h > nanbox.MaxHandle {
 			panic("heap: handle space exhausted")
 		}
-		a.slots = append(a.slots, slot{val: v, live: true})
+		a.slots = append(a.slots, s)
 	}
 	a.live++
 	if a.live > a.Stats.MaxLive {
@@ -115,14 +132,43 @@ func (a *Allocator) TryAlloc(v any) (uint64, error) {
 	return a.Alloc(v), nil
 }
 
+// TryAllocFloat is TryAlloc for a float-specialized slot.
+func (a *Allocator) TryAllocFloat(f float64) (uint64, error) {
+	if a.AtCap() {
+		return 0, ErrHeapFull
+	}
+	return a.AllocFloat(f), nil
+}
+
 // Get returns the value for handle h. ok is false if h was never
 // allocated or has been collected — the caller must then treat the NaN as
 // an application NaN, per the paper's ours-vs-theirs discrimination.
+// Float-specialized slots are bridged back to any here (this conversion
+// allocates, which is acceptable: Get sits on the generic walk path, not
+// the replay fast path).
 func (a *Allocator) Get(h uint64) (any, bool) {
 	if h >= uint64(len(a.slots)) || !a.slots[h].live {
 		return nil, false
 	}
-	return a.slots[h].val, true
+	s := &a.slots[h]
+	if s.isF {
+		return s.fval, true
+	}
+	return s.val, true
+}
+
+// GetFloat returns the float64 for handle h without creating an interface
+// value. isFloat is false when the slot is live but holds a non-float
+// value (a generic alt-system Value) — the caller must fall back to Get.
+func (a *Allocator) GetFloat(h uint64) (f float64, isFloat, ok bool) {
+	if h >= uint64(len(a.slots)) || !a.slots[h].live {
+		return 0, false, false
+	}
+	s := &a.slots[h]
+	if s.isF {
+		return s.fval, true, true
+	}
+	return 0, false, true
 }
 
 // Live returns the number of live boxes.
@@ -188,6 +234,8 @@ func (a *Allocator) Collect(as *mem.AddressSpace, roots ...*Roots) (freed int, c
 		s := &a.slots[h]
 		if s.live && !s.mark {
 			s.val = nil
+			s.fval = 0
+			s.isF = false
 			s.live = false
 			a.free = append(a.free, uint64(h))
 			freed++

@@ -82,6 +82,37 @@ type Breakdown struct {
 	// AbortedTraps counts traps delivered after the runtime detached;
 	// they are observed (not silently swallowed) but no longer emulated.
 	AbortedTraps uint64
+
+	// Trace cache activity (§4.2 software trace cache). TraceHits counts
+	// traps served by replaying a cached pre-bound sequence, TraceMisses
+	// traps that walked per-instruction (and typically built a trace),
+	// TraceDivergences replays that exited early because an instruction's
+	// boxedness diverged from the recorded shape, and ReplayedInsts the
+	// emulated instructions executed via replay (a subset of
+	// EmulatedInsts).
+	TraceHits        uint64
+	TraceMisses      uint64
+	TraceDivergences uint64
+	ReplayedInsts    uint64
+}
+
+// TraceHitRate returns the fraction of sequence traps served from the L2
+// trace table (0 when the trace cache never engaged).
+func (b *Breakdown) TraceHitRate() float64 {
+	t := b.TraceHits + b.TraceMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(b.TraceHits) / float64(t)
+}
+
+// DivergenceRate returns the fraction of trace replays that exited early on
+// a boxedness divergence.
+func (b *Breakdown) DivergenceRate() float64 {
+	if b.TraceHits == 0 {
+		return 0
+	}
+	return float64(b.TraceDivergences) / float64(b.TraceHits)
 }
 
 // FaultsReconciled reports whether every injected fault the runtime
