@@ -39,20 +39,36 @@ type Stats struct {
 // instead of reslicing (order = order[1:] would pin the backing array for
 // the life of the cache), and Push compacts the dead prefix once it
 // dominates, so the backing array stays bounded by the live population.
+// Membership is tracked so Push never enqueues a key twice: without it,
+// invalidate→reinsert cycles (which delete the cached value but leave its
+// queue slot) would re-push the key each round, growing the queue without
+// bound below capacity and making the stale duplicate the next eviction
+// victim at capacity.
 type fifo struct {
 	buf  []uint64
 	head int
+	in   map[uint64]struct{}
 }
 
 func (f *fifo) Len() int { return len(f.buf) - f.head }
 
+// Push enqueues v unless it is already queued. A re-pushed key keeps its
+// original position — approximate FIFO, but the queue length stays
+// bounded by the number of distinct keys.
 func (f *fifo) Push(v uint64) {
+	if f.in == nil {
+		f.in = make(map[uint64]struct{})
+	}
+	if _, queued := f.in[v]; queued {
+		return
+	}
 	if f.head > 32 && f.head > len(f.buf)/2 {
 		n := copy(f.buf, f.buf[f.head:])
 		f.buf = f.buf[:n]
 		f.head = 0
 	}
 	f.buf = append(f.buf, v)
+	f.in[v] = struct{}{}
 }
 
 func (f *fifo) Pop() (uint64, bool) {
@@ -61,11 +77,19 @@ func (f *fifo) Pop() (uint64, bool) {
 	}
 	v := f.buf[f.head]
 	f.head++
+	delete(f.in, v)
 	return v, true
 }
 
 func (f *fifo) Clone() fifo {
-	return fifo{buf: append([]uint64(nil), f.buf[f.head:]...)}
+	out := fifo{buf: append([]uint64(nil), f.buf[f.head:]...)}
+	if len(out.buf) > 0 {
+		out.in = make(map[uint64]struct{}, len(out.buf))
+		for _, v := range out.buf {
+			out.in[v] = struct{}{}
+		}
+	}
+	return out
 }
 
 // Cap exposes the backing array capacity (tests assert boundedness).
@@ -167,6 +191,10 @@ func (c *Cache) Len() int { return len(c.entries) }
 
 // OrderCap exposes the FIFO backing capacity (boundedness tests).
 func (c *Cache) OrderCap() int { return c.order.Cap() }
+
+// TraceOrderCap exposes the trace FIFO backing capacity (boundedness
+// tests: invalidate→reinsert churn must not grow the queue).
+func (c *Cache) TraceOrderCap() int { return c.traceOrder.Cap() }
 
 // Clone duplicates the cache (fork(): the decode cache is FPVM state in
 // process memory, so the child gets a copy). Traces are duplicated too —
@@ -273,10 +301,13 @@ func (c *Cache) InsertTrace(t *Trace) {
 // calls it whenever an instruction decodes faultily or degrades: a
 // pre-bound sequence must never replay through a distrusted instruction.
 func (c *Cache) InvalidateTraces(rip uint64) int {
-	starts, ok := c.ripIndex[rip]
-	if !ok {
+	if _, ok := c.ripIndex[rip]; !ok {
 		return 0
 	}
+	// Snapshot the start list: unindexTrace compacts c.ripIndex[rip] in
+	// place (kept := list[:0]), so ranging over the live slice would read
+	// shifted elements and let overlapping traces survive.
+	starts := append([]uint64(nil), c.ripIndex[rip]...)
 	n := 0
 	for _, start := range starts {
 		if t, live := c.traces[start]; live {

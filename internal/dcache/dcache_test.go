@@ -289,6 +289,63 @@ func TestTraceInvalidateByContainedRIP(t *testing.T) {
 	}
 }
 
+// TestInvalidateTracesAllOverlapping is the review repro: with three or
+// more traces covering one rip, iterating the live ripIndex list while
+// unindexTrace compacted it in place read shifted elements and let some
+// traces survive invalidation.
+func TestInvalidateTracesAllOverlapping(t *testing.T) {
+	c := NewCache(0)
+	c.InsertTrace(mkTrace(0x100, 4)) // covers 0x100..0x10c
+	c.InsertTrace(mkTrace(0x104, 4)) // covers 0x104..0x110
+	c.InsertTrace(mkTrace(0x108, 4)) // covers 0x108..0x114
+	// 0x108 is inside all three.
+	if n := c.InvalidateTraces(0x108); n != 3 {
+		t.Fatalf("invalidated %d traces, want 3", n)
+	}
+	if c.TraceLen() != 0 {
+		t.Errorf("%d traces survived invalidation of a shared RIP", c.TraceLen())
+	}
+	for _, start := range []uint64{0x100, 0x104, 0x108} {
+		if _, ok := c.LookupTrace(start); ok {
+			t.Errorf("trace %#x survived", start)
+		}
+	}
+}
+
+// TestTraceOrderBoundedUnderInvalidate asserts invalidate→rebuild churn
+// below capacity neither grows the trace FIFO without bound nor leaves
+// stale duplicate starts (which would make a freshly re-inserted trace
+// the next eviction victim at capacity).
+func TestTraceOrderBoundedUnderInvalidate(t *testing.T) {
+	c := NewCache(64) // traceCap = 16
+	for i := 0; i < 1000; i++ {
+		c.InsertTrace(mkTrace(0x100, 4))
+		if n := c.InvalidateTraces(0x104); n != 1 {
+			t.Fatalf("cycle %d: invalidated %d traces, want 1", i, n)
+		}
+	}
+	if got := c.TraceOrderCap(); got > 16 {
+		t.Errorf("trace order backing cap %d grew under invalidate/reinsert churn", got)
+	}
+	if c.TraceLen() != 0 {
+		t.Errorf("TraceLen %d after final invalidation", c.TraceLen())
+	}
+}
+
+// TestOrderBoundedUnderInvalidate is the L1 analogue: Invalidate deletes
+// the entry but leaves its queue slot, so re-inserting must not push a
+// duplicate.
+func TestOrderBoundedUnderInvalidate(t *testing.T) {
+	c := NewCache(64)
+	for i := 0; i < 1000; i++ {
+		c.Insert(0x100, &Entry{})
+		c.Invalidate(0x100)
+	}
+	if got := c.OrderCap(); got > 16 {
+		t.Errorf("order backing cap %d grew under invalidate/reinsert churn", got)
+	}
+}
+
 func TestInvalidateKillsDecodeAndTraces(t *testing.T) {
 	c := NewCache(0)
 	tr := mkTrace(0x100, 4)

@@ -112,6 +112,13 @@ func (r *Runtime) replayTrace(uc *kernel.Ucontext, tr *dcache.Trace, trapStart u
 		return false
 	}
 
+	if count == len(tr.Entries) {
+		// Full replay: resume at the end address recorded when the trace
+		// was built, keeping EndRIP authoritative over the per-entry
+		// recomputation (which only early exits need).
+		rip = tr.EndRIP
+	}
+
 	tr.Hits++
 	uc.CPU.RIP = rip
 
