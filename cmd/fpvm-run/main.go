@@ -6,13 +6,30 @@
 //	fpvm-run -workload lorenz_attractor [-alt boxed|mpfr|posit|interval|rational]
 //	         [-seq] [-short] [-native] [-nopatch] [-int3] [-scale N] [-stats]
 //	         [-inject SPEC] [-inject-seed N] [-max-boxes N]
+//	         [-checkpoint-interval N] [-max-rollbacks N]
 //
 // Fault injection (-inject) arms the runtime's recovery ladder at named
 // pipeline sites. SPEC grammar: "site:key=value[,key=value];site:..."
 // with sites alt.op, heap.alloc, decode, kernel.deliver, corr.trap,
-// gc.scan (or "all") and keys prob, every, rip, limit. Example:
+// gc.scan, ckpt.save, ckpt.restore (or "all") and keys prob, every, rip,
+// limit, sev (sev=fatal makes a rule's faults unclearable by retry — they
+// go to the fatal rung, where checkpoint rollback gets its chance).
+// Example:
 //
-//	fpvm-run -workload lorenz_attractor -seq -inject 'alt.op:every=1000;decode:prob=0.001'
+//	fpvm-run -workload lorenz_attractor -seq -checkpoint-interval 50 \
+//	         -inject 'alt.op:every=1000,sev=fatal;decode:prob=0.001'
+//
+// Exit codes report how virtualization ended:
+//
+//	0  clean: the run completed fully virtualized (rollbacks may have
+//	   occurred only if also degraded/detached — see below)
+//	1  hard error (bad flags, workload failure, non-detach run error)
+//	10 degraded: one or more operations fell back to native IEEE
+//	11 detached: the fatal rung fired; the guest finished un-virtualized
+//	12 rolled-back: failures occurred but checkpoint rollback recovered
+//	   them all; the run stayed fully virtualized and bit-identical
+//
+// Precedence when several apply: detached > degraded > rolled-back.
 package main
 
 import (
@@ -25,6 +42,15 @@ import (
 	"fpvm/internal/faultinject"
 	"fpvm/internal/telemetry"
 	"fpvm/internal/workloads"
+)
+
+// Exit codes (see package comment).
+const (
+	exitClean      = 0
+	exitError      = 1
+	exitDegraded   = 10
+	exitDetached   = 11
+	exitRolledBack = 12
 )
 
 func main() {
@@ -40,9 +66,11 @@ func main() {
 	magicWraps := flag.Bool("magicwraps", false, "use symbol-rewrite wrapping (§5.3)")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	stats := flag.Bool("stats", false, "print the telemetry breakdown")
-	injectSpec := flag.String("inject", "", "fault injection spec, e.g. 'alt.op:every=1000;decode:prob=0.001' or 'all:prob=0.0001'")
+	injectSpec := flag.String("inject", "", "fault injection spec, e.g. 'alt.op:every=1000,sev=fatal' or 'all:prob=0.0001'")
 	injectSeed := flag.Uint64("inject-seed", 1, "fault injector PRNG seed (deterministic)")
 	maxBoxes := flag.Int("max-boxes", 0, "hard cap on live NaN boxes (0 = unbounded)")
+	ckptInterval := flag.Int("checkpoint-interval", 0, "snapshot the VM every N traps for rollback recovery (0 = disabled)")
+	maxRollbacks := flag.Int("max-rollbacks", 0, "bound rollback attempts per run (0 = default 8)")
 	flag.Parse()
 
 	img, err := workloads.Build(workloads.Name(*workload), *scale)
@@ -72,14 +100,16 @@ func main() {
 		fatal(err)
 	}
 	cfg := fpvm.Config{
-		Alt:          fpvm.AltKind(*altKind),
-		Precision:    *precision,
-		Seq:          *seq,
-		Short:        *short,
-		MagicWraps:   *magicWraps,
-		NoTraceCache: *noTrace,
-		Profile:      true,
-		MaxLiveBoxes: *maxBoxes,
+		Alt:                fpvm.AltKind(*altKind),
+		Precision:          *precision,
+		Seq:                *seq,
+		Short:              *short,
+		MagicWraps:         *magicWraps,
+		NoTraceCache:       *noTrace,
+		Profile:            true,
+		MaxLiveBoxes:       *maxBoxes,
+		CheckpointInterval: *ckptInterval,
+		MaxRollbacks:       *maxRollbacks,
 	}
 	if *injectSpec != "" {
 		inj, perr := faultinject.ParseSpec(*injectSpec, *injectSeed)
@@ -118,13 +148,28 @@ func main() {
 	if res.FaultReport != "" {
 		fmt.Fprint(os.Stderr, res.FaultReport)
 		if !res.Breakdown.FaultsReconciled() {
-			fmt.Fprintln(os.Stderr, "warning: fault ledger does not reconcile (injected != retried+degraded+fatal)")
+			fmt.Fprintln(os.Stderr, "warning: fault ledger does not reconcile (injected != retried+rolledback+degraded+fatal)")
 		}
 	}
 	if *stats {
 		fmt.Fprintln(os.Stderr, telemetry.Header())
 		fmt.Fprintln(os.Stderr, res.Breakdown.Row(cfg.ConfigName()))
 	}
+	os.Exit(outcomeExit(res))
+}
+
+// outcomeExit maps the run's recovery outcome to the documented exit
+// codes, most severe first.
+func outcomeExit(res *fpvm.Result) int {
+	switch {
+	case res.Detached:
+		return exitDetached
+	case res.Degradations > 0:
+		return exitDegraded
+	case res.Rollbacks > 0:
+		return exitRolledBack
+	}
+	return exitClean
 }
 
 func names() string {
@@ -137,5 +182,5 @@ func names() string {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "fpvm-run:", err)
-	os.Exit(1)
+	os.Exit(exitError)
 }

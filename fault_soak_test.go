@@ -96,6 +96,140 @@ func TestFaultSoak(t *testing.T) {
 		agg.Fired, agg.Retried, agg.Degraded, agg.Fatal)
 }
 
+// TestRollbackAcceptanceLorenz is the PR's acceptance criterion in test
+// form: a fatal alt.op fault mid-run with checkpointing enabled must end
+// with Lorenz completing bit-identically to the fault-free run, with at
+// least one rollback and zero detaches; the identical schedule without
+// checkpointing must detach.
+func TestRollbackAcceptanceLorenz(t *testing.T) {
+	img, err := workloads.Build(workloads.Lorenz, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runImg, err := fpvm.PrepareForFPVM(img, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := fpvm.Run(runImg, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rule := faultinject.Rule{Every: 997, Limit: 1, Fatal: true}
+
+	// With checkpointing: rollback absorbs the fatal fault.
+	inj := faultinject.New(0xF417)
+	inj.Arm(faultinject.SiteAltOp, rule)
+	res, err := fpvm.Run(runImg, fpvm.Config{
+		Alt: fpvm.AltBoxed, Seq: true, Short: true,
+		Inject: inj, CheckpointInterval: 25,
+	})
+	if err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	if res.Rollbacks == 0 {
+		t.Error("checkpointed run recorded no rollback")
+	}
+	if res.Detached || res.Degradations != 0 {
+		t.Errorf("checkpointed run not undegraded: detached=%v degradations=%d",
+			res.Detached, res.Degradations)
+	}
+	if res.Stdout != clean.Stdout {
+		t.Error("rolled-back run diverged from the fault-free output")
+	}
+	if !inj.Reconciled() || !res.Breakdown.FaultsReconciled() {
+		t.Errorf("ledgers broken: %s\n%s", res.Breakdown.FaultLine(), inj.Report())
+	}
+
+	// Without checkpointing: the same fault can only detach.
+	inj = faultinject.New(0xF417)
+	inj.Arm(faultinject.SiteAltOp, rule)
+	res, err = fpvm.Run(runImg, fpvm.Config{
+		Alt: fpvm.AltBoxed, Seq: true, Short: true, Inject: inj,
+	})
+	if err != nil && (res == nil || !res.Detached) {
+		t.Fatalf("uncheckpointed run failed outside the ladder: %v", err)
+	}
+	if !res.Detached {
+		t.Error("fatal fault without checkpointing did not detach")
+	}
+	if res.Rollbacks != 0 {
+		t.Errorf("uncheckpointed run claims %d rollbacks", res.Rollbacks)
+	}
+	// Do no harm, precisely: the detach happened mid-sequence, after part
+	// of the trapped sequence was already emulated. The guest must resume
+	// natively at the *failing* instruction — not the sequence start,
+	// which would double-apply the emulated prefix — so under Boxed IEEE
+	// even the detached run is bit-identical.
+	if res.Stdout != clean.Stdout {
+		t.Error("detached run diverged from the fault-free output (emulated prefix re-executed?)")
+	}
+}
+
+// TestRollbackSoak extends the soak to the fatal tier under active
+// checkpointing: random fatal faults at every pipeline site, one site at
+// a time and all together. The contract is "never silently wrong": every
+// run either completes bit-identical to native or ends in an explicit
+// degraded/detached outcome — and the ledgers reconcile either way.
+func TestRollbackSoak(t *testing.T) {
+	sites := faultinject.Sites()
+
+	for _, wl := range []workloads.Name{workloads.Lorenz, workloads.ThreeBody} {
+		img, err := workloads.Build(wl, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fpvm.RunNative(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runImg, err := fpvm.PrepareForFPVM(img, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		run := func(label string, arm func(*faultinject.Injector)) {
+			inj := faultinject.New(0x50AC)
+			arm(inj)
+			res, err := fpvm.Run(runImg, fpvm.Config{
+				Alt:                fpvm.AltBoxed,
+				Seq:                true,
+				Short:              true,
+				Inject:             inj,
+				CheckpointInterval: 20,
+			})
+			if err != nil && (res == nil || !res.Detached) {
+				t.Errorf("%s/%s: run failed outside the ladder: %v", wl, label, err)
+				return
+			}
+			if res.Stdout == "" {
+				t.Errorf("%s/%s: guest produced no output", wl, label)
+			}
+			// Never silently wrong: an attached, undegraded finish must be
+			// bit-identical; anything else must be explicit in the result.
+			if !res.Detached && res.Degradations == 0 && res.Stdout != want.Stdout {
+				t.Errorf("%s/%s: undegraded run diverged from native output", wl, label)
+			}
+			if !inj.Reconciled() || !inj.Consistent() {
+				t.Errorf("%s/%s: injector ledger broken:\n%s", wl, label, inj.Report())
+			}
+			if !res.Breakdown.FaultsReconciled() {
+				t.Errorf("%s/%s: telemetry ledger broken: %s", wl, label, res.Breakdown.FaultLine())
+			}
+		}
+
+		for _, site := range sites {
+			site := site
+			run("fatal-"+string(site), func(in *faultinject.Injector) {
+				in.Arm(site, faultinject.Rule{Prob: 0.002, Fatal: true})
+			})
+		}
+		run("fatal-all-sites", func(in *faultinject.Injector) {
+			in.ArmAll(faultinject.Rule{Prob: 0.0005, Fatal: true})
+		})
+	}
+}
+
 // TestFaultSoakConcurrent shares one injector between concurrently
 // running virtualized guests (as `go test -race` fodder): the injector's
 // ledger must stay consistent, and every guest must still print the

@@ -119,6 +119,16 @@ type Config struct {
 	// trap re-walks its sequence through the per-instruction decode cache
 	// instead of replaying the cached pre-bound sequence.
 	NoTraceCache bool
+
+	// CheckpointInterval enables the rollback supervisor: every N traps
+	// FPVM captures a crash-consistent snapshot of the whole VM, and
+	// fatal-rung failures restore the last snapshot and re-execute with
+	// the distrusted instruction quarantined to native execution instead
+	// of detaching. 0 (the default) disables checkpointing.
+	CheckpointInterval int
+
+	// MaxRollbacks bounds rollback attempts per run (0 = default 8).
+	MaxRollbacks int
 }
 
 // ConfigName renders the paper's config label (NONE/SEQ/SHORT/SEQ SHORT).
@@ -212,6 +222,17 @@ type Result struct {
 	WatchdogAborts  uint64
 	PanicRecoveries uint64
 	AbortedTraps    uint64
+
+	// Rollback supervisor outcomes (Config.CheckpointInterval > 0).
+	// Checkpoints counts snapshots captured; Rollbacks fatal failures
+	// resolved by restoring a snapshot and re-executing (the run stayed
+	// fully virtualized); RollbackFailures attempts that escalated down
+	// the ladder instead; Quarantines distinct RIPs pinned to native
+	// execution after a rollback.
+	Checkpoints      uint64
+	Rollbacks        uint64
+	RollbackFailures uint64
+	Quarantines      uint64
 
 	// FaultReport is the injector's per-site ledger ("" when no injector
 	// was armed).
@@ -307,21 +328,23 @@ func Run(img *obj.Image, cfg Config) (*Result, error) {
 	lib := hostlib.Install(p)
 
 	rt, err := fpvmrt.Attach(p, fpvmrt.Config{
-		Alt:             sys,
-		Seq:             cfg.Seq,
-		Short:           cfg.Short,
-		MagicWraps:      cfg.MagicWraps,
-		GCThreshold:     cfg.GCThreshold,
-		CacheCapacity:   cfg.CacheCapacity,
-		SeqLimit:        cfg.SeqLimit,
-		Profile:         cfg.Profile,
-		EmulateAll:      cfg.EmulateAll,
-		FutureHW:        cfg.FutureHW,
-		Inject:          cfg.Inject,
-		MaxLiveBoxes:    cfg.MaxLiveBoxes,
-		RetryBudget:     cfg.RetryBudget,
-		TrapCycleBudget: cfg.TrapCycleBudget,
-		NoTraceCache:    cfg.NoTraceCache,
+		Alt:                sys,
+		Seq:                cfg.Seq,
+		Short:              cfg.Short,
+		MagicWraps:         cfg.MagicWraps,
+		GCThreshold:        cfg.GCThreshold,
+		CacheCapacity:      cfg.CacheCapacity,
+		SeqLimit:           cfg.SeqLimit,
+		Profile:            cfg.Profile,
+		EmulateAll:         cfg.EmulateAll,
+		FutureHW:           cfg.FutureHW,
+		Inject:             cfg.Inject,
+		MaxLiveBoxes:       cfg.MaxLiveBoxes,
+		RetryBudget:        cfg.RetryBudget,
+		TrapCycleBudget:    cfg.TrapCycleBudget,
+		NoTraceCache:       cfg.NoTraceCache,
+		CheckpointInterval: cfg.CheckpointInterval,
+		MaxRollbacks:       cfg.MaxRollbacks,
 	})
 	if err != nil {
 		return nil, err
@@ -377,6 +400,10 @@ func Run(img *obj.Image, cfg Config) (*Result, error) {
 		WatchdogAborts:     rt.WatchdogAborts,
 		PanicRecoveries:    rt.PanicRecoveries,
 		AbortedTraps:       rt.Aborted,
+		Checkpoints:        rt.Checkpoints,
+		Rollbacks:          rt.Rollbacks,
+		RollbackFailures:   rt.RollbackFailures,
+		Quarantines:        rt.Quarantines,
 	}
 	if cfg.Inject != nil {
 		res.FaultReport = cfg.Inject.Report()

@@ -52,6 +52,13 @@ type System interface {
 	// allocates beyond its result. MPFR allocates more temporaries than
 	// Boxed IEEE, which the paper observes as higher gc overhead (§6.4).
 	TempsPerOp() int
+
+	// CloneValue returns a copy of v that remains valid if the original
+	// is later mutated in place. Systems with immutable (or value-typed)
+	// representations may return v unchanged. The checkpoint subsystem
+	// uses this to serialize live box contents into a snapshot and to
+	// restore them without aliasing the running heap.
+	CloneValue(v Value) Value
 }
 
 // FloatSystem is an optional extension: systems whose Value representation

@@ -9,16 +9,52 @@ import (
 	"fpvm/internal/workloads"
 )
 
+// resilScenario is one fault schedule + recovery configuration for the
+// resilience table.
+type resilScenario struct {
+	name string
+	arm  func(*faultinject.Injector)
+	ckpt int // Config.CheckpointInterval (0 = rollback supervisor off)
+}
+
+// resilScenarios pairs the transient baseline with the rollback
+// demonstration: the same fatal alt.op fault is injected with and without
+// checkpointing. Without a checkpoint the fatal rung can only detach;
+// with one the supervisor rolls the VM back and the run ends undegraded
+// and bit-identical to the fault-free run.
+var resilScenarios = []resilScenario{
+	{
+		name: "transient all sites",
+		arm:  func(in *faultinject.Injector) { in.ArmAll(faultinject.Rule{Every: 997}) },
+	},
+	{
+		name: "fatal alt.op no-ckpt",
+		arm: func(in *faultinject.Injector) {
+			in.Arm(faultinject.SiteAltOp, faultinject.Rule{Every: 997, Limit: 1, Fatal: true})
+		},
+	},
+	{
+		name: "fatal alt.op ckpt",
+		arm: func(in *faultinject.Injector) {
+			in.Arm(faultinject.SiteAltOp, faultinject.Rule{Every: 997, Limit: 1, Fatal: true})
+		},
+		ckpt: 25,
+	},
+}
+
 // ResilienceTable exercises the recovery ladder: each workload runs under
-// SEQ SHORT with the fault injector armed at every pipeline site, and the
-// table reports how injected faults were resolved (retried / degraded /
-// fatal), whether the ladder's ledger reconciles, and whether the guest
-// still produced output. The robustness target is that faults resolve by
-// retry or degradation — a fatal detach is the ladder's last resort.
+// SEQ SHORT through the fault scenarios above, and the table reports how
+// injected faults were resolved (retried / rolled back / degraded /
+// fatal), whether the ladder's ledger reconciles, the rollback
+// supervisor's activity, the run's outcome (clean / rolledback /
+// degraded / detached), and — the robustness headline — whether the run
+// ended undegraded AND bit-identical to the fault-free run ("undegr").
+// For the fatal scenarios that column flips from NO to yes exactly when
+// checkpointing is enabled: rollback turns a detach into a clean finish.
 func ResilienceTable(w io.Writer, alt fpvm.AltKind, scale int, progress io.Writer) error {
-	fmt.Fprintf(w, "Resilience: fault injection at every pipeline site (alt=%s, SEQ SHORT)\n", alt)
-	fmt.Fprintf(w, "%-24s %9s %9s %9s %9s %6s %9s %9s %6s\n",
-		"workload", "injected", "retried", "degraded", "fatal", "recon", "panics", "watchdog", "output")
+	fmt.Fprintf(w, "Resilience: fault injection and rollback recovery (alt=%s, SEQ SHORT)\n", alt)
+	fmt.Fprintf(w, "%-24s %-21s %8s %7s %5s %5s %5s %5s %5s %10s %6s\n",
+		"workload", "scenario", "injected", "retried", "rlbk", "degr", "fatal", "recon", "ckpts", "outcome", "undegr")
 
 	for _, name := range []workloads.Name{workloads.Lorenz, workloads.ThreeBody} {
 		img, err := workloads.Build(name, scale)
@@ -29,33 +65,58 @@ func ResilienceTable(w io.Writer, alt fpvm.AltKind, scale int, progress io.Write
 		if err != nil {
 			return err
 		}
-		inj := faultinject.New(0xF417)
-		inj.ArmAll(faultinject.Rule{Every: 997})
-		cfg := fpvm.Config{
-			Alt:    alt,
-			Seq:    true,
-			Short:  true,
-			Inject: inj,
+
+		// Fault-free reference for the bit-identical check.
+		clean, err := fpvm.Run(runImg, fpvm.Config{Alt: alt, Seq: true, Short: true})
+		if err != nil {
+			return fmt.Errorf("experiments: %s fault-free reference: %w", name, err)
 		}
-		res, err := fpvm.Run(runImg, cfg)
-		if err != nil && (res == nil || !res.Detached) {
-			return fmt.Errorf("experiments: %s under injection: %w", name, err)
+
+		for _, sc := range resilScenarios {
+			inj := faultinject.New(0xF417)
+			sc.arm(inj)
+			cfg := fpvm.Config{
+				Alt:                alt,
+				Seq:                true,
+				Short:              true,
+				Inject:             inj,
+				CheckpointInterval: sc.ckpt,
+			}
+			res, err := fpvm.Run(runImg, cfg)
+			if err != nil && (res == nil || !res.Detached) {
+				return fmt.Errorf("experiments: %s under %s: %w", name, sc.name, err)
+			}
+			if progress != nil {
+				fmt.Fprintf(progress, "== %s / %s: %s\n", name, sc.name, res.Breakdown.FaultLine())
+			}
+			b := res.Breakdown
+			recon := "yes"
+			if !b.FaultsReconciled() {
+				recon = "NO"
+			}
+			undegr := "NO"
+			if !res.Detached && res.Degradations == 0 && res.Stdout == clean.Stdout {
+				undegr = "yes"
+			}
+			fmt.Fprintf(w, "%-24s %-21s %8d %7d %5d %5d %5d %5s %5d %10s %6s\n",
+				name, sc.name, b.FaultsInjected, b.FaultsRetried, b.FaultsRolledBack,
+				b.FaultsDegraded, b.FaultsFatal, recon, res.Checkpoints,
+				outcome(res), undegr)
 		}
-		if progress != nil {
-			fmt.Fprintf(progress, "== %s: %s\n", name, res.Breakdown.FaultLine())
-		}
-		b := res.Breakdown
-		recon := "yes"
-		if !b.FaultsReconciled() {
-			recon = "NO"
-		}
-		output := "yes"
-		if res.Stdout == "" {
-			output = "NO"
-		}
-		fmt.Fprintf(w, "%-24s %9d %9d %9d %9d %6s %9d %9d %6s\n",
-			name, b.FaultsInjected, b.FaultsRetried, b.FaultsDegraded, b.FaultsFatal,
-			recon, b.PanicRecoveries, b.WatchdogAborts, output)
 	}
 	return nil
+}
+
+// outcome names how the run ended, most severe condition first (the same
+// precedence as fpvm-run's exit codes).
+func outcome(res *fpvm.Result) string {
+	switch {
+	case res.Detached:
+		return "detached"
+	case res.Degradations > 0:
+		return "degraded"
+	case res.Rollbacks > 0:
+		return "rolledback"
+	}
+	return "clean"
 }

@@ -1,0 +1,154 @@
+package faultinject
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The accounting audit: the ledger invariants must hold at every
+// instant, not just at end of run, so double-resolution and lost
+// resolutions are caught where they happen.
+
+func TestFatalRuleMarksFault(t *testing.T) {
+	in := New(1)
+	in.Arm(SiteAltOp, Rule{Every: 1, Fatal: true})
+	err := in.Check(SiteAltOp, 0x100)
+	if err == nil {
+		t.Fatal("every=1 rule did not fire")
+	}
+	f, ok := err.(*Fault)
+	if !ok {
+		t.Fatalf("Check returned %T, want *Fault", err)
+	}
+	if !f.Fatal {
+		t.Error("fault from a Fatal rule is not marked fatal")
+	}
+	if !strings.Contains(f.Error(), "[fatal]") {
+		t.Errorf("fatal fault message %q lacks [fatal]", f.Error())
+	}
+	in.Resolve(SiteAltOp, RolledBack)
+	if !in.Reconciled() || !in.Consistent() {
+		t.Error("single fire + RolledBack resolve must reconcile")
+	}
+}
+
+func TestParseSpecSeverity(t *testing.T) {
+	in, err := ParseSpec("alt.op:every=5,sev=fatal", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The severity must reach the armed rule: the 5th check fires a
+	// fatal fault.
+	var fired *Fault
+	for i := 0; i < 5; i++ {
+		if err := in.Check(SiteAltOp, 0); err != nil {
+			fired = err.(*Fault)
+		}
+	}
+	if fired == nil {
+		t.Fatal("every=5 rule never fired")
+	}
+	if !fired.Fatal {
+		t.Error("sev=fatal did not set Rule.Fatal on the armed rule")
+	}
+	in.Resolve(SiteAltOp, RolledBack)
+	if got := (Rule{Every: 5, Fatal: true}).String(); !strings.Contains(got, "sev=fatal") {
+		t.Errorf("fatal Rule String %q lacks sev=fatal", got)
+	}
+	if _, err := ParseSpec("alt.op:sev=transient,every=3", 1); err != nil {
+		t.Errorf("sev=transient rejected: %v", err)
+	}
+	if _, err := ParseSpec("alt.op:sev=bogus", 1); err == nil {
+		t.Error("sev=bogus accepted")
+	}
+}
+
+func TestDoubleResolveBreaksConsistency(t *testing.T) {
+	in := New(1)
+	in.Arm(SiteDecode, Rule{Every: 1, Limit: 1})
+	if in.Check(SiteDecode, 0) == nil {
+		t.Fatal("rule did not fire")
+	}
+	in.Resolve(SiteDecode, Retried)
+	if !in.Consistent() {
+		t.Fatal("single resolve must be consistent")
+	}
+	// The bug class the audit exists for: resolving the same fault twice
+	// (e.g. once on the retry path and again in a recover handler) must
+	// trip Consistent immediately, even though end-of-run Reconciled
+	// alone could be fooled by a matching lost resolution elsewhere.
+	in.Resolve(SiteDecode, Degraded)
+	if in.Consistent() {
+		t.Error("double Resolve not caught: Resolved > Fired must break Consistent")
+	}
+	if in.Reconciled() {
+		t.Error("over-resolved ledger must not reconcile")
+	}
+}
+
+func TestRolledBackFlowsThroughLedger(t *testing.T) {
+	in := New(7)
+	in.Arm(SiteCkptSave, Rule{Every: 1, Limit: 2})
+	for i := 0; i < 2; i++ {
+		if in.Check(SiteCkptSave, 0) == nil {
+			t.Fatal("rule did not fire")
+		}
+	}
+	in.Resolve(SiteCkptSave, RolledBack)
+	in.Resolve(SiteCkptSave, RolledBack)
+
+	st := in.Stats(SiteCkptSave)
+	if st.RolledBack != 2 || st.Resolved() != 2 {
+		t.Errorf("site ledger rolledback=%d resolved=%d, want 2/2", st.RolledBack, st.Resolved())
+	}
+	if tot := in.Totals(); tot.RolledBack != 2 {
+		t.Errorf("totals rolledback=%d, want 2", tot.RolledBack)
+	}
+	if !in.Reconciled() || !in.Consistent() {
+		t.Error("fully rolled-back ledger must reconcile and be consistent")
+	}
+	if rep := in.Report(); !strings.Contains(rep, "rolledback=2") {
+		t.Errorf("Report lacks rolledback=2:\n%s", rep)
+	}
+}
+
+// TestConcurrentResolveStaysConsistent hammers one shared injector from
+// many goroutines the way forked guests share one: every fired fault is
+// resolved exactly once, concurrently with further checks, and the
+// ledger must be consistent at every sample and reconciled at the end.
+func TestConcurrentResolveStaysConsistent(t *testing.T) {
+	in := New(3)
+	in.ArmAll(Rule{Every: 2})
+
+	var wg sync.WaitGroup
+	sites := Sites()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				site := sites[(g+i)%len(sites)]
+				if in.Check(site, uint64(i)) != nil {
+					in.Resolve(site, Resolution(i%4))
+				}
+				if i%50 == 0 && !in.Consistent() {
+					t.Errorf("ledger inconsistent mid-run (goroutine %d, iter %d)", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if !in.Consistent() {
+		t.Error("ledger inconsistent after concurrent run")
+	}
+	if !in.Reconciled() {
+		t.Errorf("ledger not reconciled: %+v", in.Totals())
+	}
+	tot := in.Totals()
+	if tot.Fired == 0 {
+		t.Error("soak fired no faults; Every=2 across all sites should fire")
+	}
+}

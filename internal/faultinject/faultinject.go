@@ -1,11 +1,12 @@
 // Package faultinject provides FPVM's deterministic fault injector: a
 // seedable source of synthetic failures at named sites throughout the
 // trap pipeline (decode, alternative arithmetic, box allocation, kernel
-// delivery, correctness traps, GC scans). The runtime's recovery ladder
-// consumes the injected faults and resolves each one by exactly one of
-// retry, degradation to native IEEE, or fatal detach; the injector keeps
-// the per-site ledger so tests can assert the books balance
-// (Fired == Retried + Degraded + Fatal).
+// delivery, correctness traps, GC scans, checkpoint save/restore). The
+// runtime's recovery ladder consumes the injected faults and resolves
+// each one by exactly one of retry, rollback to a checkpoint,
+// degradation to native IEEE, or fatal detach; the injector keeps the
+// per-site ledger so tests can assert the books balance
+// (Fired == Retried + RolledBack + Degraded + Fatal).
 //
 // Determinism matters: soak tests and differential runs must replay the
 // same fault schedule from the same seed, so the injector uses its own
@@ -45,23 +46,34 @@ const (
 	SiteCorrTrap Site = "corr.trap"
 	// SiteGCScan fires during garbage collection scans.
 	SiteGCScan Site = "gc.scan"
+	// SiteCkptSave fires while the rollback supervisor captures a
+	// checkpoint snapshot (internal/checkpoint Save).
+	SiteCkptSave Site = "ckpt.save"
+	// SiteCkptRestore fires while the rollback supervisor restores a
+	// snapshot — recovery of the recovery.
+	SiteCkptRestore Site = "ckpt.restore"
 )
 
 // Sites lists every named site in stable order.
 func Sites() []Site {
-	return []Site{SiteAltOp, SiteHeapAlloc, SiteDecode, SiteKernelDeliver, SiteCorrTrap, SiteGCScan}
+	return []Site{SiteAltOp, SiteHeapAlloc, SiteDecode, SiteKernelDeliver, SiteCorrTrap, SiteGCScan, SiteCkptSave, SiteCkptRestore}
 }
 
 // Fault is the error value returned when a site check fires.
 type Fault struct {
-	Site Site
-	RIP  uint64 // guest RIP at the check (0 when not applicable)
-	Seq  uint64 // global injection sequence number (1-based)
+	Site  Site
+	RIP   uint64 // guest RIP at the check (0 when not applicable)
+	Seq   uint64 // global injection sequence number (1-based)
+	Fatal bool   // fatal severity: retry cannot clear it (see Rule.Fatal)
 }
 
 // Error implements the error interface.
 func (f *Fault) Error() string {
-	return fmt.Sprintf("faultinject: injected fault #%d at site %s (rip %#x)", f.Seq, f.Site, f.RIP)
+	sev := ""
+	if f.Fatal {
+		sev = " [fatal]"
+	}
+	return fmt.Sprintf("faultinject: injected fault #%d at site %s (rip %#x)%s", f.Seq, f.Site, f.RIP, sev)
 }
 
 // Rule arms one trigger at a site. Zero-valued fields are inactive; a
@@ -75,6 +87,12 @@ type Rule struct {
 	RIP uint64
 	// Limit caps total fires of this rule (0 = unlimited).
 	Limit uint64
+	// Fatal marks faults from this rule as fatal severity: the recovery
+	// ladder's retry rung cannot clear them, modeling a deterministic
+	// failure (a wedged emulator, corrupted state) rather than a
+	// transient glitch. Fatal faults go straight to the fatal rung,
+	// where the rollback supervisor gets its chance.
+	Fatal bool
 }
 
 func (r Rule) String() string {
@@ -90,6 +108,9 @@ func (r Rule) String() string {
 	}
 	if r.Limit != 0 {
 		parts = append(parts, fmt.Sprintf("limit=%d", r.Limit))
+	}
+	if r.Fatal {
+		parts = append(parts, "sev=fatal")
 	}
 	if len(parts) == 0 {
 		return "off"
@@ -108,6 +129,10 @@ const (
 	Degraded
 	// Fatal: the runtime detached; the guest continues un-virtualized.
 	Fatal
+	// RolledBack: the fault hit the fatal rung but the rollback
+	// supervisor restored a checkpoint and re-executed, so the run
+	// continues fully virtualized.
+	RolledBack
 )
 
 func (r Resolution) String() string {
@@ -118,21 +143,35 @@ func (r Resolution) String() string {
 		return "degraded"
 	case Fatal:
 		return "fatal"
+	case RolledBack:
+		return "rolledback"
 	}
 	return "resolution?"
 }
 
 // SiteStats is the per-site ledger.
 type SiteStats struct {
-	Checks   uint64 // times the site was consulted
-	Fired    uint64 // faults injected
-	Retried  uint64 // resolved by retry
-	Degraded uint64 // resolved by degradation
-	Fatal    uint64 // resolved by fatal detach
+	Checks     uint64 // times the site was consulted
+	Fired      uint64 // faults injected
+	Retried    uint64 // resolved by retry
+	Degraded   uint64 // resolved by degradation
+	Fatal      uint64 // resolved by fatal detach
+	RolledBack uint64 // resolved by checkpoint rollback
 }
 
 // Resolved sums the resolutions recorded for the site.
-func (s SiteStats) Resolved() uint64 { return s.Retried + s.Degraded + s.Fatal }
+func (s SiteStats) Resolved() uint64 { return s.Retried + s.Degraded + s.Fatal + s.RolledBack }
+
+// Consistent checks the ledger's internal invariants: a site cannot fire
+// more often than it was checked, and cannot have more resolutions than
+// fires. Reconciled (Resolved == Fired) is the end-of-run invariant;
+// Consistent must hold at every instant, including mid-trap while a
+// fired fault is still being handled — a double Resolve breaks it
+// immediately, which is how the accounting audit catches the
+// retried-then-refired bug class.
+func (s SiteStats) Consistent() bool {
+	return s.Fired <= s.Checks && s.Resolved() <= s.Fired
+}
 
 type armedRule struct {
 	Rule
@@ -231,7 +270,7 @@ func (in *Injector) Check(site Site, rip uint64) error {
 		r.fired++
 		st.Fired++
 		in.seq++
-		return &Fault{Site: site, RIP: rip, Seq: in.seq}
+		return &Fault{Site: site, RIP: rip, Seq: in.seq, Fatal: r.Fatal}
 	}
 	return nil
 }
@@ -252,6 +291,8 @@ func (in *Injector) Resolve(site Site, how Resolution) {
 		st.Degraded++
 	case Fatal:
 		st.Fatal++
+	case RolledBack:
+		st.RolledBack++
 	}
 }
 
@@ -282,6 +323,7 @@ func (in *Injector) Totals() SiteStats {
 		t.Retried += st.Retried
 		t.Degraded += st.Degraded
 		t.Fatal += st.Fatal
+		t.RolledBack += st.RolledBack
 	}
 	return t
 }
@@ -295,7 +337,24 @@ func (in *Injector) Reconciled() bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	for _, st := range in.stats {
-		if st.Fired != st.Retried+st.Degraded+st.Fatal {
+		if st.Fired != st.Resolved() {
+			return false
+		}
+	}
+	return true
+}
+
+// Consistent reports whether every site's ledger passes its internal
+// invariants (see SiteStats.Consistent). Unlike Reconciled it must hold
+// at any instant, so tests can assert it mid-run.
+func (in *Injector) Consistent() bool {
+	if in == nil {
+		return true
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, st := range in.stats {
+		if !st.Consistent() {
 			return false
 		}
 	}
@@ -318,8 +377,8 @@ func (in *Injector) Report() string {
 	var sb strings.Builder
 	for _, s := range sites {
 		st := in.stats[Site(s)]
-		fmt.Fprintf(&sb, "%-15s checks=%-8d fired=%-6d retried=%-6d degraded=%-6d fatal=%d\n",
-			s, st.Checks, st.Fired, st.Retried, st.Degraded, st.Fatal)
+		fmt.Fprintf(&sb, "%-15s checks=%-8d fired=%-6d retried=%-6d rolledback=%-6d degraded=%-6d fatal=%d\n",
+			s, st.Checks, st.Fired, st.Retried, st.RolledBack, st.Degraded, st.Fatal)
 	}
 	return sb.String()
 }
@@ -330,7 +389,9 @@ func (in *Injector) Report() string {
 //	site:key=value[,key=value...][;site:...]
 //
 // e.g. "alt.op:every=100;heap.alloc:prob=0.001,limit=5". Keys are prob,
-// every, rip, limit. "all" as the site arms every named site.
+// every, rip, limit, and sev (sev=fatal makes the rule's faults fatal
+// severity — unclearable by retry; sev=transient is the default). "all"
+// as the site arms every named site.
 func ParseSpec(spec string, seed uint64) (*Injector, error) {
 	in := New(seed)
 	for _, clause := range strings.Split(spec, ";") {
@@ -377,6 +438,15 @@ func ParseSpec(spec string, seed uint64) (*Injector, error) {
 					return nil, fmt.Errorf("faultinject: bad limit %q", v)
 				}
 				rule.Limit = n
+			case "sev":
+				switch v {
+				case "fatal":
+					rule.Fatal = true
+				case "transient":
+					rule.Fatal = false
+				default:
+					return nil, fmt.Errorf("faultinject: bad sev %q (want fatal or transient)", v)
+				}
 			default:
 				return nil, fmt.Errorf("faultinject: unknown key %q in %q", k, clause)
 			}

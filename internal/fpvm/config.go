@@ -69,8 +69,9 @@ type Config struct {
 
 	// Inject, when set, arms fault injection at the pipeline's named
 	// sites (alt.op, heap.alloc, decode, kernel.deliver, corr.trap,
-	// gc.scan). Injected faults are fed to the recovery ladder: bounded
-	// retry, degradation to native IEEE, or clean detach.
+	// gc.scan, ckpt.save, ckpt.restore). Injected faults are fed to the
+	// recovery ladder: bounded retry, checkpoint rollback, degradation
+	// to native IEEE, or clean detach.
 	Inject *faultinject.Injector
 
 	// MaxLiveBoxes is a hard cap on the live box population (0 =
@@ -95,6 +96,19 @@ type Config struct {
 	// Seq off the trace cache is inert regardless (single-instruction traps
 	// have no sequence to cache).
 	NoTraceCache bool
+
+	// CheckpointInterval enables the rollback supervisor: every N traps
+	// the runtime captures a crash-consistent snapshot of the full VM
+	// (registers, memory, box heap, thread table), and fatal-rung
+	// failures restore the last snapshot and re-execute with the
+	// distrusted RIP quarantined instead of detaching. 0 (the default)
+	// disables checkpointing; the ladder then behaves as before.
+	CheckpointInterval int
+
+	// MaxRollbacks bounds rollback attempts per run (0 = default 8).
+	// When exhausted, fatal failures fall through to the degrade/detach
+	// rungs as if checkpointing were disabled.
+	MaxRollbacks int
 }
 
 // DefaultRetryBudget is the per-site per-trap retry budget when
@@ -105,6 +119,12 @@ const DefaultRetryBudget = 3
 // is 0 — far above any legitimate trap (a full 256-instruction MPFR
 // sequence stays under ~3M cycles).
 const DefaultTrapCycleBudget = 10_000_000
+
+// DefaultMaxRollbacks bounds rollback attempts when Config.MaxRollbacks
+// is 0 and checkpointing is enabled. Combined with exponential snapshot
+// interval backoff it guarantees a run cannot live-lock re-executing the
+// same faulty region.
+const DefaultMaxRollbacks = 8
 
 // ConfigName renders the paper's config label (NONE/SEQ/SHORT/SEQ SHORT).
 func (c Config) ConfigName() string {
@@ -133,6 +153,8 @@ type CostParams struct {
 	MagicCall   uint64 // double-indirect call+return of a magic trap
 	TraceHit    uint64 // L2 trace-table lookup on trap entry (once per replay)
 	TraceInst   uint64 // per-instruction replay step (vs DecacheHit per walked inst)
+	CkptSave    uint64 // checkpoint snapshot capture (amortized per save)
+	CkptRestore uint64 // checkpoint restore during a rollback
 }
 
 // DefaultCosts returns the testbed-calibrated runtime costs.
@@ -149,6 +171,8 @@ func DefaultCosts() CostParams {
 		MagicCall:   50,
 		TraceHit:    30,
 		TraceInst:   6,
+		CkptSave:    1500,
+		CkptRestore: 3000,
 	}
 }
 

@@ -30,6 +30,13 @@ func (r *Runtime) handleCorrectnessTrap(uc *kernel.Ucontext) {
 	r.Tel.Add(telemetry.Corr, c.HWDispatch+c.SignalDeliver+c.Sigreturn)
 	r.Tel.CorrEvents++
 	r.charge(telemetry.Corr, r.Costs.CorrHandler)
+	r.curUC, r.curRIP = uc, uc.CPU.RIP
+	defer func() {
+		if pv := recover(); pv != nil {
+			r.recoverTrapPanic(uc, pv)
+		}
+		r.curUC, r.curEntry, r.phase = nil, nil, phaseNone
+	}()
 	if r.corrFaulted(uc.CPU.RIP, &uc.CPU) {
 		return
 	}
@@ -77,6 +84,16 @@ func (r *Runtime) magicTrapHandler(p *kernel.Process) error {
 	if err != nil {
 		return err
 	}
+	// No ucontext here (the magic path mutates the machine CPU directly),
+	// so a fatal-severity fault cannot roll back: the recover routes it
+	// down the ladder to detach.
+	r.curRIP = site
+	defer func() {
+		if pv := recover(); pv != nil {
+			r.recoverTrapPanic(nil, pv)
+		}
+		r.curUC, r.curEntry, r.phase = nil, nil, phaseNone
+	}()
 	if r.corrFaulted(site, &p.M.CPU) {
 		return nil
 	}

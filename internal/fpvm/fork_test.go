@@ -196,6 +196,107 @@ func TestForkInheritsRecoveryState(t *testing.T) {
 	}
 }
 
+// TestForkCheckpointRollback: the checkpoint/rollback interplay with
+// fork. The parent runs (and snapshots) to completion; the child — whose
+// "step" was patched to 2 at the fork — then hits a fatal alt.op fault.
+// Its supervisor must roll back to a snapshot of the CHILD's own state
+// (fork-safe Clone: a child-side re-snapshot overlays the parent image
+// with the child's dirty pages), so the restore keeps the patched step
+// and does not alias or disturb the parent's heap or memory.
+func TestForkCheckpointRollback(t *testing.T) {
+	b := asm.NewBuilder("forked-ckpt")
+	b.RoDouble("one", 1)
+	b.RoDouble("three", 3)
+	b.Double("step", 1)
+	b.Func("main")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three")
+	b.Op0(isa.INT3) // fork marker
+	b.RMData(isa.ADDSD, isa.XMM(isa.XMM0), "step")
+	b.CallImport("print_f64")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepSym, ok := img.Lookup("step")
+	if !ok {
+		t.Fatal("no step symbol")
+	}
+
+	// Shared injector, armed only after the parent completes: the fatal
+	// fault hits the child alone.
+	inj := faultinject.New(5)
+	parent := newRig(t, img, fpvmrt.Config{
+		Alt: alt.NewBoxedIEEE(), Seq: true, Inject: inj, CheckpointInterval: 1,
+	}, true)
+
+	var child *kernel.Process
+	var childRT *fpvmrt.Runtime
+	parent.p.BreakpointHook = func(uc *kernel.Ucontext) bool {
+		if child != nil {
+			return true
+		}
+		parent.p.M.CPU = uc.CPU
+		child = parent.p.Fork("child")
+		childRT = parent.rt.ForkChild(child)
+		if err := child.M.Mem.WriteUint64(stepSym.Addr, 0x4000000000000000); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	}
+
+	if err := parent.p.Run(0); err != nil {
+		t.Fatalf("parent: %v", err)
+	}
+	if err := parent.rt.Err(); err != nil {
+		t.Fatalf("parent fpvm: %v", err)
+	}
+	if child == nil {
+		t.Fatal("fork marker never hit")
+	}
+
+	inj.Arm(faultinject.SiteAltOp, faultinject.Rule{Every: 1, Limit: 1, Fatal: true})
+	if err := child.Run(0); err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	if err := childRT.Err(); err != nil {
+		t.Fatalf("child fpvm: %v", err)
+	}
+
+	if childRT.Rollbacks == 0 {
+		t.Fatal("child's fatal fault produced no rollback")
+	}
+	if childRT.Detached() {
+		t.Error("child detached despite its inherited checkpoint supervisor")
+	}
+	// The rollback restored CHILD state: the patched step survived, so the
+	// child still prints 1/3 + 2 — a restore that aliased the parent's
+	// image would have reverted step to 1 and printed 1.33...
+	if out := child.Stdout.String(); !strings.HasPrefix(out, "2.3333333333333335") {
+		t.Errorf("child printed %q after rollback, want 1/3+2", out)
+	}
+	if out := parent.p.Stdout.String(); !strings.HasPrefix(out, "1.3333333333333333") {
+		t.Errorf("parent printed %q, want 1/3+1", out)
+	}
+	// No state sharing across the fork: the child's rollback must not have
+	// replaced the parent's allocator or memory.
+	if parent.rt.Allocator() == childRT.Allocator() {
+		t.Error("allocator shared across fork after rollback")
+	}
+	if v, err := parent.p.M.Mem.ReadUint64(stepSym.Addr); err != nil || v != 0x3FF0000000000000 {
+		t.Errorf("parent's step clobbered: %#x, %v", v, err)
+	}
+	if parent.rt.Rollbacks != 0 {
+		t.Errorf("parent recorded %d rollbacks for the child's fault", parent.rt.Rollbacks)
+	}
+	if !inj.Reconciled() || !inj.Consistent() {
+		t.Errorf("shared injector ledger broken across fork:\n%s", inj.Report())
+	}
+}
+
 // TestForkMemoryIsolation: writes in the child are invisible to the
 // parent.
 func TestForkMemoryIsolation(t *testing.T) {

@@ -70,8 +70,29 @@ func (s *recoveryState) resetTrap() {
 }
 
 // checkFault consults the injector at site and reports whether a fault
-// fired, counting it in telemetry.
+// fired, counting it in telemetry. A fatal-severity fault (sev=fatal)
+// cannot be cleared by retrying: it unwinds the trap pipeline via panic
+// straight to the fatal rung, where the rollback supervisor gets first
+// chance (rollback.go). The sentinel is caught by the trap handlers'
+// deferred recover.
 func (r *Runtime) checkFault(site faultinject.Site, rip uint64) bool {
+	err := r.inject.Check(site, rip)
+	if err == nil {
+		return false
+	}
+	r.Tel.FaultsInjected++
+	if f, ok := err.(*faultinject.Fault); ok && f.Fatal {
+		panic(&fatalInjectedFault{site: site, rip: rip})
+	}
+	return true
+}
+
+// checkFaultPlain is checkFault without the fatal-severity unwind, for
+// sites that run inside the rollback supervisor itself (ckpt.save,
+// ckpt.restore): a panic there would recurse into the recovery already in
+// progress, so fatal faults at these sites exhaust the retry budget like
+// persistent transients and are resolved in place by the caller.
+func (r *Runtime) checkFaultPlain(site faultinject.Site, rip uint64) bool {
 	if r.inject.Check(site, rip) == nil {
 		return false
 	}
@@ -216,17 +237,31 @@ func leUint64(b []byte) uint64 {
 		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
 }
 
-// recoverTrapPanic converts a panic inside handleTrap — an emulator or
-// alt-system bug — into a degradation event: the instruction being
-// emulated is re-run as native IEEE on demoted operands and the guest
-// continues. A panic outside instruction context (e.g. mid-GC, where
-// allocator state may be inconsistent) detaches instead.
+// recoverTrapPanic converts a panic inside a trap handler into a ladder
+// resolution. A fatalInjectedFault sentinel (fatal-severity injected
+// fault) goes straight to the fatal rung, where the rollback supervisor
+// gets first chance. A genuine panic — an emulator or alt-system bug —
+// inside instruction context first tries rollback (re-execution from a
+// clean snapshot with the instruction quarantined), then degrades by
+// re-running the instruction as native IEEE on demoted operands. A panic
+// outside instruction context (e.g. mid-GC, where allocator state may be
+// inconsistent) has no safe degradation: rollback or detach.
 func (r *Runtime) recoverTrapPanic(uc *kernel.Ucontext, pv any) {
+	if ff, ok := pv.(*fatalInjectedFault); ok {
+		// Not a bug but a simulated unrecoverable failure; the fault was
+		// counted at its site and is resolved by whichever rung failTrap
+		// reaches.
+		r.failTrap(uc, r.curRIP, ff.site, ff)
+		return
+	}
 	r.PanicRecoveries++
 	r.Tel.PanicRecoveries++
 	entry := r.curEntry
 	if r.phase != phaseInst || entry == nil {
-		r.fatal(uc, r.curRIP, fmt.Errorf("panic outside instruction emulation: %v", pv))
+		r.failTrap(uc, r.curRIP, "", fmt.Errorf("panic outside instruction emulation: %v", pv))
+		return
+	}
+	if r.tryRollback(uc, entry.Inst.Addr) {
 		return
 	}
 	if err := r.nativeInst(uc, entry); err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"fpvm/internal/alt"
+	"fpvm/internal/checkpoint"
 	"fpvm/internal/dcache"
 	"fpvm/internal/faultinject"
 	"fpvm/internal/heap"
@@ -55,6 +56,12 @@ type Runtime struct {
 	FatalDetaches    uint64 // fatal errors resolved by clean detach
 	Aborted          uint64 // traps observed after detach (not emulated)
 
+	// Rollback supervisor stats (see rollback.go).
+	Checkpoints      uint64 // snapshots captured
+	Rollbacks        uint64 // fatal failures resolved by restore + re-execution
+	RollbackFailures uint64 // rollback attempts that escalated down the ladder
+	Quarantines      uint64 // distinct RIPs pinned to native execution
+
 	// Trace cache state: flt is the alt system's allocation-free float
 	// interface when it implements one (cached type assertion), traceOn
 	// gates the L2 replay path, traceEnts is the reusable trace-builder
@@ -82,6 +89,17 @@ type Runtime struct {
 	curRIP   uint64           // instruction the pipeline is working on
 	curEntry *dcache.Entry    // decode of that instruction, once known
 	phase    trapPhase
+
+	// Rollback supervisor state (Config.CheckpointInterval > 0): ckpt
+	// owns the crash-consistent snapshot, trapsSince counts traps toward
+	// the next save, ckptInterval is the current snapshot interval
+	// (doubled after every rollback — exponential backoff under repeated
+	// faults), and quarantined maps distrusted RIPs to the per-RIP
+	// native-execute pin installed by a rollback.
+	ckpt         *checkpoint.Manager
+	trapsSince   int
+	ckptInterval int
+	quarantined  map[uint64]bool
 
 	err error // first fatal (detaching) emulation error
 }
@@ -115,6 +133,14 @@ func Attach(p *kernel.Process, cfg Config) (*Runtime, error) {
 	r.inject = cfg.Inject
 	r.alloc.MaxLive = cfg.MaxLiveBoxes
 	p.Inject = cfg.Inject
+	if cfg.CheckpointInterval > 0 {
+		r.ckpt = checkpoint.New(p.M.Mem)
+		r.ckptInterval = cfg.CheckpointInterval
+		// The first trap is the earliest crash-consistent point (the
+		// register file only becomes meaningful once the image is loaded
+		// and running), so arrange for it to snapshot immediately.
+		r.trapsSince = cfg.CheckpointInterval
+	}
 
 	// FPVM manages mxcsr so every FP exception traps (§2.3).
 	r.m.CPU.MXCSR = machine.MXCSRTrapAll
@@ -197,6 +223,23 @@ func (r *Runtime) ForkChild(child *kernel.Process) *Runtime {
 	c.WatchdogAborts = r.WatchdogAborts
 	c.FatalDetaches = r.FatalDetaches
 	c.Aborted = r.Aborted
+	// The rollback supervisor forks with the process: the snapshot is
+	// shared (immutable page buffers and heap image; each side's restore
+	// clones before use — see checkpoint.Manager.Clone), the quarantine
+	// set and interval/backoff state are copied.
+	c.ckpt = r.ckpt.Clone(child.M.Mem)
+	c.trapsSince = r.trapsSince
+	c.ckptInterval = r.ckptInterval
+	if r.quarantined != nil {
+		c.quarantined = make(map[uint64]bool, len(r.quarantined))
+		for rip, v := range r.quarantined {
+			c.quarantined[rip] = v
+		}
+	}
+	c.Checkpoints = r.Checkpoints
+	c.Rollbacks = r.Rollbacks
+	c.RollbackFailures = r.RollbackFailures
+	c.Quarantines = r.Quarantines
 	c.attachDelivery()
 	// Rebind inherited host functions to the child's runtime.
 	if c.lib != nil {
@@ -287,12 +330,23 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 	r.chargeDelivery()
 	r.rec.resetTrap()
 	r.curUC = uc
+	// Pin curRIP to this trap immediately: a panic before the walk sets
+	// it (e.g. in maybeCheckpoint) must not see a previous trap's value.
+	r.curRIP = uc.CPU.RIP
 	defer func() {
 		if pv := recover(); pv != nil {
 			r.recoverTrapPanic(uc, pv)
 		}
 		r.curUC, r.curEntry, r.phase = nil, nil, phaseNone
 	}()
+
+	// A quarantined RIP (distrusted after a rollback) is pinned to native
+	// execution: no alt arithmetic, no sequence walk, no boxing.
+	if r.quarantined != nil && r.quarantined[uc.CPU.RIP] {
+		r.pinnedNative(uc)
+		return
+	}
+	r.maybeCheckpoint(uc)
 
 	start := uc.CPU.RIP
 	rip := start
@@ -332,6 +386,14 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 	}
 
 	for {
+		if count > 0 && r.quarantined != nil && r.quarantined[rip] {
+			// A quarantined instruction ends the sequence: the guest traps
+			// on it next and takes the pinned native path. The shape is not
+			// representative, so it is not cached as a trace.
+			reason = dcache.TermUnsupported
+			cacheable = false
+			break
+		}
 		r.curRIP = rip
 		entry, err := r.decodeAt(rip)
 		if err != nil {
@@ -339,16 +401,18 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 				// Decode retry budget exhausted. Mid-sequence the fault
 				// degrades to a sequence terminator — the hardware runs
 				// the instruction instead. On the faulting instruction
-				// itself there is nothing to fall back to: detach.
+				// itself there is nothing to fall back to: roll back if
+				// possible, detach otherwise.
 				if count > 0 {
 					r.degradeFault(faultinject.SiteDecode)
 					reason = dcache.TermUnsupported
 					cacheable = false
 					break
 				}
-				r.fatalFault(faultinject.SiteDecode)
+				r.failTrap(uc, rip, faultinject.SiteDecode, fmt.Errorf("decode: %w", err))
+				return
 			}
-			r.fatal(uc, rip, fmt.Errorf("decode: %w", err))
+			r.failTrap(uc, rip, "", fmt.Errorf("decode: %w", err))
 			return
 		}
 		if !entry.Supported {
@@ -374,7 +438,7 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 				cacheable = false
 				break
 			}
-			r.fatal(uc, rip, err)
+			r.failTrap(uc, rip, "", err)
 			return
 		}
 		if status == emNotWarranted {
@@ -397,10 +461,15 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 
 		if r.m.Cycles-trapStart > r.trapCycleBudget() {
 			// Watchdog: this trap has burned more virtual cycles than any
-			// legitimate sequence should. Cut the sequence; the guest
-			// resumes (and may trap again, starting a fresh budget).
+			// legitimate sequence should. With a checkpoint available the
+			// runaway region is rolled back and its start quarantined;
+			// otherwise cut the sequence and let the guest resume (it may
+			// trap again, starting a fresh budget).
 			r.WatchdogAborts++
 			r.Tel.WatchdogAborts++
+			if r.tryRollback(uc, start) {
+				return
+			}
 			reason = dcache.TermLimit
 			cacheable = false
 			break
@@ -421,7 +490,8 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 	if count == 0 {
 		// The faulting instruction itself is unsupported: FPVM cannot
 		// make progress virtualized. Detach (do no harm): the hardware
-		// re-executes it natively with exceptions masked.
+		// re-executes it natively with exceptions masked. (Rollback does
+		// not help here — re-execution would hit the same instruction.)
 		in, _ := r.m.FetchDecode(rip)
 		r.fatal(uc, rip, fmt.Errorf("cannot emulate faulting instruction %q", in.String()))
 		return

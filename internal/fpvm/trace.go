@@ -53,8 +53,7 @@ func (r *Runtime) replayTrace(uc *kernel.Ucontext, tr *dcache.Trace, trapStart u
 			r.cache.Invalidate(rip)
 			if !r.retryFault(faultinject.SiteDecode) {
 				if i == 0 {
-					r.fatalFault(faultinject.SiteDecode)
-					r.fatal(uc, rip, fmt.Errorf("decode: %w", errDecodeFault))
+					r.failTrap(uc, rip, faultinject.SiteDecode, fmt.Errorf("decode: %w", errDecodeFault))
 					return true
 				}
 				r.degradeFault(faultinject.SiteDecode)
@@ -80,7 +79,7 @@ func (r *Runtime) replayTrace(uc *kernel.Ucontext, tr *dcache.Trace, trapStart u
 				reason = dcache.TermUnsupported
 				break
 			}
-			r.fatal(uc, rip, err)
+			r.failTrap(uc, rip, "", err)
 			return true
 		}
 		if status == emNotWarranted {
@@ -101,6 +100,9 @@ func (r *Runtime) replayTrace(uc *kernel.Ucontext, tr *dcache.Trace, trapStart u
 		if r.m.Cycles-trapStart > r.trapCycleBudget() {
 			r.WatchdogAborts++
 			r.Tel.WatchdogAborts++
+			if r.tryRollback(uc, tr.Start) {
+				return true
+			}
 			reason = dcache.TermLimit
 			break
 		}

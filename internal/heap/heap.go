@@ -45,7 +45,7 @@ func DefaultCostModel() CostModel {
 }
 
 type slot struct {
-	val  any
+	val any
 	// Float-specialized storage: the trace-replay fast path stores float64
 	// box values inline instead of through val (a float64→any conversion
 	// heap-allocates on every box). isF marks which representation a live
@@ -261,6 +261,23 @@ func (a *Allocator) Clone() *Allocator {
 		MaxLive:   a.MaxLive,
 		Costs:     a.Costs,
 		Stats:     a.Stats,
+	}
+	return out
+}
+
+// CloneWith is Clone with value isolation: every live generic slot's
+// value is passed through clone, so the copy shares no mutable alt-system
+// state with the original. Float-specialized slots copy by value. The
+// checkpoint subsystem uses this (with alt.System.CloneValue) so a
+// snapshot survives in-place mutation of live values and a restore does
+// not alias the snapshot it came from.
+func (a *Allocator) CloneWith(clone func(any) any) *Allocator {
+	out := a.Clone()
+	for h := range out.slots {
+		s := &out.slots[h]
+		if s.live && !s.isF && s.val != nil {
+			s.val = clone(s.val)
+		}
 	}
 	return out
 }

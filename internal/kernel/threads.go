@@ -181,6 +181,54 @@ func (p *Process) Fork(name string) *Process {
 	return child
 }
 
+// ThreadState is a point-in-time copy of the kernel's scheduling state
+// for one process: the thread table (with the current thread's registers
+// parked in its entry), the scheduler position and the quantum counter.
+// The checkpoint subsystem saves and restores it so a rollback rewinds
+// descheduled threads and the round-robin rotation along with memory.
+type ThreadState struct {
+	Threads []Thread // by value: CPUs are copied, not aliased
+	Current int
+	Quantum int
+}
+
+// SnapshotThreads captures the process's thread state. The current
+// thread's live registers (p.M.CPU) are folded into its table entry so
+// the snapshot is self-contained; a process that never engaged threading
+// yields an empty table.
+func (p *Process) SnapshotThreads() ThreadState {
+	st := ThreadState{Current: p.current, Quantum: p.quantum}
+	for i, t := range p.threads {
+		tc := *t
+		if i == p.current {
+			tc.CPU = p.M.CPU
+		}
+		st.Threads = append(st.Threads, tc)
+	}
+	return st
+}
+
+// RestoreThreads reinstates a snapshot taken by SnapshotThreads,
+// including the current thread's registers into p.M.CPU. Restoring an
+// empty snapshot resets the process to the never-threaded state (the
+// caller restores p.M.CPU itself in that case).
+func (p *Process) RestoreThreads(st ThreadState) {
+	if len(st.Threads) == 0 {
+		p.threads = nil
+		p.current = 0
+		p.quantum = 0
+		return
+	}
+	p.threads = make([]*Thread, len(st.Threads))
+	for i := range st.Threads {
+		tc := st.Threads[i]
+		p.threads[i] = &tc
+	}
+	p.current = st.Current
+	p.quantum = st.Quantum
+	p.M.CPU = st.Threads[st.Current].CPU
+}
+
 // maybeReschedule is called once per event boundary.
 func (p *Process) maybeReschedule() {
 	if p.threads == nil || len(p.threads) == 1 {

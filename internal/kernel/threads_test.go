@@ -167,3 +167,59 @@ func TestAllCPUs(t *testing.T) {
 		t.Error("thread table")
 	}
 }
+
+// TestThreadSnapshotRoundTrip: the checkpoint subsystem's view of the
+// scheduler. A snapshot taken mid-run with two live threads is
+// self-contained (by-value CPU copies, current thread's live registers
+// folded in) and restoring it reinstates the table, the rotation, and
+// the current thread's registers into the machine.
+func TestThreadSnapshotRoundTrip(t *testing.T) {
+	k := kernel.New()
+	p := buildThreadProgram(t, k)
+
+	// Never-threaded: empty snapshot, and restoring it is the identity.
+	if st := p.SnapshotThreads(); len(st.Threads) != 0 {
+		t.Fatalf("fresh process snapshot has %d threads", len(st.Threads))
+	}
+	p.RestoreThreads(kernel.ThreadState{})
+
+	for i := 0; i < 10_000 && k.Stats.ThreadsCreated == 0; i++ {
+		if !p.Step() {
+			t.Fatal("process exited before clone")
+		}
+	}
+	st := p.SnapshotThreads()
+	if len(st.Threads) != 2 {
+		t.Fatalf("post-clone snapshot has %d threads, want 2", len(st.Threads))
+	}
+	wantRIP := st.Threads[st.Current].CPU.RIP
+	if wantRIP != p.M.CPU.RIP {
+		t.Errorf("snapshot did not fold live registers: %#x vs %#x", wantRIP, p.M.CPU.RIP)
+	}
+
+	// Diverge, then rewind. The snapshot must be unaffected by the
+	// machine's progress (by-value copies).
+	for i := 0; i < 50; i++ {
+		if !p.Step() {
+			break
+		}
+	}
+	p.RestoreThreads(st)
+	if p.M.CPU.RIP != wantRIP {
+		t.Errorf("restore left RIP %#x, want %#x", p.M.CPU.RIP, wantRIP)
+	}
+	if got := p.SnapshotThreads(); len(got.Threads) != 2 || got.Current != st.Current {
+		t.Errorf("restore reinstated %d threads current %d, want 2/%d",
+			len(got.Threads), got.Current, st.Current)
+	}
+	// Restored table must not alias the snapshot: mutating the live CPU
+	// leaves the snapshot's copy intact for a later rollback.
+	p.M.CPU.RIP = 0xDEAD
+	if st.Threads[st.Current].CPU.RIP != wantRIP {
+		t.Error("snapshot aliased the live CPU")
+	}
+	p.RestoreThreads(st)
+	if p.M.CPU.RIP != wantRIP {
+		t.Error("snapshot not reusable for a second restore")
+	}
+}

@@ -79,6 +79,12 @@ type AddressSpace struct {
 
 	// regions records Map calls for introspection ([name, start, size]).
 	regions []Region
+
+	// dirty, when non-nil, accumulates the page numbers of pages written
+	// (or remapped) since the last ResetDirty. The checkpoint subsystem
+	// uses it for incremental snapshots; when nil (the default) writes
+	// pay only a nil check.
+	dirty map[uint64]struct{}
 }
 
 // Region describes a mapped region (for debugging and /proc-like listings).
@@ -109,6 +115,7 @@ func (as *AddressSpace) Map(name string, addr, size uint64, perm Perm) {
 		} else {
 			as.pages[pn] = &page{perm: perm}
 		}
+		as.markDirty(pn)
 	}
 	as.regions = append(as.regions, Region{Name: name, Start: addr, Size: size, Perm: perm})
 }
@@ -119,6 +126,7 @@ func (as *AddressSpace) Unmap(addr, size uint64) {
 	last := (addr + size + PageSize - 1) / PageSize
 	for pn := first; pn < last; pn++ {
 		delete(as.pages, pn)
+		as.markDirty(pn)
 	}
 }
 
@@ -132,6 +140,7 @@ func (as *AddressSpace) Protect(addr, size uint64, perm Perm) error {
 			return &Fault{Addr: pn * PageSize, Kind: FaultUnmapped, Want: perm}
 		}
 		p.perm = perm
+		as.markDirty(pn)
 	}
 	return nil
 }
@@ -195,12 +204,53 @@ func (as *AddressSpace) access(addr uint64, buf []byte, want Perm, write bool) e
 		}
 		off := (addr + uint64(n)) & PageMask
 		if write {
+			as.markDirty((addr + uint64(n)) / PageSize)
 			n += copy(p.data[off:], buf[n:])
 		} else {
 			n += copy(buf[n:], p.data[off:])
 		}
 	}
 	return nil
+}
+
+func (as *AddressSpace) markDirty(pn uint64) {
+	if as.dirty != nil {
+		as.dirty[pn] = struct{}{}
+	}
+}
+
+// EnableDirtyTracking starts recording which pages are written. It is
+// idempotent; tracking stays on for the life of the address space.
+func (as *AddressSpace) EnableDirtyTracking() {
+	if as.dirty == nil {
+		as.dirty = make(map[uint64]struct{})
+	}
+}
+
+// DirtyTracking reports whether dirty-page tracking is enabled.
+func (as *AddressSpace) DirtyTracking() bool { return as.dirty != nil }
+
+// DirtyPages returns the sorted start addresses of pages written (or
+// remapped) since the last ResetDirty. Pages that were unmapped since
+// then are included as addresses that may no longer be mapped; callers
+// taking snapshots must tolerate a stale entry.
+func (as *AddressSpace) DirtyPages() []uint64 {
+	if len(as.dirty) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(as.dirty))
+	for pn := range as.dirty {
+		out = append(out, pn*PageSize)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ResetDirty clears the dirty-page set (tracking stays enabled).
+func (as *AddressSpace) ResetDirty() {
+	for pn := range as.dirty {
+		delete(as.dirty, pn)
+	}
 }
 
 // ReadUint64 reads a little-endian uint64 at addr.
@@ -301,5 +351,11 @@ func (as *AddressSpace) Clone() *AddressSpace {
 		out.pages[pn] = cp
 	}
 	out.regions = append(out.regions, as.regions...)
+	if as.dirty != nil {
+		out.dirty = make(map[uint64]struct{}, len(as.dirty))
+		for pn := range as.dirty {
+			out.dirty[pn] = struct{}{}
+		}
+	}
 	return out
 }

@@ -66,11 +66,24 @@ type Breakdown struct {
 
 	// Fault-tolerance counters (the recovery ladder). Every injected
 	// fault observed by the runtime is resolved by exactly one rung, so
-	// FaultsInjected == FaultsRetried + FaultsDegraded + FaultsFatal.
-	FaultsInjected uint64 // injected faults observed by the runtime
-	FaultsRetried  uint64 // resolved by a bounded retry
-	FaultsDegraded uint64 // resolved by demotion to native IEEE (or safe skip)
-	FaultsFatal    uint64 // resolved by clean detach (guest continues native)
+	// FaultsInjected == FaultsRetried + FaultsRolledBack + FaultsDegraded
+	// + FaultsFatal.
+	FaultsInjected   uint64 // injected faults observed by the runtime
+	FaultsRetried    uint64 // resolved by a bounded retry
+	FaultsRolledBack uint64 // resolved by checkpoint rollback + re-execution
+	FaultsDegraded   uint64 // resolved by demotion to native IEEE (or safe skip)
+	FaultsFatal      uint64 // resolved by clean detach (guest continues native)
+
+	// Checkpoint/rollback supervisor activity. Checkpoints counts
+	// snapshots captured, Rollbacks successful restores (the run rewound
+	// and re-executed), RollbackFailures attempts that could not restore
+	// (no snapshot, attempts exhausted, or the restore itself faulted
+	// beyond its budget) and escalated down the ladder, and Quarantines
+	// distinct RIPs pinned to native execution after a rollback.
+	Checkpoints      uint64
+	Rollbacks        uint64
+	RollbackFailures uint64
+	Quarantines      uint64
 
 	// WatchdogAborts counts sequence emulations cut short by the
 	// per-trap virtual-cycle watchdog.
@@ -118,19 +131,24 @@ func (b *Breakdown) DivergenceRate() float64 {
 // FaultsReconciled reports whether every injected fault the runtime
 // observed was resolved by exactly one ladder rung.
 func (b *Breakdown) FaultsReconciled() bool {
-	return b.FaultsInjected == b.FaultsRetried+b.FaultsDegraded+b.FaultsFatal
+	return b.FaultsInjected == b.FaultsRetried+b.FaultsRolledBack+b.FaultsDegraded+b.FaultsFatal
 }
 
 // FaultLine renders the fault-tolerance counters as a one-line summary,
 // or "" when the trap pipeline saw no faults at all.
 func (b *Breakdown) FaultLine() string {
-	if b.FaultsInjected == 0 && b.WatchdogAborts == 0 && b.PanicRecoveries == 0 && b.AbortedTraps == 0 {
+	if b.FaultsInjected == 0 && b.WatchdogAborts == 0 && b.PanicRecoveries == 0 && b.AbortedTraps == 0 && b.Rollbacks == 0 {
 		return ""
 	}
-	return fmt.Sprintf(
-		"faults: injected %d, retried %d, degraded %d, fatal %d; watchdog aborts %d, panic recoveries %d, aborted traps %d",
-		b.FaultsInjected, b.FaultsRetried, b.FaultsDegraded, b.FaultsFatal,
+	line := fmt.Sprintf(
+		"faults: injected %d, retried %d, rolledback %d, degraded %d, fatal %d; watchdog aborts %d, panic recoveries %d, aborted traps %d",
+		b.FaultsInjected, b.FaultsRetried, b.FaultsRolledBack, b.FaultsDegraded, b.FaultsFatal,
 		b.WatchdogAborts, b.PanicRecoveries, b.AbortedTraps)
+	if b.Checkpoints != 0 || b.Rollbacks != 0 || b.RollbackFailures != 0 || b.Quarantines != 0 {
+		line += fmt.Sprintf("; checkpoints %d, rollbacks %d (failed %d), quarantined rips %d",
+			b.Checkpoints, b.Rollbacks, b.RollbackFailures, b.Quarantines)
+	}
+	return line
 }
 
 // Add charges n cycles to category c.
