@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-check
+.PHONY: check build test vet race bench bench-check fleet-soak
 
 check: vet build race bench-check
 
@@ -17,10 +17,18 @@ race:
 	$(GO) test -race ./...
 
 # Full benchmark pass: Go benchmarks plus the trace-cache on/off
-# regression artifact (BENCH_2.json).
+# regression artifact (BENCH_2.json) and the fleet shared-vs-private
+# throughput artifact (BENCH_4.json).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 	$(GO) run ./cmd/fpvm-bench -fig trace -json BENCH_2.json
+	$(GO) run ./cmd/fpvm-bench -fig fleet -json BENCH_4.json
+
+# Bounded race-enabled fleet soak: the concurrency surface (worker
+# pool, shared cache adoption/invalidation, forks inside a fleet)
+# under the race detector. Wired into CI alongside make check.
+fleet-soak:
+	$(GO) test -race -count=2 -run 'TestFleetSoak|TestFleetSharedAdoption|TestFleetMatchesSerial|TestForkInsideFleet' ./internal/fleet/ ./internal/fpvm/
 
 # Fast smoke of the benchmark code paths: every benchmark compiles and
 # survives one iteration. Wired into `make check`.

@@ -2,13 +2,15 @@
 //
 // Usage:
 //
-//	fpvm-bench [-fig all|1|2|3|4|5|6|7|8|9|10|11|12|13|corr|cache|resil|trace]
+//	fpvm-bench [-fig all|1|2|3|4|5|6|7|8|9|10|11|12|13|corr|cache|resil|trace|fleet]
 //	           [-scale N] [-json FILE] [-cpuprofile FILE] [-memprofile FILE] [-v]
 //
 // Figures 1-10 run with Boxed IEEE (the paper's worst-case system);
 // figures 11-13 rerun the sweep with the MPFR-like 200-bit system. The
-// trace figure benchmarks the software trace cache on vs off and, with
-// -json, writes the BENCH_*.json regression artifact.
+// trace figure benchmarks the software trace cache on vs off, and the
+// fleet figure benchmarks concurrent multi-VM throughput with a shared
+// decode/trace cache vs private caches; with -json, each writes its
+// BENCH_*.json regression artifact.
 package main
 
 import (
@@ -25,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (all, 1-13, corr, cache, resil, trace)")
+	fig := flag.String("fig", "all", "figure to regenerate (all, 1-13, corr, cache, resil, trace, fleet)")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	rank := flag.Int("rank", 3, "trace rank for -fig 7")
 	jsonPath := flag.String("json", "", "write -fig trace results to this JSON file")
@@ -176,6 +178,20 @@ func run(fig *string, scale, rank *int, jsonPath *string, verbose *bool) error {
 		fmt.Fprintln(out)
 		if *jsonPath != "" {
 			if err := experiments.WriteTraceJSON(*jsonPath, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *jsonPath)
+		}
+	}
+	if need("fleet") {
+		rows, err := experiments.FleetBench(progress)
+		if err != nil {
+			return err
+		}
+		experiments.FleetTable(out, rows)
+		fmt.Fprintln(out)
+		if *jsonPath != "" {
+			if err := experiments.WriteFleetJSON(*jsonPath, rows); err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n", *jsonPath)

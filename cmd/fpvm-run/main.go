@@ -7,6 +7,15 @@
 //	         [-seq] [-short] [-native] [-nopatch] [-int3] [-scale N] [-stats]
 //	         [-inject SPEC] [-inject-seed N] [-max-boxes N]
 //	         [-checkpoint-interval N] [-max-rollbacks N]
+//	         [-parallel N] [-jobs M] [-fleet-private]
+//
+// Fleet mode (-parallel N with N > 1) executes M copies of the workload
+// (-jobs, default N) on a pool of N concurrent VMs sharing one
+// decode/trace cache — the first VM's decode and trace-build work warms
+// every other VM. -fleet-private gives each VM a private cache instead
+// (the ablation baseline). Guest output is printed once (all copies are
+// identical); the fleet summary goes to stderr, and the exit code is the
+// most severe outcome across the fleet.
 //
 // Fault injection (-inject) arms the runtime's recovery ladder at named
 // pipeline sites. SPEC grammar: "site:key=value[,key=value];site:..."
@@ -40,6 +49,8 @@ import (
 
 	"fpvm"
 	"fpvm/internal/faultinject"
+	"fpvm/internal/fleet"
+	"fpvm/internal/obj"
 	"fpvm/internal/telemetry"
 	"fpvm/internal/workloads"
 )
@@ -71,6 +82,9 @@ func main() {
 	maxBoxes := flag.Int("max-boxes", 0, "hard cap on live NaN boxes (0 = unbounded)")
 	ckptInterval := flag.Int("checkpoint-interval", 0, "snapshot the VM every N traps for rollback recovery (0 = disabled)")
 	maxRollbacks := flag.Int("max-rollbacks", 0, "bound rollback attempts per run (0 = default 8)")
+	parallel := flag.Int("parallel", 1, "run the workload as a fleet of N concurrent VMs")
+	fleetJobs := flag.Int("jobs", 0, "fleet mode: total job count (0 = -parallel)")
+	fleetPrivate := flag.Bool("fleet-private", false, "fleet mode: per-VM private caches instead of one shared cache")
 	flag.Parse()
 
 	img, err := workloads.Build(workloads.Name(*workload), *scale)
@@ -118,6 +132,9 @@ func main() {
 		}
 		cfg.Inject = inj
 	}
+	if *parallel > 1 {
+		os.Exit(runFleet(runImg, cfg, *workload, *parallel, *fleetJobs, !*fleetPrivate))
+	}
 	res, err := fpvm.Run(runImg, cfg)
 	if err != nil {
 		if res == nil || !res.Detached {
@@ -156,6 +173,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, res.Breakdown.Row(cfg.ConfigName()))
 	}
 	os.Exit(outcomeExit(res))
+}
+
+// runFleet executes count copies of the workload on a pool of workers
+// concurrent VMs and returns the exit code (most severe job outcome).
+func runFleet(img *obj.Image, cfg fpvm.Config, name string, workers, count int, share bool) int {
+	if count <= 0 {
+		count = workers
+	}
+	jobs := make([]fleet.Job, count)
+	for i := range jobs {
+		jobs[i] = fleet.Job{Name: name, Image: img, Config: cfg}
+	}
+	rep := fleet.Run(jobs, fleet.Options{Workers: workers, Share: share})
+
+	// Severity order for aggregation (the codes themselves are API and
+	// not ordered): error > detached > degraded > rolled-back > clean.
+	rank := map[int]int{exitClean: 0, exitRolledBack: 1, exitDegraded: 2, exitDetached: 3, exitError: 4}
+	exit := exitClean
+	printed := false
+	for _, jr := range rep.Results {
+		e := exitError
+		if jr.Err != nil && (jr.Result == nil || !jr.Result.Detached) {
+			fmt.Fprintf(os.Stderr, "fpvm-run: %s: %v\n", jr.Name, jr.Err)
+		} else {
+			if jr.Err != nil {
+				// Fatal rung: FPVM detached but the guest finished
+				// natively — same classification as the serial path.
+				fmt.Fprintf(os.Stderr, "fpvm-run: %s: detached (guest completed natively): %v\n", jr.Name, jr.Err)
+			}
+			if !printed {
+				fmt.Print(jr.Result.Stdout)
+				printed = true
+			}
+			e = outcomeExit(jr.Result)
+		}
+		if rank[e] > rank[exit] {
+			exit = e
+		}
+	}
+	fmt.Fprint(os.Stderr, rep.Summary())
+	return exit
 }
 
 // outcomeExit maps the run's recovery outcome to the documented exit

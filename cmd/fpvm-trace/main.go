@@ -56,6 +56,12 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("\nrank-%d trace (start %#x):\n", *rank, tr.StartRIP)
+	if len(tr.Insts) == 0 {
+		// A sequence observed without disassembly (e.g. recorded through a
+		// trace built by a non-profiling VM before lazy backfill existed).
+		fmt.Printf("   (not profiled: no disassembly captured for this sequence)\n")
+		return
+	}
 	for i, s := range tr.Insts {
 		marker := "   "
 		if i == len(tr.Insts)-1 {

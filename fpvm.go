@@ -129,6 +129,24 @@ type Config struct {
 
 	// MaxRollbacks bounds rollback attempts per run (0 = default 8).
 	MaxRollbacks int
+
+	// Shared, when set, backs the VM's private decode/trace cache with a
+	// fleet-wide concurrency-safe store (see NewSharedCache): one VM's
+	// decode or trace build warms every VM attached to the same store.
+	// All runs sharing a store must execute the same program image; Run
+	// enforces this via SharedCache.Bind and fails fast on a mismatch.
+	Shared *SharedCache
+}
+
+// SharedCache is a concurrency-safe decode/trace store shared by many
+// concurrent Runs of the same image (fleet execution). See
+// internal/dcache.SharedCache for semantics.
+type SharedCache = dcache.SharedCache
+
+// NewSharedCache returns a shared decode/trace store bounded like a
+// private cache of the given capacity (0 = default 64K entries).
+func NewSharedCache(capacity int) *SharedCache {
+	return dcache.NewShared(capacity)
 }
 
 // ConfigName renders the paper's config label (NONE/SEQ/SHORT/SEQ SHORT).
@@ -209,6 +227,12 @@ type Result struct {
 	TraceDivergences  uint64
 	ReplayedInsts     uint64
 	TraceCacheEntries int
+
+	// Shared-cache adoptions (Config.Shared != nil): local misses served
+	// by another VM's published decode (SharedHits) or trace snapshot
+	// (SharedTraceHits). Zero on private-cache runs.
+	SharedHits      uint64
+	SharedTraceHits uint64
 
 	// KernelStats snapshots delegation counters.
 	KernelStats kernel.Stats
@@ -317,6 +341,13 @@ func Run(img *obj.Image, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Shared != nil {
+		// Shared decodes/traces are only valid for the image they were
+		// built from; one shared store serves exactly one image.
+		if err := cfg.Shared.Bind(img); err != nil {
+			return nil, err
+		}
+	}
 
 	as := mem.NewAddressSpace()
 	m := machine.New(as)
@@ -345,6 +376,7 @@ func Run(img *obj.Image, cfg Config) (*Result, error) {
 		NoTraceCache:       cfg.NoTraceCache,
 		CheckpointInterval: cfg.CheckpointInterval,
 		MaxRollbacks:       cfg.MaxRollbacks,
+		Shared:             cfg.Shared,
 	})
 	if err != nil {
 		return nil, err
@@ -393,6 +425,8 @@ func Run(img *obj.Image, cfg Config) (*Result, error) {
 		TraceDivergences:   rt.Tel.TraceDivergences,
 		ReplayedInsts:      rt.Tel.ReplayedInsts,
 		TraceCacheEntries:  rt.Cache().TraceLen(),
+		SharedHits:         rt.Cache().Stats.SharedHits,
+		SharedTraceHits:    rt.Cache().Stats.SharedTraceHits,
 		KernelStats:        k.Stats,
 		Detached:           rt.Detached(),
 		Retries:            rt.Retries,

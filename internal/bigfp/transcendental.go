@@ -9,7 +9,10 @@ package bigfp
 // atanh series, all at a working precision with guard bits and rounded
 // once into the destination.
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // guardBits is the extra working precision used inside the series.
 const guardBits = 32
@@ -19,6 +22,12 @@ type constEntry struct {
 	prec uint
 	val  *Float
 }
+
+// constMu guards the constant caches: MPFR-backed VMs in a fleet hit
+// Pi/Ln2 from many goroutines. It is held across the compute-and-fill
+// path too — the constants are computed once per precision, so the
+// serialization is a one-time cost.
+var constMu sync.Mutex
 
 var piCache, ln2Cache constEntry
 
@@ -56,6 +65,8 @@ func atanRecip(n int64, prec uint) *Float {
 
 // Pi returns π at the given precision (Machin: π = 16·atan(1/5) − 4·atan(1/239)).
 func Pi(prec uint) *Float {
+	constMu.Lock()
+	defer constMu.Unlock()
 	if piCache.val != nil && piCache.prec >= prec {
 		out := New(prec)
 		out.setFromParts(piCache.val.neg, piCache.val.mant, piCache.val.exp-int64(piCache.val.prec), false)
@@ -73,6 +84,8 @@ func Pi(prec uint) *Float {
 
 // Ln2 returns ln 2 at the given precision (2·atanh(1/3) = 2·Σ 1/((2k+1)·3^(2k+1))).
 func Ln2(prec uint) *Float {
+	constMu.Lock()
+	defer constMu.Unlock()
 	if ln2Cache.val != nil && ln2Cache.prec >= prec {
 		out := New(prec)
 		out.setFromParts(ln2Cache.val.neg, ln2Cache.val.mant, ln2Cache.val.exp-int64(ln2Cache.val.prec), false)

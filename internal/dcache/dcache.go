@@ -22,7 +22,9 @@ type Entry struct {
 	Class     uint8
 }
 
-// Stats counts cache activity.
+// Stats counts cache activity. Counters are per-VM: a fork child starts
+// from zero (see Clone) so its figures never include events the parent
+// logged pre-fork.
 type Stats struct {
 	Hits      uint64
 	Misses    uint64
@@ -33,6 +35,14 @@ type Stats struct {
 	TraceMisses        uint64
 	TraceEvictions     uint64
 	TraceInvalidations uint64
+
+	// Shared-cache adoption (fleet execution, see SharedCache). A
+	// SharedHit is a local L1 miss served by adopting another VM's
+	// published decode entry; a SharedTraceHit a local L2 miss served by
+	// adopting a published trace. Neither is double-counted as a local
+	// hit or miss.
+	SharedHits      uint64
+	SharedTraceHits uint64
 }
 
 // fifo is a FIFO queue over a ring-style slice: Pop advances a head index
@@ -113,6 +123,14 @@ type Cache struct {
 	// can kill all traces through a corrupted or degraded instruction.
 	ripIndex map[uint64][]uint64
 
+	// shared, when non-nil, backs this per-VM cache with a fleet-wide
+	// concurrency-safe store: local misses consult it (adopting published
+	// entries/traces into the private tables), local decodes and trace
+	// builds publish to it, and local invalidations propagate so no VM
+	// adopts a distrusted decode. The per-VM hot path stays lock-free —
+	// only local misses and publications touch the shared store.
+	shared *SharedCache
+
 	Stats Stats
 }
 
@@ -123,6 +141,21 @@ const DefaultCapacity = 65536
 // shows a few hundred traces cover >90% of emulated instructions on every
 // paper workload; 4K start addresses is an order of magnitude of headroom.
 const DefaultTraceCapacity = 4096
+
+// NewCacheShared returns a cache bounded to capacity entries (0 =
+// default) backed by the given shared cache (nil = private, identical to
+// NewCache). Sharing is read-mostly: the private tables absorb all
+// hot-path traffic; the shared store is consulted only on local misses
+// and updated on decode/trace publication and invalidation.
+func NewCacheShared(capacity int, shared *SharedCache) *Cache {
+	c := NewCache(capacity)
+	c.shared = shared
+	return c
+}
+
+// Shared returns the attached shared cache (nil when the cache is
+// private).
+func (c *Cache) Shared() *SharedCache { return c.shared }
 
 // NewCache returns a cache bounded to capacity entries (0 = default).
 // The trace table capacity scales with the decode capacity, floored at 16.
@@ -146,20 +179,39 @@ func NewCache(capacity int) *Cache {
 	}
 }
 
-// Lookup returns the cached entry for rip, if present.
+// Lookup returns the cached entry for rip, if present. On a local miss
+// with a shared cache attached, a published entry is adopted into the
+// local table (entries are immutable, so the pointer is shared).
 func (c *Cache) Lookup(rip uint64) (*Entry, bool) {
-	e, ok := c.entries[rip]
-	if ok {
+	if e, ok := c.entries[rip]; ok {
 		c.Stats.Hits++
-	} else {
-		c.Stats.Misses++
+		return e, true
 	}
-	return e, ok
+	if c.shared != nil {
+		if e, ok := c.shared.LookupEntry(rip); ok {
+			c.Stats.SharedHits++
+			c.insertLocal(rip, e)
+			return e, true
+		}
+	}
+	c.Stats.Misses++
+	return nil, false
 }
 
 // Insert caches an entry for rip, evicting FIFO-oldest entries over
-// capacity.
+// capacity, and publishes the decode to the shared cache when one is
+// attached (the entry is immutable from here on).
 func (c *Cache) Insert(rip uint64, e *Entry) {
+	c.insertLocal(rip, e)
+	if c.shared != nil {
+		c.shared.PublishEntry(rip, e)
+	}
+}
+
+// insertLocal is Insert without shared-cache publication (adoption uses
+// it: re-publishing an entry that came from the shared store is wasted
+// work).
+func (c *Cache) insertLocal(rip uint64, e *Entry) {
 	if _, exists := c.entries[rip]; !exists {
 		for len(c.entries) >= c.cap && c.order.Len() > 0 {
 			victim, _ := c.order.Pop()
@@ -183,6 +235,9 @@ func (c *Cache) Invalidate(rip uint64) {
 		delete(c.entries, rip)
 		c.Stats.Evictions++
 	}
+	if c.shared != nil {
+		c.shared.InvalidateEntry(rip)
+	}
 	c.InvalidateTraces(rip)
 }
 
@@ -197,9 +252,15 @@ func (c *Cache) OrderCap() int { return c.order.Cap() }
 func (c *Cache) TraceOrderCap() int { return c.traceOrder.Cap() }
 
 // Clone duplicates the cache (fork(): the decode cache is FPVM state in
-// process memory, so the child gets a copy). Traces are duplicated too —
-// their hit/divergence counters diverge between parent and child — but
-// the immutable entry decodes and disassembly strings are shared.
+// process memory, so the child gets a copy). Traces are duplicated with
+// their own Entries/Insts slices — the child's in-flight replays and
+// counters must survive parent-side invalidation, eviction, or in-place
+// rebuild — while the immutable entry decodes themselves are shared. The
+// child's Stats start from zero: a fork child reporting the parent's
+// pre-fork hit/miss/eviction events would double-count them (each event
+// happened once, in the parent). An attached shared cache carries over —
+// the forked process runs the same image, so its published decodes stay
+// valid for the child.
 func (c *Cache) Clone() *Cache {
 	out := &Cache{
 		entries:    make(map[uint64]*Entry, len(c.entries)),
@@ -209,14 +270,13 @@ func (c *Cache) Clone() *Cache {
 		traceOrder: c.traceOrder.Clone(),
 		traceCap:   c.traceCap,
 		ripIndex:   make(map[uint64][]uint64, len(c.ripIndex)),
-		Stats:      c.Stats,
+		shared:     c.shared,
 	}
 	for k, v := range c.entries {
 		out.entries[k] = v // entries are immutable decodes
 	}
 	for k, v := range c.traces {
-		t := *v
-		out.traces[k] = &t
+		out.traces[k] = v.snapshotKeepCounters()
 	}
 	for k, v := range c.ripIndex {
 		out.ripIndex[k] = append([]uint64(nil), v...)
@@ -243,8 +303,10 @@ type Trace struct {
 	Reason TermReason
 
 	// Insts/Term hold the disassembly including the terminator, captured
-	// once at trace build so profiling never re-disassembles (nil when the
-	// run is not profiling).
+	// once at trace build so profiling never re-disassembles. Nil when the
+	// building run was not profiling — consumers must either tolerate the
+	// nil (explicit "not captured" output) or backfill lazily via
+	// EnsureDisassembly.
 	Insts []string
 	Term  string
 
@@ -259,24 +321,92 @@ type Trace struct {
 // terminator is not an entry).
 func (t *Trace) Len() int { return len(t.Entries) }
 
-// LookupTrace returns the cached trace starting at start, if present.
-func (c *Cache) LookupTrace(start uint64) (*Trace, bool) {
-	t, ok := c.traces[start]
-	if ok {
-		c.Stats.TraceHits++
-	} else {
-		c.Stats.TraceMisses++
-	}
-	return t, ok
+// snapshot returns an independent copy of t with fresh Entries/Insts
+// slice headers (the immutable *Entry decodes and disassembly strings are
+// shared) and zeroed replay counters. Shared-cache publication and
+// adoption both go through it: the published master is never mutated, and
+// every adopter replays (and counts) against its own copy.
+func (t *Trace) snapshot() *Trace {
+	nt := t.snapshotKeepCounters()
+	nt.Hits, nt.Divergences = 0, 0
+	return nt
 }
 
-// InsertTrace caches t, evicting FIFO-oldest traces over capacity. An
-// existing trace at the same start address is replaced (the sequence was
-// re-walked, e.g. after an invalidation).
+// snapshotKeepCounters is snapshot preserving the replay counters (fork:
+// the child inherits the parent's per-trace history like the rest of the
+// process image, and diverges from there).
+func (t *Trace) snapshotKeepCounters() *Trace {
+	nt := *t
+	nt.Entries = append([]*Entry(nil), t.Entries...)
+	if t.Insts != nil {
+		nt.Insts = append([]string(nil), t.Insts...)
+	}
+	return &nt
+}
+
+// EnsureDisassembly backfills Insts/Term for a trace built while no run
+// was profiling (capture is skipped off-profile; an adopted shared trace
+// may come from a non-profiling VM). The emulated instructions
+// re-disassemble from the cached decodes; the terminator — not an Entry —
+// is fetched through fetchTerm (nil, or returning ok=false, leaves Term
+// empty: length-limited sequences have no terminator instruction, and an
+// unmapped EndRIP must not fail the caller).
+func (t *Trace) EnsureDisassembly(fetchTerm func(rip uint64) (string, bool)) {
+	if t.Insts != nil || len(t.Entries) == 0 {
+		return
+	}
+	insts := make([]string, 0, len(t.Entries)+1)
+	for _, e := range t.Entries {
+		insts = append(insts, e.Inst.String())
+	}
+	if t.Reason != TermLimit && fetchTerm != nil {
+		if s, ok := fetchTerm(t.EndRIP); ok {
+			t.Term = s
+			insts = append(insts, s)
+		}
+	}
+	t.Insts = insts
+}
+
+// LookupTrace returns the cached trace starting at start, if present. On
+// a local miss with a shared cache attached, a published trace is adopted:
+// the VM gets its own copy (fresh counters, private Entries slice) so
+// replay never mutates state another VM can see, and future traps at this
+// start hit locally.
+func (c *Cache) LookupTrace(start uint64) (*Trace, bool) {
+	if t, ok := c.traces[start]; ok {
+		c.Stats.TraceHits++
+		return t, true
+	}
+	if c.shared != nil {
+		if master, ok := c.shared.LookupTrace(start); ok {
+			t := master.snapshot()
+			c.Stats.SharedTraceHits++
+			c.insertTraceLocal(t)
+			return t, true
+		}
+	}
+	c.Stats.TraceMisses++
+	return nil, false
+}
+
+// InsertTrace caches t, evicting FIFO-oldest traces over capacity, and
+// publishes a frozen copy to the shared cache when one is attached — one
+// VM's trace build warms every VM. An existing trace at the same start
+// address is replaced (the sequence was re-walked, e.g. after an
+// invalidation).
 func (c *Cache) InsertTrace(t *Trace) {
 	if len(t.Entries) == 0 {
 		return
 	}
+	c.insertTraceLocal(t)
+	if c.shared != nil {
+		c.shared.PublishTrace(t)
+	}
+}
+
+// insertTraceLocal is InsertTrace without shared-cache publication.
+func (c *Cache) insertTraceLocal(t *Trace) {
 	if old, exists := c.traces[t.Start]; exists {
 		c.unindexTrace(old)
 	} else {
@@ -300,7 +430,13 @@ func (c *Cache) InsertTrace(t *Trace) {
 // starting there) and returns how many were dropped. The recovery ladder
 // calls it whenever an instruction decodes faultily or degrades: a
 // pre-bound sequence must never replay through a distrusted instruction.
+// With a shared cache attached, the invalidation propagates so no other
+// VM adopts a sequence through the distrusted address (copies other VMs
+// already adopted live out their own per-VM lifecycle).
 func (c *Cache) InvalidateTraces(rip uint64) int {
+	if c.shared != nil {
+		c.shared.InvalidateTraces(rip)
+	}
 	if _, ok := c.ripIndex[rip]; !ok {
 		return 0
 	}
@@ -417,7 +553,10 @@ func (p *SeqProfile) Known(start uint64) bool {
 }
 
 // Record logs one executed sequence. insts/terminator are captured only on
-// first observation (they are stable for a given start address).
+// first observation (they are stable for a given start address) — except
+// that a first observation with no disassembly (the sequence came from a
+// non-profiling trace build) is backfilled by the first later observation
+// that has one.
 func (p *SeqProfile) Record(start uint64, length int, reason TermReason, insts []string, term string) {
 	p.Traps++
 	p.EmulatedTotal += uint64(length)
@@ -425,6 +564,8 @@ func (p *SeqProfile) Record(start uint64, length int, reason TermReason, insts [
 	if !ok {
 		t = &TraceStat{StartRIP: start, Insts: insts, Terminator: term}
 		p.traces[start] = t
+	} else if t.Insts == nil && insts != nil {
+		t.Insts, t.Terminator = insts, term
 	}
 	t.Count++
 	t.TotalInsts += uint64(length)

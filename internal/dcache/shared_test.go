@@ -1,0 +1,417 @@
+package dcache
+
+import (
+	"sync"
+	"testing"
+
+	"fpvm/internal/isa"
+)
+
+// ------------------------------------------------ fork/clone accounting
+
+// TestCloneStatsStartFromZero pins the fork-stats bugfix: a child's
+// counters must not include events the parent logged pre-fork (each event
+// happened once, in the parent — a child reporting them double-counts).
+func TestCloneStatsStartFromZero(t *testing.T) {
+	c := NewCache(2)
+	c.Insert(0x100, &Entry{})
+	c.Insert(0x104, &Entry{})
+	c.Insert(0x108, &Entry{}) // evicts
+	c.Lookup(0x108)           // hit
+	c.Lookup(0xdead)          // miss
+	c.InsertTrace(mkTrace(0x100, 2))
+	c.LookupTrace(0x100)  // trace hit
+	c.LookupTrace(0x9999) // trace miss
+	c.InvalidateTraces(0x100)
+	if (c.Stats == Stats{}) {
+		t.Fatal("parent accumulated no stats; test is vacuous")
+	}
+
+	child := c.Clone()
+	if (child.Stats != Stats{}) {
+		t.Errorf("fork child inherited parent stats: %+v", child.Stats)
+	}
+
+	// And the child counts its own events from there, independently.
+	parentStats := c.Stats
+	child.Lookup(0x108)
+	if child.Stats.Hits != 1 {
+		t.Errorf("child hit not counted: %+v", child.Stats)
+	}
+	if c.Stats != parentStats {
+		t.Error("child activity mutated parent stats")
+	}
+}
+
+// TestCloneTraceEntriesUnaliased pins the fork slice-header bugfix: the
+// child's Trace structs must own their Entries/Insts arrays. A child
+// replaying a trace mid-flight must be immune to anything the parent does
+// to its own copy after the fork.
+func TestCloneTraceEntriesUnaliased(t *testing.T) {
+	c := NewCache(0)
+	tr := mkTrace(0x100, 4)
+	tr.Insts = []string{"a", "b", "c", "d"}
+	c.InsertTrace(tr)
+
+	child := c.Clone()
+	// The child's in-flight replay holds this pointer.
+	ct, ok := child.LookupTrace(0x100)
+	if !ok {
+		t.Fatal("child lost the trace")
+	}
+	inFlight := ct.Entries
+
+	// Parent-side churn after fork: replace the trace at the same start
+	// (re-walked after an invalidation) and clobber its old arrays.
+	pt, _ := c.LookupTrace(0x100)
+	pt.Entries[0] = &Entry{Inst: isa.MakeNullary(isa.NOP)} // corrupt parent copy
+	pt.Insts[0] = "corrupted"
+	c.InvalidateTraces(0x104)
+	c.InsertTrace(mkTrace(0x100, 1))
+
+	for i, e := range inFlight {
+		if e == nil || e.Inst.Addr != 0x100+uint64(i)*4 {
+			t.Fatalf("child entry %d corrupted by parent-side churn", i)
+		}
+	}
+	if ct.Insts[0] != "a" {
+		t.Errorf("child disassembly aliased to parent: %q", ct.Insts[0])
+	}
+	if got, _ := child.LookupTrace(0x100); got.Len() != 4 {
+		t.Errorf("parent replacement leaked into child table: len %d", got.Len())
+	}
+}
+
+// ------------------------------------------------ shared cache: adoption
+
+func TestSharedEntryAdoption(t *testing.T) {
+	s := NewShared(0)
+	a := NewCacheShared(0, s)
+	b := NewCacheShared(0, s)
+
+	e := &Entry{Inst: isa.MakeNullary(isa.NOP), Supported: true}
+	a.Insert(0x100, e)
+	if s.EntryLen() != 1 {
+		t.Fatalf("publication missing: shared has %d entries", s.EntryLen())
+	}
+
+	got, ok := b.Lookup(0x100)
+	if !ok || got != e {
+		t.Fatal("B did not adopt A's published decode")
+	}
+	if b.Stats.SharedHits != 1 || b.Stats.Hits != 0 || b.Stats.Misses != 0 {
+		t.Errorf("adoption miscounted: %+v", b.Stats)
+	}
+	// Adopted into B's local table: the next lookup is a plain local hit.
+	if _, ok := b.Lookup(0x100); !ok || b.Stats.Hits != 1 || b.Stats.SharedHits != 1 {
+		t.Errorf("adopted entry not local: %+v", b.Stats)
+	}
+}
+
+func TestSharedTraceAdoptionIsSnapshot(t *testing.T) {
+	s := NewShared(0)
+	a := NewCacheShared(0, s)
+	b := NewCacheShared(0, s)
+	c := NewCacheShared(0, s)
+
+	tr := mkTrace(0x100, 4)
+	tr.Hits = 5 // builder's replay history must not leak to adopters
+	a.InsertTrace(tr)
+	if s.TraceLen() != 1 {
+		t.Fatalf("trace publication missing")
+	}
+
+	bt, ok := b.LookupTrace(0x100)
+	if !ok {
+		t.Fatal("B did not adopt A's trace")
+	}
+	if b.Stats.SharedTraceHits != 1 || b.Stats.TraceMisses != 0 {
+		t.Errorf("trace adoption miscounted: %+v", b.Stats)
+	}
+	if bt == tr {
+		t.Fatal("adoption returned the builder's trace, not a snapshot")
+	}
+	if bt.Hits != 0 || bt.Divergences != 0 {
+		t.Errorf("adopted trace inherited counters: hits=%d div=%d", bt.Hits, bt.Divergences)
+	}
+
+	// B's replay mutates only B's copy.
+	bt.Hits += 100
+	bt.Entries[0] = nil
+	ct, _ := c.LookupTrace(0x100)
+	if ct.Hits != 0 {
+		t.Error("B's replay counters visible to C")
+	}
+	if ct.Entries[0] == nil {
+		t.Error("B's entry mutation visible to C (shared backing array)")
+	}
+	if tr.Hits != 5 {
+		t.Error("adopter mutated the builder's trace")
+	}
+}
+
+// TestSharedInvalidationPropagates: a VM distrusting an address must keep
+// every *future* adopter away from it, while copies already adopted live
+// out their own per-VM lifecycle.
+func TestSharedInvalidationPropagates(t *testing.T) {
+	s := NewShared(0)
+	a := NewCacheShared(0, s)
+	b := NewCacheShared(0, s)
+
+	a.Insert(0x100, &Entry{})
+	a.InsertTrace(mkTrace(0x100, 4))
+	if _, ok := b.LookupTrace(0x100); !ok {
+		t.Fatal("setup: B could not adopt")
+	}
+
+	a.Invalidate(0x104) // mid-trace rip: kills trace + (elsewhere) decode
+	if s.TraceLen() != 0 {
+		t.Error("shared master trace survived propagated invalidation")
+	}
+	a.Invalidate(0x100)
+	if s.EntryLen() != 0 {
+		t.Error("shared decode survived propagated invalidation")
+	}
+
+	// B's already-adopted copy is B's problem (its own ladder invalidates
+	// it on its own faults) — but a fresh VM must miss.
+	fresh := NewCacheShared(0, s)
+	if _, ok := fresh.Lookup(0x100); ok {
+		t.Error("fresh VM adopted an invalidated decode")
+	}
+	if _, ok := fresh.LookupTrace(0x100); ok {
+		t.Error("fresh VM adopted an invalidated trace")
+	}
+	if _, ok := b.LookupTrace(0x100); !ok {
+		t.Error("propagation clobbered B's private adopted copy")
+	}
+}
+
+func TestSharedCapacityBounded(t *testing.T) {
+	s := NewShared(64) // per-shard cap 64/16 = 4 → ≤64 entries total
+	c := NewCacheShared(64, s)
+	for i := uint64(0); i < 1024; i++ {
+		c.Insert(i*4, &Entry{})
+		c.InsertTrace(mkTrace(0x10000+i*0x100, 2))
+	}
+	if n := s.EntryLen(); n > 64 {
+		t.Errorf("shared entry table unbounded: %d", n)
+	}
+	if n := s.TraceLen(); n > 16 { // NewCache(64) derives traceCap 16
+		t.Errorf("shared trace table unbounded: %d", n)
+	}
+	st := s.Stats()
+	if st.EntryEvictions == 0 || st.TraceEvictions == 0 {
+		t.Errorf("no evictions counted: %+v", st)
+	}
+}
+
+func TestSharedBindFirstWins(t *testing.T) {
+	s := NewShared(0)
+	img1, img2 := &struct{ n int }{1}, &struct{ n int }{2}
+	if err := s.Bind(img1); err != nil {
+		t.Fatalf("first bind: %v", err)
+	}
+	if err := s.Bind(img1); err != nil {
+		t.Fatalf("re-bind same image: %v", err)
+	}
+	if err := s.Bind(img2); err == nil {
+		t.Fatal("bind to a second image succeeded")
+	}
+}
+
+// TestSharedConcurrentTorture hammers one shared cache from many
+// goroutines mixing publication, adoption, replay-style mutation of
+// adopted copies, and invalidation. Run under -race via make check; the
+// assertions also catch structural corruption (ripIndex vs traces).
+func TestSharedConcurrentTorture(t *testing.T) {
+	s := NewShared(256)
+	const goroutines = 8
+	const rounds = 400
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := NewCacheShared(256, s)
+			for i := 0; i < rounds; i++ {
+				rip := uint64(0x1000 + (i%32)*4)
+				start := uint64(0x1000 + (i%8)*0x40)
+				switch i % 5 {
+				case 0:
+					c.Insert(rip, &Entry{Inst: isa.MakeNullary(isa.NOP)})
+				case 1:
+					c.Lookup(rip)
+				case 2:
+					tr := mkTrace(start, 4)
+					c.InsertTrace(tr)
+				case 3:
+					if tr, ok := c.LookupTrace(start); ok {
+						tr.Hits++ // replay mutation on the private copy
+						tr.Divergences++
+					}
+				case 4:
+					if g%2 == 0 {
+						c.InvalidateTraces(start + 4)
+					} else {
+						c.Invalidate(rip)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Structural coherence after the storm: every indexed start resolves.
+	s.tmu.RLock()
+	defer s.tmu.RUnlock()
+	for addr, starts := range s.ripIndex {
+		for _, st := range starts {
+			tr, ok := s.traces[st]
+			if !ok {
+				t.Fatalf("ripIndex[%#x] names dead trace %#x", addr, st)
+			}
+			found := false
+			for _, e := range tr.Entries {
+				if e.Inst.Addr == addr {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("ripIndex[%#x] names trace %#x that does not contain it", addr, st)
+			}
+		}
+	}
+}
+
+// ------------------------------------------------ lazy disassembly
+
+func TestEnsureDisassemblyBackfills(t *testing.T) {
+	tr := mkTrace(0x100, 3)
+	tr.Reason = TermUnsupported
+	if tr.Insts != nil {
+		t.Fatal("mkTrace grew disassembly; test is vacuous")
+	}
+	fetched := 0
+	tr.EnsureDisassembly(func(rip uint64) (string, bool) {
+		fetched++
+		if rip != tr.EndRIP {
+			t.Errorf("terminator fetched at %#x, want EndRIP %#x", rip, tr.EndRIP)
+		}
+		return "jmp somewhere", true
+	})
+	if len(tr.Insts) != 4 { // 3 entries + terminator
+		t.Fatalf("insts: %v", tr.Insts)
+	}
+	if tr.Term != "jmp somewhere" || tr.Insts[3] != "jmp somewhere" {
+		t.Errorf("terminator not recorded: term=%q insts=%v", tr.Term, tr.Insts)
+	}
+	if fetched != 1 {
+		t.Errorf("terminator fetched %d times", fetched)
+	}
+
+	// Idempotent: a second call must not re-disassemble.
+	tr.EnsureDisassembly(func(uint64) (string, bool) {
+		t.Error("re-disassembled an already-filled trace")
+		return "", false
+	})
+}
+
+func TestEnsureDisassemblyTermLimit(t *testing.T) {
+	tr := mkTrace(0x100, 2)
+	tr.Reason = TermLimit // EndRIP is past-last-inst, not a terminator
+	tr.EnsureDisassembly(func(uint64) (string, bool) {
+		t.Error("fetched a terminator for a length-limited sequence")
+		return "", false
+	})
+	if len(tr.Insts) != 2 || tr.Term != "" {
+		t.Errorf("insts=%v term=%q", tr.Insts, tr.Term)
+	}
+}
+
+func TestEnsureDisassemblyFetchFails(t *testing.T) {
+	tr := mkTrace(0x100, 2)
+	tr.EnsureDisassembly(func(uint64) (string, bool) { return "", false })
+	if len(tr.Insts) != 2 || tr.Term != "" {
+		t.Errorf("failed terminator fetch must still fill entries: insts=%v term=%q", tr.Insts, tr.Term)
+	}
+	// Nil fetcher and empty trace are both safe no-ops.
+	empty := &Trace{Start: 1}
+	empty.EnsureDisassembly(nil)
+	if empty.Insts != nil {
+		t.Error("empty trace grew disassembly")
+	}
+}
+
+// TestRecordBackfillsInsts pins the profiling-off-builder → profiling-on-
+// observer path: the first observation carries no disassembly (nil), a
+// later one does, and the stat keeps it.
+func TestRecordBackfillsInsts(t *testing.T) {
+	p := NewSeqProfile()
+	p.Record(0x100, 4, TermUnsupported, nil, "")
+	if st, _ := p.Trace(1); st.Insts != nil {
+		t.Fatal("first observation should have no disassembly")
+	}
+	insts := []string{"addsd", "mulsd", "jmp"}
+	p.Record(0x100, 4, TermUnsupported, insts, "jmp")
+	st, _ := p.Trace(1)
+	if len(st.Insts) != 3 || st.Terminator != "jmp" {
+		t.Errorf("backfill failed: insts=%v term=%q", st.Insts, st.Terminator)
+	}
+	if st.Count != 2 {
+		t.Errorf("count %d", st.Count)
+	}
+	// Established disassembly is never replaced.
+	p.Record(0x100, 4, TermUnsupported, []string{"other"}, "other")
+	if st, _ := p.Trace(1); len(st.Insts) != 3 {
+		t.Error("later observation replaced established disassembly")
+	}
+}
+
+// TestSharedStatsCounters sanity-checks the aggregate counters.
+func TestSharedStatsCounters(t *testing.T) {
+	s := NewShared(0)
+	a := NewCacheShared(0, s)
+	b := NewCacheShared(0, s)
+	a.Insert(0x100, &Entry{})
+	a.InsertTrace(mkTrace(0x100, 2))
+	b.Lookup(0x100)
+	b.Lookup(0x200) // shared miss
+	b.LookupTrace(0x100)
+	b.LookupTrace(0x300) // shared miss
+	st := s.Stats()
+	want := SharedStats{
+		EntryHits: 1, EntryMisses: 1, EntryPublications: 1,
+		TraceHits: 1, TraceMisses: 1, TracePublications: 1,
+	}
+	if st != want {
+		t.Errorf("stats:\n got %+v\nwant %+v", st, want)
+	}
+}
+
+// TestSharedPublishReplace: re-publishing a start address replaces the
+// master (re-walked after invalidation) without corrupting the index.
+func TestSharedPublishReplace(t *testing.T) {
+	s := NewShared(0)
+	c := NewCacheShared(0, s)
+	c.InsertTrace(mkTrace(0x100, 4))
+	c.InsertTrace(mkTrace(0x100, 2)) // replace with shorter
+	if s.TraceLen() != 1 {
+		t.Fatalf("trace table: %d", s.TraceLen())
+	}
+	fresh := NewCacheShared(0, s)
+	tr, ok := fresh.LookupTrace(0x100)
+	if !ok || tr.Len() != 2 {
+		t.Fatalf("replacement not served: %v", tr)
+	}
+	// The old trace's tail rips must be unindexed: invalidating one must
+	// not report kills.
+	if n := s.InvalidateTraces(0x100 + 3*4); n != 0 {
+		t.Errorf("stale index entry killed %d traces", n)
+	}
+	if s.TraceLen() != 1 {
+		t.Error("stale index entry killed the replacement")
+	}
+}

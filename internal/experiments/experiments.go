@@ -222,6 +222,9 @@ func (s *Suite) Fig7(w io.Writer, name workloads.Name, rank int) error {
 	pct := 100 * float64(tr.EmulatedInsts()) / float64(prof.EmulatedTotal)
 	fmt.Fprintf(w, "Figure 7: rank-%d trace of %s (start %#x, len %d, executed %d times, %.1f%% of emulated insts)\n",
 		rank, name, tr.StartRIP, tr.Len, tr.Count, pct)
+	if len(tr.Insts) == 0 {
+		fmt.Fprintf(w, "  (not profiled: no disassembly captured for this sequence)\n")
+	}
 	for i, s := range tr.Insts {
 		marker := "  "
 		if i == len(tr.Insts)-1 && s == tr.Terminator {

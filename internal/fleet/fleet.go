@@ -1,0 +1,291 @@
+// Package fleet executes many independent guest programs concurrently — a
+// worker pool of fully isolated VMs (each job gets its own address space,
+// machine, kernel, heap and Runtime) that optionally share the expensive
+// read-mostly state: the decode/trace cache. With sharing on, the first
+// VM to decode an instruction or build a trace warms every other VM
+// running the same image, which is what makes trap-and-emulate
+// virtualization amortize at serving scale — request-sized guests pay the
+// decode/trace-build warm-up once per fleet instead of once per VM.
+//
+// Everything else is per-VM by construction: fpvm.Run builds a fresh
+// stack per call, and job Configs are copied by value. Shared caches are
+// created here, one per distinct program image (pre-decoded state is only
+// valid for the image it came from; fpvm.Run enforces this via
+// SharedCache.Bind).
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fpvm"
+	"fpvm/internal/obj"
+	"fpvm/internal/telemetry"
+)
+
+// Job is one guest program execution: an image plus the run configuration
+// for its VM. The Config is copied before use; the runner only ever sets
+// its Shared field (and only when Options.Share is on).
+type Job struct {
+	// Name labels the job in reports (e.g. the workload name).
+	Name string
+
+	// Image is the guest program. Image loading does not mutate the
+	// image, so many jobs may reference the same *obj.Image.
+	Image *obj.Image
+
+	// Config configures the job's VM. Leave Shared nil — the runner
+	// manages cache sharing fleet-wide via Options.Share.
+	Config fpvm.Config
+}
+
+// Options configures a fleet run.
+type Options struct {
+	// Workers is the worker-pool size (0 = 4). Each worker runs whole
+	// jobs; at most Workers VMs execute concurrently.
+	Workers int
+
+	// Share backs every VM with a fleet-wide decode/trace cache — one
+	// per distinct image in the job list. Off, every VM decodes and
+	// builds traces privately (the ablation baseline).
+	Share bool
+
+	// CacheCapacity bounds each shared cache (0 = the default private
+	// cache capacity). Ignored when Share is off.
+	CacheCapacity int
+}
+
+// DefaultWorkers is the pool size when Options.Workers is 0.
+const DefaultWorkers = 4
+
+// JobResult is one job's outcome. A non-nil Err with a non-nil Result
+// whose Detached flag is set is the fatal-rung outcome: FPVM detached
+// but the guest still completed natively with correct output (the
+// serial fpvm-run exit-11 case) — not a hard failure.
+type JobResult struct {
+	Name    string
+	Result  *fpvm.Result // nil when Err is non-nil and the run never finished
+	Err     error
+	Elapsed time.Duration
+}
+
+// Report is the fleet-level roll-up.
+type Report struct {
+	Results []JobResult // one per job, in submission order
+
+	// Breakdown is every worker's telemetry merged: fleet-aggregate
+	// cycles per category and summed counters.
+	Breakdown telemetry.Breakdown
+
+	// Elapsed is the wall-clock time for the whole fleet.
+	Elapsed time.Duration
+
+	Workers int
+	Shared  bool
+	Jobs    int
+
+	// Failures counts jobs that never produced a completed guest run.
+	// Detached counts jobs where FPVM hit the fatal rung but the guest
+	// still completed natively — degraded service, not failure.
+	Failures int
+	Detached int
+
+	// TotalCycles sums every VM's virtual cycle count — the fleet's
+	// total work, independent of scheduling.
+	TotalCycles uint64
+
+	// SharedHits / SharedTraceHits count local cache misses served by
+	// another VM's published decode / trace (0 with Share off).
+	SharedHits      uint64
+	SharedTraceHits uint64
+}
+
+// Throughput returns completed jobs per wall-clock second.
+func (r *Report) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Jobs-r.Failures) / r.Elapsed.Seconds()
+}
+
+// VirtualMakespan replays the fleet's schedule on the virtual clock:
+// jobs are assigned in submission order to the earliest-free worker
+// (the same greedy discipline the real pool follows), each costing the
+// virtual cycles its VM actually consumed. The result is the fleet's
+// completion time in virtual cycles — deterministic and host-independent
+// where wall clock is not, in keeping with the simulator's cost-model
+// philosophy (every other figure in this repo is reported on the
+// virtual clock).
+func (r *Report) VirtualMakespan() uint64 {
+	if r.Workers <= 0 || len(r.Results) == 0 {
+		return 0
+	}
+	free := make([]uint64, r.Workers)
+	for i := range r.Results {
+		res := r.Results[i].Result
+		if res == nil {
+			continue
+		}
+		w := 0
+		for k := 1; k < len(free); k++ {
+			if free[k] < free[w] {
+				w = k
+			}
+		}
+		free[w] += res.Cycles
+	}
+	var max uint64
+	for _, f := range free {
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// VirtualThroughput returns completed jobs per billion virtual cycles
+// under the VirtualMakespan schedule — the deterministic fleet
+// throughput figure.
+func (r *Report) VirtualThroughput() float64 {
+	ms := r.VirtualMakespan()
+	if ms == 0 {
+		return 0
+	}
+	return float64(r.Jobs-r.Failures) / (float64(ms) / 1e9)
+}
+
+// Run executes every job on a pool of opts.Workers workers and returns
+// the fleet report. Results are positional: Results[i] is jobs[i]'s
+// outcome regardless of scheduling order.
+func Run(jobs []Job, opts Options) *Report {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	rep := &Report{
+		Results: make([]JobResult, len(jobs)),
+		Workers: workers,
+		Shared:  opts.Share,
+		Jobs:    len(jobs),
+	}
+	if len(jobs) == 0 {
+		return rep
+	}
+
+	// One shared cache per distinct image: pre-decoded entries and traces
+	// are only coherent within an image, and fpvm.Run's Bind check would
+	// reject a second image on the same store.
+	var shared map[*obj.Image]*fpvm.SharedCache
+	if opts.Share {
+		shared = make(map[*obj.Image]*fpvm.SharedCache)
+		for i := range jobs {
+			img := jobs[i].Image
+			if _, ok := shared[img]; !ok {
+				shared[img] = fpvm.NewSharedCache(opts.CacheCapacity)
+			}
+		}
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				job := &jobs[i]
+				cfg := job.Config // copy: never mutate the caller's Config
+				if shared != nil {
+					cfg.Shared = shared[job.Image]
+				}
+				t0 := time.Now()
+				res, err := fpvm.Run(job.Image, cfg)
+				rep.Results[i] = JobResult{
+					Name:    job.Name,
+					Result:  res,
+					Err:     err,
+					Elapsed: time.Since(t0),
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+
+	for i := range rep.Results {
+		jr := &rep.Results[i]
+		if jr.Err != nil && (jr.Result == nil || !jr.Result.Detached) {
+			rep.Failures++
+		}
+		if jr.Result == nil {
+			continue
+		}
+		if jr.Result.Detached {
+			rep.Detached++
+		}
+		rep.Breakdown.Merge(jr.Result.Breakdown)
+		rep.TotalCycles += jr.Result.Cycles
+		rep.SharedHits += jr.Result.SharedHits
+		rep.SharedTraceHits += jr.Result.SharedTraceHits
+	}
+	return rep
+}
+
+// Summary renders the fleet report as a short human-readable block.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	mode := "private caches"
+	if r.Shared {
+		mode = "shared cache"
+	}
+	fmt.Fprintf(&sb, "fleet: %d jobs on %d workers (%s)\n", r.Jobs, r.Workers, mode)
+	fmt.Fprintf(&sb, "  wall %v  throughput %.1f jobs/s  total work %d cycles\n",
+		r.Elapsed.Round(time.Microsecond), r.Throughput(), r.TotalCycles)
+	fmt.Fprintf(&sb, "  virtual makespan %d cycles  virtual throughput %.2f jobs/Gcycle\n",
+		r.VirtualMakespan(), r.VirtualThroughput())
+	fmt.Fprintf(&sb, "  traps %d  emulated %d  trace hit rate %.3f",
+		r.Breakdown.Traps, r.Breakdown.EmulatedInsts, r.Breakdown.TraceHitRate())
+	if r.Shared {
+		fmt.Fprintf(&sb, "  shared adoptions: %d decodes, %d traces",
+			r.SharedHits, r.SharedTraceHits)
+	}
+	sb.WriteString("\n")
+	if r.Detached > 0 {
+		fmt.Fprintf(&sb, "  detached (guest completed natively): %d\n", r.Detached)
+	}
+	if r.Failures > 0 {
+		fmt.Fprintf(&sb, "  FAILURES: %d\n", r.Failures)
+		for _, jr := range r.Results {
+			if jr.Err != nil && (jr.Result == nil || !jr.Result.Detached) {
+				fmt.Fprintf(&sb, "    %s: %v\n", jr.Name, jr.Err)
+			}
+		}
+	}
+	byName := make(map[string]int)
+	for _, jr := range r.Results {
+		byName[jr.Name]++
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&sb, "  mix:")
+	for _, n := range names {
+		fmt.Fprintf(&sb, " %s×%d", n, byName[n])
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

@@ -8,6 +8,7 @@ package fpvm
 
 import (
 	"fpvm/internal/alt"
+	"fpvm/internal/dcache"
 	"fpvm/internal/faultinject"
 	"fpvm/internal/isa"
 )
@@ -109,6 +110,13 @@ type Config struct {
 	// When exhausted, fatal failures fall through to the degrade/detach
 	// rungs as if checkpointing were disabled.
 	MaxRollbacks int
+
+	// Shared, when set, backs this VM's private decode/trace cache with a
+	// fleet-wide concurrency-safe store: local misses adopt published
+	// decodes and trace snapshots, local decodes and trace builds publish
+	// back. All VMs on one SharedCache must run the same program image
+	// (enforced by SharedCache.Bind). Nil keeps the cache fully private.
+	Shared *dcache.SharedCache
 }
 
 // DefaultRetryBudget is the per-site per-trap retry budget when

@@ -1,0 +1,112 @@
+package fpvm_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"fpvm/internal/alt"
+	"fpvm/internal/asm"
+	"fpvm/internal/dcache"
+	fpvmrt "fpvm/internal/fpvm"
+	"fpvm/internal/isa"
+	"fpvm/internal/kernel"
+)
+
+// TestForkInsideFleet is the fork × fleet interplay test: several
+// concurrent VMs run the same image against ONE shared decode/trace
+// cache, and every VM forks mid-run (the fork_test.go scaffolding). Each
+// child's cache is a Clone of a shared-backed cache — its stats must
+// start from zero, its traces must be unaliased from the parent's, and
+// both sides keep publishing/adopting through the shared store while
+// other VMs do the same. Run under -race via make check.
+func TestForkInsideFleet(t *testing.T) {
+	// Program: x = 1/3 (boxed); INT3 fork marker; x += step; print; exit.
+	b := asm.NewBuilder("fleet-forked")
+	b.RoDouble("one", 1)
+	b.RoDouble("three", 3)
+	b.Double("step", 1) // parent adds 1; each child's copy flips to 2
+	b.Func("main")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three")
+	b.Op0(isa.INT3)
+	b.RMData(isa.ADDSD, isa.XMM(isa.XMM0), "step")
+	b.CallImport("print_f64")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepSym, ok := img.Lookup("step")
+	if !ok {
+		t.Fatal("no step symbol")
+	}
+
+	shared := dcache.NewShared(0)
+	const vms = 6
+	var wg sync.WaitGroup
+	errs := make(chan string, vms*4)
+	for v := 0; v < vms; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			cfg := fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true, Short: true, Shared: shared}
+			parent := newRig(t, img, cfg, true)
+
+			var child *kernel.Process
+			var childRT *fpvmrt.Runtime
+			parent.p.BreakpointHook = func(uc *kernel.Ucontext) bool {
+				if child != nil {
+					return true // the child inherits the hook; skip its marker
+				}
+				parent.p.M.CPU = uc.CPU
+				child = parent.p.Fork("child")
+				childRT = parent.rt.ForkChild(child)
+				if st := childRT.Cache().Stats; (st != dcache.Stats{}) {
+					errs <- "fork child inherited cache stats"
+				}
+				if err := child.M.Mem.WriteUint64(stepSym.Addr, 0x4000000000000000); err != nil {
+					errs <- "patch child step: " + err.Error()
+				}
+				return true
+			}
+
+			if err := parent.p.Run(0); err != nil {
+				errs <- "parent run: " + err.Error()
+				return
+			}
+			if err := parent.rt.Err(); err != nil {
+				errs <- "parent fpvm: " + err.Error()
+				return
+			}
+			if child == nil {
+				errs <- "fork marker never hit"
+				return
+			}
+			if err := child.Run(0); err != nil {
+				errs <- "child run: " + err.Error()
+				return
+			}
+			if err := childRT.Err(); err != nil {
+				errs <- "child fpvm: " + err.Error()
+				return
+			}
+			if out := parent.p.Stdout.String(); !strings.HasPrefix(out, "1.3333333333333333") {
+				errs <- "parent printed " + out
+			}
+			if out := child.Stdout.String(); !strings.HasPrefix(out, "2.3333333333333335") {
+				errs <- "child printed " + out
+			}
+		}(v)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if shared.TraceLen() == 0 && shared.EntryLen() == 0 {
+		t.Error("fleet published nothing to the shared cache")
+	}
+}

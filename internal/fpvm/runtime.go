@@ -122,7 +122,7 @@ func Attach(p *kernel.Process, cfg Config) (*Runtime, error) {
 		p:       p,
 		m:       p.M,
 		alloc:   heap.New(cfg.GCThreshold),
-		cache:   dcache.NewCache(cfg.CacheCapacity),
+		cache:   dcache.NewCacheShared(cfg.CacheCapacity, cfg.Shared),
 		wrapped: make(map[string]bool),
 	}
 	if cfg.Profile {

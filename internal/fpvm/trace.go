@@ -125,8 +125,19 @@ func (r *Runtime) replayTrace(uc *kernel.Ucontext, tr *dcache.Trace, trapStart u
 	uc.CPU.RIP = rip
 
 	if r.Profile != nil {
-		// Disassembly was captured once at trace build; Record ignores it
-		// for already-known starts, so no re-disassembly ever happens here.
+		// Disassembly is captured once at trace build when the builder
+		// profiles. A trace built with profiling off (or adopted from a
+		// non-profiling VM through the shared cache) carries nil Insts:
+		// derive them lazily from the pre-decoded entries, once. This is
+		// profiling metadata only, so it charges no virtual cycles. Record
+		// ignores the strings for already-known starts.
+		tr.EnsureDisassembly(func(rip uint64) (string, bool) {
+			in, err := r.m.FetchDecode(rip)
+			if err != nil {
+				return "", false
+			}
+			return in.String(), true
+		})
 		r.Profile.Record(tr.Start, count, reason, tr.Insts, tr.Term)
 	}
 

@@ -1,0 +1,86 @@
+package telemetry
+
+import "testing"
+
+// TestMergeAccumulatesEverything fills every field of a Breakdown with a
+// distinct value and checks Merge sums all of them — so a future counter
+// added to Breakdown but forgotten in Merge trips the derived-total check
+// below rather than silently vanishing from fleet reports.
+func TestMergeAccumulatesEverything(t *testing.T) {
+	mk := func(base uint64) *Breakdown {
+		b := &Breakdown{}
+		for i := range b.Cycles {
+			b.Cycles[i] = base + uint64(i)
+		}
+		b.EmulatedInsts = base + 100
+		b.Traps = base + 101
+		b.CorrEvents = base + 102
+		b.FCallEvents = base + 103
+		b.FaultsInjected = base + 104
+		b.FaultsRetried = base + 105
+		b.FaultsRolledBack = base + 106
+		b.FaultsDegraded = base + 107
+		b.FaultsFatal = base + 108
+		b.Checkpoints = base + 109
+		b.Rollbacks = base + 110
+		b.RollbackFailures = base + 111
+		b.Quarantines = base + 112
+		b.WatchdogAborts = base + 113
+		b.PanicRecoveries = base + 114
+		b.AbortedTraps = base + 115
+		b.TraceHits = base + 116
+		b.TraceMisses = base + 117
+		b.TraceDivergences = base + 118
+		b.ReplayedInsts = base + 119
+		return b
+	}
+
+	a, b := mk(1000), mk(5000)
+	var sum Breakdown
+	sum.Merge(a)
+	sum.Merge(b)
+	sum.Merge(nil) // no-op
+
+	got := sum
+	for i := range got.Cycles {
+		if got.Cycles[i] != a.Cycles[i]+b.Cycles[i] {
+			t.Errorf("Cycles[%d] = %d, want %d", i, got.Cycles[i], a.Cycles[i]+b.Cycles[i])
+		}
+	}
+	checks := []struct {
+		name string
+		got  uint64
+		a, b uint64
+	}{
+		{"EmulatedInsts", got.EmulatedInsts, a.EmulatedInsts, b.EmulatedInsts},
+		{"Traps", got.Traps, a.Traps, b.Traps},
+		{"CorrEvents", got.CorrEvents, a.CorrEvents, b.CorrEvents},
+		{"FCallEvents", got.FCallEvents, a.FCallEvents, b.FCallEvents},
+		{"FaultsInjected", got.FaultsInjected, a.FaultsInjected, b.FaultsInjected},
+		{"FaultsRetried", got.FaultsRetried, a.FaultsRetried, b.FaultsRetried},
+		{"FaultsRolledBack", got.FaultsRolledBack, a.FaultsRolledBack, b.FaultsRolledBack},
+		{"FaultsDegraded", got.FaultsDegraded, a.FaultsDegraded, b.FaultsDegraded},
+		{"FaultsFatal", got.FaultsFatal, a.FaultsFatal, b.FaultsFatal},
+		{"Checkpoints", got.Checkpoints, a.Checkpoints, b.Checkpoints},
+		{"Rollbacks", got.Rollbacks, a.Rollbacks, b.Rollbacks},
+		{"RollbackFailures", got.RollbackFailures, a.RollbackFailures, b.RollbackFailures},
+		{"Quarantines", got.Quarantines, a.Quarantines, b.Quarantines},
+		{"WatchdogAborts", got.WatchdogAborts, a.WatchdogAborts, b.WatchdogAborts},
+		{"PanicRecoveries", got.PanicRecoveries, a.PanicRecoveries, b.PanicRecoveries},
+		{"AbortedTraps", got.AbortedTraps, a.AbortedTraps, b.AbortedTraps},
+		{"TraceHits", got.TraceHits, a.TraceHits, b.TraceHits},
+		{"TraceMisses", got.TraceMisses, a.TraceMisses, b.TraceMisses},
+		{"TraceDivergences", got.TraceDivergences, a.TraceDivergences, b.TraceDivergences},
+		{"ReplayedInsts", got.ReplayedInsts, a.ReplayedInsts, b.ReplayedInsts},
+	}
+	for _, c := range checks {
+		if c.got != c.a+c.b {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.a+c.b)
+		}
+	}
+
+	// Derived figures work on merged data.
+	if sum.TraceHitRate() <= 0 || sum.AvgSeqLen() <= 0 {
+		t.Error("derived rates zero on merged breakdown")
+	}
+}

@@ -154,6 +154,39 @@ func (b *Breakdown) FaultLine() string {
 // Add charges n cycles to category c.
 func (b *Breakdown) Add(c Category, n uint64) { b.Cycles[c] += n }
 
+// Merge accumulates o into b: every cycle category and every counter.
+// The fleet runner uses it to fold per-worker breakdowns into one
+// fleet-level report; rates (TraceHitRate, AvgSeqLen, PerInst) computed on
+// the merged breakdown are then workload-weighted fleet aggregates.
+func (b *Breakdown) Merge(o *Breakdown) {
+	if o == nil {
+		return
+	}
+	for i := range b.Cycles {
+		b.Cycles[i] += o.Cycles[i]
+	}
+	b.EmulatedInsts += o.EmulatedInsts
+	b.Traps += o.Traps
+	b.CorrEvents += o.CorrEvents
+	b.FCallEvents += o.FCallEvents
+	b.FaultsInjected += o.FaultsInjected
+	b.FaultsRetried += o.FaultsRetried
+	b.FaultsRolledBack += o.FaultsRolledBack
+	b.FaultsDegraded += o.FaultsDegraded
+	b.FaultsFatal += o.FaultsFatal
+	b.Checkpoints += o.Checkpoints
+	b.Rollbacks += o.Rollbacks
+	b.RollbackFailures += o.RollbackFailures
+	b.Quarantines += o.Quarantines
+	b.WatchdogAborts += o.WatchdogAborts
+	b.PanicRecoveries += o.PanicRecoveries
+	b.AbortedTraps += o.AbortedTraps
+	b.TraceHits += o.TraceHits
+	b.TraceMisses += o.TraceMisses
+	b.TraceDivergences += o.TraceDivergences
+	b.ReplayedInsts += o.ReplayedInsts
+}
+
 // Total returns the summed FPVM overhead cycles.
 func (b *Breakdown) Total() uint64 {
 	var t uint64

@@ -15,7 +15,7 @@ import c "fpvm/internal/compile"
 // fluxes, conserved-variable update, artificial viscosity, smoothing,
 // gradient estimation and a refinement-criterion scan — eight-plus
 // distinct hot loops touching five state arrays.
-func enzoProgram(scale int) *c.Program {
+func enzoProgram(steps int64) *c.Program {
 	p := c.NewProgram("enzo")
 
 	const n = 96
@@ -32,7 +32,6 @@ func enzoProgram(scale int) *c.Program {
 	p.Arrays["grad"] = n
 	p.IntGlobals["refine"] = 0
 
-	steps := int64(12 * scale)
 	const dtdx = 0.1
 
 	v := c.V

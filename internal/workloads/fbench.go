@@ -8,7 +8,7 @@ import c "fpvm/internal/compile"
 // figures. The trigonometric library calls (sin/asin/atan) interleave
 // with short arithmetic bursts, which is why fbench has the paper's
 // shortest sequences (~4 instructions per trap).
-func fbenchProgram(scale int) *c.Program {
+func fbenchProgram(iters int64) *c.Program {
 	p := c.NewProgram("fbench")
 
 	// The classic fbench design: 4 surfaces (radius, index, dispersion,
@@ -18,8 +18,6 @@ func fbenchProgram(scale int) *c.Program {
 	p.Arrays["dist"] = 4
 	p.Globals["aberr_lspher"] = 0
 	p.Globals["aberr_osc"] = 0
-
-	iters := int64(60 * scale)
 
 	v := c.V
 	iv := c.IV

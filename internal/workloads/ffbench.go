@@ -8,7 +8,7 @@ import c "fpvm/internal/compile"
 // index arithmetic (integer, sequence-terminating) with medium runs of
 // FP multiplies/adds, and the twiddle factors update through a pure-FP
 // rotation recurrence, giving ffbench its mid-length sequences.
-func ffbenchProgram(scale int) *c.Program {
+func ffbenchProgram(passes int64) *c.Program {
 	p := c.NewProgram("ffbench")
 
 	const n = 256 // FFT size (power of two)
@@ -16,8 +16,6 @@ func ffbenchProgram(scale int) *c.Program {
 	p.Arrays["im"] = n
 	p.Arrays["orig"] = n
 	p.IntGlobals["n"] = n
-
-	passes := int64(2 * scale)
 
 	v := c.V
 	iv := c.IV

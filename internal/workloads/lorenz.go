@@ -7,13 +7,11 @@ import c "fpvm/internal/compile"
 // multiplies, adds, stores, no calls — which is what gives Lorenz its
 // long emulatable sequences (the paper reports ~32 instructions per trap
 // and notes its small state generates little garbage).
-func lorenzProgram(scale int) *c.Program {
+func lorenzProgram(steps int64) *c.Program {
 	p := c.NewProgram("lorenz_attractor")
 	p.Globals["x"] = 1.0
 	p.Globals["y"] = 1.0
 	p.Globals["z"] = 20.0
-
-	steps := int64(4000 * scale)
 
 	const (
 		sigma = 10.0

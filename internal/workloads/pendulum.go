@@ -7,14 +7,13 @@ import c "fpvm/internal/compile"
 // sin/cos library calls punctuate the otherwise-straight-line FP code, so
 // its sequences are shorter than Lorenz's but longer than fbench's —
 // matching the paper's middle-of-the-pack "Double Pend." bar.
-func pendulumProgram(scale int) *c.Program {
+func pendulumProgram(steps int64) *c.Program {
 	p := c.NewProgram("double_pendulum")
 	p.Globals["th1"] = 2.0
 	p.Globals["th2"] = 1.5
 	p.Globals["w1"] = 0.0
 	p.Globals["w2"] = 0.0
 
-	steps := int64(1500 * scale)
 	const (
 		g  = 9.81
 		dt = 0.001

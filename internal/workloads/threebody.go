@@ -9,7 +9,7 @@ import c "fpvm/internal/compile"
 // positions every few steps (foreign-function correctness traffic) and
 // tallies sign bits by reinterpreting coordinates as integers through
 // memory (memory-escape correctness traffic).
-func threeBodyProgram(scale int) *c.Program {
+func threeBodyProgram(steps int64) *c.Program {
 	p := c.NewProgram("three_body_simulation")
 	// Positions / velocities / masses for bodies 0..2.
 	init := map[string]float64{
@@ -22,7 +22,6 @@ func threeBodyProgram(scale int) *c.Program {
 	}
 	p.IntGlobals["negcount"] = 0
 
-	steps := int64(400 * scale)
 	const dt = 0.002
 
 	v := c.V

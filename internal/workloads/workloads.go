@@ -41,6 +41,67 @@ func All() []Name {
 	return []Name{Pendulum, Enzo, Fbench, FFbench, Lorenz, ThreeBody}
 }
 
+// baseUnits is the benchmark-default iteration count per workload (the
+// scale-1 step/iteration/pass count each generator receives).
+var baseUnits = map[Name]int64{
+	Lorenz:    4000,
+	Pendulum:  1500,
+	ThreeBody: 400,
+	Fbench:    60,
+	FFbench:   2,
+	Enzo:      12,
+}
+
+// microUnits is the request-sized variant of each workload: a few dozen
+// microseconds of guest work, the granularity of one serving-stack
+// request. At this size trap-pipeline warm-up (decode + trace build) is a
+// visible fraction of the run, which is exactly the regime where fleet
+// cache sharing pays. FFbench is excluded — a single FFT pass already
+// dwarfs the others.
+var microUnits = map[Name]int64{
+	Lorenz:    100,
+	Pendulum:  50,
+	ThreeBody: 12,
+	Fbench:    2,
+	Enzo:      1,
+}
+
+// MicroAll lists the workloads that have request-sized variants, in
+// figure order.
+func MicroAll() []Name {
+	out := make([]Name, 0, len(microUnits))
+	for _, n := range All() {
+		if _, ok := microUnits[n]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// program builds a workload's kernel-language program at an explicit
+// iteration count (steps for the integrators, iterations for fbench,
+// passes for ffbench).
+func program(name Name, units int64) (*compile.Program, error) {
+	if units < 1 {
+		units = 1
+	}
+	switch name {
+	case Lorenz:
+		return lorenzProgram(units), nil
+	case Pendulum:
+		return pendulumProgram(units), nil
+	case ThreeBody:
+		return threeBodyProgram(units), nil
+	case Fbench:
+		return fbenchProgram(units), nil
+	case FFbench:
+		return ffbenchProgram(units), nil
+	case Enzo:
+		return enzoProgram(units), nil
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
 // Program builds the kernel-language program for a workload. scale
 // multiplies iteration counts: 1 is the benchmark default; tests use
 // smaller fractions via BuildScaled.
@@ -48,26 +109,35 @@ func Program(name Name, scale int) (*compile.Program, error) {
 	if scale < 1 {
 		scale = 1
 	}
-	switch name {
-	case Lorenz:
-		return lorenzProgram(scale), nil
-	case Pendulum:
-		return pendulumProgram(scale), nil
-	case ThreeBody:
-		return threeBodyProgram(scale), nil
-	case Fbench:
-		return fbenchProgram(scale), nil
-	case FFbench:
-		return ffbenchProgram(scale), nil
-	case Enzo:
-		return enzoProgram(scale), nil
+	base, ok := baseUnits[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q", name)
 	}
-	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	return program(name, base*int64(scale))
+}
+
+// MicroProgram builds the request-sized variant of a workload (for fleet
+// throughput experiments). Workloads without a micro variant error.
+func MicroProgram(name Name) (*compile.Program, error) {
+	units, ok := microUnits[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: no micro variant of %q", name)
+	}
+	return program(name, units)
 }
 
 // Build compiles a workload at the given scale.
 func Build(name Name, scale int) (*obj.Image, error) {
 	p, err := Program(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	return compile.Compile(p)
+}
+
+// BuildMicro compiles the request-sized variant of a workload.
+func BuildMicro(name Name) (*obj.Image, error) {
+	p, err := MicroProgram(name)
 	if err != nil {
 		return nil, err
 	}
