@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-check fleet-soak
+.PHONY: check build test vet race bench bench-check fleet-soak fuzz fuzz-smoke cover
 
-check: vet build race bench-check
+check: vet build race bench-check fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,19 @@ fleet-soak:
 # survives one iteration. Wired into `make check`.
 bench-check:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Coverage-guided differential fuzzing: generated guests run under the
+# oracle's config matrix, diffing trap streams and exit state against
+# the native IEEE baseline. The checked-in corpus seeds the search.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 60s ./internal/fpfuzz/
+
+# Bounded race-enabled fuzz pass for CI and `make check`: long enough
+# to replay the corpus and mutate past it, short enough for every push.
+fuzz-smoke:
+	$(GO) test -race -run '^$$' -fuzz FuzzDifferential -fuzztime 30s ./internal/fpfuzz/
+
+# Aggregate statement coverage across all packages.
+cover:
+	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
+	$(GO) tool cover -func=coverage.out | tail -1

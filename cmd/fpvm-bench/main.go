@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	fpvm-bench [-fig all|1|2|3|4|5|6|7|8|9|10|11|12|13|corr|cache|resil|trace|fleet]
+//	fpvm-bench [-fig all|1|2|3|4|5|6|7|8|9|10|11|12|13|corr|cache|resil|trace|fleet|conform]
 //	           [-scale N] [-json FILE] [-cpuprofile FILE] [-memprofile FILE] [-v]
 //
 // Figures 1-10 run with Boxed IEEE (the paper's worst-case system);
@@ -10,7 +10,9 @@
 // trace figure benchmarks the software trace cache on vs off, and the
 // fleet figure benchmarks concurrent multi-VM throughput with a shared
 // decode/trace cache vs private caches; with -json, each writes its
-// BENCH_*.json regression artifact.
+// BENCH_*.json regression artifact. The conform figure runs the
+// differential conformance oracle's full matrix over the request-sized
+// workloads and exits non-zero on any divergence.
 package main
 
 import (
@@ -27,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (all, 1-13, corr, cache, resil, trace, fleet)")
+	fig := flag.String("fig", "all", "figure to regenerate (all, 1-13, corr, cache, resil, trace, fleet, conform)")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	rank := flag.Int("rank", 3, "trace rank for -fig 7")
 	jsonPath := flag.String("json", "", "write -fig trace results to this JSON file")
@@ -182,6 +184,12 @@ func run(fig *string, scale, rank *int, jsonPath *string, verbose *bool) error {
 			}
 			fmt.Fprintf(out, "wrote %s\n", *jsonPath)
 		}
+	}
+	if need("conform") {
+		if err := experiments.ConformTable(out, progress); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
 	}
 	if need("fleet") {
 		rows, err := experiments.FleetBench(progress)

@@ -44,13 +44,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"fpvm"
 	"fpvm/internal/faultinject"
 	"fpvm/internal/fleet"
-	"fpvm/internal/obj"
 	"fpvm/internal/telemetry"
 	"fpvm/internal/workloads"
 )
@@ -133,7 +133,15 @@ func main() {
 		cfg.Inject = inj
 	}
 	if *parallel > 1 {
-		os.Exit(runFleet(runImg, cfg, *workload, *parallel, *fleetJobs, !*fleetPrivate))
+		count := *fleetJobs
+		if count <= 0 {
+			count = *parallel
+		}
+		jobs := make([]fleet.Job, count)
+		for i := range jobs {
+			jobs[i] = fleet.Job{Name: *workload, Image: runImg, Config: cfg}
+		}
+		os.Exit(runFleet(os.Stdout, os.Stderr, jobs, *parallel, !*fleetPrivate))
 	}
 	res, err := fpvm.Run(runImg, cfg)
 	if err != nil {
@@ -175,35 +183,36 @@ func main() {
 	os.Exit(outcomeExit(res))
 }
 
-// runFleet executes count copies of the workload on a pool of workers
-// concurrent VMs and returns the exit code (most severe job outcome).
-func runFleet(img *obj.Image, cfg fpvm.Config, name string, workers, count int, share bool) int {
-	if count <= 0 {
-		count = workers
-	}
-	jobs := make([]fleet.Job, count)
-	for i := range jobs {
-		jobs[i] = fleet.Job{Name: name, Image: img, Config: cfg}
-	}
+// runFleet executes jobs on a pool of workers concurrent VMs and returns
+// the exit code (most severe job outcome).
+func runFleet(stdout, stderr io.Writer, jobs []fleet.Job, workers int, share bool) int {
 	rep := fleet.Run(jobs, fleet.Options{Workers: workers, Share: share})
+	exit := fleetExit(stdout, stderr, rep.Results)
+	fmt.Fprint(stderr, rep.Summary())
+	return exit
+}
 
-	// Severity order for aggregation (the codes themselves are API and
-	// not ordered): error > detached > degraded > rolled-back > clean.
+// fleetExit reports each job's outcome on stderr, prints the first
+// successful job's guest output on stdout (all copies of one workload
+// are identical), and aggregates the fleet's exit code by severity.
+// The codes themselves are API and not ordered; the severity ranking is
+// error > detached > degraded > rolled-back > clean.
+func fleetExit(stdout, stderr io.Writer, results []fleet.JobResult) int {
 	rank := map[int]int{exitClean: 0, exitRolledBack: 1, exitDegraded: 2, exitDetached: 3, exitError: 4}
 	exit := exitClean
 	printed := false
-	for _, jr := range rep.Results {
+	for _, jr := range results {
 		e := exitError
 		if jr.Err != nil && (jr.Result == nil || !jr.Result.Detached) {
-			fmt.Fprintf(os.Stderr, "fpvm-run: %s: %v\n", jr.Name, jr.Err)
+			fmt.Fprintf(stderr, "fpvm-run: %s: %v\n", jr.Name, jr.Err)
 		} else {
 			if jr.Err != nil {
 				// Fatal rung: FPVM detached but the guest finished
 				// natively — same classification as the serial path.
-				fmt.Fprintf(os.Stderr, "fpvm-run: %s: detached (guest completed natively): %v\n", jr.Name, jr.Err)
+				fmt.Fprintf(stderr, "fpvm-run: %s: detached (guest completed natively): %v\n", jr.Name, jr.Err)
 			}
 			if !printed {
-				fmt.Print(jr.Result.Stdout)
+				fmt.Fprint(stdout, jr.Result.Stdout)
 				printed = true
 			}
 			e = outcomeExit(jr.Result)
@@ -212,7 +221,6 @@ func runFleet(img *obj.Image, cfg fpvm.Config, name string, workers, count int, 
 			exit = e
 		}
 	}
-	fmt.Fprint(os.Stderr, rep.Summary())
 	return exit
 }
 

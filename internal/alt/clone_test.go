@@ -1,0 +1,166 @@
+package alt_test
+
+import (
+	"math"
+	"testing"
+
+	"fpvm/internal/alt"
+	"fpvm/internal/bigfp"
+	"fpvm/internal/checkpoint"
+	"fpvm/internal/heap"
+	"fpvm/internal/kernel"
+	"fpvm/internal/machine"
+	"fpvm/internal/mem"
+	"fpvm/internal/rational"
+	"fpvm/internal/telemetry"
+)
+
+// cloneSpecials are the values most likely to expose a shallow copy:
+// signed zeros, the denormal floor, the overflow boundary, infinities
+// and NaN.
+var cloneSpecials = []float64{
+	0, math.Copysign(0, -1), 1.5, 1.0 / 3.0,
+	5e-324, 2.2250738585072014e-308, math.MaxFloat64,
+	math.Inf(1), math.Inf(-1), math.NaN(),
+}
+
+// TestCloneValueSpecials: for every system, a clone demotes to exactly
+// the same bits as its original and agrees on sign and NaN-ness — for
+// ordinary values and for every special the checkpoint subsystem might
+// have to snapshot.
+func TestCloneValueSpecials(t *testing.T) {
+	for name, sys := range systems() {
+		name, sys := name, sys
+		t.Run(name, func(t *testing.T) {
+			for _, f := range cloneSpecials {
+				v, _ := sys.Promote(f)
+				c := sys.CloneValue(v)
+				dv, _ := sys.Demote(v)
+				dc, _ := sys.Demote(c)
+				if math.Float64bits(dv) != math.Float64bits(dc) {
+					t.Errorf("%s: clone of %g demotes to %g (bits %#x != %#x)",
+						name, f, dc, math.Float64bits(dc), math.Float64bits(dv))
+				}
+				if sys.IsNaN(v) != sys.IsNaN(c) {
+					t.Errorf("%s: clone of %g disagrees on IsNaN", name, f)
+				}
+				if sys.Signbit(v) != sys.Signbit(c) {
+					t.Errorf("%s: clone of %g disagrees on Signbit", name, f)
+				}
+			}
+		})
+	}
+}
+
+// TestBoxedCloneNaNPayloadRoundTrip: Boxed IEEE's representation is the
+// raw float64, so an application NaN's payload must survive promote →
+// clone → demote bit-for-bit — the identity clone is only correct
+// because float64 values are immutable.
+func TestBoxedCloneNaNPayloadRoundTrip(t *testing.T) {
+	sys := alt.NewBoxedIEEE()
+	for _, bits := range []uint64{
+		0x7FF8_0000_DEAD_BEEF, // quiet NaN with payload
+		0xFFF8_0000_0000_0001, // negative quiet NaN, minimal payload
+		0x7FF8_0000_0000_0000, // canonical quiet NaN
+	} {
+		v, _ := sys.Promote(math.Float64frombits(bits))
+		c := sys.CloneValue(v)
+		d, _ := sys.Demote(c)
+		if got := math.Float64bits(d); got != bits {
+			t.Errorf("NaN payload %#x round-tripped to %#x", bits, got)
+		}
+	}
+}
+
+// TestMPFRCloneMutationIndependence: bigfp operations mutate their
+// receiver, so MPFR's CloneValue must deep-copy. Mutating either side
+// after the clone must not be visible through the other — in both
+// directions, and for NaN (whose limb slice is nil, an easy aliasing
+// special case to get wrong).
+func TestMPFRCloneMutationIndependence(t *testing.T) {
+	sys := alt.NewMPFR(200)
+
+	v, _ := sys.Promote(1.5)
+	c := sys.CloneValue(v)
+	v.(*bigfp.Float).SetFloat64(-99)
+	if got, _ := sys.Demote(c); got != 1.5 {
+		t.Errorf("mutating the original changed the clone: %g, want 1.5", got)
+	}
+
+	w, _ := sys.Promote(2.25)
+	cw := sys.CloneValue(w)
+	cw.(*bigfp.Float).SetFloat64(-7)
+	if got, _ := sys.Demote(w); got != 2.25 {
+		t.Errorf("mutating the clone changed the original: %g, want 2.25", got)
+	}
+
+	n, _ := sys.Promote(math.NaN())
+	cn := sys.CloneValue(n)
+	n.(*bigfp.Float).SetFloat64(0)
+	if !sys.IsNaN(cn) {
+		t.Error("NaN clone lost its NaN-ness when the original was overwritten")
+	}
+}
+
+// TestRationalCloneIsDeepCopy: the rational system's values wrap a
+// mutable big.Rat, so CloneValue must return a distinct object that
+// demotes identically.
+func TestRationalCloneIsDeepCopy(t *testing.T) {
+	sys := alt.NewRational()
+	v, _ := sys.Promote(1.0 / 3.0)
+	c := sys.CloneValue(v)
+	if v.(*rational.Rational) == c.(*rational.Rational) {
+		t.Fatal("CloneValue returned the same *Rational")
+	}
+	dv, _ := sys.Demote(v)
+	dc, _ := sys.Demote(c)
+	if dv != dc {
+		t.Errorf("clone demotes to %g, original to %g", dc, dv)
+	}
+}
+
+// TestCloneValueIndependenceAfterRollback drives the real CloneValue
+// hook through the checkpoint subsystem the way the rollback supervisor
+// does: snapshot a heap holding a live mutable MPFR box, corrupt the
+// live value in place, roll back, corrupt the *restored* value, and
+// roll back again. Both restores must see the snapshot-time value —
+// i.e. the snapshot aliases neither the live heap nor any heap it
+// previously handed out.
+func TestCloneValueIndependenceAfterRollback(t *testing.T) {
+	sys := alt.NewMPFR(200)
+	as := mem.NewAddressSpace()
+	m := machine.New(as)
+	p := kernel.NewProcess(kernel.New(), m, "clone-rollback")
+
+	alloc := heap.New(0)
+	v, _ := sys.Promote(1.5)
+	h := alloc.Alloc(v)
+
+	mgr := checkpoint.New(as)
+	cloneVal := func(x any) any { return sys.CloneValue(x) }
+	mgr.Save(machine.CPU{}, p, alloc, cloneVal, telemetry.Breakdown{}, nil)
+
+	// First rollback: in-place corruption of the live box must not have
+	// reached the snapshot.
+	v.(*bigfp.Float).SetFloat64(-99)
+	_, restored, _, _ := mgr.Restore(p, cloneVal)
+	rv, ok := restored.Get(h)
+	if !ok {
+		t.Fatal("restored heap lost the live box")
+	}
+	if got, _ := sys.Demote(rv); got != 1.5 {
+		t.Fatalf("first rollback restored %g, want snapshot-time 1.5", got)
+	}
+
+	// Second rollback: corrupting the restored clone must not poison the
+	// snapshot for later rollbacks to the same checkpoint.
+	rv.(*bigfp.Float).SetFloat64(7)
+	_, again, _, _ := mgr.Restore(p, cloneVal)
+	av, ok := again.Get(h)
+	if !ok {
+		t.Fatal("second restore lost the live box")
+	}
+	if got, _ := sys.Demote(av); got != 1.5 {
+		t.Errorf("second rollback restored %g, want 1.5 (snapshot aliased a restored heap)", got)
+	}
+}

@@ -254,6 +254,92 @@ func (s *SharedCache) TraceLen() int {
 	return len(s.traces)
 }
 
+// Consistent audits the shared store's cross-structure invariants and
+// returns the first violation found (nil when sound). It is the
+// post-torture audit for concurrent publish/adopt/invalidate schedules:
+//
+//  1. every ripIndex entry points at a live trace that actually contains
+//     the indexed address (no dangling starts, no stale membership);
+//  2. every live trace is fully indexed — each of its instruction
+//     addresses lists the trace's start (otherwise InvalidateTraces on
+//     that address would miss the trace, the PR-2 coherence bug class);
+//  3. traces are structurally sound (non-empty, keyed by their first
+//     instruction's address);
+//  4. both levels respect their capacity bounds;
+//  5. resident counts never exceed lifetime publications.
+//
+// Consistent takes the same locks as the mutating paths, so it observes
+// an instant of the store and may run concurrently with traffic.
+func (s *SharedCache) Consistent() error {
+	entries := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n := len(sh.m)
+		sh.mu.RUnlock()
+		if n > s.entryCap {
+			return fmt.Errorf("dcache: shared shard %d holds %d entries, cap %d", i, n, s.entryCap)
+		}
+		entries += n
+	}
+	if pubs := s.entryPubs.Load(); uint64(entries) > pubs {
+		return fmt.Errorf("dcache: %d resident entries but only %d ever published", entries, pubs)
+	}
+
+	s.tmu.RLock()
+	defer s.tmu.RUnlock()
+	if len(s.traces) > s.traceCap {
+		return fmt.Errorf("dcache: %d shared traces exceed cap %d", len(s.traces), s.traceCap)
+	}
+	if pubs := s.tracePubs.Load(); uint64(len(s.traces)) > pubs {
+		return fmt.Errorf("dcache: %d resident traces but only %d ever published", len(s.traces), pubs)
+	}
+	for start, t := range s.traces {
+		if len(t.Entries) == 0 {
+			return fmt.Errorf("dcache: shared trace at %#x is empty", start)
+		}
+		if t.Start != start || t.Entries[0].Inst.Addr != start {
+			return fmt.Errorf("dcache: shared trace keyed %#x has Start %#x, first inst %#x",
+				start, t.Start, t.Entries[0].Inst.Addr)
+		}
+		for _, e := range t.Entries {
+			indexed := false
+			for _, st := range s.ripIndex[e.Inst.Addr] {
+				if st == start {
+					indexed = true
+					break
+				}
+			}
+			if !indexed {
+				return fmt.Errorf("dcache: shared trace %#x not indexed under its member %#x (invalidation would miss it)",
+					start, e.Inst.Addr)
+			}
+		}
+	}
+	for addr, starts := range s.ripIndex {
+		if len(starts) == 0 {
+			return fmt.Errorf("dcache: empty ripIndex list left at %#x", addr)
+		}
+		for _, start := range starts {
+			t, live := s.traces[start]
+			if !live {
+				return fmt.Errorf("dcache: ripIndex %#x names dead trace %#x", addr, start)
+			}
+			member := false
+			for _, e := range t.Entries {
+				if e.Inst.Addr == addr {
+					member = true
+					break
+				}
+			}
+			if !member {
+				return fmt.Errorf("dcache: ripIndex %#x names trace %#x which does not contain it", addr, start)
+			}
+		}
+	}
+	return nil
+}
+
 // Stats snapshots the aggregate counters.
 func (s *SharedCache) Stats() SharedStats {
 	return SharedStats{

@@ -222,12 +222,33 @@ func TestSharedBindFirstWins(t *testing.T) {
 
 // TestSharedConcurrentTorture hammers one shared cache from many
 // goroutines mixing publication, adoption, replay-style mutation of
-// adopted copies, and invalidation. Run under -race via make check; the
-// assertions also catch structural corruption (ripIndex vs traces).
+// adopted copies, and invalidation, while a concurrent auditor runs the
+// Consistent() invariant sweep mid-storm (it takes the same locks, so
+// every instant it observes must be sound). Run under -race via make
+// check. After the storm the full audit must pass again, and a
+// final concurrent invalidation wave over every published address must
+// drain the trace table without leaving dangling index entries.
 func TestSharedConcurrentTorture(t *testing.T) {
 	s := NewShared(256)
 	const goroutines = 8
 	const rounds = 400
+
+	stop := make(chan struct{})
+	auditErr := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				auditErr <- nil
+				return
+			default:
+				if err := s.Consistent(); err != nil {
+					auditErr <- err
+					return
+				}
+			}
+		}
+	}()
 
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
@@ -262,27 +283,39 @@ func TestSharedConcurrentTorture(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+	close(stop)
+	if err := <-auditErr; err != nil {
+		t.Fatalf("concurrent audit: %v", err)
+	}
+	if err := s.Consistent(); err != nil {
+		t.Fatalf("post-storm audit: %v", err)
+	}
 
-	// Structural coherence after the storm: every indexed start resolves.
+	// Invalidation wave: kill every possible trace member address from
+	// all goroutines at once. The table must drain completely — a trace
+	// surviving this sweep is one the reverse index lost track of (the
+	// overlapping-trace coherence bug class).
+	var kill sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		kill.Add(1)
+		go func(g int) {
+			defer kill.Done()
+			for i := g; i < 8*0x40+4*4; i += goroutines {
+				s.InvalidateTraces(0x1000 + uint64(i))
+			}
+		}(g)
+	}
+	kill.Wait()
+	if err := s.Consistent(); err != nil {
+		t.Fatalf("post-wave audit: %v", err)
+	}
+	if n := s.TraceLen(); n != 0 {
+		t.Fatalf("%d traces survived an invalidation wave over every member address", n)
+	}
 	s.tmu.RLock()
 	defer s.tmu.RUnlock()
-	for addr, starts := range s.ripIndex {
-		for _, st := range starts {
-			tr, ok := s.traces[st]
-			if !ok {
-				t.Fatalf("ripIndex[%#x] names dead trace %#x", addr, st)
-			}
-			found := false
-			for _, e := range tr.Entries {
-				if e.Inst.Addr == addr {
-					found = true
-					break
-				}
-			}
-			if !found {
-				t.Fatalf("ripIndex[%#x] names trace %#x that does not contain it", addr, st)
-			}
-		}
+	if n := len(s.ripIndex); n != 0 {
+		t.Fatalf("empty trace table but %d ripIndex lists remain", n)
 	}
 }
 

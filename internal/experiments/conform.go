@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fpvm/internal/oracle"
+	"fpvm/internal/workloads"
+)
+
+// ConformTable runs the differential conformance oracle's full default
+// matrix over every request-sized stock workload and renders one row per
+// (workload, spec): trap count, emulated instructions, stdout bytes and
+// verdict. This is the paper's validation claim ("we expect to get
+// bit-for-bit equal results to the baseline") as a regenerable table —
+// any divergence is printed with the first divergent trap ordinal and
+// both architectural states, and the run returns an error so the bench
+// binary exits non-zero.
+func ConformTable(out, progress io.Writer) error {
+	fmt.Fprintln(out, "Conformance (differential oracle, request-sized workloads)")
+	fmt.Fprintf(out, "%-24s %-22s %9s %11s %8s  %s\n",
+		"workload", "spec", "traps", "emulated", "stdout", "verdict")
+
+	names := workloads.MicroAll()
+	specs := 0
+	divergences := 0
+	for _, name := range names {
+		if progress != nil {
+			fmt.Fprintf(progress, "conform %s...\n", name)
+		}
+		img, err := workloads.BuildMicro(name)
+		if err != nil {
+			return fmt.Errorf("conform: build %s: %w", name, err)
+		}
+		prog, err := oracle.NewProgram(string(name), img)
+		if err != nil {
+			return err
+		}
+		rep := oracle.Check(prog, oracle.Options{})
+		for _, row := range rep.Rows {
+			verdict := "ok"
+			if !row.OK {
+				verdict = "DIVERGED"
+			}
+			fmt.Fprintf(out, "%-24s %-22s %9d %11d %7dB  %s\n",
+				name, row.Spec.Name, row.Traps, row.Emul, row.Stdout, verdict)
+			specs++
+		}
+		for _, d := range rep.Divergences {
+			divergences++
+			fmt.Fprintf(out, "  !! %s\n", d.String())
+		}
+	}
+	if divergences > 0 {
+		return fmt.Errorf("conformance: %d divergence(s) across %d workloads", divergences, len(names))
+	}
+	fmt.Fprintf(out, "zero divergences: %d workloads x %d specs (+ native baseline each)\n",
+		len(names), specs/len(names))
+	return nil
+}

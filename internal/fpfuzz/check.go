@@ -1,0 +1,29 @@
+package fpfuzz
+
+import (
+	"fmt"
+
+	"fpvm/internal/oracle"
+)
+
+// checkMaxSteps bounds each differential run. Fuzz programs are
+// straight-line (branches only skip forward), so any run this long is a
+// machine bug, not a slow input.
+const checkMaxSteps = 2_000_000
+
+// Check builds s and runs it through the oracle's fuzz matrix: a native
+// IEEE baseline, boxed trap-and-emulate across trace/delivery/checkpoint
+// variants, and the mpfr pair. Fuzz programs run unpatched — they have
+// no profiled memory-escape sites, and skipping the profile keeps
+// per-input cost flat.
+func Check(name string, s Seq) (*oracle.Report, error) {
+	img, err := Build(name, s)
+	if err != nil {
+		return nil, fmt.Errorf("fpfuzz: build: %w", err)
+	}
+	prog := oracle.Program{Name: name, Native: img}
+	return oracle.Check(prog, oracle.Options{
+		Specs:    oracle.FuzzMatrix(),
+		MaxSteps: checkMaxSteps,
+	}), nil
+}

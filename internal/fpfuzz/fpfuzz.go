@@ -1,0 +1,255 @@
+// Package fpfuzz is the generative ISA-level fuzzer behind the
+// differential conformance oracle: it encodes straight-line FP programs
+// as byte strings (total decode — every mutation the Go fuzzing engine
+// produces is a valid program), builds them into guest images over the
+// FPVM-supported instruction surface, and biases operand selection
+// toward the paper's exception taxonomy (invalid, divide-by-zero,
+// overflow, underflow, inexact — plus x86's denormal-operand flag):
+// denormals, signed zeros, NaN payloads and overflow boundaries are
+// first-class pool constants, so random programs hit the trap-heavy
+// corners rather than the benign interior of the double range.
+//
+// A program is a Seq: ten pool indices seeding xmm0–xmm9 plus up to
+// MaxInsts three-byte instructions. Build is a pure function of the Seq,
+// so the fuzzing engine's corpus is a corpus of programs, and Shrink
+// (ddmin over the instruction list) reduces any failure to a minimal
+// reproducer.
+package fpfuzz
+
+import (
+	"fmt"
+	"math"
+
+	"fpvm/internal/asm"
+	"fpvm/internal/isa"
+	"fpvm/internal/obj"
+)
+
+const (
+	// NumSeeds is the number of xmm registers seeded from the pool.
+	NumSeeds = 10
+	// MaxInsts bounds the instruction stream (longer encodings are
+	// truncated, keeping per-input oracle cost flat).
+	MaxInsts = 48
+)
+
+// Inst is one encoded instruction: K selects the template kind, A packs
+// the opcode variant (high nibble) with the destination register (low
+// nibble), and B selects the source register or buffer slot.
+type Inst struct {
+	K, A, B uint8
+}
+
+// Seq is a decoded fuzz program.
+type Seq struct {
+	Seeds [NumSeeds]uint8 // pool index per seeded xmm register
+	Insts []Inst
+}
+
+// PoolConst is one member of the exception-biased constant pool.
+type PoolConst struct {
+	Name string
+	Bits uint64
+}
+
+// Pool is the operand pool. Ordinary magnitudes share it with every
+// operand shape the five-exception taxonomy cares about: overflow
+// boundaries (±1e308, the largest finite double), the denormal range
+// (smallest subnormal, largest subnormal, smallest normal), signed
+// zeros, infinities and a quiet NaN with a nonzero payload.
+var Pool = []PoolConst{
+	{"one", math.Float64bits(1)},
+	{"three", math.Float64bits(3)},
+	{"half", math.Float64bits(0.5)},
+	{"neg", math.Float64bits(-2.25)},
+	{"third", math.Float64bits(1.0 / 3.0)},
+	{"huge", math.Float64bits(1e308)},
+	{"neghuge", math.Float64bits(-1e308)},
+	{"maxfin", math.Float64bits(math.MaxFloat64)},
+	{"minsub", math.Float64bits(5e-324)},
+	{"minnorm", math.Float64bits(2.2250738585072014e-308)},
+	{"sub", math.Float64bits(1e-308)}, // below the normal range
+	{"zero", math.Float64bits(0)},
+	{"negzero", 1 << 63},
+	{"inf", math.Float64bits(math.Inf(1))},
+	{"neginf", math.Float64bits(math.Inf(-1))},
+	{"qnan-payload", 0x7FF8_0000_DEAD_BEEF},
+}
+
+// Instruction template kinds (Inst.K modulo numKinds).
+const (
+	KScalarRR   = iota // scalar arithmetic xmm, xmm
+	KScalarRM          // scalar arithmetic xmm, [buf]
+	KPackedRR          // packed arithmetic xmm, xmm
+	KPackedRM          // packed arithmetic xmm, [buf] (16-aligned)
+	KMove              // scalar move: reg-reg, store, load
+	KPackedMove        // movapd store/load
+	KGpr               // xmm<->gpr and gpr<->mem traffic
+	KBranch            // ucomisd + conditional branch over an addsd
+	KCvt               // cvttsd2si / cvtsi2sd
+	KSign              // compiler sign idioms: xorpd self, sign/abs masks
+	KBreaker           // FPVM-unsupported moves that end sequences
+	numKinds
+)
+
+var scalarOps = []isa.Op{isa.ADDSD, isa.SUBSD, isa.MULSD, isa.DIVSD,
+	isa.MINSD, isa.MAXSD, isa.SQRTSD, isa.CMPLTSD, isa.CMPEQSD, isa.CMPNLESD}
+
+var packedOps = []isa.Op{isa.ADDPD, isa.SUBPD, isa.MULPD, isa.DIVPD, isa.CMPLTPD}
+
+var branchOps = []isa.Op{isa.JB, isa.JA, isa.JE, isa.JNE, isa.JBE, isa.JAE}
+
+// Scalar/packed opcode indices, exported for biased generation.
+const (
+	OpAdd = 0
+	OpSub = 1
+	OpMul = 2
+	OpDiv = 3
+)
+
+// Decode turns any byte string into a Seq: the first NumSeeds bytes (zero
+// padded) seed the registers, the rest decodes as three-byte instructions
+// (a trailing partial triple is dropped), truncated to MaxInsts. Decode
+// is total — every fuzzer mutation is a program.
+func Decode(data []byte) Seq {
+	var s Seq
+	for i := 0; i < NumSeeds && i < len(data); i++ {
+		s.Seeds[i] = data[i]
+	}
+	if len(data) > NumSeeds {
+		rest := data[NumSeeds:]
+		n := len(rest) / 3
+		if n > MaxInsts {
+			n = MaxInsts
+		}
+		s.Insts = make([]Inst, n)
+		for i := 0; i < n; i++ {
+			s.Insts[i] = Inst{K: rest[3*i], A: rest[3*i+1], B: rest[3*i+2]}
+		}
+	}
+	return s
+}
+
+// Encode is Decode's inverse for canonical sequences (Insts ≤ MaxInsts).
+func Encode(s Seq) []byte {
+	out := make([]byte, NumSeeds, NumSeeds+3*len(s.Insts))
+	copy(out, s.Seeds[:])
+	for _, in := range s.Insts {
+		out = append(out, in.K, in.A, in.B)
+	}
+	return out
+}
+
+// Build assembles s into a guest image: pool constants in rodata, a
+// 128-byte scratch buffer, xmm0–xmm9 seeded from the pool, the decoded
+// instruction stream, and an epilogue printing every seeded register's
+// low lane before exiting — mirroring the repo's hand-written
+// differential fuzz programs so stdout pins the full visible FP state.
+func Build(name string, s Seq) (*obj.Image, error) {
+	b := asm.NewBuilder(name)
+	for i, c := range Pool {
+		b.RoDouble(fmt.Sprintf("c%d", i), math.Float64frombits(c.Bits))
+	}
+	b.RoDouble("signmask", math.Float64frombits(1<<63))
+	b.RoDouble("absmask", math.Float64frombits(1<<63-1))
+	b.Space("buf", 128)
+
+	b.Func("main")
+	b.LeaData(isa.RDI, "buf")
+	for r := 0; r < NumSeeds; r++ {
+		b.RMData(isa.MOVSDXM, isa.XMM(isa.Reg(r)), fmt.Sprintf("c%d", int(s.Seeds[r])%len(Pool)))
+	}
+	for i, in := range s.Insts {
+		emit(b, i, in)
+	}
+	for r := 0; r < NumSeeds; r++ {
+		if r != 0 {
+			b.RM(isa.MOVSDXX, isa.XMM(isa.XMM0), isa.XMM(isa.Reg(r)))
+		}
+		b.CallImport("print_f64")
+	}
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	return b.Build()
+}
+
+// emit assembles one encoded instruction. The mapping keeps the operand
+// fields orthogonal (variant in A's high nibble, destination in its low
+// nibble) so biased generation can address each template exactly.
+func emit(b *asm.Builder, i int, in Inst) {
+	variant := int(in.A >> 4)
+	xd := isa.XMM(isa.Reg(int(in.A&0x0F) % NumSeeds))
+	xs := isa.XMM(isa.Reg(int(in.B&0x0F) % NumSeeds))
+	slot := isa.Mem(isa.RDI, int32(8*(int(in.B)%16)))
+	slot16 := isa.Mem(isa.RDI, int32(16*(int(in.B)%8)))
+
+	switch int(in.K) % numKinds {
+	case KScalarRR:
+		b.RM(scalarOps[variant%len(scalarOps)], xd, xs)
+	case KScalarRM:
+		b.RM(scalarOps[variant%len(scalarOps)], xd, slot)
+	case KPackedRR:
+		b.RM(packedOps[variant%len(packedOps)], xd, xs)
+	case KPackedRM:
+		b.RM(packedOps[variant%len(packedOps)], xd, slot16)
+	case KMove:
+		switch variant % 3 {
+		case 0:
+			b.RM(isa.MOVSDXX, xd, xs)
+		case 1:
+			b.RM(isa.MOVSDMX, xd, slot)
+		default:
+			b.RM(isa.MOVSDXM, xd, slot)
+		}
+	case KPackedMove:
+		if variant%2 == 0 {
+			b.RM(isa.MOVAPDMX, xd, slot16)
+		} else {
+			b.RM(isa.MOVAPDXM, xd, slot16)
+		}
+	case KGpr:
+		switch variant % 4 {
+		case 0:
+			b.RM(isa.MOVQGX, isa.GPR(isa.RBX), xd)
+		case 1:
+			b.RM(isa.MOVQXG, xd, isa.GPR(isa.RBX))
+		case 2:
+			b.RM(isa.MOV64MR, isa.GPR(isa.RBX), slot)
+		default:
+			b.RM(isa.MOV64RM, isa.GPR(isa.RCX), slot)
+		}
+	case KBranch:
+		label := fmt.Sprintf("L%d", i)
+		b.RM(isa.UCOMISD, xd, xs)
+		b.Branch(branchOps[variant%len(branchOps)], label)
+		b.RM(isa.ADDSD, xd, xs)
+		b.Label(label)
+	case KCvt:
+		if variant%2 == 0 {
+			b.RM(isa.CVTTSD2SI, isa.GPR(isa.RDX), xd)
+		} else {
+			b.RM(isa.CVTSI2SD, xd, isa.GPR(isa.RDX))
+		}
+	case KSign:
+		switch variant % 3 {
+		case 0:
+			b.RM(isa.XORPD, xd, xd)
+		case 1:
+			b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM15), "signmask")
+			b.RM(isa.XORPD, xd, isa.XMM(isa.XMM15))
+		default:
+			b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM15), "absmask")
+			b.RM(isa.ANDPD, xd, isa.XMM(isa.XMM15))
+		}
+	case KBreaker:
+		switch variant % 3 {
+		case 0:
+			b.RM(isa.MOVHPDXM, xd, slot)
+		case 1:
+			b.RM(isa.UNPCKLPD, xd, xs)
+		default:
+			b.RMI(isa.SHUFPD, xd, xs, int64(in.B%4))
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package fpfuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"fpvm/internal/machine"
+	"fpvm/internal/oracle"
+)
+
+// corpusDir is the checked-in Go-native-fuzzing seed corpus: one
+// exception-triggering program per (class, shape) cell. Regenerate with
+// FPFUZZ_REGEN=1 go test ./internal/fpfuzz -run TestSeedCorpusFiles.
+const corpusDir = "testdata/fuzz/FuzzDifferential"
+
+func corpusName(c Class, s Shape) string {
+	return fmt.Sprintf("seed-%s-%s", c, s)
+}
+
+// FuzzDifferential is the ISA-level differential fuzz target: every
+// input decodes to a straight-line FP program which must conform across
+// the oracle's fuzz matrix (native baseline, boxed trap-and-emulate
+// under trace/delivery/checkpoint variants, the mpfr pair). On failure
+// the input is delta-debugged to a minimal reproducer before reporting.
+func FuzzDifferential(f *testing.F) {
+	for _, c := range Classes() {
+		for _, s := range Shapes() {
+			f.Add(Encode(GenBiased(c, s)))
+		}
+	}
+	r := rand.New(rand.NewSource(0xF9B1))
+	for i := 0; i < 4; i++ {
+		f.Add(Encode(Gen(r, 24)))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq := Decode(data)
+		rep, err := Check("fuzz", seq)
+		if err != nil {
+			t.Fatalf("build rejected decoded program: %v", err)
+		}
+		if rep.OK() {
+			return
+		}
+		min := Shrink(seq, func(s Seq) bool {
+			r, err := Check("shrink", s)
+			return err == nil && !r.OK()
+		})
+		t.Fatalf("divergence (shrunk to %d insts, repro %x):\n%s",
+			len(min.Insts), Encode(min), mustReport(min))
+	})
+}
+
+func mustReport(s Seq) string {
+	rep, err := Check("repro", s)
+	if err != nil {
+		return err.Error()
+	}
+	return rep.String()
+}
+
+// TestSeedCorpusConforms runs the full fuzz matrix over every seed —
+// the conformance gate the fuzzer starts from must itself be green, and
+// each seed must actually drive traps through FPVM.
+func TestSeedCorpusConforms(t *testing.T) {
+	for _, c := range Classes() {
+		for _, s := range Shapes() {
+			c, s := c, s
+			t.Run(corpusName(c, s), func(t *testing.T) {
+				t.Parallel()
+				rep, err := Check(corpusName(c, s), GenBiased(c, s))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.OK() {
+					t.Fatalf("seed diverges:\n%s", rep.String())
+				}
+				for _, row := range rep.Rows {
+					if row.Traps == 0 {
+						t.Errorf("%s: no traps — seed does not exercise FPVM", row.Spec.Name)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSeedCorpusTriggersExceptions verifies the bias is real: each
+// (class, shape) seed leaves its class's sticky status bit set after a
+// masked native run (masked execution accumulates MXCSR status bits).
+func TestSeedCorpusTriggersExceptions(t *testing.T) {
+	for _, c := range Classes() {
+		for _, s := range Shapes() {
+			img, err := Build(corpusName(c, s), GenBiased(c, s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cap := oracle.RunNative(oracle.Program{Name: corpusName(c, s), Native: img}, 0)
+			if cap.RunErr != nil {
+				t.Fatalf("%s: native run: %v", corpusName(c, s), cap.RunErr)
+			}
+			if got := cap.Final.MXCSR & machine.MXCSRStatusMask; got&c.StickyBit() == 0 {
+				t.Errorf("%s: native MXCSR status %#x does not include the %s bit %#x",
+					corpusName(c, s), got, c, c.StickyBit())
+			}
+		}
+	}
+}
+
+// TestSeedCorpusFiles keeps the checked-in corpus in sync with the
+// generator: every cell's file must exist and hold the current encoding.
+// Set FPFUZZ_REGEN=1 to (re)write the files instead.
+func TestSeedCorpusFiles(t *testing.T) {
+	regen := os.Getenv("FPFUZZ_REGEN") != ""
+	if regen {
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range Classes() {
+		for _, s := range Shapes() {
+			want := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n",
+				strconv.Quote(string(Encode(GenBiased(c, s)))))
+			path := filepath.Join(corpusDir, corpusName(c, s))
+			if regen {
+				if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing corpus file (run with FPFUZZ_REGEN=1 to generate): %v", err)
+			}
+			if string(got) != want {
+				t.Errorf("%s is stale; regenerate with FPFUZZ_REGEN=1", path)
+			}
+		}
+	}
+}
+
+// TestEncodeDecodeRoundTrip: Decode inverts Encode on canonical
+// sequences, and Decode is total over arbitrary bytes.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		s := Gen(r, r.Intn(MaxInsts+1))
+		got := Decode(Encode(s))
+		if got.Seeds != s.Seeds || len(got.Insts) != len(s.Insts) {
+			t.Fatalf("round trip mangled shape: %+v -> %+v", s, got)
+		}
+		for j := range s.Insts {
+			if got.Insts[j] != s.Insts[j] {
+				t.Fatalf("inst %d mangled: %+v -> %+v", j, s.Insts[j], got.Insts[j])
+			}
+		}
+	}
+	for i := 0; i < 50; i++ {
+		raw := make([]byte, r.Intn(300))
+		r.Read(raw)
+		s := Decode(raw)
+		if len(s.Insts) > MaxInsts {
+			t.Fatalf("decode exceeded MaxInsts: %d", len(s.Insts))
+		}
+		if _, err := Build("total", s); err != nil {
+			t.Fatalf("decoded program failed to build: %v", err)
+		}
+	}
+}
+
+// TestShrinkMinimizes drives ddmin with a synthetic predicate ("the
+// sequence still contains a marked instruction") and requires a minimal
+// single-instruction result, plus seed preservation.
+func TestShrinkMinimizes(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	s := Gen(r, 20)
+	s.Insts[5].B = 0xAA
+	s.Insts[13].B = 0xAA
+	calls := 0
+	failing := func(q Seq) bool {
+		calls++
+		for _, in := range q.Insts {
+			if in.B == 0xAA {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(s, failing)
+	if len(min.Insts) != 1 || min.Insts[0].B != 0xAA {
+		t.Fatalf("shrink left %d insts (want exactly the marked one): %+v", len(min.Insts), min.Insts)
+	}
+	if min.Seeds != s.Seeds {
+		t.Fatal("shrink must preserve register seeds")
+	}
+	if calls > 200 {
+		t.Fatalf("ddmin used %d predicate calls for 20 insts", calls)
+	}
+
+	// A passing sequence is returned unchanged.
+	ok := Gen(r, 5)
+	if got := Shrink(ok, func(Seq) bool { return false }); len(got.Insts) != 5 {
+		t.Fatal("Shrink mutated a passing sequence")
+	}
+}

@@ -1,0 +1,186 @@
+package fpfuzz
+
+import (
+	"math/rand"
+
+	"fpvm/internal/fpmath"
+)
+
+// Class names one of the exception classes the generator biases toward:
+// the paper's five-exception taxonomy plus x86's denormal-operand flag.
+type Class int
+
+const (
+	ClassInvalid Class = iota
+	ClassDenormal
+	ClassDivZero
+	ClassOverflow
+	ClassUnderflow
+	ClassPrecision
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassInvalid:
+		return "invalid"
+	case ClassDenormal:
+		return "denormal"
+	case ClassDivZero:
+		return "divzero"
+	case ClassOverflow:
+		return "overflow"
+	case ClassUnderflow:
+		return "underflow"
+	case ClassPrecision:
+		return "precision"
+	}
+	return "class?"
+}
+
+// StickyBit returns the MXCSR status bit a program of this class must
+// leave set after a masked native run.
+func (c Class) StickyBit() uint32 {
+	switch c {
+	case ClassInvalid:
+		return fpmath.ExInvalid
+	case ClassDenormal:
+		return fpmath.ExDenormal
+	case ClassDivZero:
+		return fpmath.ExDivZero
+	case ClassOverflow:
+		return fpmath.ExOverflow
+	case ClassUnderflow:
+		return fpmath.ExUnderflow
+	default:
+		return fpmath.ExPrecision
+	}
+}
+
+// Classes enumerates every exception class.
+func Classes() []Class {
+	out := make([]Class, numClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// Shape names the operand shape of the triggering operation.
+type Shape int
+
+const (
+	ShapeScalarReg Shape = iota
+	ShapeScalarMem
+	ShapePackedReg
+	ShapePackedMem
+	numShapes
+)
+
+func (s Shape) String() string {
+	switch s {
+	case ShapeScalarReg:
+		return "scalar-reg"
+	case ShapeScalarMem:
+		return "scalar-mem"
+	case ShapePackedReg:
+		return "packed-reg"
+	case ShapePackedMem:
+		return "packed-mem"
+	}
+	return "shape?"
+}
+
+// Shapes enumerates every operand shape.
+func Shapes() []Shape {
+	out := make([]Shape, numShapes)
+	for i := range out {
+		out[i] = Shape(i)
+	}
+	return out
+}
+
+// Pool indices used by the biased generator (see Pool's order).
+const (
+	pOne     = 0
+	pThree   = 1
+	pThird   = 4
+	pHuge    = 5
+	pMinSub  = 8
+	pMinNorm = 9
+	pZero    = 11
+)
+
+// GenBiased builds the canonical exception-triggering sequence for one
+// (class, shape) cell: xmm0 and xmm1 carry the class's operands, the
+// shape places the source in a register or the scratch buffer, and a
+// trailing mix step propagates the result into a second register so the
+// print epilogue pins it twice.
+func GenBiased(class Class, shape Shape) Seq {
+	var a, b uint8 // xmm0, xmm1 pool operands
+	var op uint8   // scalar and packed opcode index (aligned by design)
+	switch class {
+	case ClassInvalid:
+		a, b, op = pZero, pZero, OpDiv // 0/0 -> IE
+	case ClassDenormal:
+		a, b, op = pMinSub, pOne, OpAdd // consumes a subnormal -> DE
+	case ClassDivZero:
+		a, b, op = pOne, pZero, OpDiv // 1/0 -> ZE
+	case ClassOverflow:
+		a, b, op = pHuge, pHuge, OpMul // 1e308*1e308 -> OE
+	case ClassUnderflow:
+		// A third of the smallest normal: tiny AND inexact — masked
+		// hardware only raises UE when both hold.
+		a, b, op = pMinNorm, pThird, OpMul
+	default:
+		a, b, op = pOne, pThree, OpDiv // 1/3 -> PE
+	}
+
+	var s Seq
+	s.Seeds[0], s.Seeds[1] = a, b
+	for r := 2; r < NumSeeds; r++ {
+		s.Seeds[r] = uint8(r % 5) // benign variety for the epilogue
+	}
+
+	trigger := func(kind, slotB uint8) Inst {
+		return Inst{K: kind, A: op<<4 | 0, B: slotB}
+	}
+	switch shape {
+	case ShapeScalarReg:
+		s.Insts = append(s.Insts, trigger(KScalarRR, 1))
+	case ShapeScalarMem:
+		// Store xmm1 to slot 0, then operate from memory.
+		s.Insts = append(s.Insts,
+			Inst{K: KMove, A: 1<<4 | 1, B: 0},
+			trigger(KScalarRM, 0))
+	case ShapePackedReg:
+		s.Insts = append(s.Insts, trigger(KPackedRR, 1))
+	case ShapePackedMem:
+		// Store xmm1's pair to the 16-aligned slot 0, then operate.
+		s.Insts = append(s.Insts,
+			Inst{K: KPackedMove, A: 0<<4 | 1, B: 0},
+			trigger(KPackedRM, 0))
+	}
+	// Propagate: xmm2 += xmm0.
+	s.Insts = append(s.Insts, Inst{K: KScalarRR, A: OpAdd<<4 | 2, B: 0})
+	return s
+}
+
+// Gen draws a random program: seeds uniform over the pool, instructions
+// uniform over the template space. The pool's exception density does the
+// biasing — roughly half its members are denormal, zero, infinite, NaN
+// or at the overflow boundary.
+func Gen(r *rand.Rand, n int) Seq {
+	if n > MaxInsts {
+		n = MaxInsts
+	}
+	var s Seq
+	for i := range s.Seeds {
+		s.Seeds[i] = uint8(r.Intn(len(Pool)))
+	}
+	s.Insts = make([]Inst, n)
+	for i := range s.Insts {
+		s.Insts[i] = Inst{K: uint8(r.Intn(256)), A: uint8(r.Intn(256)), B: uint8(r.Intn(256))}
+	}
+	return s
+}

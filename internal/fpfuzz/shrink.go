@@ -1,0 +1,68 @@
+package fpfuzz
+
+// Shrink delta-debugs a failing sequence to a locally minimal one: ddmin
+// over the instruction list (chunked removal with granularity doubling),
+// then a final one-at-a-time pass. failing must report true for s itself;
+// Shrink preserves the register seeds — the triggering operands are part
+// of the reproducer.
+func Shrink(s Seq, failing func(Seq) bool) Seq {
+	if !failing(s) {
+		return s
+	}
+	insts := s.Insts
+	try := func(cand []Inst) bool {
+		t := s
+		t.Insts = cand
+		return failing(t)
+	}
+
+	n := 2
+	for len(insts) >= 2 && n <= len(insts) {
+		chunk := (len(insts) + n - 1) / n
+		reduced := false
+		for i := 0; i < len(insts); i += chunk {
+			end := i + chunk
+			if end > len(insts) {
+				end = len(insts)
+			}
+			cand := make([]Inst, 0, len(insts)-(end-i))
+			cand = append(cand, insts[:i]...)
+			cand = append(cand, insts[end:]...)
+			if len(cand) > 0 && try(cand) {
+				insts = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(insts) {
+				break
+			}
+			n *= 2
+			if n > len(insts) {
+				n = len(insts)
+			}
+		}
+	}
+
+	// Final polish: drop single instructions until fixed point.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(insts); i++ {
+			cand := make([]Inst, 0, len(insts)-1)
+			cand = append(cand, insts[:i]...)
+			cand = append(cand, insts[i+1:]...)
+			if len(cand) > 0 && try(cand) {
+				insts = cand
+				changed = true
+				break
+			}
+		}
+	}
+
+	s.Insts = insts
+	return s
+}

@@ -111,6 +111,13 @@ type Config struct {
 	// rungs as if checkpointing were disabled.
 	MaxRollbacks int
 
+	// Observer, when set, receives a NaN-box-normalized architectural
+	// state snapshot at every handled FP trap boundary (see TrapState).
+	// Observation is passive — no cycles are charged — so an observed run
+	// is cycle-identical to an unobserved one. Used by the differential
+	// conformance oracle (internal/oracle); nil in production configs.
+	Observer func(*TrapState)
+
 	// Shared, when set, backs this VM's private decode/trace cache with a
 	// fleet-wide concurrency-safe store: local misses adopt published
 	// decodes and trace snapshots, local decodes and trace builds publish

@@ -1,0 +1,129 @@
+package fpvm
+
+import (
+	"fmt"
+	"strings"
+
+	"fpvm/internal/isa"
+	"fpvm/internal/kernel"
+)
+
+// Trap-boundary state extraction for the differential conformance oracle
+// (internal/oracle). Config.Observer, when set, is invoked once per
+// handled FP trap with a NaN-box-normalized snapshot of the architectural
+// state the guest resumes with. Observation is strictly passive: no
+// telemetry categories are charged and the machine clock is untouched, so
+// an observed run is cycle-for-cycle identical to an unobserved one
+// (watchdog budgets, checkpoint cadence and trace-cache behaviour do not
+// shift under observation).
+
+// TrapState is the architectural state at one trap boundary, as the guest
+// is about to resume. XMM and GPR lanes holding live NaN boxes are
+// normalized to the IEEE doubles they demote to, so states are comparable
+// across runs whose box handles (allocation order) differ.
+type TrapState struct {
+	// Index is the 1-based trap ordinal (telemetry.Breakdown.Traps at
+	// observation time). After a rollback the ordinal rewinds with the
+	// restored timeline.
+	Index uint64
+
+	// TrapRIP is the faulting instruction; ResumeRIP is where the guest
+	// continues (end of the emulated sequence).
+	TrapRIP   uint64
+	ResumeRIP uint64
+
+	MXCSR  uint32
+	RFLAGS uint64
+
+	// StdoutLen is the guest's output length so far — a cheap proxy for
+	// "the same writes happened in the same order by this point".
+	StdoutLen int
+
+	GPR [isa.NumGPR]uint64
+	XMM [isa.NumXMM][2]uint64
+}
+
+// Dump renders the state for divergence reports.
+func (s *TrapState) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trap #%d rip=%#x resume=%#x mxcsr=%#x rflags=%#x stdout=%dB\n",
+		s.Index, s.TrapRIP, s.ResumeRIP, s.MXCSR, s.RFLAGS, s.StdoutLen)
+	for i := 0; i < isa.NumGPR; i++ {
+		fmt.Fprintf(&sb, "  %-4s=%016x", isa.GPRName(isa.Reg(i)), s.GPR[i])
+		if i%4 == 3 {
+			sb.WriteString("\n")
+		}
+	}
+	for i := 0; i < isa.NumXMM; i++ {
+		fmt.Fprintf(&sb, "  xmm%-2d=%016x:%016x", i, s.XMM[i][1], s.XMM[i][0])
+		if i%2 == 1 {
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// NormalizeBits demotes a live NaN-boxed bit pattern to the IEEE double
+// it represents, without charging telemetry or the machine clock (the
+// side-effect-free sibling of demote, for observers). Non-box patterns,
+// dead handles and plain doubles pass through unchanged.
+func (r *Runtime) NormalizeBits(bits uint64) uint64 {
+	h, ok := isBox(bits)
+	if !ok {
+		return bits
+	}
+	v, live := r.alloc.Get(h)
+	if !live {
+		return bits
+	}
+	f, _ := r.Cfg.Alt.Demote(v)
+	if bits>>63 != 0 {
+		f = -f // sign-flipped box: decodes as the negated value
+	}
+	return bits64(f)
+}
+
+// observeTrap snapshots uc's normalized state and hands it to the
+// configured observer. Called from handleTrap's deferred epilogue, so
+// every return path — walk, replay, pinned-native, recovery rungs — is
+// observed exactly once per delivered trap.
+func (r *Runtime) observeTrap(uc *kernel.Ucontext, trapRIP uint64) {
+	st := TrapState{
+		Index:     r.Tel.Traps,
+		TrapRIP:   trapRIP,
+		ResumeRIP: uc.CPU.RIP,
+		MXCSR:     uc.CPU.MXCSR,
+		RFLAGS:    uc.CPU.RFLAGS,
+		StdoutLen: r.p.Stdout.Len(),
+	}
+	for i, w := range uc.CPU.GPR {
+		st.GPR[i] = r.NormalizeBits(w)
+	}
+	for i := range uc.CPU.XMM {
+		st.XMM[i][0] = r.NormalizeBits(uc.CPU.XMM[i][0])
+		st.XMM[i][1] = r.NormalizeBits(uc.CPU.XMM[i][1])
+	}
+	r.Cfg.Observer(&st)
+}
+
+// CaptureFinal snapshots the machine's end-of-run architectural state
+// through the same normalization as trap observation, for final-state
+// comparison against a native baseline.
+func (r *Runtime) CaptureFinal() TrapState {
+	cpu := &r.m.CPU
+	st := TrapState{
+		TrapRIP:   cpu.RIP,
+		ResumeRIP: cpu.RIP,
+		MXCSR:     cpu.MXCSR,
+		RFLAGS:    cpu.RFLAGS,
+		StdoutLen: r.p.Stdout.Len(),
+	}
+	for i, w := range cpu.GPR {
+		st.GPR[i] = r.NormalizeBits(w)
+	}
+	for i := range cpu.XMM {
+		st.XMM[i][0] = r.NormalizeBits(cpu.XMM[i][0])
+		st.XMM[i][1] = r.NormalizeBits(cpu.XMM[i][1])
+	}
+	return st
+}

@@ -333,9 +333,13 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 	// Pin curRIP to this trap immediately: a panic before the walk sets
 	// it (e.g. in maybeCheckpoint) must not see a previous trap's value.
 	r.curRIP = uc.CPU.RIP
+	trapRIP := uc.CPU.RIP
 	defer func() {
 		if pv := recover(); pv != nil {
 			r.recoverTrapPanic(uc, pv)
+		}
+		if r.Cfg.Observer != nil {
+			r.observeTrap(uc, trapRIP)
 		}
 		r.curUC, r.curEntry, r.phase = nil, nil, phaseNone
 	}()

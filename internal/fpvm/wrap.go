@@ -1,6 +1,8 @@
 package fpvm
 
 import (
+	"sort"
+
 	"fpvm/internal/alt"
 	"fpvm/internal/hostlib"
 	"fpvm/internal/kernel"
@@ -40,12 +42,21 @@ var libmBinary = map[string]bool{
 
 // InstallWrappers creates a wrapper host function for every export of
 // lib and records both its plain name (forward wrapping) and its
-// suffixed name (magic wrapping). Must run before image load.
+// suffixed name (magic wrapping). Must run before image load. Wrappers
+// are bound in sorted name order so the host bridge addresses that end
+// up in guest-visible state (GOT slots, function pointers materialized
+// by LoadImportAddr) are identical across runs of the same
+// configuration — the differential oracle depends on that.
 func (r *Runtime) InstallWrappers(lib *hostlib.Library) {
 	if r.wrapperAddrs == nil {
 		r.wrapperAddrs = make(map[string]uint64)
 	}
+	names := make([]string, 0, len(lib.Funcs))
 	for name := range lib.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		wrapped := r.makeWrapper(name, lib.Funcs[name])
 		addr := r.p.BindHostAuto(wrapped)
 		r.wrapperAddrs[name] = addr

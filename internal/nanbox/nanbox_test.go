@@ -101,6 +101,77 @@ func TestRandomNaNCollisionRate(t *testing.T) {
 	}
 }
 
+// TestHandlePayloadRoundTrip: every handle payload survives Box/Handle
+// unchanged, with or without the sign bit (the sign carries the boxed
+// value's sign and lies outside the handle mask), and a single spoiled
+// layout bit reclassifies the pattern exactly as the taxonomy predicts.
+func TestHandlePayloadRoundTrip(t *testing.T) {
+	payloads := []uint64{
+		0, 1, 2, 0x5555_5555_5555 & handleMask, 0x2AAA_AAAA_AAAA & handleMask,
+		1 << 49, MaxHandle - 1, MaxHandle,
+	}
+	for _, h := range payloads {
+		b := Box(h)
+		if got, ok := Handle(b); !ok || got != h {
+			t.Errorf("Handle(Box(%#x)) = %#x, %v", h, got, ok)
+		}
+		if Classify(b) != KindBoxPattern {
+			t.Errorf("Classify(Box(%#x)) = %v, want box-pattern", h, Classify(b))
+		}
+
+		// Sign flip (compiled xorpd negation): handle and kind unchanged.
+		neg := b | 1<<63
+		if got, ok := Handle(neg); !ok || got != h {
+			t.Errorf("sign-flipped Handle(%#x) = %#x, %v, want %#x", neg, got, ok, h)
+		}
+		if Classify(neg) != KindBoxPattern {
+			t.Errorf("sign-flipped box classifies as %v", Classify(neg))
+		}
+
+		// Quieting the NaN destroys the box: boxes are signaling by
+		// construction, so a quiet pattern must never yield a handle.
+		quiet := b | fpmath.QuietBit
+		if _, ok := Handle(quiet); ok {
+			t.Errorf("quieted box %#x still yields a handle", quiet)
+		}
+		if Classify(quiet) != KindQuietNaN {
+			t.Errorf("quieted box classifies as %v, want quiet-nan", Classify(quiet))
+		}
+
+		// Clearing the tag bit leaves a foreign signaling NaN — unless
+		// the rest of the mantissa is zero, in which case the pattern is
+		// infinity (the reason the tag bit exists at all).
+		bare := b &^ tagBit
+		want := KindSignalingNaN
+		if h == 0 {
+			want = KindNumber // exp=0x7FF, mantissa=0: +inf
+		}
+		if got := Classify(bare); got != want {
+			t.Errorf("tagless %#x classifies as %v, want %v", bare, got, want)
+		}
+	}
+}
+
+// TestClassifyBoundaryNumbers: values adjacent to the NaN encoding space
+// — the largest finite magnitudes and the denormals — must never be
+// mistaken for NaNs of any kind.
+func TestClassifyBoundaryNumbers(t *testing.T) {
+	for _, f := range []float64{
+		0, math.Copysign(0, -1), 5e-324, -5e-324, // denormal floor
+		2.2250738585072014e-308,           // smallest normal
+		math.MaxFloat64, -math.MaxFloat64, // largest finite
+		math.Inf(1), math.Inf(-1),
+	} {
+		if got := Classify(math.Float64bits(f)); got != KindNumber {
+			t.Errorf("Classify(%g) = %v, want number", f, got)
+		}
+	}
+	// The very first NaN pattern past +inf is a foreign signaling NaN.
+	if got := Classify(fpmath.ExpMask | 1); got != KindSignalingNaN {
+		t.Errorf("Classify(inf+1ulp) = %v, want signaling-nan", got)
+	}
+}
+
 // TestClassify pins the diagnostic taxonomy used by fault reporting.
 func TestClassify(t *testing.T) {
 	cases := []struct {

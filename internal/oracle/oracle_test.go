@@ -1,0 +1,142 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"fpvm/internal/telemetry"
+	"fpvm/internal/workloads"
+)
+
+// TestMicroWorkloadsConform runs the full default matrix over every
+// request-sized workload and requires zero divergences — the in-tree
+// version of the `fpvm-bench -fig conform` acceptance gate.
+func TestMicroWorkloadsConform(t *testing.T) {
+	for _, name := range workloads.MicroAll() {
+		name := name
+		t.Run(string(name), func(t *testing.T) {
+			t.Parallel()
+			img, err := workloads.BuildMicro(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := NewProgram(string(name), img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := Check(prog, Options{})
+			if !rep.OK() {
+				t.Fatalf("conformance failed:\n%s", rep.String())
+			}
+			for _, row := range rep.Rows {
+				if row.Traps == 0 {
+					t.Errorf("%s: no traps observed — the matrix run did not exercise FPVM", row.Spec.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestDetectsArithmeticDivergence is the oracle's self-test: putting the
+// bigfp system in the same comparison group as Boxed IEEE must produce a
+// trap-stream divergence (their normalized register states differ from
+// the first rounded operation on), and the report must carry both full
+// states at the divergent ordinal.
+func TestDetectsArithmeticDivergence(t *testing.T) {
+	img, err := workloads.BuildMicro(workloads.Lorenz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := NewProgram("lorenz-micro", img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(prog, Options{Specs: []Spec{
+		{Name: "boxed/SEQ", Seq: true, Group: "mixed"},
+		{Name: "mpfr/SEQ", Alt: "mpfr", Seq: true, Group: "mixed"},
+	}})
+	if rep.OK() {
+		t.Fatal("oracle failed to distinguish mpfr from boxed IEEE")
+	}
+	d := rep.FirstDivergence()
+	if d.Kind != "trap-stream" {
+		t.Fatalf("divergence kind = %s, want trap-stream\n%s", d.Kind, d.String())
+	}
+	if d.Index == 0 || d.RIP == 0 {
+		t.Errorf("divergence missing location: index %d rip %#x", d.Index, d.RIP)
+	}
+	if !strings.Contains(d.Detail, "boxed/SEQ") || !strings.Contains(d.Detail, "mpfr/SEQ") ||
+		!strings.Contains(d.Detail, "xmm0") {
+		t.Errorf("divergence detail does not render both states:\n%s", d.Detail)
+	}
+}
+
+// TestDetectsTrapBoundaryDivergence: NONE and SEQ have different trap
+// boundaries by design; grouping them must be reported, not silently
+// averaged away.
+func TestDetectsTrapBoundaryDivergence(t *testing.T) {
+	img, err := workloads.BuildMicro(workloads.Pendulum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := NewProgram("pendulum-micro", img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(prog, Options{Specs: []Spec{
+		{Name: "boxed/SEQ", Seq: true, Group: "g"},
+		{Name: "boxed/NONE", Group: "g"},
+	}})
+	if rep.OK() {
+		t.Fatal("oracle failed to distinguish SEQ from NONE trap streams")
+	}
+	if d := rep.FirstDivergence(); d.Kind != "trap-stream" {
+		t.Fatalf("divergence kind = %s, want trap-stream", d.Kind)
+	}
+}
+
+// TestInvariantsCatchInconsistentTelemetry exercises the audit directly
+// with hand-built counter sets.
+func TestInvariantsCatchInconsistentTelemetry(t *testing.T) {
+	clean := func() *Capture {
+		c := &Capture{Spec: Spec{Name: "t", Seq: true}}
+		c.Tel = telemetry.Breakdown{Traps: 10, EmulatedInsts: 50, TraceHits: 4, TraceMisses: 6, ReplayedInsts: 20}
+		c.Recs = make([]TrapRec, 10)
+		return c
+	}
+	if err := Invariants(clean()); err != nil {
+		t.Fatalf("clean capture rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Capture)
+		want string
+	}{
+		{"trace-lookups-exceed-traps", func(c *Capture) { c.Tel.TraceHits = 20 }, "trace lookups"},
+		{"divergences-exceed-hits", func(c *Capture) { c.Tel.TraceDivergences = 5 }, "trace divergences"},
+		{"replay-exceeds-emulated", func(c *Capture) { c.Tel.ReplayedInsts = 60 }, "replayed insts"},
+		{"emulated-below-traps", func(c *Capture) { c.Tel.EmulatedInsts = 5; c.Tel.ReplayedInsts = 0 }, "below traps"},
+		{"unreconciled-ledger", func(c *Capture) { c.Tel.FaultsInjected = 3 }, "ledger"},
+		{"ladder-activity", func(c *Capture) { c.Tel.Rollbacks = 1 }, "ladder activity"},
+		{"phantom-checkpoints", func(c *Capture) { c.Tel.Checkpoints = 2 }, "checkpointing disabled"},
+		{"missing-observations", func(c *Capture) { c.Recs = c.Recs[:3] }, "observer recorded"},
+		{"detached", func(c *Capture) { c.Detached = true }, "ladder activity"},
+	}
+	for _, tc := range cases {
+		c := clean()
+		tc.mut(c)
+		err := Invariants(c)
+		if err == nil {
+			t.Errorf("%s: audit passed, want violation", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	missing := clean()
+	missing.Spec.Ckpt = 3
+	if err := Invariants(missing); err == nil || !strings.Contains(err.Error(), "no snapshot") {
+		t.Errorf("checkpoint-cadence violation not caught: %v", err)
+	}
+}
