@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-check fleet-soak fuzz fuzz-smoke cover
+.PHONY: check build test vet race bench bench-check fleet-soak crash-soak fuzz fuzz-smoke cover
 
 check: vet build race bench-check fuzz-smoke
 
@@ -29,6 +29,14 @@ bench:
 # under the race detector. Wired into CI alongside make check.
 fleet-soak:
 	$(GO) test -race -count=2 -run 'TestFleetSoak|TestFleetSharedAdoption|TestFleetMatchesSerial|TestForkInsideFleet' ./internal/fleet/ ./internal/fpvm/
+
+# Kill-resume soak: repeatedly SIGKILL a snapshot-persisting fleet
+# mid-run, recover from the surviving files, and assert resumed jobs
+# are bit-identical to uninterrupted references — under the race
+# detector, alongside the preemptive-scheduling and snapshot-rejection
+# tests. Wired into CI.
+crash-soak:
+	$(GO) test -race -count=3 -run 'TestKillResumeRecovery|TestFleetPreemptionMatchesWholeJobs|TestRecoverRejectsForeignSnapshots|TestFleetPanicIsolation' ./internal/fleet/
 
 # Fast smoke of the benchmark code paths: every benchmark compiles and
 # survives one iteration. Wired into `make check`.

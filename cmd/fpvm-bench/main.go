@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (all, 1-13, corr, cache, resil, trace, fleet, conform)")
+	fig := flag.String("fig", "all", "figure to regenerate (all, 1-13, corr, cache, resil, trace, fleet, preempt, conform)")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	rank := flag.Int("rank", 3, "trace rank for -fig 7")
 	jsonPath := flag.String("json", "", "write -fig trace results to this JSON file")
@@ -189,6 +189,14 @@ func run(fig *string, scale, rank *int, jsonPath *string, verbose *bool) error {
 		if err := experiments.ConformTable(out, progress); err != nil {
 			return err
 		}
+		fmt.Fprintln(out)
+	}
+	if need("preempt") {
+		rows, err := experiments.PreemptBench(progress)
+		if err != nil {
+			return err
+		}
+		experiments.PreemptTable(out, rows)
 		fmt.Fprintln(out)
 	}
 	if need("fleet") {

@@ -179,7 +179,7 @@ func TestRunFleetHeterogeneous(t *testing.T) {
 		{Name: "rolled", Image: img, Config: rolled},
 	}
 	var stdout, stderr bytes.Buffer
-	if got := runFleet(&stdout, &stderr, jobs, 2, true); got != exitDegraded {
+	if got := runFleet(&stdout, &stderr, jobs, fleet.Options{Workers: 2, Share: true}); got != exitDegraded {
 		t.Errorf("heterogeneous fleet exit %d, want %d (degraded outranks rolled-back)\nstderr:\n%s",
 			got, exitDegraded, stderr.String())
 	}

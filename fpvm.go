@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"fpvm/internal/alt"
+	"fpvm/internal/checkpoint"
 	"fpvm/internal/dcache"
 	"fpvm/internal/faultinject"
 	"fpvm/internal/hostlib"
@@ -136,7 +137,24 @@ type Config struct {
 	// All runs sharing a store must execute the same program image; Run
 	// enforces this via SharedCache.Bind and fails fast on a mismatch.
 	Shared *SharedCache
+
+	// PreemptQuantum, when > 0, preempts the run after roughly that many
+	// virtual cycles at the next event boundary (never mid-trap). Run then
+	// returns a Result with Preempted set and Snapshot holding the
+	// serialized VM, which Resume continues from — in this process or
+	// another one. Requires an alt system with a value codec (all shipped
+	// systems have one).
+	PreemptQuantum uint64
+
+	// Observer, when set, receives a NaN-box-normalized architectural
+	// snapshot after every handled trap (passive: no cycles are charged).
+	// Harnesses use it to compare trap streams across runs.
+	Observer func(*TrapState)
 }
+
+// TrapState is the per-trap architectural snapshot delivered to
+// Config.Observer (see internal/fpvm.TrapState).
+type TrapState = fpvmrt.TrapState
 
 // SharedCache is a concurrency-safe decode/trace store shared by many
 // concurrent Runs of the same image (fleet execution). See
@@ -261,6 +279,22 @@ type Result struct {
 	// FaultReport is the injector's per-site ledger ("" when no injector
 	// was armed).
 	FaultReport string
+
+	// Preempted is set when Config.PreemptQuantum expired before the
+	// guest exited; Snapshot then holds the serialized VM (the checkpoint
+	// wire format) for Resume. A preempted Result reports the state so
+	// far: partial stdout, no exit code.
+	Preempted bool
+	Snapshot  []byte
+
+	// Resumed is set on Results produced by Resume (directly or after
+	// further preemptions).
+	Resumed bool
+
+	// Final is the NaN-box-normalized end-of-run architectural state
+	// (registers, MXCSR, RFLAGS, stdout length). Nil for native runs and
+	// preempted results.
+	Final *TrapState
 }
 
 // TraceHitRate returns the fraction of sequence traps served by trace
@@ -337,6 +371,47 @@ func RunNative(img *obj.Image) (*Result, error) {
 
 // Run executes img under FPVM with cfg.
 func Run(img *obj.Image, cfg Config) (*Result, error) {
+	return runVM(img, cfg, nil)
+}
+
+// Resume continues a preempted run from its serialized snapshot (the
+// Snapshot field of a Preempted Result, or the bytes of a snapshot file).
+// img and cfg must match the original run: the snapshot binds to the
+// image's hash, the alt system's name and the semantic configuration, and
+// Resume rejects any mismatch without constructing a VM. The resumed
+// execution is exact — stdout, trap stream and final architectural state
+// are bit-identical to an uninterrupted run.
+func Resume(img *obj.Image, cfg Config, snapshot []byte) (*Result, error) {
+	snap, err := checkpoint.Decode(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewAltSystem(cfg.Alt, cfg.Precision)
+	if err != nil {
+		return nil, err
+	}
+	if err := snap.Validate(img.Hash(), sys.Name(), ConfigSignature(cfg)); err != nil {
+		return nil, err
+	}
+	return runVM(img, cfg, snap)
+}
+
+// ConfigSignature fingerprints the configuration fields that affect
+// execution semantics (not observation or bookkeeping): a snapshot may
+// only resume under a configuration that would have produced the
+// identical execution. The fleet recovery path uses it to validate
+// on-disk snapshots against the jobs it is about to resume.
+func ConfigSignature(cfg Config) string {
+	return fmt.Sprintf("seq=%t short=%t magicwraps=%t gc=%d cache=%d seqlim=%d emulall=%t futurehw=%t maxboxes=%d retries=%d watchdog=%d notrace=%t ckpt=%d maxrb=%d prec=%d",
+		cfg.Seq, cfg.Short, cfg.MagicWraps, cfg.GCThreshold, cfg.CacheCapacity,
+		cfg.SeqLimit, cfg.EmulateAll, cfg.FutureHW, cfg.MaxLiveBoxes,
+		cfg.RetryBudget, cfg.TrapCycleBudget, cfg.NoTraceCache,
+		cfg.CheckpointInterval, cfg.MaxRollbacks, cfg.Precision)
+}
+
+// runVM builds the full virtual machine for img, optionally reinstates a
+// decoded snapshot, and runs to completion or the preemption quantum.
+func runVM(img *obj.Image, cfg Config, snap *checkpoint.Image) (*Result, error) {
 	sys, err := NewAltSystem(cfg.Alt, cfg.Precision)
 	if err != nil {
 		return nil, err
@@ -377,6 +452,7 @@ func Run(img *obj.Image, cfg Config) (*Result, error) {
 		CheckpointInterval: cfg.CheckpointInterval,
 		MaxRollbacks:       cfg.MaxRollbacks,
 		Shared:             cfg.Shared,
+		Observer:           cfg.Observer,
 	})
 	if err != nil {
 		return nil, err
@@ -396,16 +472,80 @@ func Run(img *obj.Image, cfg Config) (*Result, error) {
 	// program start didn't reset it.
 	m.CPU.MXCSR = machine.MXCSRTrapAll
 
+	var steps uint64
+	if snap != nil {
+		if err := rt.RestoreImage(snap); err != nil {
+			return nil, err
+		}
+		steps = snap.Steps
+	}
+	if cfg.PreemptQuantum > 0 && !rt.CanSuspend() {
+		return nil, fmt.Errorf("fpvm: PreemptQuantum requires an alt system with a value codec (%q has none)", sys.Name())
+	}
+
 	maxSteps := cfg.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = defaultMaxSteps
 	}
-	runErr := p.Run(maxSteps)
+
+	// The step loop mirrors kernel.Process.Run but watches the virtual
+	// clock: once this slice has consumed the preemption quantum, the run
+	// suspends at the next event boundary (a point where no trap is in
+	// flight and machine.CPU is authoritative).
+	var runErr error
+	preempted := false
+	sliceStart := m.Cycles
+	for p.Step() {
+		steps++
+		if maxSteps != 0 && steps >= maxSteps {
+			runErr = fmt.Errorf("kernel: process %s exceeded %d steps", p.Name, maxSteps)
+			break
+		}
+		if cfg.PreemptQuantum > 0 && m.Cycles-sliceStart >= cfg.PreemptQuantum && !p.Exited {
+			preempted = true
+			break
+		}
+	}
+	if runErr == nil {
+		runErr = p.Err
+	}
 	if runErr == nil {
 		runErr = rt.Err()
 	}
 
-	res := &Result{
+	if preempted && runErr == nil {
+		wi, err := rt.CaptureImage(img.Hash(), ConfigSignature(cfg), steps)
+		if err != nil {
+			return nil, err
+		}
+		data, err := wi.Encode()
+		if err != nil {
+			return nil, err
+		}
+		res := partialResult(p, m, k, rt)
+		res.Preempted = true
+		res.Snapshot = data
+		res.Resumed = snap != nil
+		if cfg.Inject != nil {
+			res.FaultReport = cfg.Inject.Report()
+		}
+		return res, nil
+	}
+
+	res := partialResult(p, m, k, rt)
+	final := rt.CaptureFinal()
+	res.Final = &final
+	res.Resumed = snap != nil
+	if cfg.Inject != nil {
+		res.FaultReport = cfg.Inject.Report()
+	}
+	return res, runErr
+}
+
+// partialResult assembles the counter surface shared by completed and
+// preempted results.
+func partialResult(p *kernel.Process, m *machine.Machine, k *kernel.Kernel, rt *fpvmrt.Runtime) *Result {
+	return &Result{
 		Stdout:             p.Stdout.String(),
 		ExitCode:           p.ExitCode,
 		Cycles:             m.Cycles,
@@ -439,10 +579,6 @@ func Run(img *obj.Image, cfg Config) (*Result, error) {
 		RollbackFailures:   rt.RollbackFailures,
 		Quarantines:        rt.Quarantines,
 	}
-	if cfg.Inject != nil {
-		res.FaultReport = cfg.Inject.Report()
-	}
-	return res, runErr
 }
 
 // resolverFor builds the base dynamic-link namespace: program symbols

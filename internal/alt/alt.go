@@ -88,6 +88,24 @@ type FloatSystem interface {
 	NegFloat(f float64) (float64, uint64)
 }
 
+// Codec is an optional extension: systems whose values can round-trip
+// through a byte encoding. The checkpoint wire format uses it to walk the
+// NaN-box heap into a tagged per-system serialization, which is what makes
+// snapshots durable across process death — CloneValue alone only protects
+// against in-place mutation within one process. Encode/decode must be
+// exact: a decoded value must be bit-identical in behaviour (arithmetic,
+// comparison, demotion) to the original, or a resumed run diverges from
+// its uninterrupted twin.
+type Codec interface {
+	// EncodeValue serializes v. The encoding needs no framing of its own;
+	// the wire format length-prefixes it.
+	EncodeValue(v Value) ([]byte, error)
+
+	// DecodeValue reconstructs a value from an EncodeValue payload,
+	// consuming all of b.
+	DecodeValue(b []byte) (Value, error)
+}
+
 // MathSystem is an optional extension: systems that can evaluate libm
 // functions natively in their own representation. FPVM's libm forward
 // wrappers (§5.3) consult it — when present, sin/cos/pow/... are computed

@@ -1,0 +1,135 @@
+// Codec implementations: every shipped alternative arithmetic system can
+// serialize its values into the checkpoint wire format. Encodings are
+// exact representation dumps, not float64 round-trips — an MPFR value at
+// 200 bits, a rational with a 400-bit denominator, or an interval whose
+// endpoints differ must all survive a crash byte-identically.
+
+package alt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fpvm/internal/bigfp"
+	"fpvm/internal/interval"
+	"fpvm/internal/posit"
+	"fpvm/internal/rational"
+)
+
+// ---------------------------------------------------------------- boxed
+
+// EncodeValue serializes a boxed IEEE value as its raw 8 bit-pattern bytes.
+func (*BoxedIEEE) EncodeValue(v Value) ([]byte, error) {
+	f, ok := v.(float64)
+	if !ok {
+		return nil, fmt.Errorf("alt: boxed codec: value is %T, not float64", v)
+	}
+	return binary.LittleEndian.AppendUint64(nil, math.Float64bits(f)), nil
+}
+
+// DecodeValue reconstructs a boxed IEEE value.
+func (*BoxedIEEE) DecodeValue(b []byte) (Value, error) {
+	if len(b) != 8 {
+		return nil, fmt.Errorf("alt: boxed codec: want 8 bytes, have %d", len(b))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// ----------------------------------------------------------------- mpfr
+
+// EncodeValue serializes an MPFR value via its exact limb representation.
+func (m *MPFR) EncodeValue(v Value) ([]byte, error) {
+	f, ok := v.(*bigfp.Float)
+	if !ok {
+		return nil, fmt.Errorf("alt: mpfr codec: value is %T, not *bigfp.Float", v)
+	}
+	return f.AppendBinary(nil), nil
+}
+
+// DecodeValue reconstructs an MPFR value.
+func (m *MPFR) DecodeValue(b []byte) (Value, error) {
+	return bigfp.DecodeFloat(b)
+}
+
+// ---------------------------------------------------------------- posit
+
+// EncodeValue serializes a posit as its right-aligned bit pattern plus
+// width.
+func (s *PositSystem) EncodeValue(v Value) ([]byte, error) {
+	p, ok := v.(posit.Posit)
+	if !ok {
+		return nil, fmt.Errorf("alt: posit codec: value is %T, not posit.Posit", v)
+	}
+	b := binary.LittleEndian.AppendUint64(nil, p.Bits)
+	return append(b, p.N), nil
+}
+
+// DecodeValue reconstructs a posit value.
+func (s *PositSystem) DecodeValue(b []byte) (Value, error) {
+	if len(b) != 9 {
+		return nil, fmt.Errorf("alt: posit codec: want 9 bytes, have %d", len(b))
+	}
+	n := b[8]
+	if n < 8 || n > 64 {
+		return nil, fmt.Errorf("alt: posit codec: invalid width %d", n)
+	}
+	return posit.Posit{Bits: binary.LittleEndian.Uint64(b), N: n}, nil
+}
+
+// ------------------------------------------------------------- interval
+
+// EncodeValue serializes an interval as its two endpoint bit patterns.
+func (*IntervalSystem) EncodeValue(v Value) ([]byte, error) {
+	iv, ok := v.(interval.Interval)
+	if !ok {
+		return nil, fmt.Errorf("alt: interval codec: value is %T, not interval.Interval", v)
+	}
+	b := binary.LittleEndian.AppendUint64(nil, math.Float64bits(iv.Lo))
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(iv.Hi)), nil
+}
+
+// DecodeValue reconstructs an interval value.
+func (*IntervalSystem) DecodeValue(b []byte) (Value, error) {
+	if len(b) != 16 {
+		return nil, fmt.Errorf("alt: interval codec: want 16 bytes, have %d", len(b))
+	}
+	return interval.Interval{
+		Lo: math.Float64frombits(binary.LittleEndian.Uint64(b)),
+		Hi: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+	}, nil
+}
+
+// ------------------------------------------------------------- rational
+
+// EncodeValue serializes a rational via its exact big.Rat representation.
+func (*RationalSystem) EncodeValue(v Value) ([]byte, error) {
+	q, ok := v.(*rational.Rational)
+	if !ok {
+		return nil, fmt.Errorf("alt: rational codec: value is %T, not *rational.Rational", v)
+	}
+	return q.AppendBinary(nil), nil
+}
+
+// DecodeValue reconstructs a rational value.
+func (*RationalSystem) DecodeValue(b []byte) (Value, error) {
+	return rational.DecodeBinary(b)
+}
+
+// ---------------------------------------------------------------- flaky
+
+// EncodeValue delegates to the wrapped system's codec, if it has one.
+func (f *Flaky) EncodeValue(v Value) ([]byte, error) {
+	if c, ok := f.Sys.(Codec); ok {
+		return c.EncodeValue(v)
+	}
+	return nil, fmt.Errorf("alt: %s has no value codec", f.Sys.Name())
+}
+
+// DecodeValue delegates to the wrapped system's codec, if it has one.
+func (f *Flaky) DecodeValue(b []byte) (Value, error) {
+	if c, ok := f.Sys.(Codec); ok {
+		return c.DecodeValue(b)
+	}
+	return nil, fmt.Errorf("alt: %s has no value codec", f.Sys.Name())
+}

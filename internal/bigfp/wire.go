@@ -1,0 +1,72 @@
+// Binary serialization of Float values for the checkpoint wire format.
+// The encoding is a faithful dump of the internal representation —
+// precision, rounding mode, kind, sign, exponent and mantissa limbs — so
+// decode reproduces the exact value (and the exact future rounding
+// behaviour) without renormalization.
+
+package bigfp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrBadEncoding is returned by DecodeFloat for malformed input.
+var ErrBadEncoding = errors.New("bigfp: malformed float encoding")
+
+// AppendBinary appends the binary encoding of f to b and returns the
+// extended slice. Layout (little-endian): prec u32, mode u8, kind u8,
+// neg u8, exp i64, limb count u32, limbs u64 each.
+func (f *Float) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, f.prec)
+	b = append(b, byte(f.mode), byte(f.kind), bool2byte(f.neg))
+	b = binary.LittleEndian.AppendUint64(b, uint64(f.exp))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(f.mant)))
+	for _, limb := range f.mant {
+		b = binary.LittleEndian.AppendUint64(b, limb)
+	}
+	return b
+}
+
+// DecodeFloat reconstructs a Float from an encoding produced by
+// AppendBinary. The whole of b must be consumed.
+func DecodeFloat(b []byte) (*Float, error) {
+	if len(b) < 4+3+8+4 {
+		return nil, fmt.Errorf("%w: short header (%d bytes)", ErrBadEncoding, len(b))
+	}
+	f := &Float{
+		prec: binary.LittleEndian.Uint32(b),
+		mode: RoundingMode(b[4]),
+		kind: kind(b[5]),
+		neg:  b[6] != 0,
+		exp:  int64(binary.LittleEndian.Uint64(b[7:])),
+	}
+	n := binary.LittleEndian.Uint32(b[15:])
+	rest := b[19:]
+	if f.prec < MinPrec || f.mode > ToPosInf || f.kind > kindNaN {
+		return nil, fmt.Errorf("%w: invalid header fields", ErrBadEncoding)
+	}
+	if uint64(len(rest)) != uint64(n)*8 {
+		return nil, fmt.Errorf("%w: want %d limbs, have %d bytes", ErrBadEncoding, n, len(rest))
+	}
+	if n > 0 {
+		f.mant = make([]uint64, n)
+		for i := range f.mant {
+			f.mant[i] = binary.LittleEndian.Uint64(rest[i*8:])
+		}
+	}
+	if f.kind == kindFinite {
+		if len(f.mant) == 0 || f.mant[len(f.mant)-1] == 0 {
+			return nil, fmt.Errorf("%w: finite value with unnormalized mantissa", ErrBadEncoding)
+		}
+	}
+	return f, nil
+}
+
+func bool2byte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -126,10 +126,17 @@ func (m *Manager) Save(cpu machine.CPU, p *kernel.Process, alloc *heap.Allocator
 // are reinstated, and a fresh isolated clone of the snapshot's heap is
 // returned along with the register file and telemetry watermarks to
 // reinstall. The snapshot remains valid for further restores.
+//
+// Restore panics with a diagnostic if no snapshot was ever saved —
+// rewinding to nothing would hand back a zero CPU and a nil heap, which
+// is never recoverable. Callers must check Has() first.
 func (m *Manager) Restore(p *kernel.Process, cloneVal func(any) any) (
 	cpu machine.CPU, alloc *heap.Allocator, tel telemetry.Breakdown, extra any) {
 
 	snap := m.snap
+	if snap == nil {
+		panic("checkpoint: Restore called with no saved snapshot (check Has() first)")
+	}
 	for _, pa := range m.as.DirtyPages() {
 		data, ok := m.as.PageData(pa)
 		if !ok {

@@ -489,6 +489,32 @@ func (c *Cache) Traces() []*Trace {
 	return out
 }
 
+// EntryRIPs returns the live L1 keys oldest-first (FIFO insertion
+// order). The snapshot wire format records them so a resumed run can
+// rebuild the decode cache in the same eviction order the suspended run
+// had — cache shape is part of deterministic cycle accounting.
+func (c *Cache) EntryRIPs() []uint64 {
+	out := make([]uint64, 0, len(c.entries))
+	for _, rip := range c.order.buf[c.order.head:] {
+		if _, ok := c.entries[rip]; ok {
+			out = append(out, rip)
+		}
+	}
+	return out
+}
+
+// TracesInOrder returns the live L2 traces oldest-first (FIFO insertion
+// order), for the snapshot wire format.
+func (c *Cache) TracesInOrder() []*Trace {
+	out := make([]*Trace, 0, len(c.traces))
+	for _, start := range c.traceOrder.buf[c.traceOrder.head:] {
+		if t, ok := c.traces[start]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 // TermReason explains why a sequence ended.
 type TermReason uint8
 

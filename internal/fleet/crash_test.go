@@ -1,0 +1,299 @@
+// Kill-resume harness: a child process runs a preemptive fleet that
+// persists snapshots, the parent SIGKILLs it mid-run, then recovers the
+// fleet in-process from the surviving snapshot files and asserts — with
+// the oracle's own comparators — that every resumed job's stdout, exit
+// code, virtual cycles, telemetry and final architectural state are
+// bit-identical to an uninterrupted run.
+
+package fleet_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fpvm"
+	"fpvm/internal/fleet"
+	"fpvm/internal/oracle"
+	"fpvm/internal/workloads"
+)
+
+const (
+	crashHelperEnv = "FPVM_CRASH_FLEET_HELPER"
+	crashDirEnv    = "FPVM_CRASH_FLEET_DIR"
+	crashQuantum   = 250_000
+)
+
+// crashJobs builds the deterministic job mix shared by the helper child
+// and the recovering parent: one job per alt system fast enough for the
+// harness (mpfr's exactness is covered by TestResumeBitIdentical at the
+// repo root). Private caches keep virtual-cycle accounting independent
+// of fleet scheduling, so jobs compare against serial references.
+func crashJobs() ([]fleet.Job, error) {
+	img, err := workloads.Build(workloads.Pendulum, 1)
+	if err != nil {
+		return nil, err
+	}
+	kinds := []fpvm.AltKind{fpvm.AltBoxed, fpvm.AltPosit, fpvm.AltInterval, fpvm.AltRational}
+	jobs := make([]fleet.Job, len(kinds))
+	for i, kind := range kinds {
+		jobs[i] = fleet.Job{
+			Name:   "pendulum_" + string(kind),
+			Image:  img,
+			Config: fpvm.Config{Alt: kind, Seq: true, Short: true},
+		}
+	}
+	return jobs, nil
+}
+
+func crashOpts(dir string) fleet.Options {
+	return fleet.Options{
+		Workers:        2,
+		Share:          false,
+		PreemptQuantum: crashQuantum,
+		SnapshotDir:    dir,
+	}
+}
+
+// TestCrashFleetHelper is the child half of the harness: it only runs
+// when re-executed by TestKillResumeRecovery and is SIGKILLed before it
+// can finish.
+func TestCrashFleetHelper(t *testing.T) {
+	if os.Getenv(crashHelperEnv) != "1" {
+		t.Skip("harness child; run via TestKillResumeRecovery")
+	}
+	jobs, err := crashJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Run(jobs, crashOpts(os.Getenv(crashDirEnv)))
+}
+
+func TestKillResumeRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes the test binary")
+	}
+	jobs, err := crashJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted references, serially: with private caches the fleet
+	// schedule cannot change any per-job observable.
+	refs := make([]*fpvm.Result, len(jobs))
+	for i := range jobs {
+		ref, err := fpvm.Run(jobs[i].Image, jobs[i].Config)
+		if err != nil {
+			t.Fatalf("reference %s: %v", jobs[i].Name, err)
+		}
+		refs[i] = ref
+	}
+
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashFleetHelper$")
+	cmd.Env = append(os.Environ(), crashHelperEnv+"=1", crashDirEnv+"="+dir)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the first persisted snapshot, let a few more land, then
+	// SIGKILL the child mid-run.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if ents, _ := os.ReadDir(dir); len(ents) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("no snapshot appeared within 30s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil { // os.Kill = SIGKILL: no cleanup runs
+		t.Fatal(err)
+	}
+	cmd.Wait() // expected to report the kill
+
+	survivors, err := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("snapshots surviving the kill: %d", len(survivors))
+	if len(survivors) == 0 {
+		t.Fatal("the kill left no snapshots; nothing to recover")
+	}
+
+	rep, err := fleet.Recover(dir, jobs, crashOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RecoveryRejects) != 0 {
+		t.Errorf("recovery rejected snapshots:\n  %s", strings.Join(rep.RecoveryRejects, "\n  "))
+	}
+	if rep.Resumed == 0 {
+		t.Errorf("recovery resumed no jobs despite %d surviving snapshots", len(survivors))
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("recovered fleet reports %d failures:\n%s", rep.Failures, rep.Summary())
+	}
+	for i, jr := range rep.Results {
+		ref := refs[i]
+		if jr.Err != nil || jr.Result == nil {
+			t.Errorf("%s: did not complete: %v", jr.Name, jr.Err)
+			continue
+		}
+		res := jr.Result
+		if res.Stdout != ref.Stdout {
+			t.Errorf("%s: stdout diverged after recovery", jr.Name)
+		}
+		if res.ExitCode != ref.ExitCode {
+			t.Errorf("%s: exit code %d, want %d", jr.Name, res.ExitCode, ref.ExitCode)
+		}
+		if res.Cycles != ref.Cycles {
+			t.Errorf("%s: virtual cycles %d, want %d", jr.Name, res.Cycles, ref.Cycles)
+		}
+		if res.Traps != ref.Traps || res.EmulatedInsts != ref.EmulatedInsts {
+			t.Errorf("%s: telemetry diverged: traps %d/%d, emulated %d/%d",
+				jr.Name, res.Traps, ref.Traps, res.EmulatedInsts, ref.EmulatedInsts)
+		}
+		if res.Final == nil || ref.Final == nil {
+			t.Errorf("%s: missing final state capture", jr.Name)
+		} else if d := oracle.DiffFinal(ref.Final, res.Final); d != "" {
+			t.Errorf("%s: final architectural state diverged: %s", jr.Name, d)
+		}
+	}
+
+	// Completed jobs must have retired their snapshot files.
+	if left, _ := filepath.Glob(filepath.Join(dir, "*.snap")); len(left) != 0 {
+		t.Errorf("%d snapshot files left after all jobs completed", len(left))
+	}
+}
+
+// TestFleetPreemptionMatchesWholeJobs: the preemptive work-stealing
+// schedule (with persistence on) must not change any per-job observable
+// versus the run-to-completion schedule.
+func TestFleetPreemptionMatchesWholeJobs(t *testing.T) {
+	jobs, err := crashJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := fleet.Run(jobs, fleet.Options{Workers: 2})
+	pre := fleet.Run(jobs, crashOpts(t.TempDir()))
+
+	if pre.Preemptions == 0 {
+		t.Fatalf("quantum %d produced no preemptions", crashQuantum)
+	}
+	t.Logf("preemptions %d, migrations %d", pre.Preemptions, pre.Migrations)
+	if pre.Failures != 0 {
+		t.Fatalf("preemptive fleet failed:\n%s", pre.Summary())
+	}
+	for i := range jobs {
+		a, b := plain.Results[i].Result, pre.Results[i].Result
+		if a == nil || b == nil {
+			t.Fatalf("%s: missing result", jobs[i].Name)
+		}
+		if a.Stdout != b.Stdout || a.Cycles != b.Cycles || a.ExitCode != b.ExitCode {
+			t.Errorf("%s: preemptive schedule changed observables (cycles %d vs %d)",
+				jobs[i].Name, a.Cycles, b.Cycles)
+		}
+		if d := oracle.DiffFinal(a.Final, b.Final); d != "" {
+			t.Errorf("%s: final state diverged under preemption: %s", jobs[i].Name, d)
+		}
+	}
+}
+
+// TestFleetPanicIsolation: a job whose VM stack panics (here: a nil
+// image) must fail alone — the worker survives, every other job
+// completes, and the panic is reported as that job's error.
+func TestFleetPanicIsolation(t *testing.T) {
+	img, err := workloads.BuildMicro(workloads.Pendulum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true}
+	jobs := []fleet.Job{
+		{Name: "good-0", Image: img, Config: good},
+		{Name: "bad", Image: nil, Config: good},
+		{Name: "good-1", Image: img, Config: good},
+		{Name: "good-2", Image: img, Config: good},
+	}
+	rep := fleet.Run(jobs, fleet.Options{Workers: 2})
+	if rep.Failures != 1 {
+		t.Fatalf("failures = %d, want exactly the panicking job\n%s", rep.Failures, rep.Summary())
+	}
+	bad := rep.Results[1]
+	if bad.Err == nil || !strings.Contains(bad.Err.Error(), "panicked") {
+		t.Errorf("panicking job error = %v, want a reported panic", bad.Err)
+	}
+	for _, i := range []int{0, 2, 3} {
+		jr := rep.Results[i]
+		if jr.Err != nil || jr.Result == nil || jr.Result.Stdout == "" {
+			t.Errorf("%s: did not complete cleanly alongside the panicking job: %v", jr.Name, jr.Err)
+		}
+	}
+}
+
+// TestRecoverRejectsForeignSnapshots: corrupt or mismatched files in the
+// snapshot directory are reported and skipped — the affected jobs run
+// fresh, and nothing is partially restored.
+func TestRecoverRejectsForeignSnapshots(t *testing.T) {
+	jobs, err := crashJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// A torn write (garbage), a snapshot for a job index that does not
+	// exist, and an unparseable name.
+	if err := os.WriteFile(filepath.Join(dir, "fleet-0000-pendulum_boxed.snap"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fleet-0099-pendulum_boxed.snap"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fleet-nope.snap"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := fleet.Recover(dir, jobs, crashOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RecoveryRejects) != 3 {
+		t.Errorf("RecoveryRejects = %d, want 3:\n  %s",
+			len(rep.RecoveryRejects), strings.Join(rep.RecoveryRejects, "\n  "))
+	}
+	if rep.Resumed != 0 {
+		t.Errorf("resumed %d jobs from rejected snapshots", rep.Resumed)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("fleet failed after rejecting snapshots:\n%s", rep.Summary())
+	}
+}
+
+// TestRecoverEmptyDir: recovering from an empty or missing directory is
+// an ordinary fresh run.
+func TestRecoverEmptyDir(t *testing.T) {
+	img, err := workloads.BuildMicro(workloads.Pendulum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []fleet.Job{{Name: "solo", Image: img, Config: fpvm.Config{Alt: fpvm.AltBoxed}}}
+
+	rep, err := fleet.Recover(t.TempDir(), jobs, fleet.Options{Workers: 1})
+	if err != nil || rep.Failures != 0 || rep.Resumed != 0 || len(rep.RecoveryRejects) != 0 {
+		t.Errorf("empty dir: err=%v failures=%d resumed=%d rejects=%d",
+			err, rep.Failures, rep.Resumed, len(rep.RecoveryRejects))
+	}
+
+	missing := filepath.Join(t.TempDir(), "never-created")
+	rep, err = fleet.Recover(missing, jobs, fleet.Options{Workers: 1})
+	if err != nil || rep.Failures != 0 {
+		t.Errorf("missing dir: err=%v failures=%d", err, rep.Failures)
+	}
+}

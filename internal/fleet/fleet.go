@@ -12,23 +12,39 @@
 // created here, one per distinct program image (pre-decoded state is only
 // valid for the image it came from; fpvm.Run enforces this via
 // SharedCache.Bind).
+//
+// With Options.PreemptQuantum set, jobs no longer own a worker for their
+// whole lifetime: each scheduling turn runs one virtual-cycle slice, the
+// preempted VM is serialized into a checkpoint wire image, and the task
+// returns to a work-stealing runqueue ordered by virtual-clock backlog —
+// the next free worker steals the most-behind job, so a long-running
+// guest migrates freely between workers. With Options.SnapshotDir also
+// set, every preemption persists the snapshot atomically on disk and
+// Recover can resume a SIGKILLed fleet from the surviving files,
+// bit-identical to an uninterrupted run.
 package fleet
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fpvm"
+	"fpvm/internal/checkpoint"
 	"fpvm/internal/obj"
 	"fpvm/internal/telemetry"
 )
 
 // Job is one guest program execution: an image plus the run configuration
 // for its VM. The Config is copied before use; the runner only ever sets
-// its Shared field (and only when Options.Share is on).
+// its Shared field (and only when Options.Share is on) and its
+// PreemptQuantum (when Options.PreemptQuantum is on).
 type Job struct {
 	// Name labels the job in reports (e.g. the workload name).
 	Name string
@@ -45,7 +61,8 @@ type Job struct {
 // Options configures a fleet run.
 type Options struct {
 	// Workers is the worker-pool size (0 = 4). Each worker runs whole
-	// jobs; at most Workers VMs execute concurrently.
+	// jobs (or, with PreemptQuantum, job slices); at most Workers VMs
+	// execute concurrently.
 	Workers int
 
 	// Share backs every VM with a fleet-wide decode/trace cache — one
@@ -56,6 +73,19 @@ type Options struct {
 	// CacheCapacity bounds each shared cache (0 = the default private
 	// cache capacity). Ignored when Share is off.
 	CacheCapacity int
+
+	// PreemptQuantum, when > 0, preempts every job after roughly that
+	// many virtual cycles at the next event boundary and returns it to
+	// the runqueue as a serialized snapshot, enabling migration between
+	// workers and (with SnapshotDir) crash recovery. Requires every
+	// job's alt system to have a value codec.
+	PreemptQuantum uint64
+
+	// SnapshotDir, when non-empty, persists each preempted job's
+	// snapshot there (atomically, one file per job) and removes it when
+	// the job completes. After a crash, Recover scans the directory and
+	// resumes the surviving jobs.
+	SnapshotDir string
 }
 
 // DefaultWorkers is the pool size when Options.Workers is 0.
@@ -69,7 +99,15 @@ type JobResult struct {
 	Name    string
 	Result  *fpvm.Result // nil when Err is non-nil and the run never finished
 	Err     error
-	Elapsed time.Duration
+	Elapsed time.Duration // summed across all slices of the job
+
+	// Preemptions counts how many times the job was sliced off a worker;
+	// Migrations counts resumptions on a different worker than the
+	// previous slice. Resumed reports the job started from an on-disk
+	// snapshot (Recover), not from its entry point.
+	Preemptions int
+	Migrations  int
+	Resumed     bool
 }
 
 // Report is the fleet-level roll-up.
@@ -93,6 +131,23 @@ type Report struct {
 	Failures int
 	Detached int
 
+	// Preemptions / Migrations / Resumed aggregate the per-job counts:
+	// total scheduling slices cut short, total cross-worker moves, and
+	// jobs restarted from on-disk snapshots.
+	Preemptions int
+	Migrations  int
+	Resumed     int
+
+	// PersistFailures counts snapshots that could not be written to
+	// SnapshotDir. Execution continues from the in-memory snapshot —
+	// correctness is unaffected, only crash durability is degraded.
+	PersistFailures int
+
+	// RecoveryRejects lists snapshot files Recover refused (torn,
+	// corrupt, or bound to a different image/alt/config/job list), one
+	// human-readable line each. The affected jobs ran fresh.
+	RecoveryRejects []string
+
 	// TotalCycles sums every VM's virtual cycle count — the fleet's
 	// total work, independent of scheduling.
 	TotalCycles uint64
@@ -113,12 +168,12 @@ func (r *Report) Throughput() float64 {
 
 // VirtualMakespan replays the fleet's schedule on the virtual clock:
 // jobs are assigned in submission order to the earliest-free worker
-// (the same greedy discipline the real pool follows), each costing the
-// virtual cycles its VM actually consumed. The result is the fleet's
-// completion time in virtual cycles — deterministic and host-independent
-// where wall clock is not, in keeping with the simulator's cost-model
-// philosophy (every other figure in this repo is reported on the
-// virtual clock).
+// (the greedy discipline the real pool follows when nothing preempts),
+// each costing the virtual cycles its VM actually consumed. The result
+// is the fleet's completion time in virtual cycles — deterministic and
+// host-independent where wall clock is not, in keeping with the
+// simulator's cost-model philosophy (every other figure in this repo is
+// reported on the virtual clock).
 func (r *Report) VirtualMakespan() uint64 {
 	if r.Workers <= 0 || len(r.Results) == 0 {
 		return 0
@@ -157,10 +212,172 @@ func (r *Report) VirtualThroughput() float64 {
 	return float64(r.Jobs-r.Failures) / (float64(ms) / 1e9)
 }
 
+// task is one job's scheduler state. Ownership passes through the
+// runqueue: exactly one worker holds a task at a time, so its fields
+// need no locking.
+type task struct {
+	idx         int
+	snapshot    []byte // nil: start (or restart) from the entry point
+	cycles      uint64 // virtual cycles consumed so far — the backlog key
+	lastWorker  int    // -1: never ran in this process
+	preemptions int
+	migrations  int
+	resumed     bool // started from an on-disk snapshot
+	elapsed     time.Duration
+}
+
+// sched is the work-stealing runqueue: free workers steal the runnable
+// task whose virtual clock is furthest behind — least consumed virtual
+// cycles, ties to the lowest submission index — so every job keeps
+// progressing (a preempting worker picks a lagging peer over the job it
+// just sliced) and jobs migrate to whichever worker frees up first.
+type sched struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*task
+	remaining int
+}
+
+func newSched(n int) *sched {
+	s := &sched{remaining: n}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// next blocks until a task is runnable or every job has completed (nil).
+func (s *sched) next() *task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 {
+		if s.remaining == 0 {
+			return nil
+		}
+		s.cond.Wait()
+	}
+	best := 0
+	for i := 1; i < len(s.queue); i++ {
+		t, b := s.queue[i], s.queue[best]
+		if t.cycles < b.cycles || (t.cycles == b.cycles && t.idx < b.idx) {
+			best = i
+		}
+	}
+	t := s.queue[best]
+	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	return t
+}
+
+func (s *sched) put(t *task) {
+	s.mu.Lock()
+	s.queue = append(s.queue, t)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+func (s *sched) done() {
+	s.mu.Lock()
+	s.remaining--
+	finished := s.remaining == 0
+	s.mu.Unlock()
+	if finished {
+		s.cond.Broadcast()
+	}
+}
+
+// seed is a validated on-disk snapshot adopted by Recover: the wire
+// bytes plus the virtual clock they carry (the task's scheduling key).
+type seed struct {
+	data   []byte
+	cycles uint64
+}
+
 // Run executes every job on a pool of opts.Workers workers and returns
 // the fleet report. Results are positional: Results[i] is jobs[i]'s
 // outcome regardless of scheduling order.
 func Run(jobs []Job, opts Options) *Report {
+	return run(jobs, opts, nil)
+}
+
+// Recover resumes a fleet from dir: every parseable, checksum-clean
+// snapshot whose bindings (program image hash, alt system, semantic
+// configuration, job name) match the corresponding job is adopted, and
+// that job continues from its last preemption point instead of its
+// entry point. Torn, corrupt or mismatched files are rejected — listed
+// in Report.RecoveryRejects, never partially restored — and their jobs
+// run fresh. An empty or missing directory is not an error: every job
+// simply runs fresh. The error return is reserved for an unreadable
+// directory.
+func Recover(dir string, jobs []Job, opts Options) (*Report, error) {
+	opts.SnapshotDir = dir
+	resume := make(map[int]seed)
+	var rejects []string
+
+	entries, err := os.ReadDir(dir)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("fleet: scanning snapshot dir: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() {
+			continue
+		}
+		if strings.Contains(name, ".snap.tmp") {
+			// Debris from a crash mid-write; the rename never happened, so
+			// nothing references it.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasPrefix(name, "fleet-") || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		reject := func(why string) {
+			rejects = append(rejects, fmt.Sprintf("%s: %s", name, why))
+		}
+		idx, jobName, ok := parseSnapshotName(name)
+		if !ok {
+			reject("unparseable snapshot filename")
+			continue
+		}
+		if idx < 0 || idx >= len(jobs) {
+			reject(fmt.Sprintf("job index %d out of range (fleet has %d jobs)", idx, len(jobs)))
+			continue
+		}
+		job := &jobs[idx]
+		if jobName != sanitizeName(job.Name) {
+			reject(fmt.Sprintf("job %d is now %q; snapshot is for %q", idx, job.Name, jobName))
+			continue
+		}
+		if _, dup := resume[idx]; dup {
+			reject("duplicate snapshot for job")
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			reject(err.Error())
+			continue
+		}
+		img, err := checkpoint.Decode(data)
+		if err != nil {
+			reject(err.Error())
+			continue
+		}
+		sys, err := fpvm.NewAltSystem(job.Config.Alt, job.Config.Precision)
+		if err != nil {
+			reject(err.Error())
+			continue
+		}
+		if err := img.Validate(job.Image.Hash(), sys.Name(), fpvm.ConfigSignature(job.Config)); err != nil {
+			reject(err.Error())
+			continue
+		}
+		resume[idx] = seed{data: data, cycles: img.MachCycles}
+	}
+
+	rep := run(jobs, opts, resume)
+	rep.RecoveryRejects = rejects
+	return rep, nil
+}
+
+func run(jobs []Job, opts Options, resume map[int]seed) *Report {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = DefaultWorkers
@@ -179,6 +396,14 @@ func Run(jobs []Job, opts Options) *Report {
 		return rep
 	}
 
+	snapDir := opts.SnapshotDir
+	if snapDir != "" {
+		if err := os.MkdirAll(snapDir, 0o755); err != nil {
+			snapDir = "" // degrade to in-memory scheduling; correctness unaffected
+			rep.PersistFailures++
+		}
+	}
+
 	// One shared cache per distinct image: pre-decoded entries and traces
 	// are only coherent within an image, and fpvm.Run's Bind check would
 	// reject a second image on the same store.
@@ -193,41 +418,89 @@ func Run(jobs []Job, opts Options) *Report {
 		}
 	}
 
-	idx := make(chan int)
+	s := newSched(len(jobs))
+	for i := range jobs {
+		t := &task{idx: i, lastWorker: -1}
+		if sd, ok := resume[i]; ok {
+			t.snapshot = sd.data
+			t.cycles = sd.cycles
+			t.resumed = true
+		}
+		s.queue = append(s.queue, t)
+	}
+
+	var persistFailures atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range idx {
-				job := &jobs[i]
+			for {
+				t := s.next()
+				if t == nil {
+					return
+				}
+				job := &jobs[t.idx]
 				cfg := job.Config // copy: never mutate the caller's Config
 				if shared != nil {
 					cfg.Shared = shared[job.Image]
 				}
-				t0 := time.Now()
-				res, err := fpvm.Run(job.Image, cfg)
-				rep.Results[i] = JobResult{
-					Name:    job.Name,
-					Result:  res,
-					Err:     err,
-					Elapsed: time.Since(t0),
+				if opts.PreemptQuantum > 0 {
+					cfg.PreemptQuantum = opts.PreemptQuantum
 				}
+				if t.lastWorker >= 0 && t.lastWorker != w {
+					t.migrations++
+				}
+				t.lastWorker = w
+
+				t0 := time.Now()
+				res, err := runSlice(job, cfg, t.snapshot)
+				t.elapsed += time.Since(t0)
+
+				if err == nil && res != nil && res.Preempted {
+					t.preemptions++
+					t.snapshot = res.Snapshot
+					t.cycles = res.Cycles
+					if snapDir != "" {
+						path := snapshotPath(snapDir, t.idx, job.Name)
+						if werr := checkpoint.WriteFileAtomic(path, res.Snapshot); werr != nil {
+							persistFailures.Add(1)
+						}
+					}
+					s.put(t)
+					continue
+				}
+
+				rep.Results[t.idx] = JobResult{
+					Name:        job.Name,
+					Result:      res,
+					Err:         err,
+					Elapsed:     t.elapsed,
+					Preemptions: t.preemptions,
+					Migrations:  t.migrations,
+					Resumed:     t.resumed,
+				}
+				if snapDir != "" {
+					os.Remove(snapshotPath(snapDir, t.idx, job.Name))
+				}
+				s.done()
 			}
-		}()
+		}(w)
 	}
-	for i := range jobs {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
 	rep.Elapsed = time.Since(start)
+	rep.PersistFailures += int(persistFailures.Load())
 
 	for i := range rep.Results {
 		jr := &rep.Results[i]
 		if jr.Err != nil && (jr.Result == nil || !jr.Result.Detached) {
 			rep.Failures++
+		}
+		rep.Preemptions += jr.Preemptions
+		rep.Migrations += jr.Migrations
+		if jr.Resumed {
+			rep.Resumed++
 		}
 		if jr.Result == nil {
 			continue
@@ -241,6 +514,68 @@ func Run(jobs []Job, opts Options) *Report {
 		rep.SharedTraceHits += jr.Result.SharedTraceHits
 	}
 	return rep
+}
+
+// runSlice executes one scheduling turn of a job — a fresh start or a
+// snapshot resumption — with panic isolation: a worker that panics
+// inside the VM stack reports the panic as that job's error instead of
+// taking down the whole fleet.
+func runSlice(job *Job, cfg fpvm.Config, snapshot []byte) (res *fpvm.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = nil
+			err = fmt.Errorf("fleet: job %q panicked: %v", job.Name, p)
+		}
+	}()
+	if snapshot != nil {
+		return fpvm.Resume(job.Image, cfg, snapshot)
+	}
+	return fpvm.Run(job.Image, cfg)
+}
+
+// snapshotPath names job idx's snapshot file: fleet-<idx>-<name>.snap.
+// The index pins the file to its submission slot; the sanitized name
+// lets Recover detect a reordered or edited job list.
+func snapshotPath(dir string, idx int, name string) string {
+	return filepath.Join(dir, fmt.Sprintf("fleet-%04d-%s.snap", idx, sanitizeName(name)))
+}
+
+// sanitizeName maps a job name onto the filename-safe alphabet.
+func sanitizeName(name string) string {
+	var sb strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "job"
+	}
+	return sb.String()
+}
+
+// parseSnapshotName inverts snapshotPath's base name.
+func parseSnapshotName(base string) (idx int, name string, ok bool) {
+	rest, found := strings.CutPrefix(base, "fleet-")
+	if !found {
+		return 0, "", false
+	}
+	rest, found = strings.CutSuffix(rest, ".snap")
+	if !found {
+		return 0, "", false
+	}
+	numStr, name, found := strings.Cut(rest, "-")
+	if !found || numStr == "" {
+		return 0, "", false
+	}
+	idx, err := strconv.Atoi(numStr)
+	if err != nil {
+		return 0, "", false
+	}
+	return idx, name, true
 }
 
 // Summary renders the fleet report as a short human-readable block.
@@ -262,6 +597,19 @@ func (r *Report) Summary() string {
 			r.SharedHits, r.SharedTraceHits)
 	}
 	sb.WriteString("\n")
+	if r.Preemptions > 0 || r.Resumed > 0 {
+		fmt.Fprintf(&sb, "  preemptions %d  migrations %d  resumed from snapshots %d\n",
+			r.Preemptions, r.Migrations, r.Resumed)
+	}
+	if r.PersistFailures > 0 {
+		fmt.Fprintf(&sb, "  snapshot persist failures: %d\n", r.PersistFailures)
+	}
+	if len(r.RecoveryRejects) > 0 {
+		fmt.Fprintf(&sb, "  rejected snapshots: %d\n", len(r.RecoveryRejects))
+		for _, line := range r.RecoveryRejects {
+			fmt.Fprintf(&sb, "    %s\n", line)
+		}
+	}
 	if r.Detached > 0 {
 		fmt.Fprintf(&sb, "  detached (guest completed natively): %d\n", r.Detached)
 	}

@@ -1,0 +1,119 @@
+// Snapshot support: the allocator can dump its exact slot layout into a
+// portable Image and be rebuilt from one. Handle numbering and free-list
+// order are preserved bit-for-bit — guest memory and registers hold
+// NaN-boxed handle values, and allocation order after a resume must reuse
+// handles exactly as the uninterrupted run would have.
+
+package heap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Slot kinds in a heap Image.
+const (
+	SlotFree    uint8 = iota // never allocated or collected
+	SlotFloat                // live float-specialized slot
+	SlotGeneric              // live generic slot holding an encoded value
+	SlotNil                  // live generic slot holding nil (a temporary)
+)
+
+// SlotImage is the portable state of one allocator slot.
+type SlotImage struct {
+	Kind uint8
+	F    float64 // SlotFloat payload
+	Val  []byte  // SlotGeneric payload (alt-system encoded)
+}
+
+// Image is the portable state of an Allocator.
+type Image struct {
+	Slots     []SlotImage
+	Free      []uint64 // free-list, bottom of stack first
+	Live      int
+	Threshold int
+	MaxLive   int
+	Costs     CostModel
+	Stats     Stats
+}
+
+// ErrBadImage is returned by FromImage for inconsistent input.
+var ErrBadImage = errors.New("heap: inconsistent allocator image")
+
+// Capture dumps the allocator into an Image, serializing every live
+// generic value through encode (an alt.Codec in practice).
+func (a *Allocator) Capture(encode func(any) ([]byte, error)) (*Image, error) {
+	img := &Image{
+		Slots:     make([]SlotImage, len(a.slots)),
+		Free:      append([]uint64(nil), a.free...),
+		Live:      a.live,
+		Threshold: a.Threshold,
+		MaxLive:   a.MaxLive,
+		Costs:     a.Costs,
+		Stats:     a.Stats,
+	}
+	for h := range a.slots {
+		s := &a.slots[h]
+		switch {
+		case !s.live:
+			img.Slots[h] = SlotImage{Kind: SlotFree}
+		case s.isF:
+			img.Slots[h] = SlotImage{Kind: SlotFloat, F: s.fval}
+		case s.val == nil:
+			img.Slots[h] = SlotImage{Kind: SlotNil}
+		default:
+			b, err := encode(s.val)
+			if err != nil {
+				return nil, fmt.Errorf("heap: encoding box %d: %w", h, err)
+			}
+			img.Slots[h] = SlotImage{Kind: SlotGeneric, Val: b}
+		}
+	}
+	return img, nil
+}
+
+// FromImage rebuilds an allocator from an Image, decoding every generic
+// value through decode. The result is behaviourally identical to the
+// captured allocator: same handles, same free-list order, same counters.
+func FromImage(img *Image, decode func([]byte) (any, error)) (*Allocator, error) {
+	a := &Allocator{
+		slots:     make([]slot, len(img.Slots)),
+		free:      append([]uint64(nil), img.Free...),
+		live:      img.Live,
+		Threshold: img.Threshold,
+		MaxLive:   img.MaxLive,
+		Costs:     img.Costs,
+		Stats:     img.Stats,
+	}
+	live := 0
+	for h := range img.Slots {
+		si := &img.Slots[h]
+		switch si.Kind {
+		case SlotFree:
+		case SlotFloat:
+			a.slots[h] = slot{fval: si.F, isF: true, live: true}
+			live++
+		case SlotNil:
+			a.slots[h] = slot{live: true}
+			live++
+		case SlotGeneric:
+			v, err := decode(si.Val)
+			if err != nil {
+				return nil, fmt.Errorf("heap: decoding box %d: %w", h, err)
+			}
+			a.slots[h] = slot{val: v, live: true}
+			live++
+		default:
+			return nil, fmt.Errorf("%w: slot %d has kind %d", ErrBadImage, h, si.Kind)
+		}
+	}
+	if live != img.Live {
+		return nil, fmt.Errorf("%w: %d live slots, header says %d", ErrBadImage, live, img.Live)
+	}
+	for _, h := range a.free {
+		if h >= uint64(len(a.slots)) || a.slots[h].live {
+			return nil, fmt.Errorf("%w: free-list entry %d invalid", ErrBadImage, h)
+		}
+	}
+	return a, nil
+}

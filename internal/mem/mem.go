@@ -339,6 +339,28 @@ func (as *AddressSpace) PageData(addr uint64) ([]byte, bool) {
 	return p.data[:], true
 }
 
+// OverwritePage replaces the contents of the page at addr (page-aligned)
+// with data, bypassing permission checks — the snapshot-restore path uses
+// it, and restores must not be subject to guest page protections. The
+// page is mapped read-write if absent. data longer than a page is
+// truncated; shorter data zero-fills the remainder.
+func (as *AddressSpace) OverwritePage(addr uint64, data []byte) {
+	if as.pages == nil {
+		as.pages = make(map[uint64]*page)
+	}
+	pn := addr / PageSize
+	p, ok := as.pages[pn]
+	if !ok {
+		p = &page{perm: PermRW}
+		as.pages[pn] = p
+	}
+	n := copy(p.data[:], data)
+	for i := n; i < PageSize; i++ {
+		p.data[i] = 0
+	}
+	as.markDirty(pn)
+}
+
 // PageCount returns the number of mapped pages.
 func (as *AddressSpace) PageCount() int { return len(as.pages) }
 

@@ -6,6 +6,8 @@
 package obj
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -207,6 +209,50 @@ func (img *Image) Load(as *mem.AddressSpace, resolve Resolver) error {
 		}
 	}
 	return nil
+}
+
+// Hash returns a deterministic digest of the image: name, entry point,
+// every section (name, address, permissions, bytes), the symbol table
+// sorted by address, and all relocations. Snapshots embed it so a resume
+// against a different (or differently patched) binary is rejected instead
+// of silently executing the wrong code.
+func (img *Image) Hash() [32]byte {
+	h := sha256.New()
+	var u8 [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(u8[:], v)
+		h.Write(u8[:])
+	}
+	ws := func(s string) {
+		wu(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	ws(img.Name)
+	wu(img.Entry)
+	wu(uint64(len(img.Sections)))
+	for _, s := range img.Sections {
+		ws(s.Name)
+		wu(s.Addr)
+		wu(uint64(s.Perm))
+		wu(uint64(len(s.Data)))
+		h.Write(s.Data)
+	}
+	syms := img.Symbols()
+	wu(uint64(len(syms)))
+	for _, s := range syms {
+		ws(s.Name)
+		wu(s.Addr)
+		wu(s.Size)
+		wu(uint64(s.Kind))
+	}
+	wu(uint64(len(img.Relocs)))
+	for _, r := range img.Relocs {
+		wu(r.SlotAddr)
+		ws(r.Symbol)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
 }
 
 // Clone returns a deep copy of the image (the rewriter patches a copy so

@@ -1,0 +1,98 @@
+// Binary serialization of Rational values for the checkpoint wire
+// format: flags (NaN, infinity sign), then numerator and denominator as
+// sign-prefixed big-endian magnitude bytes.
+
+package rational
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// ErrBadEncoding is returned by DecodeBinary for malformed input.
+var ErrBadEncoding = errors.New("rational: malformed encoding")
+
+// AppendBinary appends the binary encoding of q to b and returns the
+// extended slice. Layout: nan u8, inf i8, then (for finite non-NaN
+// values) numerator and denominator each as sign u8 + length u32 +
+// magnitude bytes (big-endian, as produced by big.Int.Bytes).
+func (q *Rational) AppendBinary(b []byte) []byte {
+	b = append(b, boolByte(q.nan), byte(int8(q.inf)))
+	if q.nan || q.inf != 0 || q.r == nil {
+		return b
+	}
+	b = appendInt(b, q.r.Num())
+	return appendInt(b, q.r.Denom())
+}
+
+// DecodeBinary reconstructs a Rational from an encoding produced by
+// AppendBinary. The whole of b must be consumed.
+func DecodeBinary(b []byte) (*Rational, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("%w: short header", ErrBadEncoding)
+	}
+	q := &Rational{nan: b[0] != 0, inf: int(int8(b[1]))}
+	rest := b[2:]
+	if q.nan || q.inf != 0 {
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("%w: trailing bytes on special value", ErrBadEncoding)
+		}
+		if q.nan {
+			q.inf = 0
+		}
+		return q, nil
+	}
+	num, rest, err := decodeInt(rest)
+	if err != nil {
+		return nil, err
+	}
+	den, rest, err := decodeInt(rest)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadEncoding, len(rest))
+	}
+	if den.Sign() <= 0 {
+		return nil, fmt.Errorf("%w: non-positive denominator", ErrBadEncoding)
+	}
+	q.r = new(big.Rat).SetFrac(num, den)
+	return q, nil
+}
+
+func appendInt(b []byte, v *big.Int) []byte {
+	sign := byte(0)
+	if v.Sign() < 0 {
+		sign = 1
+	}
+	mag := v.Bytes()
+	b = append(b, sign)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(mag)))
+	return append(b, mag...)
+}
+
+func decodeInt(b []byte) (*big.Int, []byte, error) {
+	if len(b) < 5 {
+		return nil, nil, fmt.Errorf("%w: short integer header", ErrBadEncoding)
+	}
+	neg := b[0] != 0
+	n := binary.LittleEndian.Uint32(b[1:])
+	rest := b[5:]
+	if uint64(len(rest)) < uint64(n) {
+		return nil, nil, fmt.Errorf("%w: truncated integer (%d of %d bytes)", ErrBadEncoding, len(rest), n)
+	}
+	v := new(big.Int).SetBytes(rest[:n])
+	if neg {
+		v.Neg(v)
+	}
+	return v, rest[n:], nil
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,140 @@
+// Resumption-exactness harness: for every alternative arithmetic system
+// with a value codec, a run chopped into preemption slices — each slice
+// round-tripped through the on-disk wire format — must be bit-identical
+// to the uninterrupted run in stdout, virtual cycles, trap stream
+// (oracle digests), final architectural state and telemetry counters.
+
+package fpvm_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fpvm"
+	"fpvm/internal/obj"
+	"fpvm/internal/oracle"
+	"fpvm/internal/workloads"
+)
+
+var allAltKinds = []fpvm.AltKind{
+	fpvm.AltBoxed, fpvm.AltMPFR, fpvm.AltPosit,
+	fpvm.AltPosit32, fpvm.AltInterval, fpvm.AltRational,
+}
+
+// runObserved runs img under cfg collecting the oracle-digested trap
+// stream, resuming across preemptions. Each snapshot is persisted to
+// and re-read from disk so the full wire format (framing, CRC, atomic
+// write) is on the resumed path, not just in-memory bytes.
+func runObserved(t *testing.T, img *obj.Image, cfg fpvm.Config, snapFile string) (*fpvm.Result, []oracle.TrapRec, int) {
+	t.Helper()
+	var recs []oracle.TrapRec
+	cfg.Observer = func(st *fpvm.TrapState) { recs = append(recs, oracle.Digest(st)) }
+
+	res, err := fpvm.Run(img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumes := 0
+	for res.Preempted {
+		resumes++
+		snap := res.Snapshot
+		if snapFile != "" {
+			if err := os.WriteFile(snapFile, snap, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if snap, err = os.ReadFile(snapFile); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if res, err = fpvm.Resume(img, cfg, snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return res, recs, resumes
+}
+
+func TestResumeBitIdentical(t *testing.T) {
+	img, err := workloads.Build(workloads.Pendulum, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range allAltKinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			cfg := fpvm.Config{Alt: kind, Seq: true, Short: true}
+			ref, refRecs, _ := runObserved(t, img, cfg, "")
+
+			cfg2 := cfg
+			cfg2.PreemptQuantum = 2_000_000
+			snapFile := filepath.Join(t.TempDir(), "resume.snap")
+			res, recs, resumes := runObserved(t, img, cfg2, snapFile)
+			if resumes == 0 {
+				t.Fatalf("workload finished inside one quantum; no resumption exercised")
+			}
+			t.Logf("%d resumes, %d traps", resumes, len(recs))
+
+			if res.Stdout != ref.Stdout {
+				t.Errorf("stdout diverged after %d resumes", resumes)
+			}
+			if res.Cycles != ref.Cycles {
+				t.Errorf("virtual cycles diverged: resumed %d, uninterrupted %d", res.Cycles, ref.Cycles)
+			}
+			if i := oracle.CompareStreams(refRecs, recs); i != -1 {
+				t.Errorf("trap stream diverged at trap #%d (of %d vs %d)", i+1, len(refRecs), len(recs))
+			}
+			if res.Final == nil || ref.Final == nil {
+				t.Fatalf("missing final state capture")
+			}
+			if d := oracle.DiffFinal(ref.Final, res.Final); d != "" {
+				t.Errorf("final architectural state diverged: %s", d)
+			}
+			if res.Traps != ref.Traps || res.EmulatedInsts != ref.EmulatedInsts {
+				t.Errorf("telemetry diverged: traps %d/%d, emulated %d/%d",
+					res.Traps, ref.Traps, res.EmulatedInsts, ref.EmulatedInsts)
+			}
+			if res.ExitCode != ref.ExitCode {
+				t.Errorf("exit code diverged: %d vs %d", res.ExitCode, ref.ExitCode)
+			}
+			if !res.Resumed {
+				t.Errorf("resumed run did not report Resumed")
+			}
+		})
+	}
+}
+
+// TestResumeRejectsMismatchedBindings: a snapshot must not resume under
+// a different image, alt system, or semantic configuration.
+func TestResumeRejectsMismatchedBindings(t *testing.T) {
+	img, err := workloads.Build(workloads.Pendulum, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true, PreemptQuantum: 200_000}
+	res, err := fpvm.Run(img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Preempted {
+		t.Fatalf("expected a preemption at quantum 200k")
+	}
+
+	other, err := workloads.Build(workloads.Lorenz, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fpvm.Resume(other, cfg, res.Snapshot); err == nil {
+		t.Errorf("resume under a different image succeeded")
+	}
+	wrongAlt := cfg
+	wrongAlt.Alt = fpvm.AltPosit
+	if _, err := fpvm.Resume(img, wrongAlt, res.Snapshot); err == nil {
+		t.Errorf("resume under a different alt system succeeded")
+	}
+	wrongCfg := cfg
+	wrongCfg.Seq = false
+	if _, err := fpvm.Resume(img, wrongCfg, res.Snapshot); err == nil {
+		t.Errorf("resume under a different semantic configuration succeeded")
+	}
+}
