@@ -16,12 +16,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Full benchmark pass: Go benchmarks plus the trace-cache on/off
-# regression artifact (BENCH_2.json) and the fleet shared-vs-private
-# throughput artifact (BENCH_4.json).
+# Full benchmark pass: Go benchmarks plus the replay-tier regression
+# artifact (BENCH_7.json: cold decode vs interpreted replay vs tier-1
+# JIT, superseding the old two-tier BENCH_2.json) and the fleet
+# shared-vs-private throughput artifact (BENCH_4.json).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
-	$(GO) run ./cmd/fpvm-bench -fig trace -json BENCH_2.json
+	$(GO) run ./cmd/fpvm-bench -fig trace -json BENCH_7.json
 	$(GO) run ./cmd/fpvm-bench -fig fleet -json BENCH_4.json
 
 # Bounded race-enabled fleet soak: the concurrency surface (worker
@@ -39,7 +40,9 @@ crash-soak:
 	$(GO) test -race -count=3 -run 'TestKillResumeRecovery|TestFleetPreemptionMatchesWholeJobs|TestRecoverRejectsForeignSnapshots|TestFleetPanicIsolation' ./internal/fleet/
 
 # Fast smoke of the benchmark code paths: every benchmark compiles and
-# survives one iteration. Wired into `make check`.
+# survives one iteration. BenchmarkJITTierGate rides along as a hard
+# gate — a compiled tier that diverges from interpreted replay (output,
+# virtual cycles, or a JIT that never engages) fails `make check`.
 bench-check:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 

@@ -86,6 +86,8 @@ func main() {
 	seq := flag.Bool("seq", false, "enable instruction sequence emulation (§4)")
 	short := flag.Bool("short", false, "enable trap short-circuiting (§3)")
 	noTrace := flag.Bool("no-trace", false, "disable the software trace cache (sequence replay)")
+	noJIT := flag.Bool("no-jit", false, "disable the tier-1 trace JIT (keep interpreted replay)")
+	jitThreshold := flag.Int("jit-threshold", 0, "replay count before a trace is compiled (0 = default 8)")
 	native := flag.Bool("native", false, "run without FPVM")
 	nopatch := flag.Bool("nopatch", false, "skip correctness patching")
 	int3 := flag.Bool("int3", false, "use int3 correctness traps instead of magic traps")
@@ -137,6 +139,8 @@ func main() {
 		Short:              *short,
 		MagicWraps:         *magicWraps,
 		NoTraceCache:       *noTrace,
+		NoJIT:              *noJIT,
+		JITThreshold:       *jitThreshold,
 		Profile:            true,
 		MaxLiveBoxes:       *maxBoxes,
 		CheckpointInterval: *ckptInterval,
@@ -189,6 +193,12 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"trace cache: %d traces, hit rate %.3f, %d replayed insts, %d divergence exits\n",
 			res.TraceCacheEntries, res.TraceHitRate(), res.ReplayedInsts, res.TraceDivergences)
+	}
+	if res.JITCompiles+res.JITExecs > 0 {
+		fmt.Fprintf(os.Stderr,
+			"jit: %d compiles, %d compiled replays (%d insts), %d deopts (rate %.3f)\n",
+			res.JITCompiles, res.JITExecs, res.JITInsts, res.JITDeopts,
+			res.Breakdown.JITDeoptRate())
 	}
 	if line := res.Breakdown.FaultLine(); line != "" {
 		fmt.Fprintln(os.Stderr, line)

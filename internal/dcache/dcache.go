@@ -312,9 +312,19 @@ type Trace struct {
 
 	// Hits counts full or partial replays; Divergences counts replays that
 	// exited early because an instruction's boxedness diverged from the
-	// recorded shape.
+	// recorded shape. Hits doubles as the tier-1 promotion counter: the
+	// runtime compiles the trace once Hits crosses its JIT threshold.
 	Hits        uint64
 	Divergences uint64
+
+	// Compiled holds the owning VM's tier-1 compiled body, opaque to this
+	// package (the compiler lives in the runtime). Compiled bodies are
+	// strictly per-VM process state: snapshot/snapshotKeepCounters clear
+	// the slot, so shared-cache masters, adopted copies and fork clones
+	// never carry one, and the checkpoint wire format never sees it.
+	// Dropping the trace (invalidation, eviction, replacement) drops the
+	// body with it.
+	Compiled any
 }
 
 // Len returns the number of emulated instructions in the trace (the
@@ -341,6 +351,9 @@ func (t *Trace) snapshotKeepCounters() *Trace {
 	if t.Insts != nil {
 		nt.Insts = append([]string(nil), t.Insts...)
 	}
+	// Tier-1 compiled bodies are per-VM: the receiving cache re-promotes
+	// from its own replay counts.
+	nt.Compiled = nil
 	return &nt
 }
 

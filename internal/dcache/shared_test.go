@@ -115,7 +115,8 @@ func TestSharedTraceAdoptionIsSnapshot(t *testing.T) {
 	c := NewCacheShared(0, s)
 
 	tr := mkTrace(0x100, 4)
-	tr.Hits = 5 // builder's replay history must not leak to adopters
+	tr.Hits = 5                       // builder's replay history must not leak to adopters
+	tr.Compiled = &struct{ n int }{1} // builder's tier-1 body is per-VM process state
 	a.InsertTrace(tr)
 	if s.TraceLen() != 1 {
 		t.Fatalf("trace publication missing")
@@ -133,6 +134,9 @@ func TestSharedTraceAdoptionIsSnapshot(t *testing.T) {
 	}
 	if bt.Hits != 0 || bt.Divergences != 0 {
 		t.Errorf("adopted trace inherited counters: hits=%d div=%d", bt.Hits, bt.Divergences)
+	}
+	if bt.Compiled != nil {
+		t.Error("adopted trace inherited the builder's compiled body")
 	}
 
 	// B's replay mutates only B's copy.
@@ -266,11 +270,13 @@ func TestSharedConcurrentTorture(t *testing.T) {
 					c.Lookup(rip)
 				case 2:
 					tr := mkTrace(start, 4)
+					tr.Compiled = &struct{ g int }{g} // publish must strip it
 					c.InsertTrace(tr)
 				case 3:
 					if tr, ok := c.LookupTrace(start); ok {
 						tr.Hits++ // replay mutation on the private copy
 						tr.Divergences++
+						tr.Compiled = &struct{ g int }{g} // tier-1 promotion, per-VM
 					}
 				case 4:
 					if g%2 == 0 {
@@ -289,6 +295,17 @@ func TestSharedConcurrentTorture(t *testing.T) {
 	}
 	if err := s.Consistent(); err != nil {
 		t.Fatalf("post-storm audit: %v", err)
+	}
+
+	// Compiled bodies are per-VM: no matter how many storm goroutines
+	// promoted their private copies (case 3) or tried to publish a body
+	// (case 2), a fresh adopter must receive every surviving trace bare.
+	adopter := NewCacheShared(256, s)
+	for i := 0; i < 8; i++ {
+		start := uint64(0x1000 + i*0x40)
+		if tr, ok := adopter.LookupTrace(start); ok && tr.Compiled != nil {
+			t.Errorf("adopted trace %#x carries another VM's compiled body", start)
+		}
 	}
 
 	// Invalidation wave: kill every possible trace member address from

@@ -359,7 +359,12 @@ func (r *Runtime) altScalar(op isa.Op, dstBits, srcBits uint64) uint64 {
 // compute with exact native IEEE semantics; the result is plain bits,
 // never boxed.
 func (r *Runtime) nativeScalar(op isa.Op, dstBits, srcBits uint64) uint64 {
-	fop := scalarToFPOp(op)
+	return r.nativeScalarOp(scalarToFPOp(op), dstBits, srcBits)
+}
+
+// nativeScalarOp is nativeScalar with the fpmath op already mapped (the
+// tier-1 JIT and the float fast path pre-resolve it).
+func (r *Runtime) nativeScalarOp(fop fpmath.Op, dstBits, srcBits uint64) uint64 {
 	if fop == fpmath.OpSqrt {
 		return fpmath.Bits(fpmath.Eval(fop, f64(r.demote(srcBits)), 0).Value)
 	}

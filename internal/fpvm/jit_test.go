@@ -1,0 +1,249 @@
+package fpvm_test
+
+// Tier-1 JIT coverage: promotion, counter arithmetic, cycle-exactness vs
+// the interpreted tier, the deopt path (guard failure mid-trace), the
+// recovery ladder inside a compiled body, and invalidation dropping
+// compiled bodies with their traces.
+
+import (
+	"testing"
+
+	"fpvm/internal/alt"
+	"fpvm/internal/asm"
+	"fpvm/internal/faultinject"
+	fpvmrt "fpvm/internal/fpvm"
+	"fpvm/internal/isa"
+	"fpvm/internal/obj"
+)
+
+func jitLoopCfg(thr int, noJIT bool) fpvmrt.Config {
+	return fpvmrt.Config{Alt: alt.NewBoxedIEEE(), Seq: true, JITThreshold: thr, NoJIT: noJIT}
+}
+
+// TestJITTierExactness: a hot trace loop run through the compiled tier
+// must match the interpreted tier bit for bit — stdout, virtual cycles
+// and the shared trace counters — while actually engaging the JIT.
+func TestJITTierExactness(t *testing.T) {
+	jit := newRig(t, buildTraceLoop(t, 400), jitLoopCfg(1, false), true)
+	jitOut := jit.run(t)
+	interp := newRig(t, buildTraceLoop(t, 400), jitLoopCfg(1, true), true)
+	interpOut := interp.run(t)
+
+	if jitOut != interpOut {
+		t.Fatalf("compiled tier changed output:\n jit:    %q\n interp: %q", jitOut, interpOut)
+	}
+	if jc, ic := jit.p.M.Cycles, interp.p.M.Cycles; jc != ic {
+		t.Errorf("compiled tier changed virtual cycles: jit %d, interp %d", jc, ic)
+	}
+	if jit.rt.JITCompiles == 0 || jit.rt.Tel.JITExecs == 0 || jit.rt.Tel.JITInsts == 0 {
+		t.Errorf("JIT never engaged: compiles=%d execs=%d insts=%d",
+			jit.rt.JITCompiles, jit.rt.Tel.JITExecs, jit.rt.Tel.JITInsts)
+	}
+	if jit.rt.Tel.JITExecs > jit.rt.Tel.TraceHits {
+		t.Errorf("JITExecs %d exceed TraceHits %d", jit.rt.Tel.JITExecs, jit.rt.Tel.TraceHits)
+	}
+	if jit.rt.Tel.JITInsts > jit.rt.Tel.ReplayedInsts {
+		t.Errorf("JITInsts %d exceed ReplayedInsts %d", jit.rt.Tel.JITInsts, jit.rt.Tel.ReplayedInsts)
+	}
+	if n := interp.rt.JITCompiles + interp.rt.Tel.JITExecs + interp.rt.Tel.JITInsts + interp.rt.Tel.JITDeopts; n != 0 {
+		t.Errorf("NoJIT run shows JIT activity: %d", n)
+	}
+	if jit.rt.Tel.TraceHits != interp.rt.Tel.TraceHits ||
+		jit.rt.Tel.ReplayedInsts != interp.rt.Tel.ReplayedInsts ||
+		jit.rt.Tel.TraceDivergences != interp.rt.Tel.TraceDivergences {
+		t.Errorf("tiering changed trace counters: hits %d/%d replayed %d/%d div %d/%d",
+			jit.rt.Tel.TraceHits, interp.rt.Tel.TraceHits,
+			jit.rt.Tel.ReplayedInsts, interp.rt.Tel.ReplayedInsts,
+			jit.rt.Tel.TraceDivergences, interp.rt.Tel.TraceDivergences)
+	}
+}
+
+// TestJITDefaultThreshold: with the stock threshold a 400-iteration loop
+// promotes its trace once, and the pre-promotion replays stay interpreted
+// (JITExecs strictly below TraceHits).
+func TestJITDefaultThreshold(t *testing.T) {
+	r := newRig(t, buildTraceLoop(t, 400), jitLoopCfg(0, false), true)
+	r.run(t)
+	if r.rt.JITCompiles != 1 {
+		t.Errorf("JITCompiles = %d, want 1 (one hot trace)", r.rt.JITCompiles)
+	}
+	if r.rt.Tel.JITExecs == 0 || r.rt.Tel.JITExecs >= r.rt.Tel.TraceHits {
+		t.Errorf("JITExecs = %d of %d TraceHits, want interpreted warmup then compiled replays",
+			r.rt.Tel.JITExecs, r.rt.Tel.TraceHits)
+	}
+}
+
+// buildDeoptLoop assembles the §4.2 oscillation case for the compiled
+// tier: a two-phase loop whose body pairs a boxed accumulator (the trap
+// source) with a second addsd whose operands are boxed in phase A but
+// plain IEEE in phase B. The phase-A trace records the second addsd as
+// warranted; every phase-B replay must fail its boxedness guard there and
+// deopt back to the interpreter, letting the hardware run it natively.
+func buildDeoptLoop(t *testing.T, n int64) *obj.Image {
+	t.Helper()
+	b := asm.NewBuilder("deoptloop")
+	b.RoDouble("one", 1)
+	b.RoDouble("three", 3)
+	b.Func("main")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RDX), 2) // phase counter: A, then B
+	b.MI(isa.MOV64RI, isa.GPR(isa.RCX), n)
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM0), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM0), "three") // acc = 1/3, boxed
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM1), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM1), "three") // step = 1/3, boxed
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM2), "one")
+	b.RMData(isa.DIVSD, isa.XMM(isa.XMM2), "three") // flipper = 1/3, boxed
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM3), "one") // plain 1.0
+	b.Label("loop")
+	b.RM(isa.ADDSD, isa.XMM(isa.XMM0), isa.XMM(isa.XMM1)) // boxed: trap head
+	b.RM(isa.ADDSD, isa.XMM(isa.XMM2), isa.XMM(isa.XMM3)) // boxed in A, plain in B
+	b.MI(isa.SUB64I, isa.GPR(isa.RCX), 1)
+	b.Branch(isa.JNE, "loop")
+	b.RMData(isa.MOVSDXM, isa.XMM(isa.XMM2), "one") // unbox the flipper: phase B
+	b.MI(isa.MOV64RI, isa.GPR(isa.RCX), n)
+	b.MI(isa.SUB64I, isa.GPR(isa.RDX), 1)
+	b.Branch(isa.JNE, "loop")
+	b.CallImport("print_f64")
+	b.RM(isa.MOVSDXX, isa.XMM(isa.XMM0), isa.XMM(isa.XMM2))
+	b.CallImport("print_f64")
+	b.MI(isa.MOV64RI, isa.GPR(isa.RAX), 60)
+	b.Op0(isa.SYSCALL)
+	b.SetEntry("main")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// TestJITDeoptMidTrace: phase-B replays hit the compiled guard on the
+// second addsd (operands no longer boxed), deopt through the divergence
+// exit, and the run stays bit-identical to the interpreted tier with
+// matching divergence counts.
+func TestJITDeoptMidTrace(t *testing.T) {
+	jit := newRig(t, buildDeoptLoop(t, 60), jitLoopCfg(1, false), true)
+	jitOut := jit.run(t)
+	interp := newRig(t, buildDeoptLoop(t, 60), jitLoopCfg(1, true), true)
+	interpOut := interp.run(t)
+
+	if jitOut != interpOut {
+		t.Fatalf("deopt path changed output:\n jit:    %q\n interp: %q", jitOut, interpOut)
+	}
+	if jc, ic := jit.p.M.Cycles, interp.p.M.Cycles; jc != ic {
+		t.Errorf("deopt path changed virtual cycles: jit %d, interp %d", jc, ic)
+	}
+	if jit.rt.Tel.JITDeopts == 0 {
+		t.Error("phase-B guard failures produced no jit_deopt")
+	}
+	if jit.rt.Tel.JITDeopts > jit.rt.Tel.JITExecs {
+		t.Errorf("JITDeopts %d exceed JITExecs %d", jit.rt.Tel.JITDeopts, jit.rt.Tel.JITExecs)
+	}
+	if jit.rt.Tel.JITDeopts > jit.rt.Tel.TraceDivergences {
+		t.Errorf("JITDeopts %d exceed TraceDivergences %d",
+			jit.rt.Tel.JITDeopts, jit.rt.Tel.TraceDivergences)
+	}
+	if jit.rt.Tel.TraceDivergences != interp.rt.Tel.TraceDivergences {
+		t.Errorf("tiering changed divergence count: jit %d, interp %d",
+			jit.rt.Tel.TraceDivergences, interp.rt.Tel.TraceDivergences)
+	}
+}
+
+// TestJITAltOpFaultInCompiledBody: probabilistic alt.op faults (fixed
+// seed, so the schedule is deterministic and identical across tiers) land
+// inside compiled steps. Bursts that drain the retry budget degrade to
+// native IEEE, each degradation invalidates the traces through the
+// instruction (dropping the compiled body), and the trace rebuilds and
+// re-promotes on later traps — so compilation must happen more than once.
+// Output must stay bit-exact with the interpreted tier under the same
+// schedule, and both ledgers must reconcile. (An every-check rule would
+// never let a trace survive one replay, keeping the JIT cold — the gaps
+// between bursts are what promotion needs.)
+func TestJITAltOpFaultInCompiledBody(t *testing.T) {
+	run := func(noJIT bool) (*rig, string) {
+		inj := faultinject.New(3)
+		inj.Arm(faultinject.SiteAltOp, faultinject.Rule{Prob: 0.5})
+		cfg := jitLoopCfg(1, noJIT)
+		cfg.Inject = inj
+		r := newRig(t, buildTraceLoop(t, 200), cfg, true)
+		out := r.run(t)
+		if !r.rt.Tel.FaultsReconciled() {
+			t.Errorf("fault ledger broken (noJIT=%v): %s", noJIT, r.rt.Tel.FaultLine())
+		}
+		if !inj.Reconciled() {
+			t.Errorf("injector ledger broken (noJIT=%v):\n%s", noJIT, inj.Report())
+		}
+		return r, out
+	}
+	jit, jitOut := run(false)
+	_, interpOut := run(true)
+
+	if jitOut != interpOut {
+		t.Fatalf("alt.op faults in compiled bodies changed output:\n jit:    %q\n interp: %q",
+			jitOut, interpOut)
+	}
+	if jit.rt.Degradations == 0 {
+		t.Fatal("alt.op fault bursts produced no degradations")
+	}
+	if jit.rt.Cache().Stats.TraceInvalidations == 0 {
+		t.Error("degradations never invalidated a compiled trace")
+	}
+	if jit.rt.Tel.JITExecs == 0 {
+		t.Error("JIT never engaged under alt.op faults")
+	}
+	if jit.rt.JITCompiles < 2 {
+		t.Errorf("JITCompiles = %d, want >= 2 (invalidated traces must re-promote)",
+			jit.rt.JITCompiles)
+	}
+	if jit.rt.Detached() {
+		t.Error("degradable alt.op faults escalated to detach")
+	}
+}
+
+// TestJITInvalidationDropsBody: InvalidateTraces drops the trace object
+// and its compiled body together — no trace reachable from the cache
+// afterwards carries a stale body, and replay re-promotes from scratch.
+func TestJITInvalidationDropsBody(t *testing.T) {
+	r := newRig(t, buildTraceLoop(t, 400), jitLoopCfg(1, false), true)
+	r.run(t)
+	c := r.rt.Cache()
+	var compiled int
+	for _, tr := range c.Traces() {
+		if tr.Compiled != nil {
+			compiled++
+			if n := c.InvalidateTraces(tr.Start); n == 0 {
+				t.Errorf("InvalidateTraces(%#x) dropped nothing", tr.Start)
+			}
+		}
+	}
+	if compiled == 0 {
+		t.Fatal("no compiled trace in the cache after a hot run")
+	}
+	for _, tr := range c.Traces() {
+		if tr.Compiled != nil {
+			t.Errorf("trace %#x still carries a compiled body after invalidation", tr.Start)
+		}
+	}
+}
+
+// TestJITForkChildRecompiles: fork clones the trace table without the
+// parent's compiled bodies (they capture nothing of the parent, but the
+// per-VM rule is absolute); the child re-promotes against its inherited
+// replay counters and counts its own compiles.
+func TestJITForkChildRecompiles(t *testing.T) {
+	img := buildTraceLoop(t, 400)
+	parent := newRig(t, img, jitLoopCfg(1, false), true)
+	parent.run(t)
+	if parent.rt.JITCompiles == 0 {
+		t.Fatal("parent never compiled")
+	}
+	child := parent.p.Fork("child")
+	childRT := parent.rt.ForkChild(child)
+	for _, tr := range childRT.Cache().Traces() {
+		if tr.Compiled != nil {
+			t.Errorf("fork cloned a compiled body for trace %#x", tr.Start)
+		}
+	}
+	if childRT.JITCompiles != 0 {
+		t.Errorf("child starts with JITCompiles = %d, want 0", childRT.JITCompiles)
+	}
+}

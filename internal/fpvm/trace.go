@@ -34,6 +34,14 @@ import (
 // before emulating anything — the caller then falls through to the
 // per-instruction walk for this trap.
 func (r *Runtime) replayTrace(uc *kernel.Ucontext, tr *dcache.Trace, trapStart uint64) bool {
+	// Tier-1 promotion: once the trace is hot enough it replays through
+	// its compiled body instead of this interpreted loop (jit.go). Both
+	// tiers charge identical virtual cycles, so the choice is invisible
+	// to the guest, the watchdog and the oracle.
+	if body := r.promoteTrace(tr); body != nil {
+		return r.replayCompiled(uc, tr, body, trapStart)
+	}
+
 	r.charge(telemetry.Decache, r.Costs.TraceHit)
 
 	count := 0
@@ -242,13 +250,19 @@ func (r *Runtime) resolveFloat(bits uint64) (float64, bool) {
 // same NaN-with-unboxed-operands raw-bits rule, same costs — but no
 // alt.Value ever exists, so the operation allocates nothing.
 func (r *Runtime) altScalarFloat(op isa.Op, dstBits, srcBits uint64) uint64 {
+	return r.altScalarFloatOp(scalarToFPOp(op), dstBits, srcBits)
+}
+
+// altScalarFloatOp is altScalarFloat with the fpmath op already mapped —
+// the tier-1 JIT resolves it once at trace compile time instead of on
+// every execution.
+func (r *Runtime) altScalarFloatOp(fop fpmath.Op, dstBits, srcBits uint64) uint64 {
 	for r.checkFault(faultinject.SiteAltOp, r.curRIP) {
 		if !r.retryFault(faultinject.SiteAltOp) {
 			r.degradeFault(faultinject.SiteAltOp)
-			return r.nativeScalar(op, dstBits, srcBits)
+			return r.nativeScalarOp(fop, dstBits, srcBits)
 		}
 	}
-	fop := scalarToFPOp(op)
 	var a, b float64
 	var aBoxed, bBoxed bool
 	if fop == fpmath.OpSqrt {

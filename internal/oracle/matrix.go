@@ -28,10 +28,18 @@ func DefaultMatrix() []Spec {
 		{Name: "boxed/SEQ+ckpt25", Seq: true, Ckpt: 25, Group: "boxed-seq"},
 		{Name: "boxed/SEQ+SHORT+ckpt7", Seq: true, Short: true, Ckpt: 7, Group: "boxed-seq"},
 		{Name: "boxed/SEQ-fleet4", Seq: true, Fleet: 4, Group: "boxed-seq"},
+		// JIT tier axis: the default specs above already run the tier-1
+		// JIT at its stock threshold; jit1 forces every repeated trace
+		// through a compiled body, nojit pins the interpreted tier. All
+		// three share boxed-seq — tiering must be invisible in the trap
+		// stream — and the ablation pair anchors to native at exit too.
+		{Name: "boxed/SEQ-jit1", Seq: true, JITThr: 1, Group: "boxed-seq", VsNative: true},
+		{Name: "boxed/SEQ-nojit", Seq: true, NoJIT: true, Group: "boxed-seq", VsNative: true},
 		{Name: "boxed/SEQ-notrace", Seq: true, NoTrace: true, VsNative: true},
 		{Name: "boxed/NONE", Group: "boxed-none", VsNative: true},
 		{Name: "boxed/SHORT", Short: true, Group: "boxed-none"},
 		{Name: "mpfr/SEQ", Alt: "mpfr", Seq: true, Group: "mpfr-seq", ExitGroup: "mpfr-exit"},
+		{Name: "mpfr/SEQ-jit1", Alt: "mpfr", Seq: true, JITThr: 1, Group: "mpfr-seq"},
 		{Name: "mpfr/SEQ+ckpt25", Alt: "mpfr", Seq: true, Ckpt: 25, Group: "mpfr-seq"},
 		{Name: "mpfr/SEQ-notrace", Alt: "mpfr", Seq: true, NoTrace: true, ExitGroup: "mpfr-exit"},
 	}
@@ -43,6 +51,8 @@ func DefaultMatrix() []Spec {
 func FuzzMatrix() []Spec {
 	return []Spec{
 		{Name: "boxed/SEQ", Seq: true, Group: "boxed-seq", VsNative: true},
+		{Name: "boxed/SEQ-jit1", Seq: true, JITThr: 1, Group: "boxed-seq", VsNative: true},
+		{Name: "boxed/SEQ-nojit", Seq: true, NoJIT: true, Group: "boxed-seq"},
 		{Name: "boxed/SEQ-notrace", Seq: true, NoTrace: true, VsNative: true},
 		{Name: "boxed/SEQ+SHORT+ckpt5", Seq: true, Short: true, Ckpt: 5, Group: "boxed-seq"},
 		{Name: "boxed/NONE", VsNative: true},

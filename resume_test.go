@@ -104,6 +104,62 @@ func TestResumeBitIdentical(t *testing.T) {
 	}
 }
 
+// TestResumeRepromotesJIT: compiled tier-1 bodies are per-VM process
+// state — they must not survive CaptureImage/Resume. A run chopped by
+// preemption with an aggressive JIT threshold must (a) stay bit-identical
+// to the uninterrupted run in stdout, cycles, trap stream and telemetry,
+// and (b) actually re-promote after resume: restored traces come back
+// bare but keep their replay counters, so the resumed VM recompiles and
+// keeps executing tier-1.
+func TestResumeRepromotesJIT(t *testing.T) {
+	img, err := workloads.Build(workloads.Pendulum, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true, JITThreshold: 1}
+	ref, refRecs, _ := runObserved(t, img, cfg, "")
+	if ref.JITExecs == 0 {
+		t.Fatalf("workload never engaged the JIT; test is vacuous")
+	}
+
+	cfg2 := cfg
+	cfg2.PreemptQuantum = 2_000_000
+	snapFile := filepath.Join(t.TempDir(), "resume.snap")
+	res, recs, resumes := runObserved(t, img, cfg2, snapFile)
+	if resumes == 0 {
+		t.Fatalf("workload finished inside one quantum; no resumption exercised")
+	}
+	t.Logf("%d resumes; ref compiles=%d execs=%d; resumed final-slice compiles=%d execs=%d",
+		resumes, ref.JITCompiles, ref.JITExecs, res.JITCompiles, res.JITExecs)
+
+	if res.Stdout != ref.Stdout {
+		t.Errorf("stdout diverged after %d resumes", resumes)
+	}
+	if res.Cycles != ref.Cycles {
+		t.Errorf("virtual cycles diverged: resumed %d, uninterrupted %d", res.Cycles, ref.Cycles)
+	}
+	if i := oracle.CompareStreams(refRecs, recs); i != -1 {
+		t.Errorf("trap stream diverged at trap #%d (of %d vs %d)", i+1, len(refRecs), len(recs))
+	}
+	if d := oracle.DiffFinal(ref.Final, res.Final); d != "" {
+		t.Errorf("final architectural state diverged: %s", d)
+	}
+	// JIT telemetry lives in the serialized Breakdown, so the cumulative
+	// counts survive each hop and must match the uninterrupted run exactly
+	// (re-promotion replays the same schedule: restored traces keep Hits).
+	if res.JITExecs != ref.JITExecs || res.JITInsts != ref.JITInsts || res.JITDeopts != ref.JITDeopts {
+		t.Errorf("JIT telemetry diverged: execs %d/%d insts %d/%d deopts %d/%d",
+			res.JITExecs, ref.JITExecs, res.JITInsts, ref.JITInsts, res.JITDeopts, ref.JITDeopts)
+	}
+	// JITCompiles is process-local (never serialized): the final slice
+	// started from a snapshot with bare traces, so its compile count proves
+	// the resumed VM re-promoted rather than inheriting a stale body.
+	if res.JITCompiles == 0 {
+		t.Errorf("resumed VM never recompiled: final slice ran %d compiled replays with 0 compiles",
+			res.JITExecs)
+	}
+}
+
 // TestResumeRejectsMismatchedBindings: a snapshot must not resume under
 // a different image, alt system, or semantic configuration.
 func TestResumeRejectsMismatchedBindings(t *testing.T) {
