@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-check fleet-soak crash-soak fuzz fuzz-smoke cover
+.PHONY: check build test vet race bench bench-check fleet-soak crash-soak service-soak fuzz fuzz-smoke cover
 
-check: vet build race bench-check fuzz-smoke
+check: vet build race bench-check fuzz-smoke service-soak
 
 build:
 	$(GO) build ./...
@@ -18,12 +18,15 @@ race:
 
 # Full benchmark pass: Go benchmarks plus the replay-tier regression
 # artifact (BENCH_7.json: cold decode vs interpreted replay vs tier-1
-# JIT, superseding the old two-tier BENCH_2.json) and the fleet
-# shared-vs-private throughput artifact (BENCH_4.json).
+# JIT, superseding the old two-tier BENCH_2.json), the fleet
+# shared-vs-private throughput artifact (BENCH_4.json), and the fpvmd
+# serving-load artifact (BENCH_8.json: 1000 concurrent HTTP jobs at
+# nominal load plus 2x overload with shedding).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 	$(GO) run ./cmd/fpvm-bench -fig trace -json BENCH_7.json
 	$(GO) run ./cmd/fpvm-bench -fig fleet -json BENCH_4.json
+	$(GO) run ./cmd/fpvm-bench -fig service -json BENCH_8.json
 
 # Bounded race-enabled fleet soak: the concurrency surface (worker
 # pool, shared cache adoption/invalidation, forks inside a fleet)
@@ -38,6 +41,15 @@ fleet-soak:
 # tests. Wired into CI.
 crash-soak:
 	$(GO) test -race -count=3 -run 'TestKillResumeRecovery|TestFleetPreemptionMatchesWholeJobs|TestRecoverRejectsForeignSnapshots|TestFleetPanicIsolation' ./internal/fleet/
+
+# Race-enabled chaos soak of the fpvmd serving stack: mixed tenants
+# with quotas, priorities and deadlines, faults injected at every
+# service site plus per-job VM fault storms, a mid-flight SIGKILL with
+# bit-identical recovery, and drain/restart resume. Every response must
+# carry a deliberate status and the fault ledgers must reconcile.
+# Wired into `make check` and CI.
+service-soak:
+	$(GO) test -race -run 'TestServiceChaosSoak|TestServiceKillRecover|TestDrainSuspendsAndJournals|TestWorkerPanicIsContainedAndQuarantines' ./internal/service/
 
 # Fast smoke of the benchmark code paths: every benchmark compiles and
 # survives one iteration. BenchmarkJITTierGate rides along as a hard

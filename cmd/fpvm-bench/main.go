@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	fpvm-bench [-fig all|1|2|3|4|5|6|7|8|9|10|11|12|13|corr|cache|resil|trace|fleet|conform]
+//	fpvm-bench [-fig all|1|2|3|4|5|6|7|8|9|10|11|12|13|corr|cache|resil|trace|fleet|conform|service]
 //	           [-scale N] [-json FILE] [-cpuprofile FILE] [-memprofile FILE] [-v]
 //
 // Figures 1-10 run with Boxed IEEE (the paper's worst-case system);
@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (all, 1-13, corr, cache, resil, trace, fleet, preempt, conform)")
+	fig := flag.String("fig", "all", "figure to regenerate (all, 1-13, corr, cache, resil, trace, fleet, preempt, conform, service)")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	rank := flag.Int("rank", 3, "trace rank for -fig 7")
 	jsonPath := flag.String("json", "", "write -fig trace results to this JSON file")
@@ -208,6 +208,20 @@ func run(fig *string, scale, rank *int, jsonPath *string, verbose *bool) error {
 		fmt.Fprintln(out)
 		if *jsonPath != "" {
 			if err := experiments.WriteFleetJSON(*jsonPath, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *jsonPath)
+		}
+	}
+	if need("service") {
+		rows, err := experiments.ServiceBench(1000**scale, progress)
+		if err != nil {
+			return err
+		}
+		experiments.ServiceTable(out, rows)
+		fmt.Fprintln(out)
+		if *jsonPath != "" {
+			if err := experiments.WriteServiceJSON(*jsonPath, rows); err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n", *jsonPath)

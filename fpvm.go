@@ -112,6 +112,13 @@ type Config struct {
 	// (0 = default 3).
 	RetryBudget int
 
+	// RetryBackoffCycles, when > 0, makes the recovery ladder's retry
+	// rung charge a jittered exponential virtual-cycle delay before each
+	// re-attempt (~base·2^k ±25%, deterministic), spreading retry storms
+	// out instead of re-executing immediately. 0 (the default) keeps the
+	// immediate-retry accounting.
+	RetryBackoffCycles uint64
+
 	// TrapCycleBudget is the per-trap virtual-cycle watchdog limit
 	// (0 = default 10M cycles).
 	TrapCycleBudget uint64
@@ -282,6 +289,7 @@ type Result struct {
 	// un-virtualized (results past that point are native IEEE only).
 	Detached        bool
 	Retries         uint64
+	BackoffCycles   uint64
 	Degradations    uint64
 	WatchdogAborts  uint64
 	PanicRecoveries uint64
@@ -427,11 +435,11 @@ func Resume(img *obj.Image, cfg Config, snapshot []byte) (*Result, error) {
 // interpreted replay are cycle- and counter-exact, so a snapshot resumes
 // correctly under either tier.
 func ConfigSignature(cfg Config) string {
-	return fmt.Sprintf("seq=%t short=%t magicwraps=%t gc=%d cache=%d seqlim=%d emulall=%t futurehw=%t maxboxes=%d retries=%d watchdog=%d notrace=%t ckpt=%d maxrb=%d prec=%d",
+	return fmt.Sprintf("seq=%t short=%t magicwraps=%t gc=%d cache=%d seqlim=%d emulall=%t futurehw=%t maxboxes=%d retries=%d watchdog=%d notrace=%t ckpt=%d maxrb=%d prec=%d backoff=%d",
 		cfg.Seq, cfg.Short, cfg.MagicWraps, cfg.GCThreshold, cfg.CacheCapacity,
 		cfg.SeqLimit, cfg.EmulateAll, cfg.FutureHW, cfg.MaxLiveBoxes,
 		cfg.RetryBudget, cfg.TrapCycleBudget, cfg.NoTraceCache,
-		cfg.CheckpointInterval, cfg.MaxRollbacks, cfg.Precision)
+		cfg.CheckpointInterval, cfg.MaxRollbacks, cfg.Precision, cfg.RetryBackoffCycles)
 }
 
 // runVM builds the full virtual machine for img, optionally reinstates a
@@ -472,6 +480,7 @@ func runVM(img *obj.Image, cfg Config, snap *checkpoint.Image) (*Result, error) 
 		Inject:             cfg.Inject,
 		MaxLiveBoxes:       cfg.MaxLiveBoxes,
 		RetryBudget:        cfg.RetryBudget,
+		RetryBackoffCycles: cfg.RetryBackoffCycles,
 		TrapCycleBudget:    cfg.TrapCycleBudget,
 		NoTraceCache:       cfg.NoTraceCache,
 		JITThreshold:       cfg.JITThreshold,
@@ -601,6 +610,7 @@ func partialResult(p *kernel.Process, m *machine.Machine, k *kernel.Kernel, rt *
 		KernelStats:        k.Stats,
 		Detached:           rt.Detached(),
 		Retries:            rt.Retries,
+		BackoffCycles:      rt.Tel.BackoffCycles,
 		Degradations:       rt.Degradations,
 		WatchdogAborts:     rt.WatchdogAborts,
 		PanicRecoveries:    rt.PanicRecoveries,

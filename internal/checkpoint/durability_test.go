@@ -1,0 +1,71 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWriteFileAtomicSyncsDirectory asserts the directory-fsync path is
+// exercised on every successful publish: the rename that makes a new
+// snapshot name visible lives in the parent directory, and without the
+// directory fsync a power failure after WriteFileAtomic returned could
+// roll the rename back (the classic "fsynced the file, lost the name"
+// durability gap).
+func TestWriteFileAtomicSyncsDirectory(t *testing.T) {
+	dir := t.TempDir()
+
+	var syncs atomic.Int64
+	var synced atomic.Value // last dir handed to syncDir
+	orig := syncDir
+	syncDir = func(d string) error {
+		syncs.Add(1)
+		synced.Store(d)
+		return orig(d)
+	}
+	defer func() { syncDir = orig }()
+
+	path := filepath.Join(dir, "snap.snap")
+	if err := WriteFileAtomic(path, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if got := syncs.Load(); got != 1 {
+		t.Fatalf("directory fsync ran %d times, want exactly 1 per publish", got)
+	}
+	if got := synced.Load().(string); got != dir {
+		t.Errorf("fsynced directory %q, want the snapshot's parent %q", got, dir)
+	}
+
+	// Overwriting publishes again — and must fsync the directory again.
+	if err := WriteFileAtomic(path, []byte("payload-2")); err != nil {
+		t.Fatal(err)
+	}
+	if got := syncs.Load(); got != 2 {
+		t.Fatalf("directory fsync ran %d times after two publishes, want 2", got)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "payload-2" {
+		t.Fatalf("published contents %q (err %v), want payload-2", data, err)
+	}
+
+	// A failing directory fsync must surface as the write's error: the
+	// caller cannot treat the snapshot as durable.
+	syncDir = func(string) error { return os.ErrPermission }
+	if err := WriteFileAtomic(path, []byte("payload-3")); err == nil {
+		t.Error("WriteFileAtomic succeeded despite a failing directory fsync")
+	}
+}
+
+// TestWriteFileAtomicRealDirSync runs the real fsync against the
+// filesystem (no stub): a plain success path so the default syncDir is
+// itself covered, not just the test double.
+func TestWriteFileAtomicRealDirSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "real.snap")
+	if err := WriteFileAtomic(path, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

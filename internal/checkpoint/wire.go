@@ -226,7 +226,11 @@ func WriteImageFile(path string, img *Image) error {
 
 // WriteFileAtomic persists already-encoded snapshot bytes (the framed
 // wire format, e.g. fpvm.Result.Snapshot) with the same atomic
-// temp-file + fsync + rename dance as WriteImageFile.
+// temp-file + fsync + rename + directory-fsync dance as WriteImageFile.
+// The directory fsync matters: fsyncing only the temp file makes the
+// *contents* durable, but the rename that publishes the new name lives
+// in the directory, and on a power failure an unsynced directory can
+// forget the rename — leaving the previous snapshot (or nothing) behind.
 func WriteFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -248,7 +252,22 @@ func WriteFileAtomic(path string, data []byte) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("checkpoint: publishing snapshot: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("checkpoint: syncing snapshot dir: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// failure. It is a package variable so the durability test can observe
+// that the path is exercised on every successful publish.
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // ReadImageFile reads and decodes a snapshot file.

@@ -54,9 +54,48 @@ const (
 	SiteCkptRestore Site = "ckpt.restore"
 )
 
-// Sites lists every named site in stable order.
+// Service-layer sites (internal/service, cmd/fpvmd). These sit above the
+// trap pipeline: a fault fired at one is observed by the serving stack
+// and must resolve to a deliberate response (shed, retried dispatch,
+// degraded persistence) rather than a crash — the same
+// one-fault-one-resolution ledger discipline the runtime ladder follows.
+const (
+	// SiteSvcAdmit fires while a request is admission-checked (quota,
+	// quarantine, service state).
+	SiteSvcAdmit Site = "svc.admit"
+	// SiteSvcEnqueue fires while an admitted job is placed on its
+	// tenant's bounded queue.
+	SiteSvcEnqueue Site = "svc.enqueue"
+	// SiteSvcDispatch fires when a worker picks a job up for execution.
+	SiteSvcDispatch Site = "svc.dispatch"
+	// SiteSvcPersist fires while a job's preemption snapshot (or journal
+	// record) is persisted to the snapshot directory.
+	SiteSvcPersist Site = "svc.persist"
+	// SiteSvcRespond fires while a finished job's outcome is delivered
+	// back to the waiting client.
+	SiteSvcRespond Site = "svc.respond"
+)
+
+// Sites lists every named trap-pipeline site in stable order. Service
+// sites are deliberately excluded so existing "all" specs and runtime
+// soaks keep their meaning; see ServiceSites.
 func Sites() []Site {
 	return []Site{SiteAltOp, SiteHeapAlloc, SiteDecode, SiteKernelDeliver, SiteCorrTrap, SiteGCScan, SiteCkptSave, SiteCkptRestore}
+}
+
+// ServiceSites lists the service-layer sites in stable order.
+func ServiceSites() []Site {
+	return []Site{SiteSvcAdmit, SiteSvcEnqueue, SiteSvcDispatch, SiteSvcPersist, SiteSvcRespond}
+}
+
+// ArmAllService arms the same rule at every service-layer site.
+func (in *Injector) ArmAllService(r Rule) {
+	if in == nil {
+		return
+	}
+	for _, s := range ServiceSites() {
+		in.Arm(s, r)
+	}
 }
 
 // Fault is the error value returned when a site check fires.
@@ -391,7 +430,9 @@ func (in *Injector) Report() string {
 // e.g. "alt.op:every=100;heap.alloc:prob=0.001,limit=5". Keys are prob,
 // every, rip, limit, and sev (sev=fatal makes the rule's faults fatal
 // severity — unclearable by retry; sev=transient is the default). "all"
-// as the site arms every named site.
+// as the site arms every trap-pipeline site; "svc" arms every
+// service-layer site (svc.admit, svc.enqueue, svc.dispatch, svc.persist,
+// svc.respond), which may also be named individually.
 func ParseSpec(spec string, seed uint64) (*Injector, error) {
 	in := New(seed)
 	for _, clause := range strings.Split(spec, ";") {
@@ -404,8 +445,8 @@ func ParseSpec(spec string, seed uint64) (*Injector, error) {
 			return nil, fmt.Errorf("faultinject: clause %q missing ':'", clause)
 		}
 		site = strings.TrimSpace(site)
-		if site != "all" && !knownSite(Site(site)) {
-			return nil, fmt.Errorf("faultinject: unknown site %q (known: %v)", site, Sites())
+		if site != "all" && site != "svc" && !knownSite(Site(site)) {
+			return nil, fmt.Errorf("faultinject: unknown site %q (known: %v + %v)", site, Sites(), ServiceSites())
 		}
 		var rule Rule
 		for _, kv := range strings.Split(args, ",") {
@@ -454,9 +495,12 @@ func ParseSpec(spec string, seed uint64) (*Injector, error) {
 		if rule.Prob == 0 && rule.Every == 0 {
 			return nil, fmt.Errorf("faultinject: clause %q has no trigger (need prob= or every=)", clause)
 		}
-		if site == "all" {
+		switch site {
+		case "all":
 			in.ArmAll(rule)
-		} else {
+		case "svc":
+			in.ArmAllService(rule)
+		default:
 			in.Arm(Site(site), rule)
 		}
 	}
@@ -465,6 +509,11 @@ func ParseSpec(spec string, seed uint64) (*Injector, error) {
 
 func knownSite(s Site) bool {
 	for _, k := range Sites() {
+		if s == k {
+			return true
+		}
+	}
+	for _, k := range ServiceSites() {
 		if s == k {
 			return true
 		}

@@ -313,7 +313,11 @@ func Recover(dir string, jobs []Job, opts Options) (*Report, error) {
 
 	entries, err := os.ReadDir(dir)
 	if err != nil && !os.IsNotExist(err) {
-		return nil, fmt.Errorf("fleet: scanning snapshot dir: %w", err)
+		// An unreadable snapshot dir (permissions, not-a-directory, I/O
+		// error) must not take recovery down with it: every job can still
+		// run fresh. Record the reason and continue with no seeds.
+		rejects = append(rejects, fmt.Sprintf("%s: %v", dir, err))
+		entries = nil
 	}
 	for _, ent := range entries {
 		name := ent.Name()

@@ -1,0 +1,158 @@
+package fleet_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"fpvm"
+	"fpvm/internal/fleet"
+	"fpvm/internal/workloads"
+)
+
+// These tests pin down Recover's behavior at the ugly edges of the
+// filesystem: a snapshot directory that cannot be scanned, snapshot
+// files that vanish between the scan and the open, and two recoveries
+// racing over the same directory. In every case the contract is the
+// same — reject into RecoveryRejects, run the affected jobs fresh, and
+// never panic or fail the whole fleet.
+
+func lorenzJobs(t *testing.T, n int) []fleet.Job {
+	t.Helper()
+	img, err := workloads.BuildMicro(workloads.Lorenz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]fleet.Job, n)
+	for i := range jobs {
+		jobs[i] = fleet.Job{Name: "lorenz", Image: img, Config: fpvm.Config{Seq: true, Short: true}}
+	}
+	return jobs
+}
+
+// TestRecoverUnreadableSnapshotDir hands Recover a path that exists but
+// cannot be read as a directory (a regular file — robust even when the
+// test runs as root, where permission bits don't bite). The scan
+// failure must become a reject, not an error, and every job must still
+// complete fresh.
+func TestRecoverUnreadableSnapshotDir(t *testing.T) {
+	notADir := filepath.Join(t.TempDir(), "snapdir")
+	if err := os.WriteFile(notADir, []byte("occupied"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := lorenzJobs(t, 2)
+	rep, err := fleet.Recover(notADir, jobs, fleet.Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("unreadable dir must not abort recovery: %v", err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("jobs failed under unreadable dir:\n%s", rep.Summary())
+	}
+	if len(rep.RecoveryRejects) != 1 || !strings.Contains(rep.RecoveryRejects[0], "snapdir") {
+		t.Fatalf("scan failure not recorded in rejects: %v", rep.RecoveryRejects)
+	}
+	if rep.Resumed != 0 {
+		t.Fatalf("resumed %d jobs from an unreadable dir", rep.Resumed)
+	}
+	for _, jr := range rep.Results {
+		if jr.Resumed {
+			t.Fatalf("job %q claims to have resumed with no readable snapshots", jr.Name)
+		}
+	}
+}
+
+// TestRecoverDisappearingSnapshot simulates a snapshot vanishing between
+// the directory scan and the open: a dangling symlink carries a valid
+// snapshot name, so it survives the scan but fails to read. The job it
+// names must run fresh; the reject must name the file.
+func TestRecoverDisappearingSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ghost := filepath.Join(dir, "fleet-0000-lorenz.snap")
+	if err := os.Symlink(filepath.Join(dir, "gone-by-now"), ghost); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+
+	jobs := lorenzJobs(t, 2)
+	rep, err := fleet.Recover(dir, jobs, fleet.Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("disappearing snapshot must not abort recovery: %v", err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("jobs failed after snapshot vanished:\n%s", rep.Summary())
+	}
+	if len(rep.RecoveryRejects) != 1 {
+		t.Fatalf("want 1 reject for the vanished snapshot, got %v", rep.RecoveryRejects)
+	}
+	if rep.Resumed != 0 {
+		t.Fatalf("resumed %d jobs from a vanished snapshot", rep.Resumed)
+	}
+}
+
+// TestRecoverRacingRecoveries runs two concurrent Recover calls over the
+// same snapshot directory, seeded with a corrupt snapshot and mid-write
+// debris. Both must finish all jobs, both must reject the corrupt file,
+// and neither may panic — exercised under -race in CI.
+func TestRecoverRacingRecoveries(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fleet-0000-lorenz.snap"),
+		[]byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fleet-0001-lorenz.snap.tmp.123"),
+		[]byte("mid-write debris"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := lorenzJobs(t, 3)
+	want, err := fpvm.Run(jobs[0].Image, jobs[0].Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jobSets := [][]fleet.Job{jobs, lorenzJobs(t, 3)}
+	reps := make([]*fleet.Report, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := range reps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reps[i], errs[i] = fleet.Recover(dir, jobSets[i], fleet.Options{Workers: 2})
+		}(i)
+	}
+	wg.Wait()
+
+	sawCorrupt := 0
+	for i, rep := range reps {
+		if errs[i] != nil {
+			t.Fatalf("racing recovery %d errored: %v", i, errs[i])
+		}
+		if rep.Failures != 0 {
+			t.Fatalf("recovery %d had failures:\n%s", i, rep.Summary())
+		}
+		if rep.Resumed != 0 {
+			t.Fatalf("recovery %d resumed from a corrupt snapshot", i)
+		}
+		// The loser of the race may scan after the winner already cleaned
+		// the corrupt file up with its completed job — zero rejects is
+		// then correct. But any reject must name the corrupt snapshot,
+		// and whoever scanned first must have rejected it.
+		for _, rej := range rep.RecoveryRejects {
+			if !strings.Contains(rej, "fleet-0000-lorenz.snap") {
+				t.Fatalf("recovery %d unexpected reject %q", i, rej)
+			}
+			sawCorrupt++
+		}
+		for _, jr := range rep.Results {
+			if jr.Result.Stdout != want.Stdout {
+				t.Fatalf("recovery %d job %q output diverged from serial run", i, jr.Name)
+			}
+		}
+	}
+	if sawCorrupt == 0 {
+		t.Fatal("neither racing recovery rejected the corrupt snapshot")
+	}
+}

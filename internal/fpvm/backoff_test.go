@@ -1,0 +1,55 @@
+package fpvm
+
+import "testing"
+
+// The retry rung's backoff schedule must be exponential, jittered and
+// exactly reproducible: same (base, attempt, seq) → same delay, delays
+// inside [0.75·d, 1.25·d), and distinct retry ordinals de-synchronized
+// so a storm of simultaneous retries spreads out.
+func TestBackoffDelaySchedule(t *testing.T) {
+	const base = 1000
+
+	for attempt := 0; attempt <= 12; attempt++ {
+		eff := attempt
+		if eff > 10 {
+			eff = 10 // doubling cap
+		}
+		d := uint64(base) << uint(eff)
+		lo, hi := d-d/4, d+d/4
+		for seq := uint64(1); seq < 64; seq++ {
+			got := backoffDelay(base, attempt, seq)
+			if got < lo || got >= hi {
+				t.Fatalf("backoffDelay(%d, %d, %d) = %d outside jitter window [%d, %d)",
+					base, attempt, seq, got, lo, hi)
+			}
+			if again := backoffDelay(base, attempt, seq); again != got {
+				t.Fatalf("backoffDelay not deterministic: %d then %d", got, again)
+			}
+		}
+	}
+
+	// Exponential growth: each attempt's window is disjoint from and above
+	// the previous one (hi(k) = 1.25·base·2^k ≤ lo(k+1) = 1.5·base·2^k).
+	for attempt := 0; attempt < 10; attempt++ {
+		a := backoffDelay(base, attempt, 7)
+		b := backoffDelay(base, attempt+1, 7)
+		if b <= a {
+			t.Fatalf("attempt %d delay %d not above attempt %d delay %d", attempt+1, b, attempt, a)
+		}
+	}
+
+	// Jitter spreads a storm: 32 retries at the same attempt index but
+	// distinct ordinals must not all collapse onto one delay.
+	seen := make(map[uint64]bool)
+	for seq := uint64(1); seq <= 32; seq++ {
+		seen[backoffDelay(base, 2, seq)] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("32 jittered delays collapsed onto %d distinct values", len(seen))
+	}
+
+	// A base too small to jitter still delays.
+	if got := backoffDelay(1, 0, 1); got != 1 {
+		t.Fatalf("backoffDelay(1,0,1) = %d, want the un-jittered base", got)
+	}
+}

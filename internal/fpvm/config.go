@@ -86,6 +86,15 @@ type Config struct {
 	// within one trap, further faults there degrade instead of retrying.
 	RetryBudget int
 
+	// RetryBackoffCycles, when > 0, makes the retry rung wait before
+	// re-attempting: the k-th retry of a site within one trap charges
+	// ~RetryBackoffCycles·2^k virtual cycles ±25% deterministic jitter
+	// (seeded by the running retry ordinal, so identical runs charge
+	// identical delays). Spreads retry storms out instead of re-executing
+	// immediately in lockstep. 0 (the default) retries immediately,
+	// preserving the pre-backoff cycle accounting.
+	RetryBackoffCycles uint64
+
 	// TrapCycleBudget is the per-trap virtual-cycle watchdog: sequence
 	// emulation that charges more than this many cycles within a single
 	// trap is aborted (the sequence ends early; the guest simply traps

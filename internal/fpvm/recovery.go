@@ -104,6 +104,10 @@ func (r *Runtime) checkFaultPlain(site faultinject.Site, rip uint64) bool {
 // returns true if the caller should retry the operation (the fault is
 // resolved as Retried); false when the budget is exhausted — the caller
 // must then degrade (or escalate) and record that resolution itself.
+// With Config.RetryBackoffCycles set, each retry first charges a
+// jittered exponential virtual-cycle delay (see backoffDelay) so a storm
+// of co-scheduled retries spreads out instead of re-executing in
+// lockstep.
 func (r *Runtime) retryFault(site faultinject.Site) bool {
 	if r.rec.budget == nil {
 		r.rec.budget = make(map[faultinject.Site]int)
@@ -118,8 +122,40 @@ func (r *Runtime) retryFault(site faultinject.Site) bool {
 	r.rec.budget[site] = b - 1
 	r.Retries++
 	r.Tel.FaultsRetried++
+	if base := r.Cfg.RetryBackoffCycles; base > 0 {
+		// Attempt index within this trap: 0 for the first retry at the
+		// site, growing as the budget drains. The jitter seed is the
+		// serialized running retry count, so an identical run — or a
+		// faultless snapshot-resume — charges the identical schedule.
+		attempt := r.retryBudget() - b
+		d := backoffDelay(base, attempt, r.Tel.FaultsRetried)
+		r.Tel.BackoffCycles += d
+		r.charge(telemetry.Emul, d)
+	}
 	r.inject.Resolve(site, faultinject.Retried)
 	return true
+}
+
+// backoffDelay computes the retry rung's k-th delay: base·2^attempt
+// (capped at 10 doublings), jittered deterministically into
+// [0.75·d, 1.25·d) by a splitmix64 draw over seq. Pure and stateless so
+// the schedule replays exactly from the same (base, attempt, seq).
+func backoffDelay(base uint64, attempt int, seq uint64) uint64 {
+	if attempt > 10 {
+		attempt = 10
+	}
+	d := base << uint(attempt)
+	// splitmix64 of the retry ordinal — the injector's own stream must
+	// not be consumed, or the jitter would perturb the fault schedule.
+	z := seq + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	half := d / 2
+	if half == 0 {
+		return d
+	}
+	return d - d/4 + z%half
 }
 
 // degradeFault records an injected fault at site as resolved by

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// TenantConfig is one tenant's admission contract.
+type TenantConfig struct {
+	// RatePerSec refills the tenant's token bucket (jobs/second).
+	// 0 = unlimited (no quota).
+	RatePerSec float64
+	// Burst is the bucket capacity (0 = max(1, RatePerSec)).
+	Burst float64
+	// QueueDepth bounds the tenant's pending-job queue (0 = default 16).
+	QueueDepth int
+	// Priority orders tenants under pressure: when the service enters
+	// the shedding state, priority-0 tenants are shed before any
+	// higher-priority job is refused. Higher is more important.
+	Priority int
+}
+
+const defaultQueueDepth = 16
+
+func (tc TenantConfig) queueDepth() int {
+	if tc.QueueDepth <= 0 {
+		return defaultQueueDepth
+	}
+	return tc.QueueDepth
+}
+
+func (tc TenantConfig) burst() float64 {
+	if tc.Burst > 0 {
+		return tc.Burst
+	}
+	if tc.RatePerSec > 1 {
+		return tc.RatePerSec
+	}
+	return 1
+}
+
+// admission owns the per-tenant token buckets. Queue occupancy lives
+// with the scheduler; this type answers only "does this tenant have
+// quota right now, and if not, when should it retry".
+type admission struct {
+	mu       sync.Mutex
+	now      func() time.Time
+	defaults TenantConfig
+	tenants  map[string]TenantConfig
+	buckets  map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newAdmission(defaults TenantConfig, tenants map[string]TenantConfig, now func() time.Time) *admission {
+	if now == nil {
+		now = time.Now
+	}
+	return &admission{
+		now:      now,
+		defaults: defaults,
+		tenants:  tenants,
+		buckets:  make(map[string]*bucket),
+	}
+}
+
+// tenantConfig resolves a tenant's contract (explicit or default).
+func (a *admission) tenantConfig(tenant string) TenantConfig {
+	if tc, ok := a.tenants[tenant]; ok {
+		return tc
+	}
+	return a.defaults
+}
+
+// take attempts to draw one token from the tenant's bucket. On refusal
+// it returns how long until the bucket next holds a full token — the
+// base for the jittered Retry-After the caller sends.
+func (a *admission) take(tenant string) (ok bool, retryAfter time.Duration) {
+	tc := a.tenantConfig(tenant)
+	if tc.RatePerSec <= 0 {
+		return true, 0
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	b := a.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: tc.burst(), last: now}
+		a.buckets[tenant] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * tc.RatePerSec
+		if cap := tc.burst(); b.tokens > cap {
+			b.tokens = cap
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / tc.RatePerSec * float64(time.Second))
+}

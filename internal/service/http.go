@@ -1,0 +1,135 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTP mapping of job outcomes. Shed responses carry a jittered
+// Retry-After; suspended responses are 202 (the work is accepted and
+// journaled — re-query the job ID against the next daemon instance).
+func httpStatus(o *JobOutcome) int {
+	switch o.Status {
+	case StatusCompleted, StatusDegraded, StatusRecovered:
+		return http.StatusOK
+	case StatusSuspended:
+		return http.StatusAccepted
+	case StatusDeadline:
+		return http.StatusGatewayTimeout
+	case StatusShed:
+		if o.Detail == "tenant quota exhausted" {
+			return http.StatusTooManyRequests
+		}
+		return http.StatusServiceUnavailable
+	case StatusFailed:
+		switch {
+		case strings.HasPrefix(o.Detail, "unknown image"):
+			return http.StatusNotFound
+		case strings.HasPrefix(o.Detail, "image quarantined"):
+			return http.StatusUnprocessableEntity
+		}
+		return http.StatusInternalServerError
+	}
+	return http.StatusInternalServerError
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/images   {"workload": "lorenz"}            → content-addressed image ID
+//	POST /v1/jobs     JobRequest JSON                   → JobOutcome JSON (blocks to completion)
+//	GET  /v1/jobs/{id}                                  → stored outcome (incl. recovered jobs)
+//	GET  /healthz                                       → 200 while the process serves
+//	GET  /readyz                                        → 200 admitting, 503 draining
+//	GET  /metrics                                       → Prometheus text
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/images", s.handleRegister)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleOutcome)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Ready() {
+			writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "state": s.State().String()})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining", "state": s.State().String()})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.WriteMetrics(w)
+	})
+	return mux
+}
+
+type registerRequest struct {
+	Workload string `json:"workload"`
+}
+
+type registerResponse struct {
+	ID          string `json:"id"`
+	Workload    string `json:"workload"`
+	Quarantined bool   `json:"quarantined,omitempty"`
+}
+
+func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Workload == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "body must be {\"workload\": \"<name>\"}"})
+		return
+	}
+	entry, err := s.reg.Register(req.Workload)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+		return
+	}
+	q, _ := entry.Quarantined()
+	writeJSON(w, http.StatusOK, registerResponse{ID: entry.ID, Workload: entry.Workload, Quarantined: q})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "malformed job request: " + err.Error()})
+		return
+	}
+	if req.Tenant == "" {
+		req.Tenant = "anonymous"
+	}
+	if req.Alt == "" {
+		req.Alt = "boxed"
+	}
+	o := s.Submit(req)
+	if o.RetryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(math.Ceil(o.RetryAfter.Seconds()))))
+	}
+	writeJSON(w, httpStatus(o), o)
+}
+
+func (s *Service) handleOutcome(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	o, ok := s.Outcome(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown job " + id})
+		return
+	}
+	writeJSON(w, httpStatus(o), o)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Serve runs the HTTP API on addr until the listener fails or the
+// server is shut down externally; cmd/fpvmd wires signals around it.
+func (s *Service) Serve(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	return srv.ListenAndServe()
+}

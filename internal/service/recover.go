@@ -1,0 +1,128 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fpvm"
+	"fpvm/internal/fleet"
+)
+
+// recoverJournaled replays the journal's pending jobs through the
+// fleet's snapshot recovery. A pending job whose preemption snapshot
+// survived resumes from it — bit-identically, by the fleet's validation
+// — and one without a snapshot runs fresh. Outcomes land in the outcome
+// store with StatusRecovered (clients of the dead instance re-query by
+// job ID), and done records close the journal entries so a second
+// restart doesn't replay them again.
+func (s *Service) recoverJournaled() (int, error) {
+	if s.cfg.SnapshotDir == "" {
+		return 0, nil
+	}
+	pending, total, err := readJournal(s.cfg.SnapshotDir)
+	if err != nil {
+		return 0, fmt.Errorf("service: reading journal: %w", err)
+	}
+	s.mu.Lock()
+	s.seq = total // continue the ID sequence past every journaled job
+	s.mu.Unlock()
+	if len(pending) == 0 {
+		return 0, nil
+	}
+
+	// Build the fleet job list (one slot per pending record, journal
+	// order) and move surviving snapshots onto the fleet's slot-indexed
+	// names. A record whose image no longer builds is rejected into a
+	// failed outcome rather than sinking the whole recovery.
+	var jobs []fleet.Job
+	var recs []journalRecord
+	for _, rec := range pending {
+		entry, rerr := s.reg.Register(rec.Workload)
+		if rerr != nil || entry.ID != rec.ImageID {
+			detail := "image no longer reproducible"
+			if rerr != nil {
+				detail = rerr.Error()
+			} else {
+				detail = fmt.Sprintf("rebuilt image hash %s != journaled %s", entry.ID, rec.ImageID)
+			}
+			s.record(&JobOutcome{ID: rec.ID, Tenant: rec.Tenant, Workload: rec.Workload,
+				Status: StatusFailed, Detail: "recovery: " + detail, Recovered: true})
+			s.journalDone(rec.ID, StatusFailed)
+			continue
+		}
+		idx := len(jobs)
+		src := filepath.Join(s.cfg.SnapshotDir, "job-"+rec.ID+".snap")
+		dst := filepath.Join(s.cfg.SnapshotDir, fmt.Sprintf("fleet-%04d-%s.snap", idx, rec.ID))
+		if _, serr := os.Stat(src); serr == nil {
+			// Rename failure just forfeits the snapshot: the job still
+			// runs fresh, which is always correct.
+			os.Rename(src, dst)
+		}
+		jobs = append(jobs, fleet.Job{
+			Name:  rec.ID,
+			Image: entry.Image,
+			Config: fpvm.Config{
+				Alt:       fpvm.AltKind(rec.Alt),
+				Precision: rec.Precision,
+				Seq:       true,
+				Short:     true,
+			},
+		})
+		recs = append(recs, rec)
+	}
+	if len(jobs) == 0 {
+		return 0, nil
+	}
+
+	rep, err := fleet.Recover(s.cfg.SnapshotDir, jobs, fleet.Options{
+		Workers:        s.cfg.workers(),
+		Share:          false, // private caches: resumed cycle accounting stays schedule-independent
+		PreemptQuantum: s.cfg.quantum(),
+	})
+	if err != nil {
+		return 0, fmt.Errorf("service: fleet recovery: %w", err)
+	}
+	for range rep.RecoveryRejects {
+		s.met.bump(&s.met.recoveryRejects)
+	}
+
+	recovered := 0
+	for i, jr := range rep.Results {
+		rec := recs[i]
+		var o *JobOutcome
+		switch {
+		case jr.Err != nil && (jr.Result == nil || !jr.Result.Detached):
+			o = &JobOutcome{ID: rec.ID, Tenant: rec.Tenant, Workload: rec.Workload,
+				Status: StatusFailed, Detail: "recovery: " + jr.Err.Error()}
+		default:
+			res := jr.Result
+			st := StatusRecovered
+			detail := "completed after daemon restart"
+			if jr.Resumed {
+				detail = "resumed from snapshot after daemon restart"
+			}
+			if res.Detached {
+				st = StatusDegraded
+				detail = "recovery: fatal rung detached; guest completed natively"
+			} else if rec.Deadline > 0 && res.Cycles > rec.Deadline {
+				st = StatusDeadline
+				detail = fmt.Sprintf("recovery: deadline %d cycles exceeded at %d", rec.Deadline, res.Cycles)
+			}
+			j := &job{id: rec.ID, req: JobRequest{Tenant: rec.Tenant}, entry: mustEntry(s.reg, rec.ImageID)}
+			o = s.outcomeFrom(j, res, st, detail)
+			o.Recovered = true
+		}
+		s.record(o)
+		s.journalDone(rec.ID, o.Status)
+		if o.Status == StatusRecovered || o.Status == StatusDegraded || o.Status == StatusDeadline {
+			recovered++
+		}
+	}
+	return recovered, nil
+}
+
+func mustEntry(r *Registry, id string) *ImageEntry {
+	e, _ := r.Get(id)
+	return e
+}

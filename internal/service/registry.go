@@ -1,0 +1,122 @@
+// Package service implements fpvmd's multi-tenant serving stack on top
+// of the FPVM runtime: a content-addressed guest-image registry,
+// per-tenant admission control with token buckets and bounded queues,
+// deadline-bounded preemptive job execution, a degradation ladder
+// (full service → shed low priority → drain), crash-restart recovery
+// through the fleet's snapshot machinery, and Prometheus-text metrics.
+//
+// Everything job-visible runs on the virtual clock: deadlines are
+// virtual-cycle budgets enforced at trap boundaries, so a job's outcome
+// is a property of the job, not of host load.
+package service
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"fpvm"
+	"fpvm/internal/obj"
+	"fpvm/internal/workloads"
+)
+
+// ImageEntry is one registered guest image. The ID is the hex of the
+// image's content hash, so registering the same program twice — from any
+// client — lands on the same entry, the same shared decode/trace cache,
+// and the same quarantine state.
+type ImageEntry struct {
+	ID       string
+	Workload string
+	Image    *obj.Image
+	Shared   *fpvm.SharedCache
+
+	mu          sync.Mutex
+	quarantined bool
+	reason      string
+}
+
+// Quarantined reports whether the image is quarantined and why.
+func (e *ImageEntry) Quarantined() (bool, string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.quarantined, e.reason
+}
+
+func (e *ImageEntry) quarantine(reason string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.quarantined {
+		e.quarantined = true
+		e.reason = reason
+	}
+}
+
+// Registry is the content-addressed image store. Guests are referenced
+// by workload name at registration (this repo's images are built, not
+// uploaded) and by content hash afterwards.
+type Registry struct {
+	mu       sync.Mutex
+	byID     map[string]*ImageEntry
+	cacheCap int
+}
+
+// NewRegistry returns an empty registry. cacheCap sizes each image's
+// shared decode/trace cache (0 = runtime default).
+func NewRegistry(cacheCap int) *Registry {
+	return &Registry{byID: make(map[string]*ImageEntry), cacheCap: cacheCap}
+}
+
+// Register builds the named workload, patches it for FPVM, and registers
+// the result under its content hash. Registering an already-known image
+// is idempotent and returns the existing entry — including its shared
+// cache and its quarantine state (a quarantined program does not become
+// trustworthy by being re-registered).
+func (r *Registry) Register(workload string) (*ImageEntry, error) {
+	img, err := workloads.BuildMicro(workloads.Name(workload))
+	if err != nil {
+		return nil, fmt.Errorf("service: unknown workload %q: %w", workload, err)
+	}
+	patched, err := fpvm.PrepareForFPVM(img, true)
+	if err != nil {
+		return nil, fmt.Errorf("service: patching %q: %w", workload, err)
+	}
+
+	h := patched.Hash()
+	id := hex.EncodeToString(h[:])
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byID[id]; ok {
+		return e, nil
+	}
+	// One shared cache per image, bound first-bind-wins to this exact
+	// image object: every VM the service runs against this entry warms
+	// the same store, and a mismatched image can never attach.
+	shared := fpvm.NewSharedCache(r.cacheCap)
+	if err := shared.Bind(patched); err != nil {
+		return nil, fmt.Errorf("service: binding shared cache: %w", err)
+	}
+	e := &ImageEntry{ID: id, Workload: workload, Image: patched, Shared: shared}
+	r.byID[id] = e
+	return e, nil
+}
+
+// Get looks an image up by content-hash ID.
+func (r *Registry) Get(id string) (*ImageEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byID[id]
+	return e, ok
+}
+
+// Quarantine marks an image untrusted (a job running it panicked the
+// worker). Subsequent submissions against it are rejected with a
+// distinct status until the daemon restarts.
+func (r *Registry) Quarantine(id, reason string) {
+	r.mu.Lock()
+	e, ok := r.byID[id]
+	r.mu.Unlock()
+	if ok {
+		e.quarantine(reason)
+	}
+}

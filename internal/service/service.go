@@ -1,0 +1,808 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fpvm"
+	"fpvm/internal/checkpoint"
+	"fpvm/internal/faultinject"
+	"fpvm/internal/oracle"
+)
+
+// Status is a job's terminal disposition. Every submission — admitted or
+// not — resolves to exactly one of these; the service never leaves a
+// client without a deliberate answer.
+type Status string
+
+const (
+	// StatusCompleted: the guest ran to exit fully virtualized.
+	StatusCompleted Status = "completed"
+	// StatusDegraded: the recovery ladder's fatal rung detached FPVM
+	// mid-run; the guest still finished, natively. Degraded service,
+	// not failure.
+	StatusDegraded Status = "degraded"
+	// StatusRecovered: the job was interrupted by a daemon crash and
+	// completed after restart from its journal record (and snapshot,
+	// when one survived).
+	StatusRecovered Status = "recovered"
+	// StatusDeadline: the job's virtual-cycle deadline expired; it was
+	// cancelled at a trap boundary and the partial result returned.
+	StatusDeadline Status = "deadline-exceeded"
+	// StatusShed: admission refused the job (quota, queue, pressure
+	// shedding, draining, or an injected admission fault).
+	StatusShed Status = "shed"
+	// StatusFailed: the job could not produce a result (unknown image,
+	// quarantined image, worker panic, runtime error).
+	StatusFailed Status = "failed"
+	// StatusSuspended: the daemon drained while the job was queued or
+	// in flight; its state is journaled (and snapshotted when it had
+	// started) for recovery by the next daemon instance.
+	StatusSuspended Status = "suspended"
+)
+
+// State is the degradation ladder's position.
+type State int32
+
+const (
+	// StateFull: all tenants admitted normally.
+	StateFull State = iota
+	// StateShedding: queue pressure crossed the high-water mark;
+	// priority-0 tenants are shed so higher-priority work keeps its
+	// latency.
+	StateShedding
+	// StateDraining: the daemon is shutting down; nothing is admitted,
+	// in-flight jobs are suspended at their next trap boundary.
+	StateDraining
+)
+
+func (s State) String() string {
+	switch s {
+	case StateFull:
+		return "full"
+	case StateShedding:
+		return "shedding"
+	case StateDraining:
+		return "draining"
+	}
+	return "state?"
+}
+
+// Config configures the service.
+type Config struct {
+	// Workers sizes the execution pool (0 = 4).
+	Workers int
+
+	// PreemptQuantum is the dispatcher's slice length in virtual cycles
+	// (0 = 250k). Deadlines, drain and crash durability all act at slice
+	// boundaries, so the quantum bounds every reaction latency.
+	PreemptQuantum uint64
+
+	// DefaultDeadlineCycles applies to jobs that don't set their own
+	// deadline (0 = none).
+	DefaultDeadlineCycles uint64
+
+	// SnapshotDir, when set, enables crash durability: preemption
+	// snapshots and the submission journal land here, and startup
+	// recovers unfinished jobs from it. "" disables persistence.
+	SnapshotDir string
+
+	// Inject, when set, arms the service-layer fault sites (svc.admit,
+	// svc.enqueue, svc.dispatch, svc.persist, svc.respond). Per-job VM
+	// faults ride on JobRequest.InjectSpec instead.
+	Inject *faultinject.Injector
+
+	// DefaultTenant is the contract for tenants not listed in Tenants.
+	DefaultTenant TenantConfig
+	// Tenants holds per-tenant admission contracts.
+	Tenants map[string]TenantConfig
+
+	// ShedHighWater / ShedLowWater are total queue-fill fractions that
+	// move the ladder Full→Shedding and back (defaults 0.75 / 0.25).
+	ShedHighWater float64
+	ShedLowWater  float64
+
+	// RetryAfterBase is the base Retry-After for shed responses without
+	// a quota-derived wait (default 1s). All Retry-After values carry
+	// ±50% deterministic jitter so shed clients don't return in lockstep.
+	RetryAfterBase time.Duration
+
+	// Seed seeds the Retry-After jitter sequence.
+	Seed uint64
+
+	// CacheCapacity sizes each image's shared decode/trace cache
+	// (0 = runtime default).
+	CacheCapacity int
+
+	// Clock is the admission clock (nil = time.Now). Injectable so
+	// quota tests don't sleep.
+	Clock func() time.Time
+}
+
+func (c *Config) workers() int {
+	if c.Workers <= 0 {
+		return 4
+	}
+	return c.Workers
+}
+
+func (c *Config) quantum() uint64 {
+	if c.PreemptQuantum == 0 {
+		return 250_000
+	}
+	return c.PreemptQuantum
+}
+
+func (c *Config) highWater() float64 {
+	if c.ShedHighWater <= 0 {
+		return 0.75
+	}
+	return c.ShedHighWater
+}
+
+func (c *Config) lowWater() float64 {
+	if c.ShedLowWater <= 0 {
+		return 0.25
+	}
+	return c.ShedLowWater
+}
+
+func (c *Config) retryAfterBase() time.Duration {
+	if c.RetryAfterBase <= 0 {
+		return time.Second
+	}
+	return c.RetryAfterBase
+}
+
+// JobRequest is one job submission.
+type JobRequest struct {
+	Tenant         string       `json:"tenant"`
+	ImageID        string       `json:"image"`
+	Alt            fpvm.AltKind `json:"alt"`
+	Precision      uint         `json:"precision,omitempty"`
+	DeadlineCycles uint64       `json:"deadline_cycles,omitempty"`
+
+	// InjectSpec, when non-empty, arms VM-level fault injection for this
+	// job only (faultinject.ParseSpec grammar). Chaos harness knob.
+	InjectSpec string `json:"inject,omitempty"`
+	InjectSeed uint64 `json:"inject_seed,omitempty"`
+}
+
+// JobOutcome is the service's answer for one submission.
+type JobOutcome struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant"`
+	Workload string `json:"workload,omitempty"`
+	Status   Status `json:"status"`
+	Detail   string `json:"detail,omitempty"`
+
+	Stdout   string `json:"stdout,omitempty"`
+	ExitCode int    `json:"exit_code"`
+	Cycles   uint64 `json:"cycles"`
+	// Digest is the oracle's FNV-1a digest of the normalized final
+	// architectural state ("" when the run produced none). Cycle- and
+	// schedule-independent: the bit-identity probe for recovery checks.
+	Digest string `json:"digest,omitempty"`
+
+	Recovered bool `json:"recovered,omitempty"`
+	Detached  bool `json:"detached,omitempty"`
+
+	// RetryAfter is the jittered client backoff for shed outcomes.
+	RetryAfter time.Duration `json:"-"`
+}
+
+// job is one admitted submission in flight.
+type job struct {
+	id       string
+	req      JobRequest
+	entry    *ImageEntry
+	deadline uint64
+	done     chan *JobOutcome
+}
+
+// Service is the multi-tenant FP-virtualization daemon core.
+type Service struct {
+	cfg Config
+	reg *Registry
+	adm *admission
+	met *metrics
+	jnl *journal
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   map[string][]*job
+	queued   int
+	inflight int
+	state    State
+	draining bool
+	seq      uint64
+	outcomes map[string]*JobOutcome
+
+	jitterMu  sync.Mutex
+	jitterSeq uint64
+
+	wg      sync.WaitGroup
+	started bool
+
+	// testHookDispatch, when set, runs in the worker goroutine right
+	// before a job executes — the panic-containment tests' trapdoor.
+	testHookDispatch func(*job)
+}
+
+// New builds a Service. Call Start to recover journaled work and launch
+// the worker pool.
+func New(cfg Config) *Service {
+	s := &Service{
+		cfg:      cfg,
+		reg:      NewRegistry(cfg.CacheCapacity),
+		adm:      newAdmission(cfg.DefaultTenant, cfg.Tenants, cfg.Clock),
+		met:      newMetrics(),
+		queues:   make(map[string][]*job),
+		outcomes: make(map[string]*JobOutcome),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Registry exposes the image registry (the HTTP layer registers through
+// it).
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Start recovers unfinished jobs from the snapshot directory's journal,
+// then launches the worker pool. Recovery outcomes are queryable via
+// Outcome; the returned count is how many jobs were recovered.
+func (s *Service) Start() (recovered int, err error) {
+	if s.cfg.SnapshotDir != "" {
+		jnl, jerr := openJournal(s.cfg.SnapshotDir)
+		if jerr != nil {
+			return 0, jerr
+		}
+		s.jnl = jnl
+	}
+	recovered, err = s.recoverJournaled()
+	if err != nil {
+		return recovered, err
+	}
+	s.mu.Lock()
+	s.started = true
+	s.mu.Unlock()
+	for w := 0; w < s.cfg.workers(); w++ {
+		s.wg.Add(1)
+		go func(w int) {
+			defer s.wg.Done()
+			s.worker(w)
+		}(w)
+	}
+	return recovered, nil
+}
+
+// State returns the ladder position.
+func (s *Service) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Ready reports whether the service is admitting work (readiness probe).
+func (s *Service) Ready() bool { return s.State() != StateDraining }
+
+// Outcome returns a finished (or shed/suspended) job's outcome.
+func (s *Service) Outcome(id string) (*JobOutcome, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.outcomes[id]
+	return o, ok
+}
+
+// check consults the injector at a service site, nil-safe.
+func (s *Service) check(site faultinject.Site) *faultinject.Fault {
+	if s.cfg.Inject == nil {
+		return nil
+	}
+	err := s.cfg.Inject.Check(site, 0)
+	if err == nil {
+		return nil
+	}
+	f, _ := err.(*faultinject.Fault)
+	if f == nil {
+		f = &faultinject.Fault{Site: site}
+	}
+	return f
+}
+
+// retryAfter jitters a backoff duration: uniform in [0.5·base, 1.5·base)
+// from a seeded deterministic sequence, so a burst of shed clients is
+// told to come back spread out, not in lockstep.
+func (s *Service) retryAfter(base time.Duration) time.Duration {
+	if base <= 0 {
+		base = s.cfg.retryAfterBase()
+	}
+	s.jitterMu.Lock()
+	s.jitterSeq++
+	z := s.cfg.Seed + s.jitterSeq*0x9E3779B97F4A7C15
+	s.jitterMu.Unlock()
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	frac := 0.5 + float64(z>>11)/(1<<53)
+	return time.Duration(float64(base) * frac)
+}
+
+// sanitizeID maps arbitrary tenant strings onto the snapshot-safe
+// alphabet (must stay within fleet's sanitizeName fixed point, so job
+// IDs round-trip through snapshot filenames unchanged).
+func sanitizeID(sr string) string {
+	var sb strings.Builder
+	for _, r := range sr {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "anon"
+	}
+	return sb.String()
+}
+
+// Submit runs one job through the full pipeline — admission, queueing,
+// dispatch, execution, response — and blocks until its outcome. Every
+// path out is a deliberate Status; Submit never returns nil.
+func (s *Service) Submit(req JobRequest) *JobOutcome {
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("j%05d_%s", s.seq, sanitizeID(req.Tenant))
+	s.mu.Unlock()
+
+	out := s.admit(id, req)
+	if out != nil {
+		s.record(out)
+		return out
+	}
+
+	j := &job{
+		id:       id,
+		req:      req,
+		deadline: req.DeadlineCycles,
+		done:     make(chan *JobOutcome, 1),
+	}
+	if j.deadline == 0 {
+		j.deadline = s.cfg.DefaultDeadlineCycles
+	}
+	j.entry, _ = s.reg.Get(req.ImageID)
+
+	if out := s.enqueue(j); out != nil {
+		s.record(out)
+		return out
+	}
+	return <-j.done
+}
+
+// admit runs the admission pipeline; nil means admitted.
+func (s *Service) admit(id string, req JobRequest) *JobOutcome {
+	shed := func(detail string, base time.Duration) *JobOutcome {
+		return &JobOutcome{
+			ID: id, Tenant: req.Tenant, Status: StatusShed,
+			Detail: detail, RetryAfter: s.retryAfter(base),
+		}
+	}
+
+	if s.State() == StateDraining {
+		return shed("draining", 0)
+	}
+
+	// Injected admission fault: the admission subsystem is momentarily
+	// broken; the deliberate answer is a shed with backoff, resolved as
+	// a degradation (service quality, not correctness).
+	if f := s.check(faultinject.SiteSvcAdmit); f != nil {
+		s.cfg.Inject.Resolve(faultinject.SiteSvcAdmit, faultinject.Degraded)
+		return shed("admission fault injected", 0)
+	}
+
+	entry, ok := s.reg.Get(req.ImageID)
+	if !ok {
+		return &JobOutcome{ID: id, Tenant: req.Tenant, Status: StatusFailed,
+			Detail: "unknown image " + req.ImageID}
+	}
+	if q, why := entry.Quarantined(); q {
+		return &JobOutcome{ID: id, Tenant: req.Tenant, Status: StatusFailed,
+			Workload: entry.Workload, Detail: "image quarantined: " + why}
+	}
+
+	tc := s.adm.tenantConfig(req.Tenant)
+	if s.State() == StateShedding && tc.Priority == 0 {
+		return shed("shedding low-priority tenants under pressure", 0)
+	}
+
+	if ok, wait := s.adm.take(req.Tenant); !ok {
+		o := shed("tenant quota exhausted", wait)
+		o.Detail = "tenant quota exhausted"
+		return o
+	}
+	return nil
+}
+
+// enqueue places an admitted job on its tenant's bounded queue; nil
+// means queued (the worker pool owns it now).
+func (s *Service) enqueue(j *job) *JobOutcome {
+	// Injected enqueue fault: transient; retry once, shed on a repeat.
+	if f := s.check(faultinject.SiteSvcEnqueue); f != nil {
+		s.cfg.Inject.Resolve(faultinject.SiteSvcEnqueue, faultinject.Retried)
+		s.met.bump(&s.met.enqueueRetries)
+		if f2 := s.check(faultinject.SiteSvcEnqueue); f2 != nil {
+			s.cfg.Inject.Resolve(faultinject.SiteSvcEnqueue, faultinject.Degraded)
+			return &JobOutcome{ID: j.id, Tenant: j.req.Tenant, Status: StatusShed,
+				Detail: "enqueue fault persisted", RetryAfter: s.retryAfter(0)}
+		}
+	}
+
+	tc := s.adm.tenantConfig(j.req.Tenant)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return &JobOutcome{ID: j.id, Tenant: j.req.Tenant, Status: StatusShed,
+			Detail: "draining", RetryAfter: s.retryAfter(0)}
+	}
+	if len(s.queues[j.req.Tenant]) >= tc.queueDepth() {
+		s.mu.Unlock()
+		return &JobOutcome{ID: j.id, Tenant: j.req.Tenant, Status: StatusShed,
+			Detail: "tenant queue full", RetryAfter: s.retryAfter(0)}
+	}
+	s.queues[j.req.Tenant] = append(s.queues[j.req.Tenant], j)
+	s.queued++
+	s.updatePressureLocked()
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	// Journal after the job is irrevocably in the system: a crash past
+	// this point must replay it. A journal write failure degrades
+	// durability, never availability.
+	s.journalJob(j)
+	return nil
+}
+
+func (s *Service) journalJob(j *job) {
+	if s.jnl == nil {
+		return
+	}
+	err := s.jnl.append(journalRecord{
+		Op: opJob, ID: j.id, Tenant: j.req.Tenant,
+		Workload: j.entry.Workload, ImageID: j.entry.ID,
+		Alt: string(j.req.Alt), Precision: j.req.Precision,
+		Deadline: j.deadline,
+	})
+	if err != nil {
+		s.met.bump(&s.met.journalFailures)
+	}
+}
+
+func (s *Service) journalDone(id string, st Status) {
+	if s.jnl == nil {
+		return
+	}
+	if err := s.jnl.append(journalRecord{Op: opDone, ID: id, Status: st}); err != nil {
+		s.met.bump(&s.met.journalFailures)
+	}
+}
+
+// updatePressureLocked moves the ladder between Full and Shedding from
+// total queue fill. Draining is sticky — only Drain enters it, nothing
+// leaves it.
+func (s *Service) updatePressureLocked() {
+	if s.draining {
+		return
+	}
+	capacity := 0
+	for tenant := range s.queues {
+		capacity += s.adm.tenantConfig(tenant).queueDepth()
+	}
+	if capacity == 0 {
+		s.state = StateFull
+		return
+	}
+	fill := float64(s.queued) / float64(capacity)
+	switch {
+	case fill >= s.cfg.highWater():
+		s.state = StateShedding
+	case fill <= s.cfg.lowWater():
+		s.state = StateFull
+	}
+}
+
+// next blocks until a job is available and claims it, or returns nil
+// when the service is draining (workers exit; queued jobs are flushed
+// as suspended by Drain).
+func (s *Service) next() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.draining {
+			return nil
+		}
+		if s.queued > 0 {
+			break
+		}
+		s.cond.Wait()
+	}
+
+	// Highest-priority tenant first; FIFO within a tenant; name order
+	// breaks priority ties so scheduling is deterministic.
+	tenants := make([]string, 0, len(s.queues))
+	for t := range s.queues {
+		if len(s.queues[t]) > 0 {
+			tenants = append(tenants, t)
+		}
+	}
+	sort.Slice(tenants, func(i, k int) bool {
+		pi, pk := s.adm.tenantConfig(tenants[i]).Priority, s.adm.tenantConfig(tenants[k]).Priority
+		if pi != pk {
+			return pi > pk
+		}
+		return tenants[i] < tenants[k]
+	})
+	t := tenants[0]
+	j := s.queues[t][0]
+	s.queues[t] = s.queues[t][1:]
+	s.queued--
+	s.inflight++
+	s.updatePressureLocked()
+	return j
+}
+
+func (s *Service) worker(w int) {
+	for {
+		j := s.next()
+		if j == nil {
+			return
+		}
+		// Injected dispatch fault: the pickup is transient-faulty;
+		// resolve as a retry and dispatch again (successfully).
+		if f := s.check(faultinject.SiteSvcDispatch); f != nil {
+			s.cfg.Inject.Resolve(faultinject.SiteSvcDispatch, faultinject.Retried)
+			s.met.bump(&s.met.dispatchRetries)
+		}
+		s.execute(j)
+	}
+}
+
+// execute runs one job's slice loop to a terminal outcome. A panic —
+// from the runtime or the service's own handling — is contained: the
+// job fails, its image is quarantined, and the worker (and daemon)
+// keep serving.
+func (s *Service) execute(j *job) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.reg.Quarantine(j.entry.ID, fmt.Sprintf("worker panic: %v", p))
+			s.met.bump(&s.met.panics)
+			s.finish(j, &JobOutcome{
+				ID: j.id, Tenant: j.req.Tenant, Workload: j.entry.Workload,
+				Status: StatusFailed,
+				Detail: fmt.Sprintf("worker panic (image quarantined): %v", p),
+			})
+		}
+	}()
+	if s.testHookDispatch != nil {
+		s.testHookDispatch(j)
+	}
+
+	cfg := fpvm.Config{
+		Alt:       j.req.Alt,
+		Precision: j.req.Precision,
+		Seq:       true,
+		Short:     true,
+		Shared:    j.entry.Shared,
+	}
+	if j.req.InjectSpec != "" {
+		inj, err := faultinject.ParseSpec(j.req.InjectSpec, j.req.InjectSeed)
+		if err != nil {
+			s.finish(j, &JobOutcome{ID: j.id, Tenant: j.req.Tenant, Workload: j.entry.Workload,
+				Status: StatusFailed, Detail: "bad inject spec: " + err.Error()})
+			return
+		}
+		cfg.Inject = inj
+	}
+
+	var snap []byte
+	var cycles uint64
+	for {
+		q := s.cfg.quantum()
+		if j.deadline > 0 {
+			rem := j.deadline - cycles
+			if rem < q {
+				q = rem
+			}
+		}
+		cfg.PreemptQuantum = q
+
+		var res *fpvm.Result
+		var err error
+		if snap == nil {
+			res, err = fpvm.Run(j.entry.Image, cfg)
+		} else {
+			res, err = fpvm.Resume(j.entry.Image, cfg, snap)
+		}
+
+		if err != nil && (res == nil || !res.Detached) {
+			s.finish(j, &JobOutcome{ID: j.id, Tenant: j.req.Tenant, Workload: j.entry.Workload,
+				Status: StatusFailed, Detail: err.Error()})
+			return
+		}
+
+		if res.Preempted {
+			snap = res.Snapshot
+			cycles = res.Cycles
+			s.persist(j, snap)
+
+			if j.deadline > 0 && cycles >= j.deadline {
+				// Deadline blown: cancelled at the trap boundary; the
+				// partial result travels with the distinct status.
+				s.finish(j, s.outcomeFrom(j, res, StatusDeadline,
+					fmt.Sprintf("deadline %d cycles exceeded at %d", j.deadline, cycles)))
+				return
+			}
+			if s.isDraining() {
+				s.suspend(j, snap, res)
+				return
+			}
+			continue
+		}
+
+		st := StatusCompleted
+		detail := ""
+		if res.Detached {
+			st = StatusDegraded
+			detail = "fatal rung detached; guest completed natively"
+		}
+		s.finish(j, s.outcomeFrom(j, res, st, detail))
+		return
+	}
+}
+
+func (s *Service) outcomeFrom(j *job, res *fpvm.Result, st Status, detail string) *JobOutcome {
+	o := &JobOutcome{
+		ID: j.id, Tenant: j.req.Tenant, Workload: j.entry.Workload,
+		Status: st, Detail: detail,
+		Stdout: res.Stdout, ExitCode: res.ExitCode, Cycles: res.Cycles,
+		Detached: res.Detached,
+	}
+	if res.Final != nil {
+		rec := oracle.Digest(res.Final)
+		o.Digest = fmt.Sprintf("%016x-%016x", rec.RIP, rec.Sum)
+	}
+	if res.Breakdown != nil {
+		s.met.merge(res.Breakdown)
+	}
+	return o
+}
+
+// persist writes a job's preemption snapshot for crash durability. An
+// injected persist fault (or a real write failure) degrades durability
+// only: the in-memory snapshot keeps the job running.
+func (s *Service) persist(j *job, snap []byte) {
+	if s.cfg.SnapshotDir == "" {
+		return
+	}
+	if f := s.check(faultinject.SiteSvcPersist); f != nil {
+		s.cfg.Inject.Resolve(faultinject.SiteSvcPersist, faultinject.Degraded)
+		s.met.bump(&s.met.persistDegraded)
+		return
+	}
+	path := filepath.Join(s.cfg.SnapshotDir, "job-"+j.id+".snap")
+	if err := checkpoint.WriteFileAtomic(path, snap); err != nil {
+		s.met.bump(&s.met.persistFailures)
+	}
+}
+
+// suspend parks an in-flight job during drain: snapshot persisted, no
+// done record (the journal keeps it pending for the next instance), the
+// waiting client told it's suspended.
+func (s *Service) suspend(j *job, snap []byte, res *fpvm.Result) {
+	s.persist(j, snap)
+	o := s.outcomeFrom(j, res, StatusSuspended,
+		"daemon draining; job suspended for recovery")
+	s.deliver(j, o, false)
+}
+
+// finish records a terminal outcome: journal done, snapshot cleanup,
+// response delivery.
+func (s *Service) finish(j *job, o *JobOutcome) {
+	s.deliver(j, o, true)
+}
+
+func (s *Service) deliver(j *job, o *JobOutcome, terminal bool) {
+	if terminal {
+		s.journalDone(j.id, o.Status)
+		if s.cfg.SnapshotDir != "" {
+			removeQuiet(filepath.Join(s.cfg.SnapshotDir, "job-"+j.id+".snap"))
+		}
+	}
+
+	// Injected respond fault: delivery is transient-faulty; retry the
+	// send (it is idempotent — the outcome is also in the store).
+	if f := s.check(faultinject.SiteSvcRespond); f != nil {
+		s.cfg.Inject.Resolve(faultinject.SiteSvcRespond, faultinject.Retried)
+		s.met.bump(&s.met.respondRetries)
+	}
+
+	s.record(o)
+	s.mu.Lock()
+	s.inflight--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	j.done <- o
+}
+
+// record stores an outcome and counts it.
+func (s *Service) record(o *JobOutcome) {
+	s.met.job(o.Tenant, o.Status)
+	s.mu.Lock()
+	s.outcomes[o.ID] = o
+	s.mu.Unlock()
+}
+
+func (s *Service) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the service down: admission stops, workers
+// suspend in-flight jobs at their next trap boundary (snapshot + journal
+// keep them recoverable), queued jobs are flushed as suspended, and the
+// journal is closed. Returns the number of jobs suspended.
+func (s *Service) Drain() int {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return 0
+	}
+	s.draining = true
+	s.state = StateDraining
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	s.wg.Wait() // workers finish or suspend their current job, then exit
+
+	// Flush never-started queued jobs: journaled, no snapshot — the next
+	// instance runs them fresh.
+	s.mu.Lock()
+	var parked []*job
+	for t, q := range s.queues {
+		parked = append(parked, q...)
+		s.queues[t] = nil
+	}
+	s.queued = 0
+	s.mu.Unlock()
+
+	for _, j := range parked {
+		o := &JobOutcome{ID: j.id, Tenant: j.req.Tenant, Workload: j.entry.Workload,
+			Status: StatusSuspended, Detail: "daemon draining; queued job journaled for recovery"}
+		s.record(o)
+		j.done <- o
+	}
+
+	suspended := 0
+	s.mu.Lock()
+	for _, o := range s.outcomes {
+		if o.Status == StatusSuspended {
+			suspended++
+		}
+	}
+	s.mu.Unlock()
+
+	if s.jnl != nil {
+		s.jnl.Close()
+	}
+	return suspended
+}
+
+// removeQuiet removes a file, ignoring errors (absence is fine).
+func removeQuiet(path string) { os.Remove(path) }

@@ -1,0 +1,421 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fpvm"
+)
+
+// startService builds and starts a Service for tests; the cleanup drains
+// it so worker goroutines never leak across tests.
+func startService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s := New(cfg)
+	if _, err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Drain() })
+	return s
+}
+
+func registerLorenz(t *testing.T, s *Service) *ImageEntry {
+	t.Helper()
+	e, err := s.Registry().Register("lorenz_attractor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRegistryContentAddressed(t *testing.T) {
+	r := NewRegistry(0)
+	a, err := r.Register("lorenz_attractor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Register("lorenz_attractor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("re-registering the same workload must return the same entry")
+	}
+	c, err := r.Register("double_pendulum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID == a.ID {
+		t.Fatal("distinct programs collided on one content hash")
+	}
+
+	r.Quarantine(a.ID, "test says so")
+	if q, why := a.Quarantined(); !q || why != "test says so" {
+		t.Fatalf("quarantine not recorded: %v %q", q, why)
+	}
+	again, _ := r.Register("lorenz_attractor")
+	if q, _ := again.Quarantined(); !q {
+		t.Fatal("re-registration laundered the quarantine away")
+	}
+}
+
+func TestSubmitCompletesWithDigest(t *testing.T) {
+	s := startService(t, Config{Workers: 2})
+	e := registerLorenz(t, s)
+
+	ref, err := fpvm.Run(e.Image, fpvm.Config{Alt: fpvm.AltBoxed, Seq: true, Short: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := s.Submit(JobRequest{Tenant: "acme", ImageID: e.ID, Alt: fpvm.AltBoxed})
+	if o.Status != StatusCompleted {
+		t.Fatalf("status = %s (%s), want completed", o.Status, o.Detail)
+	}
+	if o.Stdout != ref.Stdout {
+		t.Fatal("service run output diverged from direct run")
+	}
+	if o.Digest == "" {
+		t.Fatal("completed job carries no final-state digest")
+	}
+	if got, _ := s.Outcome(o.ID); got != o {
+		t.Fatal("outcome store does not serve the job by ID")
+	}
+}
+
+func TestQuotaShedsWith429Semantics(t *testing.T) {
+	// A virtual clock: quota decisions never sleep in tests.
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+
+	s := startService(t, Config{
+		Workers: 1,
+		Tenants: map[string]TenantConfig{
+			"metered": {RatePerSec: 1, Burst: 2},
+		},
+		Clock: clock,
+	})
+	e := registerLorenz(t, s)
+
+	req := JobRequest{Tenant: "metered", ImageID: e.ID, Alt: fpvm.AltBoxed}
+	for i := 0; i < 2; i++ {
+		if o := s.Submit(req); o.Status != StatusShed && o.Status != StatusCompleted {
+			t.Fatalf("burst submission %d: %s (%s)", i, o.Status, o.Detail)
+		}
+	}
+	o := s.Submit(req)
+	if o.Status != StatusShed || o.Detail != "tenant quota exhausted" {
+		t.Fatalf("over-quota submission: %s (%s), want quota shed", o.Status, o.Detail)
+	}
+	if o.RetryAfter <= 0 {
+		t.Fatal("quota shed carries no Retry-After")
+	}
+	if httpStatus(o) != http.StatusTooManyRequests {
+		t.Fatalf("quota shed maps to HTTP %d, want 429", httpStatus(o))
+	}
+
+	// Advance the virtual clock: the bucket refills and the tenant is
+	// admitted again.
+	mu.Lock()
+	now = now.Add(3 * time.Second)
+	mu.Unlock()
+	if o := s.Submit(req); o.Status != StatusCompleted {
+		t.Fatalf("post-refill submission: %s (%s), want completed", o.Status, o.Detail)
+	}
+}
+
+func TestRetryAfterIsJittered(t *testing.T) {
+	s := New(Config{Seed: 42})
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 32; i++ {
+		d := s.retryAfter(time.Second)
+		if d < 500*time.Millisecond || d >= 1500*time.Millisecond {
+			t.Fatalf("retry-after %v outside the ±50%% jitter window", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("32 retry-afters collapsed onto %d values: not jittered", len(seen))
+	}
+}
+
+func TestDeadlineExceededReturnsPartial(t *testing.T) {
+	s := startService(t, Config{Workers: 1, PreemptQuantum: 5_000})
+	e := registerLorenz(t, s)
+
+	// Find the full cost, then set a deadline well under it.
+	full := s.Submit(JobRequest{Tenant: "t", ImageID: e.ID, Alt: fpvm.AltBoxed})
+	if full.Status != StatusCompleted {
+		t.Fatalf("reference run: %s (%s)", full.Status, full.Detail)
+	}
+	o := s.Submit(JobRequest{
+		Tenant: "t", ImageID: e.ID, Alt: fpvm.AltBoxed,
+		DeadlineCycles: full.Cycles / 2,
+	})
+	if o.Status != StatusDeadline {
+		t.Fatalf("status = %s (%s), want deadline-exceeded", o.Status, o.Detail)
+	}
+	if o.Cycles < full.Cycles/2 || o.Cycles >= full.Cycles {
+		t.Fatalf("cancelled at %d cycles; deadline %d, full run %d",
+			o.Cycles, full.Cycles/2, full.Cycles)
+	}
+	if httpStatus(o) != http.StatusGatewayTimeout {
+		t.Fatalf("deadline maps to HTTP %d, want 504", httpStatus(o))
+	}
+}
+
+func TestWorkerPanicIsContainedAndQuarantines(t *testing.T) {
+	s := startService(t, Config{Workers: 2})
+	e := registerLorenz(t, s)
+
+	s.testHookDispatch = func(j *job) {
+		if j.req.Tenant == "evil" {
+			panic("guest image ate the worker")
+		}
+	}
+
+	o := s.Submit(JobRequest{Tenant: "evil", ImageID: e.ID, Alt: fpvm.AltBoxed})
+	if o.Status != StatusFailed || !strings.Contains(o.Detail, "panic") {
+		t.Fatalf("panicked job: %s (%s), want contained failure", o.Status, o.Detail)
+	}
+	if q, _ := e.Quarantined(); !q {
+		t.Fatal("panicking image was not quarantined")
+	}
+
+	// The daemon is still serving: a different image runs fine...
+	p, err := s.Registry().Register("double_pendulum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := s.Submit(JobRequest{Tenant: "good", ImageID: p.ID, Alt: fpvm.AltBoxed}); o.Status != StatusCompleted {
+		t.Fatalf("post-panic submission: %s (%s), want completed", o.Status, o.Detail)
+	}
+	// ...and the quarantined image is refused with a distinct answer.
+	o = s.Submit(JobRequest{Tenant: "good", ImageID: e.ID, Alt: fpvm.AltBoxed})
+	if o.Status != StatusFailed || httpStatus(o) != http.StatusUnprocessableEntity {
+		t.Fatalf("quarantined submission: %s / HTTP %d, want failed / 422", o.Status, httpStatus(o))
+	}
+}
+
+func TestSheddingLadderUnderPressure(t *testing.T) {
+	// One worker, tiny queues: filling the cheap tenant's queue drives
+	// total pressure over the high-water mark, which must shed the
+	// priority-0 tenant while the priority-1 tenant is still admitted.
+	s := startService(t, Config{
+		Workers:        1,
+		PreemptQuantum: 2_000,
+		Tenants: map[string]TenantConfig{
+			"best-effort": {QueueDepth: 4, Priority: 0},
+			"premium":     {QueueDepth: 4, Priority: 1},
+		},
+		ShedHighWater: 0.5,
+	})
+	e := registerLorenz(t, s)
+
+	// Saturate: async submissions from the best-effort tenant.
+	var wg sync.WaitGroup
+	results := make(chan *JobOutcome, 16)
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- s.Submit(JobRequest{Tenant: "best-effort", ImageID: e.ID, Alt: fpvm.AltBoxed})
+		}()
+	}
+
+	// Wait until the ladder reports pressure.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.State() != StateShedding && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	shedObserved := s.State() == StateShedding
+	var lowPriShed, premiumOK *JobOutcome
+	if shedObserved {
+		lowPriShed = s.Submit(JobRequest{Tenant: "best-effort", ImageID: e.ID, Alt: fpvm.AltBoxed})
+		premiumOK = s.Submit(JobRequest{Tenant: "premium", ImageID: e.ID, Alt: fpvm.AltBoxed})
+	}
+	wg.Wait()
+	close(results)
+
+	if !shedObserved {
+		t.Fatal("queue pressure never tripped the shedding state")
+	}
+	if lowPriShed.Status != StatusShed {
+		t.Fatalf("low-priority tenant under shedding: %s (%s), want shed", lowPriShed.Status, lowPriShed.Detail)
+	}
+	if premiumOK.Status != StatusCompleted {
+		t.Fatalf("premium tenant under shedding: %s (%s), want completed", premiumOK.Status, premiumOK.Detail)
+	}
+	for o := range results {
+		if o.Status != StatusCompleted && o.Status != StatusShed {
+			t.Fatalf("saturation job ended %s (%s); statuses must stay deliberate", o.Status, o.Detail)
+		}
+	}
+}
+
+func TestDrainSuspendsAndJournals(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Workers: 1, PreemptQuantum: 2_000, SnapshotDir: dir})
+	if _, err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	e := registerLorenz(t, s)
+
+	// A stack of slow submissions, then drain mid-flight.
+	outs := make(chan *JobOutcome, 6)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs <- s.Submit(JobRequest{Tenant: "t", ImageID: e.ID, Alt: fpvm.AltBoxed})
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	suspended := s.Drain()
+	wg.Wait()
+	close(outs)
+
+	completed := 0
+	for o := range outs {
+		switch o.Status {
+		case StatusCompleted:
+			completed++
+		case StatusSuspended, StatusShed:
+		default:
+			t.Fatalf("drained job ended %s (%s)", o.Status, o.Detail)
+		}
+	}
+	if !s.Ready() {
+		// expected: draining is terminal
+	} else {
+		t.Fatal("service still ready after drain")
+	}
+
+	// Suspended jobs are journaled pending: a fresh instance must
+	// recover exactly those.
+	pending, _, err := readJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != suspended {
+		t.Fatalf("journal holds %d pending jobs, Drain reported %d suspended", len(pending), suspended)
+	}
+	if suspended+completed == 0 {
+		t.Fatal("test exercised nothing: no job completed or suspended")
+	}
+
+	s2 := New(Config{Workers: 2, SnapshotDir: dir})
+	recovered, err := s2.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain()
+	if recovered != suspended {
+		t.Fatalf("recovered %d jobs, want %d", recovered, suspended)
+	}
+	for _, rec := range pending {
+		o, ok := s2.Outcome(rec.ID)
+		if !ok {
+			t.Fatalf("recovered job %s has no stored outcome", rec.ID)
+		}
+		if o.Status != StatusRecovered {
+			t.Fatalf("recovered job %s ended %s (%s)", rec.ID, o.Status, o.Detail)
+		}
+	}
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	s := startService(t, Config{Workers: 2})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	post := func(path, body string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		json.NewDecoder(resp.Body).Decode(&m)
+		return resp, m
+	}
+
+	resp, m := post("/v1/images", `{"workload":"lorenz_attractor"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: HTTP %d (%v)", resp.StatusCode, m)
+	}
+	id, _ := m["id"].(string)
+	if id == "" {
+		t.Fatal("register returned no image ID")
+	}
+
+	resp, m = post("/v1/jobs", `{"tenant":"web","image":"`+id+`","alt":"boxed"}`)
+	if resp.StatusCode != http.StatusOK || m["status"] != "completed" {
+		t.Fatalf("submit: HTTP %d status %v", resp.StatusCode, m["status"])
+	}
+	jobID, _ := m["id"].(string)
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 16*1024)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		return resp, sb.String()
+	}
+
+	if resp, _ := get("/v1/jobs/" + jobID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("job lookup: HTTP %d", resp.StatusCode)
+	}
+	if resp, _ := get("/v1/jobs/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job lookup: HTTP %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+	if resp, _ := get("/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: HTTP %d", resp.StatusCode)
+	}
+	resp, body := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		`fpvmd_jobs_total{status="completed",tenant="web"} 1`,
+		"fpvmd_state 0",
+		"fpvmd_vm_traps_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+
+	// Unknown image → 404; unknown workload → 404; malformed → 400.
+	if resp, _ := post("/v1/jobs", `{"tenant":"web","image":"beef"}`); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown image submit: HTTP %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := post("/v1/images", `{"workload":"no-such"}`); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown workload: HTTP %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := post("/v1/jobs", `{bad json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed submit: HTTP %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusStableAndLabeled(t *testing.T) {
+	var b Breakdown
+	b.Cycles[Altmath] = 123
+	b.Traps = 7
+	b.FaultsInjected = 3
+	b.FaultsRetried = 2
+	b.FaultsDegraded = 1
+	b.BackoffCycles = 990
+
+	render := func() string {
+		var sb strings.Builder
+		if err := WritePrometheus(&sb, "fpvmd", map[string]string{"tenant": "acme", "image": "abc"}, &b); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+
+	out := render()
+	for _, want := range []string{
+		`fpvmd_cycles_total{category="altmath",image="abc",tenant="acme"} 123`,
+		`fpvmd_traps_total{image="abc",tenant="acme"} 7`,
+		`fpvmd_faults_retried_total{image="abc",tenant="acme"} 2`,
+		`fpvmd_backoff_cycles_total{image="abc",tenant="acme"} 990`,
+		"# TYPE fpvmd_traps_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if out != render() {
+		t.Error("output not byte-stable across renders")
+	}
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, "", nil, &Breakdown{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fpvm_traps_total 0") {
+		t.Errorf("empty label set must render bare sample names:\n%s", sb.String())
+	}
+}

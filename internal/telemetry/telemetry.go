@@ -74,6 +74,14 @@ type Breakdown struct {
 	FaultsDegraded   uint64 // resolved by demotion to native IEEE (or safe skip)
 	FaultsFatal      uint64 // resolved by clean detach (guest continues native)
 
+	// BackoffCycles is the virtual-cycle delay charged by the retry
+	// rung's jittered exponential backoff (Config.RetryBackoffCycles > 0):
+	// the k-th retry of a site within one trap waits ~base·2^k cycles
+	// ±25% deterministic jitter before re-attempting, so co-scheduled
+	// retry storms spread out instead of hammering in lockstep. Zero when
+	// backoff is disabled (the default).
+	BackoffCycles uint64
+
 	// Checkpoint/rollback supervisor activity. Checkpoints counts
 	// snapshots captured, Rollbacks successful restores (the run rewound
 	// and re-executed), RollbackFailures attempts that could not restore
@@ -196,6 +204,7 @@ func (b *Breakdown) Merge(o *Breakdown) {
 	b.FaultsRolledBack += o.FaultsRolledBack
 	b.FaultsDegraded += o.FaultsDegraded
 	b.FaultsFatal += o.FaultsFatal
+	b.BackoffCycles += o.BackoffCycles
 	b.Checkpoints += o.Checkpoints
 	b.Rollbacks += o.Rollbacks
 	b.RollbackFailures += o.RollbackFailures

@@ -1,0 +1,92 @@
+package fpvm_test
+
+import (
+	"testing"
+
+	"fpvm"
+	"fpvm/internal/faultinject"
+	"fpvm/internal/workloads"
+)
+
+// TestRetryBackoffSpreadsStorms drives the retry rung with a seeded
+// injector and shows the jittered exponential backoff working end to
+// end: retries charge growing virtual-cycle delays, identical seeds
+// replay the identical schedule, and the extra cycles are exactly the
+// BackoffCycles ledger — the rest of the run is untouched.
+func TestRetryBackoffSpreadsStorms(t *testing.T) {
+	img, err := workloads.BuildMicro(workloads.Lorenz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runImg, err := fpvm.PrepareForFPVM(img, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(backoff uint64, seed uint64) *fpvm.Result {
+		inj := faultinject.New(seed)
+		// A persistent transient storm at the alt-arithmetic site: every
+		// check faults, so each trap drains its full retry budget —
+		// attempts 0, 1, 2 — before degrading, exercising the exponential
+		// part of the schedule, not just the first delay.
+		inj.Arm(faultinject.SiteAltOp, faultinject.Rule{Every: 1})
+		res, err := fpvm.Run(runImg, fpvm.Config{
+			Alt:                fpvm.AltBoxed,
+			Seq:                true,
+			Short:              true,
+			Inject:             inj,
+			RetryBackoffCycles: backoff,
+		})
+		if err != nil && (res == nil || !res.Detached) {
+			t.Fatalf("run failed outside the ladder: %v", err)
+		}
+		if !inj.Reconciled() {
+			t.Fatal("injector ledger not reconciled under backoff")
+		}
+		return res
+	}
+
+	const base = 500
+	plain := run(0, 0xB0FF)
+	backA := run(base, 0xB0FF)
+	backB := run(base, 0xB0FF)
+
+	if plain.BackoffCycles != 0 {
+		t.Fatalf("backoff disabled but %d backoff cycles charged", plain.BackoffCycles)
+	}
+	if backA.Retries == 0 {
+		t.Fatal("storm produced no retries; the test exercises nothing")
+	}
+	if backA.BackoffCycles == 0 {
+		t.Fatal("backoff enabled and retries fired, but no backoff cycles charged")
+	}
+
+	// Determinism: the same seed replays the same storm AND the same
+	// jittered delay schedule, down to the virtual cycle.
+	if backA.Cycles != backB.Cycles || backA.BackoffCycles != backB.BackoffCycles {
+		t.Errorf("identical seeds diverged: cycles %d vs %d, backoff %d vs %d",
+			backA.Cycles, backB.Cycles, backA.BackoffCycles, backB.BackoffCycles)
+	}
+
+	// The delay is additive and isolated: same retries resolved, and the
+	// cycle delta vs the immediate-retry run is exactly the backoff
+	// ledger. (Same seed + untouched injector stream ⇒ same schedule.)
+	if backA.Retries != plain.Retries {
+		t.Errorf("backoff changed the fault schedule: %d retries vs %d", backA.Retries, plain.Retries)
+	}
+	if backA.Cycles != plain.Cycles+backA.BackoffCycles {
+		t.Errorf("cycle delta %d != backoff ledger %d",
+			backA.Cycles-plain.Cycles, backA.BackoffCycles)
+	}
+	if backA.Stdout != plain.Stdout {
+		t.Error("backoff changed guest output")
+	}
+
+	// Spread: exponential growth means the average charged delay exceeds
+	// the base (attempt 0 alone would average ~base), i.e. storms are
+	// genuinely pushed apart, not just uniformly taxed.
+	if backA.BackoffCycles <= backA.Retries*base {
+		t.Errorf("avg delay %d ≤ base %d: schedule is not spreading out",
+			backA.BackoffCycles/backA.Retries, uint64(base))
+	}
+}
