@@ -48,6 +48,9 @@ type admission struct {
 	defaults TenantConfig
 	tenants  map[string]TenantConfig
 	buckets  map[string]*bucket
+	// maxBuckets bounds the bucket map against client-minted tenant-name
+	// cardinality; see evictLocked.
+	maxBuckets int
 }
 
 type bucket struct {
@@ -55,15 +58,19 @@ type bucket struct {
 	last   time.Time
 }
 
-func newAdmission(defaults TenantConfig, tenants map[string]TenantConfig, now func() time.Time) *admission {
+func newAdmission(defaults TenantConfig, tenants map[string]TenantConfig, now func() time.Time, maxBuckets int) *admission {
 	if now == nil {
 		now = time.Now
 	}
+	if maxBuckets <= 0 {
+		maxBuckets = 1024
+	}
 	return &admission{
-		now:      now,
-		defaults: defaults,
-		tenants:  tenants,
-		buckets:  make(map[string]*bucket),
+		now:        now,
+		defaults:   defaults,
+		tenants:    tenants,
+		buckets:    make(map[string]*bucket),
+		maxBuckets: maxBuckets,
 	}
 }
 
@@ -89,6 +96,9 @@ func (a *admission) take(tenant string) (ok bool, retryAfter time.Duration) {
 	now := a.now()
 	b := a.buckets[tenant]
 	if b == nil {
+		if len(a.buckets) >= a.maxBuckets {
+			a.evictLocked(now)
+		}
 		b = &bucket{tokens: tc.burst(), last: now}
 		a.buckets[tenant] = b
 	}
@@ -106,4 +116,50 @@ func (a *admission) take(tenant string) (ok bool, retryAfter time.Duration) {
 	}
 	deficit := 1 - b.tokens
 	return false, time.Duration(deficit / tc.RatePerSec * float64(time.Second))
+}
+
+// refund returns one token to a tenant's bucket (capped at burst).
+// Admission charges quota before the queue-capacity check runs; a job
+// refused at enqueue hands its token back so work the service never
+// accepted doesn't burn the tenant's budget.
+func (a *admission) refund(tenant string) {
+	tc := a.tenantConfig(tenant)
+	if tc.RatePerSec <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.buckets[tenant]
+	if b == nil {
+		return
+	}
+	if b.tokens++; b.tokens > tc.burst() {
+		b.tokens = tc.burst()
+	}
+}
+
+// evictLocked bounds the bucket map when client-minted tenant names pile
+// up. Buckets that have refilled to burst go first — a full bucket is
+// behaviorally identical to no bucket — and if every survivor is still
+// mid-refill, the least-recently-touched ones are dropped until the map
+// fits (forgetting at most that tenant's residual quota debt; bounded
+// memory wins over perfect accounting under a cardinality attack).
+func (a *admission) evictLocked(now time.Time) {
+	for t, b := range a.buckets {
+		tc := a.tenantConfig(t)
+		if tc.RatePerSec <= 0 ||
+			b.tokens+now.Sub(b.last).Seconds()*tc.RatePerSec >= tc.burst() {
+			delete(a.buckets, t)
+		}
+	}
+	for len(a.buckets) >= a.maxBuckets {
+		oldest, first := "", true
+		var oldestAt time.Time
+		for t, b := range a.buckets {
+			if first || b.last.Before(oldestAt) {
+				oldest, oldestAt, first = t, b.last, false
+			}
+		}
+		delete(a.buckets, oldest)
+	}
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"net/http"
-	"strings"
 	"time"
 )
 
@@ -21,15 +20,18 @@ func httpStatus(o *JobOutcome) int {
 	case StatusDeadline:
 		return http.StatusGatewayTimeout
 	case StatusShed:
-		if o.Detail == "tenant quota exhausted" {
+		// Only quota refusals are the tenant's own doing (429); every
+		// other shed is service-side pressure (503). The switch is on the
+		// structured Reason, never on Detail prose.
+		if o.Reason == ReasonQuota {
 			return http.StatusTooManyRequests
 		}
 		return http.StatusServiceUnavailable
 	case StatusFailed:
-		switch {
-		case strings.HasPrefix(o.Detail, "unknown image"):
+		switch o.Reason {
+		case ReasonUnknownImage:
 			return http.StatusNotFound
-		case strings.HasPrefix(o.Detail, "image quarantined"):
+		case ReasonQuarantined:
 			return http.StatusUnprocessableEntity
 		}
 		return http.StatusInternalServerError

@@ -13,11 +13,16 @@ import (
 // record marks its outcome delivered. A daemon that dies between the
 // two leaves a pending record, and the next instance replays it —
 // resuming from the job's preemption snapshot when one survived,
-// running it fresh otherwise.
+// running it fresh otherwise. Each instance also appends one "boot"
+// record at startup; the count of boot records is the boot generation
+// embedded in job IDs, so a restarted daemon can never mint an ID that
+// collides with anything a previous instance journaled or snapshotted —
+// including submissions that were refused and never journaled.
 const (
 	journalName = "journal.jsonl"
 	opJob       = "job"
 	opDone      = "done"
+	opBoot      = "boot"
 )
 
 type journalRecord struct {
@@ -72,11 +77,12 @@ func (jl *journal) Close() {
 }
 
 // readJournal parses the journal and returns the pending job records in
-// submission order, plus the total number of job records ever written
-// (the restart continues the ID sequence from there). A torn trailing
-// line — the crash interrupted the append — is skipped; its fsync never
-// returned, so no caller acted on it.
-func readJournal(dir string) (pending []journalRecord, total uint64, err error) {
+// submission order, plus the number of boot records — the restarting
+// instance takes boot generation boots+1, namespacing its job IDs away
+// from every previous instance's. A torn trailing line — the crash
+// interrupted the append — is skipped; its fsync never returned, so no
+// caller acted on it.
+func readJournal(dir string) (pending []journalRecord, boots uint64, err error) {
 	f, err := os.Open(filepath.Join(dir, journalName))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -102,9 +108,10 @@ func readJournal(dir string) (pending []journalRecord, total uint64, err error) 
 		switch rec.Op {
 		case opJob:
 			jobs = append(jobs, rec)
-			total++
 		case opDone:
 			done[rec.ID] = true
+		case opBoot:
+			boots++
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -115,5 +122,5 @@ func readJournal(dir string) (pending []journalRecord, total uint64, err error) 
 			pending = append(pending, rec)
 		}
 	}
-	return pending, total, nil
+	return pending, boots, nil
 }

@@ -16,6 +16,10 @@ import (
 type metrics struct {
 	mu       sync.Mutex
 	byTenant map[string]map[Status]uint64
+	// maxTenants bounds byTenant's label cardinality: once that many
+	// distinct tenants are tracked, new ones aggregate under "_other",
+	// so client-minted tenant names can't grow the series set unbounded.
+	maxTenants int
 
 	enqueueRetries  uint64
 	dispatchRetries uint64
@@ -29,8 +33,14 @@ type metrics struct {
 	breakdown telemetry.Breakdown
 }
 
-func newMetrics() *metrics {
-	return &metrics{byTenant: make(map[string]map[Status]uint64)}
+func newMetrics(maxTenants int) *metrics {
+	if maxTenants <= 0 {
+		maxTenants = 1024
+	}
+	return &metrics{
+		byTenant:   make(map[string]map[Status]uint64),
+		maxTenants: maxTenants,
+	}
 }
 
 func (m *metrics) job(tenant string, st Status) {
@@ -38,8 +48,14 @@ func (m *metrics) job(tenant string, st Status) {
 	defer m.mu.Unlock()
 	t := m.byTenant[tenant]
 	if t == nil {
-		t = make(map[Status]uint64)
-		m.byTenant[tenant] = t
+		if len(m.byTenant) >= m.maxTenants {
+			tenant = "_other"
+			t = m.byTenant[tenant]
+		}
+		if t == nil {
+			t = make(map[Status]uint64)
+			m.byTenant[tenant] = t
+		}
 	}
 	t[st]++
 }

@@ -20,13 +20,23 @@ func (s *Service) recoverJournaled() (int, error) {
 	if s.cfg.SnapshotDir == "" {
 		return 0, nil
 	}
-	pending, total, err := readJournal(s.cfg.SnapshotDir)
+	pending, boots, err := readJournal(s.cfg.SnapshotDir)
 	if err != nil {
 		return 0, fmt.Errorf("service: reading journal: %w", err)
 	}
+	// Claim the next boot generation and journal it. Generations
+	// namespace job IDs per instance, so a fresh ID can never collide
+	// with anything a dead instance journaled or snapshotted — counting
+	// job records instead would undercount whenever the old instance had
+	// refusals (shed submissions burn seq but are never journaled).
 	s.mu.Lock()
-	s.seq = total // continue the ID sequence past every journaled job
+	s.gen = boots + 1
 	s.mu.Unlock()
+	if s.jnl != nil {
+		if aerr := s.jnl.append(journalRecord{Op: opBoot}); aerr != nil {
+			s.met.bump(&s.met.journalFailures)
+		}
+	}
 	if len(pending) == 0 {
 		return 0, nil
 	}

@@ -46,6 +46,28 @@ const (
 	StatusSuspended Status = "suspended"
 )
 
+// Reason is the structured cause of a refusal. Detail stays free-form
+// prose for humans; Reason is the stable field clients and the HTTP
+// status mapping switch on.
+type Reason string
+
+const (
+	// ReasonQuota: the tenant's token bucket is empty (retryable, 429).
+	ReasonQuota Reason = "quota"
+	// ReasonQueue: the tenant's bounded queue is full (retryable, 503).
+	ReasonQueue Reason = "queue-full"
+	// ReasonPressure: the ladder is shedding low-priority tenants (503).
+	ReasonPressure Reason = "pressure"
+	// ReasonDraining: the daemon is shutting down (503).
+	ReasonDraining Reason = "draining"
+	// ReasonFault: an injected service fault resolved as a shed (503).
+	ReasonFault Reason = "fault"
+	// ReasonUnknownImage: the submission names no registered image (404).
+	ReasonUnknownImage Reason = "unknown-image"
+	// ReasonQuarantined: the image is quarantined after a panic (422).
+	ReasonQuarantined Reason = "quarantined"
+)
+
 // State is the degradation ladder's position.
 type State int32
 
@@ -119,6 +141,17 @@ type Config struct {
 	// (0 = runtime default).
 	CacheCapacity int
 
+	// OutcomeRetention bounds the in-memory outcome store (0 = 4096).
+	// Once full, the oldest outcomes are evicted FIFO — a long-running
+	// daemon must not retain every outcome it ever produced.
+	OutcomeRetention int
+
+	// MaxTrackedTenants bounds every map keyed by client-supplied tenant
+	// names (0 = 1024): admission buckets are evicted past it and metric
+	// series beyond it aggregate under tenant="_other", so cycling tenant
+	// names cannot grow memory without bound.
+	MaxTrackedTenants int
+
 	// Clock is the admission clock (nil = time.Now). Injectable so
 	// quota tests don't sleep.
 	Clock func() time.Time
@@ -159,6 +192,20 @@ func (c *Config) retryAfterBase() time.Duration {
 	return c.RetryAfterBase
 }
 
+func (c *Config) outcomeRetention() int {
+	if c.OutcomeRetention <= 0 {
+		return 4096
+	}
+	return c.OutcomeRetention
+}
+
+func (c *Config) maxTenants() int {
+	if c.MaxTrackedTenants <= 0 {
+		return 1024
+	}
+	return c.MaxTrackedTenants
+}
+
 // JobRequest is one job submission.
 type JobRequest struct {
 	Tenant         string       `json:"tenant"`
@@ -179,6 +226,7 @@ type JobOutcome struct {
 	Tenant   string `json:"tenant"`
 	Workload string `json:"workload,omitempty"`
 	Status   Status `json:"status"`
+	Reason   Reason `json:"reason,omitempty"`
 	Detail   string `json:"detail,omitempty"`
 
 	Stdout   string `json:"stdout,omitempty"`
@@ -220,8 +268,15 @@ type Service struct {
 	inflight int
 	state    State
 	draining bool
+	// gen is the boot generation (count of journal boot records incl.
+	// this one) and seq the within-boot submission counter; together
+	// they make job IDs unique across restarts even though refused
+	// submissions burn seq without leaving a journal record.
+	gen      uint64
 	seq      uint64
 	outcomes map[string]*JobOutcome
+	// outcomeOrder is the FIFO eviction order for the outcome store.
+	outcomeOrder []string
 
 	jitterMu  sync.Mutex
 	jitterSeq uint64
@@ -240,8 +295,9 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:      cfg,
 		reg:      NewRegistry(cfg.CacheCapacity),
-		adm:      newAdmission(cfg.DefaultTenant, cfg.Tenants, cfg.Clock),
-		met:      newMetrics(),
+		adm:      newAdmission(cfg.DefaultTenant, cfg.Tenants, cfg.Clock, cfg.maxTenants()),
+		met:      newMetrics(cfg.maxTenants()),
+		gen:      1,
 		queues:   make(map[string][]*job),
 		outcomes: make(map[string]*JobOutcome),
 	}
@@ -358,7 +414,7 @@ func sanitizeID(sr string) string {
 func (s *Service) Submit(req JobRequest) *JobOutcome {
 	s.mu.Lock()
 	s.seq++
-	id := fmt.Sprintf("j%05d_%s", s.seq, sanitizeID(req.Tenant))
+	id := fmt.Sprintf("j%d_%05d_%s", s.gen, s.seq, sanitizeID(req.Tenant))
 	s.mu.Unlock()
 
 	out := s.admit(id, req)
@@ -387,15 +443,15 @@ func (s *Service) Submit(req JobRequest) *JobOutcome {
 
 // admit runs the admission pipeline; nil means admitted.
 func (s *Service) admit(id string, req JobRequest) *JobOutcome {
-	shed := func(detail string, base time.Duration) *JobOutcome {
+	shed := func(reason Reason, detail string, base time.Duration) *JobOutcome {
 		return &JobOutcome{
-			ID: id, Tenant: req.Tenant, Status: StatusShed,
+			ID: id, Tenant: req.Tenant, Status: StatusShed, Reason: reason,
 			Detail: detail, RetryAfter: s.retryAfter(base),
 		}
 	}
 
 	if s.State() == StateDraining {
-		return shed("draining", 0)
+		return shed(ReasonDraining, "draining", 0)
 	}
 
 	// Injected admission fault: the admission subsystem is momentarily
@@ -403,43 +459,49 @@ func (s *Service) admit(id string, req JobRequest) *JobOutcome {
 	// a degradation (service quality, not correctness).
 	if f := s.check(faultinject.SiteSvcAdmit); f != nil {
 		s.cfg.Inject.Resolve(faultinject.SiteSvcAdmit, faultinject.Degraded)
-		return shed("admission fault injected", 0)
+		return shed(ReasonFault, "admission fault injected", 0)
 	}
 
 	entry, ok := s.reg.Get(req.ImageID)
 	if !ok {
 		return &JobOutcome{ID: id, Tenant: req.Tenant, Status: StatusFailed,
-			Detail: "unknown image " + req.ImageID}
+			Reason: ReasonUnknownImage, Detail: "unknown image " + req.ImageID}
 	}
 	if q, why := entry.Quarantined(); q {
 		return &JobOutcome{ID: id, Tenant: req.Tenant, Status: StatusFailed,
-			Workload: entry.Workload, Detail: "image quarantined: " + why}
+			Reason: ReasonQuarantined, Workload: entry.Workload,
+			Detail: "image quarantined: " + why}
 	}
 
 	tc := s.adm.tenantConfig(req.Tenant)
 	if s.State() == StateShedding && tc.Priority == 0 {
-		return shed("shedding low-priority tenants under pressure", 0)
+		return shed(ReasonPressure, "shedding low-priority tenants under pressure", 0)
 	}
 
 	if ok, wait := s.adm.take(req.Tenant); !ok {
-		o := shed("tenant quota exhausted", wait)
-		o.Detail = "tenant quota exhausted"
-		return o
+		return shed(ReasonQuota, "tenant quota exhausted", wait)
 	}
 	return nil
 }
 
 // enqueue places an admitted job on its tenant's bounded queue; nil
-// means queued (the worker pool owns it now).
+// means queued (the worker pool owns it now). Admission already charged
+// the tenant a quota token; every refusal here refunds it — a job the
+// service never accepted must not burn the tenant's budget.
 func (s *Service) enqueue(j *job) *JobOutcome {
+	refused := func(reason Reason, detail string) *JobOutcome {
+		s.adm.refund(j.req.Tenant)
+		return &JobOutcome{ID: j.id, Tenant: j.req.Tenant, Status: StatusShed,
+			Reason: reason, Detail: detail, RetryAfter: s.retryAfter(0)}
+	}
+
 	// Injected enqueue fault: transient; retry once, shed on a repeat.
 	if f := s.check(faultinject.SiteSvcEnqueue); f != nil {
 		s.cfg.Inject.Resolve(faultinject.SiteSvcEnqueue, faultinject.Retried)
 		s.met.bump(&s.met.enqueueRetries)
 		if f2 := s.check(faultinject.SiteSvcEnqueue); f2 != nil {
 			s.cfg.Inject.Resolve(faultinject.SiteSvcEnqueue, faultinject.Degraded)
-			return &JobOutcome{ID: j.id, Tenant: j.req.Tenant, Status: StatusShed,
-				Detail: "enqueue fault persisted", RetryAfter: s.retryAfter(0)}
+			return refused(ReasonFault, "enqueue fault persisted")
 		}
 	}
 
@@ -447,13 +509,11 @@ func (s *Service) enqueue(j *job) *JobOutcome {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		return &JobOutcome{ID: j.id, Tenant: j.req.Tenant, Status: StatusShed,
-			Detail: "draining", RetryAfter: s.retryAfter(0)}
+		return refused(ReasonDraining, "draining")
 	}
 	if len(s.queues[j.req.Tenant]) >= tc.queueDepth() {
 		s.mu.Unlock()
-		return &JobOutcome{ID: j.id, Tenant: j.req.Tenant, Status: StatusShed,
-			Detail: "tenant queue full", RetryAfter: s.retryAfter(0)}
+		return refused(ReasonQueue, "tenant queue full")
 	}
 	s.queues[j.req.Tenant] = append(s.queues[j.req.Tenant], j)
 	s.queued++
@@ -499,8 +559,14 @@ func (s *Service) updatePressureLocked() {
 	if s.draining {
 		return
 	}
+	// Capacity counts only tenants with work queued (next and Drain
+	// delete emptied queues): a client minting fresh tenant names must
+	// not dilute the fill fraction and hold off the shedding transition.
 	capacity := 0
-	for tenant := range s.queues {
+	for tenant, q := range s.queues {
+		if len(q) == 0 {
+			continue
+		}
 		capacity += s.adm.tenantConfig(tenant).queueDepth()
 	}
 	if capacity == 0 {
@@ -550,6 +616,11 @@ func (s *Service) next() *job {
 	t := tenants[0]
 	j := s.queues[t][0]
 	s.queues[t] = s.queues[t][1:]
+	if len(s.queues[t]) == 0 {
+		// Evict the emptied queue: tenant-name cardinality stays bounded
+		// and pressure capacity tracks active tenants only.
+		delete(s.queues, t)
+	}
 	s.queued--
 	s.inflight++
 	s.updatePressureLocked()
@@ -739,11 +810,20 @@ func (s *Service) deliver(j *job, o *JobOutcome, terminal bool) {
 	j.done <- o
 }
 
-// record stores an outcome and counts it.
+// record stores an outcome and counts it. The store is bounded: past
+// OutcomeRetention the oldest outcomes are evicted FIFO, so a
+// long-running daemon's memory doesn't grow with its request history.
 func (s *Service) record(o *JobOutcome) {
 	s.met.job(o.Tenant, o.Status)
 	s.mu.Lock()
+	if _, seen := s.outcomes[o.ID]; !seen {
+		s.outcomeOrder = append(s.outcomeOrder, o.ID)
+	}
 	s.outcomes[o.ID] = o
+	for limit := s.cfg.outcomeRetention(); len(s.outcomes) > limit && len(s.outcomeOrder) > 0; {
+		delete(s.outcomes, s.outcomeOrder[0])
+		s.outcomeOrder = s.outcomeOrder[1:]
+	}
 	s.mu.Unlock()
 }
 
@@ -777,7 +857,7 @@ func (s *Service) Drain() int {
 	var parked []*job
 	for t, q := range s.queues {
 		parked = append(parked, q...)
-		s.queues[t] = nil
+		delete(s.queues, t)
 	}
 	s.queued = 0
 	s.mu.Unlock()

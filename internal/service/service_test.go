@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -110,8 +111,8 @@ func TestQuotaShedsWith429Semantics(t *testing.T) {
 		}
 	}
 	o := s.Submit(req)
-	if o.Status != StatusShed || o.Detail != "tenant quota exhausted" {
-		t.Fatalf("over-quota submission: %s (%s), want quota shed", o.Status, o.Detail)
+	if o.Status != StatusShed || o.Reason != ReasonQuota {
+		t.Fatalf("over-quota submission: %s/%s (%s), want quota shed", o.Status, o.Reason, o.Detail)
 	}
 	if o.RetryAfter <= 0 {
 		t.Fatal("quota shed carries no Retry-After")
@@ -417,5 +418,295 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 	if resp, _ := post("/v1/jobs", `{bad json`); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed submit: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// Job IDs must stay unique across restarts even though refused
+// submissions burn sequence numbers without leaving journal records:
+// pre-fix, a restarted daemon derived its sequence from the journaled
+// job count and re-minted pre-crash IDs, overwriting recovered outcomes.
+func TestJobIDsUniqueAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Workers: 1, PreemptQuantum: 2_000, SnapshotDir: dir})
+	if _, err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	e := registerLorenz(t, s)
+
+	bootOneIDs := make(map[string]bool)
+	note := func(o *JobOutcome) { bootOneIDs[o.ID] = true }
+
+	// A journaled, completed job, then a refusal (failed, never
+	// journaled) so seq runs ahead of the journal's job-record count.
+	note(s.Submit(JobRequest{Tenant: "a", ImageID: e.ID, Alt: fpvm.AltBoxed}))
+	if o := s.Submit(JobRequest{Tenant: "a", ImageID: "nope"}); o.Status != StatusFailed {
+		t.Fatalf("unknown-image submission: %s, want failed", o.Status)
+	} else {
+		note(o)
+	}
+
+	// Jobs caught by a drain: journaled pending for the next instance.
+	outs := make(chan *JobOutcome, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs <- s.Submit(JobRequest{Tenant: "a", ImageID: e.ID, Alt: fpvm.AltBoxed})
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	s.Drain()
+	wg.Wait()
+	close(outs)
+	for o := range outs {
+		note(o)
+	}
+
+	pending, _, err := readJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) == 0 {
+		t.Fatal("test exercised nothing: no job left pending for recovery")
+	}
+
+	s2 := New(Config{Workers: 1, SnapshotDir: dir})
+	if _, err := s2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain()
+
+	// New submissions from the same tenant must never reuse a boot-1 ID…
+	for range bootOneIDs {
+		o := s2.Submit(JobRequest{Tenant: "a", ImageID: e.ID, Alt: fpvm.AltBoxed})
+		if bootOneIDs[o.ID] {
+			t.Fatalf("restarted daemon re-minted pre-crash job ID %s", o.ID)
+		}
+		if !strings.HasPrefix(o.ID, "j2_") {
+			t.Fatalf("boot-2 job ID %s does not carry boot generation 2", o.ID)
+		}
+	}
+	// …so every recovered outcome stays queryable under its original ID.
+	for _, rec := range pending {
+		o, ok := s2.Outcome(rec.ID)
+		if !ok {
+			t.Fatalf("recovered job %s lost its outcome", rec.ID)
+		}
+		if !o.Recovered {
+			t.Fatalf("outcome for %s was overwritten by a new submission: %s (%s)",
+				rec.ID, o.Status, o.Detail)
+		}
+	}
+}
+
+// A third restart must not mis-mark pending work as done off a stale
+// done record: with per-boot generations the scenario can't arise, but
+// the generation must actually advance each boot.
+func TestBootGenerationAdvancesEveryRestart(t *testing.T) {
+	dir := t.TempDir()
+	for boot := 1; boot <= 3; boot++ {
+		s := New(Config{Workers: 1, SnapshotDir: dir})
+		if _, err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		e := registerLorenz(t, s)
+		o := s.Submit(JobRequest{Tenant: "t", ImageID: e.ID, Alt: fpvm.AltBoxed})
+		if want := fmt.Sprintf("j%d_", boot); !strings.HasPrefix(o.ID, want) {
+			t.Fatalf("boot %d minted ID %s, want prefix %s", boot, o.ID, want)
+		}
+		s.Drain()
+	}
+}
+
+func TestOutcomeStoreBounded(t *testing.T) {
+	s := startService(t, Config{Workers: 1, OutcomeRetention: 4})
+	var ids []string
+	for i := 0; i < 7; i++ {
+		ids = append(ids, s.Submit(JobRequest{Tenant: "t", ImageID: "nope"}).ID)
+	}
+	for _, id := range ids[:3] {
+		if _, ok := s.Outcome(id); ok {
+			t.Fatalf("outcome %s survived past the retention bound", id)
+		}
+	}
+	for _, id := range ids[3:] {
+		if _, ok := s.Outcome(id); !ok {
+			t.Fatalf("recent outcome %s evicted while older space existed", id)
+		}
+	}
+}
+
+// Pressure must track active tenants only: a client minting fresh
+// tenant names (whose queues are empty) must not inflate capacity and
+// hold off the Full→Shedding transition under real overload.
+func TestPressureTracksActiveTenantsOnly(t *testing.T) {
+	s := New(Config{}) // defaults: depth 16, high water 0.75
+	for i := 0; i < 64; i++ {
+		s.queues[fmt.Sprintf("ghost%02d", i)] = nil
+	}
+	s.queues["busy"] = make([]*job, 13)
+	s.queued = 13
+	s.updatePressureLocked()
+	if s.state != StateShedding {
+		t.Fatalf("one tenant at 13/16 fill with 64 idle tenant entries: state %v, want shedding", s.state)
+	}
+
+	// And in a live service, an emptied queue is evicted outright.
+	live := startService(t, Config{Workers: 1})
+	e := registerLorenz(t, live)
+	if o := live.Submit(JobRequest{Tenant: "once", ImageID: e.ID, Alt: fpvm.AltBoxed}); o.Status != StatusCompleted {
+		t.Fatalf("submission: %s (%s)", o.Status, o.Detail)
+	}
+	live.mu.Lock()
+	n := len(live.queues)
+	live.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d empty tenant queues retained after completion, want 0", n)
+	}
+}
+
+func TestRefundReturnsQuotaToken(t *testing.T) {
+	clock := func() time.Time { return time.Unix(0, 0) }
+	a := newAdmission(TenantConfig{}, map[string]TenantConfig{
+		"m": {RatePerSec: 0.001, Burst: 1},
+	}, clock, 0)
+
+	if ok, _ := a.take("m"); !ok {
+		t.Fatal("burst token missing")
+	}
+	if ok, _ := a.take("m"); ok {
+		t.Fatal("empty bucket admitted")
+	}
+	a.refund("m")
+	if ok, _ := a.take("m"); !ok {
+		t.Fatal("refunded token not honored")
+	}
+	// Refunds cap at burst: two refunds into a burst-1 bucket hold one.
+	a.refund("m")
+	a.refund("m")
+	if ok, _ := a.take("m"); !ok {
+		t.Fatal("first post-refund take refused")
+	}
+	if ok, _ := a.take("m"); ok {
+		t.Fatal("refund accumulated past burst")
+	}
+}
+
+// A job admitted on quota but refused at enqueue (queue full) must hand
+// its token back — the tenant shouldn't burn budget on work the service
+// never accepted.
+func TestQueueFullShedRefundsQuota(t *testing.T) {
+	clock := func() time.Time { return time.Unix(0, 0) }
+	s := startService(t, Config{
+		Workers: 1,
+		Tenants: map[string]TenantConfig{
+			// Priority 1: pressure shedding never applies, so the third
+			// submission reaches the queue-capacity check itself.
+			"m": {RatePerSec: 0.0001, Burst: 3, QueueDepth: 1, Priority: 1},
+		},
+		Clock: clock,
+	})
+	e := registerLorenz(t, s)
+
+	block := make(chan struct{})
+	var unblock sync.Once
+	release := func() { unblock.Do(func() { close(block) }) }
+	defer release()
+	s.testHookDispatch = func(*job) { <-block }
+
+	req := JobRequest{Tenant: "m", ImageID: e.ID, Alt: fpvm.AltBoxed}
+	done := make(chan *JobOutcome, 2)
+	go func() { done <- s.Submit(req) }() // token 1: dispatched, blocked
+	waitFor(t, func() bool { s.mu.Lock(); defer s.mu.Unlock(); return s.inflight == 1 })
+	go func() { done <- s.Submit(req) }() // token 2: queued (depth 1)
+	waitFor(t, func() bool { s.mu.Lock(); defer s.mu.Unlock(); return s.queued == 1 })
+
+	o := s.Submit(req) // token 3: queue full → shed + refund
+	if o.Status != StatusShed || o.Reason != ReasonQueue {
+		t.Fatalf("overflow submission: %s/%s (%s), want queue-full shed", o.Status, o.Reason, o.Detail)
+	}
+	if httpStatus(o) != http.StatusServiceUnavailable {
+		t.Fatalf("queue-full shed maps to HTTP %d, want 503", httpStatus(o))
+	}
+
+	release()
+	<-done
+	<-done
+
+	// Burst 3 at a near-zero refill on a frozen clock: only the refund
+	// makes a third admission possible.
+	if o := s.Submit(req); o.Status != StatusCompleted {
+		t.Fatalf("post-refund submission: %s/%s (%s), want completed — refused job burned quota",
+			o.Status, o.Reason, o.Detail)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Maps keyed by client-supplied tenant names must stay bounded when a
+// client cycles fresh names.
+func TestTenantCardinalityBounded(t *testing.T) {
+	s := startService(t, Config{
+		Workers:           2,
+		MaxTrackedTenants: 4,
+		DefaultTenant:     TenantConfig{RatePerSec: 1},
+	})
+	e := registerLorenz(t, s)
+
+	for i := 0; i < 8; i++ {
+		// Unknown-image refusals mint metric series without buckets…
+		s.Submit(JobRequest{Tenant: fmt.Sprintf("mm%02d", i), ImageID: "nope"})
+		// …and admitted jobs mint an admission bucket per tenant.
+		s.Submit(JobRequest{Tenant: fmt.Sprintf("mb%02d", i), ImageID: e.ID, Alt: fpvm.AltBoxed})
+	}
+
+	s.met.mu.Lock()
+	series := len(s.met.byTenant)
+	s.met.mu.Unlock()
+	if series > 5 { // cap + the "_other" overflow label
+		t.Fatalf("metrics track %d tenant series with cap 4", series)
+	}
+	if s.met.tenantCount("_other", StatusFailed) == 0 {
+		t.Fatal("overflow tenants not aggregated under _other")
+	}
+
+	s.adm.mu.Lock()
+	buckets := len(s.adm.buckets)
+	s.adm.mu.Unlock()
+	if buckets > 4 {
+		t.Fatalf("admission holds %d token buckets with cap 4", buckets)
+	}
+}
+
+// The HTTP mapping keys off the structured Reason, so rewording Detail
+// prose can never silently demote a 429 to a 503 (or vice versa).
+func TestHTTPStatusSwitchesOnReason(t *testing.T) {
+	cases := []struct {
+		o    JobOutcome
+		want int
+	}{
+		{JobOutcome{Status: StatusShed, Reason: ReasonQuota, Detail: "totally reworded copy"}, http.StatusTooManyRequests},
+		{JobOutcome{Status: StatusShed, Reason: ReasonQueue}, http.StatusServiceUnavailable},
+		{JobOutcome{Status: StatusShed, Reason: ReasonPressure}, http.StatusServiceUnavailable},
+		{JobOutcome{Status: StatusShed, Reason: ReasonDraining}, http.StatusServiceUnavailable},
+		{JobOutcome{Status: StatusShed, Reason: ReasonFault}, http.StatusServiceUnavailable},
+		{JobOutcome{Status: StatusFailed, Reason: ReasonUnknownImage}, http.StatusNotFound},
+		{JobOutcome{Status: StatusFailed, Reason: ReasonQuarantined}, http.StatusUnprocessableEntity},
+		{JobOutcome{Status: StatusFailed}, http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := httpStatus(&c.o); got != c.want {
+			t.Fatalf("%s/%s maps to HTTP %d, want %d", c.o.Status, c.o.Reason, got, c.want)
+		}
 	}
 }
