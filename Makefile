@@ -20,13 +20,14 @@ race:
 # artifact (BENCH_7.json: cold decode vs interpreted replay vs tier-1
 # JIT, superseding the old two-tier BENCH_2.json), the fleet
 # shared-vs-private throughput artifact (BENCH_4.json), and the fpvmd
-# serving-load artifact (BENCH_8.json: 1000 concurrent HTTP jobs at
-# nominal load plus 2x overload with shedding).
+# serving artifacts (BENCH_8.json: 1000 concurrent HTTP jobs at nominal
+# load plus 2x overload with shedding; BENCH_9.json: warm VM pool vs
+# cold per-slice construction with the pool hit rate).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 	$(GO) run ./cmd/fpvm-bench -fig trace -json BENCH_7.json
 	$(GO) run ./cmd/fpvm-bench -fig fleet -json BENCH_4.json
-	$(GO) run ./cmd/fpvm-bench -fig service -json BENCH_8.json
+	$(GO) run ./cmd/fpvm-bench -fig service -json BENCH_8.json -pool-json BENCH_9.json
 
 # Bounded race-enabled fleet soak: the concurrency surface (worker
 # pool, shared cache adoption/invalidation, forks inside a fleet)
@@ -43,13 +44,14 @@ crash-soak:
 	$(GO) test -race -count=3 -run 'TestKillResumeRecovery|TestFleetPreemptionMatchesWholeJobs|TestRecoverRejectsForeignSnapshots|TestFleetPanicIsolation' ./internal/fleet/
 
 # Race-enabled chaos soak of the fpvmd serving stack: mixed tenants
-# with quotas, priorities and deadlines, faults injected at every
-# service site plus per-job VM fault storms, a mid-flight SIGKILL with
-# bit-identical recovery, and drain/restart resume. Every response must
-# carry a deliberate status and the fault ledgers must reconcile.
-# Wired into `make check` and CI.
+# with quotas, priorities and deadlines, async submissions racing the
+# blocking path, faults injected at every service site plus per-job VM
+# fault storms, a mid-flight SIGKILL with bit-identical recovery, and
+# drain/restart resume — including async jobs and deadline twins across
+# the restart. Every response must carry a deliberate status and the
+# fault ledgers must reconcile. Wired into `make check` and CI.
 service-soak:
-	$(GO) test -race -run 'TestServiceChaosSoak|TestServiceKillRecover|TestDrainSuspendsAndJournals|TestWorkerPanicIsContainedAndQuarantines' ./internal/service/
+	$(GO) test -race -run 'TestServiceChaosSoak|TestServiceKillRecover|TestDrainSuspendsAndJournals|TestWorkerPanicIsContainedAndQuarantines|TestAsyncJobsAcrossDrainRestart|TestDeadlineTwinAcrossRecovery|TestConcurrentDrainsAgreeUnderEviction' ./internal/service/
 
 # Fast smoke of the benchmark code paths: every benchmark compiles and
 # survives one iteration. BenchmarkJITTierGate rides along as a hard

@@ -9,14 +9,20 @@
 //	fpvmd [-addr :8037] [-state DIR] [-workers N] [-quantum CYCLES]
 //	      [-deadline CYCLES] [-rate R] [-burst B] [-depth D]
 //	      [-tenant name:key=val,...]... [-inject SPEC] [-inject-seed N]
-//	      [-preload]
+//	      [-preload] [-pool N] [-no-pool]
 //
 // API:
 //
-//	POST /v1/images   {"workload": "lorenz_attractor"}    -> image ID (content hash)
-//	POST /v1/jobs     {"tenant": ..., "image": ..., ...}  -> blocks; returns the job outcome
-//	GET  /v1/jobs/{id}                                    -> outcome by job ID
+//	POST /v1/images           {"workload": "lorenz_attractor"}    -> image ID (content hash)
+//	POST /v1/jobs             {"tenant": ..., "image": ..., ...}  -> blocks; returns the job outcome
+//	POST /v1/jobs?async=1     same body                           -> 202 + job ID immediately
+//	GET  /v1/jobs/{id}                                            -> outcome by job ID (202 while in flight)
+//	GET  /v1/jobs/{id}/events                                     -> SSE status stream (?poll=1 long-polls)
 //	GET  /healthz, /readyz, /metrics
+//
+// With -preload, registered images also get their warm VM pools filled
+// at startup, so the first request is already served by a prebuilt
+// shell.
 //
 // On SIGTERM or SIGINT the daemon stops admitting, snapshots every
 // in-flight job at its next trap boundary, journals it, and exits.
@@ -41,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"fpvm"
 	"fpvm/internal/faultinject"
 	"fpvm/internal/service"
 	"fpvm/internal/workloads"
@@ -67,7 +74,9 @@ func run() int {
 	depth := flag.Int("depth", 0, "default tenant queue depth (0 = default)")
 	inject := flag.String("inject", "", "fault-injection spec (site:prob=P,every=N,...; sites include svc.*)")
 	injectSeed := flag.Uint64("inject-seed", 1, "fault-injection seed")
-	preload := flag.Bool("preload", false, "register every micro workload at startup and log the image IDs")
+	preload := flag.Bool("preload", false, "register every micro workload at startup (and prewarm their VM pools) and log the image IDs")
+	poolSize := flag.Int("pool", 0, "warm VM shells to keep per image (0 = worker count)")
+	noPool := flag.Bool("no-pool", false, "disable warm VM pooling; construct every VM cold")
 
 	tenants := map[string]service.TenantConfig{}
 	flag.Func("tenant", "per-tenant policy name:rate=R,burst=B,depth=D,priority=P (repeatable)", func(v string) error {
@@ -103,7 +112,9 @@ func run() int {
 			Burst:      *burst,
 			QueueDepth: *depth,
 		},
-		Tenants: tenants,
+		Tenants:  tenants,
+		PoolSize: *poolSize,
+		NoPool:   *noPool,
 	})
 	recovered, err := s.Start()
 	if err != nil {
@@ -122,6 +133,9 @@ func run() int {
 				continue
 			}
 			logger.Printf("preloaded %s as %s", name, e.ID)
+		}
+		if shells := s.WarmPools(fpvm.AltBoxed, 0); shells > 0 {
+			logger.Printf("prewarmed %d VM shell(s)", shells)
 		}
 	}
 

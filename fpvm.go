@@ -442,9 +442,33 @@ func ConfigSignature(cfg Config) string {
 		cfg.CheckpointInterval, cfg.MaxRollbacks, cfg.Precision, cfg.RetryBackoffCycles)
 }
 
-// runVM builds the full virtual machine for img, optionally reinstates a
-// decoded snapshot, and runs to completion or the preemption quantum.
-func runVM(img *obj.Image, cfg Config, snap *checkpoint.Image) (*Result, error) {
+// VM is a fully constructed, not-yet-executed virtual machine: address
+// space mapped, image loaded, FPVM attached with wrappers installed,
+// entry point armed, MXCSR trapping. Prepare builds one; Run or Resume
+// consumes it. A VM is single-use — execution dirties the guest address
+// space — so a second Run/Resume on the same VM fails.
+//
+// The split exists for warm pooling: a serving layer can construct VMs
+// ahead of demand (off the request path) and hand each job a pre-built
+// shell, paying only the step loop per request. Everything captured at
+// Prepare time is semantic configuration; the preemption quantum is a
+// scheduling knob (deliberately outside ConfigSignature) and may be
+// adjusted per slice with SetPreemptQuantum.
+type VM struct {
+	img  *obj.Image
+	cfg  Config
+	sys  alt.System
+	m    *machine.Machine
+	k    *kernel.Kernel
+	p    *kernel.Process
+	rt   *fpvmrt.Runtime
+	used bool
+}
+
+// Prepare builds the full virtual machine for img without executing it.
+// The returned VM runs cfg's configuration exactly as Run(img, cfg)
+// would; Run/Resume on it are the execution halves of that call.
+func Prepare(img *obj.Image, cfg Config) (*VM, error) {
 	sys, err := NewAltSystem(cfg.Alt, cfg.Precision)
 	if err != nil {
 		return nil, err
@@ -508,6 +532,40 @@ func runVM(img *obj.Image, cfg Config, snap *checkpoint.Image) (*Result, error) 
 	// program start didn't reset it.
 	m.CPU.MXCSR = machine.MXCSRTrapAll
 
+	return &VM{img: img, cfg: cfg, sys: sys, m: m, k: k, p: p, rt: rt}, nil
+}
+
+// SetPreemptQuantum adjusts the slice length before Run or Resume.
+// Quantum is excluded from ConfigSignature, so a VM prepared under one
+// quantum may execute (and resume snapshots taken) under another.
+func (vm *VM) SetPreemptQuantum(q uint64) { vm.cfg.PreemptQuantum = q }
+
+// Run executes the prepared VM from its entry point.
+func (vm *VM) Run() (*Result, error) { return vm.exec(nil) }
+
+// Resume executes the prepared VM from a serialized snapshot, subject to
+// the same bindings as the package-level Resume: the snapshot must match
+// the VM's image hash, alt system and semantic configuration.
+func (vm *VM) Resume(snapshot []byte) (*Result, error) {
+	snap, err := checkpoint.Decode(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	if err := snap.Validate(vm.img.Hash(), vm.sys.Name(), ConfigSignature(vm.cfg)); err != nil {
+		return nil, err
+	}
+	return vm.exec(snap)
+}
+
+// exec is the step loop shared by Run and Resume: optionally reinstate a
+// decoded snapshot, then run to completion or the preemption quantum.
+func (vm *VM) exec(snap *checkpoint.Image) (*Result, error) {
+	if vm.used {
+		return nil, fmt.Errorf("fpvm: VM already executed (prepared VMs are single-use)")
+	}
+	vm.used = true
+	cfg, m, k, p, rt := vm.cfg, vm.m, vm.k, vm.p, vm.rt
+
 	var steps uint64
 	if snap != nil {
 		if err := rt.RestoreImage(snap); err != nil {
@@ -516,7 +574,7 @@ func runVM(img *obj.Image, cfg Config, snap *checkpoint.Image) (*Result, error) 
 		steps = snap.Steps
 	}
 	if cfg.PreemptQuantum > 0 && !rt.CanSuspend() {
-		return nil, fmt.Errorf("fpvm: PreemptQuantum requires an alt system with a value codec (%q has none)", sys.Name())
+		return nil, fmt.Errorf("fpvm: PreemptQuantum requires an alt system with a value codec (%q has none)", vm.sys.Name())
 	}
 
 	maxSteps := cfg.MaxSteps
@@ -550,7 +608,7 @@ func runVM(img *obj.Image, cfg Config, snap *checkpoint.Image) (*Result, error) 
 	}
 
 	if preempted && runErr == nil {
-		wi, err := rt.CaptureImage(img.Hash(), ConfigSignature(cfg), steps)
+		wi, err := rt.CaptureImage(vm.img.Hash(), ConfigSignature(cfg), steps)
 		if err != nil {
 			return nil, err
 		}
@@ -576,6 +634,16 @@ func runVM(img *obj.Image, cfg Config, snap *checkpoint.Image) (*Result, error) 
 		res.FaultReport = cfg.Inject.Report()
 	}
 	return res, runErr
+}
+
+// runVM builds the full virtual machine for img, optionally reinstates a
+// decoded snapshot, and runs to completion or the preemption quantum.
+func runVM(img *obj.Image, cfg Config, snap *checkpoint.Image) (*Result, error) {
+	vm, err := Prepare(img, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return vm.exec(snap)
 }
 
 // partialResult assembles the counter surface shared by completed and

@@ -1,0 +1,84 @@
+package fleet_test
+
+import (
+	"testing"
+
+	"fpvm"
+	"fpvm/internal/fleet"
+	"fpvm/internal/workloads"
+)
+
+// A job's DeadlineCycles must cancel it at the first trap boundary at or
+// past the budget — even when the preemption quantum is larger than the
+// remaining budget. Pre-fix, slices were not capped at the remaining
+// deadline, so a quantum wider than the budget let the job run to
+// completion and recovery reported a full run labelled late instead of
+// the partial cancellation a live deadline-bounded run produces.
+func TestJobDeadlineCancelsAtBoundary(t *testing.T) {
+	img, err := workloads.BuildMicro(workloads.Lorenz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fpvm.Config{Seq: true, Short: true}
+	full, err := fpvm.Run(img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := full.Cycles / 2
+
+	// Quantum wider than the whole job: only the remaining-budget cap can
+	// make the deadline observable at all.
+	rep := fleet.Run([]fleet.Job{
+		{Name: "bounded", Image: img, Config: cfg, DeadlineCycles: deadline},
+		{Name: "free", Image: img, Config: cfg},
+	}, fleet.Options{Workers: 1, PreemptQuantum: full.Cycles * 2})
+
+	if rep.Failures != 0 {
+		t.Fatalf("deadline cancellation counted as failure:\n%s", rep.Summary())
+	}
+	jr := rep.Results[0]
+	if jr.Err != nil {
+		t.Fatalf("bounded job errored: %v", jr.Err)
+	}
+	if !jr.DeadlineExceeded {
+		t.Fatalf("bounded job not cancelled: DeadlineExceeded=false, cycles=%d (full run is %d)",
+			jr.Result.Cycles, full.Cycles)
+	}
+	if !jr.Result.Preempted {
+		t.Fatal("deadline cancellation must carry the partial, preempted-shaped result")
+	}
+	if jr.Result.Cycles < deadline || jr.Result.Cycles >= full.Cycles {
+		t.Fatalf("cancelled at %d cycles; want within [deadline %d, full %d)",
+			jr.Result.Cycles, deadline, full.Cycles)
+	}
+	if jr.Result.Final != nil {
+		t.Fatal("cancelled job carries a final architectural state; partial results must not")
+	}
+
+	free := rep.Results[1]
+	if free.Err != nil || free.DeadlineExceeded || free.Result.Cycles != full.Cycles {
+		t.Fatalf("deadline-free job in the same fleet diverged: err=%v deadlined=%v cycles=%d want %d",
+			free.Err, free.DeadlineExceeded, free.Result.Cycles, full.Cycles)
+	}
+}
+
+// An already-spent budget (resume at or past the deadline) must still
+// run a minimal slice and cancel, never disable preemption by setting a
+// zero quantum.
+func TestJobDeadlineAlreadySpent(t *testing.T) {
+	img, err := workloads.BuildMicro(workloads.Lorenz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fpvm.Config{Seq: true, Short: true}
+	rep := fleet.Run([]fleet.Job{
+		{Name: "spent", Image: img, Config: cfg, DeadlineCycles: 1},
+	}, fleet.Options{Workers: 1, PreemptQuantum: 1_000_000_000})
+	jr := rep.Results[0]
+	if jr.Err != nil {
+		t.Fatalf("spent-budget job errored: %v", jr.Err)
+	}
+	if !jr.DeadlineExceeded {
+		t.Fatalf("1-cycle budget not cancelled: cycles=%d", jr.Result.Cycles)
+	}
+}

@@ -56,6 +56,17 @@ type Job struct {
 	// Config configures the job's VM. Leave Shared nil — the runner
 	// manages cache sharing fleet-wide via Options.Share.
 	Config fpvm.Config
+
+	// DeadlineCycles, when > 0, cancels the job at the first trap
+	// boundary at or past that many virtual cycles: slices are capped at
+	// the remaining budget, and a preemption landing on or beyond the
+	// deadline finalizes the job with its partial result and
+	// JobResult.DeadlineExceeded set — exactly the semantics a live
+	// deadline-bounded run has, so recovery through Recover reproduces
+	// the same cancellation a crashed service would have performed.
+	// Requires a preemption quantum (Options.PreemptQuantum or the job
+	// Config's own) to bound the slice length.
+	DeadlineCycles uint64
 }
 
 // Options configures a fleet run.
@@ -108,6 +119,11 @@ type JobResult struct {
 	Preemptions int
 	Migrations  int
 	Resumed     bool
+
+	// DeadlineExceeded reports the job was cancelled at a trap boundary
+	// because it consumed its Job.DeadlineCycles budget; Result then
+	// holds the partial (preempted-shaped) state at cancellation.
+	DeadlineExceeded bool
 }
 
 // Report is the fleet-level roll-up.
@@ -453,6 +469,18 @@ func run(jobs []Job, opts Options, resume map[int]seed) *Report {
 				if opts.PreemptQuantum > 0 {
 					cfg.PreemptQuantum = opts.PreemptQuantum
 				}
+				if job.DeadlineCycles > 0 && cfg.PreemptQuantum > 0 {
+					// Cap the slice at the remaining deadline budget so the
+					// cancellation lands on the same trap boundary a live
+					// deadline-bounded run would stop at. A quantum of 0
+					// would disable preemption entirely, so an (already
+					// spent) budget still runs a minimal 1-cycle slice.
+					if rem := job.DeadlineCycles - t.cycles; job.DeadlineCycles <= t.cycles {
+						cfg.PreemptQuantum = 1
+					} else if rem < cfg.PreemptQuantum {
+						cfg.PreemptQuantum = rem
+					}
+				}
 				if t.lastWorker >= 0 && t.lastWorker != w {
 					t.migrations++
 				}
@@ -462,28 +490,36 @@ func run(jobs []Job, opts Options, resume map[int]seed) *Report {
 				res, err := runSlice(job, cfg, t.snapshot)
 				t.elapsed += time.Since(t0)
 
+				deadlined := false
 				if err == nil && res != nil && res.Preempted {
 					t.preemptions++
 					t.snapshot = res.Snapshot
 					t.cycles = res.Cycles
-					if snapDir != "" {
-						path := snapshotPath(snapDir, t.idx, job.Name)
-						if werr := checkpoint.WriteFileAtomic(path, res.Snapshot); werr != nil {
-							persistFailures.Add(1)
+					if job.DeadlineCycles > 0 && t.cycles >= job.DeadlineCycles {
+						// Deadline blown: cancel at this trap boundary with
+						// the partial result instead of requeueing.
+						deadlined = true
+					} else {
+						if snapDir != "" {
+							path := snapshotPath(snapDir, t.idx, job.Name)
+							if werr := checkpoint.WriteFileAtomic(path, res.Snapshot); werr != nil {
+								persistFailures.Add(1)
+							}
 						}
+						s.put(t)
+						continue
 					}
-					s.put(t)
-					continue
 				}
 
 				rep.Results[t.idx] = JobResult{
-					Name:        job.Name,
-					Result:      res,
-					Err:         err,
-					Elapsed:     t.elapsed,
-					Preemptions: t.preemptions,
-					Migrations:  t.migrations,
-					Resumed:     t.resumed,
+					Name:             job.Name,
+					Result:           res,
+					Err:              err,
+					Elapsed:          t.elapsed,
+					Preemptions:      t.preemptions,
+					Migrations:       t.migrations,
+					Resumed:          t.resumed,
+					DeadlineExceeded: deadlined,
 				}
 				if snapDir != "" {
 					os.Remove(snapshotPath(snapDir, t.idx, job.Name))

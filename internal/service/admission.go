@@ -131,6 +131,15 @@ func (a *admission) refund(tenant string) {
 	defer a.mu.Unlock()
 	b := a.buckets[tenant]
 	if b == nil {
+		// The bucket was evicted between take and this refusal. Eviction
+		// may only forget state, never a debt the service owes: recreate
+		// the bucket holding the refunded token — a fresh bucket starts
+		// at burst, take removed one, this refund returns it.
+		now := a.now()
+		if len(a.buckets) >= a.maxBuckets {
+			a.evictLocked(now)
+		}
+		a.buckets[tenant] = &bucket{tokens: tc.burst(), last: now}
 		return
 	}
 	if b.tokens++; b.tokens > tc.burst() {

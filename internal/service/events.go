@@ -1,0 +1,96 @@
+package service
+
+// JobEvent is one status transition in a job's lifetime, as streamed by
+// GET /v1/jobs/{id}/events. Seq is 1-based and dense per job; Terminal
+// marks the last event the job will ever emit on this daemon instance
+// (suspended is terminal here — the job's next event belongs to the
+// instance that recovers it).
+type JobEvent struct {
+	Seq      int    `json:"seq"`
+	Status   Status `json:"status"`
+	Detail   string `json:"detail,omitempty"`
+	Terminal bool   `json:"terminal"`
+}
+
+// phaseRank orders a job's lifecycle: pending < running < any settled
+// disposition. Phase updates race (a submitter records pending while a
+// worker may already be finishing), so both the outcome store and the
+// event log accept only rank-monotone transitions.
+func phaseRank(st Status) int {
+	switch st {
+	case StatusPending:
+		return 0
+	case StatusRunning:
+		return 1
+	}
+	return 2
+}
+
+// terminalStatus reports whether st is a settled disposition (pending
+// and running are the async API's in-flight phases).
+func terminalStatus(st Status) bool { return phaseRank(st) == 2 }
+
+// jobTrack accumulates one job's events. notify is closed and replaced
+// on every append, so any number of streamers wait for "something new"
+// without polling; a closed-and-gone track (eviction) also closes
+// notify so waiters wake and observe the 404.
+type jobTrack struct {
+	events []JobEvent
+	notify chan struct{}
+}
+
+// appendEvent records a status transition on id's event log, creating
+// the track on first use. Rank-regressing transitions are dropped (see
+// phaseRank) so a stale phase can never be streamed after the terminal
+// event.
+func (s *Service) appendEvent(id string, st Status, detail string) {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	tr := s.tracks[id]
+	if tr == nil {
+		tr = &jobTrack{notify: make(chan struct{})}
+		s.tracks[id] = tr
+	}
+	if n := len(tr.events); n > 0 && phaseRank(st) < phaseRank(tr.events[n-1].Status) {
+		return
+	}
+	tr.events = append(tr.events, JobEvent{
+		Seq:      len(tr.events) + 1,
+		Status:   st,
+		Detail:   detail,
+		Terminal: terminalStatus(st),
+	})
+	close(tr.notify)
+	tr.notify = make(chan struct{})
+}
+
+// eventsAfter returns id's events with Seq > since plus the channel that
+// closes on the next append. ok is false for unknown (or evicted) jobs.
+func (s *Service) eventsAfter(id string, since int) (evs []JobEvent, notify <-chan struct{}, ok bool) {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	tr := s.tracks[id]
+	if tr == nil {
+		return nil, nil, false
+	}
+	if since < 0 {
+		since = 0
+	}
+	if since < len(tr.events) {
+		evs = append([]JobEvent(nil), tr.events[since:]...)
+	}
+	return evs, tr.notify, true
+}
+
+// dropTracks evicts event logs alongside their outcomes, waking any
+// streamer blocked on them so it observes the job is gone.
+func (s *Service) dropTracks(ids []string) {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	for _, id := range ids {
+		if tr := s.tracks[id]; tr != nil {
+			close(tr.notify)
+			delete(s.tracks, id)
+		}
+	}
+}

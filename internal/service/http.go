@@ -5,17 +5,19 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"time"
 )
 
 // HTTP mapping of job outcomes. Shed responses carry a jittered
 // Retry-After; suspended responses are 202 (the work is accepted and
-// journaled — re-query the job ID against the next daemon instance).
+// journaled — re-query the job ID against the next daemon instance), as
+// are the async in-flight phases (accepted, not yet settled).
 func httpStatus(o *JobOutcome) int {
 	switch o.Status {
 	case StatusCompleted, StatusDegraded, StatusRecovered:
 		return http.StatusOK
-	case StatusSuspended:
+	case StatusSuspended, StatusPending, StatusRunning:
 		return http.StatusAccepted
 	case StatusDeadline:
 		return http.StatusGatewayTimeout
@@ -41,9 +43,12 @@ func httpStatus(o *JobOutcome) int {
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST /v1/images   {"workload": "lorenz"}            → content-addressed image ID
-//	POST /v1/jobs     JobRequest JSON                   → JobOutcome JSON (blocks to completion)
-//	GET  /v1/jobs/{id}                                  → stored outcome (incl. recovered jobs)
+//	POST /v1/images           {"workload": "lorenz"}    → content-addressed image ID
+//	POST /v1/jobs             JobRequest JSON           → JobOutcome JSON (blocks to completion)
+//	POST /v1/jobs?async=1     JobRequest JSON           → 202 + pending JobOutcome (job ID) immediately
+//	GET  /v1/jobs/{id}                                  → stored outcome (pending/running → 202)
+//	GET  /v1/jobs/{id}/events                           → SSE status-transition stream
+//	GET  /v1/jobs/{id}/events?poll=1&since=N            → long-poll fallback (JSON events after seq N)
 //	GET  /healthz                                       → 200 while the process serves
 //	GET  /readyz                                        → 200 admitting, 503 draining
 //	GET  /metrics                                       → Prometheus text
@@ -52,6 +57,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/images", s.handleRegister)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleOutcome)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 	})
@@ -106,7 +112,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Alt == "" {
 		req.Alt = "boxed"
 	}
-	o := s.Submit(req)
+	var o *JobOutcome
+	if r.URL.Query().Get("async") == "1" {
+		o = s.SubmitAsync(req)
+	} else {
+		o = s.Submit(req)
+	}
 	if o.RetryAfter > 0 {
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(math.Ceil(o.RetryAfter.Seconds()))))
 	}
@@ -121,6 +132,110 @@ func (s *Service) handleOutcome(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, httpStatus(o), o)
+}
+
+// handleEvents streams a job's status transitions. Default transport is
+// Server-Sent Events; ?poll=1 (or a ResponseWriter that can't flush)
+// selects the long-poll fallback. Both honor a `since` cursor (also the
+// SSE Last-Event-ID header) so reconnecting clients resume without
+// replaying or losing transitions.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	since := 0
+	if v := r.URL.Query().Get("since"); v != "" {
+		since, _ = strconv.Atoi(v)
+	} else if v := r.Header.Get("Last-Event-ID"); v != "" {
+		since, _ = strconv.Atoi(v)
+	}
+	if _, _, ok := s.eventsAfter(id, since); !ok {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown job " + id})
+		return
+	}
+
+	flusher, canFlush := w.(http.Flusher)
+	if r.URL.Query().Get("poll") == "1" || !canFlush {
+		s.longPollEvents(w, r, id, since)
+		return
+	}
+	s.streamEvents(w, r, id, since, flusher)
+}
+
+// longPollEvents answers one GET with the events after `since`, waiting
+// up to the poll window for the first new one. An empty list on timeout
+// is a valid answer — the client re-polls with the same cursor.
+func (s *Service) longPollEvents(w http.ResponseWriter, r *http.Request, id string, since int) {
+	wait := 30 * time.Second
+	if v := r.URL.Query().Get("wait_ms"); v != "" {
+		if ms, err := strconv.Atoi(v); err == nil && ms >= 0 {
+			wait = time.Duration(ms) * time.Millisecond
+			if wait > time.Minute {
+				wait = time.Minute
+			}
+		}
+	}
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		evs, notify, ok := s.eventsAfter(id, since)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown job " + id})
+			return
+		}
+		if len(evs) > 0 {
+			writeJSON(w, http.StatusOK, map[string]any{"job": id, "events": evs})
+			return
+		}
+		select {
+		case <-notify:
+		case <-deadline.C:
+			writeJSON(w, http.StatusOK, map[string]any{"job": id, "events": []JobEvent{}})
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// streamEvents is the SSE transport: each status transition is one
+// `event: <status>` frame whose data is the JobEvent JSON; `id:` carries
+// the sequence number for Last-Event-ID resumption. The stream ends at
+// the job's terminal event (or client disconnect); idle waits emit
+// comment heartbeats so intermediaries don't reap the connection.
+func (s *Service) streamEvents(w http.ResponseWriter, r *http.Request, id string, since int, flusher http.Flusher) {
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		evs, notify, ok := s.eventsAfter(id, since)
+		if !ok {
+			// Evicted mid-stream: nothing more will ever arrive.
+			return
+		}
+		for _, ev := range evs {
+			data, _ := json.Marshal(ev)
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Status, data)
+			since = ev.Seq
+			if ev.Terminal {
+				flusher.Flush()
+				return
+			}
+		}
+		flusher.Flush()
+		select {
+		case <-notify:
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": keep-alive\n\n")
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

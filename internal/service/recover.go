@@ -38,6 +38,7 @@ func (s *Service) recoverJournaled() (int, error) {
 		}
 	}
 	if len(pending) == 0 {
+		s.sweepStaleSnapshots()
 		return 0, nil
 	}
 
@@ -78,10 +79,16 @@ func (s *Service) recoverJournaled() (int, error) {
 				Seq:       true,
 				Short:     true,
 			},
+			// The journaled deadline rides into recovery so the fleet
+			// cancels at the same virtual-cycle ceiling a live run would:
+			// slices capped at the remaining budget, partial result at
+			// the blown boundary — not a full run labelled late.
+			DeadlineCycles: rec.Deadline,
 		})
 		recs = append(recs, rec)
 	}
 	if len(jobs) == 0 {
+		s.sweepStaleSnapshots()
 		return 0, nil
 	}
 
@@ -115,7 +122,10 @@ func (s *Service) recoverJournaled() (int, error) {
 			if res.Detached {
 				st = StatusDegraded
 				detail = "recovery: fatal rung detached; guest completed natively"
-			} else if rec.Deadline > 0 && res.Cycles > rec.Deadline {
+			} else if jr.DeadlineExceeded {
+				// The fleet cancelled at the trap boundary with a partial
+				// (preempted-shaped) result — identical semantics to the
+				// live path's deadline cancellation, including no digest.
 				st = StatusDeadline
 				detail = fmt.Sprintf("recovery: deadline %d cycles exceeded at %d", rec.Deadline, res.Cycles)
 			}
@@ -129,7 +139,26 @@ func (s *Service) recoverJournaled() (int, error) {
 			recovered++
 		}
 	}
+	s.sweepStaleSnapshots()
 	return recovered, nil
+}
+
+// sweepStaleSnapshots removes snapshot files recovery can no longer tie
+// to any journaled job: job-*.snap whose record was already closed out
+// (or, before the journal-before-publish ordering fix, never written),
+// fleet-*.snap left behind by rejected recovery attempts, and torn
+// .snap.tmp debris. Runs at the end of every recovery so SnapshotDir
+// cannot accumulate unreferenced files across restarts. Pending jobs'
+// snapshots were renamed onto fleet slot names and consumed (or
+// rejected) by fleet.Recover before this point, so everything still
+// matching these patterns is garbage.
+func (s *Service) sweepStaleSnapshots() {
+	for _, pat := range []string{"job-*.snap", "fleet-*.snap", "*.snap.tmp"} {
+		matches, _ := filepath.Glob(filepath.Join(s.cfg.SnapshotDir, pat))
+		for _, p := range matches {
+			removeQuiet(p)
+		}
+	}
 }
 
 func mustEntry(r *Registry, id string) *ImageEntry {

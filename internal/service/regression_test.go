@@ -1,0 +1,291 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fpvm"
+)
+
+// Satellite (a): deadline semantics must not diverge between a live run
+// and a crashed-then-recovered one. The twin protocol: the same
+// deadline-bounded submission runs once uninterrupted and once suspended
+// mid-flight (well before the deadline) and recovered by a fresh
+// instance. Both must report the same status, a cycle count inside
+// [deadline, full-run), and the same partial-result shape — no final
+// digest, stdout a prefix of the full run's. Pre-fix, recovery ran the
+// job to completion and labelled the full result late: full cycles, full
+// stdout, and a digest a cancelled run can never have.
+func TestDeadlineTwinAcrossRecovery(t *testing.T) {
+	live := startService(t, Config{Workers: 1, PreemptQuantum: 2_000})
+	e := registerLorenz(t, live)
+	full := live.Submit(JobRequest{Tenant: "twin", ImageID: e.ID, Alt: fpvm.AltBoxed})
+	if full.Status != StatusCompleted {
+		t.Fatalf("reference run: %s (%s)", full.Status, full.Detail)
+	}
+	deadline := full.Cycles / 2
+
+	twinLive := live.Submit(JobRequest{
+		Tenant: "twin", ImageID: e.ID, Alt: fpvm.AltBoxed, DeadlineCycles: deadline,
+	})
+	if twinLive.Status != StatusDeadline {
+		t.Fatalf("live twin: %s (%s), want deadline-exceeded", twinLive.Status, twinLive.Detail)
+	}
+
+	// The crashed twin: held at dispatch, drained so it suspends at its
+	// first trap boundary (~one quantum, far below the deadline), then
+	// recovered by a fresh instance that must perform the cancellation.
+	dir := t.TempDir()
+	s := New(Config{Workers: 1, PreemptQuantum: 2_000, SnapshotDir: dir})
+	if _, err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := registerLorenz(t, s)
+	block := make(chan struct{})
+	s.testHookDispatch = func(*job) { <-block }
+	o := s.SubmitAsync(JobRequest{
+		Tenant: "twin", ImageID: e2.ID, Alt: fpvm.AltBoxed, DeadlineCycles: deadline,
+	})
+	if phaseRank(o.Status) == 2 {
+		t.Fatalf("async twin settled before dispatch: %s (%s)", o.Status, o.Detail)
+	}
+	waitFor(t, func() bool { s.mu.Lock(); defer s.mu.Unlock(); return s.inflight == 1 })
+	drained := make(chan int, 1)
+	go func() { drained <- s.Drain() }()
+	waitFor(t, func() bool { return s.State() == StateDraining })
+	close(block)
+	if n := <-drained; n != 1 {
+		t.Fatalf("drain suspended %d jobs, want 1", n)
+	}
+	if so, ok := s.Outcome(o.ID); !ok || so.Status != StatusSuspended {
+		t.Fatalf("twin not suspended before recovery: %+v (ok=%v)", so, ok)
+	}
+
+	s2 := New(Config{Workers: 1, SnapshotDir: dir})
+	recovered, err := s2.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain()
+	if recovered != 1 {
+		t.Fatalf("recovered %d jobs, want 1", recovered)
+	}
+	twinRec, ok := s2.Outcome(o.ID)
+	if !ok {
+		t.Fatalf("recovered twin %s has no outcome", o.ID)
+	}
+
+	if twinRec.Status != twinLive.Status {
+		t.Fatalf("twin statuses diverge: recovered %s (%s), live %s",
+			twinRec.Status, twinRec.Detail, twinLive.Status)
+	}
+	if !twinRec.Recovered {
+		t.Fatal("recovered twin not flagged Recovered")
+	}
+	for name, twin := range map[string]*JobOutcome{"live": twinLive, "recovered": twinRec} {
+		if twin.Cycles < deadline || twin.Cycles >= full.Cycles {
+			t.Fatalf("%s twin cancelled at %d cycles; want within [deadline %d, full %d)",
+				name, twin.Cycles, deadline, full.Cycles)
+		}
+		if twin.Digest != "" {
+			t.Fatalf("%s twin carries a final-state digest %q; a cancelled run has none", name, twin.Digest)
+		}
+		if !strings.HasPrefix(full.Stdout, twin.Stdout) || twin.Stdout == full.Stdout {
+			t.Fatalf("%s twin stdout is not a strict prefix of the full run's", name)
+		}
+	}
+}
+
+// Satellite (b), ordering half: a job must be journaled before it is
+// claimable by any worker. The hook fires under s.mu at the instant of
+// publication — the journal read there must already hold the job record,
+// or a crash in that window would orphan the worker's snapshot and done
+// record (done-before-job). Pre-fix, the journal append ran after the
+// queue insert.
+func TestJournalPrecedesPublication(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Workers: 1, SnapshotDir: dir})
+	if _, err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	e := registerLorenz(t, s)
+
+	var hookErr error
+	checked := 0
+	s.testHookPreSignal = func(j *job) {
+		checked++
+		pending, _, err := readJournal(dir)
+		if err != nil {
+			hookErr = err
+			return
+		}
+		for _, rec := range pending {
+			if rec.ID == j.id {
+				return
+			}
+		}
+		hookErr = fmt.Errorf("job %s became claimable with no journal record", j.id)
+	}
+
+	if o := s.Submit(JobRequest{Tenant: "t", ImageID: e.ID, Alt: fpvm.AltBoxed}); o.Status != StatusCompleted {
+		t.Fatalf("submission: %s (%s)", o.Status, o.Detail)
+	}
+	if checked == 0 {
+		t.Fatal("publication hook never fired; the ordering went unchecked")
+	}
+	if hookErr != nil {
+		t.Fatal(hookErr)
+	}
+}
+
+// Satellite (b), sweep half: recovery must remove snapshot files it
+// cannot tie to any journaled job — orphans from the pre-fix ordering
+// window, fleet debris from rejected recoveries, and torn temp files.
+// Pre-fix they accumulated in SnapshotDir forever.
+func TestRecoverySweepsOrphanSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	orphans := []string{"job-j9_00042_ghost.snap", "fleet-0007-ghost.snap", "torn.snap.tmp"}
+	for _, name := range orphans {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("debris"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := New(Config{Workers: 1, SnapshotDir: dir})
+	if _, err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+
+	for _, name := range orphans {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived recovery", name)
+		}
+	}
+	// The journal itself must survive the sweep.
+	if _, err := os.Stat(filepath.Join(dir, journalName)); err != nil {
+		t.Fatalf("sweep took the journal with it: %v", err)
+	}
+}
+
+// Satellite (c): quarantine landing between admission and dispatch must
+// refuse the job at dispatch with the structured quarantine reason.
+// Pre-fix, dispatch never re-checked (and a second registry Get could
+// even resolve a different entry), so a job admitted moments before a
+// panic ran a quarantined image anyway.
+func TestQuarantineRecheckedAtDispatch(t *testing.T) {
+	s := startService(t, Config{Workers: 1})
+	e := registerLorenz(t, s)
+
+	var once sync.Once
+	s.testHookDispatch = func(*job) {
+		once.Do(func() { s.Registry().Quarantine(e.ID, "raced in after admission") })
+	}
+
+	o := s.Submit(JobRequest{Tenant: "t", ImageID: e.ID, Alt: fpvm.AltBoxed})
+	if o.Status != StatusFailed || o.Reason != ReasonQuarantined {
+		t.Fatalf("raced job: %s/%s (%s), want failed/quarantined", o.Status, o.Reason, o.Detail)
+	}
+	if !strings.Contains(o.Detail, "between admission and dispatch") {
+		t.Fatalf("refusal does not name the dispatch re-check: %q", o.Detail)
+	}
+}
+
+// Satellite (d): Drain's count. Two concurrent callers must report the
+// same (correct) count — pre-fix the second returned 0 immediately — and
+// the count must survive outcome-store eviction: with OutcomeRetention
+// far below the suspension count, a scan of the bounded store would
+// under-count (pre-fix it did exactly that).
+func TestConcurrentDrainsAgreeUnderEviction(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Workers: 1, PreemptQuantum: 2_000, SnapshotDir: dir, OutcomeRetention: 2})
+	if _, err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	e := registerLorenz(t, s)
+
+	block := make(chan struct{})
+	s.testHookDispatch = func(*job) { <-block }
+
+	const jobs = 4 // 1 held at dispatch + 3 queued, all suspended by the drain
+	outs := make(chan *JobOutcome, jobs)
+	for i := 0; i < jobs; i++ {
+		go func() { outs <- s.Submit(JobRequest{Tenant: "t", ImageID: e.ID, Alt: fpvm.AltBoxed}) }()
+	}
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.inflight == 1 && s.queued == jobs-1
+	})
+
+	counts := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() { counts <- s.Drain() }()
+	}
+	waitFor(t, func() bool { return s.State() == StateDraining })
+	close(block)
+
+	a, b := <-counts, <-counts
+	for i := 0; i < jobs; i++ {
+		if o := <-outs; o.Status != StatusSuspended {
+			t.Fatalf("drained job ended %s (%s), want suspended", o.Status, o.Detail)
+		}
+	}
+	if a != b {
+		t.Fatalf("concurrent Drain calls disagree: %d vs %d", a, b)
+	}
+	if a != jobs {
+		t.Fatalf("Drain reported %d suspensions, want %d (outcome store held at most 2)", a, jobs)
+	}
+	pending, _, err := readJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != jobs {
+		t.Fatalf("journal holds %d pending jobs, want %d", len(pending), jobs)
+	}
+}
+
+// Satellite (e): a refund landing after the tenant's bucket was evicted
+// (cardinality pressure between take and the enqueue refusal) must
+// recreate the bucket holding the returned token. Pre-fix the refund
+// silently no-op'd — eviction forgot a debt, not just state.
+func TestRefundSurvivesBucketEviction(t *testing.T) {
+	clock := func() time.Time { return time.Unix(0, 0) }
+	a := newAdmission(TenantConfig{}, map[string]TenantConfig{
+		"a": {RatePerSec: 0.001, Burst: 1},
+		"b": {RatePerSec: 0.001, Burst: 1},
+	}, clock, 1)
+
+	if ok, _ := a.take("a"); !ok {
+		t.Fatal("tenant a's burst token missing")
+	}
+	// Cap 1: creating b's bucket evicts a's (empty, mid-refill → LRU).
+	if ok, _ := a.take("b"); !ok {
+		t.Fatal("tenant b's burst token missing")
+	}
+	a.mu.Lock()
+	evicted := a.buckets["a"] == nil
+	a.mu.Unlock()
+	if !evicted {
+		t.Fatal("test precondition broken: tenant a's bucket was not evicted")
+	}
+
+	a.refund("a")
+
+	a.mu.Lock()
+	b := a.buckets["a"]
+	a.mu.Unlock()
+	if b == nil {
+		t.Fatal("refund after eviction was dropped: no bucket recreated for tenant a")
+	}
+	if b.tokens != 1 { // burst(1) − the taken token + the refund, capped at burst
+		t.Fatalf("recreated bucket holds %v tokens, want the 1 refunded token", b.tokens)
+	}
+}

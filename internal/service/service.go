@@ -15,12 +15,20 @@ import (
 	"fpvm/internal/oracle"
 )
 
-// Status is a job's terminal disposition. Every submission — admitted or
-// not — resolves to exactly one of these; the service never leaves a
-// client without a deliberate answer.
+// Status is a job's disposition. Every submission — admitted or not —
+// resolves to exactly one of the terminal statuses; the service never
+// leaves a client without a deliberate answer. Async submissions pass
+// through the two in-flight phases (pending, running) first, visible to
+// Outcome queries and the events stream.
 type Status string
 
 const (
+	// StatusPending: accepted and queued, not yet dispatched (async
+	// in-flight phase, never a terminal answer).
+	StatusPending Status = "pending"
+	// StatusRunning: dispatched to a worker and executing (async
+	// in-flight phase, never a terminal answer).
+	StatusRunning Status = "running"
 	// StatusCompleted: the guest ran to exit fully virtualized.
 	StatusCompleted Status = "completed"
 	// StatusDegraded: the recovery ladder's fatal rung detached FPVM
@@ -155,6 +163,16 @@ type Config struct {
 	// Clock is the admission clock (nil = time.Now). Injectable so
 	// quota tests don't sleep.
 	Clock func() time.Time
+
+	// PoolSize is the warm VM pool's free-list target per registered
+	// image (and alt/precision variant): that many pre-built VM shells
+	// stay parked, refilled asynchronously after checkouts, so
+	// steady-state jobs skip per-slice VM construction (0 = Workers).
+	PoolSize int
+
+	// NoPool disables warm VM pooling entirely — every slice constructs
+	// its VM cold. The ablation baseline for the warm-vs-cold bench.
+	NoPool bool
 }
 
 func (c *Config) workers() int {
@@ -206,6 +224,13 @@ func (c *Config) maxTenants() int {
 	return c.MaxTrackedTenants
 }
 
+func (c *Config) poolSize() int {
+	if c.PoolSize <= 0 {
+		return c.workers()
+	}
+	return c.PoolSize
+}
+
 // JobRequest is one job submission.
 type JobRequest struct {
 	Tenant         string       `json:"tenant"`
@@ -244,22 +269,26 @@ type JobOutcome struct {
 	RetryAfter time.Duration `json:"-"`
 }
 
-// job is one admitted submission in flight.
+// job is one admitted submission in flight. entry is the registry entry
+// admission resolved — dispatch re-checks its quarantine state but never
+// re-resolves the ID (the TOCTOU fix: one lookup, one entry).
 type job struct {
 	id       string
 	req      JobRequest
 	entry    *ImageEntry
 	deadline uint64
+	async    bool
 	done     chan *JobOutcome
 }
 
 // Service is the multi-tenant FP-virtualization daemon core.
 type Service struct {
-	cfg Config
-	reg *Registry
-	adm *admission
-	met *metrics
-	jnl *journal
+	cfg  Config
+	reg  *Registry
+	adm  *admission
+	met  *metrics
+	jnl  *journal
+	pool *vmPool // nil when Config.NoPool
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -268,6 +297,23 @@ type Service struct {
 	inflight int
 	state    State
 	draining bool
+	// suspended counts jobs suspended by the current drain, maintained
+	// directly at each suspension: the outcome store is bounded and
+	// evictable, so scanning it would under-count on a busy daemon.
+	suspended int
+	// drainDone closes when the first Drain caller finishes; concurrent
+	// callers wait on it and report the same count.
+	drainDone chan struct{}
+	// enqueues tracks submissions between their journal append and their
+	// resolution (queued or refused+journalDone). Drain waits on it after
+	// flipping draining and before closing the journal, so a refusal's
+	// done record can never lose the race against the close and leave a
+	// pending journal entry no one counted. Add happens under s.mu with
+	// draining false; later arrivals refuse at the pre-check un-journaled.
+	enqueues sync.WaitGroup
+	// affinityHits counts dispatches where a worker picked a job whose
+	// image matches its previous job (cache-affinity placement).
+	affinityHits uint64
 	// gen is the boot generation (count of journal boot records incl.
 	// this one) and seq the within-boot submission counter; together
 	// they make job IDs unique across restarts even though refused
@@ -278,6 +324,12 @@ type Service struct {
 	// outcomeOrder is the FIFO eviction order for the outcome store.
 	outcomeOrder []string
 
+	// evMu guards the per-job event logs (see events.go). Never taken
+	// while holding s.mu's critical work — record acquires them strictly
+	// in sequence, not nested.
+	evMu   sync.Mutex
+	tracks map[string]*jobTrack
+
 	jitterMu  sync.Mutex
 	jitterSeq uint64
 
@@ -287,6 +339,10 @@ type Service struct {
 	// testHookDispatch, when set, runs in the worker goroutine right
 	// before a job executes — the panic-containment tests' trapdoor.
 	testHookDispatch func(*job)
+	// testHookPreSignal, when set, runs under s.mu at the instant a job
+	// has been placed on its queue, before workers are signalled — the
+	// journal-ordering test's probe point.
+	testHookPreSignal func(*job)
 }
 
 // New builds a Service. Call Start to recover journaled work and launch
@@ -300,9 +356,47 @@ func New(cfg Config) *Service {
 		gen:      1,
 		queues:   make(map[string][]*job),
 		outcomes: make(map[string]*JobOutcome),
+		tracks:   make(map[string]*jobTrack),
 	}
+	if !cfg.NoPool {
+		s.pool = newVMPool(cfg.poolSize())
+	}
+	// Every quarantine — worker panic, dispatch re-check, operator call —
+	// funnels through the registry, so this one hook guarantees no
+	// quarantined image keeps warm shells.
+	s.reg.OnQuarantine(func(id string) {
+		if s.pool != nil {
+			s.pool.invalidate(id)
+		}
+	})
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// PoolStats snapshots the warm VM pool's counters (zero when pooling is
+// disabled).
+func (s *Service) PoolStats() PoolStats {
+	if s.pool == nil {
+		return PoolStats{}
+	}
+	return s.pool.stats()
+}
+
+// WarmPools synchronously fills every registered image's warm free-list
+// for the given alt/precision variant and reports how many shells were
+// built. Startup and bench helper — demand warms pools lazily otherwise.
+func (s *Service) WarmPools(alt fpvm.AltKind, precision uint) int {
+	if s.pool == nil {
+		return 0
+	}
+	built := 0
+	for _, e := range s.reg.entries() {
+		if q, _ := e.Quarantined(); q {
+			continue
+		}
+		built += s.pool.prewarm(e, alt, precision)
+	}
+	return built
 }
 
 // Registry exposes the image registry (the HTTP layer registers through
@@ -412,37 +506,72 @@ func sanitizeID(sr string) string {
 // dispatch, execution, response — and blocks until its outcome. Every
 // path out is a deliberate Status; Submit never returns nil.
 func (s *Service) Submit(req JobRequest) *JobOutcome {
-	s.mu.Lock()
-	s.seq++
-	id := fmt.Sprintf("j%d_%05d_%s", s.gen, s.seq, sanitizeID(req.Tenant))
-	s.mu.Unlock()
-
-	out := s.admit(id, req)
+	j, out := s.accept(req, false)
 	if out != nil {
-		s.record(out)
-		return out
-	}
-
-	j := &job{
-		id:       id,
-		req:      req,
-		deadline: req.DeadlineCycles,
-		done:     make(chan *JobOutcome, 1),
-	}
-	if j.deadline == 0 {
-		j.deadline = s.cfg.DefaultDeadlineCycles
-	}
-	j.entry, _ = s.reg.Get(req.ImageID)
-
-	if out := s.enqueue(j); out != nil {
-		s.record(out)
 		return out
 	}
 	return <-j.done
 }
 
-// admit runs the admission pipeline; nil means admitted.
-func (s *Service) admit(id string, req JobRequest) *JobOutcome {
+// SubmitAsync runs the same admission/queueing pipeline as Submit but
+// returns as soon as the job is journaled and queued: the returned
+// outcome reports the pending phase (or a later one, if a worker was
+// faster), and the caller follows progress through Outcome or the
+// events stream. Refusals still resolve immediately with a terminal
+// outcome. Drain suspends async jobs exactly like blocking ones, and
+// recovery serves them under their original IDs.
+func (s *Service) SubmitAsync(req JobRequest) *JobOutcome {
+	s.met.bump(&s.met.asyncSubmissions)
+	j, out := s.accept(req, true)
+	if out != nil {
+		return out
+	}
+	if o, ok := s.Outcome(j.id); ok {
+		return o
+	}
+	// Unreachable in practice — accept records the pending phase before
+	// returning — but SubmitAsync never returns nil.
+	return &JobOutcome{ID: j.id, Tenant: req.Tenant, Workload: j.entry.Workload, Status: StatusPending}
+}
+
+// accept is the shared front half of Submit and SubmitAsync: mint an ID,
+// admit, enqueue. (nil, outcome) is a refusal; (job, nil) an accepted
+// job the worker pool now owns.
+func (s *Service) accept(req JobRequest, async bool) (*job, *JobOutcome) {
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("j%d_%05d_%s", s.gen, s.seq, sanitizeID(req.Tenant))
+	s.mu.Unlock()
+
+	entry, out := s.admit(id, req)
+	if out != nil {
+		s.record(out)
+		return nil, out
+	}
+
+	j := &job{
+		id:       id,
+		req:      req,
+		entry:    entry,
+		deadline: req.DeadlineCycles,
+		async:    async,
+		done:     make(chan *JobOutcome, 1),
+	}
+	if j.deadline == 0 {
+		j.deadline = s.cfg.DefaultDeadlineCycles
+	}
+
+	if out := s.enqueue(j); out != nil {
+		s.record(out)
+		return nil, out
+	}
+	return j, nil
+}
+
+// admit runs the admission pipeline; a nil outcome means admitted, and
+// the returned entry is the one resolved lookup the job carries to
+// dispatch (which re-checks quarantine on it, never re-resolving).
+func (s *Service) admit(id string, req JobRequest) (*ImageEntry, *JobOutcome) {
 	shed := func(reason Reason, detail string, base time.Duration) *JobOutcome {
 		return &JobOutcome{
 			ID: id, Tenant: req.Tenant, Status: StatusShed, Reason: reason,
@@ -451,7 +580,7 @@ func (s *Service) admit(id string, req JobRequest) *JobOutcome {
 	}
 
 	if s.State() == StateDraining {
-		return shed(ReasonDraining, "draining", 0)
+		return nil, shed(ReasonDraining, "draining", 0)
 	}
 
 	// Injected admission fault: the admission subsystem is momentarily
@@ -459,29 +588,29 @@ func (s *Service) admit(id string, req JobRequest) *JobOutcome {
 	// a degradation (service quality, not correctness).
 	if f := s.check(faultinject.SiteSvcAdmit); f != nil {
 		s.cfg.Inject.Resolve(faultinject.SiteSvcAdmit, faultinject.Degraded)
-		return shed(ReasonFault, "admission fault injected", 0)
+		return nil, shed(ReasonFault, "admission fault injected", 0)
 	}
 
 	entry, ok := s.reg.Get(req.ImageID)
 	if !ok {
-		return &JobOutcome{ID: id, Tenant: req.Tenant, Status: StatusFailed,
+		return nil, &JobOutcome{ID: id, Tenant: req.Tenant, Status: StatusFailed,
 			Reason: ReasonUnknownImage, Detail: "unknown image " + req.ImageID}
 	}
 	if q, why := entry.Quarantined(); q {
-		return &JobOutcome{ID: id, Tenant: req.Tenant, Status: StatusFailed,
+		return nil, &JobOutcome{ID: id, Tenant: req.Tenant, Status: StatusFailed,
 			Reason: ReasonQuarantined, Workload: entry.Workload,
 			Detail: "image quarantined: " + why}
 	}
 
 	tc := s.adm.tenantConfig(req.Tenant)
 	if s.State() == StateShedding && tc.Priority == 0 {
-		return shed(ReasonPressure, "shedding low-priority tenants under pressure", 0)
+		return nil, shed(ReasonPressure, "shedding low-priority tenants under pressure", 0)
 	}
 
 	if ok, wait := s.adm.take(req.Tenant); !ok {
-		return shed(ReasonQuota, "tenant quota exhausted", wait)
+		return nil, shed(ReasonQuota, "tenant quota exhausted", wait)
 	}
-	return nil
+	return entry, nil
 }
 
 // enqueue places an admitted job on its tenant's bounded queue; nil
@@ -506,6 +635,9 @@ func (s *Service) enqueue(j *job) *JobOutcome {
 	}
 
 	tc := s.adm.tenantConfig(j.req.Tenant)
+
+	// Cheap pre-check so obviously refusable submissions don't pay a
+	// journal fsync; the authoritative check re-runs after journaling.
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -515,16 +647,46 @@ func (s *Service) enqueue(j *job) *JobOutcome {
 		s.mu.Unlock()
 		return refused(ReasonQueue, "tenant queue full")
 	}
+	s.enqueues.Add(1)
+	s.mu.Unlock()
+	defer s.enqueues.Done()
+
+	// Journal BEFORE the job becomes claimable. The instant a worker can
+	// see the job it may persist a job-<id>.snap or journal its done
+	// record, and recovery only understands snapshots and dones it can
+	// tie to a job record — a done-before-job ordering (or an orphaned
+	// snapshot) must be impossible, not just unlikely. A crash in the
+	// window after this append merely replays the job: at-least-once for
+	// accepted work, never an orphan. A journal write failure still
+	// degrades durability, never availability.
+	s.journalJob(j)
+
+	// The job is journaled and about to be claimable: record its pending
+	// phase now, before any worker can race a later phase in (record
+	// keeps phases monotone, so a faster worker's update wins anyway).
+	s.record(&JobOutcome{ID: j.id, Tenant: j.req.Tenant, Workload: j.entry.Workload,
+		Status: StatusPending, Detail: "queued"})
+
+	s.mu.Lock()
+	if s.draining || len(s.queues[j.req.Tenant]) >= tc.queueDepth() {
+		draining := s.draining
+		s.mu.Unlock()
+		// Journaled but refused: close the record out so recovery never
+		// replays a job its client was told was shed.
+		s.journalDone(j.id, StatusShed)
+		if draining {
+			return refused(ReasonDraining, "draining")
+		}
+		return refused(ReasonQueue, "tenant queue full")
+	}
 	s.queues[j.req.Tenant] = append(s.queues[j.req.Tenant], j)
 	s.queued++
 	s.updatePressureLocked()
+	if h := s.testHookPreSignal; h != nil {
+		h(j)
+	}
 	s.cond.Signal()
 	s.mu.Unlock()
-
-	// Journal after the job is irrevocably in the system: a crash past
-	// this point must replay it. A journal write failure degrades
-	// durability, never availability.
-	s.journalJob(j)
 	return nil
 }
 
@@ -584,8 +746,9 @@ func (s *Service) updatePressureLocked() {
 
 // next blocks until a job is available and claims it, or returns nil
 // when the service is draining (workers exit; queued jobs are flushed
-// as suspended by Drain).
-func (s *Service) next() *job {
+// as suspended by Drain). lastImage is the calling worker's previous
+// job's image ID ("" on a fresh worker) — cache-affinity placement.
+func (s *Service) next(lastImage string) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
@@ -614,7 +777,27 @@ func (s *Service) next() *job {
 		return tenants[i] < tenants[k]
 	})
 	t := tenants[0]
+	if lastImage != "" && len(tenants) > 1 {
+		// Cache-affinity placement: among the tenants tied at the head
+		// priority, prefer one whose next job runs the image this worker
+		// just ran — its warm shells and shared cache are hottest here.
+		// Priority order and per-tenant FIFO are preserved: only the tie
+		// break among equal-priority queue heads changes.
+		topPri := s.adm.tenantConfig(t).Priority
+		for _, cand := range tenants {
+			if s.adm.tenantConfig(cand).Priority != topPri {
+				break
+			}
+			if head := s.queues[cand][0]; head.entry != nil && head.entry.ID == lastImage {
+				t = cand
+				break
+			}
+		}
+	}
 	j := s.queues[t][0]
+	if lastImage != "" && j.entry != nil && j.entry.ID == lastImage {
+		s.affinityHits++
+	}
 	s.queues[t] = s.queues[t][1:]
 	if len(s.queues[t]) == 0 {
 		// Evict the emptied queue: tenant-name cardinality stays bounded
@@ -628,10 +811,14 @@ func (s *Service) next() *job {
 }
 
 func (s *Service) worker(w int) {
+	lastImage := ""
 	for {
-		j := s.next()
+		j := s.next(lastImage)
 		if j == nil {
 			return
+		}
+		if j.entry != nil {
+			lastImage = j.entry.ID
 		}
 		// Injected dispatch fault: the pickup is transient-faulty;
 		// resolve as a retry and dispatch again (successfully).
@@ -663,13 +850,22 @@ func (s *Service) execute(j *job) {
 		s.testHookDispatch(j)
 	}
 
-	cfg := fpvm.Config{
-		Alt:       j.req.Alt,
-		Precision: j.req.Precision,
-		Seq:       true,
-		Short:     true,
-		Shared:    j.entry.Shared,
+	// Quarantine is re-checked at dispatch: admission's check and this
+	// moment are separated by arbitrary queueing, and another job's
+	// panic may have quarantined the image in between (the TOCTOU this
+	// closes). The entry is the one admission resolved — no second
+	// registry lookup to race against re-registration.
+	if q, why := j.entry.Quarantined(); q {
+		s.finish(j, &JobOutcome{ID: j.id, Tenant: j.req.Tenant, Workload: j.entry.Workload,
+			Status: StatusFailed, Reason: ReasonQuarantined,
+			Detail: "image quarantined between admission and dispatch: " + why})
+		return
 	}
+
+	s.record(&JobOutcome{ID: j.id, Tenant: j.req.Tenant, Workload: j.entry.Workload,
+		Status: StatusRunning, Detail: "executing"})
+
+	cfg := jobVMConfig(j.entry, j.req.Alt, j.req.Precision)
 	if j.req.InjectSpec != "" {
 		inj, err := faultinject.ParseSpec(j.req.InjectSpec, j.req.InjectSeed)
 		if err != nil {
@@ -679,6 +875,9 @@ func (s *Service) execute(j *job) {
 		}
 		cfg.Inject = inj
 	}
+	// Per-job fault injection changes the VM config, so those jobs
+	// bypass the warm pool: a pooled shell must be exactly jobVMConfig.
+	usePool := s.pool != nil && cfg.Inject == nil
 
 	var snap []byte
 	var cycles uint64
@@ -690,14 +889,28 @@ func (s *Service) execute(j *job) {
 				q = rem
 			}
 		}
-		cfg.PreemptQuantum = q
+
+		var vm *fpvm.VM
+		if usePool {
+			vm = s.pool.checkout(j.entry, j.req.Alt, j.req.Precision)
+		}
+		if vm == nil {
+			var perr error
+			vm, perr = fpvm.Prepare(j.entry.Image, cfg)
+			if perr != nil {
+				s.finish(j, &JobOutcome{ID: j.id, Tenant: j.req.Tenant, Workload: j.entry.Workload,
+					Status: StatusFailed, Detail: perr.Error()})
+				return
+			}
+		}
+		vm.SetPreemptQuantum(q)
 
 		var res *fpvm.Result
 		var err error
 		if snap == nil {
-			res, err = fpvm.Run(j.entry.Image, cfg)
+			res, err = vm.Run()
 		} else {
-			res, err = fpvm.Resume(j.entry.Image, cfg, snap)
+			res, err = vm.Resume(snap)
 		}
 
 		if err != nil && (res == nil || !res.Detached) {
@@ -773,11 +986,16 @@ func (s *Service) persist(j *job, snap []byte) {
 
 // suspend parks an in-flight job during drain: snapshot persisted, no
 // done record (the journal keeps it pending for the next instance), the
-// waiting client told it's suspended.
+// waiting client told it's suspended. The suspension counter is bumped
+// here, at the event — Drain's return value must not depend on the
+// bounded outcome store still holding every suspended outcome.
 func (s *Service) suspend(j *job, snap []byte, res *fpvm.Result) {
 	s.persist(j, snap)
 	o := s.outcomeFrom(j, res, StatusSuspended,
 		"daemon draining; job suspended for recovery")
+	s.mu.Lock()
+	s.suspended++
+	s.mu.Unlock()
 	s.deliver(j, o, false)
 }
 
@@ -810,21 +1028,39 @@ func (s *Service) deliver(j *job, o *JobOutcome, terminal bool) {
 	j.done <- o
 }
 
-// record stores an outcome and counts it. The store is bounded: past
-// OutcomeRetention the oldest outcomes are evicted FIFO, so a
-// long-running daemon's memory doesn't grow with its request history.
+// record stores an outcome (terminal or in-flight phase) and appends
+// the matching job event. Phase updates are rank-monotone: a stale
+// pending/running racing in after a faster transition is dropped, so a
+// settled job can never appear in-flight again. The store is bounded:
+// past OutcomeRetention the oldest outcomes are evicted FIFO — and
+// their event tracks with them — so a long-running daemon's memory
+// doesn't grow with its request history. Only terminal statuses count
+// toward the per-tenant job metrics (phases are gauges, not outcomes).
 func (s *Service) record(o *JobOutcome) {
-	s.met.job(o.Tenant, o.Status)
+	if terminalStatus(o.Status) {
+		s.met.job(o.Tenant, o.Status)
+	}
+	var evicted []string
 	s.mu.Lock()
-	if _, seen := s.outcomes[o.ID]; !seen {
+	old, seen := s.outcomes[o.ID]
+	if seen && phaseRank(o.Status) < phaseRank(old.Status) {
+		s.mu.Unlock()
+		return
+	}
+	if !seen {
 		s.outcomeOrder = append(s.outcomeOrder, o.ID)
 	}
 	s.outcomes[o.ID] = o
 	for limit := s.cfg.outcomeRetention(); len(s.outcomes) > limit && len(s.outcomeOrder) > 0; {
+		evicted = append(evicted, s.outcomeOrder[0])
 		delete(s.outcomes, s.outcomeOrder[0])
 		s.outcomeOrder = s.outcomeOrder[1:]
 	}
 	s.mu.Unlock()
+	s.appendEvent(o.ID, o.Status, o.Detail)
+	if len(evicted) > 0 {
+		s.dropTracks(evicted)
+	}
 }
 
 func (s *Service) isDraining() bool {
@@ -835,20 +1071,36 @@ func (s *Service) isDraining() bool {
 
 // Drain gracefully shuts the service down: admission stops, workers
 // suspend in-flight jobs at their next trap boundary (snapshot + journal
-// keep them recoverable), queued jobs are flushed as suspended, and the
-// journal is closed. Returns the number of jobs suspended.
+// keep them recoverable), queued jobs are flushed as suspended, the warm
+// pool is emptied and the journal closed. Returns the number of jobs
+// suspended — counted directly at each suspension, never by scanning the
+// bounded outcome store (FIFO eviction would under-count on a busy
+// daemon). Concurrent callers wait for the first drain and report the
+// same count.
 func (s *Service) Drain() int {
 	s.mu.Lock()
 	if s.draining {
+		done := s.drainDone
 		s.mu.Unlock()
-		s.wg.Wait()
-		return 0
+		if done != nil {
+			<-done
+		}
+		s.mu.Lock()
+		n := s.suspended
+		s.mu.Unlock()
+		return n
 	}
 	s.draining = true
 	s.state = StateDraining
+	s.drainDone = make(chan struct{})
+	done := s.drainDone
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
+	// In-window submissions first: anything journaled before the drain
+	// flip resolves — onto a queue (flushed below) or refused with its
+	// done record written — before the journal can close underneath it.
+	s.enqueues.Wait()
 	s.wg.Wait() // workers finish or suspend their current job, then exit
 
 	// Flush never-started queued jobs: journaled, no snapshot — the next
@@ -860,6 +1112,7 @@ func (s *Service) Drain() int {
 		delete(s.queues, t)
 	}
 	s.queued = 0
+	s.suspended += len(parked)
 	s.mu.Unlock()
 
 	for _, j := range parked {
@@ -869,19 +1122,18 @@ func (s *Service) Drain() int {
 		j.done <- o
 	}
 
-	suspended := 0
-	s.mu.Lock()
-	for _, o := range s.outcomes {
-		if o.Status == StatusSuspended {
-			suspended++
-		}
+	if s.pool != nil {
+		s.pool.close()
 	}
-	s.mu.Unlock()
-
 	if s.jnl != nil {
 		s.jnl.Close()
 	}
-	return suspended
+
+	s.mu.Lock()
+	n := s.suspended
+	s.mu.Unlock()
+	close(done)
+	return n
 }
 
 // removeQuiet removes a file, ignoring errors (absence is fine).

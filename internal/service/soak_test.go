@@ -89,9 +89,16 @@ func TestServiceChaosSoak(t *testing.T) {
 		v := variants[i%len(variants)]
 		req := JobRequest{ImageID: images[v], Alt: v.alt}
 		switch i % 4 {
-		case 0, 1:
+		case 0:
 			req.Tenant = "alpha"
 			kinds[i] = "clean"
+		case 1:
+			// Same clean job through the async API: submit returns at the
+			// pending phase and the outcome is polled to its terminal
+			// status, racing the event/outcome machinery against the
+			// blocking path under the same fault storm.
+			req.Tenant = "alpha"
+			kinds[i] = "async"
 		case 2:
 			// VM-level fault storm inside the guest's pipeline: the
 			// runtime ladder absorbs it (retry/degrade), the service
@@ -109,6 +116,18 @@ func TestServiceChaosSoak(t *testing.T) {
 		wg.Add(1)
 		go func(i int, req JobRequest) {
 			defer wg.Done()
+			if kinds[i] == "async" {
+				o := s.SubmitAsync(req)
+				deadline := time.Now().Add(2 * time.Minute)
+				for !terminalStatus(o.Status) && time.Now().Before(deadline) {
+					time.Sleep(time.Millisecond)
+					if cur, ok := s.Outcome(o.ID); ok {
+						o = cur
+					}
+				}
+				outs[i] = o
+				return
+			}
 			outs[i] = s.Submit(req)
 		}(i, req)
 	}
@@ -128,7 +147,7 @@ func TestServiceChaosSoak(t *testing.T) {
 				i, kinds[i], o.Status, o.Detail)
 		}
 		v := variants[i%len(variants)]
-		if kinds[i] == "clean" && o.Status == StatusCompleted {
+		if (kinds[i] == "clean" || kinds[i] == "async") && o.Status == StatusCompleted {
 			if o.Stdout != refs[v].stdout || o.Digest != refs[v].digest || o.ExitCode != refs[v].exit {
 				t.Fatalf("job %d completed with diverged output/digest", i)
 			}
