@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-check fleet-soak crash-soak service-soak fuzz fuzz-smoke cover
+.PHONY: check build test vet race bench bench-check fleet-soak crash-soak service-soak fuzz fuzz-smoke cover cover-flow
 
 check: vet build race bench-check fuzz-smoke service-soak
 
@@ -71,7 +71,22 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -race -run '^$$' -fuzz FuzzDifferential -fuzztime 30s ./internal/fpfuzz/
 
-# Aggregate statement coverage across all packages.
+# Aggregate statement coverage across all packages, gated at the floor:
+# the run fails if total statement coverage drops below COVER_MIN.
+COVER_MIN ?= 80.0
+
 cover:
 	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
 	$(GO) tool cover -func=coverage.out | tail -1
+	@pct=$$($(GO) tool cover -func=coverage.out | tail -1 | sed 's/.*[[:space:]]//; s/%//'); \
+	awk -v pct="$$pct" -v min="$(COVER_MIN)" 'BEGIN { \
+		if (pct + 0 < min + 0) { printf "coverage %.1f%% is below the %.1f%% floor\n", pct, min; exit 1 } \
+		printf "coverage %.1f%% meets the %.1f%% floor\n", pct, min }'
+
+# Exception-flow coverage artifact: every (exception class x operand
+# shape x alt system) cell, covered iff the biased program delivered a
+# trap carrying the class's MXCSR bit. FLOWCOV.json is the CI artifact;
+# TestFlowCoverageNonRegression holds every run to the checked-in
+# baseline (internal/analysis/testdata/flowcov_baseline.json).
+cover-flow:
+	$(GO) run ./cmd/fpvm-bench -fig coverflow -json FLOWCOV.json

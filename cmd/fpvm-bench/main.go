@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	fpvm-bench [-fig all|1|2|3|4|5|6|7|8|9|10|11|12|13|corr|cache|resil|trace|fleet|conform|service]
+//	fpvm-bench [-fig all|1|2|3|4|5|6|7|8|9|10|11|12|13|corr|cache|resil|trace|fleet|conform|frontier|coverflow|service]
 //	           [-scale N] [-json FILE] [-cpuprofile FILE] [-memprofile FILE] [-v]
 //
 // Figures 1-10 run with Boxed IEEE (the paper's worst-case system);
@@ -24,12 +24,13 @@ import (
 	"runtime/pprof"
 
 	"fpvm"
+	"fpvm/internal/analysis"
 	"fpvm/internal/experiments"
 	"fpvm/internal/workloads"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (all, 1-13, corr, cache, resil, trace, fleet, preempt, conform, service)")
+	fig := flag.String("fig", "all", "figure to regenerate (all, 1-13, corr, cache, resil, trace, fleet, preempt, conform, frontier, coverflow, service)")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	rank := flag.Int("rank", 3, "trace rank for -fig 7")
 	jsonPath := flag.String("json", "", "write -fig trace results to this JSON file")
@@ -191,6 +192,26 @@ func run(fig *string, scale, rank *int, jsonPath, poolJSON *string, verbose *boo
 			return err
 		}
 		fmt.Fprintln(out)
+	}
+	if need("frontier") {
+		if err := experiments.FrontierTable(out, progress); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if need("coverflow") {
+		rep, err := analysis.FlowCoverage(progress)
+		if err != nil {
+			return err
+		}
+		analysis.FlowTable(out, rep)
+		fmt.Fprintln(out)
+		if *jsonPath != "" {
+			if err := analysis.WriteFlowJSON(*jsonPath, rep); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *jsonPath)
+		}
 	}
 	if need("preempt") {
 		rows, err := experiments.PreemptBench(progress)

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	fpvm-run -workload lorenz_attractor [-alt boxed|mpfr|posit|interval|rational]
+//	fpvm-run -workload lorenz_attractor [-alt boxed|mpfr|posit|posit32|interval|rational]
+//	         [-precision-policy]
 //	         [-seq] [-short] [-native] [-nopatch] [-int3] [-scale N] [-stats]
 //	         [-inject SPEC] [-inject-seed N] [-max-boxes N]
 //	         [-checkpoint-interval N] [-max-rollbacks N]
@@ -83,6 +84,7 @@ func main() {
 	workload := flag.String("workload", "lorenz_attractor", "workload name: "+names())
 	altKind := flag.String("alt", "boxed", "alternative arithmetic system")
 	precision := flag.Uint("precision", 200, "MPFR precision in bits")
+	precisionPolicy := flag.Bool("precision-policy", false, "adaptive per-RIP precision: escalate exception-clustered sites boxed -> interval -> mpfr (requires -alt boxed)")
 	seq := flag.Bool("seq", false, "enable instruction sequence emulation (§4)")
 	short := flag.Bool("short", false, "enable trap short-circuiting (§3)")
 	noTrace := flag.Bool("no-trace", false, "disable the software trace cache (sequence replay)")
@@ -135,6 +137,7 @@ func main() {
 	cfg := fpvm.Config{
 		Alt:                fpvm.AltKind(*altKind),
 		Precision:          *precision,
+		PrecisionPolicy:    *precisionPolicy,
 		Seq:                *seq,
 		Short:              *short,
 		MagicWraps:         *magicWraps,
@@ -200,6 +203,9 @@ func main() {
 			res.JITCompiles, res.JITExecs, res.JITInsts, res.JITDeopts,
 			res.Breakdown.JITDeoptRate())
 	}
+	if res.Policy != nil {
+		fmt.Fprintln(os.Stderr, res.Policy.Line())
+	}
 	if line := res.Breakdown.FaultLine(); line != "" {
 		fmt.Fprintln(os.Stderr, line)
 	}
@@ -212,6 +218,9 @@ func main() {
 	if *stats {
 		fmt.Fprintln(os.Stderr, telemetry.Header())
 		fmt.Fprintln(os.Stderr, res.Breakdown.Row(cfg.ConfigName()))
+		if line := res.Breakdown.CauseLine(); line != "" {
+			fmt.Fprintln(os.Stderr, line)
+		}
 	}
 	os.Exit(outcomeExit(res))
 }

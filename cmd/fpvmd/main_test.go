@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseTenant(t *testing.T) {
+	name, tc, err := parseTenant("premium:rate=2.5,burst=8,depth=16,priority=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "premium" || tc.RatePerSec != 2.5 || tc.Burst != 8 || tc.QueueDepth != 16 || tc.Priority != 1 {
+		t.Fatalf("parsed %q %+v", name, tc)
+	}
+
+	// Keys are independent; whitespace around pairs is tolerated.
+	if _, tc, err := parseTenant("t: rate=1, depth=4"); err != nil || tc.RatePerSec != 1 || tc.QueueDepth != 4 {
+		t.Fatalf("sparse spec: %+v, %v", tc, err)
+	}
+
+	for _, bad := range []string{
+		"noseparator",
+		":rate=1",
+		"t:rate",
+		"t:rate=abc",
+		"t:burst=abc",
+		"t:depth=1.5",
+		"t:priority=x",
+		"t:color=red",
+	} {
+		if _, _, err := parseTenant(bad); err == nil {
+			t.Errorf("parseTenant(%q) accepted a malformed spec", bad)
+		}
+	}
+}

@@ -64,6 +64,16 @@ type Config struct {
 	// (default 200, matching the paper's MPFR configuration).
 	Precision uint
 
+	// PrecisionPolicy enables the adaptive per-RIP precision policy
+	// engine: every instruction site starts on boxed IEEE, sites where
+	// exceptions cluster escalate to interval arithmetic, and sites whose
+	// interval bounds grow wide escalate further to MPFR (decaying back
+	// once bounds stay tight). Requires Alt to be AltBoxed (or empty) —
+	// the engine layers boxed/interval/MPFR itself. Precision sets the
+	// escalated MPFR precision. Policy runs cannot be preempted/resumed:
+	// site state is process-local.
+	PrecisionPolicy bool
+
 	// Seq enables instruction sequence emulation (§4).
 	Seq bool
 
@@ -220,6 +230,22 @@ func NewAltSystem(kind AltKind, precision uint) (alt.System, error) {
 	return nil, fmt.Errorf("fpvm: unknown alternative arithmetic system %q", kind)
 }
 
+// newSystemFor instantiates the run's alt system, wrapping the adaptive
+// policy engine around it when Config.PrecisionPolicy is set.
+func newSystemFor(cfg Config) (alt.System, error) {
+	if cfg.PrecisionPolicy {
+		if cfg.Alt != AltBoxed && cfg.Alt != "" {
+			return nil, fmt.Errorf("fpvm: PrecisionPolicy layers boxed/interval/mpfr itself; Alt must be boxed (got %q)", cfg.Alt)
+		}
+		return fpvmrt.NewPolicyEngine(fpvmrt.PolicyConfig{MPFRPrecision: cfg.Precision}), nil
+	}
+	return NewAltSystem(cfg.Alt, cfg.Precision)
+}
+
+// PolicyStats is the adaptive precision policy engine's activity snapshot
+// (see internal/fpvm.PolicyStats).
+type PolicyStats = fpvmrt.PolicyStats
+
 // Result reports a completed run.
 type Result struct {
 	Stdout   string
@@ -309,6 +335,10 @@ type Result struct {
 	// FaultReport is the injector's per-site ledger ("" when no injector
 	// was armed).
 	FaultReport string
+
+	// Policy holds the adaptive precision policy engine's stats when
+	// Config.PrecisionPolicy was set (nil otherwise).
+	Policy *PolicyStats
 
 	// Preempted is set when Config.PreemptQuantum expired before the
 	// guest exited; Snapshot then holds the serialized VM (the checkpoint
@@ -416,7 +446,7 @@ func Resume(img *obj.Image, cfg Config, snapshot []byte) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys, err := NewAltSystem(cfg.Alt, cfg.Precision)
+	sys, err := newSystemFor(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -435,11 +465,17 @@ func Resume(img *obj.Image, cfg Config, snapshot []byte) (*Result, error) {
 // interpreted replay are cycle- and counter-exact, so a snapshot resumes
 // correctly under either tier.
 func ConfigSignature(cfg Config) string {
-	return fmt.Sprintf("seq=%t short=%t magicwraps=%t gc=%d cache=%d seqlim=%d emulall=%t futurehw=%t maxboxes=%d retries=%d watchdog=%d notrace=%t ckpt=%d maxrb=%d prec=%d backoff=%d",
+	sig := fmt.Sprintf("seq=%t short=%t magicwraps=%t gc=%d cache=%d seqlim=%d emulall=%t futurehw=%t maxboxes=%d retries=%d watchdog=%d notrace=%t ckpt=%d maxrb=%d prec=%d backoff=%d",
 		cfg.Seq, cfg.Short, cfg.MagicWraps, cfg.GCThreshold, cfg.CacheCapacity,
 		cfg.SeqLimit, cfg.EmulateAll, cfg.FutureHW, cfg.MaxLiveBoxes,
 		cfg.RetryBudget, cfg.TrapCycleBudget, cfg.NoTraceCache,
 		cfg.CheckpointInterval, cfg.MaxRollbacks, cfg.Precision, cfg.RetryBackoffCycles)
+	// Appended only when enabled so every pre-policy snapshot signature is
+	// preserved byte-for-byte.
+	if cfg.PrecisionPolicy {
+		sig += " policy=1"
+	}
+	return sig
 }
 
 // VM is a fully constructed, not-yet-executed virtual machine: address
@@ -469,7 +505,7 @@ type VM struct {
 // The returned VM runs cfg's configuration exactly as Run(img, cfg)
 // would; Run/Resume on it are the execution halves of that call.
 func Prepare(img *obj.Image, cfg Config) (*VM, error) {
-	sys, err := NewAltSystem(cfg.Alt, cfg.Precision)
+	sys, err := newSystemFor(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -687,6 +723,7 @@ func partialResult(p *kernel.Process, m *machine.Machine, k *kernel.Kernel, rt *
 		Rollbacks:          rt.Rollbacks,
 		RollbackFailures:   rt.RollbackFailures,
 		Quarantines:        rt.Quarantines,
+		Policy:             rt.PolicyStats(),
 	}
 }
 

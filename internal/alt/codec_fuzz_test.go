@@ -1,0 +1,188 @@
+package alt_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fpvm/internal/alt"
+	"fpvm/internal/bigfp"
+	"fpvm/internal/interval"
+	"fpvm/internal/posit"
+	"fpvm/internal/rational"
+)
+
+// Codec round-trip fuzzing for the newly promoted alt systems: the wire
+// format's correctness claim is decode∘encode = identity (a resumed run
+// must behave bit-identically), and decode of arbitrary bytes must fail
+// with a sentinel error, never panic.
+
+// codecs lists every system-with-codec the checkpoint wire format ships.
+func codecs() map[string]alt.Codec {
+	return map[string]alt.Codec{
+		"boxed":    alt.NewBoxedIEEE(),
+		"mpfr":     alt.NewMPFR(200),
+		"posit":    alt.NewPosit(),
+		"posit32":  alt.NewPosit32(),
+		"interval": alt.NewInterval(),
+		"rational": alt.NewRational(),
+	}
+}
+
+// specials seeds the bit-pattern corpus: zeros, subnormals, infinities,
+// NaNs, and boundary magnitudes.
+var specials = []uint64{
+	0, 1, // +0, minimal subnormal
+	0x8000000000000000,                     // -0
+	0x000FFFFFFFFFFFFF,                     // largest subnormal
+	0x0010000000000000,                     // smallest normal
+	0x7FEFFFFFFFFFFFFF,                     // largest finite
+	0x7FF0000000000000, 0xFFF0000000000000, // ±inf
+	0x7FF8000000000000, 0x7FF0000000000001, // quiet / signalling NaN
+	math.Float64bits(1.0 / 3.0), math.Float64bits(-math.Pi),
+}
+
+// FuzzPositCodecRoundTrip: posits of both widths — promoted from
+// arbitrary float64 bit patterns and built from raw encodings — must
+// survive encode/decode bit-identically.
+func FuzzPositCodecRoundTrip(f *testing.F) {
+	for _, bits := range specials {
+		f.Add(bits, false)
+		f.Add(bits, true)
+	}
+	f.Fuzz(func(t *testing.T, bits uint64, narrow bool) {
+		sys := alt.NewPosit()
+		width := uint8(64)
+		if narrow {
+			sys = alt.NewPosit32()
+			width = 32
+		}
+		for _, p := range []posit.Posit{
+			posit.FromFloat64(width, math.Float64frombits(bits)),
+			{Bits: bits, N: width}, // raw pattern, canonical or not
+		} {
+			enc, err := sys.EncodeValue(p)
+			if err != nil {
+				t.Fatalf("encode %+v: %v", p, err)
+			}
+			dec, err := sys.DecodeValue(enc)
+			if err != nil {
+				t.Fatalf("decode of own encoding failed: %v", err)
+			}
+			if dec.(posit.Posit) != p {
+				t.Fatalf("round trip: %+v -> %+v", p, dec)
+			}
+		}
+	})
+}
+
+// FuzzIntervalCodecRoundTrip: intervals with arbitrary endpoint patterns
+// (including NaN, infinities and inverted bounds) round-trip exactly.
+func FuzzIntervalCodecRoundTrip(f *testing.F) {
+	for i, lo := range specials {
+		f.Add(lo, specials[(i+3)%len(specials)])
+	}
+	f.Fuzz(func(t *testing.T, lo, hi uint64) {
+		sys := alt.NewInterval()
+		iv := interval.Interval{
+			Lo: math.Float64frombits(lo),
+			Hi: math.Float64frombits(hi),
+		}
+		enc, err := sys.EncodeValue(iv)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		dec, err := sys.DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		got := dec.(interval.Interval)
+		if math.Float64bits(got.Lo) != lo || math.Float64bits(got.Hi) != hi {
+			t.Fatalf("round trip: %x/%x -> %x/%x",
+				lo, hi, math.Float64bits(got.Lo), math.Float64bits(got.Hi))
+		}
+	})
+}
+
+// FuzzRationalCodecRoundTrip: rationals promoted from arbitrary doubles
+// — then grown through division to stress multi-limb denominators —
+// round-trip to a value that compares equal and re-encodes identically.
+func FuzzRationalCodecRoundTrip(f *testing.F) {
+	for _, bits := range specials {
+		f.Add(bits, uint8(3))
+	}
+	f.Fuzz(func(t *testing.T, bits uint64, div uint8) {
+		sys := alt.NewRational()
+		q := rational.FromFloat64(math.Float64frombits(bits))
+		if div > 1 {
+			q = rational.Div(q, rational.FromFloat64(float64(div)))
+		}
+		enc, err := sys.EncodeValue(q)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		dec, err := sys.DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		got := dec.(*rational.Rational)
+		if q.IsNaN() != got.IsNaN() || (!q.IsNaN() && rational.Cmp(q, got) != 0) {
+			t.Fatalf("round trip changed value: %v -> %v", q, got)
+		}
+		re, err := sys.EncodeValue(got)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if string(re) != string(enc) {
+			t.Fatalf("re-encoding differs: %x vs %x", enc, re)
+		}
+	})
+}
+
+// FuzzCodecCorrupt: feeding arbitrary bytes to every system's decoder
+// must either produce a decodable value or a clean error — no panics —
+// and a successful decode must re-encode without error.
+func FuzzCodecCorrupt(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3}, uint8(1))
+	f.Add(make([]byte, 9), uint8(2))
+	f.Add(make([]byte, 16), uint8(4))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, which uint8) {
+		names := []string{"boxed", "mpfr", "posit", "posit32", "interval", "rational"}
+		name := names[int(which)%len(names)]
+		c := codecs()[name]
+		v, err := c.DecodeValue(data)
+		if err != nil {
+			return
+		}
+		if _, err := c.EncodeValue(v); err != nil {
+			t.Fatalf("%s: decode succeeded but re-encode failed: %v", name, err)
+		}
+	})
+}
+
+// TestCodecCorruptSentinels pins that the length-checked decoders reject
+// malformed payloads with their sentinel errors rather than panicking.
+func TestCodecCorruptSentinels(t *testing.T) {
+	truncated := []byte{1, 2, 3}
+	for name, c := range codecs() {
+		if _, err := c.DecodeValue(truncated); err == nil {
+			t.Errorf("%s: decode of truncated payload succeeded", name)
+		}
+		if _, err := c.DecodeValue(nil); err == nil {
+			t.Errorf("%s: decode of empty payload succeeded", name)
+		}
+	}
+	if _, err := codecs()["mpfr"].DecodeValue(truncated); !errors.Is(err, bigfp.ErrBadEncoding) {
+		t.Errorf("mpfr decode error %v is not bigfp.ErrBadEncoding", err)
+	}
+	if _, err := codecs()["rational"].DecodeValue(truncated); !errors.Is(err, rational.ErrBadEncoding) {
+		t.Errorf("rational decode error %v is not rational.ErrBadEncoding", err)
+	}
+	// Posit width byte outside [8, 64] is rejected.
+	bad := append(make([]byte, 8), 65)
+	if _, err := codecs()["posit"].DecodeValue(bad); err == nil {
+		t.Error("posit decode accepted width 65")
+	}
+}

@@ -20,7 +20,14 @@ func NewPosit() *PositSystem { return &PositSystem{width: 64} }
 // NewPosit32 returns the posit32 system.
 func NewPosit32() *PositSystem { return &PositSystem{width: 32} }
 
-func (s *PositSystem) Name() string { return "posit" }
+// Name distinguishes the widths: a posit32 snapshot or warm-pool entry
+// must never validate against a posit64 run.
+func (s *PositSystem) Name() string {
+	if s.width == 32 {
+		return "posit32"
+	}
+	return "posit"
+}
 
 func (s *PositSystem) Promote(f float64) (Value, uint64) {
 	return posit.FromFloat64(s.width, f), 70

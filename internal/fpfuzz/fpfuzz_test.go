@@ -21,6 +21,10 @@ func corpusName(c Class, s Shape) string {
 	return fmt.Sprintf("seed-%s-%s", c, s)
 }
 
+func altCorpusName(a AltSeed) string {
+	return "seed-alt-" + a.Sys
+}
+
 // FuzzDifferential is the ISA-level differential fuzz target: every
 // input decodes to a straight-line FP program which must conform across
 // the oracle's fuzz matrix (native baseline, boxed trap-and-emulate
@@ -31,6 +35,9 @@ func FuzzDifferential(f *testing.F) {
 		for _, s := range Shapes() {
 			f.Add(Encode(GenBiased(c, s)))
 		}
+	}
+	for _, a := range AltSeeds() {
+		f.Add(Encode(GenAltSeed(a)))
 	}
 	r := rand.New(rand.NewSource(0xF9B1))
 	for i := 0; i < 4; i++ {
@@ -88,6 +95,50 @@ func TestSeedCorpusConforms(t *testing.T) {
 	}
 }
 
+// TestAltSeedCorpusConforms: each alt-system-targeted seed must conform
+// across the widened fuzz matrix (which now spans all five alt systems)
+// and actually trap, and its class bias must survive the extra
+// propagation op.
+func TestAltSeedCorpusConforms(t *testing.T) {
+	for _, a := range AltSeeds() {
+		a := a
+		t.Run(altCorpusName(a), func(t *testing.T) {
+			t.Parallel()
+			seq := GenAltSeed(a)
+			rep, err := Check(altCorpusName(a), seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Fatalf("alt seed diverges:\n%s", rep.String())
+			}
+			matched := false
+			for _, row := range rep.Rows {
+				if row.Traps == 0 {
+					t.Errorf("%s: no traps — seed does not exercise FPVM", row.Spec.Name)
+				}
+				if row.Spec.Alt == a.Sys {
+					matched = true
+				}
+			}
+			if !matched {
+				t.Errorf("fuzz matrix has no %s spec — the seed's target system is untested", a.Sys)
+			}
+			img, err := Build(altCorpusName(a), seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cap := oracle.RunNative(oracle.Program{Name: altCorpusName(a), Native: img}, 0)
+			if cap.RunErr != nil {
+				t.Fatal(cap.RunErr)
+			}
+			if got := cap.Final.MXCSR & machine.MXCSRStatusMask; got&a.Class.StickyBit() == 0 {
+				t.Errorf("native MXCSR status %#x lost the %s bit %#x", got, a.Class, a.Class.StickyBit())
+			}
+		})
+	}
+}
+
 // TestSeedCorpusTriggersExceptions verifies the bias is real: each
 // (class, shape) seed leaves its class's sticky status bit set after a
 // masked native run (masked execution accumulates MXCSR status bits).
@@ -120,25 +171,31 @@ func TestSeedCorpusFiles(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	check := func(name string, seq Seq) {
+		want := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n",
+			strconv.Quote(string(Encode(seq))))
+		path := filepath.Join(corpusDir, name)
+		if regen {
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing corpus file (run with FPFUZZ_REGEN=1 to generate): %v", err)
+		}
+		if string(got) != want {
+			t.Errorf("%s is stale; regenerate with FPFUZZ_REGEN=1", path)
+		}
+	}
 	for _, c := range Classes() {
 		for _, s := range Shapes() {
-			want := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n",
-				strconv.Quote(string(Encode(GenBiased(c, s)))))
-			path := filepath.Join(corpusDir, corpusName(c, s))
-			if regen {
-				if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				continue
-			}
-			got, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing corpus file (run with FPFUZZ_REGEN=1 to generate): %v", err)
-			}
-			if string(got) != want {
-				t.Errorf("%s is stale; regenerate with FPFUZZ_REGEN=1", path)
-			}
+			check(corpusName(c, s), GenBiased(c, s))
 		}
+	}
+	for _, a := range AltSeeds() {
+		check(altCorpusName(a), GenAltSeed(a))
 	}
 }
 

@@ -166,6 +166,40 @@ func GenBiased(class Class, shape Shape) Seq {
 	return s
 }
 
+// AltSeed pairs a conformance-matrix alt system with the (class, shape)
+// cell whose arithmetic stresses it hardest, plus the extra propagation
+// op that makes the seed distinct from the plain cell corpus entry.
+type AltSeed struct {
+	Sys   string
+	Class Class
+	Shape Shape
+	Op    uint8
+}
+
+// AltSeeds lists one targeted corpus seed per alt system promoted into
+// the widened conformance matrix.
+func AltSeeds() []AltSeed {
+	return []AltSeed{
+		// Posits saturate at ±maxpos where IEEE overflows to infinity.
+		{Sys: "posit", Class: ClassOverflow, Shape: ShapeScalarReg, Op: OpMul},
+		// 32-bit posits run out of regime bits where binary64 still has
+		// subnormals.
+		{Sys: "posit32", Class: ClassUnderflow, Shape: ShapeScalarMem, Op: OpAdd},
+		// A zero divisor poisons a whole interval lane to NaN.
+		{Sys: "interval", Class: ClassDivZero, Shape: ShapePackedReg, Op: OpDiv},
+		// 1/3 is exact in rationals, inexact everywhere else.
+		{Sys: "rational", Class: ClassPrecision, Shape: ShapePackedMem, Op: OpSub},
+	}
+}
+
+// GenAltSeed builds the targeted seed: the cell's biased trigger plus one
+// extra scalar op feeding the exceptional result back through xmm3.
+func GenAltSeed(a AltSeed) Seq {
+	s := GenBiased(a.Class, a.Shape)
+	s.Insts = append(s.Insts, Inst{K: KScalarRR, A: a.Op<<4 | 3, B: 0})
+	return s
+}
+
 // Gen draws a random program: seeds uniform over the pool, instructions
 // uniform over the template space. The pool's exception density does the
 // biasing — roughly half its members are denormal, zero, infinite, NaN

@@ -1,0 +1,185 @@
+package fpvm
+
+import (
+	"math"
+	"testing"
+
+	"fpvm/internal/bigfp"
+	"fpvm/internal/fpmath"
+	"fpvm/internal/interval"
+)
+
+// newTestEngine returns an unbound engine (everything maps to the global
+// site at RIP 0) with tight, fast thresholds.
+func newTestEngine(cfg PolicyConfig) *PolicyEngine {
+	return NewPolicyEngine(cfg)
+}
+
+func TestPolicyStartsBoxed(t *testing.T) {
+	e := newTestEngine(PolicyConfig{})
+	if e.Name() != "adaptive" {
+		t.Fatalf("Name = %q, want adaptive", e.Name())
+	}
+	v, _ := e.Promote(1.5)
+	if _, ok := v.(float64); !ok {
+		t.Fatalf("fresh site promoted to %T, want float64 (boxed tier)", v)
+	}
+	r, _ := e.Op(fpmath.OpAdd, v, v)
+	if got, ok := r.(float64); !ok || got != 3.0 {
+		t.Fatalf("boxed add = %v (%T), want 3.0 float64", r, r)
+	}
+	st := e.Stats()
+	if st.OpsBoxed != 1 || st.OpsInterval != 0 || st.OpsMPFR != 0 {
+		t.Fatalf("ops = %d/%d/%d, want 1/0/0", st.OpsBoxed, st.OpsInterval, st.OpsMPFR)
+	}
+}
+
+// TestPolicyEscalatesOnTrapCluster: EscalateAfter cause-flagged traps at
+// one RIP flip the site to the interval tier; other RIPs stay boxed.
+func TestPolicyEscalatesOnTrapCluster(t *testing.T) {
+	e := newTestEngine(PolicyConfig{EscalateAfter: 3})
+	for i := 0; i < 2; i++ {
+		e.noteTrap(0x40, fpmath.ExOverflow)
+	}
+	if e.siteFor(0x40).tier != tierBoxed {
+		t.Fatal("site escalated before EscalateAfter traps")
+	}
+	e.noteTrap(0x40, fpmath.ExOverflow)
+	if e.siteFor(0x40).tier != tierInterval {
+		t.Fatal("site did not escalate at EscalateAfter traps")
+	}
+	if e.siteFor(0x41).tier != tierBoxed {
+		t.Fatal("neighbouring RIP escalated too")
+	}
+	// Cause-free traps (flags == 0) never count.
+	e.noteTrap(0x50, 0)
+	if e.siteFor(0x50).hits != 0 {
+		t.Fatal("cause-free trap counted toward escalation")
+	}
+	st := e.Stats()
+	if st.Escalations != 1 || st.IntervalSites != 1 {
+		t.Fatalf("stats = %+v, want 1 escalation, 1 interval site", st)
+	}
+}
+
+// TestPolicyIntervalWidthEscalatesToMPFR: an interval-tier op whose
+// result bounds exceed WidthTol flips the site to MPFR.
+func TestPolicyIntervalWidthEscalatesToMPFR(t *testing.T) {
+	e := newTestEngine(PolicyConfig{EscalateAfter: 1, WidthTol: 1e-9})
+	e.noteTrap(0, fpmath.ExInvalid)
+	if e.siteFor(0).tier != tierInterval {
+		t.Fatal("site not at interval tier")
+	}
+	// A deliberately wide interval operand forces a wide result.
+	wide := interval.Interval{Lo: 1, Hi: 2}
+	v, _ := e.Promote(3)
+	res, _ := e.Op(fpmath.OpAdd, wide, v)
+	if _, ok := res.(interval.Interval); !ok {
+		t.Fatalf("interval-tier op returned %T", res)
+	}
+	if e.siteFor(0).tier != tierMPFR {
+		t.Fatal("wide interval result did not escalate the site to MPFR")
+	}
+	r2, _ := e.Op(fpmath.OpMul, res, res)
+	if _, ok := r2.(*bigfp.Float); !ok {
+		t.Fatalf("MPFR-tier op returned %T, want *bigfp.Float", r2)
+	}
+	st := e.Stats()
+	if st.MPFREscalations != 1 || st.MPFRSites != 1 || st.OpsMPFR != 1 {
+		t.Fatalf("stats = %+v, want one MPFR escalation/site/op", st)
+	}
+}
+
+// TestPolicyDecay: a long run of within-tolerance interval results
+// returns the site to boxed and resets its trap count.
+func TestPolicyDecay(t *testing.T) {
+	e := newTestEngine(PolicyConfig{EscalateAfter: 1, DecayAfter: 4})
+	e.noteTrap(0, fpmath.ExPrecision)
+	a, _ := e.Promote(1.0)
+	b, _ := e.Promote(2.0)
+	for i := 0; i < 4; i++ {
+		if e.siteFor(0).tier != tierInterval {
+			t.Fatalf("site decayed after %d tight ops, want %d", i, 4)
+		}
+		a, _ = e.Op(fpmath.OpAdd, a, b)
+	}
+	s := e.siteFor(0)
+	if s.tier != tierBoxed || s.hits != 0 {
+		t.Fatalf("site after decay: tier %d hits %d, want boxed with reset hits", s.tier, s.hits)
+	}
+	if e.Stats().Decays != 1 {
+		t.Fatalf("Decays = %d, want 1", e.Stats().Decays)
+	}
+}
+
+// TestPolicyCrossTierConversion: operands produced at one tier are
+// converted when consumed at another, both directions, with cost charged.
+func TestPolicyCrossTierConversion(t *testing.T) {
+	e := newTestEngine(PolicyConfig{})
+	mp, _ := e.mpfr.Promote(0.5)
+	iv, _ := e.ival.Promote(0.25)
+	res, cost := e.Op(fpmath.OpAdd, mp, iv) // boxed site: both demote
+	got, ok := res.(float64)
+	if !ok || got != 0.75 {
+		t.Fatalf("cross-tier add = %v (%T), want 0.75 float64", res, res)
+	}
+	if cost == 0 {
+		t.Fatal("cross-tier conversion charged no cycles")
+	}
+	// Per-value dispatch for the unary surface.
+	if !e.Signbit(mustVal(e.mpfr.Promote(-2))) {
+		t.Fatal("Signbit lost through the MPFR tier")
+	}
+	if !e.IsNaN(interval.NaN()) {
+		t.Fatal("IsNaN lost through the interval tier")
+	}
+	if f, _ := e.Demote(mustVal(e.mpfr.Promote(1.25))); f != 1.25 {
+		t.Fatalf("Demote through MPFR tier = %v, want 1.25", f)
+	}
+	neg, _ := e.Neg(interval.FromFloat64(3))
+	if m := neg.(interval.Interval).Mid(); m != -3 {
+		t.Fatalf("Neg through interval tier = %v, want -3", m)
+	}
+}
+
+func mustVal(v any, _ uint64) any { return v }
+
+// TestPolicyDeterministic: two engines fed the identical trap/op stream
+// produce identical values and stats.
+func TestPolicyDeterministic(t *testing.T) {
+	run := func() (PolicyStats, float64) {
+		e := newTestEngine(PolicyConfig{EscalateAfter: 2, WidthTol: 1e-12, DecayAfter: 8})
+		acc, _ := e.Promote(1.0)
+		inc, _ := e.Promote(1.0 / 3.0)
+		for i := 0; i < 50; i++ {
+			if i%5 == 0 {
+				e.noteTrap(0, fpmath.ExPrecision)
+			}
+			acc, _ = e.Op(fpmath.OpAdd, acc, inc)
+		}
+		f, _ := e.Demote(acc)
+		return e.Stats(), f
+	}
+	s1, f1 := run()
+	s2, f2 := run()
+	if s1 != s2 || f1 != f2 || math.IsNaN(f1) {
+		t.Fatalf("nondeterministic policy: %+v/%v vs %+v/%v", s1, f1, s2, f2)
+	}
+}
+
+// TestRelWidth pins the width metric: relative for |mid| >= 1, absolute
+// below, zero for exact and NaN-safe.
+func TestRelWidth(t *testing.T) {
+	if w := relWidth(interval.FromFloat64(5)); w != 0 {
+		t.Fatalf("exact interval width = %v, want 0", w)
+	}
+	if w := relWidth(interval.Interval{Lo: 100, Hi: 101}); math.Abs(w-0.01/1.005) > 1e-12 {
+		t.Fatalf("relative width = %v", w)
+	}
+	if w := relWidth(interval.Interval{Lo: 0, Hi: 1e-3}); w != 1e-3 {
+		t.Fatalf("absolute width near zero = %v, want 1e-3", w)
+	}
+	if w := relWidth(interval.NaN()); w != 0 {
+		t.Fatalf("NaN interval width = %v, want 0", w)
+	}
+}

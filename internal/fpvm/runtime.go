@@ -77,6 +77,12 @@ type Runtime struct {
 	traceOn   bool
 	traceEnts []*dcache.Entry
 
+	// pol is the adaptive precision policy engine when Cfg.Alt is one
+	// (cached type assertion, like flt). handleTrap feeds it per-RIP trap
+	// causes; the engine reads curRIP back through its bound runtime to
+	// pick the numeric tier for each operation.
+	pol *PolicyEngine
+
 	// Tier-1 JIT state (jit.go): jitOn gates promotion (it requires the
 	// trace cache), jitThreshold is the Trace.Hits count at which a trace
 	// compiles.
@@ -142,6 +148,10 @@ func Attach(p *kernel.Process, cfg Config) (*Runtime, error) {
 		r.Profile = dcache.NewSeqProfile()
 	}
 	r.flt, _ = cfg.Alt.(alt.FloatSystem)
+	if pe, ok := cfg.Alt.(*PolicyEngine); ok {
+		pe.bind(r)
+		r.pol = pe
+	}
 	r.traceOn = cfg.Seq && !cfg.NoTraceCache
 	r.jitOn = r.traceOn && !cfg.NoJIT
 	r.jitThreshold = DefaultJITThreshold
@@ -350,6 +360,12 @@ func (r *Runtime) handleTrap(uc *kernel.Ucontext) {
 		return
 	}
 	r.Tel.Traps++
+	if uc.FPFlags != 0 {
+		r.Tel.NoteTrapCauses(uc.FPFlags)
+		if r.pol != nil {
+			r.pol.noteTrap(uc.CPU.RIP, uc.FPFlags)
+		}
+	}
 	r.chargeDelivery()
 	r.rec.resetTrap()
 	r.curUC = uc

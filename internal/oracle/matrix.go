@@ -21,6 +21,13 @@ import (
 //   - mpfr-seq: the bigfp system with checkpointing — internally
 //     consistent, deliberately not IEEE; its trace-off twin must reach
 //     the identical final state (mpfr-exit).
+//   - posit/posit32/interval/rational groups: the remaining alt systems,
+//     promoted to the same first-class treatment as mpfr. Each gets a
+//     trap-stream group spanning the acceleration axes (JIT tiering,
+//     checkpointing, fleet sharing — all invisible in the trap stream by
+//     construction) plus a trace-off twin joined through an exit group.
+//     Like mpfr, they are internally consistent only: their arithmetic
+//     deliberately differs from IEEE, so no VsNative anchoring.
 func DefaultMatrix() []Spec {
 	return []Spec{
 		{Name: "boxed/SEQ", Seq: true, Group: "boxed-seq", VsNative: true},
@@ -42,6 +49,19 @@ func DefaultMatrix() []Spec {
 		{Name: "mpfr/SEQ-jit1", Alt: "mpfr", Seq: true, JITThr: 1, Group: "mpfr-seq"},
 		{Name: "mpfr/SEQ+ckpt25", Alt: "mpfr", Seq: true, Ckpt: 25, Group: "mpfr-seq"},
 		{Name: "mpfr/SEQ-notrace", Alt: "mpfr", Seq: true, NoTrace: true, ExitGroup: "mpfr-exit"},
+		{Name: "posit/SEQ", Alt: "posit", Seq: true, Group: "posit-seq", ExitGroup: "posit-exit"},
+		{Name: "posit/SEQ-jit1", Alt: "posit", Seq: true, JITThr: 1, Group: "posit-seq"},
+		{Name: "posit/SEQ+ckpt25", Alt: "posit", Seq: true, Ckpt: 25, Group: "posit-seq"},
+		{Name: "posit/SEQ-notrace", Alt: "posit", Seq: true, NoTrace: true, ExitGroup: "posit-exit"},
+		{Name: "posit32/SEQ", Alt: "posit32", Seq: true, Group: "posit32-seq", ExitGroup: "posit32-exit"},
+		{Name: "posit32/SEQ-notrace", Alt: "posit32", Seq: true, NoTrace: true, ExitGroup: "posit32-exit"},
+		{Name: "interval/SEQ", Alt: "interval", Seq: true, Group: "interval-seq", ExitGroup: "interval-exit"},
+		{Name: "interval/SEQ-jit1", Alt: "interval", Seq: true, JITThr: 1, Group: "interval-seq"},
+		{Name: "interval/SEQ-fleet4", Alt: "interval", Seq: true, Fleet: 4, Group: "interval-seq"},
+		{Name: "interval/SEQ-notrace", Alt: "interval", Seq: true, NoTrace: true, ExitGroup: "interval-exit"},
+		{Name: "rational/SEQ", Alt: "rational", Seq: true, Group: "rational-seq", ExitGroup: "rational-exit"},
+		{Name: "rational/SEQ+ckpt25", Alt: "rational", Seq: true, Ckpt: 25, Group: "rational-seq"},
+		{Name: "rational/SEQ-notrace", Alt: "rational", Seq: true, NoTrace: true, ExitGroup: "rational-exit"},
 	}
 }
 
@@ -58,6 +78,15 @@ func FuzzMatrix() []Spec {
 		{Name: "boxed/NONE", VsNative: true},
 		{Name: "mpfr/SEQ", Alt: "mpfr", Seq: true, ExitGroup: "mpfr-exit"},
 		{Name: "mpfr/SEQ-notrace", Alt: "mpfr", Seq: true, NoTrace: true, ExitGroup: "mpfr-exit"},
+		{Name: "posit/SEQ", Alt: "posit", Seq: true, Group: "posit-seq", ExitGroup: "posit-exit"},
+		{Name: "posit/SEQ-jit1", Alt: "posit", Seq: true, JITThr: 1, Group: "posit-seq"},
+		{Name: "posit/SEQ-notrace", Alt: "posit", Seq: true, NoTrace: true, ExitGroup: "posit-exit"},
+		{Name: "posit32/SEQ", Alt: "posit32", Seq: true, ExitGroup: "posit32-exit"},
+		{Name: "posit32/SEQ-notrace", Alt: "posit32", Seq: true, NoTrace: true, ExitGroup: "posit32-exit"},
+		{Name: "interval/SEQ", Alt: "interval", Seq: true, ExitGroup: "interval-exit"},
+		{Name: "interval/SEQ-notrace", Alt: "interval", Seq: true, NoTrace: true, ExitGroup: "interval-exit"},
+		{Name: "rational/SEQ", Alt: "rational", Seq: true, ExitGroup: "rational-exit"},
+		{Name: "rational/SEQ-notrace", Alt: "rational", Seq: true, NoTrace: true, ExitGroup: "rational-exit"},
 	}
 }
 

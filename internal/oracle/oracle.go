@@ -54,7 +54,9 @@ type Spec struct {
 	Name string
 
 	// Alt selects the arithmetic system: "" or "boxed" for Boxed IEEE,
-	// "mpfr" for the arbitrary-precision bigfp system.
+	// "mpfr" for the arbitrary-precision bigfp system, "posit"/"posit32"
+	// for 64/32-bit posits (es=2), "interval" for outward-rounded interval
+	// arithmetic, "rational" for exact (denominator-bounded) rationals.
 	Alt string
 
 	Seq        bool
@@ -244,8 +246,17 @@ func (o Options) precision() uint {
 }
 
 func (s Spec) altSystem(prec uint) alt.System {
-	if s.Alt == "mpfr" {
+	switch s.Alt {
+	case "mpfr":
 		return alt.NewMPFR(prec)
+	case "posit":
+		return alt.NewPosit()
+	case "posit32":
+		return alt.NewPosit32()
+	case "interval":
+		return alt.NewInterval()
+	case "rational":
+		return alt.NewRational()
 	}
 	return alt.NewBoxedIEEE()
 }

@@ -1,0 +1,53 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReportRendering pins the human-facing divergence report: the
+// fuzzer's failure output is built from these strings, so they must name
+// the specs, the kind, and (for trap-stream divergences) the ordinal.
+func TestReportRendering(t *testing.T) {
+	d := &Divergence{
+		Program: "prog", A: "boxed/SEQ", B: "native",
+		Kind: "trap-stream", Index: 3, RIP: 0x401000, Detail: "xmm0 differs",
+	}
+	s := d.String()
+	for _, want := range []string{"prog", "boxed/SEQ", "native", "trap-stream", "trap #3", "xmm0 differs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("divergence string %q is missing %q", s, want)
+		}
+	}
+	// Non-trap-stream kinds carry no ordinal.
+	if s := (&Divergence{Kind: "stdout"}).String(); strings.Contains(s, "trap #") {
+		t.Errorf("stdout divergence string %q carries a trap ordinal", s)
+	}
+
+	rep := &Report{Program: "prog", Rows: []SpecResult{{OK: true}}, Divergences: []*Divergence{d}}
+	if rep.OK() {
+		t.Fatal("report with a divergence is OK")
+	}
+	if rep.FirstDivergence() != d {
+		t.Fatal("FirstDivergence did not return the recorded divergence")
+	}
+	if rs := rep.String(); !strings.Contains(rs, "1 divergences") || !strings.Contains(rs, "trap #3") {
+		t.Errorf("report string %q does not render its divergence", rs)
+	}
+
+	clean := &Report{Program: "prog", Rows: []SpecResult{{OK: true}}}
+	if !clean.OK() || clean.FirstDivergence() != nil {
+		t.Fatal("clean report misreports")
+	}
+	if bad := (&Report{Rows: []SpecResult{{OK: false}}}); bad.OK() {
+		t.Fatal("report with a failed row is OK")
+	}
+
+	long := strings.Repeat("x", 300)
+	if got := clip(long); len(got) >= len(long) || !strings.HasSuffix(got, "…") {
+		t.Errorf("clip left %d bytes without an ellipsis", len(got))
+	}
+	if got := clip("short"); got != "short" {
+		t.Errorf("clip mangled a short string: %q", got)
+	}
+}

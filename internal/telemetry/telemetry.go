@@ -49,6 +49,32 @@ func Categories() []Category {
 	return out
 }
 
+// Cause indexes TrapCauses by MXCSR exception bit position. The order
+// matches both the hardware status word and fpmath's Ex* flag bits, so
+// cause i corresponds to flag bit 1<<i.
+const (
+	CauseInvalid = iota
+	CauseDenormal
+	CauseDivZero
+	CauseOverflow
+	CauseUnderflow
+	CausePrecision
+
+	NumCauses
+)
+
+var causeNames = [NumCauses]string{
+	"invalid", "denormal", "divzero", "overflow", "underflow", "precision",
+}
+
+// CauseName returns the short name of trap cause i.
+func CauseName(i int) string {
+	if i >= 0 && i < NumCauses {
+		return causeNames[i]
+	}
+	return "cause?"
+}
+
 // Breakdown is a per-run cost accumulation.
 type Breakdown struct {
 	Cycles [NumCategories]uint64
@@ -59,6 +85,13 @@ type Breakdown struct {
 
 	// Traps counts FP trap deliveries.
 	Traps uint64
+
+	// TrapCauses counts trap deliveries by raised MXCSR exception cause,
+	// indexed by bit position (CauseInvalid..CausePrecision). One trap can
+	// raise several causes, so the per-cause sum can exceed Traps. Traps
+	// delivered without cause flags (correctness traps, foreign calls)
+	// count under none of them.
+	TrapCauses [NumCauses]uint64
 
 	// CorrEvents / FCallEvents count correctness invocations.
 	CorrEvents  uint64
@@ -181,6 +214,31 @@ func (b *Breakdown) FaultLine() string {
 	return line
 }
 
+// NoteTrapCauses records one trap delivery whose raised exception flags
+// are the MXCSR bits in flags (fpmath.Ex* layout).
+func (b *Breakdown) NoteTrapCauses(flags uint32) {
+	for i := 0; i < NumCauses; i++ {
+		if flags&(1<<uint(i)) != 0 {
+			b.TrapCauses[i]++
+		}
+	}
+}
+
+// CauseLine renders the per-cause trap counts as a one-line summary, or
+// "" when no trap carried cause flags.
+func (b *Breakdown) CauseLine() string {
+	var parts []string
+	for i := 0; i < NumCauses; i++ {
+		if b.TrapCauses[i] != 0 {
+			parts = append(parts, fmt.Sprintf("%s %d", causeNames[i], b.TrapCauses[i]))
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "trap causes: " + strings.Join(parts, ", ")
+}
+
 // Add charges n cycles to category c.
 func (b *Breakdown) Add(c Category, n uint64) { b.Cycles[c] += n }
 
@@ -197,6 +255,9 @@ func (b *Breakdown) Merge(o *Breakdown) {
 	}
 	b.EmulatedInsts += o.EmulatedInsts
 	b.Traps += o.Traps
+	for i := range b.TrapCauses {
+		b.TrapCauses[i] += o.TrapCauses[i]
+	}
 	b.CorrEvents += o.CorrEvents
 	b.FCallEvents += o.FCallEvents
 	b.FaultsInjected += o.FaultsInjected
